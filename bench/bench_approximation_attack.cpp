@@ -1,0 +1,122 @@
+// Extension bench: does approximate computing break the ESG?
+//
+// Section 2 argues the ESG survives approximation because eps-approximate
+// max-flow still costs Omega(n^2).  But the attacker doesn't need the
+// *flow* — only the comparator's *bit*, i.e. the sign of F_A - F_B.  This
+// bench measures, on real PPUF instances:
+//   1. certified (1-eps) scaling augmentation: speedup vs bit accuracy;
+//   2. O(n) structural heuristics (trivial cut bound, two-hop flow):
+//      essentially free — how often do they recover the bit?
+//
+// Headline structural finding of this reproduction (also printed below):
+// on a complete graph with strictly positive i.i.d. capacities, every
+// non-terminal cut crosses >= 2(n-2) edges versus the terminal stars'
+// n-1, so the minimum cut is (w.h.p.) the source or sink star and the
+// max-flow VALUE equals min(out-cap(s), in-cap(t)) — an O(n) computation.
+// The response *bit* therefore carries no ESG.  What remains hard is the
+// WITNESS: the flow function / residual edges the paper's verification
+// asks for (Section 3.2) have size Theta(n^2) and require a genuine
+// max-flow solve to produce — exactly why the protocol must demand the
+// flows, never just the comparator bit.
+#include <cmath>
+#include <iostream>
+
+#include "attack/heuristic.hpp"
+#include "bench_common.hpp"
+#include "maxflow/approximate.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(std::cout,
+                     "Extension: approximate/heuristic bit-recovery attacks");
+  PpufParams params;
+  params.node_count = 40;
+  params.grid_size = 8;
+  MaxFlowPpuf puf(params, 2211);
+  SimulationModel model(puf);
+  util::Rng rng(5);
+
+  const std::size_t trials = bench::scaled(60, 30);
+  std::vector<Challenge> cs;
+  std::vector<int> truth;
+  for (std::size_t i = 0; i < trials; ++i) {
+    cs.push_back(random_challenge(puf.layout(), rng));
+    truth.push_back(model.predict(cs.back()).bit);
+  }
+
+  // Exact solve cost reference.
+  std::uint64_t exact_work = 0;
+  {
+    const auto solver = maxflow::make_solver(maxflow::Algorithm::kDinic);
+    for (const Challenge& c : cs) {
+      for (int net = 0; net < 2; ++net) {
+        const graph::Digraph g = model.build_graph(net, c);
+        exact_work += solver->solve({&g, c.source, c.sink}).work;
+      }
+    }
+  }
+
+  util::Table t({"attack", "bit accuracy", "work vs exact"});
+  for (const double eps : {0.02, 0.1, 0.3, 0.6}) {
+    std::size_t correct = 0;
+    std::uint64_t work = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+      double flows[2];
+      for (int net = 0; net < 2; ++net) {
+        const graph::Digraph g = model.build_graph(net, cs[i]);
+        const maxflow::ApproximateResult r = maxflow::solve_approximate(
+            {&g, cs[i].source, cs[i].sink}, eps);
+        flows[net] = r.value;
+        work += r.work;
+      }
+      const int bit =
+          (flows[0] - flows[1] + model.comparator_offset()) > 0.0 ? 1 : 0;
+      correct += bit == truth[i] ? 1 : 0;
+    }
+    t.add_row({"(1-" + util::Table::num(eps, 2) + ")-approx scaling",
+               util::Table::num(static_cast<double>(correct) / trials, 3),
+               util::Table::num(static_cast<double>(work) / exact_work, 3)});
+  }
+  {
+    std::size_t cut_ok = 0, hop_ok = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+      cut_ok += attack::predict_bit_cut_bound(model, cs[i]) == truth[i];
+      hop_ok += attack::predict_bit_two_hop(model, cs[i]) == truth[i];
+    }
+    t.add_row({"O(n) cut bound",
+               util::Table::num(static_cast<double>(cut_ok) / trials, 3),
+               "~0 (n ops)"});
+    t.add_row({"O(n) two-hop flow",
+               util::Table::num(static_cast<double>(hop_ok) / trials, 3),
+               "~0 (n ops)"});
+  }
+  t.print(std::cout);
+
+  // Why the cut bound is (near) perfect: the terminal star is the minimum
+  // cut, so the bound IS the max flow.
+  std::size_t equal = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    const double f = model.predicted_flow(0, cs[i]);
+    if (attack::cut_bound_value(model, 0, cs[i]) <= f * (1.0 + 1e-9))
+      ++equal;
+  }
+  std::cout << "\nstructural check: max-flow == min(out-cap(s), in-cap(t)) "
+               "in "
+            << equal << "/" << trials
+            << " instances — on complete graphs the flow VALUE is O(n)-"
+               "computable, so the comparator bit alone carries no ESG.\n";
+  std::cout << "consequence: authentication must demand the Theta(n^2) "
+               "flow witness (the residual edges of Sec. 3.2, as "
+               "src/protocol does); producing a feasible maximum flow "
+               "function still requires the real solve, and even writing "
+               "it down costs Omega(n^2).\n";
+  bench::paper_note(
+      "the paper's O(n^2) lower bound covers flow computation; this bench "
+      "shows the flow *value* (hence the bare response bit) escapes it on "
+      "complete graphs, and why the paper's residual-edge verification is "
+      "the right protocol: the witness, not the bit, is what is hard.");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Shared helpers for the figure/table reproduction binaries.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <iostream>
+
+#include "util/table.hpp"
+
+namespace ppuf::bench {
+
+/// Scales a default sample count by PPUF_BENCH_SCALE (>= minimum 1).
+inline std::size_t scaled(std::size_t base, std::size_t minimum = 1) {
+  const double s = util::bench_scale();
+  return std::max<std::size_t>(minimum,
+                               static_cast<std::size_t>(base * s + 0.5));
+}
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double time_seconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Median-of-repetitions wall-clock timing for noisy fast operations.
+template <typename F>
+double time_seconds_median(F&& f, int repetitions) {
+  std::vector<double> samples;
+  samples.reserve(static_cast<std::size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) samples.push_back(time_seconds(f));
+  std::nth_element(samples.begin(),
+                   samples.begin() + static_cast<std::ptrdiff_t>(
+                                         samples.size() / 2),
+                   samples.end());
+  return samples[samples.size() / 2];
+}
+
+inline void paper_note(const std::string& note) {
+  std::cout << "paper: " << note << "\n";
+}
+
+}  // namespace ppuf::bench

@@ -1,0 +1,53 @@
+// Section 4.2 reproduction: the challenge-response space bound
+//   N_CRP >= n(n-1) * 2^(l^2) / sum_{i<d} C(l^2, i),
+// evaluated exactly with arbitrary-precision integers, plus a greedy
+// minimum-distance code construction demonstrating the admissible type-B
+// subset is practically samplable.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppuf/code.hpp"
+#include "util/table.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(std::cout, "Section 4.2: CRP space lower bound");
+
+  util::Table t({"n", "l", "d", "N_CRP lower bound (exact)",
+                 "~ scientific"});
+  struct Case {
+    std::size_t n, l, d;
+  };
+  for (const Case c : {Case{40, 8, 16}, Case{100, 8, 16}, Case{200, 15, 30},
+                       Case{400, 20, 40}}) {
+    const util::BigUint bound = crp_space_lower_bound(c.n, c.l, c.d);
+    std::string dec = bound.to_decimal();
+    std::string shown = dec.size() <= 24 ? dec
+                                         : dec.substr(0, 20) + "...(" +
+                                               std::to_string(dec.size()) +
+                                               " digits)";
+    t.add_row({std::to_string(c.n), std::to_string(c.l), std::to_string(c.d),
+               shown, util::Table::sci(bound.to_double(), 3)});
+  }
+  t.print(std::cout);
+  bench::paper_note(
+      "n = 200, l = 15, d = 2l gives N_CRP >= 6.53e35 — our exact "
+      "evaluation reproduces that value.");
+
+  util::print_banner(std::cout,
+                     "Greedy minimum-distance code for l = 8, d = 16");
+  util::Rng rng(3);
+  const auto code = build_min_distance_code(64, 16, bench::scaled(200, 100),
+                                            rng, 200000);
+  std::cout << "constructed " << code.size()
+            << " codewords of length 64 with pairwise distance >= 16 "
+            << "(validated: " << (check_min_distance(code, 16) ? "yes" : "NO")
+            << ")\n";
+  std::cout << "(the Gilbert-Varshamov bound guarantees ~"
+            << util::Table::sci(type_b_space_lower_bound(8, 16).to_double(),
+                                2)
+            << " codewords exist; the verifier only ever needs to sample "
+               "them lazily.)\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Figure 10 reproduction: model-building attack resilience.  Prediction
+// error of the best of {LS-SVM(RBF), SMO-SVM(RBF), KNN k=1..21} versus the
+// number of observed CRPs, for 40-node and 100-node PPUFs against a 64-bit
+// arbiter PUF.  The paper's claim: the PPUF's prediction error stays more
+// than an order of magnitude above the arbiter's.
+#include <iostream>
+
+#include "attack/harness.hpp"
+#include "attack/lssvm.hpp"
+#include "metrics/flip.hpp"
+#include "bench_common.hpp"
+#include "ppuf/ppuf.hpp"
+#include "puf/arbiter.hpp"
+
+using namespace ppuf;
+
+namespace {
+
+attack::Dataset collect_ppuf_crps(std::size_t nodes, std::size_t count,
+                                  std::uint64_t seed) {
+  PpufParams params;
+  params.node_count = nodes;
+  params.grid_size = 8;  // 64 type-B bits, equal input length to the arbiter
+  MaxFlowPpuf puf(params, seed);
+  util::Rng rng(5);
+  std::vector<std::vector<std::uint8_t>> challenges;
+  std::vector<int> responses;
+  for (std::size_t i = 0; i < count; ++i) {
+    // A model-building adversary observes one type-A setting (fixed
+    // source/sink) and varies the type-B bits.
+    const Challenge c = random_challenge_fixed_ends(puf.layout(), 0, 1, rng);
+    challenges.emplace_back(c.bits.begin(), c.bits.end());
+    responses.push_back(puf.evaluate(c).bit);
+  }
+  return attack::encode_bits(challenges, responses);
+}
+
+/// Full-input-vector CRPs: the adversary sees the raw physical challenge
+/// lines, type-A selection included.  The hidden per-(source,sink)
+/// structure makes this the harder (and more paper-faithful) target.
+attack::Dataset collect_ppuf_crps_full(std::size_t nodes, std::size_t count,
+                                       std::uint64_t seed) {
+  PpufParams params;
+  params.node_count = nodes;
+  params.grid_size = 8;
+  MaxFlowPpuf puf(params, seed);
+  const std::size_t width = metrics::full_input_bits(puf.layout());
+  util::Rng rng(6);
+  std::vector<std::vector<std::uint8_t>> inputs;
+  std::vector<int> responses;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> vec(width);
+    for (auto& b : vec) b = rng.coin() ? 1 : 0;
+    const Challenge c = metrics::decode_full_input(puf.layout(), vec);
+    responses.push_back(puf.evaluate(c).bit);
+    inputs.push_back(std::move(vec));
+  }
+  return attack::encode_bits(inputs, responses);
+}
+
+attack::Dataset collect_arbiter_crps(std::size_t stages, std::size_t count,
+                                     std::uint64_t seed) {
+  const puf::ArbiterPuf target(stages, seed);
+  util::Rng rng(6);
+  std::vector<std::vector<std::uint8_t>> challenges;
+  std::vector<int> responses;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::vector<std::uint8_t> c(stages);
+    for (auto& b : c) b = rng.coin() ? 1 : 0;
+    responses.push_back(target.evaluate(c));
+    challenges.push_back(std::move(c));
+  }
+  return attack::encode_bits(challenges, responses);
+}
+
+/// The strongest known arbiter attack additionally knows the parity
+/// feature map; this is the floor the PPUF is compared against.
+double arbiter_parity_attack_error(std::size_t stages, std::size_t train_n,
+                                   std::uint64_t seed) {
+  const puf::ArbiterPuf target(stages, seed);
+  util::Rng rng(7);
+  auto make = [&](std::size_t count) {
+    std::vector<std::vector<double>> feats;
+    std::vector<int> resp;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::uint8_t> c(stages);
+      for (auto& b : c) b = rng.coin() ? 1 : 0;
+      feats.push_back(puf::ArbiterPuf::parity_features(c));
+      resp.push_back(target.evaluate(c));
+    }
+    return attack::from_features(std::move(feats), std::move(resp));
+  };
+  const attack::Dataset train = make(train_n);
+  const attack::Dataset test = make(400);
+  const attack::LsSvm model(train, attack::make_linear_kernel());
+  return attack::prediction_error(test, model.predict_all(test));
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout,
+                     "Figure 10: model-building attack prediction error");
+  const std::size_t test_n = bench::scaled(400, 200);
+  std::vector<std::size_t> train_sizes{100, 200, 400, 800, 1600};
+  if (util::bench_scale() >= 2.0) train_sizes.push_back(3200);
+  const std::size_t pool = train_sizes.back() + test_n;
+
+  util::Table t({"observed CRPs", "40-node PPUF (type-B)",
+                 "40-node PPUF (full input)", "100-node PPUF (type-B)",
+                 "arbiter (raw bits)", "arbiter (parity map)"});
+
+  const attack::Dataset p40 = collect_ppuf_crps(40, pool, 424242);
+  const attack::Dataset p40f = collect_ppuf_crps_full(40, pool, 424242);
+  const attack::Dataset p100 = collect_ppuf_crps(100, pool, 101010);
+  const attack::Dataset arb = collect_arbiter_crps(64, pool, 64064);
+
+  for (const std::size_t n : train_sizes) {
+    auto run = [&](const attack::Dataset& data) {
+      const attack::Dataset train = data.slice(0, n);
+      const attack::Dataset test = data.slice(data.size() - test_n, test_n);
+      const auto curve = attack::attack_learning_curve(train, test, {n});
+      return curve.front().best();
+    };
+    const double e40 = run(p40);
+    const double e40f = run(p40f);
+    const double e100 = run(p100);
+    const double earb = run(arb);
+    const double eparity = arbiter_parity_attack_error(64, n, 64064);
+    t.add_row({std::to_string(n), util::Table::num(e40, 3),
+               util::Table::num(e40f, 3), util::Table::num(e100, 3),
+               util::Table::num(earb, 3), util::Table::num(eparity, 3)});
+  }
+  t.print(std::cout);
+  bench::paper_note(
+      "Fig. 10: PPUF prediction error stays an order of magnitude above "
+      "the arbiter PUF's at every CRP budget (arbiter falls to ~1e-2..1e-3 "
+      "by 10^4 CRPs).  The full-input column — the adversary sees the raw "
+      "challenge lines including the source/sink selection — is the "
+      "paper-faithful setting and plateaus high, like the paper's curves; "
+      "the fixed-endpoint type-B-only setting is more learnable.");
+  return 0;
+}

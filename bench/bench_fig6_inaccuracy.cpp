@@ -1,0 +1,55 @@
+// Figure 6 reproduction: inaccuracy of the max-flow simulation model
+// against the circuit execution, |I_exe - I_sim| / I_exe, versus PPUF node
+// count.  The paper reports < 1% average over 100 runs per size, with an
+// instance-to-instance flow variation of ~9.27% at 100 nodes (so the model
+// error is far below the signal).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/statistics.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(std::cout,
+                     "Figure 6: simulation-model inaccuracy vs node count");
+  const std::vector<std::size_t> sizes{10, 20, 30, 40, 50, 60, 80, 100};
+  const std::size_t instances = bench::scaled(3, 2);
+  const std::size_t challenges = bench::scaled(6, 3);
+
+  util::Table t({"nodes", "runs", "avg inaccuracy [%]", "max [%]",
+                 "flow variation [%]"});
+  for (const std::size_t n : sizes) {
+    PpufParams params;
+    params.node_count = n;
+    params.grid_size = std::min<std::size_t>(8, n / 2);
+    util::RunningStats err;
+    util::RunningStats flows;
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      MaxFlowPpuf puf(params, 6000 + 17 * n + inst);
+      SimulationModel model(puf);
+      util::Rng rng(100 + inst);
+      for (std::size_t c = 0; c < challenges; ++c) {
+        const Challenge ch = random_challenge(puf.layout(), rng);
+        const auto exe = puf.evaluate(ch);
+        const auto sim = model.predict(ch);
+        err.add(std::abs(exe.current_a - sim.flow_a) / exe.current_a);
+        err.add(std::abs(exe.current_b - sim.flow_b) / exe.current_b);
+        flows.add(exe.current_a);
+        flows.add(exe.current_b);
+      }
+    }
+    t.add_row({std::to_string(n), std::to_string(err.count()),
+               util::Table::num(100.0 * err.mean(), 3),
+               util::Table::num(100.0 * err.max(), 3),
+               util::Table::num(100.0 * flows.stddev() / flows.mean(), 2)});
+  }
+  t.print(std::cout);
+  bench::paper_note(
+      "average inaccuracy < 1% at every size; maximum-flow variation "
+      "~9.27% at 100 nodes — the model error is well below the "
+      "instance-to-instance signal.");
+  return 0;
+}

@@ -1,0 +1,113 @@
+// Figure 7(b) reproduction: the execution-simulation gap
+// ESG(n) = T_sim(n) - T_exe(n), extrapolated over n = 10..10^4 from
+// power-law fits of measured data, with and without the feedback-loop
+// technique (k = n chained challenges multiply both sides by n).
+//
+// The paper's headline: 1 s of ESG needs ~900 nodes without the feedback
+// loop and ~190 with it.  The absolute crossovers depend on the simulator's
+// machine (theirs: 2.93 GHz Xeon + boost); we report our own crossovers
+// and, like the paper, the ~4-5x node-count reduction the loop buys.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "maxflow/solver.hpp"
+#include "ppuf/delay.hpp"
+#include "ppuf/ppuf.hpp"
+#include "graph/complete.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/statistics.hpp"
+#include "util/fit.hpp"
+
+using namespace ppuf;
+
+namespace {
+
+struct EsgModel {
+  util::PowerLaw sim;
+  util::PowerLaw exe;
+
+  double esg(double n, bool feedback) const {
+    const double k = feedback ? n : 1.0;
+    return k * (sim(n) - exe(n));
+  }
+};
+
+double esg_plain(double n, const void* ctx) {
+  return static_cast<const EsgModel*>(ctx)->esg(n, false);
+}
+double esg_feedback(double n, const void* ctx) {
+  return static_cast<const EsgModel*>(ctx)->esg(n, true);
+}
+
+}  // namespace
+
+int main() {
+  util::print_banner(std::cout,
+                     "Figure 7(b): ESG scaling with/without feedback loop");
+
+  // Measure the two sides and fit power laws.  The simulation side is
+  // timed out to n = 400 (instances drawn from the measured capacity
+  // distribution beyond the characterised sizes, as in Fig. 7a) so the
+  // extrapolation toward 10^4 nodes captures the rising exponent.
+  const int reps = static_cast<int>(bench::scaled(5, 3));
+  double cap_mean = 30e-9, cap_sigma = 15e-9;
+  {
+    PpufParams params;
+    params.node_count = 40;
+    params.grid_size = 8;
+    MaxFlowPpuf puf(params, 7140);
+    SimulationModel model(puf);
+    util::RunningStats caps;
+    for (graph::EdgeId e = 0; e < puf.layout().edge_count(); ++e)
+      caps.add(model.capacity(0, e, 0));
+    cap_mean = caps.mean();
+    cap_sigma = caps.stddev();
+  }
+  const std::vector<std::size_t> sizes{20, 40, 60, 80, 100,
+                                       150, 200, 300, 400};
+  std::vector<double> ns, t_sim, t_exe;
+  for (const std::size_t n : sizes) {
+    util::Rng rng(n);
+    const graph::Digraph g =
+        graph::make_complete(n, [&](graph::VertexId, graph::VertexId) {
+          return std::max(cap_mean * 0.01,
+                          cap_mean + cap_sigma * rng.gaussian());
+        });
+    const graph::FlowProblem problem{
+        &g, 0, static_cast<graph::VertexId>(n - 1)};
+    const auto solver = maxflow::make_solver(maxflow::Algorithm::kPushRelabel);
+    // A simulator must solve both networks.
+    ns.push_back(static_cast<double>(n));
+    t_sim.push_back(
+        2.0 * bench::time_seconds_median([&] { solver->solve(problem); },
+                                         reps));
+    t_exe.push_back(analytic_delay_bound(PpufParams{}, n));
+  }
+  EsgModel model{util::fit_power_law(ns, t_sim),
+                 util::fit_power_law(ns, t_exe)};
+  std::cout << "fit: T_sim ~ " << model.sim.to_string() << " s, T_exe ~ "
+            << model.exe.to_string() << " s\n\n";
+
+  util::Table t({"nodes", "ESG no loop [s]", "ESG with loop k=n [s]"});
+  for (double n = 10.0; n <= 10000.0 * 1.001; n *= std::sqrt(10.0)) {
+    t.add_row({std::to_string(static_cast<long>(n + 0.5)),
+               util::Table::sci(model.esg(n, false)),
+               util::Table::sci(model.esg(n, true))});
+  }
+  t.print(std::cout);
+
+  const double n_plain =
+      util::solve_monotone(esg_plain, &model, 1.0, 10.0, 1e7);
+  const double n_loop =
+      util::solve_monotone(esg_feedback, &model, 1.0, 10.0, 1e7);
+  std::cout << "\nnodes needed for 1 s ESG:  without loop "
+            << util::Table::num(n_plain, 0) << ",  with loop "
+            << util::Table::num(n_loop, 0) << "  (reduction "
+            << util::Table::num(n_plain / n_loop, 1) << "x)\n";
+  bench::paper_note(
+      "900 nodes without / 190 with the feedback loop on the paper's "
+      "testbed — a ~4.7x reduction; the reduction factor is the "
+      "machine-independent part of the claim.");
+  return 0;
+}

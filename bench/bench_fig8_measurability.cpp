@@ -1,0 +1,73 @@
+// Figure 8 reproduction: output measurability.  Average source current and
+// the A-B current difference versus node count, linear fits, and the
+// extrapolation to the 900-node design point that Section 5 checks against
+// published comparator specs (paper: 33.6 uA average, 2.89 uA difference at
+// 900 nodes).
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppuf/ppuf.hpp"
+#include "util/fit.hpp"
+#include "util/statistics.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(std::cout,
+                     "Figure 8: output current average and difference");
+  const std::vector<std::size_t> sizes{20, 40, 60, 80, 100};
+  const std::size_t instances = bench::scaled(3, 2);
+  const std::size_t challenges = bench::scaled(6, 4);
+
+  std::vector<double> ns, avg_current, avg_diff;
+  util::Table t({"nodes", "avg current [uA]", "avg |I_A - I_B| [uA]"});
+  for (const std::size_t n : sizes) {
+    PpufParams params;
+    params.node_count = n;
+    params.grid_size = 8;
+    util::RunningStats current;
+    util::RunningStats diff;
+    for (std::size_t inst = 0; inst < instances; ++inst) {
+      MaxFlowPpuf puf(params, 8000 + 13 * n + inst);
+      util::Rng rng(inst + 1);
+      for (std::size_t c = 0; c < challenges; ++c) {
+        const Challenge ch = random_challenge(puf.layout(), rng);
+        const auto e = puf.evaluate(ch);
+        current.add(0.5 * (e.current_a + e.current_b));
+        diff.add(std::abs(e.current_a - e.current_b));
+      }
+    }
+    ns.push_back(static_cast<double>(n));
+    avg_current.push_back(current.mean());
+    avg_diff.push_back(diff.mean());
+    t.add_row({std::to_string(n),
+               util::Table::num(current.mean() * 1e6, 3),
+               util::Table::num(diff.mean() * 1e6, 4)});
+  }
+  t.print(std::cout);
+
+  const util::PowerLaw current_fit = util::fit_power_law(ns, avg_current);
+  const util::PowerLaw diff_fit = util::fit_power_law(ns, avg_diff);
+  std::cout << "fit: avg current ~ " << current_fit.to_string()
+            << " A   (expected ~linear: n-1 source edges)\n";
+  std::cout << "fit: current diff ~ " << diff_fit.to_string()
+            << " A  (expected ~sqrt: random-walk of per-edge mismatch)\n";
+
+  const double at900_current = current_fit(900.0);
+  const double at900_diff = diff_fit(900.0);
+  std::cout << "\nextrapolation to 900 nodes: avg current "
+            << util::Table::num(at900_current * 1e6, 2)
+            << " uA, avg difference "
+            << util::Table::num(at900_diff * 1e6, 3) << " uA\n";
+  std::cout << "comparator requirement: input range >= "
+            << util::Table::num(at900_current * 1e6, 1)
+            << " uA, resolution <= "
+            << util::Table::num(at900_diff * 1e6, 3)
+            << " uA — within the specs of the current comparators the "
+               "paper cites ([25, 26]).\n";
+  bench::paper_note(
+      "33.6 uA average and 2.89 uA difference at 900 nodes; both scale the "
+      "same way here (average ~ n, difference much slower).");
+  return 0;
+}

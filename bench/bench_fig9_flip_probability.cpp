@@ -1,0 +1,69 @@
+// Figure 9 reproduction: output-flip probability versus the Hamming
+// distance d between two type-B challenges, on 40-node PPUFs with grid
+// l = 8.  The paper samples 1000 input vectors on 100 PPUFs and finds the
+// flip probability approaching 0.5 at d = 16 — the justification for
+// restricting challenges to a minimum-distance-16 code.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "metrics/flip.hpp"
+#include "ppuf/ppuf.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(
+      std::cout, "Figure 9: output flip probability vs challenge distance");
+  PpufParams params;
+  params.node_count = 40;
+  params.grid_size = 8;
+  const std::size_t instances = bench::scaled(4, 2);
+  const std::size_t pairs = bench::scaled(60, 30);
+  const std::vector<std::size_t> distances{1, 2, 4, 6, 8, 10, 12, 14, 16, 18};
+
+  std::vector<double> total(distances.size(), 0.0);
+  std::vector<double> total_full(distances.size(), 0.0);
+  for (std::size_t inst = 0; inst < instances; ++inst) {
+    MaxFlowPpuf puf(params, 9100 + inst);
+    util::Rng rng(inst * 31 + 1);
+    const auto points =
+        metrics::flip_probability_vs_distance(puf, distances, pairs, rng);
+    const auto full = metrics::flip_probability_vs_distance_full_input(
+        puf, distances, pairs, rng);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      total[i] += points[i].flip_probability;
+      total_full[i] += full[i].flip_probability;
+    }
+  }
+
+  // Reference: if the comparator margin were a separable sum of
+  // independent per-cell contributions, flipping d of l^2 cells
+  // re-randomises a d/l^2 fraction of its variance, giving
+  // P(flip) = arccos(1 - d/l^2) / pi.  Measurements above this line
+  // indicate nonlinear cross-edge coupling.
+  const double cells = static_cast<double>(params.grid_size *
+                                           params.grid_size);
+  util::Table t({"min distance d", "type-B bits only",
+                 "full input vector (incl. type-A)",
+                 "separable-margin model (type-B)"});
+  for (std::size_t i = 0; i < distances.size(); ++i) {
+    const double rho =
+        std::max(0.0, 1.0 - static_cast<double>(distances[i]) / cells);
+    t.add_row({std::to_string(distances[i]),
+               util::Table::num(total[i] / static_cast<double>(instances)),
+               util::Table::num(total_full[i] /
+                                static_cast<double>(instances)),
+               util::Table::num(std::acos(rho) / 3.14159265358979, 4)});
+  }
+  t.print(std::cout);
+  bench::paper_note(
+      "rises from ~0.1 at d = 1 to ~0.5 at d = 16 (Fig. 9).  The physical "
+      "challenge lines include the type-A source/sink selection; once those "
+      "participate in the flipped 'inputs' (middle column), a single flip "
+      "usually retargets the flow and the probability reaches ~0.5 by "
+      "d = 16, matching the paper.  Restricted to type-B bits (left "
+      "column) the curve instead tracks the separable-margin decorrelation "
+      "bound (right column).");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Max-flow substrate microbenchmarks (google-benchmark): the three solvers
+// on complete graphs (the PPUF's instance family), plus the verification
+// asymmetry of Section 2 — optimality checking is a single residual-graph
+// BFS, serial or frontier-parallel.
+#include <benchmark/benchmark.h>
+
+#include "graph/complete.hpp"
+#include "maxflow/push_relabel.hpp"
+#include "maxflow/solver.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace ppuf;
+
+graph::Digraph complete_instance(std::size_t n) {
+  util::Rng rng(n * 2654435761u);
+  return graph::make_complete_uniform(n, rng);
+}
+
+void BM_EdmondsKarp(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Digraph g = complete_instance(n);
+  const auto solver = maxflow::make_solver(maxflow::Algorithm::kEdmondsKarp);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver->solve({&g, 0, static_cast<graph::VertexId>(n - 1)}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_Dinic(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Digraph g = complete_instance(n);
+  const auto solver = maxflow::make_solver(maxflow::Algorithm::kDinic);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver->solve({&g, 0, static_cast<graph::VertexId>(n - 1)}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PushRelabel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Digraph g = complete_instance(n);
+  const auto solver = maxflow::make_solver(maxflow::Algorithm::kPushRelabel);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver->solve({&g, 0, static_cast<graph::VertexId>(n - 1)}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+void BM_PushRelabelNoHeuristics(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const graph::Digraph g = complete_instance(n);
+  maxflow::PushRelabelOptions opts;
+  opts.gap_heuristic = false;
+  opts.global_relabel = false;
+  const maxflow::PushRelabel solver(opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        solver.solve({&g, 0, static_cast<graph::VertexId>(n - 1)}));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+/// Verification side: check a maximum flow (the cheap asymmetric check the
+/// on-chip PPUF enables).
+void BM_VerifyOptimal(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<unsigned>(state.range(1));
+  const graph::Digraph g = complete_instance(n);
+  const auto t = static_cast<graph::VertexId>(n - 1);
+  const maxflow::FlowResult flow =
+      maxflow::make_solver(maxflow::Algorithm::kPushRelabel)
+          ->solve({&g, 0, t});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        maxflow::verify_flow(g, 0, t, flow.edge_flow, 1e-9, threads));
+  }
+  state.SetComplexityN(state.range(0));
+}
+
+}  // namespace
+
+BENCHMARK(BM_EdmondsKarp)->RangeMultiplier(2)->Range(16, 128)->Complexity();
+BENCHMARK(BM_Dinic)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_PushRelabel)->RangeMultiplier(2)->Range(16, 256)->Complexity();
+BENCHMARK(BM_PushRelabelNoHeuristics)
+    ->RangeMultiplier(2)
+    ->Range(16, 128)
+    ->Complexity();
+BENCHMARK(BM_VerifyOptimal)
+    ->ArgsProduct({{64, 128, 256}, {1, 2, 4}})
+    ->Complexity();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Section 5 power estimate: the two crossbars burn V(s)(I_A + I_B), the
+// comparator adds 153 uW (paper ref [25]), and one evaluation costs
+// power x execution-delay.  Paper: ~134.4 uW crossbars, ~287.4 pJ per
+// evaluation for the 900-node design.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "ppuf/delay.hpp"
+#include "ppuf/power.hpp"
+#include "ppuf/ppuf.hpp"
+#include "util/fit.hpp"
+#include "util/statistics.hpp"
+
+using namespace ppuf;
+
+int main() {
+  util::print_banner(std::cout, "Section 5: power and energy per evaluation");
+
+  // Measure the average source current on mid-size instances, fit, and
+  // extrapolate to 900 nodes (exactly the paper's procedure via Fig. 8).
+  const std::vector<std::size_t> sizes{20, 40, 60, 80};
+  std::vector<double> ns, avg_current;
+  for (const std::size_t n : sizes) {
+    PpufParams params;
+    params.node_count = n;
+    params.grid_size = 8;
+    MaxFlowPpuf puf(params, 9000 + n);
+    util::Rng rng(2);
+    util::RunningStats current;
+    for (int c = 0; c < 6; ++c) {
+      const Challenge ch = random_challenge(puf.layout(), rng);
+      const auto e = puf.evaluate(ch);
+      current.add(0.5 * (e.current_a + e.current_b));
+    }
+    ns.push_back(static_cast<double>(n));
+    avg_current.push_back(current.mean());
+  }
+  const util::PowerLaw fit = util::fit_power_law(ns, avg_current);
+
+  PpufParams params;
+  util::Table t({"nodes", "avg current [uA]", "crossbar power [uW]",
+                 "total power [uW]", "exe delay [us]", "energy/eval [pJ]"});
+  for (const std::size_t n : {100ul, 300ul, 900ul}) {
+    const double current = fit(static_cast<double>(n));
+    const double delay = analytic_delay_bound(params, n);
+    const PowerEstimate e = estimate_power(params, current, delay);
+    t.add_row({std::to_string(n), util::Table::num(current * 1e6, 2),
+               util::Table::num(e.crossbar_power * 1e6, 2),
+               util::Table::num(e.total_power * 1e6, 2),
+               util::Table::num(delay * 1e6, 3),
+               util::Table::num(e.energy_per_eval * 1e12, 1)});
+  }
+  t.print(std::cout);
+  bench::paper_note(
+      "900 nodes: 134.4 uW crossbars + 153 uW comparator, 1.0 us delay, "
+      "~287.4 pJ per evaluation.");
+  return 0;
+}

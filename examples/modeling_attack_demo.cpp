@@ -1,0 +1,79 @@
+// Model-building attack demo: an adversary observes CRPs from a PPUF and
+// tries to learn a clone with kernel SVMs and KNN (the Fig. 10 experiment,
+// at demo scale), next to the classic arbiter-PUF baseline that such
+// attacks famously destroy.
+//
+//   ./modeling_attack_demo [nodes] [max CRPs]   (default 24, 800)
+#include <cstdlib>
+#include <iostream>
+
+#include "attack/harness.hpp"
+#include "attack/lssvm.hpp"
+#include "ppuf/ppuf.hpp"
+#include "puf/arbiter.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppuf;
+
+  PpufParams params;
+  params.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 24;
+  params.grid_size = 8;
+  const std::size_t max_crps =
+      argc > 2 ? std::strtoul(argv[2], nullptr, 10) : 800;
+  const std::size_t test_n = 300;
+
+  std::cout << "Collecting " << max_crps + test_n << " CRPs from a "
+            << params.node_count << "-node PPUF (fixed source/sink, 64 "
+            << "control bits)...\n";
+  MaxFlowPpuf puf(params, 1234);
+  util::Rng rng(5);
+  std::vector<std::vector<std::uint8_t>> challenges;
+  std::vector<int> responses;
+  for (std::size_t i = 0; i < max_crps + test_n; ++i) {
+    const Challenge c = random_challenge_fixed_ends(puf.layout(), 0, 1, rng);
+    challenges.emplace_back(c.bits.begin(), c.bits.end());
+    responses.push_back(puf.evaluate(c).bit);
+  }
+  const attack::Dataset data = attack::encode_bits(challenges, responses);
+  const attack::Dataset test = data.slice(max_crps, test_n);
+
+  util::Table t({"CRPs", "LS-SVM (RBF)", "SMO-SVM (RBF)", "best KNN",
+                 "best"});
+  for (std::size_t n = 100; n <= max_crps; n *= 2) {
+    const attack::Dataset train = data.slice(0, n);
+    const auto curve = attack::attack_learning_curve(train, test, {n});
+    const auto& e = curve.front();
+    t.add_row({std::to_string(n), util::Table::num(e.lssvm_rbf, 3),
+               util::Table::num(e.smo_rbf, 3), util::Table::num(e.knn, 3),
+               util::Table::num(e.best(), 3)});
+  }
+  t.print(std::cout);
+
+  // Baseline: the arbiter PUF with the strongest known attack (linear
+  // learner on parity features) collapses with the same budget.
+  const puf::ArbiterPuf arbiter(64, 99);
+  util::Rng arng(6);
+  auto make = [&](std::size_t count) {
+    std::vector<std::vector<double>> feats;
+    std::vector<int> resp;
+    for (std::size_t i = 0; i < count; ++i) {
+      std::vector<std::uint8_t> c(64);
+      for (auto& b : c) b = arng.coin() ? 1 : 0;
+      feats.push_back(puf::ArbiterPuf::parity_features(c));
+      resp.push_back(arbiter.evaluate(c));
+    }
+    return attack::from_features(std::move(feats), std::move(resp));
+  };
+  const std::size_t arb_budget = std::max<std::size_t>(2000, max_crps);
+  const attack::LsSvm clone(make(arb_budget), attack::make_linear_kernel());
+  const attack::Dataset arb_test = make(test_n);
+  std::cout << "\narbiter PUF (64 stages) under the parity-feature attack, "
+            << arb_budget << " CRPs: error "
+            << attack::prediction_error(arb_test,
+                                        clone.predict_all(arb_test))
+            << " — effectively cloned.\nThe PPUF's nonlinear response "
+               "boundary (Requirement 3) keeps every attacker far above "
+               "that; see bench_fig10_model_building for the full curves.\n";
+  return 0;
+}

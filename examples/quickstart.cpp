@@ -1,0 +1,54 @@
+// Quickstart: fabricate a max-flow PPUF, publish its model, evaluate a
+// challenge on "silicon" and by simulation, and confirm the two agree —
+// the whole point of a *public* PUF in ~40 lines.
+//
+//   ./quickstart [nodes]        (default 16)
+#include <cstdlib>
+#include <iostream>
+
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ppuf;
+
+  PpufParams params;
+  params.node_count = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 16;
+  params.grid_size = std::min<std::size_t>(8, params.node_count / 2);
+
+  std::cout << "Fabricating a " << params.node_count
+            << "-node max-flow PPUF (two crossbar networks, "
+            << 2 * params.node_count * (params.node_count - 1)
+            << " source-degenerated blocks)...\n";
+  MaxFlowPpuf puf(params, /*seed=*/2016);
+
+  std::cout << "Extracting the public model (per-block saturation currents "
+               "= edge capacities)...\n";
+  SimulationModel model(puf);
+
+  util::Rng rng(1);
+  const Challenge challenge = random_challenge(puf.layout(), rng);
+  std::cout << "\nChallenge: source node " << challenge.source
+            << ", sink node " << challenge.sink << ", "
+            << challenge.bits.size() << " control bits\n";
+
+  const auto execution = puf.evaluate(challenge);
+  std::cout << "Execution (analog steady state):  I_A = "
+            << execution.current_a * 1e9 << " nA, I_B = "
+            << execution.current_b * 1e9 << " nA  ->  response bit "
+            << execution.bit << "\n";
+
+  const auto simulation = model.predict(challenge);
+  std::cout << "Simulation (max-flow on model):   F_A = "
+            << simulation.flow_a * 1e9 << " nA, F_B = "
+            << simulation.flow_b * 1e9 << " nA  ->  predicted bit "
+            << simulation.bit << "\n";
+
+  const double err =
+      std::abs(execution.current_a - simulation.flow_a) / execution.current_a;
+  std::cout << "\nCircuit executes the max-flow computation to within "
+            << err * 100.0 << "% — the simulation model is faithful, and "
+            << "the PPUF's security rests only on how *long* that "
+            << "simulation takes (the execution-simulation gap).\n";
+  return simulation.bit == execution.bit ? 0 : 1;
+}

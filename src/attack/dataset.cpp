@@ -1,0 +1,65 @@
+#include "attack/dataset.hpp"
+
+#include <stdexcept>
+
+namespace ppuf::attack {
+
+Dataset Dataset::slice(std::size_t begin, std::size_t count) const {
+  if (begin + count > size())
+    throw std::out_of_range("Dataset::slice: out of range");
+  Dataset d;
+  d.features.assign(features.begin() + static_cast<std::ptrdiff_t>(begin),
+                    features.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  d.labels.assign(labels.begin() + static_cast<std::ptrdiff_t>(begin),
+                  labels.begin() + static_cast<std::ptrdiff_t>(begin + count));
+  return d;
+}
+
+namespace {
+int to_pm1(int response_01) {
+  if (response_01 != 0 && response_01 != 1)
+    throw std::invalid_argument("dataset: response must be 0/1");
+  return response_01 == 1 ? 1 : -1;
+}
+}  // namespace
+
+Dataset encode_bits(const std::vector<std::vector<std::uint8_t>>& challenges,
+                    const std::vector<int>& responses) {
+  if (challenges.size() != responses.size())
+    throw std::invalid_argument("encode_bits: size mismatch");
+  Dataset d;
+  d.features.reserve(challenges.size());
+  d.labels.reserve(challenges.size());
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    std::vector<double> row(challenges[i].size());
+    for (std::size_t j = 0; j < row.size(); ++j)
+      row[j] = challenges[i][j] ? 1.0 : -1.0;
+    d.features.push_back(std::move(row));
+    d.labels.push_back(to_pm1(responses[i]));
+  }
+  return d;
+}
+
+Dataset from_features(std::vector<std::vector<double>> features,
+                      std::vector<int> responses_01) {
+  if (features.size() != responses_01.size())
+    throw std::invalid_argument("from_features: size mismatch");
+  Dataset d;
+  d.features = std::move(features);
+  d.labels.reserve(responses_01.size());
+  for (int r : responses_01) d.labels.push_back(to_pm1(r));
+  return d;
+}
+
+double prediction_error(const Dataset& test,
+                        const std::vector<int>& predictions) {
+  if (predictions.size() != test.size())
+    throw std::invalid_argument("prediction_error: size mismatch");
+  if (test.size() == 0) return 0.0;
+  std::size_t wrong = 0;
+  for (std::size_t i = 0; i < predictions.size(); ++i)
+    wrong += predictions[i] != test.labels[i] ? 1 : 0;
+  return static_cast<double>(wrong) / static_cast<double>(test.size());
+}
+
+}  // namespace ppuf::attack

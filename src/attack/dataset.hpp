@@ -1,0 +1,38 @@
+// Labelled CRP datasets for the model-building attacks (Fig. 10).
+// Challenge bits are encoded as {-1, +1} features; responses as {-1, +1}
+// labels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppuf::attack {
+
+struct Dataset {
+  std::vector<std::vector<double>> features;
+  std::vector<int> labels;  ///< -1 or +1
+
+  std::size_t size() const { return features.size(); }
+  std::size_t dimension() const {
+    return features.empty() ? 0 : features.front().size();
+  }
+
+  /// Contiguous slice [begin, begin+count).
+  Dataset slice(std::size_t begin, std::size_t count) const;
+};
+
+/// Encode bit-vector challenges (0/1) and bit responses (0/1) into a
+/// dataset with {-1,+1} features/labels.
+Dataset encode_bits(const std::vector<std::vector<std::uint8_t>>& challenges,
+                    const std::vector<int>& responses);
+
+/// Append real-valued feature rows directly (e.g. arbiter parity features).
+Dataset from_features(std::vector<std::vector<double>> features,
+                      std::vector<int> responses_01);
+
+/// Fraction of test labels a predictor gets wrong.
+double prediction_error(const Dataset& test,
+                        const std::vector<int>& predictions);
+
+}  // namespace ppuf::attack

@@ -1,0 +1,49 @@
+#include "attack/harness.hpp"
+
+#include <algorithm>
+
+#include "attack/knn.hpp"
+#include "attack/lssvm.hpp"
+#include "attack/svm_smo.hpp"
+
+namespace ppuf::attack {
+
+double AttackErrors::best() const {
+  return std::min({lssvm_rbf, smo_rbf, knn});
+}
+
+std::vector<AttackErrors> attack_learning_curve(
+    const Dataset& train, const Dataset& test,
+    const std::vector<std::size_t>& train_sizes,
+    const HarnessOptions& options) {
+  std::vector<AttackErrors> out;
+  const double gamma = options.rbf_gamma > 0.0
+                           ? options.rbf_gamma
+                           : default_rbf_gamma(train.dimension());
+  for (const std::size_t n : train_sizes) {
+    if (n == 0 || n > train.size()) continue;
+    const Dataset sub = train.slice(0, n);
+    AttackErrors e;
+    e.train_size = n;
+
+    {
+      const Dataset lssvm_train =
+          n > options.lssvm_cap ? sub.slice(0, options.lssvm_cap) : sub;
+      LsSvm::Options lopt;
+      lopt.regularization = options.lssvm_regularization;
+      const LsSvm model(lssvm_train, make_rbf_kernel(gamma), lopt);
+      e.lssvm_rbf = prediction_error(test, model.predict_all(test));
+    }
+    {
+      SmoSvm::Options sopt;
+      sopt.c = options.smo_c;
+      const SmoSvm model(sub, make_rbf_kernel(gamma), sopt);
+      e.smo_rbf = prediction_error(test, model.predict_all(test));
+    }
+    e.knn = best_knn_error(sub, test, options.max_knn_k);
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,38 @@
+// Model-building attack harness (Fig. 10): train every attacker on N
+// observed CRPs, measure test error, and report the minimum — the paper's
+// "final prediction inaccuracy is the minimum of SVM and KNN tests".
+#pragma once
+
+#include <vector>
+
+#include "attack/dataset.hpp"
+
+namespace ppuf::attack {
+
+struct AttackErrors {
+  std::size_t train_size = 0;
+  double lssvm_rbf = 1.0;
+  double smo_rbf = 1.0;
+  double knn = 1.0;
+  double best() const;
+};
+
+struct HarnessOptions {
+  double rbf_gamma = 0.0;        ///< 0 = default 1/dimension
+  double lssvm_regularization = 10.0;
+  double smo_c = 10.0;
+  std::size_t max_knn_k = 21;
+  /// LS-SVM training is O(N^3); above this size it is trained on a random
+  /// prefix of the data instead (the error reported is still on the full
+  /// test set).
+  std::size_t lssvm_cap = 2000;
+};
+
+/// Train on train.slice(0, n) for each n in `train_sizes` and evaluate on
+/// `test`.  Sizes beyond train.size() are skipped.
+std::vector<AttackErrors> attack_learning_curve(
+    const Dataset& train, const Dataset& test,
+    const std::vector<std::size_t>& train_sizes,
+    const HarnessOptions& options = {});
+
+}  // namespace ppuf::attack

@@ -1,0 +1,58 @@
+#include "attack/heuristic.hpp"
+
+#include <algorithm>
+
+namespace ppuf::attack {
+
+namespace {
+double capacity_of(const SimulationModel& model, int network,
+                   const Challenge& challenge, graph::VertexId from,
+                   graph::VertexId to) {
+  const CrossbarLayout& layout = model.layout();
+  const int bit = challenge.bits[layout.cell_of_edge(from, to)] ? 1 : 0;
+  return model.capacity(network, layout.edge_id(from, to), bit);
+}
+}  // namespace
+
+double cut_bound_value(const SimulationModel& model, int network,
+                       const Challenge& challenge) {
+  const std::size_t n = model.node_count();
+  double out_s = 0.0, in_t = 0.0;
+  for (graph::VertexId v = 0; v < n; ++v) {
+    if (v != challenge.source)
+      out_s += capacity_of(model, network, challenge, challenge.source, v);
+    if (v != challenge.sink)
+      in_t += capacity_of(model, network, challenge, v, challenge.sink);
+  }
+  return std::min(out_s, in_t);
+}
+
+double two_hop_value(const SimulationModel& model, int network,
+                     const Challenge& challenge) {
+  const std::size_t n = model.node_count();
+  double total = capacity_of(model, network, challenge, challenge.source,
+                             challenge.sink);
+  for (graph::VertexId j = 0; j < n; ++j) {
+    if (j == challenge.source || j == challenge.sink) continue;
+    total += std::min(
+        capacity_of(model, network, challenge, challenge.source, j),
+        capacity_of(model, network, challenge, j, challenge.sink));
+  }
+  return total;
+}
+
+int predict_bit_cut_bound(const SimulationModel& model,
+                          const Challenge& challenge) {
+  const double a = cut_bound_value(model, 0, challenge);
+  const double b = cut_bound_value(model, 1, challenge);
+  return (a - b + model.comparator_offset()) > 0.0 ? 1 : 0;
+}
+
+int predict_bit_two_hop(const SimulationModel& model,
+                        const Challenge& challenge) {
+  const double a = two_hop_value(model, 0, challenge);
+  const double b = two_hop_value(model, 1, challenge);
+  return (a - b + model.comparator_offset()) > 0.0 ? 1 : 0;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,35 @@
+// Cheap structural attacks on the max-flow PPUF.
+//
+// The ESG lower bound only covers attackers who compute the flow (exactly
+// or eps-approximately).  A cleverer adversary might predict the response
+// *bit* from O(n) structure without solving anything:
+//   - CutBound: compare min(out-capacity(source), in-capacity(sink)) of
+//     the two networks — the trivial min-cut upper bound.
+//   - TwoHop: compare sum_j min(c(s,j), c(j,t)) + c(s,t) — the value of
+//     the best flow restricted to paths of length <= 2, which is a lower
+//     bound and, on complete graphs, usually a tight one.
+// The bench measures how often these shortcuts recover the true bit; this
+// probes a gap the paper's analysis leaves open.
+#pragma once
+
+#include "ppuf/sim_model.hpp"
+
+namespace ppuf::attack {
+
+/// The trivial cut upper bound min(out_cap(s), in_cap(t)) for one network.
+double cut_bound_value(const SimulationModel& model, int network,
+                       const Challenge& challenge);
+
+/// Flow restricted to length-<=2 paths: c(s,t) + sum_j min(c(s,j), c(j,t)).
+/// A feasible flow, hence a lower bound on the max flow.  O(n) time.
+double two_hop_value(const SimulationModel& model, int network,
+                     const Challenge& challenge);
+
+/// Predicted response bits from the two heuristics (comparing networks
+/// through the published comparator offset, like the real comparator).
+int predict_bit_cut_bound(const SimulationModel& model,
+                          const Challenge& challenge);
+int predict_bit_two_hop(const SimulationModel& model,
+                        const Challenge& challenge);
+
+}  // namespace ppuf::attack

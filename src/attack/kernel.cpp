@@ -1,0 +1,32 @@
+#include "attack/kernel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::attack {
+
+Kernel make_rbf_kernel(double gamma) {
+  if (gamma <= 0.0) throw std::invalid_argument("rbf kernel: gamma <= 0");
+  return [gamma](std::span<const double> a, std::span<const double> b) {
+    double d2 = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      const double d = a[i] - b[i];
+      d2 += d * d;
+    }
+    return std::exp(-gamma * d2);
+  };
+}
+
+Kernel make_linear_kernel() {
+  return [](std::span<const double> a, std::span<const double> b) {
+    double s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+    return s;
+  };
+}
+
+double default_rbf_gamma(std::size_t dimension) {
+  return dimension > 0 ? 1.0 / static_cast<double>(dimension) : 1.0;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,23 @@
+// Kernels for the SVM attacks.  The paper uses a nonlinear radial basis
+// function (RBF) kernel.
+#pragma once
+
+#include <functional>
+#include <span>
+
+namespace ppuf::attack {
+
+using Kernel =
+    std::function<double(std::span<const double>, std::span<const double>)>;
+
+/// Gaussian RBF k(a,b) = exp(-gamma ||a-b||^2).
+Kernel make_rbf_kernel(double gamma);
+
+/// Plain inner product (for sanity baselines and the arbiter attack on
+/// parity features).
+Kernel make_linear_kernel();
+
+/// The usual default bandwidth: gamma = 1 / dimension.
+double default_rbf_gamma(std::size_t dimension);
+
+}  // namespace ppuf::attack

@@ -1,0 +1,52 @@
+#include "attack/knn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppuf::attack {
+
+Knn::Knn(const Dataset& train, std::size_t k) : train_(train), k_(k) {
+  if (train_.size() == 0) throw std::invalid_argument("Knn: empty train");
+  if (k == 0 || k > train_.size())
+    throw std::invalid_argument("Knn: bad k");
+}
+
+int Knn::predict(std::span<const double> x) const {
+  // Partial selection of the k smallest squared distances.
+  std::vector<std::pair<double, int>> dist;
+  dist.reserve(train_.size());
+  for (std::size_t i = 0; i < train_.size(); ++i) {
+    const auto& t = train_.features[i];
+    double d2 = 0.0;
+    for (std::size_t j = 0; j < t.size(); ++j) {
+      const double d = t[j] - x[j];
+      d2 += d * d;
+    }
+    dist.emplace_back(d2, train_.labels[i]);
+  }
+  std::nth_element(dist.begin(),
+                   dist.begin() + static_cast<std::ptrdiff_t>(k_ - 1),
+                   dist.end());
+  int vote = 0;
+  for (std::size_t i = 0; i < k_; ++i) vote += dist[i].second;
+  return vote >= 0 ? 1 : -1;
+}
+
+std::vector<int> Knn::predict_all(const Dataset& test) const {
+  std::vector<int> out;
+  out.reserve(test.size());
+  for (const auto& x : test.features) out.push_back(predict(x));
+  return out;
+}
+
+double best_knn_error(const Dataset& train, const Dataset& test,
+                      std::size_t max_k) {
+  double best = 1.0;
+  for (std::size_t k = 1; k <= std::min(max_k, train.size()); k += 2) {
+    const Knn knn(train, k);
+    best = std::min(best, prediction_error(test, knn.predict_all(test)));
+  }
+  return best;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,28 @@
+// k-nearest-neighbour classifier — the paper's non-parametric attacker
+// (empirical KNN tests with K = 1, 3, ..., 21).
+#pragma once
+
+#include <vector>
+
+#include "attack/dataset.hpp"
+
+namespace ppuf::attack {
+
+class Knn {
+ public:
+  Knn(const Dataset& train, std::size_t k);
+
+  int predict(std::span<const double> x) const;
+  std::vector<int> predict_all(const Dataset& test) const;
+
+ private:
+  const Dataset train_;  // owned copy; KNN is a lazy learner
+  std::size_t k_;
+};
+
+/// Runs KNN for each odd k in [1, max_k] and returns the smallest test
+/// error (the paper reports the best of the sweep).
+double best_knn_error(const Dataset& train, const Dataset& test,
+                      std::size_t max_k = 21);
+
+}  // namespace ppuf::attack

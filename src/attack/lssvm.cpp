@@ -1,0 +1,63 @@
+#include "attack/lssvm.hpp"
+
+#include <stdexcept>
+
+#include "numeric/cholesky.hpp"
+
+namespace ppuf::attack {
+
+LsSvm::LsSvm(const Dataset& train, Kernel kernel, Options options)
+    : support_(train.features), kernel_(std::move(kernel)) {
+  const std::size_t n = train.size();
+  if (n == 0) throw std::invalid_argument("LsSvm: empty training set");
+  if (options.regularization <= 0.0)
+    throw std::invalid_argument("LsSvm: regularization <= 0");
+
+  // A = K + I/gamma_reg (SPD).  The LS-SVM dual with bias is
+  //   [ 0   1^T ] [ b     ]   [ 0 ]
+  //   [ 1   A   ] [ alpha ] = [ y ]
+  // solved by block elimination: A eta = 1, A nu = y,
+  // b = (1^T nu)/(1^T eta), alpha = nu - b eta.
+  numeric::Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double k = kernel_(train.features[i], train.features[j]);
+      a(i, j) = k;
+      a(j, i) = k;
+    }
+    a(i, i) += 1.0 / options.regularization;
+  }
+  const numeric::CholeskyDecomposition chol(std::move(a));
+
+  numeric::Vector ones(n, 1.0);
+  numeric::Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) y[i] = train.labels[i];
+
+  const numeric::Vector eta = chol.solve(ones);
+  const numeric::Vector nu = chol.solve(y);
+  double s_eta = 0.0, s_nu = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    s_eta += eta[i];
+    s_nu += nu[i];
+  }
+  if (s_eta == 0.0) throw std::runtime_error("LsSvm: degenerate bias system");
+  bias_ = s_nu / s_eta;
+  alpha_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) alpha_[i] = nu[i] - bias_ * eta[i];
+}
+
+double LsSvm::decision(std::span<const double> x) const {
+  double s = bias_;
+  for (std::size_t i = 0; i < support_.size(); ++i)
+    s += alpha_[i] * kernel_(support_[i], x);
+  return s;
+}
+
+std::vector<int> LsSvm::predict_all(const Dataset& test) const {
+  std::vector<int> out;
+  out.reserve(test.size());
+  for (const auto& x : test.features) out.push_back(predict(x));
+  return out;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,41 @@
+// Least-squares SVM classifier (Suykens & Vandewalle — the paper's SVM
+// reference [28]).  Training reduces to one SPD linear system
+//     (K + I/gamma_reg) solved for two right-hand sides,
+// which our Cholesky handles directly; no QP needed.
+#pragma once
+
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "attack/kernel.hpp"
+
+namespace ppuf::attack {
+
+class LsSvm {
+ public:
+  struct Options {
+    double regularization = 10.0;  ///< gamma_reg; larger = harder fit
+  };
+
+  /// Train on the dataset (O(N^2) kernel matrix + O(N^3) factorisation).
+  LsSvm(const Dataset& train, Kernel kernel, Options options);
+  LsSvm(const Dataset& train, Kernel kernel)
+      : LsSvm(train, std::move(kernel), Options{}) {}
+
+  /// Decision value (sign is the class).
+  double decision(std::span<const double> x) const;
+
+  int predict(std::span<const double> x) const {
+    return decision(x) > 0.0 ? 1 : -1;
+  }
+
+  std::vector<int> predict_all(const Dataset& test) const;
+
+ private:
+  std::vector<std::vector<double>> support_;  // training features (all)
+  std::vector<double> alpha_;
+  double bias_ = 0.0;
+  Kernel kernel_;
+};
+
+}  // namespace ppuf::attack

@@ -1,0 +1,151 @@
+#include "attack/svm_smo.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::attack {
+
+namespace {
+
+/// Training-time state: caches the diagonal and computes decision values
+/// over the full training set.
+class Trainer {
+ public:
+  Trainer(const Dataset& train, const Kernel& kernel,
+          const SmoSvm::Options& opts)
+      : x_(train.features),
+        y_(train.labels),
+        kernel_(kernel),
+        opts_(opts),
+        n_(train.size()),
+        alpha_(train.size(), 0.0),
+        errors_(train.size(), 0.0) {
+    for (std::size_t i = 0; i < n_; ++i) errors_[i] = -y_[i];
+  }
+
+  void run() {
+    util::Rng rng(opts_.shuffle_seed);
+    int passes = 0;
+    int iterations = 0;
+    while (passes < opts_.max_passes && iterations < opts_.max_iterations) {
+      int changed = 0;
+      for (std::size_t i = 0; i < n_; ++i) {
+        ++iterations;
+        if (violates_kkt(i) && try_step_with_random_partner(i, rng))
+          ++changed;
+      }
+      passes = changed == 0 ? passes + 1 : 0;
+    }
+  }
+
+  double bias() const { return bias_; }
+  const std::vector<double>& alpha() const { return alpha_; }
+
+ private:
+  double k(std::size_t i, std::size_t j) const { return kernel_(x_[i], x_[j]); }
+
+  /// f(x_i) - y_i, maintained incrementally.
+  double error(std::size_t i) const { return errors_[i]; }
+
+  bool violates_kkt(std::size_t i) const {
+    const double r = error(i) * y_[i];
+    return (r < -opts_.tolerance && alpha_[i] < opts_.c) ||
+           (r > opts_.tolerance && alpha_[i] > 0.0);
+  }
+
+  bool try_step_with_random_partner(std::size_t i, util::Rng& rng) {
+    // Simplified SMO: a random distinct partner.
+    std::size_t j = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n_) - 2));
+    if (j >= i) ++j;
+    return take_step(i, j);
+  }
+
+  bool take_step(std::size_t i, std::size_t j) {
+    if (i == j) return false;
+    const double ai_old = alpha_[i];
+    const double aj_old = alpha_[j];
+    double lo, hi;
+    if (y_[i] != y_[j]) {
+      lo = std::max(0.0, aj_old - ai_old);
+      hi = std::min(opts_.c, opts_.c + aj_old - ai_old);
+    } else {
+      lo = std::max(0.0, ai_old + aj_old - opts_.c);
+      hi = std::min(opts_.c, ai_old + aj_old);
+    }
+    if (lo >= hi) return false;
+    const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+    if (eta >= 0.0) return false;  // non-positive curvature: skip
+    double aj = aj_old - y_[j] * (error(i) - error(j)) / eta;
+    aj = std::clamp(aj, lo, hi);
+    if (std::abs(aj - aj_old) < 1e-7 * (aj + aj_old + 1e-7)) return false;
+    const double ai = ai_old + y_[i] * y_[j] * (aj_old - aj);
+
+    // Bias update (Platt's rules).
+    const double b1 = bias_ - error(i) - y_[i] * (ai - ai_old) * k(i, i) -
+                      y_[j] * (aj - aj_old) * k(i, j);
+    const double b2 = bias_ - error(j) - y_[i] * (ai - ai_old) * k(i, j) -
+                      y_[j] * (aj - aj_old) * k(j, j);
+    double new_bias;
+    if (ai > 0.0 && ai < opts_.c) {
+      new_bias = b1;
+    } else if (aj > 0.0 && aj < opts_.c) {
+      new_bias = b2;
+    } else {
+      new_bias = 0.5 * (b1 + b2);
+    }
+
+    // Incremental error update for all points.
+    const double di = y_[i] * (ai - ai_old);
+    const double dj = y_[j] * (aj - aj_old);
+    const double db = new_bias - bias_;
+    for (std::size_t p = 0; p < n_; ++p)
+      errors_[p] += di * k(i, p) + dj * k(j, p) + db;
+
+    alpha_[i] = ai;
+    alpha_[j] = aj;
+    bias_ = new_bias;
+    return true;
+  }
+
+  const std::vector<std::vector<double>>& x_;
+  const std::vector<int>& y_;
+  const Kernel& kernel_;
+  SmoSvm::Options opts_;
+  std::size_t n_;
+  std::vector<double> alpha_;
+  std::vector<double> errors_;
+  double bias_ = 0.0;
+};
+
+}  // namespace
+
+SmoSvm::SmoSvm(const Dataset& train, Kernel kernel, Options options)
+    : kernel_(std::move(kernel)) {
+  if (train.size() == 0) throw std::invalid_argument("SmoSvm: empty train");
+  Trainer trainer(train, kernel_, options);
+  trainer.run();
+  bias_ = trainer.bias();
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    if (trainer.alpha()[i] > 0.0) {
+      support_.push_back(train.features[i]);
+      alpha_y_.push_back(trainer.alpha()[i] * train.labels[i]);
+    }
+  }
+}
+
+double SmoSvm::decision(std::span<const double> x) const {
+  double s = bias_;
+  for (std::size_t i = 0; i < support_.size(); ++i)
+    s += alpha_y_[i] * kernel_(support_[i], x);
+  return s;
+}
+
+std::vector<int> SmoSvm::predict_all(const Dataset& test) const {
+  std::vector<int> out;
+  out.reserve(test.size());
+  for (const auto& x : test.features) out.push_back(predict(x));
+  return out;
+}
+
+}  // namespace ppuf::attack

@@ -1,0 +1,44 @@
+// Soft-margin kernel SVM trained with simplified SMO (Platt).  The second
+// "parametric" attacker next to the LS-SVM; it produces sparse support
+// vectors and scales to larger training sets because it never forms the
+// full kernel matrix.
+#pragma once
+
+#include <vector>
+
+#include "attack/dataset.hpp"
+#include "attack/kernel.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::attack {
+
+class SmoSvm {
+ public:
+  struct Options {
+    double c = 10.0;           ///< box constraint
+    double tolerance = 1e-3;   ///< KKT violation tolerance
+    int max_passes = 5;        ///< passes with no alpha change before stop
+    int max_iterations = 20000;
+    std::uint64_t shuffle_seed = 1;
+  };
+
+  SmoSvm(const Dataset& train, Kernel kernel, Options options);
+  SmoSvm(const Dataset& train, Kernel kernel)
+      : SmoSvm(train, std::move(kernel), Options{}) {}
+
+  double decision(std::span<const double> x) const;
+  int predict(std::span<const double> x) const {
+    return decision(x) > 0.0 ? 1 : -1;
+  }
+  std::vector<int> predict_all(const Dataset& test) const;
+
+  std::size_t support_vector_count() const { return support_.size(); }
+
+ private:
+  std::vector<std::vector<double>> support_;
+  std::vector<double> alpha_y_;  ///< alpha_i * y_i for kept vectors
+  double bias_ = 0.0;
+  Kernel kernel_;
+};
+
+}  // namespace ppuf::attack

@@ -1,0 +1,353 @@
+#include "circuit/dc.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "circuit/newton_core.hpp"
+#include "numeric/lu.hpp"
+
+namespace ppuf::circuit {
+
+namespace detail {
+
+namespace {
+
+/// Index of a node's unknown, or SIZE_MAX for ground.
+constexpr std::size_t kGroundIdx = static_cast<std::size_t>(-1);
+
+std::size_t node_index(NodeId n) {
+  return n == kGround ? kGroundIdx : static_cast<std::size_t>(n) - 1;
+}
+
+double voltage_of(const numeric::Vector& x, NodeId n) {
+  return n == kGround ? 0.0 : x[node_index(n)];
+}
+
+/// Accumulate a current I flowing out of node `n` plus its derivatives.
+/// `j` may be null for residual-only evaluations (line search).
+struct Stamper {
+  numeric::Vector& f;
+  numeric::Matrix* j;
+
+  void current(NodeId n, double i) {
+    const std::size_t idx = node_index(n);
+    if (idx != kGroundIdx) f[idx] += i;
+  }
+  void jacobian(NodeId row, NodeId col, double didv) {
+    if (j == nullptr) return;
+    const std::size_t r = node_index(row);
+    const std::size_t c = node_index(col);
+    if (r != kGroundIdx && c != kGroundIdx) (*j)(r, c) += didv;
+  }
+  void jacobian_branch(NodeId row, std::size_t branch_idx, double d) {
+    if (j == nullptr) return;
+    const std::size_t r = node_index(row);
+    if (r != kGroundIdx) (*j)(r, branch_idx) += d;
+  }
+};
+
+void assemble(const Netlist& nl, const DcOptions& opts,
+              const numeric::Vector& x, numeric::Vector& f,
+              numeric::Matrix* j) {
+  const std::size_t nv = nl.node_count() - 1;
+  f.assign(f.size(), 0.0);
+  if (j != nullptr) j->fill(0.0);
+  Stamper st{f, j};
+
+  // gmin from every node to ground keeps the matrix nonsingular when
+  // devices are cut off (floating internal nodes).
+  for (NodeId n = 1; n < nl.node_count(); ++n) {
+    st.current(n, opts.gmin * voltage_of(x, n));
+    st.jacobian(n, n, opts.gmin);
+  }
+
+  for (const auto& r : nl.resistors()) {
+    const double g = 1.0 / r.resistance;
+    const double i = g * (voltage_of(x, r.a) - voltage_of(x, r.b));
+    st.current(r.a, i);
+    st.current(r.b, -i);
+    st.jacobian(r.a, r.a, g);
+    st.jacobian(r.a, r.b, -g);
+    st.jacobian(r.b, r.a, -g);
+    st.jacobian(r.b, r.b, g);
+  }
+
+  for (const auto& d : nl.diodes()) {
+    const double vd = voltage_of(x, d.anode) - voltage_of(x, d.cathode);
+    const DiodeEval e = eval_diode(d.params, vd, opts.temperature_c);
+    st.current(d.anode, e.current);
+    st.current(d.cathode, -e.current);
+    st.jacobian(d.anode, d.anode, e.conductance);
+    st.jacobian(d.anode, d.cathode, -e.conductance);
+    st.jacobian(d.cathode, d.anode, -e.conductance);
+    st.jacobian(d.cathode, d.cathode, e.conductance);
+  }
+
+  for (const auto& m : nl.mosfets()) {
+    const double vgs = voltage_of(x, m.gate) - voltage_of(x, m.source);
+    const double vds = voltage_of(x, m.drain) - voltage_of(x, m.source);
+    const MosfetEval e = eval_mosfet(m.params, vgs, vds);
+    // Drain current enters the drain and exits the source; the gate draws
+    // no current.
+    st.current(m.drain, e.id);
+    st.current(m.source, -e.id);
+    // dId/dVg = gm, dId/dVd = gds, dId/dVs = -(gm + gds).
+    st.jacobian(m.drain, m.gate, e.gm);
+    st.jacobian(m.drain, m.drain, e.gds);
+    st.jacobian(m.drain, m.source, -(e.gm + e.gds));
+    st.jacobian(m.source, m.gate, -e.gm);
+    st.jacobian(m.source, m.drain, -e.gds);
+    st.jacobian(m.source, m.source, e.gm + e.gds);
+  }
+
+  for (const auto& nlel : nl.nonlinears()) {
+    const double v = voltage_of(x, nlel.a) - voltage_of(x, nlel.b);
+    double g = 0.0;
+    const double i = nlel.law.law(v, &g);
+    st.current(nlel.a, i);
+    st.current(nlel.b, -i);
+    st.jacobian(nlel.a, nlel.a, g);
+    st.jacobian(nlel.a, nlel.b, -g);
+    st.jacobian(nlel.b, nlel.a, -g);
+    st.jacobian(nlel.b, nlel.b, g);
+  }
+
+  for (const auto& s : nl.isources()) {
+    st.current(s.from, s.amps);
+    st.current(s.to, -s.amps);
+  }
+
+  // Voltage sources: branch current i_k flows out of the + pin.
+  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
+    const auto& s = nl.vsources()[k];
+    const std::size_t branch = nv + k;
+    const double ik = x[branch];
+    // KCL contribution: i_k leaves the source into node pos.
+    st.current(s.pos, -ik);
+    st.current(s.neg, ik);
+    st.jacobian_branch(s.pos, branch, -1.0);
+    st.jacobian_branch(s.neg, branch, 1.0);
+    // Branch equation: v_pos - v_neg = volts.
+    f[branch] = voltage_of(x, s.pos) - voltage_of(x, s.neg) - s.volts;
+    if (j != nullptr) {
+      if (s.pos != kGround) (*j)(branch, node_index(s.pos)) += 1.0;
+      if (s.neg != kGround) (*j)(branch, node_index(s.neg)) -= 1.0;
+    }
+  }
+}
+
+}  // namespace
+
+namespace {
+
+/// SPICE-style junction limiting (Nagel's pnjlim, adapted): any upward move
+/// of a conducting junction beyond 2 kT/q is tapered logarithmically.  The
+/// classic formulation gates on a critical voltage derived from Is, but our
+/// junctions operate at nanoamperes — far below vcrit — where the
+/// exponential is already stiff relative to the signal scale, so the taper
+/// applies whenever the junction is forward biased.
+double pnjlim(double vnew, double vold, double vt) {
+  if (vold > 0.0 && std::abs(vnew - vold) > 2.0 * vt) {
+    // Symmetric taper: limiting only the upward direction leaves a tiny
+    // limit cycle around the operating point.
+    const double mag = vt * std::log(1.0 + std::abs(vnew - vold) / vt);
+    return vold + (vnew > vold ? mag : -mag);
+  }
+  if (vold <= 0.0 && vnew > 2.0 * vt) {
+    return 2.0 * vt;  // entering conduction from reverse bias
+  }
+  return vnew;
+}
+
+/// Applies pnjlim to every diode in the netlist by nudging the trial node
+/// voltages; returns true if any junction was limited.  The per-device
+/// decoupling lets the rest of the circuit take full Newton steps while
+/// each exponential junction inches up.
+bool limit_junctions(const Netlist& nl, const DcOptions& opts,
+                     const numeric::Vector& x, numeric::Vector& x_trial) {
+  auto value_of = [](const numeric::Vector& v, NodeId n) {
+    return n == kGround ? 0.0 : v[node_index(n)];
+  };
+  bool limited = false;
+  for (const auto& d : nl.diodes()) {
+    const double nvt =
+        d.params.ideality * thermal_voltage(opts.temperature_c);
+    const double vd_old = value_of(x, d.anode) - value_of(x, d.cathode);
+    const double vd_new =
+        value_of(x_trial, d.anode) - value_of(x_trial, d.cathode);
+    const double vd_lim = pnjlim(vd_new, vd_old, nvt);
+    if (vd_lim == vd_new) continue;
+    limited = true;
+    const double delta = vd_new - vd_lim;
+    const bool anode_free = d.anode != kGround;
+    const bool cathode_free = d.cathode != kGround;
+    if (anode_free && cathode_free) {
+      x_trial[node_index(d.anode)] -= 0.5 * delta;
+      x_trial[node_index(d.cathode)] += 0.5 * delta;
+    } else if (anode_free) {
+      x_trial[node_index(d.anode)] -= delta;
+    } else if (cathode_free) {
+      x_trial[node_index(d.cathode)] += delta;
+    }
+  }
+  return limited;
+}
+
+/// One Newton run at fixed options; `x` is used as the initial guess and
+/// holds the final iterate on return.
+OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
+                          const ExtraStamp& extra, numeric::Vector& x) {
+  const std::size_t nv = netlist.node_count() - 1;
+  const std::size_t ns = netlist.voltage_source_count();
+  const std::size_t dim = nv + ns;
+  // Node voltages far outside the supply range are unphysical; clamping
+  // keeps cut-off floating nodes from drifting (their only conductance to
+  // anywhere is gmin).
+  constexpr double kVoltageClamp = 10.0;
+
+  numeric::Vector f(dim, 0.0);
+  numeric::Matrix j(dim, dim);
+
+  OperatingPoint op;
+  op.node_voltage.assign(netlist.node_count(), 0.0);
+  op.vsource_current.assign(ns, 0.0);
+
+  numeric::Vector x_trial(dim);
+  numeric::Matrix j_scratch;
+  numeric::Vector dx(dim);
+
+  // Anti-oscillation damping: full Newton steps can enter a period-2 cycle
+  // across a device region boundary.  When the residual stops improving,
+  // damp the step (any asymmetric scaling breaks a 2-cycle); reset the
+  // damping as soon as progress resumes.
+  double damping = 1.0;
+  double best_residual = std::numeric_limits<double>::infinity();
+  int stagnant = 0;
+
+  double node_residual = 0.0;
+  for (int iter = 1; iter <= options.max_iterations; ++iter) {
+    assemble(netlist, options, x, f, &j);
+    if (extra) extra(x, f, &j);
+
+    node_residual = 0.0;
+    for (std::size_t i = 0; i < nv; ++i)
+      node_residual = std::max(node_residual, std::abs(f[i]));
+    double branch_residual = 0.0;
+    for (std::size_t i = nv; i < dim; ++i)
+      branch_residual = std::max(branch_residual, std::abs(f[i]));
+
+    op.iterations = iter;
+    // Converged: KCL satisfied at every node and every source branch
+    // equation met.  The raw Newton correction is deliberately NOT part of
+    // the test: on a saturated plateau the Jacobian is near-singular along
+    // float directions, so a physically-converged point can still produce
+    // a large (irrelevant) dx.
+    if (node_residual < options.residual_tol &&
+        branch_residual < options.voltage_tol) {
+      op.converged = true;
+      break;
+    }
+
+    for (std::size_t i = 0; i < dim; ++i) dx[i] = -f[i];
+    j_scratch = j;  // reuses its buffer after the first iteration
+    numeric::solve_in_place(j_scratch, dx);
+
+    // Limit the voltage step while preserving the Newton direction.
+    double max_dv = 0.0;
+    for (std::size_t i = 0; i < nv; ++i)
+      max_dv = std::max(max_dv, std::abs(dx[i]));
+
+    if (node_residual < best_residual * (1.0 - 5e-3) ||
+        node_residual < options.residual_tol) {
+      best_residual = std::min(best_residual, node_residual);
+      stagnant = 0;
+      damping = 1.0;
+    } else if (++stagnant >= 8) {
+      damping = std::max(damping * 0.5, 1.0 / 256.0);
+      stagnant = 0;
+    }
+
+    // SPICE-style globalization: a global voltage-step clamp plus
+    // per-junction limiting, no line search.  A merit-decrease rule was
+    // tried here and crawls: crossing a stiff exponential needs transient
+    // residual growth that any monotone acceptance test rejects.
+    const double scale =
+        damping *
+        (max_dv > options.step_limit ? options.step_limit / max_dv : 1.0);
+    for (std::size_t i = 0; i < dim; ++i)
+      x_trial[i] = x[i] + scale * dx[i];
+    limit_junctions(netlist, options, x, x_trial);
+    for (std::size_t i = 0; i < nv; ++i)
+      x_trial[i] = std::clamp(x_trial[i], -kVoltageClamp, kVoltageClamp);
+    x = x_trial;
+
+    if (std::getenv("PPUF_NEWTON_TRACE") != nullptr) {
+      std::fprintf(stderr, "iter %d resid=%.3e max_dv=%.3e scale=%.3e\n",
+                   iter, node_residual, max_dv, scale);
+    }
+
+    if (!std::isfinite(x[0]))
+      throw std::runtime_error("solve_newton: diverged to non-finite values");
+  }
+
+  for (std::size_t i = 0; i < nv; ++i) op.node_voltage[i + 1] = x[i];
+  for (std::size_t k = 0; k < ns; ++k) op.vsource_current[k] = x[nv + k];
+  op.residual = node_residual;
+  return op;
+}
+
+}  // namespace
+
+OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
+                            const ExtraStamp& extra,
+                            const OperatingPoint* warm_start) {
+  const std::size_t nv = netlist.node_count() - 1;
+  const std::size_t ns = netlist.voltage_source_count();
+  const std::size_t dim = nv + ns;
+  if (dim == 0) throw std::invalid_argument("solve_newton: empty netlist");
+
+  numeric::Vector x(dim, 0.0);
+  if (warm_start != nullptr &&
+      warm_start->node_voltage.size() == netlist.node_count() &&
+      warm_start->vsource_current.size() == ns) {
+    for (std::size_t i = 0; i < nv; ++i)
+      x[i] = warm_start->node_voltage[i + 1];
+    for (std::size_t k = 0; k < ns; ++k)
+      x[nv + k] = warm_start->vsource_current[k];
+  }
+
+  OperatingPoint op = run_newton(netlist, options, extra, x);
+  if (op.converged) return op;
+
+  // Gmin stepping: solve a heavily damped version first (every node leaks
+  // to ground), then walk gmin back down, warm-starting each stage — the
+  // classic SPICE continuation for circuits whose devices are all cut off.
+  int total_iterations = op.iterations;
+  x.assign(dim, 0.0);
+  for (double gmin = 1e-4; gmin >= options.gmin * 0.99; gmin *= 1e-2) {
+    DcOptions stage = options;
+    stage.gmin = gmin;
+    // Intermediate stages only need to hand over a good starting point.
+    stage.residual_tol = std::max(options.residual_tol, gmin * 1e-3);
+    op = run_newton(netlist, stage, extra, x);
+    total_iterations += op.iterations;
+  }
+  op = run_newton(netlist, options, extra, x);
+  op.iterations += total_iterations;
+  return op;
+}
+
+}  // namespace detail
+
+DcSolver::DcSolver(const Netlist& netlist, DcOptions options)
+    : netlist_(netlist), options_(options) {}
+
+OperatingPoint DcSolver::solve(const OperatingPoint* warm_start) const {
+  return detail::solve_newton(netlist_, options_, nullptr, warm_start);
+}
+
+}  // namespace ppuf::circuit

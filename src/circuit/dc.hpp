@@ -1,0 +1,56 @@
+// DC operating-point solver: modified nodal analysis with damped Newton.
+// This is the "SPICE" of the project — Section 5 of the paper acquires all
+// circuit outputs from SPICE; we acquire them from here.
+//
+// Debugging: set the environment variable PPUF_NEWTON_TRACE=1 to stream a
+// per-iteration residual/step trace to stderr.
+#pragma once
+
+#include "circuit/netlist.hpp"
+#include "numeric/matrix.hpp"
+
+namespace ppuf::circuit {
+
+struct DcOptions {
+  int max_iterations = 200;
+  double voltage_tol = 1e-8;       ///< convergence: max |dV| [V]
+  /// Convergence: max node KCL error [A].  10 pA is ~0.03% of the ~30 nA
+  /// block currents — far below the process-variation signal.
+  double residual_tol = 1e-11;
+  double step_limit = 0.3;         ///< max |dV| applied per iteration [V]
+  double gmin = 1e-12;             ///< conductance from every node to ground
+  double temperature_c = 27.0;     ///< device temperature
+};
+
+/// Solution of a DC analysis.
+struct OperatingPoint {
+  numeric::Vector node_voltage;     ///< indexed by NodeId (ground included, 0)
+  numeric::Vector vsource_current;  ///< current out of each source's + pin
+  int iterations = 0;
+  bool converged = false;
+  double residual = 0.0;            ///< final max KCL error [A]
+
+  double voltage(NodeId n) const { return node_voltage.at(n); }
+  /// Current delivered by voltage source `handle` (flowing out of its
+  /// positive terminal into the circuit).
+  double source_current(std::size_t handle) const {
+    return vsource_current.at(handle);
+  }
+};
+
+class DcSolver {
+ public:
+  explicit DcSolver(const Netlist& netlist, DcOptions options = {});
+
+  /// Solve for the operating point.  `warm_start` (a previous solution for
+  /// the same netlist) accelerates sweeps; pass nullptr for a cold start.
+  OperatingPoint solve(const OperatingPoint* warm_start = nullptr) const;
+
+  const DcOptions& options() const { return options_; }
+
+ private:
+  const Netlist& netlist_;
+  DcOptions options_;
+};
+
+}  // namespace ppuf::circuit

@@ -1,0 +1,72 @@
+#include "circuit/devices.hpp"
+
+#include <cmath>
+
+namespace ppuf::circuit {
+
+double thermal_voltage(double temperature_c) {
+  constexpr double kBoltzmannOverCharge = 8.617333262e-5;  // V/K
+  return kBoltzmannOverCharge * (temperature_c + 273.15);
+}
+
+DiodeEval eval_diode(const DiodeParams& p, double vd, double temperature_c) {
+  const double nvt = p.ideality * thermal_voltage(temperature_c);
+  DiodeEval out;
+  if (vd <= p.linearize_above) {
+    const double e = std::exp(vd / nvt);
+    out.current = p.saturation_current * (e - 1.0);
+    out.conductance = p.saturation_current * e / nvt;
+  } else {
+    // C1 linear continuation above the limiting voltage so Newton never
+    // sees an overflowing exponential.
+    const double e = std::exp(p.linearize_above / nvt);
+    const double i0 = p.saturation_current * (e - 1.0);
+    const double g0 = p.saturation_current * e / nvt;
+    out.current = i0 + g0 * (vd - p.linearize_above);
+    out.conductance = g0;
+  }
+  return out;
+}
+
+namespace {
+
+/// Forward-mode evaluation with vds >= 0.
+MosfetEval eval_forward(const MosfetParams& p, double vgs, double vds) {
+  MosfetEval out;
+  const double vov = vgs - p.vth;
+  if (vov <= 0.0) return out;  // cutoff: Id = gm = gds = 0 (C1 at vov = 0)
+  const double clm = 1.0 + p.lambda * vds;
+  if (vds < vov) {
+    // Triode.  Applying the (1 + lambda vds) factor in both regions keeps
+    // the characteristic C1 at the vds = vov boundary.
+    const double base = p.transconductance * (vov * vds - 0.5 * vds * vds);
+    out.id = base * clm;
+    out.gm = p.transconductance * vds * clm;
+    out.gds = p.transconductance * (vov - vds) * clm + base * p.lambda;
+  } else {
+    // Saturation.
+    const double base = 0.5 * p.transconductance * vov * vov;
+    out.id = base * clm;
+    out.gm = p.transconductance * vov * clm;
+    out.gds = base * p.lambda;
+  }
+  return out;
+}
+
+}  // namespace
+
+MosfetEval eval_mosfet(const MosfetParams& p, double vgs, double vds) {
+  if (vds >= 0.0) return eval_forward(p, vgs, vds);
+  // Reverse operation: source and drain exchange roles.  The gate-source
+  // voltage of the effective device is vgd = vgs - vds; current direction
+  // flips.  Derivatives follow from the chain rule:
+  //   id(vgs, vds) = -id_f(vgs - vds, -vds)
+  const MosfetEval f = eval_forward(p, vgs - vds, -vds);
+  MosfetEval out;
+  out.id = -f.id;
+  out.gm = -f.gm;
+  out.gds = f.gm + f.gds;
+  return out;
+}
+
+}  // namespace ppuf::circuit

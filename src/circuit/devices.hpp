@@ -1,0 +1,54 @@
+// Compact device models for the DC/transient solver: Shockley diode and a
+// level-1 (square-law) MOSFET with channel-length modulation.  The paper
+// simulates with the 32 nm predictive technology model in SPICE; channel-
+// length modulation here plays the role of the "short channel effects" whose
+// saturation-current error the source-degeneration technique suppresses
+// (Requirements 1-2, Fig. 3a).
+//
+// All evaluations return both the current and its partial derivatives so the
+// Newton solver can stamp the Jacobian directly.  Every characteristic is C1
+// across region boundaries, which Newton needs for reliable convergence.
+#pragma once
+
+namespace ppuf::circuit {
+
+/// Thermal voltage kT/q at the given temperature in Celsius.
+double thermal_voltage(double temperature_c);
+
+/// Shockley diode parameters.
+struct DiodeParams {
+  double saturation_current = 1e-11;  ///< Is [A] at the reference temperature
+  double ideality = 1.0;              ///< emission coefficient n
+  /// Exponent overflow guard: the exponential is linearised above this
+  /// forward bias (C1 continuation), like SPICE's junction limiting.
+  double linearize_above = 0.9;       ///< [V]
+};
+
+struct DiodeEval {
+  double current = 0.0;      ///< Id [A]
+  double conductance = 0.0;  ///< dId/dVd [S]
+};
+
+/// Diode current/conductance at forward bias vd (negative = reverse).
+DiodeEval eval_diode(const DiodeParams& p, double vd,
+                     double temperature_c = 27.0);
+
+/// Level-1 NMOS parameters.  `transconductance` is k = mu Cox W/L.
+struct MosfetParams {
+  double vth = 0.4;               ///< threshold voltage [V]
+  double transconductance = 8e-6; ///< k [A/V^2]
+  double lambda = 0.3;            ///< channel-length modulation [1/V]
+};
+
+struct MosfetEval {
+  double id = 0.0;   ///< drain current, positive into the drain [A]
+  double gm = 0.0;   ///< dId/dVgs [S]
+  double gds = 0.0;  ///< dId/dVds [S]
+};
+
+/// Square-law NMOS evaluation.  Handles cutoff / triode / saturation and
+/// reverse operation (vds < 0) by symmetric source/drain exchange, so the
+/// Newton solver can walk through any intermediate state.
+MosfetEval eval_mosfet(const MosfetParams& p, double vgs, double vds);
+
+}  // namespace ppuf::circuit

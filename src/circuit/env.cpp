@@ -1,0 +1,30 @@
+#include "circuit/env.hpp"
+
+#include <cmath>
+
+namespace ppuf::circuit {
+
+namespace {
+constexpr double kReferenceC = 27.0;
+constexpr double kReferenceK = kReferenceC + 273.15;
+}  // namespace
+
+MosfetParams adjust_for_environment(const MosfetParams& params,
+                                    const Environment& env) {
+  MosfetParams p = params;
+  const double dt = env.temperature_c - kReferenceC;
+  p.vth = params.vth - 1e-3 * dt;  // -1 mV/K
+  const double t_ratio = (env.temperature_c + 273.15) / kReferenceK;
+  p.transconductance = params.transconductance * std::pow(t_ratio, -1.5);
+  return p;
+}
+
+DiodeParams adjust_for_environment(const DiodeParams& params,
+                                   const Environment& env) {
+  DiodeParams p = params;
+  const double dt = env.temperature_c - kReferenceC;
+  p.saturation_current = params.saturation_current * std::pow(2.0, dt / 10.0);
+  return p;
+}
+
+}  // namespace ppuf::circuit

@@ -1,0 +1,28 @@
+// Environmental conditions for intra-class (reliability) evaluation.
+// Table 1 of the paper accounts for 10% supply-voltage variation and
+// temperature from -20C to 80C; these helpers derate the device parameters
+// accordingly.
+#pragma once
+
+#include "circuit/devices.hpp"
+
+namespace ppuf::circuit {
+
+struct Environment {
+  double vdd_scale = 1.0;        ///< multiplies every supply rail
+  double temperature_c = 27.0;   ///< junction temperature
+
+  static Environment nominal() { return {}; }
+};
+
+/// Temperature-derated MOSFET: Vth drifts at about -1 mV/K and mobility
+/// (hence k) scales as (T/T0)^-1.5, the standard first-order model.
+MosfetParams adjust_for_environment(const MosfetParams& params,
+                                    const Environment& env);
+
+/// Temperature-derated diode: saturation current roughly doubles every
+/// 10 K around the reference temperature.
+DiodeParams adjust_for_environment(const DiodeParams& params,
+                                   const Environment& env);
+
+}  // namespace ppuf::circuit

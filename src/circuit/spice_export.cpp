@@ -1,0 +1,107 @@
+#include "circuit/spice_export.hpp"
+
+#include <iomanip>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+namespace ppuf::circuit {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(9) << std::scientific << v;
+  return os.str();
+}
+
+/// Deduplicated .model card registry keyed by the parameter tuple.
+template <typename Key>
+class ModelRegistry {
+ public:
+  explicit ModelRegistry(std::string prefix) : prefix_(std::move(prefix)) {}
+
+  const std::string& name_for(const Key& key) {
+    auto [it, inserted] =
+        names_.try_emplace(key, prefix_ + std::to_string(names_.size()));
+    (void)inserted;
+    return it->second;
+  }
+
+  const std::map<Key, std::string>& all() const { return names_; }
+
+ private:
+  std::string prefix_;
+  std::map<Key, std::string> names_;
+};
+
+}  // namespace
+
+void export_spice(const Netlist& nl, std::ostream& os,
+                  const SpiceExportOptions& options) {
+  os << "* " << options.title << "\n";
+  os << "* exported by maxflow-ppuf (level-1 cards; see DESIGN.md)\n";
+
+  using MosKey = std::tuple<double, double, double>;
+  using DioKey = std::tuple<double, double>;
+  ModelRegistry<MosKey> mos_models("NM");
+  ModelRegistry<DioKey> dio_models("DM");
+
+  std::size_t idx = 0;
+  for (const auto& r : nl.resistors()) {
+    os << "R" << idx++ << ' ' << r.a << ' ' << r.b << ' '
+       << fmt(r.resistance) << "\n";
+  }
+  idx = 0;
+  for (const auto& c : nl.capacitors()) {
+    os << "C" << idx++ << ' ' << c.a << ' ' << c.b << ' '
+       << fmt(c.capacitance) << "\n";
+  }
+  idx = 0;
+  for (const auto& d : nl.diodes()) {
+    const std::string& model = dio_models.name_for(
+        {d.params.saturation_current, d.params.ideality});
+    os << "D" << idx++ << ' ' << d.anode << ' ' << d.cathode << ' ' << model
+       << "\n";
+  }
+  idx = 0;
+  for (const auto& m : nl.mosfets()) {
+    const std::string& model = mos_models.name_for(
+        {m.params.vth, m.params.transconductance, m.params.lambda});
+    // Source doubles as bulk (no body effect in the level-1 substitution).
+    os << "M" << idx++ << ' ' << m.drain << ' ' << m.gate << ' ' << m.source
+       << ' ' << m.source << ' ' << model << "\n";
+  }
+  idx = 0;
+  for (const auto& v : nl.vsources()) {
+    os << "V" << idx++ << ' ' << v.pos << ' ' << v.neg << " DC "
+       << fmt(v.volts) << "\n";
+  }
+  idx = 0;
+  for (const auto& i : nl.isources()) {
+    // SPICE convention: current flows from node+ through the source to
+    // node-; our ISource pushes from `from` into `to`.
+    os << "I" << idx++ << ' ' << i.from << ' ' << i.to << " DC "
+       << fmt(i.amps) << "\n";
+  }
+  if (!nl.nonlinears().empty()) {
+    os << "* note: " << nl.nonlinears().size()
+       << " behavioural element(s) omitted (no closed-form SPICE card)\n";
+  }
+
+  for (const auto& [key, name] : dio_models.all()) {
+    os << ".model " << name << " D (IS=" << fmt(std::get<0>(key))
+       << " N=" << fmt(std::get<1>(key)) << ")\n";
+  }
+  for (const auto& [key, name] : mos_models.all()) {
+    // Level 1: KP is mu*Cox; with W=L=1 the card's KP equals our k.
+    os << ".model " << name << " NMOS (LEVEL=1 VTO=" << fmt(std::get<0>(key))
+       << " KP=" << fmt(std::get<1>(key))
+       << " LAMBDA=" << fmt(std::get<2>(key)) << ")\n";
+  }
+
+  if (options.operating_point) os << ".op\n";
+  os << ".end\n";
+}
+
+}  // namespace ppuf::circuit

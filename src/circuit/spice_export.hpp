@@ -1,0 +1,28 @@
+// SPICE netlist export.
+//
+// The paper's reference results come from HSPICE on the 32 nm PTM; this
+// exporter emits any of our netlists (a building block, a Fig. 3 test
+// stage, ...) as a standard .cir deck with level-1 device cards, so the
+// substitution documented in DESIGN.md can be cross-checked against a real
+// SPICE engine (ngspice et al.) outside this repository.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "circuit/netlist.hpp"
+
+namespace ppuf::circuit {
+
+struct SpiceExportOptions {
+  std::string title = "ppuf netlist";
+  /// Emit a .op card (DC operating point).
+  bool operating_point = true;
+};
+
+/// Writes a SPICE deck for the netlist.  Every distinct MOSFET/diode
+/// parameter set becomes its own .model card.  Node 0 is SPICE ground.
+void export_spice(const Netlist& netlist, std::ostream& os,
+                  const SpiceExportOptions& options = {});
+
+}  // namespace ppuf::circuit

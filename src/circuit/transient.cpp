@@ -1,0 +1,73 @@
+#include "circuit/transient.hpp"
+
+#include <stdexcept>
+
+#include "circuit/newton_core.hpp"
+
+namespace ppuf::circuit {
+
+TransientSolver::TransientSolver(const Netlist& netlist,
+                                 TransientOptions options)
+    : netlist_(netlist), options_(options) {
+  if (options_.dt <= 0.0 || options_.t_end <= 0.0)
+    throw std::invalid_argument("TransientSolver: dt and t_end must be > 0");
+}
+
+void TransientSolver::run(const TransientObserver& observer,
+                          const numeric::Vector* initial) const {
+  const std::size_t node_count = netlist_.node_count();
+  numeric::Vector v_prev(node_count, 0.0);
+  if (initial != nullptr) {
+    if (initial->size() != node_count)
+      throw std::invalid_argument("TransientSolver: bad initial size");
+    v_prev = *initial;
+  }
+
+  OperatingPoint prev_op;
+  prev_op.node_voltage = v_prev;
+  prev_op.vsource_current.assign(netlist_.voltage_source_count(), 0.0);
+  if (observer) observer(0.0, prev_op);
+
+  const double g_dt = 1.0 / options_.dt;
+  for (double t = options_.dt; t <= options_.t_end + 0.5 * options_.dt;
+       t += options_.dt) {
+    // Backward-Euler companion: each capacitor becomes a conductance C/dt
+    // in parallel with a history current source -C/dt * v_prev.
+    auto stamp_caps = [&](const numeric::Vector& x, numeric::Vector& f,
+                          numeric::Matrix* j) {
+      for (const auto& c : netlist_.capacitors()) {
+        const double g = c.capacitance * g_dt;
+        const double va = c.a == kGround ? 0.0 : x[c.a - 1];
+        const double vb = c.b == kGround ? 0.0 : x[c.b - 1];
+        const double va_prev = v_prev[c.a];
+        const double vb_prev = v_prev[c.b];
+        const double i = g * ((va - vb) - (va_prev - vb_prev));
+        if (c.a != kGround) {
+          f[c.a - 1] += i;
+          if (j != nullptr) {
+            (*j)(c.a - 1, c.a - 1) += g;
+            if (c.b != kGround) (*j)(c.a - 1, c.b - 1) -= g;
+          }
+        }
+        if (c.b != kGround) {
+          f[c.b - 1] -= i;
+          if (j != nullptr) {
+            (*j)(c.b - 1, c.b - 1) += g;
+            if (c.a != kGround) (*j)(c.b - 1, c.a - 1) -= g;
+          }
+        }
+      }
+    };
+
+    OperatingPoint op = detail::solve_newton(netlist_, options_.dc,
+                                             stamp_caps, &prev_op);
+    if (!op.converged)
+      throw std::runtime_error("TransientSolver: Newton failed at t=" +
+                               std::to_string(t));
+    v_prev = op.node_voltage;
+    prev_op = op;
+    if (observer) observer(t, op);
+  }
+}
+
+}  // namespace ppuf::circuit

@@ -1,0 +1,38 @@
+// Transient analysis (backward Euler) over a netlist with capacitors.
+// Used to measure the PPUF execution delay: the time for the source current
+// to settle after the challenge step (Section 3.3 bounds this by the node
+// charging delays).
+#pragma once
+
+#include <functional>
+
+#include "circuit/dc.hpp"
+
+namespace ppuf::circuit {
+
+struct TransientOptions {
+  double dt = 1e-9;     ///< fixed step [s]
+  double t_end = 1e-6;  ///< end of the analysis window [s]
+  DcOptions dc;         ///< Newton options used within each step
+};
+
+/// Observer invoked after every accepted step (and once at t = 0 with the
+/// initial condition).
+using TransientObserver =
+    std::function<void(double time, const OperatingPoint& op)>;
+
+class TransientSolver {
+ public:
+  TransientSolver(const Netlist& netlist, TransientOptions options);
+
+  /// Integrate from t = 0 with the given initial node voltages (all zero if
+  /// nullptr — the discharged state before the challenge is applied).
+  void run(const TransientObserver& observer,
+           const numeric::Vector* initial_node_voltages = nullptr) const;
+
+ private:
+  const Netlist& netlist_;
+  TransientOptions options_;
+};
+
+}  // namespace ppuf::circuit

@@ -1,0 +1,34 @@
+#include "circuit/variation.hpp"
+
+namespace ppuf::circuit {
+
+SystematicSurface::SystematicSurface(const VariationModel& model,
+                                     util::Rng& rng) {
+  const double a = model.systematic_vth_amplitude;
+  gx_ = rng.gaussian(0.0, a);
+  gy_ = rng.gaussian(0.0, a);
+  bowl_ = rng.gaussian(0.0, a * 0.5);
+}
+
+double SystematicSurface::vth_shift(double x, double y) const {
+  const double cx = x - 0.5;
+  const double cy = y - 0.5;
+  return gx_ * cx + gy_ * cy + bowl_ * (cx * cx + cy * cy);
+}
+
+BlockVariation draw_block_variation(const VariationModel& model,
+                                    util::Rng& rng) {
+  BlockVariation v;
+  for (double& d : v.dvth) d = rng.gaussian(0.0, model.vth_sigma);
+  for (double& d : v.dr_rel) d = rng.gaussian(0.0, model.resistor_sigma_rel);
+  for (double& d : v.dis_rel) d = rng.gaussian(0.0, model.diode_is_sigma_rel);
+  return v;
+}
+
+void apply_systematic(BlockVariation& v, const SystematicSurface& surface,
+                      double x, double y) {
+  const double shift = surface.vth_shift(x, y);
+  for (double& d : v.dvth) d += shift;
+}
+
+}  // namespace ppuf::circuit

@@ -1,0 +1,58 @@
+// Process-variation model.  The paper assumes threshold-voltage variation
+// that is normal with sigma = 35 mV (ITRS-consistent) on the 32 nm node,
+// plus a systematic across-die component that the crossbar mitigates by
+// placing paired transistors from the two networks side by side
+// (Section 4.1).  We model both: a random per-transistor part and a smooth
+// positional part shared between paired devices.
+#pragma once
+
+#include <array>
+
+#include "util/rng.hpp"
+
+namespace ppuf::circuit {
+
+struct VariationModel {
+  double vth_sigma = 0.035;        ///< random Vth spread [V] (paper/ITRS)
+  double resistor_sigma_rel = 0.02;///< relative spread of poly resistors
+  double diode_is_sigma_rel = 0.05;///< relative spread of diode Is
+  /// Peak-to-centre amplitude of the systematic across-die Vth surface [V].
+  double systematic_vth_amplitude = 0.010;
+};
+
+/// Smooth across-die Vth surface: a random linear gradient plus a random
+/// bowl term, the classic first-order systematic model.  Evaluated at
+/// normalised die coordinates in [0,1]^2.
+class SystematicSurface {
+ public:
+  SystematicSurface() = default;  ///< flat surface (no systematic variation)
+  SystematicSurface(const VariationModel& model, util::Rng& rng);
+
+  double vth_shift(double x, double y) const;
+
+ private:
+  double gx_ = 0.0;
+  double gy_ = 0.0;
+  double bowl_ = 0.0;
+};
+
+/// Random draws for one building block: four transistors (M1, M2 and M3, M4
+/// of the two series stages), two degeneration resistors, two diodes.
+struct BlockVariation {
+  std::array<double, 4> dvth{};    ///< additive Vth shifts [V]
+  std::array<double, 2> dr_rel{};  ///< relative resistor deviations
+  std::array<double, 2> dis_rel{}; ///< relative diode Is deviations
+};
+
+/// Draw the random (mismatch) part of a block's variation.
+BlockVariation draw_block_variation(const VariationModel& model,
+                                    util::Rng& rng);
+
+/// Add the systematic surface contribution for a block placed at normalised
+/// die position (x, y).  Both networks' blocks at the same crossbar position
+/// receive the same shift (side-by-side placement), so the differential
+/// structure cancels it.
+void apply_systematic(BlockVariation& v, const SystematicSurface& surface,
+                      double x, double y);
+
+}  // namespace ppuf::circuit

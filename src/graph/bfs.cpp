@@ -1,0 +1,105 @@
+#include "graph/bfs.hpp"
+
+#include <atomic>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+
+namespace ppuf::graph {
+
+std::vector<std::uint32_t> bfs_distances(std::size_t vertex_count,
+                                         VertexId source,
+                                         const NeighborFn& neighbors) {
+  if (source >= vertex_count)
+    throw std::out_of_range("bfs_distances: source out of range");
+  std::vector<std::uint32_t> dist(vertex_count, kUnreachable);
+  std::vector<VertexId> frontier{source};
+  std::vector<VertexId> next;
+  std::vector<VertexId> scratch;
+  dist[source] = 0;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (VertexId v : frontier) {
+      scratch.clear();
+      neighbors(v, scratch);
+      for (VertexId w : scratch) {
+        if (dist[w] == kUnreachable) {
+          dist[w] = level;
+          next.push_back(w);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+bool reachable(std::size_t vertex_count, VertexId source, VertexId target,
+               const NeighborFn& neighbors) {
+  if (target >= vertex_count)
+    throw std::out_of_range("reachable: target out of range");
+  if (source == target) return true;
+  const auto dist = bfs_distances(vertex_count, source, neighbors);
+  return dist[target] != kUnreachable;
+}
+
+std::vector<std::uint32_t> bfs_distances_parallel(
+    std::size_t vertex_count, VertexId source, const NeighborFn& neighbors,
+    unsigned thread_count) {
+  if (thread_count <= 1) return bfs_distances(vertex_count, source, neighbors);
+  if (source >= vertex_count)
+    throw std::out_of_range("bfs_distances_parallel: source out of range");
+
+  std::vector<std::uint32_t> dist(vertex_count, kUnreachable);
+  // One atomic claim flag per vertex so two threads cannot both enqueue it.
+  auto claimed = std::make_unique<std::atomic<bool>[]>(vertex_count);
+  for (std::size_t i = 0; i < vertex_count; ++i)
+    claimed[i].store(false, std::memory_order_relaxed);
+
+  std::vector<VertexId> frontier{source};
+  claimed[source].store(true, std::memory_order_relaxed);
+  dist[source] = 0;
+  std::uint32_t level = 0;
+
+  while (!frontier.empty()) {
+    ++level;
+    std::vector<std::vector<VertexId>> next_local(thread_count);
+    const std::size_t chunk =
+        (frontier.size() + thread_count - 1) / thread_count;
+
+    auto worker = [&](unsigned t) {
+      const std::size_t begin = t * chunk;
+      const std::size_t end = std::min(begin + chunk, frontier.size());
+      std::vector<VertexId> scratch;
+      for (std::size_t i = begin; i < end; ++i) {
+        scratch.clear();
+        neighbors(frontier[i], scratch);
+        for (VertexId w : scratch) {
+          bool expected = false;
+          if (claimed[w].compare_exchange_strong(expected, true,
+                                                 std::memory_order_relaxed)) {
+            next_local[t].push_back(w);
+          }
+        }
+      }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(thread_count);
+    for (unsigned t = 1; t < thread_count; ++t) threads.emplace_back(worker, t);
+    worker(0);
+    for (auto& th : threads) th.join();
+
+    std::vector<VertexId> next;
+    for (auto& local : next_local) {
+      for (VertexId w : local) dist[w] = level;
+      next.insert(next.end(), local.begin(), local.end());
+    }
+    frontier.swap(next);
+  }
+  return dist;
+}
+
+}  // namespace ppuf::graph

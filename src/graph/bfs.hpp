@@ -1,0 +1,39 @@
+// Breadth-first search over an adjacency oracle.  Serial and multi-threaded
+// frontier-parallel variants; the parallel one backs the paper's O(n^2/p)
+// residual-graph verification argument (Section 2).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "graph/digraph.hpp"
+
+namespace ppuf::graph {
+
+/// Adjacency oracle: appends the successors of v to `out`.  Using a callback
+/// lets the same BFS run over a Digraph or over an implicit residual graph
+/// without materialising it.
+using NeighborFn =
+    std::function<void(VertexId v, std::vector<VertexId>& out)>;
+
+/// Distances (in hops) from source; kUnreachable for unreached vertices.
+constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+std::vector<std::uint32_t> bfs_distances(std::size_t vertex_count,
+                                         VertexId source,
+                                         const NeighborFn& neighbors);
+
+/// True if `target` is reachable from `source`.
+bool reachable(std::size_t vertex_count, VertexId source, VertexId target,
+               const NeighborFn& neighbors);
+
+/// Frontier-parallel BFS using `thread_count` worker threads (1 = serial
+/// fallback).  Each level's frontier is split across threads; next-level
+/// claims are made with atomic flags.  Produces the same distances as
+/// bfs_distances.
+std::vector<std::uint32_t> bfs_distances_parallel(
+    std::size_t vertex_count, VertexId source, const NeighborFn& neighbors,
+    unsigned thread_count);
+
+}  // namespace ppuf::graph

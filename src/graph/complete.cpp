@@ -1,0 +1,50 @@
+#include "graph/complete.hpp"
+
+#include <stdexcept>
+
+namespace ppuf::graph {
+
+Digraph make_complete(std::size_t n, const CapacityFn& capacity) {
+  if (n < 2) throw std::invalid_argument("make_complete: need n >= 2");
+  Digraph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      g.add_edge(i, j, capacity(i, j));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+Digraph make_complete_uniform(std::size_t n, util::Rng& rng, double lo,
+                              double hi) {
+  return make_complete(
+      n, [&](VertexId, VertexId) { return rng.uniform(lo, hi); });
+}
+
+Digraph make_random(std::size_t n, double p, util::Rng& rng, double lo,
+                    double hi) {
+  if (n < 2) throw std::invalid_argument("make_random: need n >= 2");
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("make_random: p outside [0,1]");
+  Digraph g(n);
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.uniform() < p) g.add_edge(i, j, rng.uniform(lo, hi));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+EdgeId complete_edge_id(std::size_t n, VertexId from, VertexId to) {
+  if (from == to || from >= n || to >= n)
+    throw std::invalid_argument("complete_edge_id: bad pair");
+  // Row `from` has n-1 edges; within the row the diagonal is skipped.
+  const std::size_t col = to < from ? to : to - 1;
+  return static_cast<EdgeId>(from * (n - 1) + col);
+}
+
+}  // namespace ppuf::graph

@@ -1,0 +1,33 @@
+// Builders for the complete directed graphs the crossbar realises, plus
+// random graphs used by the max-flow test/bench workloads.
+#pragma once
+
+#include <functional>
+
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::graph {
+
+/// Capacity generator invoked per ordered pair (from, to).
+using CapacityFn = std::function<double(VertexId from, VertexId to)>;
+
+/// Complete directed graph on n vertices (m = n(n-1) edges), capacities from
+/// the generator.  The returned graph is finalized.  Edge ids are laid out
+/// row-major over ordered pairs, matching ppuf::CrossbarLayout.
+Digraph make_complete(std::size_t n, const CapacityFn& capacity);
+
+/// Complete graph with capacities uniform in [lo, hi).
+Digraph make_complete_uniform(std::size_t n, util::Rng& rng, double lo = 0.5,
+                              double hi = 1.5);
+
+/// Sparse random graph: each ordered pair gets an edge with probability p
+/// and uniform capacity in [lo, hi); s->t path existence is not guaranteed.
+Digraph make_random(std::size_t n, double p, util::Rng& rng, double lo = 0.5,
+                    double hi = 1.5);
+
+/// Edge id of the ordered pair (from, to) in a graph built by
+/// make_complete*: row-major over pairs with the diagonal skipped.
+EdgeId complete_edge_id(std::size_t n, VertexId from, VertexId to);
+
+}  // namespace ppuf::graph

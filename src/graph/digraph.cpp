@@ -1,0 +1,69 @@
+#include "graph/digraph.hpp"
+
+#include <stdexcept>
+
+namespace ppuf::graph {
+
+Digraph::Digraph(std::size_t vertex_count) : vertex_count_(vertex_count) {}
+
+EdgeId Digraph::add_edge(VertexId from, VertexId to, double capacity) {
+  if (from >= vertex_count_ || to >= vertex_count_)
+    throw std::out_of_range("Digraph::add_edge: vertex out of range");
+  if (capacity < 0.0)
+    throw std::invalid_argument("Digraph::add_edge: negative capacity");
+  finalized_ = false;
+  edges_.push_back(Edge{from, to, capacity});
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void Digraph::finalize() {
+  if (finalized_) return;
+  out_index_.assign(vertex_count_ + 1, 0);
+  for (const Edge& e : edges_) ++out_index_[e.from + 1];
+  for (std::size_t v = 0; v < vertex_count_; ++v)
+    out_index_[v + 1] += out_index_[v];
+  out_edge_ids_.resize(edges_.size());
+  std::vector<std::size_t> cursor(out_index_.begin(),
+                                  out_index_.end() - 1);
+  for (EdgeId e = 0; e < edges_.size(); ++e)
+    out_edge_ids_[cursor[edges_[e].from]++] = e;
+  finalized_ = true;
+}
+
+void Digraph::set_capacity(EdgeId e, double capacity) {
+  if (e >= edges_.size())
+    throw std::out_of_range("Digraph::set_capacity: bad edge id");
+  if (capacity < 0.0)
+    throw std::invalid_argument("Digraph::set_capacity: negative capacity");
+  edges_[e].capacity = capacity;
+}
+
+std::span<const EdgeId> Digraph::out_edges(VertexId v) const {
+  if (!finalized_)
+    throw std::logic_error("Digraph::out_edges: call finalize() first");
+  if (v >= vertex_count_)
+    throw std::out_of_range("Digraph::out_edges: vertex out of range");
+  return {out_edge_ids_.data() + out_index_[v],
+          out_index_[v + 1] - out_index_[v]};
+}
+
+bool Digraph::is_complete() const {
+  if (vertex_count_ < 2) return false;
+  if (edges_.size() != vertex_count_ * (vertex_count_ - 1)) return false;
+  std::vector<bool> seen(vertex_count_ * vertex_count_, false);
+  for (const Edge& e : edges_) {
+    if (e.from == e.to) return false;
+    const std::size_t key = e.from * vertex_count_ + e.to;
+    if (seen[key]) return false;  // parallel edge
+    seen[key] = true;
+  }
+  return true;
+}
+
+double Digraph::out_capacity(VertexId v) const {
+  double s = 0.0;
+  for (EdgeId e : out_edges(v)) s += edges_[e].capacity;
+  return s;
+}
+
+}  // namespace ppuf::graph

@@ -1,0 +1,103 @@
+#include "maxflow/approximate.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "maxflow/residual.hpp"
+
+namespace ppuf::maxflow {
+
+ApproximateResult solve_approximate(const graph::FlowProblem& problem,
+                                    double epsilon) {
+  if (problem.source == problem.sink)
+    throw std::invalid_argument("solve_approximate: source == sink");
+  if (epsilon < 0.0 || epsilon >= 1.0)
+    throw std::invalid_argument("solve_approximate: epsilon in [0, 1)");
+
+  const graph::Digraph& g = *problem.graph;
+  ResidualNetwork net(g);
+  const std::size_t n = net.vertex_count();
+  const auto m = static_cast<double>(g.edge_count());
+
+  double max_cap = 0.0;
+  for (const graph::Edge& e : g.edges()) max_cap = std::max(max_cap, e.capacity);
+
+  ApproximateResult result;
+  if (max_cap <= 0.0) {
+    result.edge_flow.assign(g.edge_count(), 0.0);
+    return result;
+  }
+
+  std::vector<graph::VertexId> parent_vertex(n);
+  std::vector<std::uint32_t> parent_arc(n);
+  std::vector<bool> visited(n);
+
+  // One BFS-augmentation pass restricted to residual >= delta; returns
+  // false when no such path remains.
+  auto augment_once = [&](double delta) {
+    std::fill(visited.begin(), visited.end(), false);
+    std::queue<graph::VertexId> queue;
+    queue.push(problem.source);
+    visited[problem.source] = true;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const graph::VertexId v = queue.front();
+      queue.pop();
+      const auto& arcs = net.arcs(v);
+      for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+        ++result.work;
+        const Arc& a = arcs[i];
+        if (a.residual < delta || visited[a.to]) continue;
+        visited[a.to] = true;
+        parent_vertex[a.to] = v;
+        parent_arc[a.to] = i;
+        if (a.to == problem.sink) {
+          found = true;
+          break;
+        }
+        queue.push(a.to);
+      }
+    }
+    if (!found) return false;
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (graph::VertexId v = problem.sink; v != problem.source;
+         v = parent_vertex[v]) {
+      bottleneck = std::min(
+          bottleneck, net.arcs(parent_vertex[v])[parent_arc[v]].residual);
+    }
+    for (graph::VertexId v = problem.sink; v != problem.source;
+         v = parent_vertex[v]) {
+      net.push(parent_vertex[v], parent_arc[v], bottleneck);
+    }
+    result.value += bottleneck;
+    return true;
+  };
+
+  // Start delta at the largest power of two <= max capacity.
+  double delta = std::pow(2.0, std::floor(std::log2(max_cap)));
+  const double floor_delta = net.epsilon();
+  for (;;) {
+    while (augment_once(delta)) {
+    }
+    // Certificate: every remaining augmenting path has bottleneck < delta,
+    // so at most one delta per edge crossing the bottleneck cut remains.
+    result.optimum_upper_bound = result.value + m * delta;
+    if (epsilon > 0.0 && result.value >=
+                             (1.0 - epsilon) * result.optimum_upper_bound) {
+      break;
+    }
+    if (delta <= floor_delta) {
+      // Exhausted the scaling: the flow is maximum up to rounding.
+      result.optimum_upper_bound = result.value;
+      break;
+    }
+    delta *= 0.5;
+  }
+
+  result.edge_flow = net.edge_flows(g);
+  return result;
+}
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,37 @@
+// Approximate max-flow.
+//
+// The paper's ESG argument must survive approximate computing: the cited
+// Kelner et al. algorithm gives an eps-approximation in O(m^{1+o(1)}
+// eps^{-2}) — still Omega(n^2) on complete graphs.  This module provides a
+// practical approximate solver (capacity-scaling augmentation with early
+// exit) that yields a certified (1 - eps) answer, so benches can measure
+// how much time approximation actually buys an attacker on PPUF instances.
+#pragma once
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+struct ApproximateResult {
+  double value = 0.0;              ///< achieved flow F
+  std::vector<double> edge_flow;   ///< feasible flow achieving `value`
+  /// Certified upper bound on the optimum: F* <= value + slack.
+  double optimum_upper_bound = 0.0;
+  std::uint64_t work = 0;
+
+  /// Certified approximation ratio value / F* >= value / upper bound.
+  double certified_ratio() const {
+    return optimum_upper_bound > 0.0 ? value / optimum_upper_bound : 1.0;
+  }
+};
+
+/// Capacity-scaling shortest-augmenting-path with early termination.
+/// Augments only along paths of bottleneck >= Delta, halving Delta each
+/// phase; after a phase every augmenting path has bottleneck < Delta, so
+/// the remaining deficit is < m * Delta — the certificate.  Stops once the
+/// certified ratio reaches 1 - epsilon.  epsilon = 0 reduces to the exact
+/// scaling algorithm.
+ApproximateResult solve_approximate(const graph::FlowProblem& problem,
+                                    double epsilon);
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,55 @@
+#include "maxflow/batch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace ppuf::maxflow {
+
+std::vector<FlowResult> solve_batch(
+    const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
+    unsigned thread_count) {
+  std::vector<FlowResult> results(problems.size());
+  if (problems.empty()) return results;
+
+  if (thread_count <= 1) {
+    const auto solver = make_solver(algorithm);
+    for (std::size_t i = 0; i < problems.size(); ++i)
+      results[i] = solver->solve(problems[i]);
+    return results;
+  }
+
+  // Work stealing via an atomic cursor; each worker owns its own solver
+  // instance (solvers are stateless but cheap to duplicate anyway).
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    const auto solver = make_solver(algorithm);
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= problems.size()) return;
+      try {
+        results[i] = solver->solve(problems[i]);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  const unsigned spawned =
+      std::min<unsigned>(thread_count,
+                         static_cast<unsigned>(problems.size()));
+  threads.reserve(spawned - 1);
+  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& th : threads) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace ppuf::maxflow

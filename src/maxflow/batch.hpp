@@ -1,0 +1,25 @@
+// Batch max-flow solving across worker threads.
+//
+// The paper's parallel-attack discussion (Section 2) concerns parallelism
+// *within* one max-flow instance — lower-bounded at O(n^2 log n / p).  An
+// attacker's cheaper parallelism is *across* instances: the two networks of
+// one challenge, or many CRPs of a model-building campaign, are independent
+// solves.  (The feedback chain of Section 3.3 is immune: round i+1's
+// instance is unknown until round i's response exists.)  This helper
+// provides that embarrassing parallelism with plain std::thread workers.
+#pragma once
+
+#include <vector>
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+/// Solve all problems with `thread_count` workers; results are returned in
+/// input order.  Each problem's graph must stay alive and unmodified for
+/// the duration of the call.  thread_count <= 1 runs serially.
+std::vector<FlowResult> solve_batch(
+    const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
+    unsigned thread_count);
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,95 @@
+#include "maxflow/dinic.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "maxflow/residual.hpp"
+
+namespace ppuf::maxflow {
+
+namespace {
+
+class DinicState {
+ public:
+  DinicState(const graph::FlowProblem& problem)
+      : g_(*problem.graph),
+        net_(g_),
+        source_(problem.source),
+        sink_(problem.sink),
+        level_(net_.vertex_count()),
+        next_arc_(net_.vertex_count()) {}
+
+  FlowResult run() {
+    FlowResult result;
+    while (build_level_graph(result)) {
+      std::fill(next_arc_.begin(), next_arc_.end(), 0);
+      for (;;) {
+        const double pushed =
+            augment(source_, std::numeric_limits<double>::infinity(), result);
+        if (pushed <= 0.0) break;
+        result.value += pushed;
+      }
+    }
+    result.edge_flow = net_.edge_flows(g_);
+    return result;
+  }
+
+ private:
+  /// BFS from the source over positive-residual arcs; true if the sink is
+  /// still reachable.
+  bool build_level_graph(FlowResult& result) {
+    std::fill(level_.begin(), level_.end(), kUnset);
+    std::queue<graph::VertexId> queue;
+    queue.push(source_);
+    level_[source_] = 0;
+    while (!queue.empty()) {
+      const graph::VertexId v = queue.front();
+      queue.pop();
+      for (const Arc& a : net_.arcs(v)) {
+        ++result.work;
+        if (a.residual <= net_.epsilon() || level_[a.to] != kUnset) continue;
+        level_[a.to] = level_[v] + 1;
+        queue.push(a.to);
+      }
+    }
+    return level_[sink_] != kUnset;
+  }
+
+  /// DFS with the current-arc optimisation, sending at most `limit`.
+  double augment(graph::VertexId v, double limit, FlowResult& result) {
+    if (v == sink_) return limit;
+    for (std::uint32_t& i = next_arc_[v]; i < net_.arcs(v).size(); ++i) {
+      ++result.work;
+      const Arc& a = net_.arcs(v)[i];
+      if (a.residual <= net_.epsilon() || level_[a.to] != level_[v] + 1)
+        continue;
+      const double pushed =
+          augment(a.to, std::min(limit, a.residual), result);
+      if (pushed > 0.0) {
+        net_.push(v, i, pushed);
+        return pushed;
+      }
+    }
+    return 0.0;
+  }
+
+  static constexpr std::uint32_t kUnset = static_cast<std::uint32_t>(-1);
+
+  const graph::Digraph& g_;
+  ResidualNetwork net_;
+  graph::VertexId source_;
+  graph::VertexId sink_;
+  std::vector<std::uint32_t> level_;
+  std::vector<std::uint32_t> next_arc_;
+};
+
+}  // namespace
+
+FlowResult Dinic::solve(const graph::FlowProblem& problem) const {
+  if (problem.source == problem.sink)
+    throw std::invalid_argument("Dinic: source == sink");
+  return DinicState(problem).run();
+}
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,16 @@
+// Dinic's algorithm: level graph + blocking flow (the paper's "blocking flow
+// method" [13], also the building block of the best known parallel
+// algorithm [15]).
+#pragma once
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+class Dinic final : public Solver {
+ public:
+  FlowResult solve(const graph::FlowProblem& problem) const override;
+  std::string name() const override { return "dinic"; }
+};
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,72 @@
+#include "maxflow/edmonds_karp.hpp"
+
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "maxflow/residual.hpp"
+
+namespace ppuf::maxflow {
+
+FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem) const {
+  const graph::Digraph& g = *problem.graph;
+  if (problem.source == problem.sink)
+    throw std::invalid_argument("EdmondsKarp: source == sink");
+  ResidualNetwork net(g);
+  const std::size_t n = net.vertex_count();
+  const double eps = net.epsilon();
+
+  FlowResult result;
+  result.value = 0.0;
+
+  // parent_vertex / parent_arc record the BFS tree for path recovery.
+  std::vector<graph::VertexId> parent_vertex(n);
+  std::vector<std::uint32_t> parent_arc(n);
+  std::vector<bool> visited(n);
+
+  for (;;) {
+    std::fill(visited.begin(), visited.end(), false);
+    std::queue<graph::VertexId> queue;
+    queue.push(problem.source);
+    visited[problem.source] = true;
+    bool found = false;
+    while (!queue.empty() && !found) {
+      const graph::VertexId v = queue.front();
+      queue.pop();
+      const auto& arcs = net.arcs(v);
+      for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+        ++result.work;
+        const Arc& a = arcs[i];
+        if (a.residual <= eps || visited[a.to]) continue;
+        visited[a.to] = true;
+        parent_vertex[a.to] = v;
+        parent_arc[a.to] = i;
+        if (a.to == problem.sink) {
+          found = true;
+          break;
+        }
+        queue.push(a.to);
+      }
+    }
+    if (!found) break;
+
+    // Bottleneck along the path.
+    double bottleneck = std::numeric_limits<double>::infinity();
+    for (graph::VertexId v = problem.sink; v != problem.source;
+         v = parent_vertex[v]) {
+      bottleneck = std::min(
+          bottleneck, net.arcs(parent_vertex[v])[parent_arc[v]].residual);
+    }
+    // Augment.
+    for (graph::VertexId v = problem.sink; v != problem.source;
+         v = parent_vertex[v]) {
+      net.push(parent_vertex[v], parent_arc[v], bottleneck);
+    }
+    result.value += bottleneck;
+  }
+
+  result.edge_flow = net.edge_flows(g);
+  return result;
+}
+
+}  // namespace ppuf::maxflow

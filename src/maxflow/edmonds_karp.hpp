@@ -1,0 +1,15 @@
+// Edmonds–Karp: shortest augmenting paths by BFS.  This is the
+// "augmenting-path algorithm" the paper times via boost (Section 5).
+#pragma once
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+class EdmondsKarp final : public Solver {
+ public:
+  FlowResult solve(const graph::FlowProblem& problem) const override;
+  std::string name() const override { return "edmonds-karp"; }
+};
+
+}  // namespace ppuf::maxflow

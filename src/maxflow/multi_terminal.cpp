@@ -1,0 +1,68 @@
+#include "maxflow/multi_terminal.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppuf::maxflow {
+
+namespace {
+
+void validate(const MultiTerminalProblem& p) {
+  if (p.graph == nullptr)
+    throw std::invalid_argument("multi_terminal: null graph");
+  if (p.sources.empty() || p.sinks.empty())
+    throw std::invalid_argument("multi_terminal: empty terminal set");
+  const std::size_t n = p.graph->vertex_count();
+  for (graph::VertexId v : p.sources) {
+    if (v >= n) throw std::invalid_argument("multi_terminal: bad source");
+  }
+  for (graph::VertexId t : p.sinks) {
+    if (t >= n) throw std::invalid_argument("multi_terminal: bad sink");
+    if (std::find(p.sources.begin(), p.sources.end(), t) != p.sources.end())
+      throw std::invalid_argument(
+          "multi_terminal: source and sink sets overlap");
+  }
+}
+
+/// Capacity large enough to never constrain: total capacity of the graph
+/// plus one.
+double unbounded_capacity(const graph::Digraph& g) {
+  double total = 1.0;
+  for (const graph::Edge& e : g.edges()) total += e.capacity;
+  return total;
+}
+
+}  // namespace
+
+graph::Digraph expand_with_supernodes(const MultiTerminalProblem& problem,
+                                      graph::VertexId* super_source,
+                                      graph::VertexId* super_sink) {
+  validate(problem);
+  const graph::Digraph& g = *problem.graph;
+  const std::size_t n = g.vertex_count();
+  graph::Digraph expanded(n + 2);
+  for (const graph::Edge& e : g.edges())
+    expanded.add_edge(e.from, e.to, e.capacity);
+  const auto s = static_cast<graph::VertexId>(n);
+  const auto t = static_cast<graph::VertexId>(n + 1);
+  const double big = unbounded_capacity(g);
+  for (graph::VertexId v : problem.sources) expanded.add_edge(s, v, big);
+  for (graph::VertexId v : problem.sinks) expanded.add_edge(v, t, big);
+  expanded.finalize();
+  if (super_source != nullptr) *super_source = s;
+  if (super_sink != nullptr) *super_sink = t;
+  return expanded;
+}
+
+FlowResult solve_multi_terminal(const MultiTerminalProblem& problem,
+                                Algorithm algorithm) {
+  graph::VertexId s = 0, t = 0;
+  const graph::Digraph expanded = expand_with_supernodes(problem, &s, &t);
+  FlowResult result =
+      make_solver(algorithm)->solve({&expanded, s, t});
+  // Original edges come first in the expanded graph; drop the rest.
+  result.edge_flow.resize(problem.graph->edge_count());
+  return result;
+}
+
+}  // namespace ppuf::maxflow

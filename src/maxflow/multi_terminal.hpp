@@ -1,0 +1,34 @@
+// Multi-source / multi-sink max-flow (the paper's Section 2 formulates the
+// problem with vertex *sets* S and T).  Solved by the classic supernode
+// reduction: add a super-source wired to every source and a super-sink
+// wired from every sink with unbounded capacity, run any single-terminal
+// solver, then strip the auxiliary edges from the reported flow.
+#pragma once
+
+#include <vector>
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+struct MultiTerminalProblem {
+  const graph::Digraph* graph = nullptr;
+  std::vector<graph::VertexId> sources;
+  std::vector<graph::VertexId> sinks;
+};
+
+/// Max-flow value and per-edge flows (indexed by the ORIGINAL graph's edge
+/// ids) for a multi-terminal instance.  Throws std::invalid_argument when
+/// the terminal sets are empty or overlap.
+FlowResult solve_multi_terminal(const MultiTerminalProblem& problem,
+                                Algorithm algorithm = Algorithm::kPushRelabel);
+
+/// The supernode reduction itself, exposed for tests and for callers that
+/// want to run several algorithms on one expanded graph: returns the
+/// expanded graph; `super_source`/`super_sink` receive the new terminals.
+/// Original edge ids are preserved (auxiliary edges are appended after).
+graph::Digraph expand_with_supernodes(const MultiTerminalProblem& problem,
+                                      graph::VertexId* super_source,
+                                      graph::VertexId* super_sink);
+
+}  // namespace ppuf::maxflow

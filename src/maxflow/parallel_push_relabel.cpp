@@ -1,0 +1,173 @@
+#include "maxflow/parallel_push_relabel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "maxflow/residual.hpp"
+
+namespace ppuf::maxflow {
+
+namespace {
+
+class State {
+ public:
+  State(const graph::FlowProblem& problem, unsigned threads)
+      : g_(*problem.graph),
+        net_(g_),
+        source_(problem.source),
+        sink_(problem.sink),
+        threads_(threads),
+        n_(net_.vertex_count()),
+        height_(n_, 0),
+        excess_(std::make_unique<std::atomic<double>[]>(n_)),
+        locks_(std::make_unique<std::mutex[]>(n_)) {
+    for (std::size_t v = 0; v < n_; ++v)
+      excess_[v].store(0.0, std::memory_order_relaxed);
+  }
+
+  FlowResult run() {
+    initialize();
+    std::vector<graph::VertexId> active = collect_active();
+    while (!active.empty()) {
+      round(active);
+      active = collect_active();
+    }
+    FlowResult result;
+    result.value = excess_[sink_].load(std::memory_order_relaxed);
+    result.edge_flow = net_.edge_flows(g_);
+    result.work = work_.load(std::memory_order_relaxed);
+    return result;
+  }
+
+ private:
+  void initialize() {
+    height_[source_] = static_cast<std::uint32_t>(n_);
+    auto& arcs = net_.arcs(source_);
+    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+      const double cap = arcs[i].residual;
+      if (cap <= net_.epsilon()) continue;
+      net_.push(source_, i, cap);
+      excess_[arcs[i].to].fetch_add(cap, std::memory_order_relaxed);
+    }
+  }
+
+  std::vector<graph::VertexId> collect_active() const {
+    std::vector<graph::VertexId> active;
+    for (graph::VertexId v = 0; v < n_; ++v) {
+      if (v == source_ || v == sink_) continue;
+      if (excess_[v].load(std::memory_order_relaxed) > net_.epsilon() &&
+          height_[v] <= 2 * n_) {
+        active.push_back(v);
+      }
+    }
+    return active;
+  }
+
+  /// One synchronous round over the current active set.
+  void round(const std::vector<graph::VertexId>& active) {
+    // Height snapshot: all pushes this round go strictly downhill in the
+    // snapshot (h(u) = h(v) + 1), so no push can invalidate the height
+    // function regardless of interleaving.
+    const std::vector<std::uint32_t> snapshot = height_;
+
+    auto worker = [&](std::size_t begin, std::size_t end) {
+      std::uint64_t local_work = 0;
+      for (std::size_t k = begin; k < end; ++k) {
+        const graph::VertexId u = active[k];
+        // Only this worker decreases u's excess (active vertices are
+        // distinct); concurrent inflow only increases it, so the cached
+        // value is a safe budget.
+        double remaining = excess_[u].load(std::memory_order_relaxed);
+        auto& arcs = net_.arcs(u);
+        for (std::uint32_t i = 0;
+             i < arcs.size() && remaining > net_.epsilon(); ++i) {
+          ++local_work;
+          Arc& a = arcs[i];
+          if (snapshot[u] != snapshot[a.to] + 1) continue;
+          double pushed = 0.0;
+          {
+            const graph::VertexId v = a.to;
+            std::mutex& first = locks_[std::min(u, v)];
+            std::mutex& second = locks_[std::max(u, v)];
+            const std::scoped_lock lock(first, second);
+            pushed = std::min(remaining, a.residual);
+            if (pushed > net_.epsilon()) {
+              a.residual -= pushed;
+              net_.arcs(v)[a.rev].residual += pushed;
+            } else {
+              pushed = 0.0;
+            }
+          }
+          if (pushed > 0.0) {
+            excess_[u].fetch_sub(pushed, std::memory_order_relaxed);
+            excess_[a.to].fetch_add(pushed, std::memory_order_relaxed);
+            remaining -= pushed;
+          }
+        }
+      }
+      work_.fetch_add(local_work, std::memory_order_relaxed);
+    };
+
+    const std::size_t chunk = (active.size() + threads_ - 1) / threads_;
+    if (threads_ <= 1 || active.size() <= 1) {
+      worker(0, active.size());
+    } else {
+      std::vector<std::thread> pool;
+      for (unsigned t = 1; t < threads_; ++t) {
+        const std::size_t begin = t * chunk;
+        if (begin >= active.size()) break;
+        pool.emplace_back(worker, begin,
+                          std::min(begin + chunk, active.size()));
+      }
+      worker(0, std::min(chunk, active.size()));
+      for (auto& th : pool) th.join();
+    }
+
+    // Barrier relabel in two phases — compute every new label against the
+    // (unchanged) heights and the post-round residuals, then write — so
+    // the height function stays valid for every arc the round created.
+    std::vector<std::pair<graph::VertexId, std::uint32_t>> relabels;
+    std::uint64_t relabel_work = 0;
+    for (const graph::VertexId u : active) {
+      if (excess_[u].load(std::memory_order_relaxed) <= net_.epsilon() ||
+          height_[u] > 2 * n_) {
+        continue;
+      }
+      auto best = static_cast<std::uint32_t>(2 * n_) + 1;
+      for (const Arc& a : net_.arcs(u)) {
+        ++relabel_work;
+        if (a.residual > net_.epsilon())
+          best = std::min(best, height_[a.to] + 1);
+      }
+      if (best > height_[u]) relabels.emplace_back(u, best);
+    }
+    for (const auto& [u, h] : relabels) height_[u] = h;
+    work_.fetch_add(relabel_work, std::memory_order_relaxed);
+  }
+
+  const graph::Digraph& g_;
+  ResidualNetwork net_;
+  graph::VertexId source_;
+  graph::VertexId sink_;
+  unsigned threads_;
+  std::size_t n_;
+  std::vector<std::uint32_t> height_;
+  std::unique_ptr<std::atomic<double>[]> excess_;
+  std::unique_ptr<std::mutex[]> locks_;
+  std::atomic<std::uint64_t> work_{0};
+};
+
+}  // namespace
+
+FlowResult ParallelPushRelabel::solve(
+    const graph::FlowProblem& problem) const {
+  if (problem.source == problem.sink)
+    throw std::invalid_argument("ParallelPushRelabel: source == sink");
+  return State(problem, thread_count_).run();
+}
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,36 @@
+// Phase-synchronous parallel push-relabel.
+//
+// Section 2 of the paper bounds parallel max-flow at O(n^2 log n / p)
+// (Shiloach-Vishkin); this solver realises in-instance parallelism in the
+// push-relabel framework:
+//   - each round, the active vertices are partitioned across workers;
+//   - a worker discharges its vertices against a HEIGHT SNAPSHOT taken at
+//     the start of the round (pushes go strictly downhill in the snapshot,
+//     preserving the validity invariant);
+//   - excess and residual updates are serialised with per-vertex locks
+//     (ordered by id — no deadlock);
+//   - relabels are computed against the snapshot and applied at the
+//     round barrier.
+// The result is deterministic-value (max-flow is unique in value) and
+// exercises the concurrency machinery even on a single hardware thread.
+#pragma once
+
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+class ParallelPushRelabel final : public Solver {
+ public:
+  explicit ParallelPushRelabel(unsigned thread_count = 2)
+      : thread_count_(thread_count == 0 ? 1 : thread_count) {}
+
+  FlowResult solve(const graph::FlowProblem& problem) const override;
+  std::string name() const override { return "parallel-push-relabel"; }
+
+  unsigned thread_count() const { return thread_count_; }
+
+ private:
+  unsigned thread_count_;
+};
+
+}  // namespace ppuf::maxflow

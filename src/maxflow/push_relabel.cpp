@@ -1,0 +1,207 @@
+#include "maxflow/push_relabel.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+#include "maxflow/residual.hpp"
+
+namespace ppuf::maxflow {
+
+namespace {
+
+class PushRelabelState {
+ public:
+  PushRelabelState(const graph::FlowProblem& problem,
+                   const PushRelabelOptions& options)
+      : g_(*problem.graph),
+        net_(g_),
+        source_(problem.source),
+        sink_(problem.sink),
+        options_(options),
+        n_(net_.vertex_count()),
+        height_(n_, 0),
+        excess_(n_, 0.0),
+        next_arc_(n_, 0),
+        in_queue_(n_, false),
+        height_count_(2 * n_ + 2, 0) {}
+
+  FlowResult run() {
+    FlowResult result;
+    initialize();
+    const std::uint64_t relabel_period = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(options_.global_relabel_period *
+                                      static_cast<double>(n_)));
+    std::uint64_t discharges = 0;
+    while (!active_.empty()) {
+      const graph::VertexId v = active_.front();
+      active_.pop();
+      in_queue_[v] = false;
+      discharge(v, result);
+      ++discharges;
+      if (options_.global_relabel && discharges % relabel_period == 0) {
+        global_relabel(result);
+      }
+    }
+    result.value = excess_[sink_];
+    result.edge_flow = net_.edge_flows(g_);
+    return result;
+  }
+
+ private:
+  void initialize() {
+    height_[source_] = static_cast<std::uint32_t>(n_);
+    for (std::uint32_t h : height_) ++height_count_[h];
+    // Saturate all source-adjacent arcs.
+    auto& arcs = net_.arcs(source_);
+    for (std::uint32_t i = 0; i < arcs.size(); ++i) {
+      const double cap = arcs[i].residual;
+      if (cap <= net_.epsilon()) continue;
+      net_.push(source_, i, cap);
+      excess_[arcs[i].to] += cap;
+      enqueue(arcs[i].to);
+    }
+  }
+
+  void enqueue(graph::VertexId v) {
+    if (v == source_ || v == sink_) return;
+    if (in_queue_[v] || excess_[v] <= net_.epsilon()) return;
+    in_queue_[v] = true;
+    active_.push(v);
+  }
+
+  bool admissible(graph::VertexId v, const Arc& a) const {
+    return a.residual > net_.epsilon() && height_[v] == height_[a.to] + 1;
+  }
+
+  void discharge(graph::VertexId v, FlowResult& result) {
+    while (excess_[v] > net_.epsilon()) {
+      auto& arcs = net_.arcs(v);
+      if (next_arc_[v] == arcs.size()) {
+        relabel(v, result);
+        next_arc_[v] = 0;
+        // Heights stay below 2n while the vertex can still route its
+        // excess anywhere (to the sink, or back to the source, which is
+        // what converts the final preflow into a valid flow).  Beyond
+        // that the vertex has no residual arcs at all.
+        if (height_[v] > 2 * n_) return;
+        continue;
+      }
+      const std::uint32_t i = next_arc_[v];
+      const Arc& a = arcs[i];
+      ++result.work;
+      if (admissible(v, a)) {
+        const double amount = std::min(excess_[v], a.residual);
+        net_.push(v, i, amount);
+        excess_[v] -= amount;
+        excess_[a.to] += amount;
+        enqueue(a.to);
+      } else {
+        ++next_arc_[v];
+      }
+    }
+  }
+
+  void relabel(graph::VertexId v, FlowResult& result) {
+    const std::uint32_t old_height = height_[v];
+    std::uint32_t best = 2 * static_cast<std::uint32_t>(n_) + 1;
+    for (const Arc& a : net_.arcs(v)) {
+      ++result.work;
+      if (a.residual > net_.epsilon())
+        best = std::min(best, height_[a.to] + 1);
+    }
+    --height_count_[old_height];
+    height_[v] = best;
+    ++height_count_[best];
+
+    if (options_.gap_heuristic && height_count_[old_height] == 0 &&
+        old_height < n_) {
+      // Gap: no vertex at old_height means every vertex above it (below n)
+      // is cut off from the sink; lift them past n in one step.
+      for (graph::VertexId u = 0; u < n_; ++u) {
+        if (u == source_) continue;
+        if (height_[u] > old_height && height_[u] < n_) {
+          --height_count_[height_[u]];
+          height_[u] = static_cast<std::uint32_t>(n_ + 1);
+          ++height_count_[height_[u]];
+        }
+      }
+    }
+  }
+
+  /// Recompute exact heights: BFS distance to the sink in the residual
+  /// graph where reachable; n + BFS distance to the source for vertices
+  /// that can only return their excess; 2n+1 for isolated vertices.  This
+  /// is the canonical exact labeling and is itself a valid height
+  /// function, so max() against the current (also valid) heights keeps
+  /// validity while preserving monotonicity.
+  void global_relabel(FlowResult& result) {
+    const auto unset = static_cast<std::uint32_t>(2 * n_ + 1);
+    auto residual_bfs = [&](graph::VertexId root) {
+      std::vector<std::uint32_t> dist(n_, unset);
+      std::queue<graph::VertexId> queue;
+      dist[root] = 0;
+      queue.push(root);
+      while (!queue.empty()) {
+        const graph::VertexId v = queue.front();
+        queue.pop();
+        // Arc u->v exists in the residual graph iff the reverse arc stored
+        // at v has positive residual on its pair.
+        for (const Arc& a : net_.arcs(v)) {
+          ++result.work;
+          const graph::VertexId u = a.to;
+          const Arc& pair = net_.arcs(u)[a.rev];
+          if (pair.residual > net_.epsilon() && dist[u] == unset) {
+            dist[u] = dist[v] + 1;
+            queue.push(u);
+          }
+        }
+      }
+      return dist;
+    };
+    const std::vector<std::uint32_t> to_sink = residual_bfs(sink_);
+    const std::vector<std::uint32_t> to_source = residual_bfs(source_);
+
+    std::fill(height_count_.begin(), height_count_.end(), 0);
+    for (graph::VertexId v = 0; v < n_; ++v) {
+      std::uint32_t label;
+      if (v == source_) {
+        label = static_cast<std::uint32_t>(n_);
+      } else if (to_sink[v] != unset) {
+        label = to_sink[v];
+      } else if (to_source[v] != unset) {
+        label = static_cast<std::uint32_t>(n_) + to_source[v];
+      } else {
+        label = unset;
+      }
+      // Never lower a label: push-relabel correctness requires heights to
+      // be monotone non-decreasing.
+      height_[v] = std::max(height_[v], label);
+      ++height_count_[std::min<std::uint32_t>(
+          height_[v], static_cast<std::uint32_t>(2 * n_ + 1))];
+      next_arc_[v] = 0;
+    }
+  }
+
+  const graph::Digraph& g_;
+  ResidualNetwork net_;
+  graph::VertexId source_;
+  graph::VertexId sink_;
+  PushRelabelOptions options_;
+  std::size_t n_;
+  std::vector<std::uint32_t> height_;
+  std::vector<double> excess_;
+  std::vector<std::uint32_t> next_arc_;
+  std::vector<bool> in_queue_;
+  std::vector<std::uint32_t> height_count_;
+  std::queue<graph::VertexId> active_;
+};
+
+}  // namespace
+
+FlowResult PushRelabel::solve(const graph::FlowProblem& problem) const {
+  if (problem.source == problem.sink)
+    throw std::invalid_argument("PushRelabel: source == sink");
+  return PushRelabelState(problem, options_).run();
+}
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,57 @@
+#include "maxflow/residual.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppuf::maxflow {
+
+ResidualNetwork::ResidualNetwork(const graph::Digraph& g) {
+  if (!g.finalized())
+    throw std::logic_error("ResidualNetwork: graph not finalized");
+  adj_.resize(g.vertex_count());
+  double max_cap = 0.0;
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    const graph::Edge& edge = g.edge(e);
+    max_cap = std::max(max_cap, edge.capacity);
+    auto& fwd_list = adj_[edge.from];
+    auto& bwd_list = adj_[edge.to];
+    Arc fwd;
+    fwd.to = edge.to;
+    fwd.rev = static_cast<std::uint32_t>(bwd_list.size());
+    fwd.residual = edge.capacity;
+    fwd.orig = e;
+    fwd.forward = true;
+    Arc bwd;
+    bwd.to = edge.from;
+    bwd.rev = static_cast<std::uint32_t>(fwd_list.size());
+    bwd.residual = 0.0;
+    bwd.forward = false;
+    fwd_list.push_back(fwd);
+    bwd_list.push_back(bwd);
+  }
+  eps_ = std::max(max_cap, 1.0) * kRelativeEps;
+}
+
+void ResidualNetwork::push(graph::VertexId v, std::uint32_t arc_index,
+                           double amount) {
+  Arc& a = adj_[v][arc_index];
+  if (amount > a.residual + eps_)
+    throw std::logic_error("ResidualNetwork::push: over-push");
+  a.residual -= amount;
+  adj_[a.to][a.rev].residual += amount;
+}
+
+std::vector<double> ResidualNetwork::edge_flows(
+    const graph::Digraph& g) const {
+  std::vector<double> flow(g.edge_count(), 0.0);
+  for (const auto& list : adj_) {
+    for (const Arc& a : list) {
+      if (!a.forward) continue;
+      const double f = g.edge(a.orig).capacity - a.residual;
+      flow[a.orig] = std::max(0.0, f);
+    }
+  }
+  return flow;
+}
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,48 @@
+// Residual network in the classic paired-arc representation shared by all
+// solver implementations, and the bridge back to per-input-edge flows.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "maxflow/solver.hpp"
+
+namespace ppuf::maxflow {
+
+/// One residual arc.  Forward arcs mirror input edges; backward arcs carry
+/// the cancellable flow.
+struct Arc {
+  graph::VertexId to = 0;
+  std::uint32_t rev = 0;        ///< index of the paired arc in arcs(to)
+  double residual = 0.0;
+  graph::EdgeId orig = graph::kInvalidVertex;  ///< input edge id (forward only)
+  bool forward = false;
+};
+
+/// Mutable residual network built from a finalized Digraph.
+class ResidualNetwork {
+ public:
+  explicit ResidualNetwork(const graph::Digraph& g);
+
+  std::size_t vertex_count() const { return adj_.size(); }
+
+  std::vector<Arc>& arcs(graph::VertexId v) { return adj_[v]; }
+  const std::vector<Arc>& arcs(graph::VertexId v) const { return adj_[v]; }
+
+  /// Absolute tolerance for "residual capacity is positive", derived from
+  /// the largest input capacity so the algorithms are scale-invariant.
+  double epsilon() const { return eps_; }
+
+  /// Push `amount` through the arc at (v, arc_index), updating its pair.
+  void push(graph::VertexId v, std::uint32_t arc_index, double amount);
+
+  /// Recover per-input-edge flows (flow = capacity - forward residual).
+  std::vector<double> edge_flows(const graph::Digraph& g) const;
+
+ private:
+  std::vector<std::vector<Arc>> adj_;
+  double eps_ = kRelativeEps;
+};
+
+}  // namespace ppuf::maxflow

@@ -1,0 +1,32 @@
+#include "maxflow/solver.hpp"
+
+#include <stdexcept>
+
+#include "maxflow/dinic.hpp"
+#include "maxflow/edmonds_karp.hpp"
+#include "maxflow/push_relabel.hpp"
+
+namespace ppuf::maxflow {
+
+std::unique_ptr<Solver> make_solver(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kEdmondsKarp:
+      return std::make_unique<EdmondsKarp>();
+    case Algorithm::kDinic:
+      return std::make_unique<Dinic>();
+    case Algorithm::kPushRelabel:
+      return std::make_unique<PushRelabel>();
+  }
+  throw std::invalid_argument("make_solver: unknown algorithm");
+}
+
+std::vector<Algorithm> all_algorithms() {
+  return {Algorithm::kEdmondsKarp, Algorithm::kDinic,
+          Algorithm::kPushRelabel};
+}
+
+std::string algorithm_name(Algorithm algorithm) {
+  return make_solver(algorithm)->name();
+}
+
+}  // namespace ppuf::maxflow

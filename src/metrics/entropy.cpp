@@ -1,0 +1,94 @@
+#include "metrics/entropy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::metrics {
+
+namespace {
+
+double log2_safe(double x) { return x > 0.0 ? std::log2(x) : 0.0; }
+
+void check(const ResponseMatrix& m, const char* who) {
+  if (m.empty() || m.front().empty())
+    throw std::invalid_argument(std::string(who) + ": empty matrix");
+  for (const auto& row : m) {
+    if (row.size() != m.front().size())
+      throw std::invalid_argument(std::string(who) + ": ragged matrix");
+  }
+}
+
+std::vector<double> per_challenge_p(const ResponseMatrix& m) {
+  const std::size_t challenges = m.front().size();
+  std::vector<double> p(challenges, 0.0);
+  for (std::size_t c = 0; c < challenges; ++c) {
+    std::size_t ones = 0;
+    for (const auto& row : m) ones += row[c] != 0 ? 1 : 0;
+    p[c] = static_cast<double>(ones) / static_cast<double>(m.size());
+  }
+  return p;
+}
+
+}  // namespace
+
+double binary_entropy(double p) {
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("binary_entropy: p outside [0,1]");
+  return -(p * log2_safe(p) + (1.0 - p) * log2_safe(1.0 - p));
+}
+
+double shannon_entropy_per_bit(const ResponseMatrix& responses) {
+  check(responses, "shannon_entropy_per_bit");
+  double total = 0.0;
+  const auto p = per_challenge_p(responses);
+  for (const double pc : p) total += binary_entropy(pc);
+  return total / static_cast<double>(p.size());
+}
+
+double min_entropy_per_bit(const ResponseMatrix& responses) {
+  check(responses, "min_entropy_per_bit");
+  double total = 0.0;
+  const auto p = per_challenge_p(responses);
+  for (const double pc : p) total += -log2_safe(std::max(pc, 1.0 - pc));
+  return total / static_cast<double>(p.size());
+}
+
+double mean_pairwise_mutual_information(const ResponseMatrix& responses,
+                                        std::size_t max_pairs) {
+  check(responses, "mean_pairwise_mutual_information");
+  const std::size_t instances = responses.size();
+  const std::size_t challenges = responses.front().size();
+  if (challenges < 2)
+    throw std::invalid_argument(
+        "mean_pairwise_mutual_information: need >= 2 challenges");
+
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (std::size_t a = 0; a < challenges && pairs < max_pairs; ++a) {
+    for (std::size_t b = a + 1; b < challenges && pairs < max_pairs; ++b) {
+      // Joint distribution of (bit_a, bit_b) over the population.
+      double joint[2][2] = {{0, 0}, {0, 0}};
+      for (const auto& row : responses)
+        joint[row[a] != 0 ? 1 : 0][row[b] != 0 ? 1 : 0] += 1.0;
+      for (auto& r : joint)
+        for (double& v : r) v /= static_cast<double>(instances);
+      const double pa = joint[1][0] + joint[1][1];
+      const double pb = joint[0][1] + joint[1][1];
+      const double marg[2] = {1.0 - pa, pa};
+      const double margb[2] = {1.0 - pb, pb};
+      double mi = 0.0;
+      for (int i = 0; i < 2; ++i) {
+        for (int j = 0; j < 2; ++j) {
+          if (joint[i][j] > 0.0 && marg[i] > 0.0 && margb[j] > 0.0)
+            mi += joint[i][j] *
+                  std::log2(joint[i][j] / (marg[i] * margb[j]));
+        }
+      }
+      total += mi;
+      ++pairs;
+    }
+  }
+  return pairs > 0 ? total / static_cast<double>(pairs) : 0.0;
+}
+
+}  // namespace ppuf::metrics

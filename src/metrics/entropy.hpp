@@ -1,0 +1,28 @@
+// Response-entropy estimation — how many key bits a PPUF population
+// actually yields.  Complements Table 1: uniformity/randomness report
+// first moments; entropy quantifies extractable randomness.
+#pragma once
+
+#include "metrics/puf_metrics.hpp"
+
+namespace ppuf::metrics {
+
+/// Shannon entropy of a Bernoulli(p) bit, in bits.
+double binary_entropy(double p);
+
+/// Average per-challenge Shannon entropy across the population:
+/// mean over challenges of H(P[response = 1]).  Ideal 1 bit.
+double shannon_entropy_per_bit(const ResponseMatrix& responses);
+
+/// Average per-challenge min-entropy: mean of -log2 max(p, 1-p).  The
+/// conservative figure key-derivation budgets use.  Ideal 1 bit.
+double min_entropy_per_bit(const ResponseMatrix& responses);
+
+/// Mean pairwise mutual information between challenge positions (bits),
+/// estimated over the instance population.  Near 0 for independent
+/// responses; large values flag structural correlation that would inflate
+/// the naive entropy-per-bit times bit-count estimate.
+double mean_pairwise_mutual_information(const ResponseMatrix& responses,
+                                        std::size_t max_pairs = 2000);
+
+}  // namespace ppuf::metrics

@@ -1,0 +1,115 @@
+#include "metrics/flip.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ppuf::metrics {
+
+namespace {
+
+std::size_t select_bits(std::size_t n) {
+  std::size_t bits = 0;
+  while ((1ull << bits) < n) ++bits;
+  return std::max<std::size_t>(bits, 1);
+}
+
+}  // namespace
+
+Challenge decode_full_input(const CrossbarLayout& layout,
+                            const std::vector<std::uint8_t>& bits) {
+  if (bits.size() != full_input_bits(layout))
+    throw std::invalid_argument("decode_full_input: wrong width");
+  const std::size_t n = layout.node_count();
+  const std::size_t sb = select_bits(n);
+  auto field = [&](std::size_t offset) {
+    std::size_t v = 0;
+    for (std::size_t i = 0; i < sb; ++i)
+      v = (v << 1) | (bits[offset + i] ? 1 : 0);
+    return v % n;
+  };
+  Challenge c;
+  c.source = static_cast<graph::VertexId>(field(0));
+  c.sink = static_cast<graph::VertexId>(field(sb));
+  if (c.sink == c.source)
+    c.sink = static_cast<graph::VertexId>((c.sink + 1) % n);
+  c.bits.assign(bits.begin() + static_cast<std::ptrdiff_t>(2 * sb),
+                bits.end());
+  return c;
+}
+
+std::size_t full_input_bits(const CrossbarLayout& layout) {
+  return 2 * select_bits(layout.node_count()) + layout.cell_count();
+}
+
+std::vector<FlipPoint> flip_probability_vs_distance(
+    MaxFlowPpuf& instance, const std::vector<std::size_t>& distances,
+    std::size_t pairs_per_distance, util::Rng& rng) {
+  std::vector<FlipPoint> out;
+  out.reserve(distances.size());
+  const circuit::Environment env = circuit::Environment::nominal();
+  for (const std::size_t d : distances) {
+    FlipPoint point;
+    point.distance = d;
+    std::size_t flips = 0;
+    for (std::size_t s = 0; s < pairs_per_distance; ++s) {
+      const Challenge base = random_challenge(instance.layout(), rng);
+      const Challenge moved = flip_bits(base, d, rng);
+      const int r0 = instance.evaluate(base, env).bit;
+      const int r1 = instance.evaluate(moved, env).bit;
+      flips += r0 != r1 ? 1 : 0;
+    }
+    point.samples = pairs_per_distance;
+    point.flip_probability = pairs_per_distance > 0
+                                 ? static_cast<double>(flips) /
+                                       static_cast<double>(pairs_per_distance)
+                                 : 0.0;
+    out.push_back(point);
+  }
+  return out;
+}
+
+std::vector<FlipPoint> flip_probability_vs_distance_full_input(
+    MaxFlowPpuf& instance, const std::vector<std::size_t>& distances,
+    std::size_t pairs_per_distance, util::Rng& rng) {
+  const CrossbarLayout& layout = instance.layout();
+  const std::size_t width = full_input_bits(layout);
+  const circuit::Environment env = circuit::Environment::nominal();
+
+  std::vector<FlipPoint> out;
+  out.reserve(distances.size());
+  for (const std::size_t d : distances) {
+    FlipPoint point;
+    point.distance = d;
+    std::size_t flips = 0;
+    for (std::size_t s = 0; s < pairs_per_distance; ++s) {
+      std::vector<std::uint8_t> base(width);
+      for (auto& b : base) b = rng.coin() ? 1 : 0;
+      std::vector<std::uint8_t> moved = base;
+      // Partial Fisher-Yates for d distinct flip positions.
+      std::vector<std::size_t> idx(width);
+      for (std::size_t i = 0; i < width; ++i) idx[i] = i;
+      for (std::size_t i = 0; i < d; ++i) {
+        const auto j = static_cast<std::size_t>(rng.uniform_int(
+            static_cast<std::int64_t>(i),
+            static_cast<std::int64_t>(width) - 1));
+        std::swap(idx[i], idx[j]);
+        moved[idx[i]] ^= 1;
+      }
+      const int r0 =
+          instance.evaluate(decode_full_input(layout, base), env).bit;
+      const int r1 =
+          instance.evaluate(decode_full_input(layout, moved), env).bit;
+      flips += r0 != r1 ? 1 : 0;
+    }
+    point.samples = pairs_per_distance;
+    point.flip_probability =
+        pairs_per_distance > 0
+            ? static_cast<double>(flips) /
+                  static_cast<double>(pairs_per_distance)
+            : 0.0;
+    out.push_back(point);
+  }
+  return out;
+}
+
+}  // namespace ppuf::metrics

@@ -1,0 +1,48 @@
+// Output-flip probability vs challenge minimum Hamming distance (Fig. 9):
+// flipping d type-B bits of a challenge should flip the response with
+// probability approaching 0.5 as d grows — the paper's justification for
+// restricting challenges to a minimum-distance-d code.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+
+namespace ppuf::metrics {
+
+struct FlipPoint {
+  std::size_t distance = 0;       ///< number of flipped type-B bits d
+  double flip_probability = 0.0;  ///< P(response flips)
+  std::size_t samples = 0;
+};
+
+/// For each d in `distances`, samples `pairs_per_distance` base challenges
+/// on the given instance, flips exactly d bits, and measures how often the
+/// response flips.  Noise-free evaluations (the effect under study is the
+/// challenge sensitivity, not comparator noise).
+std::vector<FlipPoint> flip_probability_vs_distance(
+    MaxFlowPpuf& instance, const std::vector<std::size_t>& distances,
+    std::size_t pairs_per_distance, util::Rng& rng);
+
+/// Full-input-vector variant: the physical challenge lines include the
+/// type-A source/sink selection, so "flipping d input bits" can retarget
+/// the flow.  The input vector here is
+///   [ceil(log2 n) source bits | ceil(log2 n) sink bits | l^2 type-B bits]
+/// with indices decoded mod n (degenerate source == sink re-rolls the
+/// sink's low bit).  Flipping a selection bit usually re-randomises the
+/// response completely, which is what pushes the paper's Fig. 9 curve to
+/// ~0.5 by d = 16.
+std::vector<FlipPoint> flip_probability_vs_distance_full_input(
+    MaxFlowPpuf& instance, const std::vector<std::size_t>& distances,
+    std::size_t pairs_per_distance, util::Rng& rng);
+
+/// Number of bits in the full input vector of a layout.
+std::size_t full_input_bits(const CrossbarLayout& layout);
+
+/// Decode a full input vector (as described above) into a challenge.
+/// `bits` must have exactly full_input_bits(layout) entries.
+Challenge decode_full_input(const CrossbarLayout& layout,
+                            const std::vector<std::uint8_t>& bits);
+
+}  // namespace ppuf::metrics

@@ -1,0 +1,30 @@
+#include "metrics/hamming.hpp"
+
+#include <stdexcept>
+
+namespace ppuf::metrics {
+
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += (a[i] != 0) != (b[i] != 0);
+  return d;
+}
+
+double fractional_hamming_distance(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b) {
+  if (a.empty()) return 0.0;
+  return static_cast<double>(hamming_distance(a, b)) /
+         static_cast<double>(a.size());
+}
+
+double fraction_of_ones(std::span<const std::uint8_t> bits) {
+  if (bits.empty()) return 0.0;
+  std::size_t ones = 0;
+  for (std::uint8_t b : bits) ones += b != 0 ? 1 : 0;
+  return static_cast<double>(ones) / static_cast<double>(bits.size());
+}
+
+}  // namespace ppuf::metrics

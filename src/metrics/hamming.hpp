@@ -1,0 +1,23 @@
+// Bit-vector Hamming utilities shared by the PUF metrics and the attacks.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace ppuf::metrics {
+
+using BitVector = std::vector<std::uint8_t>;
+
+/// Number of differing positions; sizes must match.
+std::size_t hamming_distance(std::span<const std::uint8_t> a,
+                             std::span<const std::uint8_t> b);
+
+/// Hamming distance divided by length (0 for empty vectors).
+double fractional_hamming_distance(std::span<const std::uint8_t> a,
+                                   std::span<const std::uint8_t> b);
+
+/// Fraction of ones (0 for empty).
+double fraction_of_ones(std::span<const std::uint8_t> bits);
+
+}  // namespace ppuf::metrics

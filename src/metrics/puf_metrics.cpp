@@ -1,0 +1,79 @@
+#include "metrics/puf_metrics.hpp"
+
+#include <stdexcept>
+
+#include "util/statistics.hpp"
+
+namespace ppuf::metrics {
+
+namespace {
+Statistic from_samples(const std::vector<double>& xs) {
+  Statistic s;
+  s.mean = util::mean(xs);
+  s.stddev = util::stddev(xs);
+  return s;
+}
+
+void check_matrix(const ResponseMatrix& m, const char* who) {
+  if (m.empty() || m.front().empty())
+    throw std::invalid_argument(std::string(who) + ": empty matrix");
+  for (const auto& row : m) {
+    if (row.size() != m.front().size())
+      throw std::invalid_argument(std::string(who) + ": ragged matrix");
+  }
+}
+}  // namespace
+
+Statistic inter_class_hd(const ResponseMatrix& responses) {
+  check_matrix(responses, "inter_class_hd");
+  if (responses.size() < 2)
+    throw std::invalid_argument("inter_class_hd: need >= 2 instances");
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < responses.size(); ++i) {
+    for (std::size_t j = i + 1; j < responses.size(); ++j) {
+      samples.push_back(
+          fractional_hamming_distance(responses[i], responses[j]));
+    }
+  }
+  return from_samples(samples);
+}
+
+Statistic intra_class_hd(const ResponseMatrix& reference,
+                         const std::vector<ResponseMatrix>& reevaluations) {
+  check_matrix(reference, "intra_class_hd");
+  if (reevaluations.size() != reference.size())
+    throw std::invalid_argument("intra_class_hd: instance count mismatch");
+  std::vector<double> samples;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    for (const BitVector& redo : reevaluations[i]) {
+      samples.push_back(fractional_hamming_distance(reference[i], redo));
+    }
+  }
+  if (samples.empty())
+    throw std::invalid_argument("intra_class_hd: no re-evaluations");
+  return from_samples(samples);
+}
+
+Statistic uniformity(const ResponseMatrix& responses) {
+  check_matrix(responses, "uniformity");
+  std::vector<double> samples;
+  samples.reserve(responses.size());
+  for (const BitVector& row : responses)
+    samples.push_back(fraction_of_ones(row));
+  return from_samples(samples);
+}
+
+Statistic randomness(const ResponseMatrix& responses) {
+  check_matrix(responses, "randomness");
+  const std::size_t challenges = responses.front().size();
+  std::vector<double> samples(challenges, 0.0);
+  for (std::size_t c = 0; c < challenges; ++c) {
+    std::size_t ones = 0;
+    for (const BitVector& row : responses) ones += row[c] != 0 ? 1 : 0;
+    samples[c] =
+        static_cast<double>(ones) / static_cast<double>(responses.size());
+  }
+  return from_samples(samples);
+}
+
+}  // namespace ppuf::metrics

@@ -1,0 +1,41 @@
+// Standard PUF quality metrics (Maiti et al., the paper's ref [27]),
+// computed from a response matrix: responses[i][c] is instance i's response
+// bit to challenge c.  Table 1 of the paper reports mean and standard
+// deviation of each.
+#pragma once
+
+#include <vector>
+
+#include "metrics/hamming.hpp"
+
+namespace ppuf::metrics {
+
+struct Statistic {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+using ResponseMatrix = std::vector<BitVector>;  // [instance][challenge]
+
+/// Inter-class HD: fractional Hamming distance between the response vectors
+/// of every pair of distinct instances (ideal 0.5).
+Statistic inter_class_hd(const ResponseMatrix& responses);
+
+/// Intra-class HD: fractional distance between each instance's reference
+/// responses and each of its re-evaluations under noise/environmental
+/// variation (ideal 0).  `reevaluations[i]` holds one or more response
+/// vectors of instance i.
+Statistic intra_class_hd(const ResponseMatrix& reference,
+                         const std::vector<ResponseMatrix>& reevaluations);
+
+/// Uniformity: per-instance fraction of 1-responses (ideal 0.5); the spread
+/// is over instances.
+Statistic uniformity(const ResponseMatrix& responses);
+
+/// Randomness (bit-aliasing across the population): per-challenge fraction
+/// of instances answering 1 (ideal 0.5); the spread is over challenges.
+/// Same overall mean as uniformity — computed over the other axis of the
+/// matrix — matching the structure of the paper's Table 1.
+Statistic randomness(const ResponseMatrix& responses);
+
+}  // namespace ppuf::metrics

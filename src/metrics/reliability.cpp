@@ -1,0 +1,74 @@
+#include "metrics/reliability.hpp"
+
+#include <stdexcept>
+
+namespace ppuf::metrics {
+
+std::vector<ReliabilityPoint> ber_vs_noise(
+    MaxFlowPpuf& instance, const std::vector<double>& noise_sigmas,
+    std::size_t challenges, std::size_t repeats, util::Rng& rng,
+    const circuit::Environment& env) {
+  // Collect reference responses and margins once; noise is then applied to
+  // the margins directly (the comparator adds noise after the analog sum,
+  // so re-solving the network per noise draw would be pure waste).
+  std::vector<double> margins;
+  std::vector<int> reference;
+  for (std::size_t c = 0; c < challenges; ++c) {
+    const Challenge ch = random_challenge(instance.layout(), rng);
+    const auto e = instance.evaluate(ch, env);
+    margins.push_back(e.current_a - e.current_b +
+                      instance.comparator_offset());
+    reference.push_back(e.bit);
+  }
+
+  std::vector<ReliabilityPoint> out;
+  for (const double sigma : noise_sigmas) {
+    ReliabilityPoint p;
+    p.noise_sigma = sigma;
+    std::size_t flips = 0;
+    for (std::size_t c = 0; c < margins.size(); ++c) {
+      for (std::size_t r = 0; r < repeats; ++r) {
+        const int bit =
+            (margins[c] + rng.gaussian(0.0, sigma)) > 0.0 ? 1 : 0;
+        flips += bit != reference[c] ? 1 : 0;
+      }
+    }
+    p.samples = margins.size() * repeats;
+    p.bit_error_rate =
+        p.samples > 0 ? static_cast<double>(flips) /
+                            static_cast<double>(p.samples)
+                      : 0.0;
+    out.push_back(p);
+  }
+  return out;
+}
+
+int majority_vote_response(MaxFlowPpuf& instance, const Challenge& challenge,
+                           std::size_t votes, util::Rng& noise_rng,
+                           const circuit::Environment& env) {
+  if (votes == 0 || votes % 2 == 0)
+    throw std::invalid_argument("majority_vote_response: votes must be odd");
+  std::size_t ones = 0;
+  for (std::size_t v = 0; v < votes; ++v)
+    ones += instance.evaluate(challenge, env, &noise_rng).bit;
+  return ones * 2 > votes ? 1 : 0;
+}
+
+double majority_vote_ber(MaxFlowPpuf& instance, std::size_t votes,
+                         std::size_t challenges, util::Rng& rng,
+                         const circuit::Environment& env) {
+  std::size_t flips = 0;
+  for (std::size_t c = 0; c < challenges; ++c) {
+    const Challenge ch = random_challenge(instance.layout(), rng);
+    const int reference = instance.evaluate(ch, env).bit;
+    flips += majority_vote_response(instance, ch, votes, rng, env) !=
+                     reference
+                 ? 1
+                 : 0;
+  }
+  return challenges > 0
+             ? static_cast<double>(flips) / static_cast<double>(challenges)
+             : 0.0;
+}
+
+}  // namespace ppuf::metrics

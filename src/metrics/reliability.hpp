@@ -1,0 +1,40 @@
+// Reliability analysis beyond Table 1: response bit-error rate as a
+// function of comparator noise and environment, and the standard
+// majority-vote stabilisation used when a PUF bit feeds key material.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+
+namespace ppuf::metrics {
+
+struct ReliabilityPoint {
+  double noise_sigma = 0.0;  ///< comparator input noise [A]
+  double bit_error_rate = 0.0;
+  std::size_t samples = 0;
+};
+
+/// Bit-error rate vs comparator noise: for each sigma, evaluates
+/// `challenges` random challenges `repeats` times against the noiseless
+/// reference and counts flips.
+std::vector<ReliabilityPoint> ber_vs_noise(
+    MaxFlowPpuf& instance, const std::vector<double>& noise_sigmas,
+    std::size_t challenges, std::size_t repeats, util::Rng& rng,
+    const circuit::Environment& env = circuit::Environment::nominal());
+
+/// Majority vote of `votes` noisy evaluations (votes must be odd).
+int majority_vote_response(MaxFlowPpuf& instance, const Challenge& challenge,
+                           std::size_t votes, util::Rng& noise_rng,
+                           const circuit::Environment& env =
+                               circuit::Environment::nominal());
+
+/// BER of the majority-vote response under the instance's configured
+/// noise, against the noiseless reference.
+double majority_vote_ber(MaxFlowPpuf& instance, std::size_t votes,
+                         std::size_t challenges, util::Rng& rng,
+                         const circuit::Environment& env =
+                             circuit::Environment::nominal());
+
+}  // namespace ppuf::metrics

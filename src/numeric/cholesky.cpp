@@ -1,0 +1,53 @@
+#include "numeric/cholesky.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::numeric {
+
+CholeskyDecomposition::CholeskyDecomposition(Matrix a) : l_(std::move(a)) {
+  if (l_.rows() != l_.cols())
+    throw std::invalid_argument("Cholesky: matrix not square");
+  const std::size_t n = l_.rows();
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = l_(j, j);
+    auto rowj = l_.row(j);
+    for (std::size_t k = 0; k < j; ++k) d -= rowj[k] * rowj[k];
+    if (d <= 0.0) throw std::runtime_error("Cholesky: matrix not SPD");
+    const double ljj = std::sqrt(d);
+    l_(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double s = l_(i, j);
+      auto rowi = l_.row(i);
+      for (std::size_t k = 0; k < j; ++k) s -= rowi[k] * rowj[k];
+      l_(i, j) = s * inv;
+    }
+  }
+}
+
+Vector CholeskyDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n)
+    throw std::invalid_argument("Cholesky::solve: size mismatch");
+  Vector y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[i];
+    auto rowi = l_.row(i);
+    for (std::size_t j = 0; j < i; ++j) s -= rowi[j] * y[j];
+    y[i] = s / rowi[i];
+  }
+  Vector x(n);
+  for (std::size_t i = n; i-- > 0;) {
+    double s = y[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= l_(j, i) * x[j];
+    x[i] = s / l_(i, i);
+  }
+  return x;
+}
+
+Vector cholesky_solve(Matrix a, std::span<const double> b) {
+  return CholeskyDecomposition(std::move(a)).solve(b);
+}
+
+}  // namespace ppuf::numeric

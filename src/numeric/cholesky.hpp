@@ -1,0 +1,29 @@
+// Cholesky factorisation for symmetric positive-definite systems — used for
+// the LS-SVM kernel system (K + I/gamma) and the network Jacobian, which is
+// symmetric positive definite by incremental passivity.
+#pragma once
+
+#include <span>
+
+#include "numeric/matrix.hpp"
+
+namespace ppuf::numeric {
+
+/// A = L L^T for symmetric positive-definite A.
+class CholeskyDecomposition {
+ public:
+  /// Factorises; throws std::runtime_error if A is not (numerically) SPD.
+  explicit CholeskyDecomposition(Matrix a);
+
+  std::size_t size() const { return l_.rows(); }
+
+  Vector solve(std::span<const double> b) const;
+
+ private:
+  Matrix l_;  // lower triangular, upper part unused
+};
+
+/// One-shot convenience for SPD systems.
+Vector cholesky_solve(Matrix a, std::span<const double> b);
+
+}  // namespace ppuf::numeric

@@ -1,0 +1,120 @@
+#include "numeric/lu.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::numeric {
+
+LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
+  if (lu_.rows() != lu_.cols())
+    throw std::invalid_argument("LuDecomposition: matrix not square");
+  const std::size_t n = lu_.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("LuDecomposition: singular");
+    if (pivot != col) {
+      auto rp = lu_.row(pivot);
+      auto rc = lu_.row(col);
+      for (std::size_t c = 0; c < n; ++c) std::swap(rp[c], rc[c]);
+      std::swap(perm_[pivot], perm_[col]);
+      perm_sign_ = -perm_sign_;
+    }
+    // Eliminate below the pivot, storing multipliers in the L part.
+    const double inv_piv = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = lu_(r, col) * inv_piv;
+      lu_(r, col) = f;
+      if (f == 0.0) continue;
+      auto rowr = lu_.row(r);
+      auto rowc = lu_.row(col);
+      for (std::size_t c = col + 1; c < n; ++c) rowr[c] -= f * rowc[c];
+    }
+  }
+}
+
+Vector LuDecomposition::solve(std::span<const double> b) const {
+  const std::size_t n = size();
+  if (b.size() != n)
+    throw std::invalid_argument("LuDecomposition::solve: size mismatch");
+  Vector x(n);
+  // Apply permutation and forward-substitute through L (unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double s = b[perm_[i]];
+    auto rowi = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) s -= rowi[j] * x[j];
+    x[i] = s;
+  }
+  // Back-substitute through U.
+  for (std::size_t i = n; i-- > 0;) {
+    double s = x[i];
+    auto rowi = lu_.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) s -= rowi[j] * x[j];
+    x[i] = s / rowi[i];
+  }
+  return x;
+}
+
+double LuDecomposition::determinant() const {
+  double d = perm_sign_;
+  for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
+  return d;
+}
+
+Vector lu_solve(Matrix a, std::span<const double> b) {
+  return LuDecomposition(std::move(a)).solve(b);
+}
+
+void solve_in_place(Matrix& a, std::span<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_in_place: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot, applying the row swap to b immediately so no
+    // permutation array is needed.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-300) throw std::runtime_error("solve_in_place: singular");
+    if (pivot != col) {
+      auto rp = a.row(pivot);
+      auto rc = a.row(col);
+      for (std::size_t c = col; c < n; ++c) std::swap(rp[c], rc[c]);
+      std::swap(b[pivot], b[col]);
+    }
+    const double inv_piv = 1.0 / a(col, col);
+    auto rowc = a.row(col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) * inv_piv;
+      if (f == 0.0) continue;
+      auto rowr = a.row(r);
+      for (std::size_t c = col + 1; c < n; ++c) rowr[c] -= f * rowc[c];
+      b[r] -= f * b[col];
+    }
+  }
+  for (std::size_t i = n; i-- > 0;) {
+    double s = b[i];
+    auto rowi = a.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) s -= rowi[j] * b[j];
+    b[i] = s / rowi[i];
+  }
+}
+
+}  // namespace ppuf::numeric

@@ -1,0 +1,43 @@
+// LU factorisation with partial pivoting — the workhorse behind every
+// Newton step in the circuit solver.
+#pragma once
+
+#include <span>
+
+#include "numeric/matrix.hpp"
+
+namespace ppuf::numeric {
+
+/// In-place LU decomposition PA = LU with partial pivoting.
+/// Factor once, solve many right-hand sides.
+class LuDecomposition {
+ public:
+  /// Factorises a square matrix; throws std::runtime_error if singular
+  /// (pivot magnitude below tiny threshold).
+  explicit LuDecomposition(Matrix a);
+
+  std::size_t size() const { return lu_.rows(); }
+
+  /// Solve A x = b.
+  Vector solve(std::span<const double> b) const;
+
+  /// Determinant of the original matrix.
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+};
+
+/// One-shot convenience: solve A x = b.
+Vector lu_solve(Matrix a, std::span<const double> b);
+
+/// Destructive in-place solve: factorises `a` (clobbered, with partial
+/// pivoting applied directly to `b`) and overwrites `b` with the solution.
+/// No heap allocation — the fast path for small systems solved in a loop
+/// (the per-iteration Newton solves).  Throws std::runtime_error when
+/// singular.
+void solve_in_place(Matrix& a, std::span<double> b);
+
+}  // namespace ppuf::numeric

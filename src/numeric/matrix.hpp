@@ -1,0 +1,75 @@
+// Dense row-major matrix used by the Newton solver (circuit Jacobians) and
+// the LS-SVM kernel systems.  Sized for the problem scales in this project
+// (a few thousand unknowns at most), so simplicity beats blocking tricks.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace ppuf::numeric {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Build from nested initializer list; all rows must have equal width.
+  Matrix(std::initializer_list<std::initializer_list<double>> init);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row access for hot loops.
+  std::span<double> row(std::size_t r) {
+    return {data_.data() + r * cols_, cols_};
+  }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  void fill(double v);
+
+  Matrix transposed() const;
+
+  /// Matrix-vector product; x.size() must equal cols().
+  Vector multiply(std::span<const double> x) const;
+
+  /// Matrix-matrix product; rhs.rows() must equal cols().
+  Matrix multiply(const Matrix& rhs) const;
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Euclidean norm of a vector.
+double norm2(std::span<const double> v);
+
+/// Infinity norm.
+double norm_inf(std::span<const double> v);
+
+/// Dot product; sizes must match.
+double dot(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+}  // namespace ppuf::numeric

@@ -1,0 +1,87 @@
+#include "ppuf/challenge.hpp"
+
+#include <stdexcept>
+
+#include "graph/complete.hpp"
+
+namespace ppuf {
+
+CrossbarLayout::CrossbarLayout(std::size_t node_count, std::size_t grid_size)
+    : n_(node_count), l_(grid_size) {
+  if (n_ < 2) throw std::invalid_argument("CrossbarLayout: need n >= 2");
+  if (l_ < 1 || l_ > n_)
+    throw std::invalid_argument("CrossbarLayout: need 1 <= l <= n");
+}
+
+std::size_t CrossbarLayout::cell_of_edge(graph::VertexId from,
+                                         graph::VertexId to) const {
+  if (from >= n_ || to >= n_ || from == to)
+    throw std::invalid_argument("CrossbarLayout::cell_of_edge: bad pair");
+  // Vertical bar index = from, horizontal bar index = to; the grid tiles
+  // the crossbar evenly.
+  const std::size_t a = from * l_ / n_;
+  const std::size_t b = to * l_ / n_;
+  return a * l_ + b;
+}
+
+graph::EdgeId CrossbarLayout::edge_id(graph::VertexId from,
+                                      graph::VertexId to) const {
+  return graph::complete_edge_id(n_, from, to);
+}
+
+void CrossbarLayout::die_position(graph::VertexId from, graph::VertexId to,
+                                  double* x, double* y) const {
+  *x = (static_cast<double>(from) + 0.5) / static_cast<double>(n_);
+  *y = (static_cast<double>(to) + 0.5) / static_cast<double>(n_);
+}
+
+Challenge random_challenge(const CrossbarLayout& layout, util::Rng& rng) {
+  const auto n = static_cast<std::int64_t>(layout.node_count());
+  const auto source = static_cast<graph::VertexId>(rng.uniform_int(0, n - 1));
+  auto sink = static_cast<graph::VertexId>(rng.uniform_int(0, n - 2));
+  if (sink >= source) ++sink;
+  return random_challenge_fixed_ends(layout, source, sink, rng);
+}
+
+Challenge random_challenge_fixed_ends(const CrossbarLayout& layout,
+                                      graph::VertexId source,
+                                      graph::VertexId sink, util::Rng& rng) {
+  if (source == sink || source >= layout.node_count() ||
+      sink >= layout.node_count())
+    throw std::invalid_argument("random_challenge: bad source/sink");
+  Challenge c;
+  c.source = source;
+  c.sink = sink;
+  c.bits.resize(layout.cell_count());
+  for (auto& b : c.bits) b = rng.coin() ? 1 : 0;
+  return c;
+}
+
+Challenge flip_bits(const Challenge& base, std::size_t flips,
+                    util::Rng& rng) {
+  if (flips > base.bits.size())
+    throw std::invalid_argument("flip_bits: more flips than bits");
+  Challenge c = base;
+  // Partial Fisher-Yates over bit indices to pick `flips` distinct bits.
+  std::vector<std::size_t> idx(base.bits.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  for (std::size_t i = 0; i < flips; ++i) {
+    const auto j = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(i),
+                        static_cast<std::int64_t>(idx.size()) - 1));
+    std::swap(idx[i], idx[j]);
+    c.bits[idx[i]] ^= 1;
+  }
+  return c;
+}
+
+std::size_t hamming_distance(const Challenge& a, const Challenge& b) {
+  if (a.bits.size() != b.bits.size())
+    throw std::invalid_argument("hamming_distance: size mismatch");
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.bits.size(); ++i)
+    d += a.bits[i] != b.bits[i] ? 1 : 0;
+  return d;
+}
+
+}  // namespace ppuf

@@ -1,0 +1,73 @@
+// PPUF challenges (Section 4.2).
+//
+// A challenge has two parts:
+//   type-A — the choice of source and sink node (n(n-1) possibilities);
+//   type-B — one bit per cell of the l x l control grid; the bit selects the
+//            control-voltage assignment (hence the saturation current) of
+//            every building block whose crossbar intersection falls in that
+//            cell.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "ppuf/params.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+
+struct Challenge {
+  graph::VertexId source = 0;
+  graph::VertexId sink = 1;
+  std::vector<std::uint8_t> bits;  ///< l*l type-B bits, row-major
+
+  bool operator==(const Challenge&) const = default;
+};
+
+/// Maps crossbar coordinates to grid cells and die positions.
+class CrossbarLayout {
+ public:
+  CrossbarLayout(std::size_t node_count, std::size_t grid_size);
+
+  std::size_t node_count() const { return n_; }
+  std::size_t grid_size() const { return l_; }
+  std::size_t cell_count() const { return l_ * l_; }
+  std::size_t edge_count() const { return n_ * (n_ - 1); }
+
+  /// Grid cell controlling the block at crossbar intersection (i, j),
+  /// i.e. the directed edge i -> j.
+  std::size_t cell_of_edge(graph::VertexId from, graph::VertexId to) const;
+
+  /// Edge id of the ordered pair, row-major with the diagonal skipped
+  /// (matches graph::complete_edge_id).
+  graph::EdgeId edge_id(graph::VertexId from, graph::VertexId to) const;
+
+  /// Normalised die position of the block at (from, to), for the
+  /// systematic-variation surface.
+  void die_position(graph::VertexId from, graph::VertexId to, double* x,
+                    double* y) const;
+
+ private:
+  std::size_t n_;
+  std::size_t l_;
+};
+
+/// Uniformly random challenge: random source/sink pair and i.i.d. type-B
+/// bits.
+Challenge random_challenge(const CrossbarLayout& layout, util::Rng& rng);
+
+/// Random challenge with the given source/sink fixed (used by the
+/// model-building attack, which observes a single type-A setting).
+Challenge random_challenge_fixed_ends(const CrossbarLayout& layout,
+                                      graph::VertexId source,
+                                      graph::VertexId sink, util::Rng& rng);
+
+/// Flips exactly `flips` distinct type-B bits of `base` (used by the Fig. 9
+/// flip-probability experiment).
+Challenge flip_bits(const Challenge& base, std::size_t flips, util::Rng& rng);
+
+/// Hamming distance between the type-B parts.
+std::size_t hamming_distance(const Challenge& a, const Challenge& b);
+
+}  // namespace ppuf

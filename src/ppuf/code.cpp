@@ -1,0 +1,71 @@
+#include "ppuf/code.hpp"
+
+#include <stdexcept>
+
+namespace ppuf {
+
+namespace {
+std::size_t distance(const std::vector<std::uint8_t>& a,
+                     const std::vector<std::uint8_t>& b) {
+  std::size_t d = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) d += a[i] != b[i] ? 1 : 0;
+  return d;
+}
+}  // namespace
+
+std::vector<std::vector<std::uint8_t>> build_min_distance_code(
+    std::size_t length, std::size_t min_distance, std::size_t max_codewords,
+    util::Rng& rng, std::size_t max_attempts) {
+  if (min_distance > length)
+    throw std::invalid_argument("build_min_distance_code: d > length");
+  std::vector<std::vector<std::uint8_t>> code;
+  std::size_t rejections = 0;
+  while (code.size() < max_codewords && rejections < max_attempts) {
+    std::vector<std::uint8_t> word(length);
+    for (auto& b : word) b = rng.coin() ? 1 : 0;
+    bool ok = true;
+    for (const auto& kept : code) {
+      if (distance(word, kept) < min_distance) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) {
+      code.push_back(std::move(word));
+      rejections = 0;
+    } else {
+      ++rejections;
+    }
+  }
+  return code;
+}
+
+bool check_min_distance(const std::vector<std::vector<std::uint8_t>>& code,
+                        std::size_t min_distance) {
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    for (std::size_t j = i + 1; j < code.size(); ++j) {
+      if (distance(code[i], code[j]) < min_distance) return false;
+    }
+  }
+  return true;
+}
+
+util::BigUint type_b_space_lower_bound(std::size_t l, std::size_t d) {
+  const auto length = static_cast<unsigned>(l * l);
+  if (d == 0 || d > length)
+    throw std::invalid_argument("type_b_space_lower_bound: bad d");
+  util::BigUint ball(0);
+  for (unsigned i = 0; i < d; ++i)
+    ball += util::BigUint::binomial(length, i);
+  return util::BigUint::pow2(length) / ball;
+}
+
+util::BigUint crp_space_lower_bound(std::size_t n, std::size_t l,
+                                    std::size_t d) {
+  if (n < 2) throw std::invalid_argument("crp_space_lower_bound: n < 2");
+  util::BigUint type_a(static_cast<std::uint64_t>(n));
+  type_a *= util::BigUint(static_cast<std::uint64_t>(n - 1));
+  return type_a * type_b_space_lower_bound(l, d);
+}
+
+}  // namespace ppuf

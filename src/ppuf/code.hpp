@@ -1,0 +1,43 @@
+// Challenge-space design (Section 4.2).
+//
+// To make a single-bit challenge flip move the response with probability
+// ~0.5, the paper restricts type-B challenges to a binary code of length
+// l^2 with minimum Hamming distance d, and counts the usable CRPs through
+// the Gilbert-Varshamov/Plotkin style bound
+//   N_B >= 2^(l^2) / sum_{i=0}^{d-1} C(l^2, i),
+//   N_CRP >= n(n-1) * N_B.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bigint.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+
+/// Greedy randomised construction of a binary code with minimum distance d:
+/// sample random words, keep each one that is >= d away from all kept
+/// words.  Stops after `max_codewords` kept words or `max_attempts`
+/// consecutive rejections.  (The existence of a code at least as large as
+/// the GV bound is guaranteed; greedy sampling finds a practical subset.)
+std::vector<std::vector<std::uint8_t>> build_min_distance_code(
+    std::size_t length, std::size_t min_distance, std::size_t max_codewords,
+    util::Rng& rng, std::size_t max_attempts = 20000);
+
+/// Verifies that every pair of codewords is >= min_distance apart.
+bool check_min_distance(
+    const std::vector<std::vector<std::uint8_t>>& code,
+    std::size_t min_distance);
+
+/// Exact evaluation of the paper's type-B space bound
+/// 2^(l^2) / sum_{i<d} C(l^2, i).
+util::BigUint type_b_space_lower_bound(std::size_t l, std::size_t d);
+
+/// Exact evaluation of the paper's total CRP bound
+/// n(n-1) * 2^(l^2) / sum_{i<d} C(l^2, i)  (paper: >= 6.53e35 for
+/// n = 200, l = 15, d = 2l).
+util::BigUint crp_space_lower_bound(std::size_t n, std::size_t l,
+                                    std::size_t d);
+
+}  // namespace ppuf

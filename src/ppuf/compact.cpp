@@ -1,0 +1,104 @@
+#include "ppuf/compact.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf {
+
+MonotoneCurve::MonotoneCurve(std::span<const double> xs,
+                             std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("MonotoneCurve: need >= 2 matched samples");
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (!(xs[i] > xs[i - 1]))
+      throw std::invalid_argument("MonotoneCurve: xs not strictly increasing");
+    if (ys[i] < ys[i - 1])
+      throw std::invalid_argument("MonotoneCurve: ys not non-decreasing");
+  }
+  x_.assign(xs.begin(), xs.end());
+  y_.assign(ys.begin(), ys.end());
+
+  const std::size_t n = x_.size();
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = x_[i + 1] - x_[i];
+    delta[i] = (y_[i + 1] - y_[i]) / h[i];
+  }
+
+  slope_.assign(n, 0.0);
+  // Interior tangents: weighted harmonic mean of adjacent secants
+  // (Fritsch-Carlson); zero whenever either secant is zero, which keeps the
+  // interpolant monotone.
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (delta[i - 1] <= 0.0 || delta[i] <= 0.0) {
+      slope_[i] = 0.0;
+    } else {
+      const double w1 = 2.0 * h[i] + h[i - 1];
+      const double w2 = h[i] + 2.0 * h[i - 1];
+      slope_[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+    }
+  }
+  // End tangents: one-sided three-point estimate, clamped to preserve
+  // monotonicity.
+  auto end_slope = [](double h0, double h1, double d0, double d1) {
+    double s = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+    if (s < 0.0) s = 0.0;
+    if (d0 > 0.0 && s > 3.0 * d0) s = 3.0 * d0;
+    if (d0 == 0.0) s = 0.0;
+    return s;
+  };
+  if (n == 2) {
+    slope_[0] = slope_[1] = delta[0];
+  } else {
+    slope_[0] = end_slope(h[0], h[1], delta[0], delta[1]);
+    slope_[n - 1] = end_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+  }
+}
+
+double MonotoneCurve::operator()(double x, double* derivative) const {
+  if (x_.empty()) throw std::logic_error("MonotoneCurve: empty");
+  if (x <= x_.front()) {
+    if (derivative != nullptr) *derivative = slope_.front();
+    return y_.front() + slope_.front() * (x - x_.front());
+  }
+  if (x >= x_.back()) {
+    if (derivative != nullptr) *derivative = slope_.back();
+    return y_.back() + slope_.back() * (x - x_.back());
+  }
+  const auto it = std::upper_bound(x_.begin(), x_.end(), x);
+  const std::size_t i = static_cast<std::size_t>(it - x_.begin()) - 1;
+  const double h = x_[i + 1] - x_[i];
+  const double t = (x - x_[i]) / h;
+  const double y0 = y_[i], y1 = y_[i + 1];
+  const double m0 = slope_[i] * h, m1 = slope_[i + 1] * h;
+  // Cubic Hermite basis.
+  const double t2 = t * t, t3 = t2 * t;
+  const double value = (2 * t3 - 3 * t2 + 1) * y0 + (t3 - 2 * t2 + t) * m0 +
+                       (-2 * t3 + 3 * t2) * y1 + (t3 - t2) * m1;
+  if (derivative != nullptr) {
+    const double d = (6 * t2 - 6 * t) * y0 + (3 * t2 - 4 * t + 1) * m0 +
+                     (-6 * t2 + 6 * t) * y1 + (3 * t2 - 2 * t) * m1;
+    *derivative = d / h;
+  }
+  return value;
+}
+
+double MonotoneCurve::inverse(double y) const {
+  if (x_.empty()) throw std::logic_error("MonotoneCurve: empty");
+  if (y < y_.front() || y > y_.back())
+    throw std::domain_error("MonotoneCurve::inverse: value out of range");
+  double lo = x_.front(), hi = x_.back();
+  for (int iter = 0; iter < 200 && hi - lo > 1e-12 * (x_.back() - x_.front());
+       ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if ((*this)(mid) < y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ppuf

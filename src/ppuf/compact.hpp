@@ -1,0 +1,43 @@
+// Monotone piecewise-cubic interpolation (Fritsch-Carlson / PCHIP).
+//
+// The network-level solver represents each building block by a compact I-V
+// curve sampled from the device-level netlist.  Monotone interpolation
+// preserves the block's incremental passivity (Section 3.1), which is what
+// guarantees a unique network steady state and a positive-semidefinite
+// Newton Jacobian.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace ppuf {
+
+class MonotoneCurve {
+ public:
+  MonotoneCurve() = default;
+
+  /// Build from samples with strictly increasing xs and non-decreasing ys.
+  /// Throws std::invalid_argument otherwise.  Outside [xs.front(),
+  /// xs.back()] the curve continues linearly with the end slopes.
+  MonotoneCurve(std::span<const double> xs, std::span<const double> ys);
+
+  bool empty() const { return x_.empty(); }
+
+  /// Value at x; if derivative != nullptr also writes dy/dx (always >= 0).
+  double operator()(double x, double* derivative = nullptr) const;
+
+  double x_min() const { return x_.front(); }
+  double x_max() const { return x_.back(); }
+  double y_max() const { return y_.back(); }
+
+  /// Inverse lookup: smallest x with value >= y (bisection); requires y in
+  /// [y(x_min), y(x_max)].
+  double inverse(double y) const;
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> slope_;  // Fritsch-Carlson tangents at the knots
+};
+
+}  // namespace ppuf

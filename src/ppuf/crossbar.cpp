@@ -1,0 +1,114 @@
+#include "ppuf/crossbar.hpp"
+
+#include <stdexcept>
+
+namespace ppuf {
+
+namespace {
+bool same_env(const circuit::Environment& a, const circuit::Environment& b) {
+  return a.vdd_scale == b.vdd_scale && a.temperature_c == b.temperature_c;
+}
+}  // namespace
+
+CrossbarNetwork::CrossbarNetwork(const PpufParams& params,
+                                 const CrossbarLayout& layout,
+                                 util::Rng& rng,
+                                 const circuit::SystematicSurface& surface)
+    : params_(params), layout_(layout) {
+  const std::size_t n = layout_.node_count();
+  variation_.reserve(n * (n - 1));
+  for (graph::VertexId i = 0; i < n; ++i) {
+    for (graph::VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      circuit::BlockVariation v =
+          circuit::draw_block_variation(params_.variation, rng);
+      double x = 0.0, y = 0.0;
+      layout_.die_position(i, j, &x, &y);
+      circuit::apply_systematic(v, surface, x, y);
+      variation_.push_back(v);
+    }
+  }
+}
+
+void CrossbarNetwork::prepare(const circuit::Environment& env) {
+  if (prepared_ && same_env(env, cached_env_)) return;
+  const std::size_t edges = variation_.size();
+  curves_.assign(edges, {});
+  for (std::size_t e = 0; e < edges; ++e) {
+    for (int bit = 0; bit < 2; ++bit) {
+      curves_[e][bit] = characterize_block(params_, variation_[e], bit, env);
+    }
+  }
+  if (!solver_) {
+    solver_ = std::make_unique<NetworkSolver>(
+        layout_.node_count(),
+        std::vector<const MonotoneCurve*>(edges, nullptr));
+  }
+  cached_env_ = env;
+  prepared_ = true;
+}
+
+const BlockCurve& CrossbarNetwork::curve(graph::EdgeId e, int bit) const {
+  if (!prepared_) throw std::logic_error("CrossbarNetwork: prepare() first");
+  if (bit != 0 && bit != 1)
+    throw std::invalid_argument("CrossbarNetwork::curve: bad bit");
+  return curves_.at(e)[bit];
+}
+
+void CrossbarNetwork::select_curves(const Challenge& challenge) {
+  if (challenge.bits.size() != layout_.cell_count())
+    throw std::invalid_argument("CrossbarNetwork: challenge size mismatch");
+  auto& active = solver_->edge_curves();
+  const std::size_t n = layout_.node_count();
+  std::size_t e = 0;
+  for (graph::VertexId i = 0; i < n; ++i) {
+    for (graph::VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int bit = challenge.bits[layout_.cell_of_edge(i, j)] ? 1 : 0;
+      active[e] = &curves_[e][bit].iv;
+      ++e;
+    }
+  }
+}
+
+CrossbarNetwork::Execution CrossbarNetwork::execute(
+    const Challenge& challenge, const circuit::Environment& env) {
+  prepare(env);
+  select_curves(challenge);
+  const NetworkSolver::DcResult dc = solver_->solve_dc(
+      challenge.source, challenge.sink, params_.vs * env.vdd_scale);
+  Execution out;
+  out.source_current = dc.source_current;
+  out.newton_iterations = dc.iterations;
+  out.converged = dc.converged;
+  return out;
+}
+
+std::vector<double> CrossbarNetwork::execute_edge_currents(
+    const Challenge& challenge, const circuit::Environment& env) {
+  prepare(env);
+  select_curves(challenge);
+  const NetworkSolver::DcResult dc = solver_->solve_dc(
+      challenge.source, challenge.sink, params_.vs * env.vdd_scale);
+  return solver_->edge_currents(dc.node_voltage);
+}
+
+NetworkSolver::TransientResult CrossbarNetwork::execute_transient(
+    const Challenge& challenge, const circuit::Environment& env,
+    const NetworkSolver::TransientOptions& topt) {
+  prepare(env);
+  select_curves(challenge);
+  return solver_->solve_transient(challenge.source, challenge.sink,
+                                  params_.vs * env.vdd_scale,
+                                  node_capacitances(), topt);
+}
+
+std::vector<double> CrossbarNetwork::node_capacitances() const {
+  const std::size_t n = layout_.node_count();
+  // Each node touches 2(n-1) blocks: n-1 outgoing on its vertical bar and
+  // n-1 incoming on its horizontal bar.
+  return std::vector<double>(
+      n, params_.edge_capacitance * static_cast<double>(2 * (n - 1)));
+}
+
+}  // namespace ppuf

@@ -1,0 +1,82 @@
+// One crossbar network (Section 4.1): the physical realisation of the
+// complete graph.  Every ordered node pair (i, j) has a building block at
+// the intersection of vertical bar i and horizontal bar j, with its own
+// process-variation draw.  The block compact models are characterised once
+// per environment and cached; executing a challenge is then a single
+// network-level Newton solve.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <vector>
+
+#include "circuit/env.hpp"
+#include "circuit/variation.hpp"
+#include "ppuf/block.hpp"
+#include "ppuf/challenge.hpp"
+#include "ppuf/network_solver.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+
+class CrossbarNetwork {
+ public:
+  /// Draws the process variation of every block.  `surface` is the die's
+  /// systematic-variation surface — pass the same surface for the two
+  /// networks of a PPUF (side-by-side placement, Section 4.1).
+  CrossbarNetwork(const PpufParams& params, const CrossbarLayout& layout,
+                  util::Rng& rng, const circuit::SystematicSurface& surface);
+
+  const CrossbarLayout& layout() const { return layout_; }
+  const PpufParams& params() const { return params_; }
+
+  /// Variation draw of the block instantiating directed edge e.  This is
+  /// part of the *public* model of the PPUF.
+  const circuit::BlockVariation& block_variation(graph::EdgeId e) const {
+    return variation_.at(e);
+  }
+
+  /// Characterise all block compact models for `env` (no-op if already
+  /// cached for the same environment).
+  void prepare(const circuit::Environment& env);
+
+  /// Compact model of edge e under input bit `bit`; prepare() first.
+  const BlockCurve& curve(graph::EdgeId e, int bit) const;
+
+  struct Execution {
+    double source_current = 0.0;  ///< steady-state current into the source
+    int newton_iterations = 0;
+    bool converged = false;
+  };
+
+  /// Solve the steady state for a challenge (implicitly prepares `env`).
+  Execution execute(const Challenge& challenge,
+                    const circuit::Environment& env);
+
+  /// Per-edge steady-state currents for a challenge — the flow function the
+  /// PPUF holder hands to a verifier for the residual-graph check.
+  std::vector<double> execute_edge_currents(const Challenge& challenge,
+                                            const circuit::Environment& env);
+
+  /// Settle-time measurement for the same challenge (execution delay).
+  NetworkSolver::TransientResult execute_transient(
+      const Challenge& challenge, const circuit::Environment& env,
+      const NetworkSolver::TransientOptions& topt);
+
+  /// Per-node capacitance: edge capacitance times degree (2(n-1) incident
+  /// blocks per node in the complete crossbar).
+  std::vector<double> node_capacitances() const;
+
+ private:
+  void select_curves(const Challenge& challenge);
+
+  PpufParams params_;
+  CrossbarLayout layout_;
+  std::vector<circuit::BlockVariation> variation_;        // per edge
+  std::vector<std::array<BlockCurve, 2>> curves_;         // per edge x bit
+  circuit::Environment cached_env_{};
+  bool prepared_ = false;
+  std::unique_ptr<NetworkSolver> solver_;
+};
+
+}  // namespace ppuf

@@ -1,0 +1,58 @@
+#include "ppuf/delay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ppuf/block.hpp"
+
+namespace ppuf {
+
+double block_effective_resistance(const PpufParams& params) {
+  const circuit::BlockVariation nominal{};
+  const BlockCurve curve = characterize_block(
+      params, nominal, 1, circuit::Environment::nominal());
+  if (curve.isat <= 0.0)
+    throw std::runtime_error("block_effective_resistance: dead block");
+  return kCapacityReferenceVoltage / curve.isat;
+}
+
+double analytic_delay_bound(const PpufParams& params, std::size_t n,
+                            double settle_tolerance) {
+  if (n < 2) throw std::invalid_argument("analytic_delay_bound: n < 2");
+  if (settle_tolerance <= 0.0 || settle_tolerance >= 1.0)
+    throw std::invalid_argument("analytic_delay_bound: tolerance in (0,1)");
+  const double c_node =
+      params.edge_capacitance * static_cast<double>(2 * (n - 1));
+  // An RC node reaches within a fraction eps of its final value after
+  // RC ln(1/eps); the Lin-Mead argument bounds the worst node's RC by
+  // R(s,u) C(u).
+  return block_effective_resistance(params) * c_node *
+         std::log(1.0 / settle_tolerance);
+}
+
+double measured_execution_delay(CrossbarNetwork& network,
+                                const Challenge& challenge,
+                                const circuit::Environment& env,
+                                double settle_tolerance) {
+  NetworkSolver::TransientOptions topt;
+  topt.settle_tolerance = settle_tolerance;
+  // Start from the analytic bound and expand the window until settled.
+  const double bound =
+      analytic_delay_bound(network.params(), network.layout().node_count());
+  topt.t_end = 4.0 * bound;
+  topt.dt = topt.t_end / 800.0;
+  for (int attempt = 0; attempt < 6; ++attempt) {
+    const NetworkSolver::TransientResult r =
+        network.execute_transient(challenge, env, topt);
+    // Section 3.3 defines the delay through node-voltage stability, which
+    // upper-bounds the current stability; report that measure (it is also
+    // the robust one — on flat saturation plateaus the source current can
+    // sit inside its band long before the network has actually settled).
+    if (r.voltage_settle_time > 0.0) return r.voltage_settle_time;
+    topt.t_end *= 4.0;
+    topt.dt *= 4.0;
+  }
+  throw std::runtime_error("measured_execution_delay: did not settle");
+}
+
+}  // namespace ppuf

@@ -1,0 +1,35 @@
+// Execution-delay estimation (Section 3.3).
+//
+// The paper bounds the charging delay of the worst node u by the Lin-Mead
+// capacitance-redistribution argument: T(u) <= R(s,u) C(u), where R(s,u)
+// is the (constant) effective resistance of the direct edge from the
+// source and C(u) grows linearly with degree — hence O(n) execution delay.
+// We provide both that analytic bound and a direct transient measurement.
+#pragma once
+
+#include "ppuf/crossbar.hpp"
+#include "ppuf/params.hpp"
+
+namespace ppuf {
+
+/// Effective charging resistance of one block near its operating point:
+/// the secant resistance from turn-on to the capacity reference voltage of
+/// the nominal block curve.
+double block_effective_resistance(const PpufParams& params);
+
+/// Analytic Lin-Mead upper bound on the execution delay for an n-node
+/// PPUF: R_eff * C(u) with C(u) = edge_capacitance * 2(n-1), times the
+/// RC settling factor ln(1/tolerance) for reaching the given band around
+/// the steady state.  Linear in n, as Section 3.3 proves.
+double analytic_delay_bound(const PpufParams& params, std::size_t n,
+                            double settle_tolerance = 1e-3);
+
+/// Measured settle time of the source current for one challenge on one
+/// network (see NetworkSolver::solve_transient).  Expands the analysis
+/// window until the current settles.
+double measured_execution_delay(CrossbarNetwork& network,
+                                const Challenge& challenge,
+                                const circuit::Environment& env,
+                                double settle_tolerance = 1e-3);
+
+}  // namespace ppuf

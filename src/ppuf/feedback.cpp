@@ -1,0 +1,63 @@
+#include "ppuf/feedback.hpp"
+
+#include <stdexcept>
+
+namespace ppuf {
+
+namespace {
+/// FNV-1a over the challenge contents, mixed with the response and nonce,
+/// to seed the successor's deterministic sampling.
+std::uint64_t chain_hash(const Challenge& c, int response,
+                         std::uint64_t nonce) {
+  std::uint64_t h = 14695981039346656037ULL ^ nonce;
+  auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ULL;
+  };
+  mix(c.source);
+  mix(c.sink);
+  for (std::uint8_t b : c.bits) mix(b);
+  mix(static_cast<std::uint64_t>(response) + 0x5bd1e995ULL);
+  return h;
+}
+}  // namespace
+
+Challenge next_challenge(const CrossbarLayout& layout,
+                         const Challenge& previous, int response,
+                         std::uint64_t protocol_nonce) {
+  util::Rng rng(chain_hash(previous, response, protocol_nonce));
+  return random_challenge(layout, rng);
+}
+
+FeedbackChain run_chain_on_ppuf(MaxFlowPpuf& instance, const Challenge& c1,
+                                std::size_t k, std::uint64_t protocol_nonce,
+                                const circuit::Environment& env) {
+  if (k == 0) throw std::invalid_argument("run_chain_on_ppuf: k == 0");
+  FeedbackChain chain;
+  Challenge c = c1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const int r = instance.evaluate(c, env).bit;
+    chain.challenges.push_back(c);
+    chain.responses.push_back(r);
+    if (i + 1 < k) c = next_challenge(instance.layout(), c, r, protocol_nonce);
+  }
+  return chain;
+}
+
+FeedbackChain run_chain_on_model(const SimulationModel& model,
+                                 const Challenge& c1, std::size_t k,
+                                 std::uint64_t protocol_nonce,
+                                 maxflow::Algorithm algorithm) {
+  if (k == 0) throw std::invalid_argument("run_chain_on_model: k == 0");
+  FeedbackChain chain;
+  Challenge c = c1;
+  for (std::size_t i = 0; i < k; ++i) {
+    const int r = model.predict(c, algorithm).bit;
+    chain.challenges.push_back(c);
+    chain.responses.push_back(r);
+    if (i + 1 < k) c = next_challenge(model.layout(), c, r, protocol_nonce);
+  }
+  return chain;
+}
+
+}  // namespace ppuf

@@ -1,0 +1,44 @@
+// Feedback-loop ESG amplification (Section 3.3, adopted from SIMPL
+// systems): the verifier issues challenge C1 and requires the chain
+// (C1,R1)...(Ck,Rk), where C_{i+1} is a public deterministic function of
+// (C_i, R_i).  The PPUF holder pays k executions (O(kn)); a simulator must
+// solve the k max-flow instances *sequentially* (O(k n^2)), because C_{i+1}
+// is unknown until R_i is — that sequencing is exactly what multiplies the
+// ESG by k.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+
+namespace ppuf {
+
+/// Public successor function: derives the next challenge from the previous
+/// challenge and its response.  Both PPUF holder and simulator use it.
+Challenge next_challenge(const CrossbarLayout& layout,
+                         const Challenge& previous, int response,
+                         std::uint64_t protocol_nonce);
+
+struct FeedbackChain {
+  std::vector<Challenge> challenges;  ///< C1..Ck
+  std::vector<int> responses;         ///< R1..Rk
+  int final_response() const { return responses.back(); }
+};
+
+/// Run the chain on the physical PPUF (the holder's fast path).
+FeedbackChain run_chain_on_ppuf(MaxFlowPpuf& instance, const Challenge& c1,
+                                std::size_t k, std::uint64_t protocol_nonce,
+                                const circuit::Environment& env =
+                                    circuit::Environment::nominal());
+
+/// Run the chain through the public simulation model (the attacker's slow
+/// path): k sequential max-flow solves per network.
+FeedbackChain run_chain_on_model(const SimulationModel& model,
+                                 const Challenge& c1, std::size_t k,
+                                 std::uint64_t protocol_nonce,
+                                 maxflow::Algorithm algorithm =
+                                     maxflow::Algorithm::kPushRelabel);
+
+}  // namespace ppuf

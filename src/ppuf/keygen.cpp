@@ -1,0 +1,47 @@
+#include "ppuf/keygen.hpp"
+
+#include <stdexcept>
+
+namespace ppuf {
+
+std::vector<Challenge> key_challenges(const CrossbarLayout& layout,
+                                      const KeyDerivationOptions& options) {
+  if (options.bits == 0)
+    throw std::invalid_argument("key_challenges: zero bits");
+  util::Rng rng(options.seed ^ 0x6b79676e65726174ULL);
+  std::vector<Challenge> out;
+  out.reserve(options.bits);
+  for (std::size_t i = 0; i < options.bits; ++i)
+    out.push_back(random_challenge(layout, rng));
+  return out;
+}
+
+std::vector<std::uint8_t> derive_key(MaxFlowPpuf& instance,
+                                     const KeyDerivationOptions& options,
+                                     util::Rng& noise_rng,
+                                     const circuit::Environment& env) {
+  if (options.votes == 0 || options.votes % 2 == 0)
+    throw std::invalid_argument("derive_key: votes must be odd");
+  const std::vector<Challenge> challenges =
+      key_challenges(instance.layout(), options);
+  std::vector<std::uint8_t> key;
+  key.reserve(challenges.size());
+  for (const Challenge& c : challenges) {
+    std::size_t ones = 0;
+    for (std::size_t v = 0; v < options.votes; ++v)
+      ones += instance.evaluate(c, env, &noise_rng).bit;
+    key.push_back(ones * 2 > options.votes ? 1 : 0);
+  }
+  return key;
+}
+
+double key_mismatch_rate(const std::vector<std::uint8_t>& a,
+                         const std::vector<std::uint8_t>& b) {
+  if (a.size() != b.size() || a.empty())
+    throw std::invalid_argument("key_mismatch_rate: size mismatch");
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff += a[i] != b[i] ? 1 : 0;
+  return static_cast<double>(diff) / static_cast<double>(a.size());
+}
+
+}  // namespace ppuf

@@ -1,0 +1,41 @@
+// Key derivation from PPUF responses.
+//
+// The classic PUF application: expand a public seed into a challenge list,
+// read the response bits (majority-voted against comparator noise), and use
+// them as device-unique key material.  For a *public* PUF this is only
+// useful with physical access control — anyone can simulate the key from
+// the model, slowly — but it exercises the same reliability pipeline and
+// gives the examples a concrete payload.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+
+namespace ppuf {
+
+struct KeyDerivationOptions {
+  std::size_t bits = 128;         ///< key length
+  std::size_t votes = 5;          ///< odd; majority votes per bit
+  std::uint64_t seed = 1;         ///< public seed -> challenge list
+};
+
+/// The deterministic public challenge list for a seed (anyone can derive
+/// it; the *responses* are what differ per device).
+std::vector<Challenge> key_challenges(const CrossbarLayout& layout,
+                                      const KeyDerivationOptions& options);
+
+/// Derive the key bits from a device.
+std::vector<std::uint8_t> derive_key(MaxFlowPpuf& instance,
+                                     const KeyDerivationOptions& options,
+                                     util::Rng& noise_rng,
+                                     const circuit::Environment& env =
+                                         circuit::Environment::nominal());
+
+/// Fraction of key bits that differ between two derivations (e.g. nominal
+/// vs temperature-stressed) — the figure error correction must cover.
+double key_mismatch_rate(const std::vector<std::uint8_t>& a,
+                         const std::vector<std::uint8_t>& b);
+
+}  // namespace ppuf

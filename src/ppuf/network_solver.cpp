@@ -1,0 +1,289 @@
+#include "ppuf/network_solver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/lu.hpp"
+
+namespace ppuf {
+
+namespace {
+constexpr std::size_t kPinned = static_cast<std::size_t>(-1);
+}
+
+NetworkSolver::NetworkSolver(std::size_t node_count,
+                             std::vector<const MonotoneCurve*> edge_curves,
+                             Options options)
+    : n_(node_count), curves_(std::move(edge_curves)), options_(options) {
+  if (n_ < 2) throw std::invalid_argument("NetworkSolver: need n >= 2");
+  if (curves_.size() != n_ * (n_ - 1))
+    throw std::invalid_argument("NetworkSolver: curve count != n(n-1)");
+}
+
+double NetworkSolver::assemble(
+    const numeric::Vector& v, graph::VertexId source, graph::VertexId sink,
+    numeric::Vector* residual, numeric::Matrix* laplacian,
+    const std::vector<std::size_t>& unknown_index) const {
+  double source_current = 0.0;
+  std::size_t e = 0;
+  for (graph::VertexId i = 0; i < n_; ++i) {
+    for (graph::VertexId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const MonotoneCurve* curve = curves_[e++];
+      if (curve == nullptr) continue;
+      double g = 0.0;
+      const double current = (*curve)(v[i] - v[j], &g);
+      if (g < 0.0) g = 0.0;  // guard: monotone curves should never go here
+      const std::size_t ui = unknown_index[i];
+      const std::size_t uj = unknown_index[j];
+      if (residual != nullptr) {
+        if (ui != kPinned) (*residual)[ui] += current;
+        if (uj != kPinned) (*residual)[uj] -= current;
+      }
+      if (laplacian != nullptr && g != 0.0) {
+        if (ui != kPinned) (*laplacian)(ui, ui) += g;
+        if (uj != kPinned) (*laplacian)(uj, uj) += g;
+        if (ui != kPinned && uj != kPinned) {
+          (*laplacian)(ui, uj) -= g;
+          (*laplacian)(uj, ui) -= g;
+        }
+      }
+      if (i == source) source_current += current;
+      if (j == source) source_current -= current;
+    }
+  }
+  (void)sink;
+  return source_current;
+}
+
+std::vector<double> NetworkSolver::edge_currents(
+    const numeric::Vector& node_voltage) const {
+  if (node_voltage.size() != n_)
+    throw std::invalid_argument("edge_currents: bad voltage vector");
+  std::vector<double> out(curves_.size(), 0.0);
+  std::size_t e = 0;
+  for (graph::VertexId i = 0; i < n_; ++i) {
+    for (graph::VertexId j = 0; j < n_; ++j) {
+      if (i == j) continue;
+      const MonotoneCurve* curve = curves_[e];
+      if (curve != nullptr)
+        out[e] = (*curve)(node_voltage[i] - node_voltage[j]);
+      ++e;
+    }
+  }
+  return out;
+}
+
+NetworkSolver::DcResult NetworkSolver::solve_dc(
+    graph::VertexId source, graph::VertexId sink, double vs,
+    const numeric::Vector* warm) const {
+  if (source >= n_ || sink >= n_ || source == sink)
+    throw std::invalid_argument("NetworkSolver::solve_dc: bad source/sink");
+
+  std::vector<std::size_t> unknown_index(n_, kPinned);
+  std::size_t m = 0;
+  for (graph::VertexId u = 0; u < n_; ++u) {
+    if (u != source && u != sink) unknown_index[u] = m++;
+  }
+
+  numeric::Vector v(n_, 0.5 * vs);
+  if (warm != nullptr && warm->size() == n_) v = *warm;
+  v[source] = vs;
+  v[sink] = 0.0;
+
+  DcResult out;
+  out.node_voltage = v;
+
+  numeric::Vector residual(m, 0.0);
+  numeric::Matrix lap(m, m);
+  numeric::Vector v_trial(n_);
+  numeric::Vector f_trial(m, 0.0);
+
+  // Merit function for the backtracking line search (residuals are
+  // nanoampere-scale; square them in nA units).
+  auto merit = [&](const numeric::Vector& r, const numeric::Vector& volts) {
+    double s = 0.0;
+    for (graph::VertexId u = 0; u < n_; ++u) {
+      const std::size_t idx = unknown_index[u];
+      if (idx == kPinned) continue;
+      const double ri = (r[idx] + options_.gmin * volts[u]) * 1e9;
+      s += ri * ri;
+    }
+    return s;
+  };
+  const double merit_floor =
+      static_cast<double>(m) * (options_.current_tol * 1e9) *
+      (options_.current_tol * 1e9);
+
+  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+    residual.assign(m, 0.0);
+    lap.fill(0.0);
+    assemble(v, source, sink, &residual, &lap, unknown_index);
+    const double merit_old = merit(residual, v);
+    double res_norm = 0.0;
+    for (graph::VertexId u = 0; u < n_; ++u) {
+      const std::size_t idx = unknown_index[u];
+      if (idx == kPinned) continue;
+      residual[idx] += options_.gmin * v[u];
+      lap(idx, idx) += options_.gmin;
+      res_norm = std::max(res_norm, std::abs(residual[idx]));
+    }
+
+    numeric::Vector rhs(m);
+    for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
+
+    numeric::Vector dx;
+    try {
+      dx = numeric::cholesky_solve(lap, rhs);
+    } catch (const std::runtime_error&) {
+      // The Laplacian is SPD in exact arithmetic; fall back to pivoted LU
+      // if rounding pushes a pivot non-positive.
+      dx = numeric::lu_solve(lap, rhs);
+    }
+
+    const double max_dv = numeric::norm_inf(dx);
+    out.iterations = iter;
+    if (max_dv < options_.voltage_tol && res_norm < options_.current_tol) {
+      out.converged = true;
+      break;
+    }
+
+    // Backtracking line search: a block deep in its flat saturation region
+    // contributes (almost) no conductance, so the raw Newton step can
+    // overshoot across the knee and oscillate.
+    double alpha =
+        max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
+    for (int bt = 0; bt < 16; ++bt) {
+      v_trial = v;
+      for (graph::VertexId u = 0; u < n_; ++u) {
+        const std::size_t idx = unknown_index[u];
+        if (idx != kPinned) v_trial[u] += alpha * dx[idx];
+      }
+      if (merit_old <= merit_floor) break;
+      f_trial.assign(m, 0.0);
+      assemble(v_trial, source, sink, &f_trial, nullptr, unknown_index);
+      if (merit(f_trial, v_trial) <=
+          merit_old * (1.0 - 1e-4 * alpha)) {
+        break;
+      }
+      alpha *= 0.5;
+    }
+    v = v_trial;
+  }
+
+  // Report the source current at the final voltages.
+  out.source_current = assemble(v, source, sink, nullptr, nullptr,
+                                unknown_index);
+  out.node_voltage = v;
+  return out;
+}
+
+NetworkSolver::TransientResult NetworkSolver::solve_transient(
+    graph::VertexId source, graph::VertexId sink, double vs,
+    const std::vector<double>& node_capacitance,
+    const TransientOptions& topt) const {
+  if (node_capacitance.size() != n_)
+    throw std::invalid_argument("solve_transient: capacitance size");
+  const DcResult final_state = solve_dc(source, sink, vs);
+  if (!final_state.converged)
+    throw std::runtime_error("solve_transient: DC pre-solve failed");
+
+  std::vector<std::size_t> unknown_index(n_, kPinned);
+  std::size_t m = 0;
+  for (graph::VertexId u = 0; u < n_; ++u) {
+    if (u != source && u != sink) unknown_index[u] = m++;
+  }
+
+  // Discharged initial condition; the challenge step pins the source at vs
+  // at t = 0+.
+  numeric::Vector v(n_, 0.0);
+  v[source] = vs;
+  numeric::Vector v_prev = v;
+
+  TransientResult out;
+  out.time.push_back(0.0);
+  out.source_current.push_back(
+      assemble(v, source, sink, nullptr, nullptr, unknown_index));
+  std::vector<double> voltage_error;
+  auto max_voltage_error = [&](const numeric::Vector& volts) {
+    double m = 0.0;
+    for (graph::VertexId u = 0; u < n_; ++u)
+      m = std::max(m, std::abs(volts[u] - final_state.node_voltage[u]));
+    return m;
+  };
+  voltage_error.push_back(max_voltage_error(v));
+
+  numeric::Vector residual(m, 0.0);
+  numeric::Matrix jac(m, m);
+
+  const double g_dt = 1.0 / topt.dt;
+  for (double t = topt.dt; t <= topt.t_end + 0.5 * topt.dt; t += topt.dt) {
+    bool converged = false;
+    for (int iter = 0; iter < options_.max_iterations; ++iter) {
+      residual.assign(m, 0.0);
+      jac.fill(0.0);
+      assemble(v, source, sink, &residual, &jac, unknown_index);
+      double res_norm = 0.0;
+      for (graph::VertexId u = 0; u < n_; ++u) {
+        const std::size_t idx = unknown_index[u];
+        if (idx == kPinned) continue;
+        const double gc = node_capacitance[u] * g_dt;
+        residual[idx] += gc * (v[u] - v_prev[u]) + options_.gmin * v[u];
+        jac(idx, idx) += gc + options_.gmin;
+        res_norm = std::max(res_norm, std::abs(residual[idx]));
+      }
+      numeric::Vector rhs(m);
+      for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
+      numeric::Vector dx;
+      try {
+        dx = numeric::cholesky_solve(jac, rhs);
+      } catch (const std::runtime_error&) {
+        dx = numeric::lu_solve(jac, rhs);
+      }
+      const double max_dv = numeric::norm_inf(dx);
+      const double scale =
+          max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
+      for (graph::VertexId u = 0; u < n_; ++u) {
+        const std::size_t idx = unknown_index[u];
+        if (idx != kPinned) v[u] += scale * dx[idx];
+      }
+      // The capacitive term dominates the residual scale during fast
+      // transients, so convergence here is on the step, not on KCL.
+      if (scale == 1.0 && max_dv < options_.voltage_tol) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged)
+      throw std::runtime_error("solve_transient: Newton failed at a step");
+    v_prev = v;
+    out.time.push_back(t);
+    out.source_current.push_back(
+        assemble(v, source, sink, nullptr, nullptr, unknown_index));
+    voltage_error.push_back(max_voltage_error(v));
+  }
+
+  // Settle times: last departure from the tolerance band around the DC
+  // values (scanning backwards finds the *final* entry into the band).
+  const double target = final_state.source_current;
+  const double band = std::abs(target) * topt.settle_tolerance;
+  std::size_t first_settled = out.time.size();
+  for (std::size_t k = out.time.size(); k-- > 0;) {
+    if (std::abs(out.source_current[k] - target) > band) break;
+    first_settled = k;
+  }
+  if (first_settled < out.time.size())
+    out.settle_time = out.time[first_settled];
+
+  std::size_t v_settled = out.time.size();
+  for (std::size_t k = out.time.size(); k-- > 0;) {
+    if (voltage_error[k] > topt.voltage_tolerance) break;
+    v_settled = k;
+  }
+  if (v_settled < out.time.size())
+    out.voltage_settle_time = out.time[v_settled];
+  return out;
+}
+
+}  // namespace ppuf

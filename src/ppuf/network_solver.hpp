@@ -1,0 +1,105 @@
+// Network-level steady-state and transient solver.
+//
+// The crossbar is a complete graph of compact-model blocks.  Rather than
+// pushing ~n^2 device-level blocks through the generic MNA solver, this
+// solver works directly on the compact I-V curves: unknowns are the n-2
+// floating node voltages, the Jacobian is the (SPD) weighted-Laplacian of
+// branch conductances, and each Newton step is one Cholesky solve.
+//
+// Incremental passivity of the blocks (monotone curves) makes the Jacobian
+// positive semidefinite and the steady state unique — the circuit-theory
+// argument of Section 3.2.
+#pragma once
+
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "numeric/matrix.hpp"
+#include "ppuf/compact.hpp"
+
+namespace ppuf {
+
+class NetworkSolver {
+ public:
+  struct Options {
+    int max_iterations = 200;
+    double voltage_tol = 1e-9;   ///< convergence on max |dV| [V]
+    double current_tol = 1e-14;  ///< convergence on max node KCL error [A]
+    double step_limit = 0.4;     ///< Newton step clamp [V]
+    double gmin = 1e-12;         ///< node-to-ground conductance [S]
+  };
+
+  /// `edge_curves[e]` is the active compact curve of the directed edge with
+  /// id e in row-major ordered-pair layout (graph::complete_edge_id); a
+  /// null pointer disables the edge.  The solver keeps the pointers, so the
+  /// curves must outlive it; swapping pointers re-programs the challenge
+  /// without rebuilding.
+  NetworkSolver(std::size_t node_count,
+                std::vector<const MonotoneCurve*> edge_curves,
+                Options options);
+  NetworkSolver(std::size_t node_count,
+                std::vector<const MonotoneCurve*> edge_curves)
+      : NetworkSolver(node_count, std::move(edge_curves), Options{}) {}
+
+  std::size_t node_count() const { return n_; }
+
+  std::vector<const MonotoneCurve*>& edge_curves() { return curves_; }
+
+  struct DcResult {
+    numeric::Vector node_voltage;  ///< size n, source/sink values included
+    double source_current = 0.0;   ///< net current out of the source node
+    int iterations = 0;
+    bool converged = false;
+  };
+
+  /// Branch currents at the given node voltages, indexed by edge id (the
+  /// physical flow function the PPUF holder reports to a verifier).
+  std::vector<double> edge_currents(const numeric::Vector& node_voltage) const;
+
+  /// Steady state with `source` pinned at vs and `sink` at ground; all
+  /// other nodes float.  `warm` (node voltages of a previous solve) speeds
+  /// up challenge sweeps.
+  DcResult solve_dc(graph::VertexId source, graph::VertexId sink, double vs,
+                    const numeric::Vector* warm = nullptr) const;
+
+  struct TransientResult {
+    std::vector<double> time;            ///< sample instants [s]
+    std::vector<double> source_current;  ///< source current at each instant
+    /// First time the source current stays within `settle_tolerance` of its
+    /// final (DC) value; negative if it never settles in the window.
+    double settle_time = -1.0;
+    /// First time every node voltage stays within `voltage_tolerance` of
+    /// its final (DC) value — the paper's Section 3.3 definition, which
+    /// upper-bounds the current settling.  Negative if not reached.
+    double voltage_settle_time = -1.0;
+  };
+
+  struct TransientOptions {
+    double dt = 2e-10;            ///< backward-Euler step [s]
+    double t_end = 4e-7;          ///< analysis window [s]
+    double settle_tolerance = 1e-3;  ///< relative band around the DC value
+    double voltage_tolerance = 5e-3; ///< absolute node-voltage band [V]
+  };
+
+  /// Backward-Euler transient from the fully discharged state after the
+  /// challenge step.  `node_capacitance[v]` is the total capacitance at
+  /// node v (for the crossbar: edge_capacitance * degree).
+  TransientResult solve_transient(graph::VertexId source,
+                                  graph::VertexId sink, double vs,
+                                  const std::vector<double>& node_capacitance,
+                                  const TransientOptions& topt) const;
+
+ private:
+  /// Evaluate all branch currents/conductances at the voltage vector and
+  /// accumulate KCL residual + Laplacian; returns the source current.
+  double assemble(const numeric::Vector& v, graph::VertexId source,
+                  graph::VertexId sink, numeric::Vector* residual,
+                  numeric::Matrix* laplacian,
+                  const std::vector<std::size_t>& unknown_index) const;
+
+  std::size_t n_;
+  std::vector<const MonotoneCurve*> curves_;
+  Options options_;
+};
+
+}  // namespace ppuf

@@ -1,0 +1,17 @@
+#include "ppuf/power.hpp"
+
+namespace ppuf {
+
+PowerEstimate estimate_power(const PpufParams& params,
+                             double avg_current_per_network,
+                             double execution_delay) {
+  PowerEstimate e;
+  e.crossbar_power = params.vs * 2.0 * avg_current_per_network;
+  e.comparator_power = kComparatorPowerWatts;
+  e.total_power = e.crossbar_power + e.comparator_power;
+  e.execution_delay = execution_delay;
+  e.energy_per_eval = e.total_power * execution_delay;
+  return e;
+}
+
+}  // namespace ppuf

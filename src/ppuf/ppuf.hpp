@@ -1,0 +1,59 @@
+// The complete PPUF (Fig. 1): two nominally identical crossbar networks
+// differing only in process variation, a current comparator on the two
+// source currents, and the challenge interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ppuf/crossbar.hpp"
+
+namespace ppuf {
+
+class MaxFlowPpuf {
+ public:
+  /// Fabricate an instance: draws the systematic surface and both
+  /// networks' process variation, plus the comparator offset.  The same
+  /// seed always fabricates the same instance.
+  MaxFlowPpuf(const PpufParams& params, std::uint64_t seed);
+
+  const PpufParams& params() const { return params_; }
+  const CrossbarLayout& layout() const { return layout_; }
+
+  CrossbarNetwork& network_a() { return network_a_; }
+  CrossbarNetwork& network_b() { return network_b_; }
+  const CrossbarNetwork& network_a() const { return network_a_; }
+  const CrossbarNetwork& network_b() const { return network_b_; }
+
+  /// Instance comparator offset (part of the public model — it can be
+  /// measured once and published).
+  double comparator_offset() const { return comparator_offset_; }
+
+  struct Evaluation {
+    int bit = 0;
+    double current_a = 0.0;  ///< steady-state source current, network A [A]
+    double current_b = 0.0;  ///< network B [A]
+    bool converged = false;
+  };
+
+  /// Execute one challenge.  `noise_rng`, when provided, adds the
+  /// comparator's per-evaluation input-referred noise; pass nullptr for the
+  /// noiseless (expected-value) response.
+  Evaluation evaluate(const Challenge& challenge,
+                      const circuit::Environment& env =
+                          circuit::Environment::nominal(),
+                      util::Rng* noise_rng = nullptr);
+
+  /// Pre-characterise both networks for `env` (evaluate() does this lazily).
+  void prepare(const circuit::Environment& env);
+
+ private:
+  PpufParams params_;
+  CrossbarLayout layout_;
+  circuit::SystematicSurface surface_;
+  CrossbarNetwork network_a_;
+  CrossbarNetwork network_b_;
+  double comparator_offset_ = 0.0;
+};
+
+}  // namespace ppuf

@@ -1,0 +1,113 @@
+#include "ppuf/sim_model.hpp"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+#include "graph/complete.hpp"
+
+namespace ppuf {
+
+SimulationModel::SimulationModel(MaxFlowPpuf& instance,
+                                 const circuit::Environment& env)
+    : layout_(instance.layout()),
+      comparator_offset_(instance.comparator_offset()) {
+  instance.prepare(env);
+  const std::size_t edges = layout_.edge_count();
+  for (int net = 0; net < 2; ++net) {
+    const CrossbarNetwork& network =
+        net == 0 ? instance.network_a() : instance.network_b();
+    auto& caps = capacities_[net];
+    caps.resize(edges);
+    for (graph::EdgeId e = 0; e < edges; ++e) {
+      caps[e][0] = network.curve(e, 0).isat;
+      caps[e][1] = network.curve(e, 1).isat;
+    }
+  }
+}
+
+double SimulationModel::capacity(int network, graph::EdgeId e,
+                                 int bit) const {
+  if (network < 0 || network > 1 || bit < 0 || bit > 1)
+    throw std::invalid_argument("SimulationModel::capacity: bad index");
+  return capacities_[network].at(e)[bit];
+}
+
+graph::Digraph SimulationModel::build_graph(int network,
+                                            const Challenge& challenge) const {
+  if (challenge.bits.size() != layout_.cell_count())
+    throw std::invalid_argument("SimulationModel: challenge size mismatch");
+  const std::size_t n = layout_.node_count();
+  return graph::make_complete(n, [&](graph::VertexId i, graph::VertexId j) {
+    const int bit = challenge.bits[layout_.cell_of_edge(i, j)] ? 1 : 0;
+    return capacity(network, layout_.edge_id(i, j), bit);
+  });
+}
+
+double SimulationModel::predicted_flow(int network,
+                                       const Challenge& challenge,
+                                       maxflow::Algorithm algorithm) const {
+  const graph::Digraph g = build_graph(network, challenge);
+  const graph::FlowProblem problem{&g, challenge.source, challenge.sink};
+  return maxflow::make_solver(algorithm)->solve(problem).value;
+}
+
+void SimulationModel::save(std::ostream& os) const {
+  // Format:
+  //   ppuf-model 1
+  //   nodes <n> grid <l>
+  //   comparator_offset <A>
+  //   <edges> lines: capA0 capA1 capB0 capB1   (amperes, edge-id order)
+  os << "ppuf-model 1\n";
+  os << "nodes " << layout_.node_count() << " grid " << layout_.grid_size()
+     << "\n";
+  os << std::setprecision(17) << std::scientific;
+  os << "comparator_offset " << comparator_offset_ << "\n";
+  for (graph::EdgeId e = 0; e < layout_.edge_count(); ++e) {
+    os << capacities_[0][e][0] << ' ' << capacities_[0][e][1] << ' '
+       << capacities_[1][e][0] << ' ' << capacities_[1][e][1] << '\n';
+  }
+}
+
+SimulationModel SimulationModel::load(std::istream& is) {
+  auto fail = [](const std::string& what) -> void {
+    throw std::runtime_error("SimulationModel::load: " + what);
+  };
+  std::string tag;
+  int version = 0;
+  if (!(is >> tag >> version) || tag != "ppuf-model" || version != 1)
+    fail("bad header");
+  std::string key;
+  std::size_t n = 0, l = 0;
+  if (!(is >> key >> n) || key != "nodes") fail("missing nodes");
+  if (!(is >> key >> l) || key != "grid") fail("missing grid");
+  if (n < 2 || l < 1 || l > n) fail("invalid geometry");
+
+  SimulationModel model{CrossbarLayout(n, l)};
+  if (!(is >> key >> model.comparator_offset_) || key != "comparator_offset")
+    fail("missing comparator_offset");
+  const std::size_t edges = model.layout_.edge_count();
+  for (int net = 0; net < 2; ++net) model.capacities_[net].resize(edges);
+  for (graph::EdgeId e = 0; e < edges; ++e) {
+    double a0 = 0, a1 = 0, b0 = 0, b1 = 0;
+    if (!(is >> a0 >> a1 >> b0 >> b1)) fail("truncated capacity table");
+    if (a0 < 0 || a1 < 0 || b0 < 0 || b1 < 0)
+      fail("negative capacity");
+    model.capacities_[0][e] = {a0, a1};
+    model.capacities_[1][e] = {b0, b1};
+  }
+  return model;
+}
+
+SimulationModel::Prediction SimulationModel::predict(
+    const Challenge& challenge, maxflow::Algorithm algorithm) const {
+  Prediction p;
+  p.flow_a = predicted_flow(0, challenge, algorithm);
+  p.flow_b = predicted_flow(1, challenge, algorithm);
+  p.bit = (p.flow_a - p.flow_b + comparator_offset_) > 0.0 ? 1 : 0;
+  return p;
+}
+
+}  // namespace ppuf

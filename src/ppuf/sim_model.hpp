@@ -1,0 +1,75 @@
+// The public simulation model (Sections 2-3).
+//
+// A PPUF publishes its model: per block, the saturation current under each
+// input bit — i.e. the edge capacities of the equivalent max-flow instance.
+// Anyone can then predict a response by solving two max-flow problems
+// (one per network) and comparing the values; the security of the PPUF
+// rests solely on how *long* that takes (the ESG), not on the model being
+// secret.
+#pragma once
+
+#include <array>
+#include <iosfwd>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "maxflow/solver.hpp"
+#include "ppuf/ppuf.hpp"
+
+namespace ppuf {
+
+class SimulationModel {
+ public:
+  /// Extracts the public model of `instance` at the given characterisation
+  /// environment (typically nominal).  The extraction characterises every
+  /// block — the "enrollment-free" public measurement the paper describes.
+  explicit SimulationModel(MaxFlowPpuf& instance,
+                           const circuit::Environment& env =
+                               circuit::Environment::nominal());
+
+  /// Serialise / restore the published model (a PPUF's public identity is
+  /// literally this file).  Plain text, versioned; see save() for the
+  /// format.  load() throws std::runtime_error on malformed input.
+  void save(std::ostream& os) const;
+  static SimulationModel load(std::istream& is);
+
+  std::size_t node_count() const { return layout_.node_count(); }
+  const CrossbarLayout& layout() const { return layout_; }
+
+  /// Edge capacity (saturation current) of edge e in network (0 = A, 1 = B)
+  /// under input bit `bit`.
+  double capacity(int network, graph::EdgeId e, int bit) const;
+
+  /// Max-flow instance of one network under a challenge.  The returned
+  /// graph is finalized, with edge ids matching the crossbar layout.
+  graph::Digraph build_graph(int network, const Challenge& challenge) const;
+
+  /// Max-flow value of one network under a challenge.
+  double predicted_flow(int network, const Challenge& challenge,
+                        maxflow::Algorithm algorithm =
+                            maxflow::Algorithm::kPushRelabel) const;
+
+  struct Prediction {
+    int bit = 0;
+    double flow_a = 0.0;
+    double flow_b = 0.0;
+  };
+
+  /// Predicted response: compare the two max-flow values through the
+  /// published comparator offset.
+  Prediction predict(const Challenge& challenge,
+                     maxflow::Algorithm algorithm =
+                         maxflow::Algorithm::kPushRelabel) const;
+
+  double comparator_offset() const { return comparator_offset_; }
+
+ private:
+  explicit SimulationModel(const CrossbarLayout& layout) : layout_(layout) {}
+
+  CrossbarLayout layout_;
+  // capacities_[network][edge][bit]
+  std::array<std::vector<std::array<double, 2>>, 2> capacities_;
+  double comparator_offset_ = 0.0;
+};
+
+}  // namespace ppuf

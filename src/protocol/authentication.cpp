@@ -1,0 +1,216 @@
+#include "protocol/authentication.hpp"
+
+#include <chrono>
+
+#include "maxflow/verify.hpp"
+
+namespace ppuf::protocol {
+
+Verifier::Verifier(const SimulationModel& model, double deadline_seconds,
+                   double flow_tolerance, unsigned verify_threads)
+    : model_(model),
+      deadline_(deadline_seconds),
+      tolerance_(flow_tolerance),
+      threads_(verify_threads) {}
+
+Challenge Verifier::issue_challenge(util::Rng& rng) const {
+  return random_challenge(model_.layout(), rng);
+}
+
+AuthenticationResult Verifier::verify(const Challenge& challenge,
+                                      const ProverReport& report) const {
+  AuthenticationResult result;
+
+  result.in_time = report.elapsed_seconds <= deadline_;
+  if (!result.in_time) {
+    result.detail = "deadline exceeded";
+    return result;
+  }
+
+  // Residual-graph verification (cheap, parallelizable): feasibility plus
+  // no remaining augmenting path, per network.
+  for (int net = 0; net < 2; ++net) {
+    const auto& flow = net == 0 ? report.edge_flow_a : report.edge_flow_b;
+    const graph::Digraph g = model_.build_graph(net, challenge);
+    const maxflow::VerifyResult v = maxflow::verify_flow(
+        g, challenge.source, challenge.sink, flow, tolerance_, threads_);
+    if (!v.optimal) {
+      result.detail = std::string(net == 0 ? "network A: " : "network B: ") +
+                      v.reason;
+      return result;
+    }
+  }
+  result.flows_valid = true;
+
+  const int expected_bit =
+      (report.flow_a - report.flow_b + model_.comparator_offset()) > 0.0 ? 1
+                                                                         : 0;
+  result.bit_consistent = report.bit == expected_bit;
+  if (!result.bit_consistent) {
+    result.detail = "response bit inconsistent with claimed flows";
+    return result;
+  }
+
+  result.accepted = true;
+  return result;
+}
+
+ProverReport prove_with_ppuf(MaxFlowPpuf& instance,
+                             const Challenge& challenge,
+                             double modelled_delay_seconds) {
+  const circuit::Environment env = circuit::Environment::nominal();
+  ProverReport r;
+  r.edge_flow_a = instance.network_a().execute_edge_currents(challenge, env);
+  r.edge_flow_b = instance.network_b().execute_edge_currents(challenge, env);
+  const MaxFlowPpuf::Evaluation ev = instance.evaluate(challenge, env);
+  r.bit = ev.bit;
+  r.flow_a = ev.current_a;
+  r.flow_b = ev.current_b;
+  r.elapsed_seconds = modelled_delay_seconds;
+  return r;
+}
+
+namespace {
+
+/// Flow-claims check for one round (no deadline involvement).
+bool round_flows_ok(const SimulationModel& model, const Challenge& challenge,
+                    const ProverReport& report, double tolerance,
+                    unsigned threads, std::string* why) {
+  for (int net = 0; net < 2; ++net) {
+    const auto& flow = net == 0 ? report.edge_flow_a : report.edge_flow_b;
+    const graph::Digraph g = model.build_graph(net, challenge);
+    const maxflow::VerifyResult v = maxflow::verify_flow(
+        g, challenge.source, challenge.sink, flow, tolerance, threads);
+    if (!v.optimal) {
+      *why = std::string(net == 0 ? "network A: " : "network B: ") + v.reason;
+      return false;
+    }
+  }
+  const int expected =
+      (report.flow_a - report.flow_b + model.comparator_offset()) > 0.0 ? 1
+                                                                        : 0;
+  if (report.bit != expected) {
+    *why = "response bit inconsistent with claimed flows";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ChainedVerifyResult verify_chain(const Verifier& verifier,
+                                 const SimulationModel& model,
+                                 const Challenge& first, std::size_t k,
+                                 std::uint64_t protocol_nonce,
+                                 const ChainedReport& report,
+                                 std::size_t spot_checks, util::Rng& rng) {
+  ChainedVerifyResult result;
+  if (report.rounds.size() != k || k == 0) {
+    result.detail = "wrong round count";
+    return result;
+  }
+
+  result.in_time = report.elapsed_seconds <= verifier.deadline_seconds();
+  if (!result.in_time) {
+    result.detail = "deadline exceeded";
+    return result;
+  }
+
+  // Re-derive the challenge chain from the reported responses; this is
+  // cheap and pins every round's challenge.
+  std::vector<Challenge> chain{first};
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    chain.push_back(next_challenge(model.layout(), chain.back(),
+                                   report.rounds[i].bit, protocol_nonce));
+  }
+  result.chain_consistent = true;
+
+  // Spot-check rounds (all of them when spot_checks == 0).
+  std::vector<std::size_t> to_check;
+  if (spot_checks == 0 || spot_checks >= k) {
+    for (std::size_t i = 0; i < k; ++i) to_check.push_back(i);
+  } else {
+    for (std::size_t i = 0; i < spot_checks; ++i) {
+      to_check.push_back(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(k) - 1)));
+    }
+  }
+  for (const std::size_t i : to_check) {
+    std::string why;
+    if (!round_flows_ok(model, chain[i], report.rounds[i],
+                        verifier.flow_tolerance(), verifier.verify_threads(),
+                        &why)) {
+      result.detail = "round " + std::to_string(i) + ": " + why;
+      return result;
+    }
+  }
+  result.rounds_valid = true;
+  result.accepted = true;
+  return result;
+}
+
+ChainedReport prove_chain_with_ppuf(MaxFlowPpuf& instance,
+                                    const Challenge& first, std::size_t k,
+                                    std::uint64_t protocol_nonce,
+                                    double modelled_delay_seconds) {
+  ChainedReport report;
+  Challenge c = first;
+  for (std::size_t i = 0; i < k; ++i) {
+    report.rounds.push_back(
+        prove_with_ppuf(instance, c, modelled_delay_seconds));
+    if (i + 1 < k) {
+      c = next_challenge(instance.layout(), c, report.rounds.back().bit,
+                         protocol_nonce);
+    }
+  }
+  report.elapsed_seconds =
+      modelled_delay_seconds * static_cast<double>(k);
+  return report;
+}
+
+ChainedReport prove_chain_by_simulation(const SimulationModel& model,
+                                        const Challenge& first, std::size_t k,
+                                        std::uint64_t protocol_nonce,
+                                        maxflow::Algorithm algorithm) {
+  const auto t0 = std::chrono::steady_clock::now();
+  ChainedReport report;
+  Challenge c = first;
+  for (std::size_t i = 0; i < k; ++i) {
+    report.rounds.push_back(prove_by_simulation(model, c, algorithm));
+    if (i + 1 < k) {
+      c = next_challenge(model.layout(), c, report.rounds.back().bit,
+                         protocol_nonce);
+    }
+  }
+  report.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return report;
+}
+
+ProverReport prove_by_simulation(const SimulationModel& model,
+                                 const Challenge& challenge,
+                                 maxflow::Algorithm algorithm) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto solver = maxflow::make_solver(algorithm);
+  ProverReport r;
+  for (int net = 0; net < 2; ++net) {
+    const graph::Digraph g = model.build_graph(net, challenge);
+    const graph::FlowProblem problem{&g, challenge.source, challenge.sink};
+    const maxflow::FlowResult flow = solver->solve(problem);
+    if (net == 0) {
+      r.flow_a = flow.value;
+      r.edge_flow_a = flow.edge_flow;
+    } else {
+      r.flow_b = flow.value;
+      r.edge_flow_b = flow.edge_flow;
+    }
+  }
+  r.bit = (r.flow_a - r.flow_b + model.comparator_offset()) > 0.0 ? 1 : 0;
+  r.elapsed_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return r;
+}
+
+}  // namespace ppuf::protocol

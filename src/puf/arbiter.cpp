@@ -1,0 +1,45 @@
+#include "puf/arbiter.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::puf {
+
+ArbiterPuf::ArbiterPuf(std::size_t stages, std::uint64_t seed) {
+  if (stages == 0) throw std::invalid_argument("ArbiterPuf: zero stages");
+  util::Rng rng(seed ^ 0xa0761d6478bd642fULL);
+  weights_.resize(stages + 1);
+  const double sigma = 1.0 / std::sqrt(static_cast<double>(stages + 1));
+  for (double& w : weights_) w = rng.gaussian(0.0, sigma);
+}
+
+std::vector<double> ArbiterPuf::parity_features(
+    const std::vector<std::uint8_t>& challenge) {
+  const std::size_t k = challenge.size();
+  std::vector<double> phi(k + 1);
+  // phi_i = prod_{j=i}^{k-1} (1 - 2 c_j); phi_k = 1.  Computed backwards.
+  phi[k] = 1.0;
+  for (std::size_t i = k; i-- > 0;)
+    phi[i] = phi[i + 1] * (challenge[i] ? -1.0 : 1.0);
+  return phi;
+}
+
+double ArbiterPuf::margin(const std::vector<std::uint8_t>& challenge) const {
+  if (challenge.size() + 1 != weights_.size())
+    throw std::invalid_argument("ArbiterPuf: challenge length mismatch");
+  const std::vector<double> phi = parity_features(challenge);
+  double m = 0.0;
+  for (std::size_t i = 0; i < phi.size(); ++i) m += weights_[i] * phi[i];
+  return m;
+}
+
+int ArbiterPuf::evaluate(const std::vector<std::uint8_t>& challenge) const {
+  return margin(challenge) > 0.0 ? 1 : 0;
+}
+
+int ArbiterPuf::evaluate_noisy(const std::vector<std::uint8_t>& challenge,
+                               double noise_sigma, util::Rng& rng) const {
+  return (margin(challenge) + rng.gaussian(0.0, noise_sigma)) > 0.0 ? 1 : 0;
+}
+
+}  // namespace ppuf::puf

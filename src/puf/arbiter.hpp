@@ -1,0 +1,47 @@
+// Arbiter PUF — the classic strong PUF the paper compares against in the
+// model-building experiment (Fig. 10).
+//
+// Standard additive linear-delay model: each of the k stages contributes a
+// delay difference depending on its challenge bit; the response is the sign
+// of the accumulated difference.  Equivalently r = sign(w . phi(c)) with
+// the parity feature map phi — which is why the arbiter PUF is famously
+// learnable and makes a good "weak" baseline.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace ppuf::puf {
+
+class ArbiterPuf {
+ public:
+  /// Fabricate an instance with `stages` stages; stage delay mismatches are
+  /// drawn i.i.d. Gaussian, normalised so the typical margin is ~1.
+  ArbiterPuf(std::size_t stages, std::uint64_t seed);
+
+  std::size_t stages() const { return weights_.size() - 1; }
+
+  /// Noise-free response to a challenge of exactly stages() bits.
+  int evaluate(const std::vector<std::uint8_t>& challenge) const;
+
+  /// Response with additive evaluation noise of the given sigma on the
+  /// delay difference (sigma = 0 gives evaluate()).
+  int evaluate_noisy(const std::vector<std::uint8_t>& challenge,
+                     double noise_sigma, util::Rng& rng) const;
+
+  /// The parity feature map phi(c) in {-1,+1}^(k+1): phi_i = product of
+  /// (1 - 2 c_j) for j >= i.  Exposed because the strongest known
+  /// model-building attack trains on these features.
+  static std::vector<double> parity_features(
+      const std::vector<std::uint8_t>& challenge);
+
+  /// Raw delay-difference margin (w . phi(c)).
+  double margin(const std::vector<std::uint8_t>& challenge) const;
+
+ private:
+  std::vector<double> weights_;  // k+1 weights acting on phi
+};
+
+}  // namespace ppuf::puf

@@ -1,0 +1,196 @@
+#include "util/bigint.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::util {
+
+namespace {
+constexpr std::uint64_t kBase = 1ULL << 32;
+}
+
+BigUint::BigUint(std::uint64_t value) {
+  while (value != 0) {
+    limbs_.push_back(static_cast<std::uint32_t>(value & 0xffffffffULL));
+    value >>= 32;
+  }
+}
+
+void BigUint::trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigUint BigUint::from_decimal(const std::string& s) {
+  if (s.empty()) throw std::invalid_argument("BigUint: empty string");
+  BigUint r;
+  for (char c : s) {
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("BigUint: non-decimal character");
+    r *= BigUint(10);
+    r += BigUint(static_cast<std::uint64_t>(c - '0'));
+  }
+  return r;
+}
+
+BigUint BigUint::pow2(unsigned k) {
+  BigUint r;
+  r.limbs_.assign(k / 32 + 1, 0);
+  r.limbs_[k / 32] = 1U << (k % 32);
+  return r;
+}
+
+BigUint BigUint::binomial(unsigned n, unsigned k) {
+  if (k > n) return BigUint(0);
+  k = std::min(k, n - k);
+  // C(n, i) = C(n, i-1) * (n - i + 1) / i; each intermediate is exact.
+  BigUint r(1);
+  for (unsigned i = 1; i <= k; ++i) {
+    r *= BigUint(n - i + 1);
+    r /= BigUint(i);
+  }
+  return r;
+}
+
+BigUint& BigUint::operator+=(const BigUint& rhs) {
+  const std::size_t n = std::max(limbs_.size(), rhs.limbs_.size());
+  limbs_.resize(n, 0);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint64_t s = carry + limbs_[i];
+    if (i < rhs.limbs_.size()) s += rhs.limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(s & 0xffffffffULL);
+    carry = s >> 32;
+  }
+  if (carry != 0) limbs_.push_back(static_cast<std::uint32_t>(carry));
+  return *this;
+}
+
+BigUint& BigUint::operator-=(const BigUint& rhs) {
+  if (*this < rhs) throw std::domain_error("BigUint: negative result");
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::int64_t d = static_cast<std::int64_t>(limbs_[i]) - borrow;
+    if (i < rhs.limbs_.size()) d -= rhs.limbs_[i];
+    if (d < 0) {
+      d += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    limbs_[i] = static_cast<std::uint32_t>(d);
+  }
+  trim();
+  return *this;
+}
+
+BigUint& BigUint::operator*=(const BigUint& rhs) {
+  if (is_zero() || rhs.is_zero()) {
+    limbs_.clear();
+    return *this;
+  }
+  std::vector<std::uint32_t> out(limbs_.size() + rhs.limbs_.size(), 0);
+  for (std::size_t i = 0; i < limbs_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < rhs.limbs_.size(); ++j) {
+      std::uint64_t cur = out[i + j] +
+                          static_cast<std::uint64_t>(limbs_[i]) * rhs.limbs_[j] +
+                          carry;
+      out[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + rhs.limbs_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out[k] + carry;
+      out[k] = static_cast<std::uint32_t>(cur & 0xffffffffULL);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  limbs_ = std::move(out);
+  trim();
+  return *this;
+}
+
+std::uint32_t BigUint::div_small(std::uint32_t divisor) {
+  std::uint64_t rem = 0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    std::uint64_t cur = (rem << 32) | limbs_[i];
+    limbs_[i] = static_cast<std::uint32_t>(cur / divisor);
+    rem = cur % divisor;
+  }
+  trim();
+  return static_cast<std::uint32_t>(rem);
+}
+
+BigUint& BigUint::operator/=(const BigUint& rhs) {
+  if (rhs.is_zero()) throw std::domain_error("BigUint: divide by zero");
+  if (rhs.limbs_.size() == 1) {
+    div_small(rhs.limbs_[0]);
+    return *this;
+  }
+  if (*this < rhs) {
+    limbs_.clear();
+    return *this;
+  }
+  // Schoolbook long division, one bit at a time.  Slow but simple and the
+  // operand sizes in this project (a few hundred bits) make it instant.
+  BigUint quotient;
+  BigUint remainder;
+  quotient.limbs_.assign(limbs_.size(), 0);
+  for (unsigned bit = bit_length(); bit-- > 0;) {
+    // remainder = remainder*2 + bit_of(*this, bit)
+    remainder *= BigUint(2);
+    if ((limbs_[bit / 32] >> (bit % 32)) & 1U) remainder += BigUint(1);
+    if (remainder >= rhs) {
+      remainder -= rhs;
+      quotient.limbs_[bit / 32] |= 1U << (bit % 32);
+    }
+  }
+  quotient.trim();
+  *this = std::move(quotient);
+  return *this;
+}
+
+bool operator<(const BigUint& a, const BigUint& b) {
+  if (a.limbs_.size() != b.limbs_.size())
+    return a.limbs_.size() < b.limbs_.size();
+  for (std::size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i];
+  }
+  return false;
+}
+
+std::string BigUint::to_decimal() const {
+  if (is_zero()) return "0";
+  BigUint tmp = *this;
+  std::string out;
+  while (!tmp.is_zero()) {
+    const std::uint32_t digit = tmp.div_small(10);
+    out.push_back(static_cast<char>('0' + digit));
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+double BigUint::to_double() const {
+  double r = 0.0;
+  for (std::size_t i = limbs_.size(); i-- > 0;) {
+    r = r * static_cast<double>(kBase) + static_cast<double>(limbs_[i]);
+    if (std::isinf(r)) return r;
+  }
+  return r;
+}
+
+unsigned BigUint::bit_length() const {
+  if (limbs_.empty()) return 0;
+  unsigned bits = 32 * static_cast<unsigned>(limbs_.size() - 1);
+  std::uint32_t top = limbs_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace ppuf::util

@@ -1,0 +1,75 @@
+// Minimal arbitrary-precision unsigned integer.
+//
+// Used to evaluate the exact CRP-space lower bound of Section 4.2,
+//   N_CRP >= n(n-1) * 2^(l^2) / sum_{i<d} C(l^2, i),
+// whose intermediate values (2^225 for l = 15) overflow every built-in type.
+// Only the operations that computation needs are provided.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ppuf::util {
+
+/// Arbitrary-precision unsigned integer, little-endian base 2^32 limbs.
+class BigUint {
+ public:
+  BigUint() = default;
+  BigUint(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parse a decimal string (digits only); throws std::invalid_argument.
+  static BigUint from_decimal(const std::string& s);
+
+  /// 2^k.
+  static BigUint pow2(unsigned k);
+
+  /// Binomial coefficient C(n, k), exact.
+  static BigUint binomial(unsigned n, unsigned k);
+
+  bool is_zero() const { return limbs_.empty(); }
+
+  BigUint& operator+=(const BigUint& rhs);
+  BigUint& operator-=(const BigUint& rhs);  ///< throws if rhs > *this
+  BigUint& operator*=(const BigUint& rhs);
+  /// Floor division; throws std::domain_error on divide by zero.
+  BigUint& operator/=(const BigUint& rhs);
+
+  friend BigUint operator+(BigUint a, const BigUint& b) { return a += b; }
+  friend BigUint operator-(BigUint a, const BigUint& b) { return a -= b; }
+  friend BigUint operator*(BigUint a, const BigUint& b) { return a *= b; }
+  friend BigUint operator/(BigUint a, const BigUint& b) { return a /= b; }
+
+  friend bool operator==(const BigUint& a, const BigUint& b) {
+    return a.limbs_ == b.limbs_;
+  }
+  friend bool operator!=(const BigUint& a, const BigUint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const BigUint& a, const BigUint& b);
+  friend bool operator>(const BigUint& a, const BigUint& b) { return b < a; }
+  friend bool operator<=(const BigUint& a, const BigUint& b) {
+    return !(b < a);
+  }
+  friend bool operator>=(const BigUint& a, const BigUint& b) {
+    return !(a < b);
+  }
+
+  /// Decimal representation ("0" for zero).
+  std::string to_decimal() const;
+
+  /// Approximate value as double (inf on overflow).
+  double to_double() const;
+
+  /// Number of bits in the value (0 for zero).
+  unsigned bit_length() const;
+
+ private:
+  void trim();
+  /// Divide by a single 32-bit divisor in place, returning the remainder.
+  std::uint32_t div_small(std::uint32_t divisor);
+
+  std::vector<std::uint32_t> limbs_;  // empty == zero
+};
+
+}  // namespace ppuf::util

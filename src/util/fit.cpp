@@ -1,0 +1,168 @@
+#include "util/fit.hpp"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ppuf::util {
+
+double Polynomial::operator()(double x) const {
+  double r = 0.0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) r = r * x + coeffs[i];
+  return r;
+}
+
+std::string Polynomial::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    if (i > 0) os << (coeffs[i] >= 0 ? " + " : " - ");
+    os << std::scientific << std::abs(coeffs[i]);
+    if (i == 1) os << "*x";
+    if (i > 1) os << "*x^" << i;
+  }
+  return os.str();
+}
+
+namespace {
+
+/// Gaussian elimination with partial pivoting for the small (<=10x10)
+/// normal-equation systems produced here.  The general dense solver lives in
+/// src/numeric; util cannot depend on it without creating a layering cycle,
+/// and these systems are tiny.
+std::vector<double> solve_small(std::vector<std::vector<double>> a,
+                                std::vector<double> b) {
+  const std::size_t n = b.size();
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::abs(a[r][col]) > std::abs(a[pivot][col])) pivot = r;
+    }
+    if (std::abs(a[pivot][col]) < 1e-300)
+      throw std::runtime_error("polyfit: singular normal equations");
+    std::swap(a[col], a[pivot]);
+    std::swap(b[col], b[pivot]);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a[r][col] / a[col][col];
+      for (std::size_t c = col; c < n; ++c) a[r][c] -= f * a[col][c];
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n);
+  for (std::size_t row = n; row-- > 0;) {
+    double s = b[row];
+    for (std::size_t c = row + 1; c < n; ++c) s -= a[row][c] * x[c];
+    x[row] = s / a[row][row];
+  }
+  return x;
+}
+
+}  // namespace
+
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   unsigned degree) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("polyfit: size mismatch");
+  const std::size_t k = degree + 1;
+  if (xs.size() < k)
+    throw std::invalid_argument("polyfit: not enough points for degree");
+
+  // Normal equations: (V^T V) c = V^T y with Vandermonde V.
+  std::vector<std::vector<double>> ata(k, std::vector<double>(k, 0.0));
+  std::vector<double> aty(k, 0.0);
+  for (std::size_t p = 0; p < xs.size(); ++p) {
+    std::vector<double> pw(2 * k - 1);
+    pw[0] = 1.0;
+    for (std::size_t i = 1; i < pw.size(); ++i) pw[i] = pw[i - 1] * xs[p];
+    for (std::size_t i = 0; i < k; ++i) {
+      for (std::size_t j = 0; j < k; ++j) ata[i][j] += pw[i + j];
+      aty[i] += pw[i] * ys[p];
+    }
+  }
+  return Polynomial{solve_small(std::move(ata), std::move(aty))};
+}
+
+double PowerLaw::operator()(double x) const { return a * std::pow(x, b); }
+
+std::string PowerLaw::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  os << std::scientific << a << " * n^" << std::defaultfloat << b;
+  return os.str();
+}
+
+PowerLaw fit_power_law(std::span<const double> xs,
+                       std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_power_law: need >= 2 matched points");
+  std::vector<double> lx(xs.size()), ly(ys.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] <= 0.0 || ys[i] <= 0.0)
+      throw std::invalid_argument("fit_power_law: inputs must be positive");
+    lx[i] = std::log(xs[i]);
+    ly[i] = std::log(ys[i]);
+  }
+  const Line line = fit_line(lx, ly);
+  return PowerLaw{std::exp(line.intercept), line.slope};
+}
+
+Line fit_line(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size() || xs.size() < 2)
+    throw std::invalid_argument("fit_line: need >= 2 matched points");
+  const auto n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-300)
+    throw std::runtime_error("fit_line: degenerate x values");
+  Line l;
+  l.slope = (n * sxy - sx * sy) / denom;
+  l.intercept = (sy - l.slope * sx) / n;
+  return l;
+}
+
+double r_squared(std::span<const double> ys,
+                 std::span<const double> predicted) {
+  if (ys.size() != predicted.size() || ys.empty())
+    throw std::invalid_argument("r_squared: size mismatch");
+  double my = 0.0;
+  for (double y : ys) my += y;
+  my /= static_cast<double>(ys.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (std::size_t i = 0; i < ys.size(); ++i) {
+    ss_res += (ys[i] - predicted[i]) * (ys[i] - predicted[i]);
+    ss_tot += (ys[i] - my) * (ys[i] - my);
+  }
+  if (ss_tot == 0.0) return ss_res == 0.0 ? 1.0 : 0.0;
+  return 1.0 - ss_res / ss_tot;
+}
+
+double solve_monotone(double (*f)(double, const void*), const void* ctx,
+                      double target, double lo, double hi, double tol) {
+  double flo = f(lo, ctx) - target;
+  double fhi = f(hi, ctx) - target;
+  if (flo == 0.0) return lo;
+  if (fhi == 0.0) return hi;
+  if ((flo > 0.0) == (fhi > 0.0))
+    return std::numeric_limits<double>::quiet_NaN();
+  while (hi - lo > tol * std::max(1.0, std::abs(lo))) {
+    const double mid = 0.5 * (lo + hi);
+    const double fm = f(mid, ctx) - target;
+    if (fm == 0.0) return mid;
+    if ((fm > 0.0) == (flo > 0.0)) {
+      lo = mid;
+      flo = fm;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace ppuf::util

@@ -1,0 +1,58 @@
+// Least-squares curve fitting used to reproduce the paper's Figure 7/8
+// "polynomial fitting" and extrapolation (e.g. extrapolating measured
+// 20..100-node data out to the 900-node design point).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ppuf::util {
+
+/// Coefficients c[0] + c[1] x + ... + c[d] x^d.
+struct Polynomial {
+  std::vector<double> coeffs;
+
+  double operator()(double x) const;
+  std::string to_string() const;
+};
+
+/// Least-squares polynomial fit of the given degree (normal equations).
+/// Requires xs.size() == ys.size() >= degree + 1.
+Polynomial polyfit(std::span<const double> xs, std::span<const double> ys,
+                   unsigned degree);
+
+/// Power law y = a * x^b.
+struct PowerLaw {
+  double a = 0.0;
+  double b = 0.0;
+
+  double operator()(double x) const;
+  std::string to_string() const;
+};
+
+/// Fit y = a x^b by linear regression in log-log space.  All xs and ys must
+/// be strictly positive; requires at least two points.
+PowerLaw fit_power_law(std::span<const double> xs, std::span<const double> ys);
+
+/// Straight line y = intercept + slope * x.
+struct Line {
+  double intercept = 0.0;
+  double slope = 0.0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+};
+
+/// Ordinary least-squares line; requires at least two points.
+Line fit_line(std::span<const double> xs, std::span<const double> ys);
+
+/// Coefficient of determination R^2 of predictions against observations.
+double r_squared(std::span<const double> ys, std::span<const double> predicted);
+
+/// Solve f(x) = target for x in [lo, hi] by bisection, assuming f is
+/// monotone on the interval; returns NaN if target is not bracketed.
+double solve_monotone(double (*f)(double, const void*), const void* ctx,
+                      double target, double lo, double hi,
+                      double tol = 1e-9);
+
+}  // namespace ppuf::util

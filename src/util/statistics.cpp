@@ -1,0 +1,106 @@
+#include "util/statistics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ppuf::util {
+
+double mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+namespace {
+double sum_sq_dev(std::span<const double> xs) {
+  const double m = mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return s;
+}
+}  // namespace
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size() - 1));
+}
+
+double stddev_population(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  return std::sqrt(sum_sq_dev(xs) / static_cast<double>(xs.size()));
+}
+
+double min_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("min_value: empty sample");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_value(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("max_value: empty sample");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::span<const double> xs) {
+  if (xs.empty()) throw std::invalid_argument("median: empty sample");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  const std::size_t n = v.size();
+  if (n % 2 == 1) return v[n / 2];
+  return 0.5 * (v[n / 2 - 1] + v[n / 2]);
+}
+
+double percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) throw std::invalid_argument("percentile: empty sample");
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("percentile: p outside [0,100]");
+  std::vector<double> v(xs.begin(), xs.end());
+  std::sort(v.begin(), v.end());
+  if (v.size() == 1) return v[0];
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  if (xs.size() != ys.size())
+    throw std::invalid_argument("pearson: size mismatch");
+  if (xs.size() < 2) return 0.0;
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace ppuf::util

@@ -1,0 +1,55 @@
+// Small descriptive-statistics helpers used by the metric and benchmark code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ppuf::util {
+
+/// Arithmetic mean; returns 0 for an empty sample.
+double mean(std::span<const double> xs);
+
+/// Unbiased (n-1) sample standard deviation; returns 0 for n < 2.
+double stddev(std::span<const double> xs);
+
+/// Population (n) standard deviation; returns 0 for an empty sample.
+double stddev_population(std::span<const double> xs);
+
+/// Smallest / largest element; both require a non-empty sample.
+double min_value(std::span<const double> xs);
+double max_value(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even n); requires
+/// a non-empty sample.  Does not modify the input.
+double median(std::span<const double> xs);
+
+/// p-th percentile with linear interpolation, p in [0,100]; requires a
+/// non-empty sample.
+double percentile(std::span<const double> xs, double p);
+
+/// Pearson correlation coefficient of two equally sized samples; returns 0
+/// when either sample is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Running accumulator for mean/stddev without storing the sample
+/// (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;  ///< unbiased; 0 for n < 2
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace ppuf::util

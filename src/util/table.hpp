@@ -1,0 +1,44 @@
+// Plain-text table printer so every bench binary reports the paper's
+// tables/series in a uniform, copy-pasteable format.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ppuf::util {
+
+/// Column-aligned text table.  Usage:
+///   Table t({"n", "mean", "stddev"});
+///   t.add_row({"40", "0.5009", "0.1371"});
+///   t.print(std::cout);
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format a double with the given precision.
+  static std::string num(double v, int precision = 4);
+  /// Scientific notation, for spans of many decades (ESG plots).
+  static std::string sci(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between reproduced figures in bench output.
+void print_banner(std::ostream& os, const std::string& title);
+
+/// Read a positive scaling factor from the PPUF_BENCH_SCALE environment
+/// variable (default 1.0).  Benches multiply their sample counts by it so
+/// `PPUF_BENCH_SCALE=10 ./bench_...` approaches the paper's full sample
+/// sizes while the default stays minutes-scale.
+double bench_scale();
+
+}  // namespace ppuf::util

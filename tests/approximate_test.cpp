@@ -1,0 +1,117 @@
+// Tests for the certified approximate max-flow solver.
+#include <gtest/gtest.h>
+
+#include "graph/complete.hpp"
+#include "maxflow/approximate.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::maxflow {
+namespace {
+
+using graph::Digraph;
+
+Digraph small_graph() {
+  Digraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(2, 3, 4.0);
+  g.finalize();
+  return g;
+}
+
+TEST(Approximate, EpsilonZeroIsExact) {
+  const Digraph g = small_graph();
+  const ApproximateResult r = solve_approximate({&g, 0, 3}, 0.0);
+  EXPECT_NEAR(r.value, 7.0, 1e-9);
+  EXPECT_NEAR(r.optimum_upper_bound, 7.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r.certified_ratio(), 1.0);
+}
+
+TEST(Approximate, FlowIsAlwaysFeasible) {
+  util::Rng rng(2);
+  const Digraph g = graph::make_complete_uniform(16, rng);
+  for (const double eps : {0.0, 0.1, 0.3, 0.5}) {
+    const ApproximateResult r = solve_approximate({&g, 0, 15}, eps);
+    const VerifyResult v = verify_flow(g, 0, 15, r.edge_flow, 1e-9);
+    EXPECT_TRUE(v.feasible) << "eps=" << eps << ": " << v.reason;
+    EXPECT_NEAR(v.value, r.value, 1e-9 * std::max(1.0, r.value));
+  }
+}
+
+TEST(Approximate, CertificateIsSound) {
+  // The certified upper bound must never fall below the true optimum.
+  util::Rng rng(3);
+  const Digraph g = graph::make_complete_uniform(14, rng);
+  const double exact = make_solver(Algorithm::kDinic)
+                           ->solve({&g, 0, 13})
+                           .value;
+  for (const double eps : {0.05, 0.2, 0.5, 0.9}) {
+    const ApproximateResult r = solve_approximate({&g, 0, 13}, eps);
+    EXPECT_GE(r.optimum_upper_bound, exact - 1e-9);
+    EXPECT_GE(r.value, (1.0 - eps) * exact - 1e-9)
+        << "guarantee violated at eps=" << eps;
+    EXPECT_LE(r.value, exact + 1e-9);
+  }
+}
+
+TEST(Approximate, LooserEpsilonNeverMoreWork) {
+  util::Rng rng(4);
+  const Digraph g = graph::make_complete_uniform(24, rng);
+  const ApproximateResult tight = solve_approximate({&g, 0, 23}, 0.01);
+  const ApproximateResult loose = solve_approximate({&g, 0, 23}, 0.5);
+  EXPECT_LE(loose.work, tight.work);
+  EXPECT_LE(loose.value, tight.value + 1e-12);
+}
+
+TEST(Approximate, ZeroCapacityGraph) {
+  Digraph g(2);
+  g.add_edge(0, 1, 0.0);
+  g.finalize();
+  const ApproximateResult r = solve_approximate({&g, 0, 1}, 0.1);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+  EXPECT_DOUBLE_EQ(r.certified_ratio(), 1.0);
+}
+
+TEST(Approximate, DisconnectedSink) {
+  Digraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.finalize();
+  const ApproximateResult r = solve_approximate({&g, 0, 2}, 0.1);
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST(Approximate, Validation) {
+  const Digraph g = small_graph();
+  EXPECT_THROW(solve_approximate({&g, 0, 0}, 0.1), std::invalid_argument);
+  EXPECT_THROW(solve_approximate({&g, 0, 3}, -0.1), std::invalid_argument);
+  EXPECT_THROW(solve_approximate({&g, 0, 3}, 1.0), std::invalid_argument);
+}
+
+/// Property sweep: on random complete graphs the guarantee holds for every
+/// epsilon and the certificate ratio is honest.
+class ApproxGuarantee
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(ApproxGuarantee, HoldsOnRandomCompleteGraphs) {
+  const auto [seed, eps] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed) * 7 + 1);
+  const std::size_t n = 12 + static_cast<std::size_t>(seed) % 8;
+  const Digraph g = graph::make_complete_uniform(n, rng);
+  const auto t = static_cast<graph::VertexId>(n - 1);
+  const double exact =
+      make_solver(Algorithm::kPushRelabel)->solve({&g, 0, t}).value;
+  const ApproximateResult r = solve_approximate({&g, 0, t}, eps);
+  EXPECT_GE(r.value, (1.0 - eps) * exact - 1e-9);
+  EXPECT_GE(r.certified_ratio(), 1.0 - eps - 1e-12);
+  EXPECT_LE(r.value, exact + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ApproxGuarantee,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(0.05, 0.25, 0.6)));
+
+}  // namespace
+}  // namespace ppuf::maxflow

@@ -1,0 +1,114 @@
+// Tests for the arbiter-PUF baseline used by the Fig. 10 comparison.
+#include <gtest/gtest.h>
+
+#include "attack/harness.hpp"
+#include "attack/lssvm.hpp"
+#include "puf/arbiter.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf::puf {
+namespace {
+
+std::vector<std::uint8_t> random_challenge(std::size_t k, util::Rng& rng) {
+  std::vector<std::uint8_t> c(k);
+  for (auto& b : c) b = rng.coin() ? 1 : 0;
+  return c;
+}
+
+TEST(Arbiter, DeterministicPerSeed) {
+  const ArbiterPuf a(64, 9);
+  const ArbiterPuf b(64, 9);
+  util::Rng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    const auto c = random_challenge(64, rng);
+    EXPECT_EQ(a.evaluate(c), b.evaluate(c));
+  }
+}
+
+TEST(Arbiter, InstancesDiffer) {
+  const ArbiterPuf a(64, 1);
+  const ArbiterPuf b(64, 2);
+  util::Rng rng(2);
+  int agree = 0;
+  for (int i = 0; i < 200; ++i) {
+    const auto c = random_challenge(64, rng);
+    agree += a.evaluate(c) == b.evaluate(c) ? 1 : 0;
+  }
+  EXPECT_GT(agree, 50);
+  EXPECT_LT(agree, 150);  // ~50% agreement between random instances
+}
+
+TEST(Arbiter, ResponsesRoughlyBalanced) {
+  const ArbiterPuf a(64, 3);
+  util::Rng rng(3);
+  int ones = 0;
+  for (int i = 0; i < 400; ++i)
+    ones += a.evaluate(random_challenge(64, rng));
+  EXPECT_GT(ones, 120);
+  EXPECT_LT(ones, 280);
+}
+
+TEST(Arbiter, ParityFeaturesStructure) {
+  const std::vector<std::uint8_t> c{0, 1, 0};
+  const auto phi = ArbiterPuf::parity_features(c);
+  ASSERT_EQ(phi.size(), 4u);
+  EXPECT_DOUBLE_EQ(phi[3], 1.0);
+  EXPECT_DOUBLE_EQ(phi[2], 1.0);    // c2=0 -> +1
+  EXPECT_DOUBLE_EQ(phi[1], -1.0);   // c1=1 flips
+  EXPECT_DOUBLE_EQ(phi[0], -1.0);   // c0=0 keeps
+}
+
+TEST(Arbiter, MarginMatchesSignOfResponse) {
+  const ArbiterPuf a(32, 5);
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto c = random_challenge(32, rng);
+    EXPECT_EQ(a.evaluate(c), a.margin(c) > 0.0 ? 1 : 0);
+  }
+}
+
+TEST(Arbiter, NoiseFlipsOnlySmallMargins) {
+  const ArbiterPuf a(64, 6);
+  util::Rng rng(6);
+  util::Rng noise(7);
+  int flips = 0;
+  const int total = 300;
+  for (int i = 0; i < total; ++i) {
+    const auto c = random_challenge(64, rng);
+    flips += a.evaluate(c) != a.evaluate_noisy(c, 0.02, noise) ? 1 : 0;
+  }
+  EXPECT_GT(flips, 0);
+  EXPECT_LT(flips, total / 5);
+}
+
+TEST(Arbiter, ChallengeLengthMismatchThrows) {
+  const ArbiterPuf a(16, 1);
+  EXPECT_THROW(a.evaluate(std::vector<std::uint8_t>(8, 0)),
+               std::invalid_argument);
+  EXPECT_THROW(ArbiterPuf(0, 1), std::invalid_argument);
+}
+
+TEST(Arbiter, LinearAttackOnParityFeaturesLearnsQuickly) {
+  // The well-known result that motivates Fig. 10: with the parity feature
+  // map, a linear learner clones an arbiter PUF from a few hundred CRPs.
+  const std::size_t stages = 64;
+  const ArbiterPuf target(stages, 8);
+  util::Rng rng(8);
+  auto make = [&](std::size_t count) {
+    std::vector<std::vector<double>> feats;
+    std::vector<int> resp;
+    for (std::size_t i = 0; i < count; ++i) {
+      const auto c = random_challenge(stages, rng);
+      feats.push_back(ArbiterPuf::parity_features(c));
+      resp.push_back(target.evaluate(c));
+    }
+    return attack::from_features(std::move(feats), std::move(resp));
+  };
+  const attack::Dataset train = make(1500);
+  const attack::Dataset test = make(300);
+  const attack::LsSvm model(train, attack::make_linear_kernel());
+  EXPECT_LT(attack::prediction_error(test, model.predict_all(test)), 0.05);
+}
+
+}  // namespace
+}  // namespace ppuf::puf

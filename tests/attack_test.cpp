@@ -1,0 +1,191 @@
+// Tests for the model-building attack stack: dataset plumbing, kernels,
+// LS-SVM, SMO-SVM, KNN, and the learning-curve harness.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/harness.hpp"
+#include "attack/knn.hpp"
+#include "attack/lssvm.hpp"
+#include "attack/svm_smo.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::attack {
+namespace {
+
+/// Linearly separable blobs around (+2,+2) and (-2,-2).
+Dataset blobs(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = i % 2 == 0 ? 1 : -1;
+    const double cx = label == 1 ? 2.0 : -2.0;
+    d.features.push_back({cx + rng.gaussian(0.0, 0.5),
+                          cx + rng.gaussian(0.0, 0.5)});
+    d.labels.push_back(label);
+  }
+  return d;
+}
+
+/// 2-bit XOR with the label depending nonlinearly on the inputs —
+/// unlearnable by a linear model, easy for RBF.
+Dataset xor_data(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset d;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double a = rng.coin() ? 1.0 : -1.0;
+    const double b = rng.coin() ? 1.0 : -1.0;
+    d.features.push_back({a + rng.gaussian(0, 0.1), b + rng.gaussian(0, 0.1)});
+    d.labels.push_back(a * b > 0 ? 1 : -1);
+  }
+  return d;
+}
+
+TEST(Dataset, EncodeBitsMapsToPlusMinusOne) {
+  const std::vector<std::vector<std::uint8_t>> ch{{1, 0}, {0, 1}};
+  const std::vector<int> resp{1, 0};
+  const Dataset d = encode_bits(ch, resp);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.dimension(), 2u);
+  EXPECT_DOUBLE_EQ(d.features[0][0], 1.0);
+  EXPECT_DOUBLE_EQ(d.features[0][1], -1.0);
+  EXPECT_EQ(d.labels[0], 1);
+  EXPECT_EQ(d.labels[1], -1);
+}
+
+TEST(Dataset, EncodeRejectsBadResponses) {
+  EXPECT_THROW(encode_bits({{1}}, {2}), std::invalid_argument);
+  EXPECT_THROW(encode_bits({{1}}, {0, 1}), std::invalid_argument);
+}
+
+TEST(Dataset, SliceBounds) {
+  const Dataset d = blobs(10, 1);
+  const Dataset s = d.slice(2, 5);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.labels[0], d.labels[2]);
+  EXPECT_THROW(d.slice(8, 5), std::out_of_range);
+}
+
+TEST(Dataset, PredictionErrorCounts) {
+  Dataset d;
+  d.features = {{0.0}, {0.0}, {0.0}, {0.0}};
+  d.labels = {1, 1, -1, -1};
+  EXPECT_DOUBLE_EQ(prediction_error(d, {1, 1, -1, -1}), 0.0);
+  EXPECT_DOUBLE_EQ(prediction_error(d, {1, -1, -1, 1}), 0.5);
+  EXPECT_THROW(prediction_error(d, {1}), std::invalid_argument);
+}
+
+TEST(Kernel, RbfBasicProperties) {
+  const Kernel k = make_rbf_kernel(0.5);
+  const std::vector<double> a{1.0, 2.0};
+  const std::vector<double> b{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(k(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(k(a, b), k(b, a));
+  EXPECT_NEAR(k(a, b), std::exp(-0.5 * 2.0), 1e-12);
+  EXPECT_THROW(make_rbf_kernel(0.0), std::invalid_argument);
+}
+
+TEST(Kernel, LinearAndDefaultGamma) {
+  const Kernel k = make_linear_kernel();
+  EXPECT_DOUBLE_EQ(k(std::vector<double>{1.0, 2.0},
+                     std::vector<double>{3.0, 4.0}),
+                   11.0);
+  EXPECT_DOUBLE_EQ(default_rbf_gamma(64), 1.0 / 64.0);
+  EXPECT_DOUBLE_EQ(default_rbf_gamma(0), 1.0);
+}
+
+TEST(LsSvm, SeparatesBlobs) {
+  const Dataset train = blobs(60, 1);
+  const Dataset test = blobs(40, 2);
+  const LsSvm model(train, make_rbf_kernel(0.5));
+  EXPECT_LT(prediction_error(test, model.predict_all(test)), 0.05);
+}
+
+TEST(LsSvm, SolvesXorWithRbf) {
+  const Dataset train = xor_data(80, 3);
+  const Dataset test = xor_data(60, 4);
+  const LsSvm model(train, make_rbf_kernel(1.0));
+  EXPECT_LT(prediction_error(test, model.predict_all(test)), 0.05);
+}
+
+TEST(LsSvm, LinearKernelFailsXor) {
+  const Dataset train = xor_data(80, 5);
+  const Dataset test = xor_data(60, 6);
+  const LsSvm model(train, make_linear_kernel());
+  EXPECT_GT(prediction_error(test, model.predict_all(test)), 0.3);
+}
+
+TEST(LsSvm, RejectsEmptyAndBadOptions) {
+  EXPECT_THROW(LsSvm(Dataset{}, make_linear_kernel()),
+               std::invalid_argument);
+  LsSvm::Options bad;
+  bad.regularization = 0.0;
+  EXPECT_THROW(LsSvm(blobs(4, 1), make_linear_kernel(), bad),
+               std::invalid_argument);
+}
+
+TEST(SmoSvm, SeparatesBlobs) {
+  const Dataset train = blobs(60, 7);
+  const Dataset test = blobs(40, 8);
+  const SmoSvm model(train, make_rbf_kernel(0.5));
+  EXPECT_LT(prediction_error(test, model.predict_all(test)), 0.05);
+  EXPECT_GT(model.support_vector_count(), 0u);
+  EXPECT_LT(model.support_vector_count(), train.size());
+}
+
+TEST(SmoSvm, SolvesXorWithRbf) {
+  const Dataset train = xor_data(100, 9);
+  const Dataset test = xor_data(60, 10);
+  const SmoSvm model(train, make_rbf_kernel(1.0));
+  EXPECT_LT(prediction_error(test, model.predict_all(test)), 0.08);
+}
+
+TEST(Knn, NearestNeighbourOnBlobs) {
+  const Dataset train = blobs(50, 11);
+  const Dataset test = blobs(30, 12);
+  const Knn model(train, 3);
+  EXPECT_LT(prediction_error(test, model.predict_all(test)), 0.05);
+}
+
+TEST(Knn, KValidation) {
+  const Dataset train = blobs(10, 13);
+  EXPECT_THROW(Knn(train, 0), std::invalid_argument);
+  EXPECT_THROW(Knn(train, 11), std::invalid_argument);
+  EXPECT_THROW(Knn(Dataset{}, 1), std::invalid_argument);
+}
+
+TEST(Knn, BestKnnSweepAtLeastAsGoodAsK1) {
+  const Dataset train = xor_data(80, 14);
+  const Dataset test = xor_data(40, 15);
+  const double sweep = best_knn_error(train, test, 21);
+  const Knn k1(train, 1);
+  EXPECT_LE(sweep, prediction_error(test, k1.predict_all(test)));
+}
+
+TEST(Harness, LearningCurveImprovesOnLearnableTarget) {
+  const Dataset train = xor_data(400, 16);
+  const Dataset test = xor_data(100, 17);
+  const auto curve = attack_learning_curve(train, test, {20, 400});
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_LT(curve[1].best(), 0.1);
+  EXPECT_LE(curve[1].best(), curve[0].best() + 0.05);
+  EXPECT_EQ(curve[0].train_size, 20u);
+}
+
+TEST(Harness, SkipsOversizedRequests) {
+  const Dataset train = blobs(30, 18);
+  const Dataset test = blobs(10, 19);
+  const auto curve = attack_learning_curve(train, test, {10, 1000});
+  EXPECT_EQ(curve.size(), 1u);
+}
+
+TEST(Harness, BestTakesTheMinimum) {
+  AttackErrors e;
+  e.lssvm_rbf = 0.4;
+  e.smo_rbf = 0.2;
+  e.knn = 0.3;
+  EXPECT_DOUBLE_EQ(e.best(), 0.2);
+}
+
+}  // namespace
+}  // namespace ppuf::attack

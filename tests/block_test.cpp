@@ -1,0 +1,157 @@
+// Tests for the PPUF building block: the paper's three requirements
+// (Section 3.1) plus characterisation sanity.
+#include <gtest/gtest.h>
+
+#include "ppuf/block.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf {
+namespace {
+
+using circuit::BlockVariation;
+using circuit::Environment;
+
+const Environment kNominal = Environment::nominal();
+
+TEST(Block, NominalCurveIsMonotoneAndSaturates) {
+  const BlockCurve c =
+      characterize_block(PpufParams{}, BlockVariation{}, 1, kNominal);
+  EXPECT_GT(c.isat, 1e-9);   // tens of nA
+  EXPECT_LT(c.isat, 1e-6);
+  double prev = c.iv(-0.3);
+  for (double v = -0.3; v <= 2.4; v += 0.01) {
+    double g = 0.0;
+    const double i = c.iv(v, &g);
+    EXPECT_GE(g, -1e-18);
+    EXPECT_GE(i, prev - 1e-18);
+    prev = i;
+  }
+  // Saturation: current at 2 V within 1% of the capacity reference.
+  EXPECT_NEAR(c.iv(2.0), c.isat, 0.01 * c.isat);
+}
+
+TEST(Block, DiodeBlocksReverseDirection) {
+  const BlockCurve c =
+      characterize_block(PpufParams{}, BlockVariation{}, 1, kNominal);
+  EXPECT_LT(std::abs(c.iv(-0.2)), 1e-3 * c.isat);
+}
+
+TEST(Block, Requirement1SaturationCurrentControllable) {
+  // Larger control voltage -> larger saturation current (Fig. 3b).
+  PpufParams p;
+  double prev_isat = 0.0;
+  for (const double vgs : {0.45, 0.50, 0.55, 0.60}) {
+    p.vgs_low = vgs;
+    const BlockCurve c =
+        characterize_block(p, BlockVariation{}, 1, kNominal);
+    EXPECT_GT(c.isat, prev_isat);
+    prev_isat = c.isat;
+  }
+}
+
+TEST(Block, SourceDegenerationSuppressesSceInOrder) {
+  // Fig. 3a: saturation-current change over the plateau shrinks from the
+  // bare design to 1-level to 2-level SD.
+  PpufParams p;
+  const std::vector<double> probe{1.0, 2.0};
+  std::vector<double> change;
+  for (const BlockDesign d :
+       {BlockDesign::kBare, BlockDesign::kSingleSd, BlockDesign::kDoubleSd}) {
+    SweepCircuit sc = build_stage_test(p, d, p.vgs_low, nullptr, kNominal);
+    const std::vector<double> i = sweep_current(sc, probe, kNominal);
+    change.push_back((i[1] - i[0]) / i[0]);
+  }
+  EXPECT_GT(change[0], change[1]);
+  EXPECT_GT(change[1], change[2]);
+  EXPECT_GT(change[0], 0.10);   // bare: strong SCE (>10%/V)
+  EXPECT_LT(change[2], 0.01);   // 2-level SD: < 1%/V
+}
+
+TEST(Block, Requirement2VariationDominatesSce) {
+  // Monte-Carlo spread of Isat must be far larger than the SCE-induced
+  // current change across the plateau (paper reports ~130x).
+  PpufParams p;
+  util::Rng rng(5);
+  util::RunningStats isat;
+  util::RunningStats sce;
+  for (int i = 0; i < 60; ++i) {
+    const BlockVariation v = circuit::draw_block_variation(p.variation, rng);
+    const BlockCurve c = characterize_block(p, v, 1, kNominal);
+    isat.add(c.isat);
+    sce.add(std::abs(c.iv(2.0) - c.iv(1.0)));
+  }
+  // Variation amplitude vs the typical SCE-induced change (the paper
+  // reports ~130x with two-level SD; the exact ratio depends on the device
+  // card, so assert the order of magnitude).
+  EXPECT_GT(isat.stddev(), 50.0 * sce.mean());
+}
+
+TEST(Block, Requirement3ComplementaryStagesLimit) {
+  // Nominal: input 0 and input 1 give (almost) the same saturation current.
+  PpufParams p;
+  const BlockCurve c0 = characterize_block(p, BlockVariation{}, 0, kNominal);
+  const BlockCurve c1 = characterize_block(p, BlockVariation{}, 1, kNominal);
+  EXPECT_NEAR(c0.isat, c1.isat, 0.01 * c1.isat);
+
+  // Under variation, the two input states are limited by different
+  // transistors: perturbing stage A's limiting device moves only the
+  // input-1 current.
+  BlockVariation va{};
+  va.dvth[1] = 0.05;  // M2 of stage A (limits when input = 1)
+  const BlockCurve a0 = characterize_block(p, va, 0, kNominal);
+  const BlockCurve a1 = characterize_block(p, va, 1, kNominal);
+  EXPECT_NEAR(a0.isat, c0.isat, 0.03 * c0.isat);      // barely moves
+  EXPECT_LT(a1.isat, 0.9 * c1.isat);                  // strongly reduced
+
+  BlockVariation vb{};
+  vb.dvth[3] = 0.05;  // M4 of stage B (limits when input = 0)
+  const BlockCurve b0 = characterize_block(p, vb, 0, kNominal);
+  const BlockCurve b1 = characterize_block(p, vb, 1, kNominal);
+  EXPECT_LT(b0.isat, 0.9 * c0.isat);
+  EXPECT_NEAR(b1.isat, c1.isat, 0.03 * c1.isat);
+}
+
+TEST(Block, VthVariationShiftsIsatMonotonically) {
+  PpufParams p;
+  double prev = 1.0;
+  for (const double dvth : {-0.05, 0.0, 0.05}) {
+    BlockVariation v{};
+    v.dvth[1] = dvth;  // limiting device for input 1
+    const BlockCurve c = characterize_block(p, v, 1, kNominal);
+    EXPECT_LT(c.isat, prev);  // higher vth -> lower current
+    prev = c.isat;
+  }
+}
+
+TEST(Block, EnvironmentShiftsCurve) {
+  PpufParams p;
+  const BlockCurve nom = characterize_block(p, BlockVariation{}, 1, kNominal);
+  Environment hot;
+  hot.temperature_c = 80.0;
+  const BlockCurve h = characterize_block(p, BlockVariation{}, 1, hot);
+  EXPECT_NE(h.isat, nom.isat);
+  Environment low_vdd;
+  low_vdd.vdd_scale = 0.9;
+  const BlockCurve lv =
+      characterize_block(p, BlockVariation{}, 1, low_vdd);
+  EXPECT_LT(lv.isat, nom.isat);  // lower control voltages -> lower Isat
+}
+
+TEST(Block, BadInputBitThrows) {
+  EXPECT_THROW(build_block(PpufParams{}, BlockVariation{}, 2, kNominal),
+               std::invalid_argument);
+}
+
+TEST(Block, CharacterizationGridCoversSweepRange) {
+  PpufParams p;
+  const std::vector<double> grid = characterization_grid(p);
+  ASSERT_GE(grid.size(), 10u);
+  EXPECT_LT(grid.front(), 0.0);
+  EXPECT_GE(grid.back(), p.sweep_max_voltage - 0.2);
+  for (std::size_t i = 1; i < grid.size(); ++i)
+    EXPECT_GT(grid[i], grid[i - 1]);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,133 @@
+// Tests for challenge encoding, the crossbar layout / grid partition, and
+// challenge sampling utilities.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ppuf/challenge.hpp"
+
+namespace ppuf {
+namespace {
+
+TEST(CrossbarLayout, Validation) {
+  EXPECT_THROW(CrossbarLayout(1, 1), std::invalid_argument);
+  EXPECT_THROW(CrossbarLayout(4, 0), std::invalid_argument);
+  EXPECT_THROW(CrossbarLayout(4, 5), std::invalid_argument);
+  const CrossbarLayout ok(8, 4);
+  EXPECT_EQ(ok.node_count(), 8u);
+  EXPECT_EQ(ok.cell_count(), 16u);
+  EXPECT_EQ(ok.edge_count(), 56u);
+}
+
+TEST(CrossbarLayout, CellPartitionIsEvenAndExhaustive) {
+  const CrossbarLayout layout(8, 4);
+  std::vector<std::size_t> count(layout.cell_count(), 0);
+  for (graph::VertexId i = 0; i < 8; ++i) {
+    for (graph::VertexId j = 0; j < 8; ++j) {
+      if (i == j) continue;
+      const std::size_t cell = layout.cell_of_edge(i, j);
+      ASSERT_LT(cell, layout.cell_count());
+      ++count[cell];
+    }
+  }
+  // Each 2x2 tile of the 8x8 crossbar holds 4 blocks, minus the diagonal
+  // in the 4 diagonal cells.
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(count[a * 4 + b], a == b ? 2u : 4u);
+    }
+  }
+}
+
+TEST(CrossbarLayout, DiagonalRejected) {
+  const CrossbarLayout layout(8, 4);
+  EXPECT_THROW(layout.cell_of_edge(3, 3), std::invalid_argument);
+}
+
+TEST(CrossbarLayout, GridSizeEqualToNodesGivesPerEdgeControlRows) {
+  // l = n: every (row, column) pair is its own cell.
+  const CrossbarLayout layout(4, 4);
+  std::set<std::size_t> cells;
+  for (graph::VertexId i = 0; i < 4; ++i)
+    for (graph::VertexId j = 0; j < 4; ++j)
+      if (i != j) cells.insert(layout.cell_of_edge(i, j));
+  EXPECT_EQ(cells.size(), 12u);  // all off-diagonal cells distinct
+}
+
+TEST(CrossbarLayout, DiePositionsInUnitSquare) {
+  const CrossbarLayout layout(10, 5);
+  double x = -1.0, y = -1.0;
+  layout.die_position(0, 9, &x, &y);
+  EXPECT_GT(x, 0.0);
+  EXPECT_LT(x, 1.0);
+  EXPECT_GT(y, 0.0);
+  EXPECT_LT(y, 1.0);
+}
+
+TEST(Challenge, RandomChallengeWellFormed) {
+  const CrossbarLayout layout(10, 4);
+  util::Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    const Challenge c = random_challenge(layout, rng);
+    EXPECT_NE(c.source, c.sink);
+    EXPECT_LT(c.source, 10u);
+    EXPECT_LT(c.sink, 10u);
+    EXPECT_EQ(c.bits.size(), 16u);
+  }
+}
+
+TEST(Challenge, SourceSinkCoverAllPairs) {
+  const CrossbarLayout layout(4, 2);
+  util::Rng rng(5);
+  std::set<std::pair<unsigned, unsigned>> seen;
+  for (int i = 0; i < 600; ++i) {
+    const Challenge c = random_challenge(layout, rng);
+    seen.emplace(c.source, c.sink);
+  }
+  EXPECT_EQ(seen.size(), 12u);  // all n(n-1) ordered pairs occur
+}
+
+TEST(Challenge, FixedEndsRespected) {
+  const CrossbarLayout layout(10, 4);
+  util::Rng rng(3);
+  const Challenge c = random_challenge_fixed_ends(layout, 2, 7, rng);
+  EXPECT_EQ(c.source, 2u);
+  EXPECT_EQ(c.sink, 7u);
+  EXPECT_THROW(random_challenge_fixed_ends(layout, 3, 3, rng),
+               std::invalid_argument);
+}
+
+TEST(Challenge, FlipBitsExactDistance) {
+  const CrossbarLayout layout(10, 4);
+  util::Rng rng(9);
+  const Challenge base = random_challenge(layout, rng);
+  for (const std::size_t d : {0u, 1u, 5u, 16u}) {
+    const Challenge moved = flip_bits(base, d, rng);
+    EXPECT_EQ(hamming_distance(base, moved), d);
+    EXPECT_EQ(moved.source, base.source);
+    EXPECT_EQ(moved.sink, base.sink);
+  }
+  EXPECT_THROW(flip_bits(base, 17, rng), std::invalid_argument);
+}
+
+TEST(Challenge, HammingDistanceBasics) {
+  Challenge a, b;
+  a.bits = {1, 0, 1, 1};
+  b.bits = {1, 1, 1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  b.bits = {1, 0};
+  EXPECT_THROW(hamming_distance(a, b), std::invalid_argument);
+}
+
+TEST(Challenge, EqualityIncludesEverything) {
+  const CrossbarLayout layout(6, 3);
+  util::Rng rng(1);
+  const Challenge a = random_challenge(layout, rng);
+  Challenge b = a;
+  EXPECT_EQ(a, b);
+  b.sink = b.sink == 0 ? 1 : 0;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace ppuf

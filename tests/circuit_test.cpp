@@ -1,0 +1,422 @@
+// Tests for src/circuit: device models, MNA/Newton DC solver, transient,
+// variation and environment models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "circuit/devices.hpp"
+#include "circuit/env.hpp"
+#include "circuit/netlist.hpp"
+#include "circuit/transient.hpp"
+#include "circuit/variation.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf::circuit {
+namespace {
+
+// ------------------------------------------------------------------ devices
+
+TEST(Diode, ReverseBlocksForwardConducts) {
+  const DiodeParams p;
+  EXPECT_NEAR(eval_diode(p, -1.0).current, -p.saturation_current, 1e-15);
+  EXPECT_GT(eval_diode(p, 0.6).current, 1e-3 * p.saturation_current);
+  EXPECT_GT(eval_diode(p, 0.6).conductance, 0.0);
+}
+
+TEST(Diode, ZeroBiasZeroCurrent) {
+  EXPECT_DOUBLE_EQ(eval_diode(DiodeParams{}, 0.0).current, 0.0);
+}
+
+TEST(Diode, LinearizationIsC1) {
+  const DiodeParams p;
+  const double v = p.linearize_above;
+  const DiodeEval below = eval_diode(p, v - 1e-9);
+  const DiodeEval above = eval_diode(p, v + 1e-9);
+  EXPECT_NEAR(below.current, above.current, 1e-6 * std::abs(below.current));
+  EXPECT_NEAR(below.conductance, above.conductance,
+              1e-6 * below.conductance);
+  // Beyond the limit the current keeps increasing linearly, no overflow.
+  EXPECT_TRUE(std::isfinite(eval_diode(p, 100.0).current));
+  EXPECT_GT(eval_diode(p, 2.0).current, eval_diode(p, 1.0).current);
+}
+
+TEST(Diode, ConductanceMatchesFiniteDifference) {
+  const DiodeParams p;
+  for (const double v : {-0.5, 0.1, 0.3, 0.5, 0.7, 1.2}) {
+    const double h = 1e-7;
+    const double fd =
+        (eval_diode(p, v + h).current - eval_diode(p, v - h).current) /
+        (2 * h);
+    EXPECT_NEAR(eval_diode(p, v).conductance, fd,
+                1e-4 * std::max(fd, 1e-15));
+  }
+}
+
+TEST(Diode, TemperatureIncreasesLeakageViaVt) {
+  const DiodeParams p;
+  // Same forward bias conducts more at higher thermal voltage?  No —
+  // exp(v/nVt) *decreases* with T for fixed Is; the Is(T) derating lives in
+  // adjust_for_environment.  Check both pieces separately.
+  EXPECT_LT(eval_diode(p, 0.5, 90.0).current, eval_diode(p, 0.5, 27.0).current);
+  Environment hot;
+  hot.temperature_c = 57.0;
+  const DiodeParams hot_p = adjust_for_environment(p, hot);
+  EXPECT_NEAR(hot_p.saturation_current, p.saturation_current * 8.0, 1e-15);
+}
+
+TEST(Mosfet, CutoffBelowThreshold) {
+  const MosfetParams p;
+  const MosfetEval e = eval_mosfet(p, p.vth - 0.05, 1.0);
+  EXPECT_DOUBLE_EQ(e.id, 0.0);
+  EXPECT_DOUBLE_EQ(e.gm, 0.0);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);
+}
+
+TEST(Mosfet, SaturationSquareLaw) {
+  const MosfetParams p{0.4, 8e-6, 0.0};  // lambda = 0 for the pure law
+  const double vov = 0.2;
+  const MosfetEval e = eval_mosfet(p, p.vth + vov, 1.0);
+  EXPECT_NEAR(e.id, 0.5 * p.transconductance * vov * vov, 1e-15);
+  EXPECT_NEAR(e.gm, p.transconductance * vov, 1e-15);
+  EXPECT_DOUBLE_EQ(e.gds, 0.0);
+}
+
+TEST(Mosfet, TriodeLinearAtSmallVds) {
+  const MosfetParams p{0.4, 8e-6, 0.0};
+  const double vov = 0.2;
+  const double vds = 1e-4;  // deep triode: Id ~ k vov vds - k vds^2/2
+  const MosfetEval e = eval_mosfet(p, p.vth + vov, vds);
+  // The quadratic term contributes vds/(2 vov) = 2.5e-4 relative.
+  EXPECT_NEAR(e.id, p.transconductance * vov * vds, 3e-4 * e.id);
+}
+
+TEST(Mosfet, C1AtTriodeSaturationBoundary) {
+  const MosfetParams p;  // with channel-length modulation
+  const double vov = 0.25;
+  const double vgs = p.vth + vov;
+  const MosfetEval below = eval_mosfet(p, vgs, vov - 1e-9);
+  const MosfetEval above = eval_mosfet(p, vgs, vov + 1e-9);
+  EXPECT_NEAR(below.id, above.id, 1e-9 * above.id);
+  EXPECT_NEAR(below.gds, above.gds, 1e-4 * std::abs(above.gds) + 1e-18);
+  EXPECT_NEAR(below.gm, above.gm, 1e-4 * above.gm);
+}
+
+TEST(Mosfet, ChannelLengthModulationRaisesSaturationCurrent) {
+  const MosfetParams p;  // lambda = 0.3
+  const double vgs = p.vth + 0.1;
+  const double i1 = eval_mosfet(p, vgs, 1.0).id;
+  const double i2 = eval_mosfet(p, vgs, 2.0).id;
+  EXPECT_GT(i2, i1);
+  EXPECT_NEAR(i2 / i1, (1 + 0.3 * 2.0) / (1 + 0.3 * 1.0), 1e-12);
+}
+
+TEST(Mosfet, ReverseModeIsSymmetric) {
+  const MosfetParams p;
+  // Swapping drain/source mirrors the current: id(vgs, vds) with the
+  // device reversed equals -id(vgd, -vds).
+  const double vg = 0.7, vd = 0.2, vs = 0.5;
+  const MosfetEval fwd = eval_mosfet(p, vg - vd, vs - vd);  // role-swapped
+  const MosfetEval rev = eval_mosfet(p, vg - vs, vd - vs);  // vds < 0
+  EXPECT_NEAR(rev.id, -fwd.id, 1e-18);
+}
+
+TEST(Mosfet, ReverseDerivativesMatchFiniteDifference) {
+  const MosfetParams p;
+  const double vgs = 0.55, vds = -0.3;
+  const double h = 1e-7;
+  const MosfetEval e = eval_mosfet(p, vgs, vds);
+  const double fd_gm =
+      (eval_mosfet(p, vgs + h, vds).id - eval_mosfet(p, vgs - h, vds).id) /
+      (2 * h);
+  const double fd_gds =
+      (eval_mosfet(p, vgs, vds + h).id - eval_mosfet(p, vgs, vds - h).id) /
+      (2 * h);
+  EXPECT_NEAR(e.gm, fd_gm, 1e-4 * std::abs(fd_gm) + 1e-15);
+  EXPECT_NEAR(e.gds, fd_gds, 1e-4 * std::abs(fd_gds) + 1e-15);
+}
+
+// ------------------------------------------------------------------ netlist
+
+TEST(Netlist, GroundIsNodeZero) {
+  Netlist nl;
+  EXPECT_EQ(nl.node_count(), 1u);
+  EXPECT_EQ(nl.node_name(kGround), "gnd");
+  EXPECT_EQ(nl.add_node("x"), 1u);
+}
+
+TEST(Netlist, RejectsInvalidElements) {
+  Netlist nl;
+  const NodeId a = nl.add_node();
+  EXPECT_THROW(nl.add_resistor(a, 7, 1.0), std::out_of_range);
+  EXPECT_THROW(nl.add_resistor(a, kGround, -5.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_capacitor(a, kGround, 0.0), std::invalid_argument);
+  EXPECT_THROW(nl.add_nonlinear(a, kGround, NonlinearLaw{}),
+               std::invalid_argument);
+}
+
+TEST(Netlist, VoltageSourceHandles) {
+  Netlist nl;
+  const NodeId a = nl.add_node();
+  const std::size_t h = nl.add_voltage_source(a, kGround, 1.5);
+  EXPECT_DOUBLE_EQ(nl.voltage(h), 1.5);
+  nl.set_voltage(h, 2.5);
+  EXPECT_DOUBLE_EQ(nl.voltage(h), 2.5);
+  EXPECT_THROW(nl.set_voltage(9, 0.0), std::out_of_range);
+}
+
+// ----------------------------------------------------------------- dc solve
+
+TEST(Dc, VoltageDivider) {
+  Netlist nl;
+  const NodeId in = nl.add_node("in");
+  const NodeId mid = nl.add_node("mid");
+  nl.add_voltage_source(in, kGround, 10.0);
+  nl.add_resistor(in, mid, 1000.0);
+  nl.add_resistor(mid, kGround, 3000.0);
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.voltage(mid), 7.5, 1e-6);
+}
+
+TEST(Dc, SourceCurrentConvention) {
+  // 5 V across 1 kOhm: the source delivers 5 mA out of its + pin.
+  Netlist nl;
+  const NodeId a = nl.add_node();
+  const std::size_t src = nl.add_voltage_source(a, kGround, 5.0);
+  nl.add_resistor(a, kGround, 1000.0);
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.source_current(src), 5e-3, 1e-9);
+}
+
+TEST(Dc, FloatingVoltageSourceLevelShifts) {
+  Netlist nl;
+  const NodeId a = nl.add_node();
+  const NodeId b = nl.add_node();
+  nl.add_voltage_source(a, kGround, 2.0);
+  nl.add_voltage_source(b, a, 0.7);  // floating battery
+  nl.add_resistor(b, kGround, 1e6);
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.voltage(b), 2.7, 1e-6);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+  Netlist nl;
+  const NodeId a = nl.add_node();
+  nl.add_current_source(kGround, a, 1e-3);  // 1 mA into node a
+  nl.add_resistor(a, kGround, 2000.0);
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  EXPECT_NEAR(op.voltage(a), 2.0, 1e-6);
+}
+
+TEST(Dc, DiodeResistorOperatingPoint) {
+  // 2 V -> 100 kOhm -> diode: V_d ~ nVt ln(I/Is), I ~ (2 - V_d)/R.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId d = nl.add_node();
+  nl.add_voltage_source(in, kGround, 2.0);
+  nl.add_resistor(in, d, 1e5);
+  nl.add_diode(d, kGround, DiodeParams{});
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  const double vd = op.voltage(d);
+  const double i = (2.0 - vd) / 1e5;
+  const DiodeEval e = eval_diode(DiodeParams{}, vd);
+  EXPECT_NEAR(e.current, i, 1e-9 * std::max(1.0, i / 1e-9));
+  EXPECT_GT(vd, 0.2);
+  EXPECT_LT(vd, 0.8);
+}
+
+TEST(Dc, NmosSaturationBiasPoint) {
+  const MosfetParams mp{0.4, 8e-6, 0.0};
+  Netlist nl;
+  const NodeId vdd = nl.add_node();
+  const NodeId g = nl.add_node();
+  nl.add_voltage_source(vdd, kGround, 2.0);
+  nl.add_voltage_source(g, kGround, 0.6);
+  nl.add_mosfet(vdd, g, kGround, mp);
+  const std::size_t supply = 0;
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  // Id = k/2 (0.2)^2 = 160 nA drawn from the supply (plus ~2 pA of gmin
+  // leakage from the solver's stabilising conductances).
+  EXPECT_NEAR(op.source_current(supply), 0.5 * 8e-6 * 0.04, 5e-12);
+}
+
+TEST(Dc, NmosSourceFollowerWithResistor) {
+  // Gate at 1.2 V, source resistor to ground: Vs settles near
+  // Vg - vth - vov with Id = Vs/R.
+  const MosfetParams mp{0.4, 8e-6, 0.0};
+  Netlist nl;
+  const NodeId vdd = nl.add_node();
+  const NodeId g = nl.add_node();
+  const NodeId s = nl.add_node();
+  nl.add_voltage_source(vdd, kGround, 2.0);
+  nl.add_voltage_source(g, kGround, 1.2);
+  nl.add_mosfet(vdd, g, s, mp);
+  nl.add_resistor(s, kGround, 1e6);
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  const double vs = op.voltage(s);
+  const double id = vs / 1e6;
+  const double vov = 1.2 - vs - mp.vth;
+  ASSERT_GT(vov, 0.0);
+  EXPECT_NEAR(id, 0.5 * mp.transconductance * vov * vov, 1e-11);
+}
+
+TEST(Dc, EmptyNetlistThrows) {
+  Netlist nl;
+  EXPECT_THROW(DcSolver(nl).solve(), std::invalid_argument);
+}
+
+TEST(Dc, NonlinearElementLaw) {
+  // A quadratic conductor i = 1e-6 v^2 (v>0) from 1 V through nothing else:
+  // current balances against a series resistor.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId m = nl.add_node();
+  nl.add_voltage_source(in, kGround, 1.0);
+  nl.add_resistor(in, m, 1e5);
+  NonlinearLaw law;
+  law.law = [](double v, double* g) {
+    const double vp = std::max(v, 0.0);
+    *g = 2e-6 * vp;
+    return 1e-6 * vp * vp;
+  };
+  nl.add_nonlinear(m, kGround, std::move(law));
+  const OperatingPoint op = DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged);
+  const double vm = op.voltage(m);
+  EXPECT_NEAR((1.0 - vm) / 1e5, 1e-6 * vm * vm, 1e-12);
+}
+
+TEST(Dc, WarmStartReducesIterations) {
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId d = nl.add_node();
+  const std::size_t src = nl.add_voltage_source(in, kGround, 2.0);
+  nl.add_resistor(in, d, 1e5);
+  nl.add_diode(d, kGround, DiodeParams{});
+  DcSolver solver(nl);
+  const OperatingPoint cold = solver.solve();
+  nl.set_voltage(src, 2.01);
+  const OperatingPoint warm = solver.solve(&cold);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LT(warm.iterations, cold.iterations);
+}
+
+// ---------------------------------------------------------------- transient
+
+TEST(Transient, RcChargingMatchesAnalytic) {
+  // 1 V step into R = 1 kOhm, C = 1 uF: tau = 1 ms.
+  Netlist nl;
+  const NodeId in = nl.add_node();
+  const NodeId out = nl.add_node();
+  nl.add_voltage_source(in, kGround, 1.0);
+  nl.add_resistor(in, out, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-6);
+  TransientOptions topt;
+  topt.dt = 1e-5;
+  topt.t_end = 5e-3;
+  double v_at_tau = -1.0;
+  double v_final = -1.0;
+  TransientSolver(nl, topt).run([&](double t, const OperatingPoint& op) {
+    if (std::abs(t - 1e-3) < 0.5e-5) v_at_tau = op.voltage(out);
+    v_final = op.voltage(out);
+  });
+  EXPECT_NEAR(v_at_tau, 1.0 - std::exp(-1.0), 0.01);
+  EXPECT_NEAR(v_final, 1.0, 0.01);
+}
+
+TEST(Transient, InitialConditionRespected) {
+  Netlist nl;
+  const NodeId out = nl.add_node();
+  nl.add_resistor(out, kGround, 1000.0);
+  nl.add_capacitor(out, kGround, 1e-6);
+  numeric::Vector init{0.0, 1.0};  // cap charged to 1 V, discharging
+  TransientOptions topt;
+  topt.dt = 1e-5;
+  topt.t_end = 1e-3;  // one tau
+  double first = -1.0, last = -1.0;
+  bool first_seen = false;
+  TransientSolver(nl, topt).run(
+      [&](double t, const OperatingPoint& op) {
+        if (!first_seen && t == 0.0) {
+          first = op.voltage(out);
+          first_seen = true;
+        }
+        last = op.voltage(out);
+      },
+      &init);
+  EXPECT_DOUBLE_EQ(first, 1.0);
+  EXPECT_NEAR(last, std::exp(-1.0), 0.01);
+}
+
+TEST(Transient, RejectsBadOptions) {
+  Netlist nl;
+  nl.add_node();
+  TransientOptions topt;
+  topt.dt = 0.0;
+  EXPECT_THROW(TransientSolver(nl, topt), std::invalid_argument);
+}
+
+// ------------------------------------------------------- variation and env
+
+TEST(Variation, DrawsHaveRequestedSpread) {
+  VariationModel m;
+  util::Rng rng(31);
+  util::RunningStats vth;
+  for (int i = 0; i < 4000; ++i) {
+    const BlockVariation v = draw_block_variation(m, rng);
+    for (const double d : v.dvth) vth.add(d);
+  }
+  EXPECT_NEAR(vth.mean(), 0.0, 2e-3);
+  EXPECT_NEAR(vth.stddev(), m.vth_sigma, 2e-3);
+}
+
+TEST(Variation, SystematicSurfaceIsSharedDeterministically) {
+  VariationModel m;
+  util::Rng rng(7);
+  const SystematicSurface s(m, rng);
+  EXPECT_DOUBLE_EQ(s.vth_shift(0.3, 0.8), s.vth_shift(0.3, 0.8));
+  BlockVariation a{}, b{};
+  apply_systematic(a, s, 0.2, 0.2);
+  apply_systematic(b, s, 0.2, 0.2);
+  EXPECT_DOUBLE_EQ(a.dvth[0], b.dvth[0]);
+}
+
+TEST(Variation, DefaultSurfaceIsFlat) {
+  const SystematicSurface flat;
+  EXPECT_DOUBLE_EQ(flat.vth_shift(0.1, 0.9), 0.0);
+}
+
+TEST(Env, MosfetTemperatureDerating) {
+  const MosfetParams p;
+  Environment hot;
+  hot.temperature_c = 127.0;
+  const MosfetParams d = adjust_for_environment(p, hot);
+  EXPECT_NEAR(d.vth, p.vth - 0.1, 1e-12);  // -1 mV/K over 100 K
+  EXPECT_LT(d.transconductance, p.transconductance);
+  Environment cold;
+  cold.temperature_c = -73.0;
+  EXPECT_GT(adjust_for_environment(p, cold).transconductance,
+            p.transconductance);
+}
+
+TEST(Env, NominalIsIdentity) {
+  const MosfetParams p;
+  const MosfetParams same = adjust_for_environment(p, Environment::nominal());
+  EXPECT_DOUBLE_EQ(same.vth, p.vth);
+  EXPECT_DOUBLE_EQ(same.transconductance, p.transconductance);
+  const DiodeParams dp;
+  EXPECT_DOUBLE_EQ(
+      adjust_for_environment(dp, Environment::nominal()).saturation_current,
+      dp.saturation_current);
+}
+
+}  // namespace
+}  // namespace ppuf::circuit

@@ -1,0 +1,98 @@
+// Tests for the minimum-distance challenge code and the Section 4.2
+// CRP-space bounds.
+#include <gtest/gtest.h>
+
+#include "ppuf/code.hpp"
+
+namespace ppuf {
+namespace {
+
+TEST(Code, GreedyCodeRespectsMinimumDistance) {
+  util::Rng rng(1);
+  const auto code = build_min_distance_code(16, 4, 40, rng);
+  EXPECT_GE(code.size(), 8u);
+  EXPECT_TRUE(check_min_distance(code, 4));
+  for (const auto& w : code) EXPECT_EQ(w.size(), 16u);
+}
+
+TEST(Code, CheckMinDistanceDetectsViolations) {
+  std::vector<std::vector<std::uint8_t>> code{{1, 0, 0, 0}, {1, 1, 0, 0}};
+  EXPECT_TRUE(check_min_distance(code, 1));
+  EXPECT_FALSE(check_min_distance(code, 2));
+}
+
+TEST(Code, DistanceOneIsWholeSpace) {
+  util::Rng rng(2);
+  const auto code = build_min_distance_code(4, 1, 16, rng, 100000);
+  EXPECT_EQ(code.size(), 16u);  // every 4-bit word is admissible
+}
+
+TEST(Code, RejectsImpossibleDistance) {
+  util::Rng rng(3);
+  EXPECT_THROW(build_min_distance_code(4, 5, 10, rng),
+               std::invalid_argument);
+}
+
+class CodeDistanceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CodeDistanceProperty, GreedyAlwaysValid) {
+  const auto [length, d] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(length * 100 + d));
+  const auto code = build_min_distance_code(
+      static_cast<std::size_t>(length), static_cast<std::size_t>(d), 30, rng);
+  EXPECT_TRUE(check_min_distance(code, static_cast<std::size_t>(d)));
+  EXPECT_GE(code.size(), 2u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CodeDistanceProperty,
+    ::testing::Combine(::testing::Values(9, 16, 25, 36, 64),
+                       ::testing::Values(2, 4, 8)));
+
+TEST(CrpBound, TypeBBoundMatchesHandComputation) {
+  // l = 2, d = 2: 2^4 / (C(4,0)+C(4,1)) = 16/5 = 3 (floor).
+  EXPECT_EQ(type_b_space_lower_bound(2, 2).to_decimal(), "3");
+  // l = 2, d = 1: the whole space, 16.
+  EXPECT_EQ(type_b_space_lower_bound(2, 1).to_decimal(), "16");
+}
+
+TEST(CrpBound, GreedyCodeBeatsTheBoundOnSmallCases) {
+  // Gilbert-Varshamov guarantees a code at least as large as the bound;
+  // greedy construction should reach it for tiny parameters.
+  util::Rng rng(4);
+  const auto bound = type_b_space_lower_bound(2, 2);  // 3
+  const auto code = build_min_distance_code(4, 2, 64, rng, 100000);
+  EXPECT_GE(code.size(), static_cast<std::size_t>(bound.to_double()));
+}
+
+TEST(CrpBound, PaperValueFor200Nodes) {
+  // Section 4.2: n = 200, l = 15, d = 2l = 30 gives N_CRP >= 6.53e35.
+  const util::BigUint n_crp = crp_space_lower_bound(200, 15, 30);
+  const double v = n_crp.to_double();
+  EXPECT_GT(v, 6.0e35);
+  EXPECT_LT(v, 7.0e35);
+  // Leading digits spelled out, to pin the exact value we reproduce.
+  EXPECT_EQ(n_crp.to_decimal().size(), 36u);  // ~6.5e35 has 36 digits
+  EXPECT_EQ(n_crp.to_decimal().substr(0, 3), "653");
+}
+
+TEST(CrpBound, TotalIsTypeATimesTypeB) {
+  const util::BigUint total = crp_space_lower_bound(10, 3, 2);
+  const util::BigUint type_b = type_b_space_lower_bound(3, 2);
+  EXPECT_EQ(total, util::BigUint(90) * type_b);
+}
+
+TEST(CrpBound, Validation) {
+  EXPECT_THROW(type_b_space_lower_bound(3, 0), std::invalid_argument);
+  EXPECT_THROW(type_b_space_lower_bound(3, 10), std::invalid_argument);
+  EXPECT_THROW(crp_space_lower_bound(1, 3, 2), std::invalid_argument);
+}
+
+TEST(CrpBound, GrowsWithGridAndShrinksWithDistance) {
+  EXPECT_GT(type_b_space_lower_bound(8, 4), type_b_space_lower_bound(6, 4));
+  EXPECT_GT(type_b_space_lower_bound(8, 2), type_b_space_lower_bound(8, 8));
+}
+
+}  // namespace
+}  // namespace ppuf

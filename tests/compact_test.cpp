@@ -1,0 +1,123 @@
+// Tests for the monotone (PCHIP) compact-model interpolation, which carries
+// the incremental-passivity guarantee of the block models.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppuf/compact.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+namespace {
+
+TEST(MonotoneCurve, InterpolatesKnotsExactly) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 4.0, 9.0};
+  const MonotoneCurve c(xs, ys);
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    EXPECT_DOUBLE_EQ(c(xs[i]), ys[i]);
+}
+
+TEST(MonotoneCurve, RejectsBadInput) {
+  EXPECT_THROW(MonotoneCurve(std::vector<double>{0.0},
+                             std::vector<double>{1.0}),
+               std::invalid_argument);
+  EXPECT_THROW(MonotoneCurve(std::vector<double>{0.0, 0.0},
+                             std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW(MonotoneCurve(std::vector<double>{0.0, 1.0},
+                             std::vector<double>{2.0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(MonotoneCurve, LinearDataReproducedExactly) {
+  const std::vector<double> xs{0.0, 0.5, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 2.0, 5.0, 7.0};
+  const MonotoneCurve c(xs, ys);
+  // Piecewise-linear data has matching secants, so PCHIP reproduces the
+  // line inside each uniform-slope region.
+  EXPECT_NEAR(c(1.0), 3.0, 1e-12);
+  EXPECT_NEAR(c(2.5), 6.0, 1e-12);
+}
+
+TEST(MonotoneCurve, LinearExtensionOutsideRange) {
+  const std::vector<double> xs{0.0, 1.0};
+  const std::vector<double> ys{0.0, 2.0};
+  const MonotoneCurve c(xs, ys);
+  EXPECT_NEAR(c(2.0), 4.0, 1e-12);
+  EXPECT_NEAR(c(-1.0), -2.0, 1e-12);
+  double g = 0.0;
+  c(5.0, &g);
+  EXPECT_NEAR(g, 2.0, 1e-12);
+}
+
+TEST(MonotoneCurve, FlatSegmentsStayFlat) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 1.0, 1.0};
+  const MonotoneCurve c(xs, ys);
+  EXPECT_NEAR(c(1.5), 1.0, 1e-12);
+  EXPECT_NEAR(c(2.5), 1.0, 1e-12);
+  double g = -1.0;
+  c(2.5, &g);
+  EXPECT_NEAR(g, 0.0, 1e-12);
+}
+
+TEST(MonotoneCurve, DerivativeMatchesFiniteDifference) {
+  const std::vector<double> xs{0.0, 0.5, 1.0, 2.0, 4.0};
+  const std::vector<double> ys{0.0, 0.2, 1.0, 1.5, 1.6};
+  const MonotoneCurve c(xs, ys);
+  for (double x = 0.05; x < 3.9; x += 0.17) {
+    double g = 0.0;
+    c(x, &g);
+    const double h = 1e-6;
+    const double fd = (c(x + h) - c(x - h)) / (2 * h);
+    EXPECT_NEAR(g, fd, 1e-5 * std::max(1.0, std::abs(fd)));
+  }
+}
+
+TEST(MonotoneCurve, InverseRoundTrip) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{0.0, 1.0, 4.0, 9.0};
+  const MonotoneCurve c(xs, ys);
+  for (double y = 0.5; y < 8.5; y += 1.0) {
+    const double x = c.inverse(y);
+    EXPECT_NEAR(c(x), y, 1e-9);
+  }
+  EXPECT_THROW(c.inverse(100.0), std::domain_error);
+}
+
+TEST(MonotoneCurve, EmptyEvaluationThrows) {
+  const MonotoneCurve c;
+  EXPECT_TRUE(c.empty());
+  EXPECT_THROW(c(0.5), std::logic_error);
+}
+
+/// Property: for random monotone data, the interpolant is monotone
+/// everywhere (derivative >= 0 on a dense probe grid) — this is exactly the
+/// incremental-passivity property the network solver relies on.
+class MonotonicityProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MonotonicityProperty, DerivativeNonNegativeEverywhere) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 77 + 1);
+  std::vector<double> xs{0.0}, ys{0.0};
+  for (int i = 0; i < 20; ++i) {
+    xs.push_back(xs.back() + rng.uniform(0.01, 1.0));
+    // Mix of flat and increasing segments.
+    ys.push_back(ys.back() + (rng.coin() ? 0.0 : rng.uniform(0.0, 2.0)));
+  }
+  const MonotoneCurve c(xs, ys);
+  double prev = c(xs.front() - 0.5);
+  for (double x = xs.front() - 0.5; x <= xs.back() + 0.5; x += 0.013) {
+    double g = 0.0;
+    const double y = c(x, &g);
+    EXPECT_GE(g, -1e-12) << "at x=" << x;
+    EXPECT_GE(y, prev - 1e-12) << "at x=" << x;
+    prev = y;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMonotone, MonotonicityProperty,
+                         ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace ppuf

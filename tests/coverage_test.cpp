@@ -1,0 +1,144 @@
+// Cross-cutting coverage: cache invalidation, environment switching,
+// placement options, transient accuracy order, and other behaviours not
+// owned by a single module's suite.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "circuit/transient.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/table.hpp"
+
+namespace ppuf {
+namespace {
+
+PpufParams small_params() {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  return p;
+}
+
+TEST(Coverage, EnvironmentSwitchingInvalidatesAndRestoresCurves) {
+  MaxFlowPpuf puf(small_params(), 555);
+  util::Rng rng(1);
+  const Challenge c = random_challenge(puf.layout(), rng);
+
+  const circuit::Environment nominal = circuit::Environment::nominal();
+  circuit::Environment hot;
+  hot.temperature_c = 80.0;
+
+  const auto first = puf.evaluate(c, nominal);
+  const auto heated = puf.evaluate(c, hot);
+  const auto back = puf.evaluate(c, nominal);
+
+  // Re-characterisation after the env round-trip reproduces the original
+  // currents exactly (pure function of variation + env).
+  EXPECT_DOUBLE_EQ(first.current_a, back.current_a);
+  EXPECT_DOUBLE_EQ(first.current_b, back.current_b);
+  EXPECT_NE(first.current_a, heated.current_a);
+}
+
+TEST(Coverage, VddScalingMovesCurrents) {
+  MaxFlowPpuf puf(small_params(), 556);
+  util::Rng rng(2);
+  const Challenge c = random_challenge(puf.layout(), rng);
+  circuit::Environment low;
+  low.vdd_scale = 0.9;
+  const double nominal = puf.evaluate(c).current_a;
+  const double scaled = puf.evaluate(c, low).current_a;
+  EXPECT_LT(scaled, nominal);  // lower bias -> lower saturation currents
+  EXPECT_GT(scaled, 0.3 * nominal);
+}
+
+TEST(Coverage, UnpairedPlacementChangesInstance) {
+  PpufParams paired = small_params();
+  paired.variation.systematic_vth_amplitude = 0.03;
+  PpufParams naive = paired;
+  naive.paired_systematic_placement = false;
+
+  MaxFlowPpuf a(paired, 999);
+  MaxFlowPpuf b(naive, 999);
+  util::Rng rng(3);
+  bool any_difference = false;
+  for (int i = 0; i < 8 && !any_difference; ++i) {
+    const Challenge c = random_challenge(a.layout(), rng);
+    any_difference = std::abs(a.evaluate(c).current_b -
+                              b.evaluate(c).current_b) > 1e-12;
+  }
+  EXPECT_TRUE(any_difference);  // network B's surface differs
+}
+
+TEST(Coverage, SimulationModelTracksEnvironmentOfExtraction) {
+  MaxFlowPpuf puf(small_params(), 557);
+  circuit::Environment hot;
+  hot.temperature_c = 60.0;
+  SimulationModel nominal_model(puf, circuit::Environment::nominal());
+  SimulationModel hot_model(puf, hot);
+  // Same instance, different characterisation environment -> different
+  // published capacities.
+  bool differs = false;
+  for (graph::EdgeId e = 0; e < puf.layout().edge_count() && !differs; ++e)
+    differs = std::abs(nominal_model.capacity(0, e, 0) -
+                       hot_model.capacity(0, e, 0)) > 1e-12;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Coverage, TransientBackwardEulerFirstOrderAccuracy) {
+  // RC charging: halving dt should roughly halve the error at t = tau
+  // (backward Euler is O(dt)).
+  auto error_at_tau = [](double dt) {
+    circuit::Netlist nl;
+    const auto in = nl.add_node();
+    const auto out = nl.add_node();
+    nl.add_voltage_source(in, circuit::kGround, 1.0);
+    nl.add_resistor(in, out, 1000.0);
+    nl.add_capacitor(out, circuit::kGround, 1e-6);
+    circuit::TransientOptions topt;
+    topt.dt = dt;
+    topt.t_end = 1e-3;
+    double v_end = 0.0;
+    circuit::TransientSolver(nl, topt).run(
+        [&](double, const circuit::OperatingPoint& op) {
+          v_end = op.voltage(out);
+        });
+    return std::abs(v_end - (1.0 - std::exp(-1.0)));
+  };
+  const double coarse = error_at_tau(5e-5);
+  const double fine = error_at_tau(2.5e-5);
+  EXPECT_LT(fine, coarse);
+  EXPECT_NEAR(coarse / fine, 2.0, 0.6);
+}
+
+TEST(Coverage, BenchScaleReadsEnvironment) {
+  setenv("PPUF_BENCH_SCALE", "2.5", 1);
+  EXPECT_DOUBLE_EQ(util::bench_scale(), 2.5);
+  setenv("PPUF_BENCH_SCALE", "garbage", 1);
+  EXPECT_DOUBLE_EQ(util::bench_scale(), 1.0);
+  setenv("PPUF_BENCH_SCALE", "-3", 1);
+  EXPECT_DOUBLE_EQ(util::bench_scale(), 1.0);
+  unsetenv("PPUF_BENCH_SCALE");
+}
+
+TEST(Coverage, ChallengeReuseAcrossInstancesIsIndependent) {
+  // The same challenge posed to two instances exercises completely
+  // different capacity draws; over many challenges the agreement rate
+  // sits near a coin flip.
+  MaxFlowPpuf a(small_params(), 1);
+  MaxFlowPpuf b(small_params(), 2);
+  SimulationModel ma(a), mb(b);
+  util::Rng rng(5);
+  int agree = 0;
+  const int total = 30;
+  for (int i = 0; i < total; ++i) {
+    const Challenge c = random_challenge(a.layout(), rng);
+    agree += ma.predict(c).bit == mb.predict(c).bit ? 1 : 0;
+  }
+  EXPECT_GT(agree, 5);
+  EXPECT_LT(agree, 25);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,94 @@
+// Cross-card regression: the paper's architecture-level claims must hold
+// on a second device card, not just the calibrated default — evidence that
+// the HSPICE/PTM substitution (DESIGN.md §2) did not bake the conclusions
+// into one parameter set.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppuf/block.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf {
+namespace {
+
+const circuit::Environment kNominal = circuit::Environment::nominal();
+
+TEST(CrossCard, BlockStillSaturatesAndIsMonotone) {
+  const PpufParams p = PpufParams::card_45nm();
+  const BlockCurve c =
+      characterize_block(p, circuit::BlockVariation{}, 1, kNominal);
+  EXPECT_GT(c.isat, 1e-9);
+  EXPECT_LT(c.isat, 1e-6);
+  double prev = c.iv(-0.3);
+  for (double v = -0.3; v <= 2.4; v += 0.02) {
+    const double i = c.iv(v);
+    EXPECT_GE(i, prev - 1e-18);
+    prev = i;
+  }
+  // Requirement 1/SD: plateau still flat to better than 1%/V.
+  EXPECT_LT((c.iv(2.0) - c.iv(1.0)) / c.isat, 0.01);
+}
+
+TEST(CrossCard, ComplementaryBiasStillBalances) {
+  const PpufParams p = PpufParams::card_45nm();
+  const BlockCurve c0 =
+      characterize_block(p, circuit::BlockVariation{}, 0, kNominal);
+  const BlockCurve c1 =
+      characterize_block(p, circuit::BlockVariation{}, 1, kNominal);
+  EXPECT_NEAR(c0.isat, c1.isat, 0.02 * c1.isat);
+}
+
+TEST(CrossCard, Requirement2HoldsOnSecondCard) {
+  const PpufParams p = PpufParams::card_45nm();
+  util::Rng rng(9);
+  util::RunningStats isat, sce;
+  for (int i = 0; i < 50; ++i) {
+    const auto var = circuit::draw_block_variation(p.variation, rng);
+    const BlockCurve c = characterize_block(p, var, 1, kNominal);
+    isat.add(c.isat);
+    sce.add(std::abs(c.iv(2.0) - c.iv(1.0)));
+  }
+  EXPECT_GT(isat.stddev(), 30.0 * sce.mean());
+}
+
+TEST(CrossCard, ExecutionSimulationEquivalenceHolds) {
+  PpufParams p = PpufParams::card_45nm();
+  p.node_count = 10;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 4545);
+  SimulationModel model(puf);
+  util::Rng rng(2);
+  util::RunningStats err;
+  for (int i = 0; i < 6; ++i) {
+    const Challenge c = random_challenge(puf.layout(), rng);
+    const auto exe = puf.evaluate(c);
+    ASSERT_TRUE(exe.converged);
+    const auto sim = model.predict(c);
+    err.add(std::abs(exe.current_a - sim.flow_a) / exe.current_a);
+    err.add(std::abs(exe.current_b - sim.flow_b) / exe.current_b);
+  }
+  EXPECT_LT(err.mean(), 0.01);
+}
+
+TEST(CrossCard, InstancesRemainDistinct) {
+  PpufParams p = PpufParams::card_45nm();
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf a(p, 1);
+  MaxFlowPpuf b(p, 2);
+  util::Rng rng(3);
+  int agree = 0;
+  const int total = 20;
+  for (int i = 0; i < total; ++i) {
+    const Challenge c = random_challenge(a.layout(), rng);
+    agree += a.evaluate(c).bit == b.evaluate(c).bit ? 1 : 0;
+  }
+  EXPECT_GT(agree, 2);
+  EXPECT_LT(agree, 18);
+}
+
+}  // namespace
+}  // namespace ppuf

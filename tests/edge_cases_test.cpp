@@ -1,0 +1,176 @@
+// Edge-case suites: adversarial graph shapes for the max-flow solvers,
+// numeric-format boundaries, and attacker-component corner behaviour.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/knn.hpp"
+#include "maxflow/parallel_push_relabel.hpp"
+#include "maxflow/solver.hpp"
+#include "maxflow/verify.hpp"
+#include "util/bigint.hpp"
+#include "util/fit.hpp"
+
+namespace ppuf {
+namespace {
+
+using graph::Digraph;
+using graph::VertexId;
+
+// ------------------------------------------------- adversarial graph shapes
+
+/// Long path: stresses augmenting-path length and relabel chains.
+Digraph long_path(std::size_t n, double cap) {
+  Digraph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, cap);
+  g.finalize();
+  return g;
+}
+
+/// Star through a middle hub: max-flow = min(spokes) * hub leaves.
+Digraph star(std::size_t leaves) {
+  Digraph g(2 + leaves);
+  for (std::size_t i = 0; i < leaves; ++i) {
+    const auto mid = static_cast<VertexId>(2 + i);
+    g.add_edge(0, mid, 1.0);
+    g.add_edge(mid, 1, 1.0);
+  }
+  g.finalize();
+  return g;
+}
+
+/// Unit-capacity bipartite "matching" graph with a known maximum.
+Digraph bipartite(std::size_t k) {
+  // s=0, left = 1..k, right = k+1..2k, t = 2k+1; left i -> right i and
+  // right (i+1) mod k: perfect matching exists, value k.
+  Digraph g(2 * k + 2);
+  const auto t = static_cast<VertexId>(2 * k + 1);
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto l = static_cast<VertexId>(1 + i);
+    const auto r1 = static_cast<VertexId>(k + 1 + i);
+    const auto r2 = static_cast<VertexId>(k + 1 + (i + 1) % k);
+    g.add_edge(0, l, 1.0);
+    g.add_edge(l, r1, 1.0);
+    g.add_edge(l, r2, 1.0);
+    g.add_edge(r1, t, 1.0);
+  }
+  g.finalize();
+  return g;
+}
+
+class AdversarialShapes
+    : public ::testing::TestWithParam<maxflow::Algorithm> {};
+
+TEST_P(AdversarialShapes, LongPath) {
+  const Digraph g = long_path(64, 2.5);
+  const auto r = maxflow::make_solver(GetParam())->solve({&g, 0, 63});
+  EXPECT_NEAR(r.value, 2.5, 1e-12);
+}
+
+TEST_P(AdversarialShapes, Star) {
+  const Digraph g = star(20);
+  const auto r = maxflow::make_solver(GetParam())->solve({&g, 0, 1});
+  EXPECT_NEAR(r.value, 20.0, 1e-12);
+}
+
+TEST_P(AdversarialShapes, UnitCapacityBipartite) {
+  const Digraph g = bipartite(12);
+  const auto r = maxflow::make_solver(GetParam())
+                     ->solve({&g, 0, static_cast<VertexId>(25)});
+  EXPECT_NEAR(r.value, 12.0, 1e-12);
+  const auto v = maxflow::verify_flow(g, 0, 25, r.edge_flow, 1e-9);
+  EXPECT_TRUE(v.optimal) << v.reason;
+}
+
+TEST_P(AdversarialShapes, WidelySpreadCapacities) {
+  // Capacities across 9 decades: exercises the scale-relative epsilon.
+  Digraph g(4);
+  g.add_edge(0, 1, 1e-9);
+  g.add_edge(1, 3, 1.0);
+  g.add_edge(0, 2, 1.0);
+  g.add_edge(2, 3, 1e-9);
+  g.finalize();
+  const auto r = maxflow::make_solver(GetParam())->solve({&g, 0, 3});
+  EXPECT_NEAR(r.value, 2e-9, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AdversarialShapes,
+    ::testing::ValuesIn(maxflow::all_algorithms()),
+    [](const ::testing::TestParamInfo<maxflow::Algorithm>& info) {
+      std::string n = maxflow::algorithm_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+TEST(AdversarialShapesParallel, AllShapesWithFourThreads) {
+  const maxflow::ParallelPushRelabel solver(4);
+  const Digraph p = long_path(64, 2.5);
+  EXPECT_NEAR(solver.solve({&p, 0, 63}).value, 2.5, 1e-12);
+  const Digraph s = star(20);
+  EXPECT_NEAR(solver.solve({&s, 0, 1}).value, 20.0, 1e-12);
+  const Digraph b = bipartite(12);
+  EXPECT_NEAR(solver.solve({&b, 0, 25}).value, 12.0, 1e-12);
+}
+
+// --------------------------------------------------------- numeric corners
+
+TEST(FitFormatting, PolynomialToStringMentionsAllTerms) {
+  const util::Polynomial p{{1.0, -2.0, 3.0}};
+  const std::string s = p.to_string();
+  EXPECT_NE(s.find("*x"), std::string::npos);
+  EXPECT_NE(s.find("*x^2"), std::string::npos);
+  EXPECT_NE(s.find(" - "), std::string::npos);  // sign of -2 x
+}
+
+TEST(FitFormatting, PowerLawToString) {
+  const util::PowerLaw pl{2.5e-7, 2.0};
+  const std::string s = pl.to_string();
+  EXPECT_NE(s.find("n^2"), std::string::npos);
+}
+
+TEST(BigUintCorners, LimbBoundaryPowers) {
+  EXPECT_EQ(util::BigUint::pow2(31).to_decimal(), "2147483648");
+  EXPECT_EQ(util::BigUint::pow2(32).to_decimal(), "4294967296");
+  EXPECT_EQ(util::BigUint::pow2(33).to_decimal(), "8589934592");
+}
+
+TEST(BigUintCorners, DivisionOfEqualsAndSelfSubtraction) {
+  const util::BigUint a = util::BigUint::from_decimal("987654321987654321");
+  EXPECT_EQ((a / a).to_decimal(), "1");
+  util::BigUint b = a;
+  b -= a;
+  EXPECT_TRUE(b.is_zero());
+  EXPECT_EQ(b.to_decimal(), "0");
+}
+
+TEST(BigUintCorners, MultiplyByZeroNormalises) {
+  util::BigUint a(12345);
+  a *= util::BigUint(0);
+  EXPECT_TRUE(a.is_zero());
+  EXPECT_EQ(a.bit_length(), 0u);
+}
+
+// ----------------------------------------------------------- attack corners
+
+TEST(KnnCorners, SingleTrainingPointAlwaysWins) {
+  attack::Dataset train;
+  train.features = {{0.0, 0.0}};
+  train.labels = {-1};
+  const attack::Knn knn(train, 1);
+  EXPECT_EQ(knn.predict(std::vector<double>{100.0, 100.0}), -1);
+}
+
+TEST(KnnCorners, TieVoteResolvesToPositive) {
+  // k = 2 with one vote each: the implementation's >= 0 rule picks +1;
+  // pinned so a refactor that silently changes tie-breaking is caught.
+  attack::Dataset train;
+  train.features = {{-1.0}, {1.0}};
+  train.labels = {-1, 1};
+  const attack::Knn knn(train, 2);
+  EXPECT_EQ(knn.predict(std::vector<double>{0.0}), 1);
+}
+
+}  // namespace
+}  // namespace ppuf

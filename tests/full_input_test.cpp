@@ -1,0 +1,91 @@
+// Tests for the full-input-vector challenge encoding (the Fig. 9/10
+// interpretation) and the feedback successor's statistical quality.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "metrics/flip.hpp"
+#include "ppuf/feedback.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf {
+namespace {
+
+TEST(FullInput, DecodeValidatesWidth) {
+  const CrossbarLayout layout(8, 4);
+  EXPECT_THROW(
+      metrics::decode_full_input(layout, std::vector<std::uint8_t>(5, 0)),
+      std::invalid_argument);
+}
+
+TEST(FullInput, DecodeFieldsAreBigEndianAndModN) {
+  const CrossbarLayout layout(8, 4);  // 3 selection bits each, 16 type-B
+  std::vector<std::uint8_t> bits(metrics::full_input_bits(layout), 0);
+  // source field = 0b101 = 5, sink field = 0b010 = 2.
+  bits[0] = 1;
+  bits[2] = 1;
+  bits[4] = 1;
+  bits[6] = 1;  // first type-B bit
+  const Challenge c = metrics::decode_full_input(layout, bits);
+  EXPECT_EQ(c.source, 5u);
+  EXPECT_EQ(c.sink, 2u);
+  ASSERT_EQ(c.bits.size(), 16u);
+  EXPECT_EQ(c.bits[0], 1);
+  EXPECT_EQ(c.bits[1], 0);
+}
+
+TEST(FullInput, DegenerateSourceSinkIsResolved) {
+  const CrossbarLayout layout(8, 4);
+  std::vector<std::uint8_t> bits(metrics::full_input_bits(layout), 0);
+  // Both fields zero -> source = sink = 0 -> sink bumped to 1.
+  const Challenge c = metrics::decode_full_input(layout, bits);
+  EXPECT_EQ(c.source, 0u);
+  EXPECT_EQ(c.sink, 1u);
+}
+
+TEST(FullInput, ModNWrapsForNonPowerOfTwo) {
+  // n = 6 -> 3 selection bits, values 6..7 wrap to 0..1.
+  const CrossbarLayout layout(6, 3);
+  std::vector<std::uint8_t> bits(metrics::full_input_bits(layout), 0);
+  bits[0] = bits[1] = bits[2] = 1;  // source field = 7 -> 7 % 6 = 1
+  const Challenge c = metrics::decode_full_input(layout, bits);
+  EXPECT_EQ(c.source, 1u);
+}
+
+TEST(FullInput, EveryDecodedChallengeIsValid) {
+  const CrossbarLayout layout(10, 4);
+  util::Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<std::uint8_t> bits(metrics::full_input_bits(layout));
+    for (auto& b : bits) b = rng.coin() ? 1 : 0;
+    const Challenge c = metrics::decode_full_input(layout, bits);
+    EXPECT_LT(c.source, 10u);
+    EXPECT_LT(c.sink, 10u);
+    EXPECT_NE(c.source, c.sink);
+    EXPECT_EQ(c.bits.size(), layout.cell_count());
+  }
+}
+
+TEST(FeedbackQuality, SuccessorChallengesAreWellSpread) {
+  // The chain successor should behave like a fresh uniform challenge:
+  // sources cover many values and type-B bits are balanced.
+  const CrossbarLayout layout(10, 4);
+  util::Rng rng(8);
+  Challenge c = random_challenge(layout, rng);
+  std::set<unsigned> sources;
+  util::RunningStats ones;
+  int response = 0;
+  for (int i = 0; i < 300; ++i) {
+    c = next_challenge(layout, c, response, 42);
+    response ^= (i % 3 == 0) ? 1 : 0;
+    sources.insert(c.source);
+    double count = 0;
+    for (const auto b : c.bits) count += b;
+    ones.add(count / static_cast<double>(c.bits.size()));
+  }
+  EXPECT_GE(sources.size(), 8u);  // nearly all of 10 sources visited
+  EXPECT_NEAR(ones.mean(), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,185 @@
+// Tests for src/graph: digraph, complete builders, BFS (serial + parallel).
+#include <gtest/gtest.h>
+
+#include "graph/bfs.hpp"
+#include "graph/complete.hpp"
+#include "graph/digraph.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::graph {
+namespace {
+
+Digraph path_graph(std::size_t n) {
+  Digraph g(n);
+  for (VertexId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1, 1.0);
+  g.finalize();
+  return g;
+}
+
+TEST(Digraph, AddEdgeValidation) {
+  Digraph g(3);
+  EXPECT_THROW(g.add_edge(0, 5, 1.0), std::out_of_range);
+  EXPECT_THROW(g.add_edge(0, 1, -1.0), std::invalid_argument);
+  EXPECT_EQ(g.add_edge(0, 1, 1.0), 0u);
+  EXPECT_EQ(g.add_edge(1, 2, 2.0), 1u);
+  EXPECT_EQ(g.edge_count(), 2u);
+}
+
+TEST(Digraph, OutEdgesRequireFinalize) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  EXPECT_THROW(g.out_edges(0), std::logic_error);
+  g.finalize();
+  EXPECT_EQ(g.out_edges(0).size(), 1u);
+  EXPECT_EQ(g.out_edges(1).size(), 0u);
+}
+
+TEST(Digraph, AdjacencyIndexGroupsBySource) {
+  Digraph g(4);
+  g.add_edge(2, 0, 1.0);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(2, 3, 1.0);
+  g.add_edge(2, 1, 1.0);
+  g.finalize();
+  EXPECT_EQ(g.out_degree(2), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  for (EdgeId e : g.out_edges(2)) EXPECT_EQ(g.edge(e).from, 2u);
+}
+
+TEST(Digraph, SetCapacityUpdatesWithoutRebuild) {
+  Digraph g(2);
+  const EdgeId e = g.add_edge(0, 1, 1.0);
+  g.finalize();
+  g.set_capacity(e, 5.0);
+  EXPECT_DOUBLE_EQ(g.edge(e).capacity, 5.0);
+  EXPECT_TRUE(g.finalized());
+  EXPECT_THROW(g.set_capacity(e, -1.0), std::invalid_argument);
+}
+
+TEST(Digraph, OutCapacitySums) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.5);
+  g.add_edge(0, 2, 2.5);
+  g.finalize();
+  EXPECT_DOUBLE_EQ(g.out_capacity(0), 4.0);
+}
+
+TEST(Complete, HasAllOrderedPairs) {
+  const Digraph g = make_complete(5, [](VertexId, VertexId) { return 1.0; });
+  EXPECT_EQ(g.vertex_count(), 5u);
+  EXPECT_EQ(g.edge_count(), 20u);
+  EXPECT_TRUE(g.is_complete());
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.out_degree(v), 4u);
+}
+
+TEST(Complete, EdgeIdLayoutMatchesBuilder) {
+  const std::size_t n = 6;
+  const Digraph g = make_complete(n, [n](VertexId i, VertexId j) {
+    return static_cast<double>(i * n + j);
+  });
+  for (VertexId i = 0; i < n; ++i) {
+    for (VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const Edge& e = g.edge(complete_edge_id(n, i, j));
+      EXPECT_EQ(e.from, i);
+      EXPECT_EQ(e.to, j);
+      EXPECT_DOUBLE_EQ(e.capacity, static_cast<double>(i * n + j));
+    }
+  }
+}
+
+TEST(Complete, EdgeIdRejectsDiagonal) {
+  EXPECT_THROW(complete_edge_id(4, 2, 2), std::invalid_argument);
+}
+
+TEST(Complete, UniformCapacitiesInRange) {
+  util::Rng rng(3);
+  const Digraph g = make_complete_uniform(8, rng, 0.25, 0.75);
+  for (const Edge& e : g.edges()) {
+    EXPECT_GE(e.capacity, 0.25);
+    EXPECT_LT(e.capacity, 0.75);
+  }
+}
+
+TEST(Complete, SmallNRejected) {
+  util::Rng rng(3);
+  EXPECT_THROW(make_complete_uniform(1, rng), std::invalid_argument);
+}
+
+TEST(RandomGraph, DensityMatchesProbability) {
+  util::Rng rng(4);
+  const Digraph g = make_random(40, 0.3, rng);
+  const double density = static_cast<double>(g.edge_count()) / (40.0 * 39.0);
+  EXPECT_NEAR(density, 0.3, 0.05);
+}
+
+TEST(RandomGraph, IsFinalizedAndDiagonalFree) {
+  util::Rng rng(4);
+  const Digraph g = make_random(10, 0.5, rng);
+  EXPECT_TRUE(g.finalized());
+  for (const Edge& e : g.edges()) EXPECT_NE(e.from, e.to);
+}
+
+NeighborFn digraph_neighbors(const Digraph& g) {
+  return [&g](VertexId v, std::vector<VertexId>& out) {
+    for (EdgeId e : g.out_edges(v)) out.push_back(g.edge(e).to);
+  };
+}
+
+TEST(Bfs, DistancesOnPath) {
+  const Digraph g = path_graph(5);
+  const auto dist = bfs_distances(5, 0, digraph_neighbors(g));
+  for (std::uint32_t v = 0; v < 5; ++v) EXPECT_EQ(dist[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  Digraph g(4);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const auto dist = bfs_distances(4, 0, digraph_neighbors(g));
+  EXPECT_EQ(dist[1], 1u);
+  EXPECT_EQ(dist[2], kUnreachable);
+  EXPECT_EQ(dist[3], kUnreachable);
+}
+
+TEST(Bfs, ReachableSelfAndDirected) {
+  const Digraph g = path_graph(3);
+  EXPECT_TRUE(reachable(3, 1, 1, digraph_neighbors(g)));
+  EXPECT_TRUE(reachable(3, 0, 2, digraph_neighbors(g)));
+  EXPECT_FALSE(reachable(3, 2, 0, digraph_neighbors(g)));
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Digraph g = path_graph(3);
+  EXPECT_THROW(bfs_distances(3, 9, digraph_neighbors(g)), std::out_of_range);
+}
+
+/// Property: parallel BFS produces identical distances to serial BFS on
+/// random graphs, for 2 and 4 threads.
+class ParallelBfsProperty
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(ParallelBfsProperty, MatchesSerial) {
+  const auto [seed, threads] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const std::size_t n = 60;
+  const Digraph g = make_random(n, 0.08, rng);
+  const auto nf = digraph_neighbors(g);
+  const auto serial = bfs_distances(n, 0, nf);
+  const auto parallel = bfs_distances_parallel(n, 0, nf, threads);
+  EXPECT_EQ(serial, parallel);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, ParallelBfsProperty,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Values(2u, 4u)));
+
+TEST(ParallelBfs, SingleThreadFallsBackToSerial) {
+  const Digraph g = path_graph(4);
+  const auto a = bfs_distances_parallel(4, 0, digraph_neighbors(g), 1);
+  const auto b = bfs_distances(4, 0, digraph_neighbors(g));
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ppuf::graph

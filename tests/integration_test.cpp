@@ -1,0 +1,123 @@
+// End-to-end integration: fabricate a PPUF, publish its model, run the
+// full pipeline (metrics, attack, protocol) on one instance, and check the
+// cross-module invariants the paper's story depends on.
+#include <gtest/gtest.h>
+
+#include "attack/harness.hpp"
+#include "metrics/puf_metrics.hpp"
+#include "ppuf/delay.hpp"
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+
+namespace ppuf {
+namespace {
+
+TEST(Integration, FabricateModelAttackAuthenticate) {
+  PpufParams params;
+  params.node_count = 10;
+  params.grid_size = 8;  // 64 type-B bits, like the paper's 40-node PPUF
+  MaxFlowPpuf puf(params, 2024);
+  SimulationModel model(puf);
+  util::Rng rng(1);
+
+  // 1. Execution-vs-simulation equivalence across challenges.
+  double worst_err = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    const Challenge c = random_challenge(puf.layout(), rng);
+    const auto exe = puf.evaluate(c);
+    const auto sim = model.predict(c);
+    worst_err = std::max(
+        worst_err, std::abs(exe.current_a - sim.flow_a) / exe.current_a);
+  }
+  EXPECT_LT(worst_err, 0.05);
+
+  // 2. The model supports the authentication protocol end to end.
+  double mean_cap = 0.0;
+  for (graph::EdgeId e = 0; e < puf.layout().edge_count(); ++e)
+    mean_cap += model.capacity(0, e, 0);
+  mean_cap /= static_cast<double>(puf.layout().edge_count());
+  const protocol::Verifier verifier(model, 1.0, 0.05 * mean_cap);
+  const Challenge c = verifier.issue_challenge(rng);
+  const auto honest = protocol::prove_with_ppuf(
+      puf, c, analytic_delay_bound(params, params.node_count));
+  EXPECT_TRUE(verifier.verify(c, honest).accepted);
+
+  // 3. A short model-building attack runs end to end and stays well above
+  //    the arbiter-PUF error floor (full curves live in the bench).
+  std::vector<std::vector<std::uint8_t>> challenges;
+  std::vector<int> responses;
+  for (int i = 0; i < 260; ++i) {
+    const Challenge ch =
+        random_challenge_fixed_ends(puf.layout(), 0, 5, rng);
+    challenges.push_back(
+        std::vector<std::uint8_t>(ch.bits.begin(), ch.bits.end()));
+    responses.push_back(puf.evaluate(ch).bit);
+  }
+  const attack::Dataset all = attack::encode_bits(challenges, responses);
+  const attack::Dataset train = all.slice(0, 200);
+  const attack::Dataset test = all.slice(200, 60);
+  const auto curve = attack::attack_learning_curve(train, test, {200});
+  ASSERT_EQ(curve.size(), 1u);
+  // At this budget the 64-bit challenge space keeps every attacker far
+  // from the arbiter-PUF error floor (< 1%); the full-size learning curves
+  // are produced by bench_fig10_model_building.
+  EXPECT_GT(curve[0].best(), 0.05);
+}
+
+TEST(Integration, ResponsesFormReasonablePufPopulation) {
+  PpufParams params;
+  params.node_count = 8;
+  params.grid_size = 4;
+  const std::size_t instances = 6;
+  const std::size_t challenges = 24;
+
+  util::Rng rng(9);
+  std::vector<Challenge> cs;
+  {
+    const CrossbarLayout layout(params.node_count, params.grid_size);
+    for (std::size_t i = 0; i < challenges; ++i)
+      cs.push_back(random_challenge(layout, rng));
+  }
+
+  metrics::ResponseMatrix responses(instances);
+  for (std::size_t i = 0; i < instances; ++i) {
+    MaxFlowPpuf puf(params, 5000 + i);
+    for (const Challenge& c : cs)
+      responses[i].push_back(static_cast<std::uint8_t>(puf.evaluate(c).bit));
+  }
+
+  const auto inter = metrics::inter_class_hd(responses);
+  EXPECT_GT(inter.mean, 0.25);
+  EXPECT_LT(inter.mean, 0.75);
+  const auto uni = metrics::uniformity(responses);
+  EXPECT_GT(uni.mean, 0.2);
+  EXPECT_LT(uni.mean, 0.8);
+}
+
+TEST(Integration, EnvironmentalReevaluationIsMostlyStable) {
+  PpufParams params;
+  params.node_count = 8;
+  params.grid_size = 4;
+  MaxFlowPpuf puf(params, 31337);
+  util::Rng rng(2);
+  util::Rng noise(3);
+
+  circuit::Environment stress;
+  stress.vdd_scale = 1.05;
+  stress.temperature_c = 60.0;
+
+  std::size_t flips = 0;
+  const std::size_t total = 16;
+  for (std::size_t i = 0; i < total; ++i) {
+    const Challenge c = random_challenge(puf.layout(), rng);
+    const int ref = puf.evaluate(c).bit;
+    const int redo = puf.evaluate(c, stress, &noise).bit;
+    flips += ref != redo ? 1 : 0;
+  }
+  // Differential structure suppresses common-mode environment shifts:
+  // most responses survive a simultaneous VDD + temperature excursion.
+  EXPECT_LT(flips, total / 2);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,276 @@
+// Tests for src/maxflow: the three solvers, cross-checks, min-cut duality,
+// and the verification asymmetry (Section 2 of the paper).
+#include <gtest/gtest.h>
+
+#include "graph/complete.hpp"
+#include "maxflow/push_relabel.hpp"
+#include "maxflow/solver.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::maxflow {
+namespace {
+
+using graph::Digraph;
+using graph::FlowProblem;
+using graph::VertexId;
+
+/// The classic CLRS 26.1 example; max flow s->t is 23.
+Digraph clrs_graph() {
+  Digraph g(6);  // s=0, v1..v4=1..4, t=5
+  g.add_edge(0, 1, 16);
+  g.add_edge(0, 2, 13);
+  g.add_edge(1, 3, 12);
+  g.add_edge(2, 1, 4);
+  g.add_edge(2, 4, 14);
+  g.add_edge(3, 2, 9);
+  g.add_edge(3, 5, 20);
+  g.add_edge(4, 3, 7);
+  g.add_edge(4, 5, 4);
+  g.finalize();
+  return g;
+}
+
+class AllSolvers : public ::testing::TestWithParam<Algorithm> {};
+
+TEST_P(AllSolvers, ClrsExampleValue) {
+  const Digraph g = clrs_graph();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 5});
+  EXPECT_NEAR(r.value, 23.0, 1e-9);
+}
+
+TEST_P(AllSolvers, ClrsFlowIsVerifiedOptimal) {
+  const Digraph g = clrs_graph();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 5});
+  const VerifyResult v = verify_flow(g, 0, 5, r.edge_flow, 1e-9);
+  EXPECT_TRUE(v.feasible) << v.reason;
+  EXPECT_TRUE(v.optimal) << v.reason;
+  EXPECT_NEAR(v.value, 23.0, 1e-9);
+}
+
+TEST_P(AllSolvers, SingleEdge) {
+  Digraph g(2);
+  g.add_edge(0, 1, 3.5);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 1});
+  EXPECT_NEAR(r.value, 3.5, 1e-12);
+}
+
+TEST_P(AllSolvers, DisconnectedSinkGivesZero) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 2});
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+TEST_P(AllSolvers, SeriesBottleneck) {
+  Digraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 2});
+  EXPECT_NEAR(r.value, 2.0, 1e-12);
+}
+
+TEST_P(AllSolvers, ParallelPathsAdd) {
+  Digraph g(4);
+  g.add_edge(0, 1, 3.0);
+  g.add_edge(1, 3, 3.0);
+  g.add_edge(0, 2, 4.0);
+  g.add_edge(2, 3, 4.0);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 3});
+  EXPECT_NEAR(r.value, 7.0, 1e-12);
+}
+
+TEST_P(AllSolvers, AntiparallelEdgesHandled) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 0, 5.0);  // antiparallel back edge
+  g.add_edge(1, 2, 3.0);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 2});
+  EXPECT_NEAR(r.value, 3.0, 1e-12);
+}
+
+TEST_P(AllSolvers, SourceEqualsSinkThrows) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(make_solver(GetParam())->solve({&g, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST_P(AllSolvers, ZeroCapacityEdgesCarryNothing) {
+  Digraph g(3);
+  g.add_edge(0, 1, 0.0);
+  g.add_edge(1, 2, 7.0);
+  g.finalize();
+  const FlowResult r = make_solver(GetParam())->solve({&g, 0, 2});
+  EXPECT_DOUBLE_EQ(r.value, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Algorithms, AllSolvers,
+    ::testing::ValuesIn(all_algorithms()),
+    [](const ::testing::TestParamInfo<Algorithm>& info) {
+      std::string n = algorithm_name(info.param);
+      for (char& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+/// Property suite: on random graphs all three algorithms agree, the flow is
+/// verified maximum, and max-flow equals the min-cut found from residual
+/// reachability.
+struct RandomCase {
+  std::uint64_t seed;
+  std::size_t n;
+  double density;  // 1.0 -> complete graph
+};
+
+class RandomGraphProperty : public ::testing::TestWithParam<RandomCase> {};
+
+TEST_P(RandomGraphProperty, SolversAgreeAndDualityHolds) {
+  const RandomCase& rc = GetParam();
+  util::Rng rng(rc.seed);
+  const Digraph g = rc.density >= 1.0
+                        ? graph::make_complete_uniform(rc.n, rng)
+                        : graph::make_random(rc.n, rc.density, rng);
+  const VertexId s = 0;
+  const auto t = static_cast<VertexId>(rc.n - 1);
+
+  std::vector<FlowResult> results;
+  for (const Algorithm a : all_algorithms())
+    results.push_back(make_solver(a)->solve({&g, s, t}));
+
+  const double tol = 1e-9 * std::max(1.0, results[0].value);
+  EXPECT_NEAR(results[0].value, results[1].value, tol);
+  EXPECT_NEAR(results[0].value, results[2].value, tol);
+
+  for (const FlowResult& r : results) {
+    const VerifyResult v = verify_flow(g, s, t, r.edge_flow, 1e-9);
+    EXPECT_TRUE(v.optimal) << v.reason;
+    EXPECT_NEAR(v.value, r.value, tol);
+    // Max-flow = min-cut: the cut at the residual-reachable boundary has
+    // capacity equal to the flow value.
+    const auto side = residual_reachable(g, s, r.edge_flow, 1e-9);
+    EXPECT_TRUE(side[s]);
+    EXPECT_FALSE(side[t]);
+    EXPECT_NEAR(cut_capacity(g, side), r.value, tol);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, RandomGraphProperty,
+    ::testing::Values(RandomCase{1, 8, 1.0}, RandomCase{2, 12, 1.0},
+                      RandomCase{3, 16, 1.0}, RandomCase{4, 24, 1.0},
+                      RandomCase{5, 20, 0.3}, RandomCase{6, 30, 0.2},
+                      RandomCase{7, 40, 0.1}, RandomCase{8, 25, 0.5},
+                      RandomCase{9, 10, 0.8}, RandomCase{10, 50, 0.08}));
+
+TEST(Verify, DetectsCapacityViolation) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const std::vector<double> flow{2.0};
+  const VerifyResult v = verify_flow(g, 0, 1, flow, 1e-9);
+  EXPECT_FALSE(v.feasible);
+  EXPECT_NE(v.reason.find("capacity"), std::string::npos);
+}
+
+TEST(Verify, DetectsNegativeFlow) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const VerifyResult v = verify_flow(g, 0, 1, std::vector<double>{-0.5}, 1e-9);
+  EXPECT_FALSE(v.feasible);
+}
+
+TEST(Verify, DetectsConservationViolation) {
+  Digraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const std::vector<double> flow{2.0, 1.0};  // vertex 1 stores flow
+  const VerifyResult v = verify_flow(g, 0, 2, flow, 1e-9);
+  EXPECT_FALSE(v.feasible);
+  EXPECT_NE(v.reason.find("conservation"), std::string::npos);
+}
+
+TEST(Verify, DetectsSuboptimalFlow) {
+  Digraph g(2);
+  g.add_edge(0, 1, 2.0);
+  g.finalize();
+  const VerifyResult v = verify_flow(g, 0, 1, std::vector<double>{1.0}, 1e-9);
+  EXPECT_TRUE(v.feasible);
+  EXPECT_FALSE(v.optimal);
+  EXPECT_NE(v.reason.find("augmenting"), std::string::npos);
+}
+
+TEST(Verify, ZeroFlowOnDisconnectedIsOptimal) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const VerifyResult v =
+      verify_flow(g, 0, 2, std::vector<double>{0.0}, 1e-9);
+  EXPECT_TRUE(v.optimal);
+  EXPECT_DOUBLE_EQ(v.value, 0.0);
+}
+
+TEST(Verify, ParallelVerificationMatchesSerial) {
+  util::Rng rng(17);
+  const Digraph g = graph::make_complete_uniform(20, rng);
+  const FlowResult r = make_solver(Algorithm::kDinic)->solve({&g, 0, 19});
+  const VerifyResult serial = verify_flow(g, 0, 19, r.edge_flow, 1e-9, 1);
+  const VerifyResult par = verify_flow(g, 0, 19, r.edge_flow, 1e-9, 4);
+  EXPECT_EQ(serial.optimal, par.optimal);
+  EXPECT_NEAR(serial.value, par.value, 1e-12);
+}
+
+TEST(Verify, ToleranceAbsorbsMeasurementNoise) {
+  Digraph g(2);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  // 0.5% over capacity: rejected at tight tolerance, accepted at 1%.
+  const std::vector<double> flow{1.005};
+  EXPECT_FALSE(verify_flow(g, 0, 1, flow, 1e-6).feasible);
+  EXPECT_TRUE(verify_flow(g, 0, 1, flow, 0.01).optimal);
+}
+
+TEST(PushRelabel, HeuristicsDoNotChangeTheValue) {
+  util::Rng rng(23);
+  const Digraph g = graph::make_complete_uniform(18, rng);
+  const FlowProblem p{&g, 2, 9};
+  PushRelabelOptions plain;
+  plain.gap_heuristic = false;
+  plain.global_relabel = false;
+  const FlowResult a = PushRelabel(plain).solve(p);
+  const FlowResult b = PushRelabel().solve(p);
+  EXPECT_NEAR(a.value, b.value, 1e-9 * std::max(1.0, a.value));
+}
+
+TEST(PushRelabel, GlobalRelabelReducesWorkOnCompleteGraphs) {
+  util::Rng rng(29);
+  const Digraph g = graph::make_complete_uniform(40, rng);
+  const FlowProblem p{&g, 0, 39};
+  PushRelabelOptions plain;
+  plain.gap_heuristic = false;
+  plain.global_relabel = false;
+  const FlowResult slow = PushRelabel(plain).solve(p);
+  const FlowResult fast = PushRelabel().solve(p);
+  // Not a strict theorem, but robust in practice at this size; regression
+  // here means a heuristic was broken.
+  EXPECT_LE(fast.work, slow.work * 2);
+}
+
+TEST(Solver, NamesAreDistinct) {
+  EXPECT_NE(algorithm_name(Algorithm::kEdmondsKarp),
+            algorithm_name(Algorithm::kDinic));
+  EXPECT_NE(algorithm_name(Algorithm::kDinic),
+            algorithm_name(Algorithm::kPushRelabel));
+}
+
+}  // namespace
+}  // namespace ppuf::maxflow

@@ -1,0 +1,148 @@
+// Tests for the PUF quality metrics on synthetic response matrices with
+// known answers, plus the flip-probability experiment on a tiny PPUF.
+#include <gtest/gtest.h>
+
+#include "metrics/flip.hpp"
+#include "metrics/hamming.hpp"
+#include "metrics/puf_metrics.hpp"
+
+namespace ppuf::metrics {
+namespace {
+
+TEST(Hamming, DistanceAndFraction) {
+  const BitVector a{1, 0, 1, 0};
+  const BitVector b{1, 1, 0, 0};
+  EXPECT_EQ(hamming_distance(a, b), 2u);
+  EXPECT_DOUBLE_EQ(fractional_hamming_distance(a, b), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_of_ones(a), 0.5);
+  EXPECT_DOUBLE_EQ(fraction_of_ones(BitVector{}), 0.0);
+  EXPECT_THROW(hamming_distance(a, BitVector{1}), std::invalid_argument);
+}
+
+TEST(Hamming, NonZeroValuesCountAsOne) {
+  const BitVector a{2, 0};
+  const BitVector b{1, 0};
+  EXPECT_EQ(hamming_distance(a, b), 0u);
+}
+
+TEST(PufMetrics, InterClassOfIdenticalInstancesIsZero) {
+  const ResponseMatrix m{{1, 0, 1, 1}, {1, 0, 1, 1}, {1, 0, 1, 1}};
+  const Statistic s = inter_class_hd(m);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(PufMetrics, InterClassOfComplementsIsOne) {
+  const ResponseMatrix m{{1, 0, 1, 0}, {0, 1, 0, 1}};
+  EXPECT_DOUBLE_EQ(inter_class_hd(m).mean, 1.0);
+}
+
+TEST(PufMetrics, InterClassKnownMixedValue) {
+  const ResponseMatrix m{{0, 0, 0, 0}, {1, 1, 0, 0}, {1, 1, 1, 1}};
+  // Pairwise distances: 0.5, 1.0, 0.5 -> mean 2/3.
+  EXPECT_NEAR(inter_class_hd(m).mean, 2.0 / 3.0, 1e-12);
+}
+
+TEST(PufMetrics, IntraClassCountsReevaluationNoise) {
+  const ResponseMatrix reference{{1, 1, 1, 1}, {0, 0, 0, 0}};
+  const std::vector<ResponseMatrix> redo{
+      {{1, 1, 1, 0}, {1, 1, 1, 1}},  // instance 0: distances 0.25, 0
+      {{0, 0, 0, 0}},                // instance 1: distance 0
+  };
+  const Statistic s = intra_class_hd(reference, redo);
+  EXPECT_NEAR(s.mean, 0.25 / 3.0, 1e-12);
+}
+
+TEST(PufMetrics, UniformityPerInstance) {
+  const ResponseMatrix m{{1, 1, 1, 1}, {1, 0, 1, 0}, {0, 0, 0, 0}};
+  const Statistic s = uniformity(m);
+  EXPECT_NEAR(s.mean, 0.5, 1e-12);          // (1 + 0.5 + 0)/3
+  EXPECT_GT(s.stddev, 0.4);                 // wildly different instances
+}
+
+TEST(PufMetrics, RandomnessPerChallenge) {
+  // Challenge 0 answered 1 by all, challenge 1 by none, 2-3 by half.
+  const ResponseMatrix m{{1, 0, 1, 0}, {1, 0, 0, 1}};
+  const Statistic s = randomness(m);
+  EXPECT_NEAR(s.mean, 0.5, 1e-12);
+  // Per-challenge fractions: 1, 0, 0.5, 0.5.
+  EXPECT_NEAR(s.stddev, 0.40825, 1e-4);
+}
+
+TEST(PufMetrics, UniformityAndRandomnessShareTheMean) {
+  const ResponseMatrix m{{1, 0, 1, 1}, {0, 0, 1, 0}, {1, 1, 0, 0}};
+  EXPECT_NEAR(uniformity(m).mean, randomness(m).mean, 1e-12);
+}
+
+TEST(PufMetrics, RejectsDegenerateInput) {
+  EXPECT_THROW(inter_class_hd({}), std::invalid_argument);
+  EXPECT_THROW(inter_class_hd({{1, 0}}), std::invalid_argument);
+  EXPECT_THROW(uniformity(ResponseMatrix{{1, 0}, {1}}),
+               std::invalid_argument);
+  EXPECT_THROW(intra_class_hd(ResponseMatrix{{1}}, {}),
+               std::invalid_argument);
+}
+
+TEST(FlipProbability, ZeroDistanceNeverFlips) {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 77);
+  util::Rng rng(1);
+  const auto points =
+      flip_probability_vs_distance(puf, {0}, 6, rng);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_DOUBLE_EQ(points[0].flip_probability, 0.0);
+  EXPECT_EQ(points[0].samples, 6u);
+}
+
+TEST(FlipProbability, LargeDistanceFlipsSometimes) {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 78);
+  util::Rng rng(2);
+  const auto points =
+      flip_probability_vs_distance(puf, {16}, 24, rng);
+  EXPECT_GT(points[0].flip_probability, 0.0);
+  EXPECT_LT(points[0].flip_probability, 1.0);
+}
+
+TEST(FlipProbability, FullInputVectorWidth) {
+  // n = 8 -> 3 selection bits per terminal; l = 4 -> 16 control bits.
+  const CrossbarLayout layout(8, 4);
+  EXPECT_EQ(full_input_bits(layout), 2u * 3u + 16u);
+  // n = 40 -> 6 bits per terminal.
+  EXPECT_EQ(full_input_bits(CrossbarLayout(40, 8)), 2u * 6u + 64u);
+}
+
+TEST(FlipProbability, FullInputFlipsMoreThanTypeBOnly) {
+  // Selection-bit flips retarget the flow, so the full-input curve
+  // dominates the type-B-only curve at equal distance (the Fig. 9
+  // interpretation; see EXPERIMENTS.md).
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 79);
+  util::Rng rng(3);
+  const auto type_b = flip_probability_vs_distance(puf, {6}, 40, rng);
+  const auto full =
+      flip_probability_vs_distance_full_input(puf, {6}, 40, rng);
+  EXPECT_GE(full[0].flip_probability,
+            type_b[0].flip_probability - 0.05);
+  EXPECT_GT(full[0].flip_probability, 0.05);
+}
+
+TEST(FlipProbability, FullInputZeroDistanceNeverFlips) {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 80);
+  util::Rng rng(4);
+  const auto points =
+      flip_probability_vs_distance_full_input(puf, {0}, 10, rng);
+  EXPECT_DOUBLE_EQ(points[0].flip_probability, 0.0);
+}
+
+}  // namespace
+}  // namespace ppuf::metrics

@@ -1,0 +1,133 @@
+// Tests for multi-source / multi-sink max-flow (the paper's S/T-set
+// formulation via supernode reduction).
+#include <gtest/gtest.h>
+
+#include "graph/complete.hpp"
+#include "maxflow/multi_terminal.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::maxflow {
+namespace {
+
+using graph::Digraph;
+using graph::VertexId;
+
+TEST(MultiTerminal, ReducesToSingleTerminalCase) {
+  Digraph g(3);
+  g.add_edge(0, 1, 5.0);
+  g.add_edge(1, 2, 3.0);
+  g.finalize();
+  const FlowResult r = solve_multi_terminal({&g, {0}, {2}});
+  EXPECT_NEAR(r.value, 3.0, 1e-12);
+  EXPECT_EQ(r.edge_flow.size(), 2u);
+}
+
+TEST(MultiTerminal, TwoSourcesAddCapacity) {
+  // Two sources feeding one sink through separate pipes.
+  Digraph g(3);
+  g.add_edge(0, 2, 2.0);
+  g.add_edge(1, 2, 3.5);
+  g.finalize();
+  const FlowResult r = solve_multi_terminal({&g, {0, 1}, {2}});
+  EXPECT_NEAR(r.value, 5.5, 1e-12);
+}
+
+TEST(MultiTerminal, TwoSinksDrainIndependently) {
+  Digraph g(3);
+  g.add_edge(0, 1, 2.0);
+  g.add_edge(0, 2, 4.0);
+  g.finalize();
+  const FlowResult r = solve_multi_terminal({&g, {0}, {1, 2}});
+  EXPECT_NEAR(r.value, 6.0, 1e-12);
+}
+
+TEST(MultiTerminal, SharedBottleneckIsNotDoubleCounted) {
+  // Both sources must squeeze through the same middle edge.
+  Digraph g(4);
+  g.add_edge(0, 2, 10.0);
+  g.add_edge(1, 2, 10.0);
+  g.add_edge(2, 3, 4.0);
+  g.finalize();
+  const FlowResult r = solve_multi_terminal({&g, {0, 1}, {3}});
+  EXPECT_NEAR(r.value, 4.0, 1e-12);
+}
+
+TEST(MultiTerminal, EdgeFlowsIndexOriginalGraph) {
+  Digraph g(4);
+  const auto e0 = g.add_edge(0, 2, 1.0);
+  const auto e1 = g.add_edge(1, 2, 1.0);
+  const auto e2 = g.add_edge(2, 3, 5.0);
+  g.finalize();
+  const FlowResult r = solve_multi_terminal({&g, {0, 1}, {3}});
+  ASSERT_EQ(r.edge_flow.size(), 3u);
+  EXPECT_NEAR(r.edge_flow[e0], 1.0, 1e-12);
+  EXPECT_NEAR(r.edge_flow[e1], 1.0, 1e-12);
+  EXPECT_NEAR(r.edge_flow[e2], 2.0, 1e-12);
+}
+
+TEST(MultiTerminal, Validation) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  EXPECT_THROW(solve_multi_terminal({&g, {}, {1}}), std::invalid_argument);
+  EXPECT_THROW(solve_multi_terminal({&g, {0}, {}}), std::invalid_argument);
+  EXPECT_THROW(solve_multi_terminal({&g, {0}, {0}}), std::invalid_argument);
+  EXPECT_THROW(solve_multi_terminal({&g, {9}, {1}}), std::invalid_argument);
+  EXPECT_THROW(solve_multi_terminal({nullptr, {0}, {1}}),
+               std::invalid_argument);
+}
+
+TEST(MultiTerminal, ExpansionPreservesEdgeIdsAndAddsTerminals) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  VertexId s = 0, t = 0;
+  const Digraph ex = expand_with_supernodes({&g, {0}, {2}}, &s, &t);
+  EXPECT_EQ(ex.vertex_count(), 5u);
+  EXPECT_EQ(s, 3u);
+  EXPECT_EQ(t, 4u);
+  EXPECT_DOUBLE_EQ(ex.edge(0).capacity, 1.0);
+  EXPECT_DOUBLE_EQ(ex.edge(1).capacity, 2.0);
+  EXPECT_EQ(ex.edge_count(), 4u);
+}
+
+/// Property: multi-terminal value equals the max-flow of the manually
+/// expanded graph, for every algorithm, on random graphs.
+class MultiTerminalProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiTerminalProperty, AgreesWithManualExpansionAndIsVerified) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 13 + 5);
+  const std::size_t n = 14;
+  const graph::Digraph g = graph::make_complete_uniform(n, rng);
+  const MultiTerminalProblem p{&g, {0, 1}, {n - 2, n - 1}};
+
+  const FlowResult mt = solve_multi_terminal(p, Algorithm::kDinic);
+  VertexId s = 0, t = 0;
+  const Digraph ex = expand_with_supernodes(p, &s, &t);
+  const FlowResult direct =
+      make_solver(Algorithm::kPushRelabel)->solve({&ex, s, t});
+  EXPECT_NEAR(mt.value, direct.value, 1e-9 * std::max(1.0, mt.value));
+
+  // The restricted flows satisfy capacity everywhere and conservation at
+  // every non-terminal vertex of the original graph.
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_GE(mt.edge_flow[e], -1e-9);
+    EXPECT_LE(mt.edge_flow[e], g.edge(e).capacity + 1e-9);
+  }
+  std::vector<double> net(n, 0.0);
+  for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
+    net[g.edge(e).from] -= mt.edge_flow[e];
+    net[g.edge(e).to] += mt.edge_flow[e];
+  }
+  for (VertexId v = 2; v < n - 2; ++v) EXPECT_NEAR(net[v], 0.0, 1e-9);
+  // Net outflow of the source set equals the flow value.
+  EXPECT_NEAR(-(net[0] + net[1]), mt.value, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, MultiTerminalProperty,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace ppuf::maxflow

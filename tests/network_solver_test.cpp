@@ -1,0 +1,184 @@
+// Tests for the network-level solver on hand-built compact curves where the
+// steady state is known analytically.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ppuf/network_solver.hpp"
+
+namespace ppuf {
+namespace {
+
+/// Linear "resistor" curve through the origin, slope g (A/V), built as a
+/// two-point monotone curve with linear extension on both sides.
+MonotoneCurve linear_curve(double g) {
+  return MonotoneCurve(std::vector<double>{-1.0, 1.0},
+                       std::vector<double>{-g, g});
+}
+
+/// Saturating curve: linear up to 0.1 V, then a plateau with the small
+/// residual slope every physical block has (the SCE leftover); a perfectly
+/// flat plateau would make the steady state non-unique.
+MonotoneCurve saturating_curve(double isat) {
+  std::vector<double> xs{-1.0, 0.0, 0.05, 0.1, 1.0, 3.0};
+  std::vector<double> ys{0.0,  0.0, isat * 0.5,
+                         isat, isat * 1.002, isat * 1.006};
+  return MonotoneCurve(xs, ys);
+}
+
+std::vector<const MonotoneCurve*> full_mesh(std::size_t n,
+                                            const MonotoneCurve* c) {
+  return std::vector<const MonotoneCurve*>(n * (n - 1), c);
+}
+
+TEST(NetworkSolver, RejectsBadConstruction) {
+  const MonotoneCurve c = linear_curve(1.0);
+  EXPECT_THROW(NetworkSolver(1, {}), std::invalid_argument);
+  EXPECT_THROW(NetworkSolver(3, full_mesh(2, &c)), std::invalid_argument);
+}
+
+TEST(NetworkSolver, TwoNodeLinearNetwork) {
+  // Two nodes, both directions linear g = 1e-6.  Source at 2 V, sink 0:
+  // forward edge carries 2 uA, reverse edge carries -2 uA, so the net
+  // source current is 4 uA.
+  const MonotoneCurve c = linear_curve(1e-6);
+  NetworkSolver solver(2, full_mesh(2, &c));
+  const auto r = solver.solve_dc(0, 1, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.source_current, 4e-6, 1e-12);
+}
+
+TEST(NetworkSolver, ThreeNodeLinearDividerVoltage) {
+  // Complete 3-node linear network: by symmetry the middle node sits at
+  // V(s)/2.
+  const MonotoneCurve c = linear_curve(1e-6);
+  NetworkSolver solver(3, full_mesh(3, &c));
+  const auto r = solver.solve_dc(0, 2, 2.0);
+  ASSERT_TRUE(r.converged);
+  // gmin (1e-12 S to ground) against g = 1e-6 branches pulls the midpoint
+  // down by ~5e-7 V.
+  EXPECT_NEAR(r.node_voltage[1], 1.0, 2e-6);
+  EXPECT_NEAR(r.node_voltage[0], 2.0, 1e-12);
+  EXPECT_NEAR(r.node_voltage[2], 0.0, 1e-12);
+}
+
+TEST(NetworkSolver, NullCurvesDisableEdges) {
+  // Only the direct source->sink edge is active.
+  const MonotoneCurve c = linear_curve(1e-6);
+  std::vector<const MonotoneCurve*> curves(3 * 2, nullptr);
+  curves[0] = &c;  // edge (0,1) in row-major pair order
+  NetworkSolver solver(3, curves);
+  const auto r = solver.solve_dc(0, 1, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.source_current, 2e-6, 1e-12);
+}
+
+TEST(NetworkSolver, SaturatingSeriesPathDeliversIsat) {
+  // 3-node path through saturating blocks: with 2 V available and a knee
+  // at 0.1 V, both hops saturate and the 2-hop path carries Isat, plus the
+  // direct source->sink edge carries Isat.
+  const MonotoneCurve c = saturating_curve(1e-7);
+  NetworkSolver solver(3, full_mesh(3, &c));
+  const auto r = solver.solve_dc(0, 2, 2.0);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.source_current, 2e-7, 2e-9);
+}
+
+TEST(NetworkSolver, ConservationAtInternalNodes) {
+  const MonotoneCurve c = saturating_curve(5e-8);
+  const std::size_t n = 6;
+  NetworkSolver solver(n, full_mesh(n, &c));
+  const auto r = solver.solve_dc(0, 5, 2.0);
+  ASSERT_TRUE(r.converged);
+  const auto flows = solver.edge_currents(r.node_voltage);
+  // KCL at every internal node from the reported edge currents.
+  std::vector<double> net(n, 0.0);
+  std::size_t e = 0;
+  for (graph::VertexId i = 0; i < n; ++i) {
+    for (graph::VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      net[i] -= flows[e];
+      net[j] += flows[e];
+      ++e;
+    }
+  }
+  // gmin leaks ~1e-12 A per node, which is the KCL error visible from the
+  // reported branch currents alone.
+  for (graph::VertexId v = 1; v < 5; ++v)
+    EXPECT_NEAR(net[v], 0.0, 5e-12) << "node " << v;
+  // The source's net outflow is the reported source current.
+  EXPECT_NEAR(-net[0], r.source_current, 1e-11);
+}
+
+TEST(NetworkSolver, WarmStartConverges) {
+  const MonotoneCurve c = saturating_curve(5e-8);
+  NetworkSolver solver(5, full_mesh(5, &c));
+  const auto cold = solver.solve_dc(0, 4, 2.0);
+  ASSERT_TRUE(cold.converged);
+  const auto warm = solver.solve_dc(0, 4, 2.0, &cold.node_voltage);
+  ASSERT_TRUE(warm.converged);
+  EXPECT_LE(warm.iterations, cold.iterations);
+  EXPECT_NEAR(warm.source_current, cold.source_current, 1e-15);
+}
+
+TEST(NetworkSolver, BadSourceSinkThrows) {
+  const MonotoneCurve c = linear_curve(1e-6);
+  NetworkSolver solver(3, full_mesh(3, &c));
+  EXPECT_THROW(solver.solve_dc(0, 0, 2.0), std::invalid_argument);
+  EXPECT_THROW(solver.solve_dc(0, 7, 2.0), std::invalid_argument);
+}
+
+// Transient tests use linear curves: the charging transient is large and
+// its time constant (C / node conductance) is analytic.  On saturating
+// curves the source current barely moves during charging — that regime is
+// exercised end-to-end by the delay benches on real block curves.
+TEST(NetworkSolver, TransientSettlesToDcValue) {
+  const MonotoneCurve c = linear_curve(1e-6);
+  const std::size_t n = 4;
+  NetworkSolver solver(n, full_mesh(n, &c));
+  const auto dc = solver.solve_dc(0, 3, 2.0);
+  ASSERT_TRUE(dc.converged);
+
+  NetworkSolver::TransientOptions topt;
+  topt.dt = 2e-11;
+  topt.t_end = 8e-9;
+  const std::vector<double> caps(n, 1e-15);
+  const auto tr = solver.solve_transient(0, 3, 2.0, caps, topt);
+  ASSERT_GT(tr.settle_time, 0.0);
+  EXPECT_NEAR(tr.source_current.back(), dc.source_current,
+              2e-3 * dc.source_current);
+  // The current starts away from its final value (internal nodes at 0 V
+  // draw extra current through the source edges).
+  EXPECT_GT(std::abs(tr.source_current.front() - dc.source_current),
+            0.1 * dc.source_current);
+  // Settle time is a few RC: tau = C / (6 branches * 1 uS) ~ 0.17 ns.
+  EXPECT_LT(tr.settle_time, 3e-9);
+}
+
+TEST(NetworkSolver, LargerCapacitanceSettlesSlower) {
+  const MonotoneCurve c = linear_curve(1e-6);
+  const std::size_t n = 4;
+  NetworkSolver solver(n, full_mesh(n, &c));
+  NetworkSolver::TransientOptions topt;
+  topt.dt = 2e-11;
+  topt.t_end = 4e-8;
+  const auto fast = solver.solve_transient(
+      0, 3, 2.0, std::vector<double>(n, 1e-15), topt);
+  const auto slow = solver.solve_transient(
+      0, 3, 2.0, std::vector<double>(n, 4e-15), topt);
+  ASSERT_GT(fast.settle_time, 0.0);
+  ASSERT_GT(slow.settle_time, 0.0);
+  EXPECT_GT(slow.settle_time, fast.settle_time);
+}
+
+TEST(NetworkSolver, TransientValidatesCapacitanceSize) {
+  const MonotoneCurve c = linear_curve(1e-6);
+  NetworkSolver solver(3, full_mesh(3, &c));
+  NetworkSolver::TransientOptions topt;
+  EXPECT_THROW(
+      solver.solve_transient(0, 2, 2.0, std::vector<double>(2, 1e-15), topt),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,156 @@
+// Tests for src/numeric: matrix, LU, Cholesky.
+#include <gtest/gtest.h>
+
+#include "numeric/cholesky.hpp"
+#include "numeric/lu.hpp"
+#include "numeric/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::numeric {
+namespace {
+
+TEST(Matrix, InitializerListAndAccess) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+}
+
+TEST(Matrix, RejectsRaggedInitializer) {
+  EXPECT_THROW((Matrix{{1.0, 2.0}, {3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityMultiplicationIsNeutral) {
+  const Matrix i = Matrix::identity(3);
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}, {7.0, 8.0, 9.0}};
+  const Matrix p = m.multiply(i);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(p(r, c), m(r, c));
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const Matrix m{{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix tt = m.transposed().transposed();
+  EXPECT_EQ(tt.rows(), m.rows());
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t c = 0; c < m.cols(); ++c)
+      EXPECT_DOUBLE_EQ(tt(r, c), m(r, c));
+}
+
+TEST(Matrix, MatVecKnownProduct) {
+  const Matrix m{{1.0, 2.0}, {3.0, 4.0}};
+  const Vector y = m.multiply(std::vector<double>{5.0, 6.0});
+  EXPECT_DOUBLE_EQ(y[0], 17.0);
+  EXPECT_DOUBLE_EQ(y[1], 39.0);
+}
+
+TEST(Matrix, MatVecSizeMismatchThrows) {
+  const Matrix m{{1.0, 2.0}};
+  EXPECT_THROW(m.multiply(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Matrix, FrobeniusNorm) {
+  const Matrix m{{3.0, 0.0}, {0.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m.frobenius_norm(), 5.0);
+}
+
+TEST(VectorOps, DotAxpyNorms) {
+  const std::vector<double> a{1.0, 2.0, 2.0};
+  const std::vector<double> b{2.0, 1.0, 0.0};
+  EXPECT_DOUBLE_EQ(dot(a, b), 4.0);
+  EXPECT_DOUBLE_EQ(norm2(a), 3.0);
+  EXPECT_DOUBLE_EQ(norm_inf(a), 2.0);
+  std::vector<double> y{1.0, 1.0, 1.0};
+  axpy(2.0, a, y);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[2], 5.0);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+  // x + 2y = 5; 3x + 4y = 11  ->  x = 1, y = 2
+  const Vector x = lu_solve(Matrix{{1.0, 2.0}, {3.0, 4.0}}, Vector{5.0, 11.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, PivotingHandlesZeroDiagonal) {
+  // Leading zero forces a row swap.
+  const Vector x =
+      lu_solve(Matrix{{0.0, 1.0}, {1.0, 0.0}}, Vector{3.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, SingularThrows) {
+  EXPECT_THROW(LuDecomposition(Matrix{{1.0, 2.0}, {2.0, 4.0}}),
+               std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+  EXPECT_THROW(LuDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, DeterminantKnown) {
+  const LuDecomposition lu(Matrix{{2.0, 0.0}, {0.0, 3.0}});
+  EXPECT_NEAR(lu.determinant(), 6.0, 1e-12);
+  const LuDecomposition swapped(Matrix{{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_NEAR(swapped.determinant(), -1.0, 1e-12);
+}
+
+TEST(Lu, MultipleRhsReuseFactorisation) {
+  const LuDecomposition lu(Matrix{{4.0, 1.0}, {1.0, 3.0}});
+  const Vector x1 = lu.solve(Vector{1.0, 0.0});
+  const Vector x2 = lu.solve(Vector{0.0, 1.0});
+  // Columns of the inverse of [[4,1],[1,3]] = 1/11 [[3,-1],[-1,4]].
+  EXPECT_NEAR(x1[0], 3.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x1[1], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x2[0], -1.0 / 11.0, 1e-12);
+  EXPECT_NEAR(x2[1], 4.0 / 11.0, 1e-12);
+}
+
+TEST(Cholesky, SolvesSpdSystem) {
+  const Vector x =
+      cholesky_solve(Matrix{{4.0, 2.0}, {2.0, 3.0}}, Vector{10.0, 8.0});
+  EXPECT_NEAR(x[0], 7.0 / 4.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0 / 2.0, 1e-12);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  EXPECT_THROW(CholeskyDecomposition(Matrix{{1.0, 2.0}, {2.0, 1.0}}),
+               std::runtime_error);
+}
+
+TEST(Cholesky, RejectsNonSquare) {
+  EXPECT_THROW(CholeskyDecomposition(Matrix(2, 3)), std::invalid_argument);
+}
+
+/// Property: on random SPD systems, Cholesky and LU agree and the solution
+/// satisfies A x = b.
+class SpdSolveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpdSolveProperty, CholeskyMatchesLuAndResidualSmall) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()));
+  const std::size_t n = 5 + static_cast<std::size_t>(GetParam()) % 20;
+  // A = B^T B + n I is SPD.
+  Matrix b(n, n);
+  for (std::size_t r = 0; r < n; ++r)
+    for (std::size_t c = 0; c < n; ++c) b(r, c) = rng.gaussian();
+  Matrix a = b.transposed().multiply(b);
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  Vector rhs(n);
+  for (auto& v : rhs) v = rng.gaussian();
+
+  const Vector x_chol = cholesky_solve(a, rhs);
+  const Vector x_lu = lu_solve(a, rhs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_chol[i], x_lu[i], 1e-8);
+
+  const Vector ax = a.multiply(x_chol);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSpd, SpdSolveProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ppuf::numeric

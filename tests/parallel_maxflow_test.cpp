@@ -1,0 +1,103 @@
+// Tests for the phase-synchronous parallel push-relabel solver.
+#include <gtest/gtest.h>
+
+#include "graph/complete.hpp"
+#include "maxflow/parallel_push_relabel.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::maxflow {
+namespace {
+
+using graph::Digraph;
+
+Digraph clrs_graph() {
+  Digraph g(6);
+  g.add_edge(0, 1, 16);
+  g.add_edge(0, 2, 13);
+  g.add_edge(1, 3, 12);
+  g.add_edge(2, 1, 4);
+  g.add_edge(2, 4, 14);
+  g.add_edge(3, 2, 9);
+  g.add_edge(3, 5, 20);
+  g.add_edge(4, 3, 7);
+  g.add_edge(4, 5, 4);
+  g.finalize();
+  return g;
+}
+
+class ThreadCounts : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ThreadCounts, ClrsExample) {
+  const Digraph g = clrs_graph();
+  const ParallelPushRelabel solver(GetParam());
+  const FlowResult r = solver.solve({&g, 0, 5});
+  EXPECT_NEAR(r.value, 23.0, 1e-9);
+  const VerifyResult v = verify_flow(g, 0, 5, r.edge_flow, 1e-9);
+  EXPECT_TRUE(v.optimal) << v.reason;
+}
+
+TEST_P(ThreadCounts, SeriesBottleneck) {
+  Digraph g(3);
+  g.add_edge(0, 1, 10.0);
+  g.add_edge(1, 2, 2.0);
+  g.finalize();
+  const ParallelPushRelabel solver(GetParam());
+  EXPECT_NEAR(solver.solve({&g, 0, 2}).value, 2.0, 1e-12);
+}
+
+TEST_P(ThreadCounts, DisconnectedSink) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const ParallelPushRelabel solver(GetParam());
+  EXPECT_DOUBLE_EQ(solver.solve({&g, 0, 2}).value, 0.0);
+}
+
+TEST_P(ThreadCounts, MatchesSequentialOnRandomGraphs) {
+  const ParallelPushRelabel parallel(GetParam());
+  const auto sequential = make_solver(Algorithm::kDinic);
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    util::Rng rng(seed);
+    const bool complete = seed % 2 == 0;
+    const std::size_t n = 16 + 4 * seed;
+    const Digraph g = complete
+                          ? graph::make_complete_uniform(n, rng)
+                          : graph::make_random(n, 0.25, rng);
+    const auto t = static_cast<graph::VertexId>(n - 1);
+    const double expected = sequential->solve({&g, 0, t}).value;
+    const FlowResult r = parallel.solve({&g, 0, t});
+    EXPECT_NEAR(r.value, expected, 1e-9 * std::max(1.0, expected))
+        << "seed " << seed;
+    const VerifyResult v = verify_flow(g, 0, t, r.edge_flow, 1e-9);
+    EXPECT_TRUE(v.optimal) << v.reason;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadCounts,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(ParallelPushRelabel, ZeroThreadsClampedToOne) {
+  const ParallelPushRelabel solver(0);
+  EXPECT_EQ(solver.thread_count(), 1u);
+}
+
+TEST(ParallelPushRelabel, SourceEqualsSinkThrows) {
+  const Digraph g = clrs_graph();
+  EXPECT_THROW(ParallelPushRelabel(2).solve({&g, 1, 1}),
+               std::invalid_argument);
+}
+
+TEST(ParallelPushRelabel, DeterministicValueAcrossRuns) {
+  util::Rng rng(9);
+  const Digraph g = graph::make_complete_uniform(24, rng);
+  const ParallelPushRelabel solver(4);
+  const double v1 = solver.solve({&g, 0, 23}).value;
+  const double v2 = solver.solve({&g, 0, 23}).value;
+  // The flow *function* may differ between runs (schedule-dependent), but
+  // the value is the max-flow value both times.
+  EXPECT_NEAR(v1, v2, 1e-9 * std::max(1.0, v1));
+}
+
+}  // namespace
+}  // namespace ppuf::maxflow

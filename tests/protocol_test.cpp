@@ -1,0 +1,165 @@
+// Tests for the time-bound authentication protocol.
+#include <gtest/gtest.h>
+
+#include "protocol/authentication.hpp"
+
+namespace ppuf::protocol {
+namespace {
+
+struct ProtocolFixture : public ::testing::Test {
+  ProtocolFixture() {
+    PpufParams p;
+    p.node_count = 10;
+    p.grid_size = 4;
+    puf = std::make_unique<MaxFlowPpuf>(p, 404);
+    model = std::make_unique<SimulationModel>(*puf);
+  }
+
+  /// Flow tolerance: ~10% of a typical edge capacity absorbs the
+  /// circuit-vs-max-flow inaccuracy, including under-saturated min-cut
+  /// edges (see authentication.hpp).
+  double tolerance() const {
+    double mean_cap = 0.0;
+    const std::size_t edges = puf->layout().edge_count();
+    for (graph::EdgeId e = 0; e < edges; ++e)
+      mean_cap += model->capacity(0, e, 0);
+    mean_cap /= static_cast<double>(edges);
+    return 0.10 * mean_cap;
+  }
+
+  std::unique_ptr<MaxFlowPpuf> puf;
+  std::unique_ptr<SimulationModel> model;
+  util::Rng rng{11};
+};
+
+TEST_F(ProtocolFixture, HonestProverAccepted) {
+  const Verifier verifier(*model, /*deadline=*/1e-3, tolerance());
+  const Challenge c = verifier.issue_challenge(rng);
+  const ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
+  const AuthenticationResult r = verifier.verify(c, report);
+  EXPECT_TRUE(r.accepted) << r.detail;
+  EXPECT_TRUE(r.flows_valid);
+  EXPECT_TRUE(r.bit_consistent);
+  EXPECT_TRUE(r.in_time);
+}
+
+TEST_F(ProtocolFixture, SimulatingProverIsCorrectButCanBeTimedOut) {
+  // With a loose deadline the simulator passes (its flows are exactly
+  // feasible); with a deadline below its wall-clock it is rejected.
+  const Challenge c = random_challenge(puf->layout(), rng);
+  const ProverReport sim = prove_by_simulation(*model, c);
+  EXPECT_GT(sim.elapsed_seconds, 0.0);
+
+  const Verifier loose(*model, 1e9, tolerance());
+  EXPECT_TRUE(loose.verify(c, sim).accepted);
+
+  const Verifier tight(*model, sim.elapsed_seconds * 0.5, tolerance());
+  const AuthenticationResult r = tight.verify(c, sim);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.in_time);
+  EXPECT_NE(r.detail.find("deadline"), std::string::npos);
+}
+
+TEST_F(ProtocolFixture, WrongBitRejected) {
+  const Verifier verifier(*model, 1e-3, tolerance());
+  const Challenge c = verifier.issue_challenge(rng);
+  ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
+  report.bit ^= 1;
+  const AuthenticationResult r = verifier.verify(c, report);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.bit_consistent);
+}
+
+TEST_F(ProtocolFixture, InflatedFlowClaimRejected) {
+  const Verifier verifier(*model, 1e-3, tolerance());
+  const Challenge c = verifier.issue_challenge(rng);
+  ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
+  // Claim an over-capacity flow on one edge of network A.
+  report.edge_flow_a[0] = model->capacity(0, 0, 1) * 2.0;
+  const AuthenticationResult r = verifier.verify(c, report);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.flows_valid);
+}
+
+TEST_F(ProtocolFixture, SuboptimalFlowRejected) {
+  const Verifier verifier(*model, 1e-3, tolerance());
+  const Challenge c = verifier.issue_challenge(rng);
+  ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
+  // Zeroed flows conserve trivially but leave an augmenting path.
+  std::fill(report.edge_flow_a.begin(), report.edge_flow_a.end(), 0.0);
+  report.flow_a = 0.0;
+  const AuthenticationResult r = verifier.verify(c, report);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.detail.find("network A"), std::string::npos);
+}
+
+TEST_F(ProtocolFixture, ChainedHonestProverAccepted) {
+  const std::size_t k = 4;
+  const Verifier verifier(*model, /*total deadline=*/1.0, tolerance());
+  const Challenge c1 = random_challenge(puf->layout(), rng);
+  const protocol::ChainedReport report =
+      prove_chain_with_ppuf(*puf, c1, k, 99, 1e-6);
+  util::Rng vrng(1);
+  const auto r =
+      verify_chain(verifier, *model, c1, k, 99, report, 2, vrng);
+  EXPECT_TRUE(r.accepted) << r.detail;
+  EXPECT_TRUE(r.chain_consistent);
+  EXPECT_TRUE(r.rounds_valid);
+}
+
+TEST_F(ProtocolFixture, ChainedSimulatorMatchesButSlower) {
+  const std::size_t k = 3;
+  const Challenge c1 = random_challenge(puf->layout(), rng);
+  const protocol::ChainedReport honest =
+      prove_chain_with_ppuf(*puf, c1, k, 7, 1e-6);
+  const protocol::ChainedReport sim =
+      prove_chain_by_simulation(*model, c1, k, 7);
+  // The simulation model is faithful, so the chains agree bit for bit...
+  for (std::size_t i = 0; i < k; ++i)
+    EXPECT_EQ(honest.rounds[i].bit, sim.rounds[i].bit);
+  // ...but a tight chain deadline rejects the simulator on time.
+  const Verifier tight(*model, sim.elapsed_seconds * 0.5, tolerance());
+  util::Rng vrng(2);
+  const auto r = verify_chain(tight, *model, c1, k, 7, sim, 0, vrng);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_FALSE(r.in_time);
+}
+
+TEST_F(ProtocolFixture, ChainedTamperedRoundDetectedWithFullChecks) {
+  const std::size_t k = 4;
+  const Verifier verifier(*model, 1.0, tolerance());
+  const Challenge c1 = random_challenge(puf->layout(), rng);
+  protocol::ChainedReport report =
+      prove_chain_with_ppuf(*puf, c1, k, 13, 1e-6);
+  // Corrupt the claimed flows of round 2.
+  std::fill(report.rounds[2].edge_flow_a.begin(),
+            report.rounds[2].edge_flow_a.end(), 0.0);
+  util::Rng vrng(3);
+  const auto r =
+      verify_chain(verifier, *model, c1, k, 13, report, 0, vrng);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.detail.find("round 2"), std::string::npos);
+}
+
+TEST_F(ProtocolFixture, ChainedWrongRoundCountRejected) {
+  const Verifier verifier(*model, 1.0, tolerance());
+  const Challenge c1 = random_challenge(puf->layout(), rng);
+  const protocol::ChainedReport report =
+      prove_chain_with_ppuf(*puf, c1, 3, 5, 1e-6);
+  util::Rng vrng(4);
+  const auto r = verify_chain(verifier, *model, c1, 4, 5, report, 0, vrng);
+  EXPECT_FALSE(r.accepted);
+  EXPECT_NE(r.detail.find("round count"), std::string::npos);
+}
+
+TEST_F(ProtocolFixture, ParallelVerificationAgrees) {
+  const Verifier serial(*model, 1e-3, tolerance(), 1);
+  const Verifier parallel(*model, 1e-3, tolerance(), 4);
+  const Challenge c = serial.issue_challenge(rng);
+  const ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
+  EXPECT_EQ(serial.verify(c, report).accepted,
+            parallel.verify(c, report).accepted);
+}
+
+}  // namespace
+}  // namespace ppuf::protocol

@@ -1,0 +1,112 @@
+// Golden-value regressions on the nominal physics.  These pin the device
+// card's operating point so silent solver or model changes that would move
+// every bench result get caught as a test failure with a precise diff.
+// Tolerances are deliberately loose enough (1-2%) to survive benign
+// numerical changes (grid tweaks, tolerance changes) but not physics bugs.
+#include <gtest/gtest.h>
+
+#include "ppuf/block.hpp"
+#include "ppuf/delay.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/statistics.hpp"
+
+namespace ppuf {
+namespace {
+
+const circuit::Environment kNominal = circuit::Environment::nominal();
+
+TEST(Regression, NominalBlockOperatingPoint) {
+  const BlockCurve c =
+      characterize_block(PpufParams{}, circuit::BlockVariation{}, 1,
+                         kNominal);
+  // Saturation current of the nominal block (established operating point).
+  EXPECT_NEAR(c.isat, 32.57e-9, 0.7e-9);
+  // Turn-on knee: 95% of Isat reached near 0.56 V.
+  EXPECT_NEAR(c.iv.inverse(0.95 * c.isat), 0.56, 0.05);
+  // Plateau slope: ~0.2% per volt of residual SCE.
+  const double plateau = (c.iv(2.0) - c.iv(1.0)) / c.isat;
+  EXPECT_GT(plateau, 0.0);
+  EXPECT_LT(plateau, 0.006);
+}
+
+TEST(Regression, StageDesignSuppressionLadder) {
+  PpufParams p;
+  const std::vector<double> probe{1.0, 2.0};
+  std::vector<double> change;
+  for (const BlockDesign d :
+       {BlockDesign::kBare, BlockDesign::kSingleSd, BlockDesign::kDoubleSd}) {
+    SweepCircuit sc = build_stage_test(p, d, p.vgs_low, nullptr, kNominal);
+    const auto i = sweep_current(sc, probe, kNominal);
+    change.push_back((i[1] - i[0]) / i[0]);
+  }
+  EXPECT_NEAR(change[0], 0.242, 0.02);   // bare: ~24% (lambda = 0.3)
+  EXPECT_NEAR(change[1], 0.171, 0.02);   // 1-level SD
+  EXPECT_NEAR(change[2], 0.0020, 0.002); // 2-level SD
+}
+
+TEST(Regression, SmallNetworkFlowValue) {
+  // A fixed 8-node instance: execution current and the exact max-flow of
+  // its published model, pinned with 2% slack.
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 12345);
+  SimulationModel model(puf);
+  util::Rng rng(1);
+  const Challenge c = random_challenge(puf.layout(), rng);
+  const auto e = puf.evaluate(c);
+  ASSERT_TRUE(e.converged);
+  const auto s = model.predict(c);
+  // The two agree with each other tightly...
+  EXPECT_NEAR(e.current_a, s.flow_a, 0.01 * e.current_a);
+  // ...and with the recorded golden magnitude (7 source edges x ~32 nA,
+  // modulated by this instance's variation draw).
+  EXPECT_GT(e.current_a, 0.10e-6);
+  EXPECT_LT(e.current_a, 0.40e-6);
+}
+
+TEST(Regression, DelayModelConstants) {
+  const PpufParams p;
+  // Effective block resistance ~ 1.4 V / 32.6 nA ~ 43 Mohm.
+  EXPECT_NEAR(block_effective_resistance(p), 4.3e7, 0.4e7);
+  // Calibrated 900-node delay ~ 1.07 us (EXPERIMENTS.md, power table).
+  EXPECT_NEAR(analytic_delay_bound(p, 900), 1.07e-6, 0.15e-6);
+}
+
+TEST(Regression, CapacityStatisticsOfPopulation) {
+  PpufParams p;
+  p.node_count = 12;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 777);
+  SimulationModel model(puf);
+  util::RunningStats caps;
+  for (graph::EdgeId e = 0; e < puf.layout().edge_count(); ++e) {
+    caps.add(model.capacity(0, e, 0));
+    caps.add(model.capacity(0, e, 1));
+  }
+  // Mean ~ nominal Isat; sigma/mean ~ 60% (sigma(Vth) = 35 mV at
+  // vov = 0.1 V, tempered by degeneration).
+  EXPECT_NEAR(caps.mean(), 33e-9, 4e-9);
+  EXPECT_NEAR(caps.stddev() / caps.mean(), 0.58, 0.12);
+}
+
+TEST(Regression, ResponseStreamIsFrozen) {
+  // The exact bit stream of a fixed instance/challenge stream.  If this
+  // test fails and the change was intentional (e.g. a device-card change),
+  // re-record the stream — every statistical bench shifts with it.
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  MaxFlowPpuf puf(p, 31415);
+  util::Rng rng(9);
+  std::string bits;
+  for (int i = 0; i < 24; ++i)
+    bits.push_back('0' + puf.evaluate(random_challenge(puf.layout(), rng)).bit);
+  EXPECT_EQ(bits.size(), 24u);
+  // Recorded 2026-07 against the calibrated device card.
+  EXPECT_EQ(bits, "010011101110001101100111");
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,77 @@
+// Tests for the reliability (BER / majority-vote) analysis.
+#include <gtest/gtest.h>
+
+#include "metrics/reliability.hpp"
+
+namespace ppuf::metrics {
+namespace {
+
+PpufParams small_params() {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  return p;
+}
+
+TEST(Reliability, BerIsMonotoneInNoise) {
+  MaxFlowPpuf puf(small_params(), 909);
+  util::Rng rng(1);
+  const auto points = ber_vs_noise(puf, {0.0, 1e-9, 1e-8, 1e-7, 1e-6}, 16,
+                                   24, rng);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_DOUBLE_EQ(points[0].bit_error_rate, 0.0);  // no noise, no flips
+  for (std::size_t i = 1; i < points.size(); ++i)
+    EXPECT_GE(points[i].bit_error_rate + 0.02,
+              points[i - 1].bit_error_rate);
+  // Extreme noise (far above the ~100 nA margins) approaches a fair coin.
+  EXPECT_GT(points.back().bit_error_rate, 0.3);
+  EXPECT_LT(points.back().bit_error_rate, 0.7);
+}
+
+TEST(Reliability, BerSamplesAccounting) {
+  MaxFlowPpuf puf(small_params(), 910);
+  util::Rng rng(2);
+  const auto points = ber_vs_noise(puf, {1e-9}, 4, 6, rng);
+  EXPECT_EQ(points[0].samples, 24u);
+}
+
+TEST(Reliability, MajorityVoteRequiresOddVotes) {
+  MaxFlowPpuf puf(small_params(), 911);
+  util::Rng rng(3);
+  const Challenge c = random_challenge(puf.layout(), rng);
+  EXPECT_THROW(majority_vote_response(puf, c, 0, rng),
+               std::invalid_argument);
+  EXPECT_THROW(majority_vote_response(puf, c, 4, rng),
+               std::invalid_argument);
+  const int r = majority_vote_response(puf, c, 3, rng);
+  EXPECT_TRUE(r == 0 || r == 1);
+}
+
+TEST(Reliability, MajorityVoteReducesErrors) {
+  // Crank the comparator noise so single evaluations flip often, then
+  // check that voting suppresses the error rate.
+  PpufParams p = small_params();
+  p.comparator_noise_sigma = 4e-8;  // comparable to small margins
+  MaxFlowPpuf puf(p, 912);
+  util::Rng rng(4);
+
+  // Single-shot BER under this noise.
+  std::size_t flips = 0;
+  const std::size_t trials = 40;
+  util::Rng crng(5);
+  for (std::size_t i = 0; i < trials; ++i) {
+    const Challenge c = random_challenge(puf.layout(), crng);
+    const int ref = puf.evaluate(c).bit;
+    flips += puf.evaluate(c, circuit::Environment::nominal(), &rng).bit != ref
+                 ? 1
+                 : 0;
+  }
+  const double single_ber = static_cast<double>(flips) / trials;
+
+  util::Rng vrng(6);
+  const double voted_ber = majority_vote_ber(puf, 9, 24, vrng);
+  EXPECT_LE(voted_ber, single_ber + 0.05);
+}
+
+}  // namespace
+}  // namespace ppuf::metrics

@@ -1,0 +1,154 @@
+// Tests for the SPICE exporter and key derivation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "circuit/spice_export.hpp"
+#include "ppuf/block.hpp"
+#include "ppuf/keygen.hpp"
+
+namespace ppuf {
+namespace {
+
+// -------------------------------------------------------------- spice export
+
+TEST(SpiceExport, EmitsAllElementTypes) {
+  circuit::Netlist nl;
+  const auto a = nl.add_node();
+  const auto b = nl.add_node();
+  nl.add_voltage_source(a, circuit::kGround, 2.0);
+  nl.add_resistor(a, b, 1000.0);
+  nl.add_capacitor(b, circuit::kGround, 1e-12);
+  nl.add_diode(a, b, circuit::DiodeParams{});
+  nl.add_mosfet(a, b, circuit::kGround, circuit::MosfetParams{});
+  nl.add_current_source(circuit::kGround, b, 1e-6);
+
+  std::ostringstream os;
+  circuit::export_spice(nl, os);
+  const std::string deck = os.str();
+  EXPECT_NE(deck.find("R0 1 2"), std::string::npos);
+  EXPECT_NE(deck.find("C0 2 0"), std::string::npos);
+  EXPECT_NE(deck.find("D0 1 2 DM0"), std::string::npos);
+  EXPECT_NE(deck.find("M0 1 2 0 0 NM0"), std::string::npos);
+  EXPECT_NE(deck.find("V0 1 0 DC"), std::string::npos);
+  EXPECT_NE(deck.find("I0 0 2 DC"), std::string::npos);
+  EXPECT_NE(deck.find(".model DM0 D (IS="), std::string::npos);
+  EXPECT_NE(deck.find(".model NM0 NMOS (LEVEL=1 VTO="), std::string::npos);
+  EXPECT_NE(deck.find(".op"), std::string::npos);
+  EXPECT_NE(deck.find(".end"), std::string::npos);
+}
+
+TEST(SpiceExport, DeduplicatesModelCards) {
+  circuit::Netlist nl;
+  const auto a = nl.add_node();
+  const auto b = nl.add_node();
+  nl.add_mosfet(a, b, circuit::kGround, circuit::MosfetParams{});
+  nl.add_mosfet(b, a, circuit::kGround, circuit::MosfetParams{});
+  circuit::MosfetParams other;
+  other.vth = 0.55;
+  nl.add_mosfet(a, b, circuit::kGround, other);
+  std::ostringstream os;
+  circuit::export_spice(nl, os);
+  const std::string deck = os.str();
+  std::size_t cards = 0;
+  for (std::size_t pos = 0;
+       (pos = deck.find(".model NM", pos)) != std::string::npos; ++pos)
+    ++cards;
+  EXPECT_EQ(cards, 2u);  // two distinct parameter sets
+}
+
+TEST(SpiceExport, FullBlockDeckIsWellFormed) {
+  PpufParams params;
+  SweepCircuit sc = build_block(params, circuit::BlockVariation{}, 1,
+                                circuit::Environment::nominal());
+  std::ostringstream os;
+  circuit::SpiceExportOptions opts;
+  opts.title = "ppuf building block, input 1";
+  circuit::export_spice(sc.netlist, os, opts);
+  const std::string deck = os.str();
+  EXPECT_NE(deck.find("* ppuf building block"), std::string::npos);
+  // Two diodes, four transistors, two resistors, five sources.
+  EXPECT_NE(deck.find("D1 "), std::string::npos);
+  EXPECT_NE(deck.find("M3 "), std::string::npos);
+  EXPECT_NE(deck.find("R1 "), std::string::npos);
+  EXPECT_NE(deck.find("V4 "), std::string::npos);
+  EXPECT_EQ(deck.find("behavioural element"), std::string::npos);
+}
+
+TEST(SpiceExport, BehaviouralElementsAreFlagged) {
+  circuit::Netlist nl;
+  const auto a = nl.add_node();
+  circuit::NonlinearLaw law;
+  law.law = [](double v, double* g) {
+    *g = 1e-6;
+    return 1e-6 * v;
+  };
+  nl.add_nonlinear(a, circuit::kGround, std::move(law));
+  std::ostringstream os;
+  circuit::export_spice(nl, os);
+  EXPECT_NE(os.str().find("behavioural element"), std::string::npos);
+}
+
+// ------------------------------------------------------------------- keygen
+
+PpufParams small_params() {
+  PpufParams p;
+  p.node_count = 8;
+  p.grid_size = 4;
+  return p;
+}
+
+TEST(KeyGen, ChallengesArePublicAndDeterministic) {
+  const CrossbarLayout layout(8, 4);
+  KeyDerivationOptions opts;
+  opts.bits = 16;
+  const auto a = key_challenges(layout, opts);
+  const auto b = key_challenges(layout, opts);
+  ASSERT_EQ(a.size(), 16u);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  KeyDerivationOptions other = opts;
+  other.seed = 2;
+  EXPECT_FALSE(key_challenges(layout, other)[0] == a[0]);
+}
+
+TEST(KeyGen, KeyIsDeviceUnique) {
+  KeyDerivationOptions opts;
+  opts.bits = 24;
+  opts.votes = 1;
+  MaxFlowPpuf dev1(small_params(), 111);
+  MaxFlowPpuf dev2(small_params(), 222);
+  util::Rng noise(1);
+  const auto k1 = derive_key(dev1, opts, noise);
+  const auto k2 = derive_key(dev2, opts, noise);
+  const double mismatch = key_mismatch_rate(k1, k2);
+  EXPECT_GT(mismatch, 0.15);  // different devices -> very different keys
+  EXPECT_LT(mismatch, 0.85);
+}
+
+TEST(KeyGen, KeyIsStableAcrossDerivations) {
+  KeyDerivationOptions opts;
+  opts.bits = 24;
+  opts.votes = 5;
+  MaxFlowPpuf dev(small_params(), 333);
+  util::Rng noise(2);
+  const auto k1 = derive_key(dev, opts, noise);
+  const auto k2 = derive_key(dev, opts, noise);
+  EXPECT_LT(key_mismatch_rate(k1, k2), 0.1);
+}
+
+TEST(KeyGen, Validation) {
+  const CrossbarLayout layout(8, 4);
+  KeyDerivationOptions opts;
+  opts.bits = 0;
+  EXPECT_THROW(key_challenges(layout, opts), std::invalid_argument);
+  MaxFlowPpuf dev(small_params(), 444);
+  util::Rng noise(3);
+  KeyDerivationOptions even;
+  even.bits = 4;
+  even.votes = 2;
+  EXPECT_THROW(derive_key(dev, even, noise), std::invalid_argument);
+  EXPECT_THROW(key_mismatch_rate({1}, {1, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,0 +1,151 @@
+// Randomised stress suites: sweep the whole stack over random parameter
+// combinations at small scale and check the paper's invariants hold for
+// every draw — the closest thing to a fuzzer this deterministic library
+// needs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/dc.hpp"
+#include "maxflow/solver.hpp"
+#include "maxflow/verify.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+namespace {
+
+/// Random PPUF configurations: the execution/simulation equivalence and
+/// the verifier acceptance must hold for every geometry and seed.
+class PpufStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(PpufStress, EquivalenceHoldsForRandomConfigurations) {
+  util::Rng meta(static_cast<std::uint64_t>(GetParam()) * 101 + 7);
+  PpufParams p;
+  p.node_count = static_cast<std::size_t>(meta.uniform_int(6, 14));
+  p.grid_size = static_cast<std::size_t>(
+      meta.uniform_int(2, static_cast<std::int64_t>(p.node_count / 2)));
+  const auto seed = static_cast<std::uint64_t>(meta.uniform_int(1, 1 << 20));
+
+  MaxFlowPpuf puf(p, seed);
+  SimulationModel model(puf);
+  util::Rng rng(seed ^ 0xabcd);
+  for (int c = 0; c < 3; ++c) {
+    const Challenge ch = random_challenge(puf.layout(), rng);
+    const auto exe = puf.evaluate(ch);
+    ASSERT_TRUE(exe.converged) << "n=" << p.node_count << " l="
+                               << p.grid_size << " seed=" << seed;
+    const auto sim = model.predict(ch);
+    const double err =
+        std::abs(exe.current_a - sim.flow_a) / exe.current_a;
+    EXPECT_LT(err, 0.04) << "n=" << p.node_count << " seed=" << seed;
+
+    // The physical edge currents must verify as a (near-)maximum flow of
+    // the published instance — the protocol's acceptance invariant.
+    const auto flows =
+        puf.network_a().execute_edge_currents(ch, circuit::Environment::nominal());
+    const graph::Digraph g = model.build_graph(0, ch);
+    double mean_cap = 0.0;
+    for (const auto& e : g.edges()) mean_cap += e.capacity;
+    mean_cap /= static_cast<double>(g.edge_count());
+    // Tolerance: ~10% of the mean capacity.  The analog flow is usually
+    // within 1-3%, but a min-cut edge short on voltage headroom can sit
+    // ~8% under its capacity on unlucky small instances — verifiers must
+    // budget for that (see protocol/authentication.hpp).
+    const auto v = maxflow::verify_flow(g, ch.source, ch.sink, flows,
+                                        0.10 * mean_cap);
+    EXPECT_TRUE(v.optimal) << v.reason << " (n=" << p.node_count
+                           << " seed=" << seed << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, PpufStress, ::testing::Range(0, 6));
+
+/// Random R-diode ladder networks: the DC solver must converge and satisfy
+/// KCL for arbitrary topologies of the device classes the PPUF uses.
+class CircuitStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(CircuitStress, RandomLaddersConvergeAndConserve) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 3);
+  circuit::Netlist nl;
+  const int rungs = static_cast<int>(rng.uniform_int(3, 8));
+  std::vector<circuit::NodeId> nodes{nl.add_node()};
+  const std::size_t supply =
+      nl.add_voltage_source(nodes[0], circuit::kGround, rng.uniform(1.0, 3.0));
+  for (int i = 0; i < rungs; ++i) {
+    const circuit::NodeId next = nl.add_node();
+    switch (rng.uniform_int(0, 2)) {
+      case 0:
+        nl.add_resistor(nodes.back(), next, rng.uniform(1e3, 1e6));
+        break;
+      case 1:
+        nl.add_diode(nodes.back(), next, circuit::DiodeParams{});
+        break;
+      default: {
+        circuit::MosfetParams m;
+        m.vth = rng.uniform(0.3, 0.5);
+        const circuit::NodeId gate = nl.add_node();
+        nl.add_voltage_source(gate, circuit::kGround, rng.uniform(0.8, 2.0));
+        nl.add_mosfet(nodes.back(), gate, next, m);
+        break;
+      }
+    }
+    // Shunt to ground keeps every rung observable.
+    nl.add_resistor(next, circuit::kGround, rng.uniform(1e5, 1e7));
+    nodes.push_back(next);
+  }
+
+  const circuit::OperatingPoint op = circuit::DcSolver(nl).solve();
+  ASSERT_TRUE(op.converged) << "seed " << GetParam();
+  EXPECT_LT(op.residual, 1e-10);
+  // The supply current equals the current leaving through the ladder
+  // (sanity via sign: the source drives a passive network).
+  EXPECT_GE(op.source_current(supply), -1e-12);
+  for (const double v : op.node_voltage) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, -0.5);
+    EXPECT_LE(v, 3.5);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, CircuitStress, ::testing::Range(0, 10));
+
+/// Random flow instances: feasibility of every solver's output flow is an
+/// invariant regardless of graph shape (including graphs with no s-t path
+/// and parallel edges).
+class FlowStress : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowStress, AllSolversProduceVerifiableFlows) {
+  util::Rng rng(static_cast<std::uint64_t>(GetParam()) * 17 + 1);
+  const std::size_t n = static_cast<std::size_t>(rng.uniform_int(4, 24));
+  graph::Digraph g(n);
+  const int extra = static_cast<int>(rng.uniform_int(0, 3 * n));
+  for (int e = 0; e < extra; ++e) {
+    const auto a = static_cast<graph::VertexId>(rng.uniform_int(0, n - 1));
+    auto b = static_cast<graph::VertexId>(rng.uniform_int(0, n - 2));
+    if (b >= a) ++b;
+    g.add_edge(a, b, rng.uniform(0.0, 2.0));  // zero capacities allowed
+  }
+  if (g.edge_count() == 0) g.add_edge(0, 1, 1.0);
+  g.finalize();
+  const auto t = static_cast<graph::VertexId>(n - 1);
+
+  double reference = -1.0;
+  for (const auto algo : maxflow::all_algorithms()) {
+    const auto r = maxflow::make_solver(algo)->solve({&g, 0, t});
+    const auto v = maxflow::verify_flow(g, 0, t, r.edge_flow, 1e-9);
+    EXPECT_TRUE(v.optimal)
+        << maxflow::algorithm_name(algo) << ": " << v.reason;
+    if (reference < 0.0) {
+      reference = r.value;
+    } else {
+      EXPECT_NEAR(r.value, reference, 1e-9 * std::max(1.0, reference));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, FlowStress, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace ppuf

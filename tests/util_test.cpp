@@ -1,0 +1,320 @@
+// Tests for src/util: statistics, bigint, fitting, tables, rng.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "util/bigint.hpp"
+#include "util/fit.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+#include "util/table.hpp"
+
+namespace ppuf::util {
+namespace {
+
+// ---------------------------------------------------------------- statistics
+
+TEST(Statistics, MeanOfKnownSample) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Statistics, StddevOfKnownSample) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Population sigma of this classic sample is 2; unbiased is larger.
+  EXPECT_NEAR(stddev_population(xs), 2.0, 1e-12);
+  EXPECT_NEAR(stddev(xs), 2.13809, 1e-4);
+}
+
+TEST(Statistics, StddevOfSingletonIsZero) {
+  EXPECT_DOUBLE_EQ(stddev(std::vector<double>{42.0}), 0.0);
+}
+
+TEST(Statistics, MinMax) {
+  const std::vector<double> xs{3.0, -1.0, 7.0};
+  EXPECT_DOUBLE_EQ(min_value(xs), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(xs), 7.0);
+}
+
+TEST(Statistics, MinMaxThrowOnEmpty) {
+  EXPECT_THROW(min_value(std::vector<double>{}), std::invalid_argument);
+  EXPECT_THROW(max_value(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(Statistics, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median(std::vector<double>{4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(Statistics, PercentileEndpointsAndMiddle) {
+  const std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 20.0);
+}
+
+TEST(Statistics, PercentileRejectsBadP) {
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, -1.0),
+               std::invalid_argument);
+  EXPECT_THROW(percentile(std::vector<double>{1.0}, 101.0),
+               std::invalid_argument);
+}
+
+TEST(Statistics, PearsonPerfectCorrelation) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{6.0, 4.0, 2.0};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Statistics, PearsonConstantSampleIsZero) {
+  const std::vector<double> xs{1.0, 1.0, 1.0};
+  const std::vector<double> ys{2.0, 5.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(RunningStats, MatchesBatchStatistics) {
+  Rng rng(7);
+  std::vector<double> xs;
+  RunningStats rs;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.gaussian(3.0, 2.0);
+    xs.push_back(x);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-10);
+  EXPECT_NEAR(rs.stddev(), stddev(xs), 1e-10);
+  EXPECT_DOUBLE_EQ(rs.min(), min_value(xs));
+  EXPECT_DOUBLE_EQ(rs.max(), max_value(xs));
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+// ------------------------------------------------------------------- bigint
+
+TEST(BigUint, SmallArithmetic) {
+  EXPECT_EQ((BigUint(2) + BigUint(3)).to_decimal(), "5");
+  EXPECT_EQ((BigUint(1000) - BigUint(1)).to_decimal(), "999");
+  EXPECT_EQ((BigUint(123) * BigUint(456)).to_decimal(), "56088");
+  EXPECT_EQ((BigUint(56088) / BigUint(456)).to_decimal(), "123");
+}
+
+TEST(BigUint, CarryAcrossLimbs) {
+  const BigUint max32(0xffffffffULL);
+  EXPECT_EQ((max32 + BigUint(1)).to_decimal(), "4294967296");
+  const BigUint max64(0xffffffffffffffffULL);
+  EXPECT_EQ((max64 + BigUint(1)).to_decimal(), "18446744073709551616");
+}
+
+TEST(BigUint, Pow2) {
+  EXPECT_EQ(BigUint::pow2(0).to_decimal(), "1");
+  EXPECT_EQ(BigUint::pow2(10).to_decimal(), "1024");
+  EXPECT_EQ(BigUint::pow2(64).to_decimal(), "18446744073709551616");
+  EXPECT_EQ(BigUint::pow2(128).to_decimal(),
+            "340282366920938463463374607431768211456");
+}
+
+TEST(BigUint, BinomialKnownValues) {
+  EXPECT_EQ(BigUint::binomial(5, 2).to_decimal(), "10");
+  EXPECT_EQ(BigUint::binomial(10, 5).to_decimal(), "252");
+  EXPECT_EQ(BigUint::binomial(52, 5).to_decimal(), "2598960");
+  EXPECT_EQ(BigUint::binomial(100, 50).to_decimal(),
+            "100891344545564193334812497256");
+  EXPECT_TRUE(BigUint::binomial(5, 9).is_zero());
+}
+
+TEST(BigUint, DecimalRoundTrip) {
+  const std::string s = "123456789012345678901234567890123456789";
+  EXPECT_EQ(BigUint::from_decimal(s).to_decimal(), s);
+}
+
+TEST(BigUint, FromDecimalRejectsGarbage) {
+  EXPECT_THROW(BigUint::from_decimal(""), std::invalid_argument);
+  EXPECT_THROW(BigUint::from_decimal("12a3"), std::invalid_argument);
+}
+
+TEST(BigUint, SubtractUnderflowThrows) {
+  EXPECT_THROW(BigUint(1) - BigUint(2), std::domain_error);
+}
+
+TEST(BigUint, DivideByZeroThrows) {
+  EXPECT_THROW(BigUint(1) / BigUint(0), std::domain_error);
+}
+
+TEST(BigUint, Comparisons) {
+  EXPECT_LT(BigUint(3), BigUint(4));
+  EXPECT_LT(BigUint(0xffffffffULL), BigUint::pow2(32));
+  EXPECT_EQ(BigUint(7), BigUint(7));
+  EXPECT_GE(BigUint::pow2(100), BigUint::pow2(99));
+}
+
+TEST(BigUint, ToDouble) {
+  EXPECT_DOUBLE_EQ(BigUint(1000000).to_double(), 1e6);
+  EXPECT_NEAR(BigUint::pow2(100).to_double(), std::pow(2.0, 100.0), 1e18);
+}
+
+TEST(BigUint, BitLength) {
+  EXPECT_EQ(BigUint(0).bit_length(), 0u);
+  EXPECT_EQ(BigUint(1).bit_length(), 1u);
+  EXPECT_EQ(BigUint(255).bit_length(), 8u);
+  EXPECT_EQ(BigUint::pow2(200).bit_length(), 201u);
+}
+
+/// Property: (a*b)/b == a and (a+b)-b == a for random multi-limb values.
+class BigUintRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BigUintRoundTrip, MulDivAddSubInverse) {
+  Rng rng(GetParam());
+  BigUint a(1);
+  BigUint b(1);
+  for (int i = 0; i < 4; ++i) {
+    a *= BigUint(static_cast<std::uint64_t>(rng.uniform_int(1, 1e15)));
+    b *= BigUint(static_cast<std::uint64_t>(rng.uniform_int(1, 1e15)));
+  }
+  EXPECT_EQ((a * b) / b, a);
+  EXPECT_EQ((a + b) - b, a);
+  // Division identity: a = (a/b)*b + (a - (a/b)*b), remainder < b.
+  const BigUint q = a / b;
+  const BigUint r = a - q * b;
+  EXPECT_LT(r, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BigUintRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------- fit
+
+TEST(Fit, PolyfitRecoversExactPolynomial) {
+  // y = 2 - 3x + 0.5x^2
+  std::vector<double> xs, ys;
+  for (double x = 0.0; x < 8.0; x += 1.0) {
+    xs.push_back(x);
+    ys.push_back(2.0 - 3.0 * x + 0.5 * x * x);
+  }
+  const Polynomial p = polyfit(xs, ys, 2);
+  ASSERT_EQ(p.coeffs.size(), 3u);
+  EXPECT_NEAR(p.coeffs[0], 2.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[1], -3.0, 1e-9);
+  EXPECT_NEAR(p.coeffs[2], 0.5, 1e-9);
+  EXPECT_NEAR(p(10.0), 2.0 - 30.0 + 50.0, 1e-6);
+}
+
+TEST(Fit, PolyfitNeedsEnoughPoints) {
+  const std::vector<double> xs{1.0, 2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), std::invalid_argument);
+}
+
+TEST(Fit, PowerLawRecovery) {
+  std::vector<double> xs, ys;
+  for (double x = 1.0; x <= 64.0; x *= 2.0) {
+    xs.push_back(x);
+    ys.push_back(3.5 * std::pow(x, 2.25));
+  }
+  const PowerLaw pl = fit_power_law(xs, ys);
+  EXPECT_NEAR(pl.a, 3.5, 1e-9);
+  EXPECT_NEAR(pl.b, 2.25, 1e-12);
+}
+
+TEST(Fit, PowerLawRejectsNonPositive) {
+  const std::vector<double> xs{1.0, -2.0};
+  const std::vector<double> ys{1.0, 2.0};
+  EXPECT_THROW(fit_power_law(xs, ys), std::invalid_argument);
+}
+
+TEST(Fit, LineRecovery) {
+  const std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  const std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const Line l = fit_line(xs, ys);
+  EXPECT_NEAR(l.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(l.slope, 2.0, 1e-12);
+}
+
+TEST(Fit, RSquaredPerfectAndPoor) {
+  const std::vector<double> ys{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, ys), 1.0);
+  const std::vector<double> flat{2.0, 2.0, 2.0};
+  EXPECT_DOUBLE_EQ(r_squared(ys, flat), 0.0);
+}
+
+TEST(Fit, SolveMonotoneFindsRoot) {
+  auto f = [](double x, const void*) { return x * x * x; };
+  const double r = solve_monotone(f, nullptr, 27.0, 0.0, 10.0);
+  EXPECT_NEAR(r, 3.0, 1e-6);
+}
+
+TEST(Fit, SolveMonotoneUnbracketedIsNaN) {
+  auto f = [](double x, const void*) { return x; };
+  EXPECT_TRUE(std::isnan(solve_monotone(f, nullptr, 100.0, 0.0, 1.0)));
+}
+
+// -------------------------------------------------------------------- table
+
+TEST(Table, AlignsAndPrintsAllRows) {
+  Table t({"n", "value"});
+  t.add_row({"10", "1.5"});
+  t.add_row({"100", "2.25"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("n"), std::string::npos);
+  EXPECT_NE(s.find("2.25"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::sci(12345.6789, 2), "1.23e+04");
+}
+
+// ---------------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ForkDecouplesStreams) {
+  Rng a(99);
+  Rng child = a.fork();
+  // The child stream should not reproduce the parent's next outputs.
+  Rng b(99);
+  (void)b.fork();
+  EXPECT_NE(child(), b());  // child differs from parent continuation
+}
+
+TEST(Rng, UniformIntBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(11);
+  RunningStats rs;
+  for (int i = 0; i < 20000; ++i) rs.add(rng.gaussian(1.0, 2.0));
+  EXPECT_NEAR(rs.mean(), 1.0, 0.05);
+  EXPECT_NEAR(rs.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, BenchScaleDefaultsToOne) {
+  // The variable is unset in the test environment.
+  EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+}
+
+}  // namespace
+}  // namespace ppuf::util

@@ -1,0 +1,188 @@
+// ppuf_tool — command-line front end for the max-flow PPUF library.
+//
+//   ppuf_tool fabricate <nodes> <grid> <seed> <model-file>
+//       Fabricate an instance and publish its model to <model-file>.
+//   ppuf_tool info <model-file>
+//       Print the model's geometry and capacity statistics.
+//   ppuf_tool challenge <model-file> [seed]
+//       Sample a random challenge; prints "source sink bitstring".
+//   ppuf_tool predict <model-file> <source> <sink> <bits>
+//       Predict the response from the public model (two max-flow solves).
+//   ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>
+//       Re-fabricate from <seed> and execute the challenge on "silicon".
+//   ppuf_tool export-spice <input-bit> <deck-file>
+//       Emit the building block (Fig. 2d) as a SPICE deck for external
+//       cross-checking against a real SPICE engine.
+//
+// The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
+// owner needs only the seed (the physical chip); everyone else works from
+// the published model file — and pays simulation time for every response.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "attack/heuristic.hpp"
+#include "circuit/spice_export.hpp"
+#include "ppuf/block.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/statistics.hpp"
+
+namespace {
+
+using namespace ppuf;
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  ppuf_tool fabricate <nodes> <grid> <seed> <model-file>\n"
+      "  ppuf_tool info <model-file>\n"
+      "  ppuf_tool challenge <model-file> [seed]\n"
+      "  ppuf_tool predict <model-file> <source> <sink> <bits>\n"
+      "  ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>\n"
+      "  ppuf_tool export-spice <input-bit> <deck-file>\n";
+  return 2;
+}
+
+SimulationModel load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open model file: " + path);
+  return SimulationModel::load(in);
+}
+
+Challenge parse_challenge(const CrossbarLayout& layout,
+                          const std::string& source, const std::string& sink,
+                          const std::string& bits) {
+  Challenge c;
+  c.source = static_cast<graph::VertexId>(std::stoul(source));
+  c.sink = static_cast<graph::VertexId>(std::stoul(sink));
+  if (c.source >= layout.node_count() || c.sink >= layout.node_count() ||
+      c.source == c.sink)
+    throw std::runtime_error("bad source/sink pair");
+  if (bits.size() != layout.cell_count())
+    throw std::runtime_error("expected " +
+                             std::to_string(layout.cell_count()) + " bits");
+  for (const char ch : bits) {
+    if (ch != '0' && ch != '1') throw std::runtime_error("bits must be 0/1");
+    c.bits.push_back(ch == '1' ? 1 : 0);
+  }
+  return c;
+}
+
+std::string bits_to_string(const Challenge& c) {
+  std::string s;
+  for (const auto b : c.bits) s.push_back(b ? '1' : '0');
+  return s;
+}
+
+int cmd_fabricate(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  PpufParams params;
+  params.node_count = std::stoul(args[0]);
+  params.grid_size = std::stoul(args[1]);
+  MaxFlowPpuf puf(params, std::stoull(args[2]));
+  SimulationModel model(puf);
+  std::ofstream out(args[3]);
+  if (!out) throw std::runtime_error("cannot write " + args[3]);
+  model.save(out);
+  std::cout << "fabricated " << params.node_count << "-node PPUF (seed "
+            << args[2] << "); public model written to " << args[3] << "\n";
+  return 0;
+}
+
+int cmd_info(const std::vector<std::string>& args) {
+  if (args.size() != 1) return usage();
+  const SimulationModel model = load_model(args[0]);
+  util::RunningStats caps;
+  for (graph::EdgeId e = 0; e < model.layout().edge_count(); ++e) {
+    for (int net = 0; net < 2; ++net) {
+      caps.add(model.capacity(net, e, 0));
+      caps.add(model.capacity(net, e, 1));
+    }
+  }
+  std::cout << "nodes " << model.layout().node_count() << ", grid "
+            << model.layout().grid_size() << " ("
+            << model.layout().cell_count() << " control bits), edges "
+            << model.layout().edge_count() << " per network\n";
+  std::cout << "capacities: mean " << caps.mean() * 1e9 << " nA, sigma "
+            << caps.stddev() * 1e9 << " nA, range ["
+            << caps.min() * 1e9 << ", " << caps.max() * 1e9 << "] nA\n";
+  std::cout << "comparator offset " << model.comparator_offset() * 1e9
+            << " nA\n";
+  return 0;
+}
+
+int cmd_challenge(const std::vector<std::string>& args) {
+  if (args.empty() || args.size() > 2) return usage();
+  const SimulationModel model = load_model(args[0]);
+  util::Rng rng(args.size() == 2 ? std::stoull(args[1]) : 1);
+  const Challenge c = random_challenge(model.layout(), rng);
+  std::cout << c.source << ' ' << c.sink << ' ' << bits_to_string(c) << "\n";
+  return 0;
+}
+
+int cmd_predict(const std::vector<std::string>& args) {
+  if (args.size() != 4) return usage();
+  const SimulationModel model = load_model(args[0]);
+  const Challenge c =
+      parse_challenge(model.layout(), args[1], args[2], args[3]);
+  const auto p = model.predict(c);
+  std::cout << "max-flow A " << p.flow_a * 1e9 << " nA, B "
+            << p.flow_b * 1e9 << " nA -> predicted bit " << p.bit << "\n";
+  std::cout << "(O(n) two-hop heuristic would guess "
+            << attack::predict_bit_two_hop(model, c) << ")\n";
+  return 0;
+}
+
+int cmd_evaluate(const std::vector<std::string>& args) {
+  if (args.size() != 6) return usage();
+  PpufParams params;
+  params.node_count = std::stoul(args[0]);
+  params.grid_size = std::stoul(args[1]);
+  MaxFlowPpuf puf(params, std::stoull(args[2]));
+  const Challenge c =
+      parse_challenge(puf.layout(), args[3], args[4], args[5]);
+  const auto e = puf.evaluate(c);
+  std::cout << "I_A " << e.current_a * 1e9 << " nA, I_B "
+            << e.current_b * 1e9 << " nA -> response bit " << e.bit << "\n";
+  return 0;
+}
+
+int cmd_export_spice(const std::vector<std::string>& args) {
+  if (args.size() != 2) return usage();
+  const int bit = std::stoi(args[0]);
+  if (bit != 0 && bit != 1) throw std::runtime_error("input bit must be 0/1");
+  PpufParams params;
+  SweepCircuit sc = build_block(params, circuit::BlockVariation{}, bit,
+                                circuit::Environment::nominal());
+  std::ofstream out(args[1]);
+  if (!out) throw std::runtime_error("cannot write " + args[1]);
+  circuit::SpiceExportOptions opts;
+  opts.title = "maxflow-ppuf building block, nominal devices, input bit " +
+               args[0];
+  circuit::export_spice(sc.netlist, out, opts);
+  std::cout << "SPICE deck written to " << args[1]
+            << " (sweep source is V" << sc.sweep_source << ")\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const std::vector<std::string> args(argv + 2, argv + argc);
+  try {
+    if (cmd == "fabricate") return cmd_fabricate(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "challenge") return cmd_challenge(args);
+    if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "evaluate") return cmd_evaluate(args);
+    if (cmd == "export-spice") return cmd_export_spice(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
