@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_approximation_attack.dir/bench_approximation_attack.cpp.o"
+  "CMakeFiles/bench_approximation_attack.dir/bench_approximation_attack.cpp.o.d"
+  "bench_approximation_attack"
+  "bench_approximation_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_approximation_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

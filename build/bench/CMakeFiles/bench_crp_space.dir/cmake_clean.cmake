@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crp_space.dir/bench_crp_space.cpp.o"
+  "CMakeFiles/bench_crp_space.dir/bench_crp_space.cpp.o.d"
+  "bench_crp_space"
+  "bench_crp_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crp_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_model_building.dir/bench_fig10_model_building.cpp.o"
+  "CMakeFiles/bench_fig10_model_building.dir/bench_fig10_model_building.cpp.o.d"
+  "bench_fig10_model_building"
+  "bench_fig10_model_building.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_model_building.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

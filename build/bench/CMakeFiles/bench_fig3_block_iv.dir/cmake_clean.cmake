@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_block_iv.dir/bench_fig3_block_iv.cpp.o"
+  "CMakeFiles/bench_fig3_block_iv.dir/bench_fig3_block_iv.cpp.o.d"
+  "bench_fig3_block_iv"
+  "bench_fig3_block_iv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_block_iv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_inaccuracy.dir/bench_fig6_inaccuracy.cpp.o"
+  "CMakeFiles/bench_fig6_inaccuracy.dir/bench_fig6_inaccuracy.cpp.o.d"
+  "bench_fig6_inaccuracy"
+  "bench_fig6_inaccuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_inaccuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_esg.dir/bench_fig7b_esg.cpp.o"
+  "CMakeFiles/bench_fig7b_esg.dir/bench_fig7b_esg.cpp.o.d"
+  "bench_fig7b_esg"
+  "bench_fig7b_esg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_esg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_measurability.dir/bench_fig8_measurability.cpp.o"
+  "CMakeFiles/bench_fig8_measurability.dir/bench_fig8_measurability.cpp.o.d"
+  "bench_fig8_measurability"
+  "bench_fig8_measurability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_measurability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_flip_probability.dir/bench_fig9_flip_probability.cpp.o"
+  "CMakeFiles/bench_fig9_flip_probability.dir/bench_fig9_flip_probability.cpp.o.d"
+  "bench_fig9_flip_probability"
+  "bench_fig9_flip_probability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_flip_probability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_maxflow_algorithms.dir/bench_maxflow_algorithms.cpp.o"
+  "CMakeFiles/bench_maxflow_algorithms.dir/bench_maxflow_algorithms.cpp.o.d"
+  "bench_maxflow_algorithms"
+  "bench_maxflow_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_maxflow_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_req2_variation_vs_sce.dir/bench_req2_variation_vs_sce.cpp.o"
+  "CMakeFiles/bench_req2_variation_vs_sce.dir/bench_req2_variation_vs_sce.cpp.o.d"
+  "bench_req2_variation_vs_sce"
+  "bench_req2_variation_vs_sce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_req2_variation_vs_sce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_req2_variation_vs_sce.
+# This may be replaced when dependencies are built.

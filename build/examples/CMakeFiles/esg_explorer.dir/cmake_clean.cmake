@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/esg_explorer.dir/esg_explorer.cpp.o"
+  "CMakeFiles/esg_explorer.dir/esg_explorer.cpp.o.d"
+  "esg_explorer"
+  "esg_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/esg_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_derivation_demo.dir/key_derivation_demo.cpp.o"
+  "CMakeFiles/key_derivation_demo.dir/key_derivation_demo.cpp.o.d"
+  "key_derivation_demo"
+  "key_derivation_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_derivation_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

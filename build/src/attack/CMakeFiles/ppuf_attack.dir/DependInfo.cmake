@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/dataset.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/dataset.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/dataset.cpp.o.d"
+  "/root/repo/src/attack/harness.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/harness.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/harness.cpp.o.d"
+  "/root/repo/src/attack/heuristic.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/heuristic.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/heuristic.cpp.o.d"
+  "/root/repo/src/attack/kernel.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/kernel.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/kernel.cpp.o.d"
+  "/root/repo/src/attack/knn.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/knn.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/knn.cpp.o.d"
+  "/root/repo/src/attack/lssvm.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/lssvm.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/lssvm.cpp.o.d"
+  "/root/repo/src/attack/svm_smo.cpp" "src/attack/CMakeFiles/ppuf_attack.dir/svm_smo.cpp.o" "gcc" "src/attack/CMakeFiles/ppuf_attack.dir/svm_smo.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppuf/CMakeFiles/ppuf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/ppuf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ppuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/ppuf_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppuf_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

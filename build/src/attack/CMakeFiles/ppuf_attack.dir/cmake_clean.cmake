@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_attack.dir/dataset.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/dataset.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/harness.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/harness.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/heuristic.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/heuristic.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/kernel.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/kernel.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/knn.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/knn.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/lssvm.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/lssvm.cpp.o.d"
+  "CMakeFiles/ppuf_attack.dir/svm_smo.cpp.o"
+  "CMakeFiles/ppuf_attack.dir/svm_smo.cpp.o.d"
+  "libppuf_attack.a"
+  "libppuf_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/dc.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/dc.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/dc.cpp.o.d"
+  "/root/repo/src/circuit/devices.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/devices.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/devices.cpp.o.d"
+  "/root/repo/src/circuit/env.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/env.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/env.cpp.o.d"
+  "/root/repo/src/circuit/netlist.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/netlist.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/netlist.cpp.o.d"
+  "/root/repo/src/circuit/spice_export.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/spice_export.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/spice_export.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/transient.cpp.o.d"
+  "/root/repo/src/circuit/variation.cpp" "src/circuit/CMakeFiles/ppuf_circuit.dir/variation.cpp.o" "gcc" "src/circuit/CMakeFiles/ppuf_circuit.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/numeric/CMakeFiles/ppuf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

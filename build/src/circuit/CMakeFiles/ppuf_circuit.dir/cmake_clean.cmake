@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_circuit.dir/dc.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/dc.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/devices.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/devices.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/env.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/env.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/netlist.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/netlist.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/spice_export.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/spice_export.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/transient.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/transient.cpp.o.d"
+  "CMakeFiles/ppuf_circuit.dir/variation.cpp.o"
+  "CMakeFiles/ppuf_circuit.dir/variation.cpp.o.d"
+  "libppuf_circuit.a"
+  "libppuf_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bfs.cpp" "src/graph/CMakeFiles/ppuf_graph.dir/bfs.cpp.o" "gcc" "src/graph/CMakeFiles/ppuf_graph.dir/bfs.cpp.o.d"
+  "/root/repo/src/graph/complete.cpp" "src/graph/CMakeFiles/ppuf_graph.dir/complete.cpp.o" "gcc" "src/graph/CMakeFiles/ppuf_graph.dir/complete.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/graph/CMakeFiles/ppuf_graph.dir/digraph.cpp.o" "gcc" "src/graph/CMakeFiles/ppuf_graph.dir/digraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_graph.dir/bfs.cpp.o"
+  "CMakeFiles/ppuf_graph.dir/bfs.cpp.o.d"
+  "CMakeFiles/ppuf_graph.dir/complete.cpp.o"
+  "CMakeFiles/ppuf_graph.dir/complete.cpp.o.d"
+  "CMakeFiles/ppuf_graph.dir/digraph.cpp.o"
+  "CMakeFiles/ppuf_graph.dir/digraph.cpp.o.d"
+  "libppuf_graph.a"
+  "libppuf_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/maxflow/approximate.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/approximate.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/approximate.cpp.o.d"
+  "/root/repo/src/maxflow/batch.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/batch.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/batch.cpp.o.d"
+  "/root/repo/src/maxflow/dinic.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/dinic.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/dinic.cpp.o.d"
+  "/root/repo/src/maxflow/edmonds_karp.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/edmonds_karp.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/edmonds_karp.cpp.o.d"
+  "/root/repo/src/maxflow/multi_terminal.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/multi_terminal.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/multi_terminal.cpp.o.d"
+  "/root/repo/src/maxflow/parallel_push_relabel.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/parallel_push_relabel.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/parallel_push_relabel.cpp.o.d"
+  "/root/repo/src/maxflow/push_relabel.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/push_relabel.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/push_relabel.cpp.o.d"
+  "/root/repo/src/maxflow/residual.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/residual.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/residual.cpp.o.d"
+  "/root/repo/src/maxflow/solver.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/solver.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/solver.cpp.o.d"
+  "/root/repo/src/maxflow/verify.cpp" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/verify.cpp.o" "gcc" "src/maxflow/CMakeFiles/ppuf_maxflow.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/ppuf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_maxflow.dir/approximate.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/approximate.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/batch.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/batch.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/dinic.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/dinic.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/edmonds_karp.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/edmonds_karp.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/multi_terminal.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/multi_terminal.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/parallel_push_relabel.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/parallel_push_relabel.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/push_relabel.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/push_relabel.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/residual.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/residual.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/solver.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/solver.cpp.o.d"
+  "CMakeFiles/ppuf_maxflow.dir/verify.cpp.o"
+  "CMakeFiles/ppuf_maxflow.dir/verify.cpp.o.d"
+  "libppuf_maxflow.a"
+  "libppuf_maxflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_maxflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

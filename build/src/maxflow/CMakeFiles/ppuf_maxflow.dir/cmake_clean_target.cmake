@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libppuf_maxflow.a"
+)

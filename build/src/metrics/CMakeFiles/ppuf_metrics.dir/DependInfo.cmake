@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/entropy.cpp" "src/metrics/CMakeFiles/ppuf_metrics.dir/entropy.cpp.o" "gcc" "src/metrics/CMakeFiles/ppuf_metrics.dir/entropy.cpp.o.d"
+  "/root/repo/src/metrics/flip.cpp" "src/metrics/CMakeFiles/ppuf_metrics.dir/flip.cpp.o" "gcc" "src/metrics/CMakeFiles/ppuf_metrics.dir/flip.cpp.o.d"
+  "/root/repo/src/metrics/hamming.cpp" "src/metrics/CMakeFiles/ppuf_metrics.dir/hamming.cpp.o" "gcc" "src/metrics/CMakeFiles/ppuf_metrics.dir/hamming.cpp.o.d"
+  "/root/repo/src/metrics/puf_metrics.cpp" "src/metrics/CMakeFiles/ppuf_metrics.dir/puf_metrics.cpp.o" "gcc" "src/metrics/CMakeFiles/ppuf_metrics.dir/puf_metrics.cpp.o.d"
+  "/root/repo/src/metrics/reliability.cpp" "src/metrics/CMakeFiles/ppuf_metrics.dir/reliability.cpp.o" "gcc" "src/metrics/CMakeFiles/ppuf_metrics.dir/reliability.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ppuf/CMakeFiles/ppuf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ppuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/ppuf_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppuf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/ppuf_numeric.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_metrics.dir/entropy.cpp.o"
+  "CMakeFiles/ppuf_metrics.dir/entropy.cpp.o.d"
+  "CMakeFiles/ppuf_metrics.dir/flip.cpp.o"
+  "CMakeFiles/ppuf_metrics.dir/flip.cpp.o.d"
+  "CMakeFiles/ppuf_metrics.dir/hamming.cpp.o"
+  "CMakeFiles/ppuf_metrics.dir/hamming.cpp.o.d"
+  "CMakeFiles/ppuf_metrics.dir/puf_metrics.cpp.o"
+  "CMakeFiles/ppuf_metrics.dir/puf_metrics.cpp.o.d"
+  "CMakeFiles/ppuf_metrics.dir/reliability.cpp.o"
+  "CMakeFiles/ppuf_metrics.dir/reliability.cpp.o.d"
+  "libppuf_metrics.a"
+  "libppuf_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_numeric.dir/cholesky.cpp.o"
+  "CMakeFiles/ppuf_numeric.dir/cholesky.cpp.o.d"
+  "CMakeFiles/ppuf_numeric.dir/lu.cpp.o"
+  "CMakeFiles/ppuf_numeric.dir/lu.cpp.o.d"
+  "CMakeFiles/ppuf_numeric.dir/matrix.cpp.o"
+  "CMakeFiles/ppuf_numeric.dir/matrix.cpp.o.d"
+  "libppuf_numeric.a"
+  "libppuf_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

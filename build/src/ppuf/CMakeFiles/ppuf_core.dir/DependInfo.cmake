@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ppuf/block.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/block.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/block.cpp.o.d"
+  "/root/repo/src/ppuf/challenge.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/challenge.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/challenge.cpp.o.d"
+  "/root/repo/src/ppuf/code.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/code.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/code.cpp.o.d"
+  "/root/repo/src/ppuf/compact.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/compact.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/compact.cpp.o.d"
+  "/root/repo/src/ppuf/crossbar.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/crossbar.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/crossbar.cpp.o.d"
+  "/root/repo/src/ppuf/delay.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/delay.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/delay.cpp.o.d"
+  "/root/repo/src/ppuf/feedback.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/feedback.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/feedback.cpp.o.d"
+  "/root/repo/src/ppuf/keygen.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/keygen.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/keygen.cpp.o.d"
+  "/root/repo/src/ppuf/network_solver.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/network_solver.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/network_solver.cpp.o.d"
+  "/root/repo/src/ppuf/power.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/power.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/power.cpp.o.d"
+  "/root/repo/src/ppuf/ppuf.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/ppuf.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/ppuf.cpp.o.d"
+  "/root/repo/src/ppuf/sim_model.cpp" "src/ppuf/CMakeFiles/ppuf_core.dir/sim_model.cpp.o" "gcc" "src/ppuf/CMakeFiles/ppuf_core.dir/sim_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/circuit/CMakeFiles/ppuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/ppuf_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppuf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/ppuf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

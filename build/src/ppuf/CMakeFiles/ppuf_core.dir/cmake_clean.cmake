@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_core.dir/block.cpp.o"
+  "CMakeFiles/ppuf_core.dir/block.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/challenge.cpp.o"
+  "CMakeFiles/ppuf_core.dir/challenge.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/code.cpp.o"
+  "CMakeFiles/ppuf_core.dir/code.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/compact.cpp.o"
+  "CMakeFiles/ppuf_core.dir/compact.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/crossbar.cpp.o"
+  "CMakeFiles/ppuf_core.dir/crossbar.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/delay.cpp.o"
+  "CMakeFiles/ppuf_core.dir/delay.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/feedback.cpp.o"
+  "CMakeFiles/ppuf_core.dir/feedback.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/keygen.cpp.o"
+  "CMakeFiles/ppuf_core.dir/keygen.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/network_solver.cpp.o"
+  "CMakeFiles/ppuf_core.dir/network_solver.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/power.cpp.o"
+  "CMakeFiles/ppuf_core.dir/power.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/ppuf.cpp.o"
+  "CMakeFiles/ppuf_core.dir/ppuf.cpp.o.d"
+  "CMakeFiles/ppuf_core.dir/sim_model.cpp.o"
+  "CMakeFiles/ppuf_core.dir/sim_model.cpp.o.d"
+  "libppuf_core.a"
+  "libppuf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

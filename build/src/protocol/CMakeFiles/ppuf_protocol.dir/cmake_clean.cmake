@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_protocol.dir/authentication.cpp.o"
+  "CMakeFiles/ppuf_protocol.dir/authentication.cpp.o.d"
+  "libppuf_protocol.a"
+  "libppuf_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_puf.dir/arbiter.cpp.o"
+  "CMakeFiles/ppuf_puf.dir/arbiter.cpp.o.d"
+  "libppuf_puf.a"
+  "libppuf_puf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_puf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_util.dir/bigint.cpp.o"
+  "CMakeFiles/ppuf_util.dir/bigint.cpp.o.d"
+  "CMakeFiles/ppuf_util.dir/fit.cpp.o"
+  "CMakeFiles/ppuf_util.dir/fit.cpp.o.d"
+  "CMakeFiles/ppuf_util.dir/statistics.cpp.o"
+  "CMakeFiles/ppuf_util.dir/statistics.cpp.o.d"
+  "CMakeFiles/ppuf_util.dir/table.cpp.o"
+  "CMakeFiles/ppuf_util.dir/table.cpp.o.d"
+  "libppuf_util.a"
+  "libppuf_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

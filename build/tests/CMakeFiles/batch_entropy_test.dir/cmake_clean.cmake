@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_entropy_test.dir/batch_entropy_test.cpp.o"
+  "CMakeFiles/batch_entropy_test.dir/batch_entropy_test.cpp.o.d"
+  "batch_entropy_test"
+  "batch_entropy_test.pdb"
+  "batch_entropy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_entropy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/challenge_test.dir/challenge_test.cpp.o"
+  "CMakeFiles/challenge_test.dir/challenge_test.cpp.o.d"
+  "challenge_test"
+  "challenge_test.pdb"
+  "challenge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/challenge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_test.dir/code_test.cpp.o"
+  "CMakeFiles/code_test.dir/code_test.cpp.o.d"
+  "code_test"
+  "code_test.pdb"
+  "code_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

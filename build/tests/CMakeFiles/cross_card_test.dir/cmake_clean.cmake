@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_card_test.dir/cross_card_test.cpp.o"
+  "CMakeFiles/cross_card_test.dir/cross_card_test.cpp.o.d"
+  "cross_card_test"
+  "cross_card_test.pdb"
+  "cross_card_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_card_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_input_test.dir/full_input_test.cpp.o"
+  "CMakeFiles/full_input_test.dir/full_input_test.cpp.o.d"
+  "full_input_test"
+  "full_input_test.pdb"
+  "full_input_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_input_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_terminal_test.dir/multi_terminal_test.cpp.o"
+  "CMakeFiles/multi_terminal_test.dir/multi_terminal_test.cpp.o.d"
+  "multi_terminal_test"
+  "multi_terminal_test.pdb"
+  "multi_terminal_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_terminal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

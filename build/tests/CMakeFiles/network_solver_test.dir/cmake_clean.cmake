@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_solver_test.dir/network_solver_test.cpp.o"
+  "CMakeFiles/network_solver_test.dir/network_solver_test.cpp.o.d"
+  "network_solver_test"
+  "network_solver_test.pdb"
+  "network_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

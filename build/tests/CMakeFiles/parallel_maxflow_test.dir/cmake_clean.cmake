@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_maxflow_test.dir/parallel_maxflow_test.cpp.o"
+  "CMakeFiles/parallel_maxflow_test.dir/parallel_maxflow_test.cpp.o.d"
+  "parallel_maxflow_test"
+  "parallel_maxflow_test.pdb"
+  "parallel_maxflow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_maxflow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

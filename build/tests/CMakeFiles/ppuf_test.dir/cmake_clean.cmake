@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_test.dir/ppuf_test.cpp.o"
+  "CMakeFiles/ppuf_test.dir/ppuf_test.cpp.o.d"
+  "ppuf_test"
+  "ppuf_test.pdb"
+  "ppuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/protocol_test.cpp" "tests/CMakeFiles/protocol_test.dir/protocol_test.cpp.o" "gcc" "tests/CMakeFiles/protocol_test.dir/protocol_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/protocol/CMakeFiles/ppuf_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/ppuf_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/ppuf_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/puf/CMakeFiles/ppuf_puf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ppuf/CMakeFiles/ppuf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/ppuf_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/maxflow/CMakeFiles/ppuf_maxflow.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/ppuf_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/numeric/CMakeFiles/ppuf_numeric.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ppuf_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

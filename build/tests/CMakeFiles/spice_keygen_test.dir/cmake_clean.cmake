@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spice_keygen_test.dir/spice_keygen_test.cpp.o"
+  "CMakeFiles/spice_keygen_test.dir/spice_keygen_test.cpp.o.d"
+  "spice_keygen_test"
+  "spice_keygen_test.pdb"
+  "spice_keygen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spice_keygen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ppuf_tool.dir/ppuf_tool.cpp.o"
+  "CMakeFiles/ppuf_tool.dir/ppuf_tool.cpp.o.d"
+  "ppuf_tool"
+  "ppuf_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ppuf_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
