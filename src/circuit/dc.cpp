@@ -9,6 +9,7 @@
 
 #include "circuit/newton_core.hpp"
 #include "numeric/lu.hpp"
+#include "util/fault_hooks.hpp"
 
 namespace ppuf::circuit {
 
@@ -290,8 +291,12 @@ OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
                    iter, node_residual, max_dv, scale);
     }
 
-    if (!std::isfinite(x[0]))
-      throw std::runtime_error("solve_newton: diverged to non-finite values");
+    if (!std::isfinite(x[0])) {
+      // Diverged.  Report an infinite residual instead of throwing so the
+      // recovery ladder can escalate to the next rung.
+      node_residual = std::numeric_limits<double>::infinity();
+      break;
+    }
   }
 
   for (std::size_t i = 0; i < nv; ++i) op.node_voltage[i + 1] = x[i];
@@ -310,35 +315,110 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
   const std::size_t dim = nv + ns;
   if (dim == 0) throw std::invalid_argument("solve_newton: empty netlist");
 
+  auto warm_init = [&](numeric::Vector& x) {
+    x.assign(dim, 0.0);
+    if (warm_start != nullptr &&
+        warm_start->node_voltage.size() == netlist.node_count() &&
+        warm_start->vsource_current.size() == ns) {
+      for (std::size_t i = 0; i < nv; ++i)
+        x[i] = warm_start->node_voltage[i + 1];
+      for (std::size_t k = 0; k < ns; ++k)
+        x[nv + k] = warm_start->vsource_current[k];
+    }
+  };
+
+  SolveDiagnostics diag;
+  auto record = [&](RecoveryStage stage, const OperatingPoint& op,
+                    int iterations) {
+    diag.stages.push_back(
+        StageAttempt{stage, iterations, op.residual, op.converged});
+    diag.total_iterations += iterations;
+    diag.strategy = stage;
+  };
+  auto finish = [&](OperatingPoint op) {
+    diag.converged = op.converged;
+    diag.final_residual = op.residual;
+    op.iterations = diag.total_iterations;
+    op.diagnostics = std::move(diag);
+    return op;
+  };
+
   numeric::Vector x(dim, 0.0);
-  if (warm_start != nullptr &&
-      warm_start->node_voltage.size() == netlist.node_count() &&
-      warm_start->vsource_current.size() == ns) {
-    for (std::size_t i = 0; i < nv; ++i)
-      x[i] = warm_start->node_voltage[i + 1];
-    for (std::size_t k = 0; k < ns; ++k)
-      x[nv + k] = warm_start->vsource_current[k];
+  warm_init(x);
+
+  // Rung 0 — direct damped Newton.  The test-only fault hook can starve
+  // this rung (and only this rung) to force the ladder to fire.
+  const util::FaultHooks& hooks = util::FaultHooks::instance();
+  DcOptions direct = options;
+  const int cap =
+      hooks.newton_direct_iteration_cap.load(std::memory_order_relaxed);
+  if (cap > 0) direct.max_iterations = std::min(direct.max_iterations, cap);
+  OperatingPoint op = run_newton(netlist, direct, extra, x);
+  record(RecoveryStage::kDirect, op, op.iterations);
+  if (op.converged || !options.enable_recovery) return finish(op);
+
+  // Rung 1 — gmin stepping: solve a heavily damped version first (every
+  // node leaks to ground), then walk gmin back down, warm-starting each
+  // stage — the classic SPICE continuation for circuits whose devices are
+  // all cut off.
+  if (!hooks.newton_skip_gmin_stage.load(std::memory_order_relaxed)) {
+    x.assign(dim, 0.0);
+    int stage_iterations = 0;
+    for (double gmin = 1e-4; gmin >= options.gmin * 0.99; gmin *= 1e-2) {
+      DcOptions stage = options;
+      stage.gmin = gmin;
+      // Intermediate stages only need to hand over a good starting point.
+      stage.residual_tol = std::max(options.residual_tol, gmin * 1e-3);
+      op = run_newton(netlist, stage, extra, x);
+      stage_iterations += op.iterations;
+    }
+    op = run_newton(netlist, options, extra, x);
+    stage_iterations += op.iterations;
+    record(RecoveryStage::kGminStepping, op, stage_iterations);
+    if (op.converged) return finish(op);
   }
 
-  OperatingPoint op = run_newton(netlist, options, extra, x);
-  if (op.converged) return op;
-
-  // Gmin stepping: solve a heavily damped version first (every node leaks
-  // to ground), then walk gmin back down, warm-starting each stage — the
-  // classic SPICE continuation for circuits whose devices are all cut off.
-  int total_iterations = op.iterations;
-  x.assign(dim, 0.0);
-  for (double gmin = 1e-4; gmin >= options.gmin * 0.99; gmin *= 1e-2) {
-    DcOptions stage = options;
-    stage.gmin = gmin;
-    // Intermediate stages only need to hand over a good starting point.
-    stage.residual_tol = std::max(options.residual_tol, gmin * 1e-3);
-    op = run_newton(netlist, stage, extra, x);
-    total_iterations += op.iterations;
+  // Rung 2 — source stepping: homotopy in the excitation.  Ramp every
+  // independent source from a small fraction to 100%, warm-starting each
+  // step; at low drive all devices are near cutoff and Newton is tame.
+  {
+    Netlist scaled = netlist;
+    x.assign(dim, 0.0);
+    int stage_iterations = 0;
+    constexpr int kRampSteps = 8;
+    for (int k = 1; k <= kRampSteps; ++k) {
+      const double frac = static_cast<double>(k) / kRampSteps;
+      for (std::size_t s = 0; s < scaled.vsources().size(); ++s)
+        scaled.vsources()[s].volts = netlist.vsources()[s].volts * frac;
+      for (std::size_t s = 0; s < scaled.isources().size(); ++s)
+        scaled.isources()[s].amps = netlist.isources()[s].amps * frac;
+      DcOptions stage = options;
+      if (k < kRampSteps) {
+        // Intermediate points only seed the next step.
+        stage.residual_tol = std::max(options.residual_tol, 1e-13) * 1e2;
+      }
+      op = run_newton(scaled, stage, extra, x);
+      stage_iterations += op.iterations;
+    }
+    // Polish on the original netlist (bit-identical sources).
+    op = run_newton(netlist, options, extra, x);
+    stage_iterations += op.iterations;
+    record(RecoveryStage::kSourceStepping, op, stage_iterations);
+    if (op.converged) return finish(op);
   }
-  op = run_newton(netlist, options, extra, x);
-  op.iterations += total_iterations;
-  return op;
+
+  // Rung 3 — tightened damping: a tiny step limit with a generous
+  // iteration budget.  Slow but essentially monotone for incrementally
+  // passive device stacks; the rung of last resort.
+  {
+    DcOptions tight = options;
+    tight.step_limit = std::max(options.step_limit / 16.0, 0.01);
+    tight.max_iterations = std::max(options.max_iterations * 10, 2000);
+    warm_init(x);
+    op = run_newton(netlist, tight, extra, x);
+    record(RecoveryStage::kTightenedDamping, op, op.iterations);
+  }
+  return finish(op);
 }
 
 }  // namespace detail

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "circuit/netlist.hpp"
+#include "circuit/solve_diagnostics.hpp"
 #include "numeric/matrix.hpp"
 
 namespace ppuf::circuit {
@@ -20,6 +21,10 @@ struct DcOptions {
   double step_limit = 0.3;         ///< max |dV| applied per iteration [V]
   double gmin = 1e-12;             ///< conductance from every node to ground
   double temperature_c = 27.0;     ///< device temperature
+  /// Escalate through the convergence-recovery ladder (gmin stepping ->
+  /// source stepping -> tightened damping) when the direct Newton solve
+  /// stalls.  Disable only to observe the bare solver (tests do).
+  bool enable_recovery = true;
 };
 
 /// Solution of a DC analysis.
@@ -29,6 +34,9 @@ struct OperatingPoint {
   int iterations = 0;
   bool converged = false;
   double residual = 0.0;            ///< final max KCL error [A]
+  /// Which recovery-ladder rung produced this point and what every
+  /// attempted rung cost; `diagnostics.converged` mirrors `converged`.
+  SolveDiagnostics diagnostics;
 
   double voltage(NodeId n) const { return node_voltage.at(n); }
   /// Current delivered by voltage source `handle` (flowing out of its

@@ -74,6 +74,10 @@ class Netlist {
   std::vector<Diode>& diodes() { return diodes_; }
   std::vector<Mosfet>& mosfets() { return mosfets_; }
   std::vector<Resistor>& resistors() { return resistors_; }
+  /// Mutable source access for homotopy continuation (source stepping
+  /// scales every excitation on a netlist copy) and fault injection.
+  std::vector<VSource>& vsources() { return vsources_; }
+  std::vector<ISource>& isources() { return isources_; }
 
  private:
   void check_node(NodeId n) const;

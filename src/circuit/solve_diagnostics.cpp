@@ -1,0 +1,42 @@
+#include "circuit/solve_diagnostics.hpp"
+
+#include <cstdio>
+
+namespace ppuf::circuit {
+
+const char* recovery_stage_name(RecoveryStage stage) {
+  switch (stage) {
+    case RecoveryStage::kDirect:
+      return "direct";
+    case RecoveryStage::kGminStepping:
+      return "gmin-stepping";
+    case RecoveryStage::kSourceStepping:
+      return "source-stepping";
+    case RecoveryStage::kTightenedDamping:
+      return "tightened-damping";
+  }
+  return "unknown";
+}
+
+std::string SolveDiagnostics::summary() const {
+  std::string s = converged ? "converged via " : "FAILED after ";
+  s += recovery_stage_name(strategy);
+  s += " (";
+  for (std::size_t i = 0; i < stages.size(); ++i) {
+    const StageAttempt& a = stages[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "%s%s: %d it, resid %.2e",
+                  i == 0 ? "" : "; ", recovery_stage_name(a.stage),
+                  a.iterations, a.residual);
+    s += buf;
+  }
+  s += ")";
+  return s;
+}
+
+ConvergenceError::ConvergenceError(const std::string& context,
+                                   SolveDiagnostics diagnostics)
+    : std::runtime_error(context + ": " + diagnostics.summary()),
+      diagnostics_(std::move(diagnostics)) {}
+
+}  // namespace ppuf::circuit

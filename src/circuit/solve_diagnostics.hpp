@@ -1,0 +1,74 @@
+// Diagnostics of a nonlinear DC solve and its convergence-recovery ladder.
+//
+// Both Newton solvers in the project (circuit::DcSolver at device level,
+// ppuf::NetworkSolver at network level) escalate through the same ladder
+// when the plain solve stalls:
+//
+//   direct -> gmin stepping -> source stepping -> tightened damping
+//
+// Instead of a bare `converged` bool, every solve now returns a
+// SolveDiagnostics record: which rung produced the answer, how many
+// iterations each attempted rung burned, and the final residual.  Failures
+// that must abort carry the record inside a ConvergenceError so the caller
+// (and ultimately the service operator) sees *how* the solve died, not just
+// that it did.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ppuf::circuit {
+
+/// One rung of the convergence-recovery ladder.
+enum class RecoveryStage {
+  kDirect,            ///< plain damped Newton from the initial guess
+  kGminStepping,      ///< continuation in the node-to-ground conductance
+  kSourceStepping,    ///< homotopy in the source excitation (0 -> 100%)
+  kTightenedDamping,  ///< small step limit, generous iteration budget
+};
+
+const char* recovery_stage_name(RecoveryStage stage);
+
+/// Outcome of one attempted rung.
+struct StageAttempt {
+  RecoveryStage stage = RecoveryStage::kDirect;
+  int iterations = 0;       ///< Newton iterations this rung consumed
+  double residual = 0.0;    ///< max KCL error when the rung ended [A]
+  bool converged = false;
+};
+
+/// Full record of a DC solve: every rung attempted, in order, plus the
+/// rung that produced the returned operating point.
+struct SolveDiagnostics {
+  std::vector<StageAttempt> stages;
+  /// Rung whose result was returned (the first converged one; the last
+  /// attempted one when nothing converged).
+  RecoveryStage strategy = RecoveryStage::kDirect;
+  int total_iterations = 0;
+  double final_residual = 0.0;
+  bool converged = false;
+
+  /// True when recovery went beyond the direct solve.
+  bool recovered() const {
+    return converged && strategy != RecoveryStage::kDirect;
+  }
+
+  /// e.g. "converged via source-stepping (direct: 200 it, resid 3.1e-09;
+  /// gmin-stepping: 412 it, resid 8.2e-10; source-stepping: 95 it,
+  /// resid 4.0e-12)".
+  std::string summary() const;
+};
+
+/// Non-convergence that must abort, carrying the full ladder record.
+class ConvergenceError : public std::runtime_error {
+ public:
+  ConvergenceError(const std::string& context, SolveDiagnostics diagnostics);
+
+  const SolveDiagnostics& diagnostics() const { return diagnostics_; }
+
+ private:
+  SolveDiagnostics diagnostics_;
+};
+
+}  // namespace ppuf::circuit

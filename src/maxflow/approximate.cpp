@@ -10,7 +10,8 @@
 namespace ppuf::maxflow {
 
 ApproximateResult solve_approximate(const graph::FlowProblem& problem,
-                                    double epsilon) {
+                                    double epsilon,
+                                    const util::SolveControl& control) {
   if (problem.source == problem.sink)
     throw std::invalid_argument("solve_approximate: source == sink");
   if (epsilon < 0.0 || epsilon >= 1.0)
@@ -20,6 +21,7 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
   ResidualNetwork net(g);
   const std::size_t n = net.vertex_count();
   const auto m = static_cast<double>(g.edge_count());
+  util::StopCheck stop(control);
 
   double max_cap = 0.0;
   for (const graph::Edge& e : g.edges()) max_cap = std::max(max_cap, e.capacity);
@@ -42,7 +44,7 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
     queue.push(problem.source);
     visited[problem.source] = true;
     bool found = false;
-    while (!queue.empty() && !found) {
+    while (!queue.empty() && !found && !stop.should_stop()) {
       const graph::VertexId v = queue.front();
       queue.pop();
       const auto& arcs = net.arcs(v);
@@ -60,7 +62,8 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
         queue.push(a.to);
       }
     }
-    if (!found) return false;
+    // An interrupted search must not augment along a half-built tree.
+    if (!found || stop.should_stop()) return false;
     double bottleneck = std::numeric_limits<double>::infinity();
     for (graph::VertexId v = problem.sink; v != problem.source;
          v = parent_vertex[v]) {
@@ -80,6 +83,13 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
   const double floor_delta = net.epsilon();
   for (;;) {
     while (augment_once(delta)) {
+    }
+    if (stop.should_stop()) {
+      // The flow found so far is feasible; the certificate below would
+      // only be valid for a *finished* phase, so keep the bound from the
+      // previous phase and surface the typed stop reason.
+      result.status = stop.status("solve_approximate");
+      break;
     }
     // Certificate: every remaining augmenting path has bottleneck < delta,
     // so at most one delta per edge crossing the bottleneck cut remains.

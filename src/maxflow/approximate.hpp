@@ -18,6 +18,12 @@ struct ApproximateResult {
   /// Certified upper bound on the optimum: F* <= value + slack.
   double optimum_upper_bound = 0.0;
   std::uint64_t work = 0;
+  /// Ok on completion; kCancelled/kDeadlineExceeded when stopped early (the
+  /// flow stays feasible but the certificate reflects the last finished
+  /// phase only).
+  util::Status status;
+
+  bool ok() const { return status.is_ok(); }
 
   /// Certified approximation ratio value / F* >= value / upper bound.
   double certified_ratio() const {
@@ -32,6 +38,12 @@ struct ApproximateResult {
 /// certified ratio reaches 1 - epsilon.  epsilon = 0 reduces to the exact
 /// scaling algorithm.
 ApproximateResult solve_approximate(const graph::FlowProblem& problem,
-                                    double epsilon);
+                                    double epsilon,
+                                    const util::SolveControl& control);
+
+inline ApproximateResult solve_approximate(const graph::FlowProblem& problem,
+                                           double epsilon) {
+  return solve_approximate(problem, epsilon, util::SolveControl{});
+}
 
 }  // namespace ppuf::maxflow

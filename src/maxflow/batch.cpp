@@ -1,55 +1,106 @@
 #include "maxflow/batch.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <stdexcept>
 #include <thread>
 
+#include "util/fault_hooks.hpp"
+
 namespace ppuf::maxflow {
+
+namespace {
+
+/// Solve one item, classifying every failure into the result's status.
+/// Never throws: a batch is only useful if one bad instance cannot take
+/// the other fifteen down with it.
+FlowResult solve_one(const Solver& solver, const graph::FlowProblem& problem,
+                     const BatchOptions& options) {
+  const int attempts = std::max(1, options.max_attempts);
+  FlowResult result;
+  for (int attempt = 1; attempt <= attempts; ++attempt) {
+    try {
+      if (util::FaultHooks::consume_transient_failure())
+        throw util::TransientError("injected transient max-flow failure");
+      return solver.solve(problem, options.control);
+    } catch (const util::TransientError& e) {
+      if (attempt == attempts) {
+        result.status = util::Status::internal(
+            std::string("transient failure persisted after ") +
+            std::to_string(attempts) + " attempts: " + e.what());
+      }
+      // else: retry.
+    } catch (const std::invalid_argument& e) {
+      result.status = util::Status::invalid_argument(e.what());
+      break;
+    } catch (const std::exception& e) {
+      result.status = util::Status::internal(e.what());
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
 
 std::vector<FlowResult> solve_batch(
     const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
-    unsigned thread_count) {
+    const BatchOptions& options) {
   std::vector<FlowResult> results(problems.size());
   if (problems.empty()) return results;
 
-  if (thread_count <= 1) {
+  // StopCheck is stateful, so each worker carries its own (sharing one
+  // across threads would race on its poll counter).
+  auto run_item = [&](const Solver& solver, util::StopCheck& stop,
+                      std::size_t i) {
+    if (stop.should_stop()) {
+      // Don't start work the control has already revoked; mark the item
+      // with the typed reason instead.
+      results[i].status = stop.status("solve_batch");
+      return;
+    }
+    results[i] = solve_one(solver, problems[i], options);
+  };
+
+  if (options.thread_count <= 1) {
     const auto solver = make_solver(algorithm);
+    util::StopCheck stop(options.control, /*stride=*/1);
     for (std::size_t i = 0; i < problems.size(); ++i)
-      results[i] = solver->solve(problems[i]);
+      run_item(*solver, stop, i);
     return results;
   }
 
   // Work stealing via an atomic cursor; each worker owns its own solver
   // instance (solvers are stateless but cheap to duplicate anyway).
+  // Workers keep draining after per-item failures — every failure mode is
+  // captured in that item's status by run_item.
   std::atomic<std::size_t> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
   auto worker = [&] {
     const auto solver = make_solver(algorithm);
+    util::StopCheck stop(options.control, /*stride=*/1);
     for (;;) {
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= problems.size()) return;
-      try {
-        results[i] = solver->solve(problems[i]);
-      } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
-        return;
-      }
+      run_item(*solver, stop, i);
     }
   };
 
   std::vector<std::thread> threads;
   const unsigned spawned =
-      std::min<unsigned>(thread_count,
+      std::min<unsigned>(options.thread_count,
                          static_cast<unsigned>(problems.size()));
   threads.reserve(spawned - 1);
   for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker);
   worker();
   for (auto& th : threads) th.join();
-  if (first_error) std::rethrow_exception(first_error);
   return results;
+}
+
+std::vector<FlowResult> solve_batch(
+    const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
+    unsigned thread_count) {
+  BatchOptions options;
+  options.thread_count = thread_count;
+  return solve_batch(problems, algorithm, options);
 }
 
 }  // namespace ppuf::maxflow

@@ -7,17 +7,43 @@
 // solves.  (The feedback chain of Section 3.3 is immune: round i+1's
 // instance is unknown until round i's response exists.)  This helper
 // provides that embarrassing parallelism with plain std::thread workers.
+//
+// Failure semantics: one malformed or failing problem must not poison the
+// batch.  Each item resolves independently to a FlowResult whose `status`
+// records what happened — kOk, kInvalidArgument (malformed instance),
+// kInternal (solver fault after retries), or kCancelled/kDeadlineExceeded
+// once the shared SolveControl fires.  Workers keep draining after an item
+// fails; solve_batch itself never throws for per-item faults.
 #pragma once
 
 #include <vector>
 
 #include "maxflow/solver.hpp"
+#include "util/status.hpp"
 
 namespace ppuf::maxflow {
 
-/// Solve all problems with `thread_count` workers; results are returned in
-/// input order.  Each problem's graph must stay alive and unmodified for
-/// the duration of the call.  thread_count <= 1 runs serially.
+struct BatchOptions {
+  unsigned thread_count = 1;
+  /// Shared deadline/cancellation for the whole batch.  Once it fires,
+  /// in-flight solves stop cooperatively and remaining items are marked
+  /// with the corresponding status without being attempted.
+  util::SolveControl control{};
+  /// Attempts per item.  A util::TransientError aborts the attempt and is
+  /// retried up to max_attempts times before the item is marked kInternal;
+  /// all other errors are terminal on the first occurrence.
+  int max_attempts = 1;
+};
+
+/// Solve all problems with `options.thread_count` workers; results are
+/// returned in input order with per-item statuses (see above).  Each
+/// problem's graph must stay alive and unmodified for the duration of the
+/// call.  thread_count <= 1 runs serially.
+std::vector<FlowResult> solve_batch(
+    const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
+    const BatchOptions& options);
+
+/// Back-compat wrapper: unlimited time, one attempt per item.
 std::vector<FlowResult> solve_batch(
     const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
     unsigned thread_count);

@@ -12,25 +12,31 @@ namespace {
 
 class DinicState {
  public:
-  DinicState(const graph::FlowProblem& problem)
+  DinicState(const graph::FlowProblem& problem,
+             const util::SolveControl& control)
       : g_(*problem.graph),
         net_(g_),
         source_(problem.source),
         sink_(problem.sink),
+        stop_(control),
         level_(net_.vertex_count()),
         next_arc_(net_.vertex_count()) {}
 
   FlowResult run() {
     FlowResult result;
     while (build_level_graph(result)) {
+      if (stop_.should_stop()) break;
       std::fill(next_arc_.begin(), next_arc_.end(), 0);
       for (;;) {
         const double pushed =
             augment(source_, std::numeric_limits<double>::infinity(), result);
         if (pushed <= 0.0) break;
         result.value += pushed;
+        if (stop_.should_stop()) break;
       }
+      if (stop_.should_stop()) break;
     }
+    result.status = stop_.status("Dinic");
     result.edge_flow = net_.edge_flows(g_);
     return result;
   }
@@ -43,7 +49,7 @@ class DinicState {
     std::queue<graph::VertexId> queue;
     queue.push(source_);
     level_[source_] = 0;
-    while (!queue.empty()) {
+    while (!queue.empty() && !stop_.should_stop()) {
       const graph::VertexId v = queue.front();
       queue.pop();
       for (const Arc& a : net_.arcs(v)) {
@@ -80,16 +86,18 @@ class DinicState {
   ResidualNetwork net_;
   graph::VertexId source_;
   graph::VertexId sink_;
+  util::StopCheck stop_;
   std::vector<std::uint32_t> level_;
   std::vector<std::uint32_t> next_arc_;
 };
 
 }  // namespace
 
-FlowResult Dinic::solve(const graph::FlowProblem& problem) const {
+FlowResult Dinic::solve(const graph::FlowProblem& problem,
+                        const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("Dinic: source == sink");
-  return DinicState(problem).run();
+  return DinicState(problem, control).run();
 }
 
 }  // namespace ppuf::maxflow

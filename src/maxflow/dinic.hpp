@@ -9,7 +9,9 @@ namespace ppuf::maxflow {
 
 class Dinic final : public Solver {
  public:
-  FlowResult solve(const graph::FlowProblem& problem) const override;
+  using Solver::solve;
+  FlowResult solve(const graph::FlowProblem& problem,
+                   const util::SolveControl& control) const override;
   std::string name() const override { return "dinic"; }
 };
 

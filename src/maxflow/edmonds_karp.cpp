@@ -8,13 +8,15 @@
 
 namespace ppuf::maxflow {
 
-FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem) const {
+FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem,
+                              const util::SolveControl& control) const {
   const graph::Digraph& g = *problem.graph;
   if (problem.source == problem.sink)
     throw std::invalid_argument("EdmondsKarp: source == sink");
   ResidualNetwork net(g);
   const std::size_t n = net.vertex_count();
   const double eps = net.epsilon();
+  util::StopCheck stop(control);
 
   FlowResult result;
   result.value = 0.0;
@@ -25,12 +27,16 @@ FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem) const {
   std::vector<bool> visited(n);
 
   for (;;) {
+    if (stop.should_stop()) {
+      result.status = stop.status("EdmondsKarp");
+      break;
+    }
     std::fill(visited.begin(), visited.end(), false);
     std::queue<graph::VertexId> queue;
     queue.push(problem.source);
     visited[problem.source] = true;
     bool found = false;
-    while (!queue.empty() && !found) {
+    while (!queue.empty() && !found && !stop.should_stop()) {
       const graph::VertexId v = queue.front();
       queue.pop();
       const auto& arcs = net.arcs(v);
@@ -47,6 +53,12 @@ FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem) const {
         }
         queue.push(a.to);
       }
+    }
+    if (stop.should_stop()) {
+      // An interrupted BFS proves nothing about remaining paths; report
+      // the typed stop reason instead of a silent "maximum" result.
+      result.status = stop.status("EdmondsKarp");
+      break;
     }
     if (!found) break;
 

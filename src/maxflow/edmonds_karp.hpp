@@ -8,7 +8,9 @@ namespace ppuf::maxflow {
 
 class EdmondsKarp final : public Solver {
  public:
-  FlowResult solve(const graph::FlowProblem& problem) const override;
+  using Solver::solve;
+  FlowResult solve(const graph::FlowProblem& problem,
+                   const util::SolveControl& control) const override;
   std::string name() const override { return "edmonds-karp"; }
 };
 

@@ -15,12 +15,14 @@ namespace {
 
 class State {
  public:
-  State(const graph::FlowProblem& problem, unsigned threads)
+  State(const graph::FlowProblem& problem, unsigned threads,
+        const util::SolveControl& control)
       : g_(*problem.graph),
         net_(g_),
         source_(problem.source),
         sink_(problem.sink),
         threads_(threads),
+        stop_(control),
         n_(net_.vertex_count()),
         height_(n_, 0),
         excess_(std::make_unique<std::atomic<double>[]>(n_)),
@@ -30,13 +32,20 @@ class State {
   }
 
   FlowResult run() {
+    FlowResult result;
     initialize();
     std::vector<graph::VertexId> active = collect_active();
     while (!active.empty()) {
+      // Cancellation granularity is one synchronous round: workers never
+      // observe the stop flag mid-round, so the barrier invariants hold
+      // and the partial preflow is still internally consistent.
+      if (stop_.should_stop()) {
+        result.status = stop_.status("ParallelPushRelabel");
+        break;
+      }
       round(active);
       active = collect_active();
     }
-    FlowResult result;
     result.value = excess_[sink_].load(std::memory_order_relaxed);
     result.edge_flow = net_.edge_flows(g_);
     result.work = work_.load(std::memory_order_relaxed);
@@ -154,6 +163,7 @@ class State {
   graph::VertexId source_;
   graph::VertexId sink_;
   unsigned threads_;
+  util::StopCheck stop_;
   std::size_t n_;
   std::vector<std::uint32_t> height_;
   std::unique_ptr<std::atomic<double>[]> excess_;
@@ -164,10 +174,11 @@ class State {
 }  // namespace
 
 FlowResult ParallelPushRelabel::solve(
-    const graph::FlowProblem& problem) const {
+    const graph::FlowProblem& problem,
+    const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("ParallelPushRelabel: source == sink");
-  return State(problem, thread_count_).run();
+  return State(problem, thread_count_, control).run();
 }
 
 }  // namespace ppuf::maxflow

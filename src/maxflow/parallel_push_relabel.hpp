@@ -24,7 +24,9 @@ class ParallelPushRelabel final : public Solver {
   explicit ParallelPushRelabel(unsigned thread_count = 2)
       : thread_count_(thread_count == 0 ? 1 : thread_count) {}
 
-  FlowResult solve(const graph::FlowProblem& problem) const override;
+  using Solver::solve;
+  FlowResult solve(const graph::FlowProblem& problem,
+                   const util::SolveControl& control) const override;
   std::string name() const override { return "parallel-push-relabel"; }
 
   unsigned thread_count() const { return thread_count_; }

@@ -12,12 +12,14 @@ namespace {
 class PushRelabelState {
  public:
   PushRelabelState(const graph::FlowProblem& problem,
-                   const PushRelabelOptions& options)
+                   const PushRelabelOptions& options,
+                   const util::SolveControl& control)
       : g_(*problem.graph),
         net_(g_),
         source_(problem.source),
         sink_(problem.sink),
         options_(options),
+        stop_(control),
         n_(net_.vertex_count()),
         height_(n_, 0),
         excess_(n_, 0.0),
@@ -33,6 +35,12 @@ class PushRelabelState {
                                       static_cast<double>(n_)));
     std::uint64_t discharges = 0;
     while (!active_.empty()) {
+      if (stop_.should_stop()) {
+        // A preflow is not a flow; report the typed stop reason so callers
+        // never mistake the partial sink excess for the maximum.
+        result.status = stop_.status("PushRelabel");
+        break;
+      }
       const graph::VertexId v = active_.front();
       active_.pop();
       in_queue_[v] = false;
@@ -187,6 +195,7 @@ class PushRelabelState {
   graph::VertexId source_;
   graph::VertexId sink_;
   PushRelabelOptions options_;
+  util::StopCheck stop_;
   std::size_t n_;
   std::vector<std::uint32_t> height_;
   std::vector<double> excess_;
@@ -198,10 +207,11 @@ class PushRelabelState {
 
 }  // namespace
 
-FlowResult PushRelabel::solve(const graph::FlowProblem& problem) const {
+FlowResult PushRelabel::solve(const graph::FlowProblem& problem,
+                              const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("PushRelabel: source == sink");
-  return PushRelabelState(problem, options_).run();
+  return PushRelabelState(problem, options_, control).run();
 }
 
 }  // namespace ppuf::maxflow

@@ -24,7 +24,9 @@ class PushRelabel final : public Solver {
   explicit PushRelabel(const PushRelabelOptions& options)
       : options_(options) {}
 
-  FlowResult solve(const graph::FlowProblem& problem) const override;
+  using Solver::solve;
+  FlowResult solve(const graph::FlowProblem& problem,
+                   const util::SolveControl& control) const override;
   std::string name() const override { return "push-relabel"; }
 
  private:

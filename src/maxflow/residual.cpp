@@ -1,7 +1,9 @@
 #include "maxflow/residual.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace ppuf::maxflow {
 
@@ -12,6 +14,15 @@ ResidualNetwork::ResidualNetwork(const graph::Digraph& g) {
   double max_cap = 0.0;
   for (graph::EdgeId e = 0; e < g.edge_count(); ++e) {
     const graph::Edge& edge = g.edge(e);
+    // A NaN capacity would silently poison every residual comparison (all
+    // comparisons false) and can loop solvers forever; reject malformed
+    // instances up front with a typed error every solver shares.
+    if (!std::isfinite(edge.capacity) || edge.capacity < 0.0) {
+      throw std::invalid_argument(
+          "ResidualNetwork: capacity of edge " + std::to_string(e) +
+          " is not finite and non-negative (" +
+          std::to_string(edge.capacity) + ")");
+    }
     max_cap = std::max(max_cap, edge.capacity);
     auto& fwd_list = adj_[edge.from];
     auto& bwd_list = adj_[edge.to];

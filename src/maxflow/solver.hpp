@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/digraph.hpp"
+#include "util/status.hpp"
 
 namespace ppuf::maxflow {
 
@@ -20,15 +21,35 @@ struct FlowResult {
   double value = 0.0;              ///< net flow out of the source
   std::vector<double> edge_flow;   ///< per input-edge flow, indexed by EdgeId
   std::uint64_t work = 0;          ///< algorithm-specific operation count
+  /// Typed outcome.  Ok on a completed solve; kDeadlineExceeded /
+  /// kCancelled when a SolveControl stopped the solve early (value and
+  /// edge_flow then hold the partial internal state — a preflow for
+  /// push-relabel — and must not be treated as a maximum flow);
+  /// kInvalidArgument / kInternal are produced by solve_batch for items
+  /// whose solve threw.
+  util::Status status;
+
+  bool ok() const { return status.is_ok(); }
 };
 
-/// Abstract max-flow solver.
+/// Abstract max-flow solver.  All implementations support cooperative
+/// cancellation and wall-clock budgets through util::SolveControl; the
+/// single-argument overload imposes no constraint.
 class Solver {
  public:
   virtual ~Solver() = default;
 
-  /// Solve the instance; the graph must be finalized and source != sink.
-  virtual FlowResult solve(const graph::FlowProblem& problem) const = 0;
+  /// Solve the instance; the graph must be finalized, source != sink, and
+  /// all capacities finite and non-negative (else std::invalid_argument).
+  FlowResult solve(const graph::FlowProblem& problem) const {
+    return solve(problem, util::SolveControl{});
+  }
+
+  /// Deadline-aware, cancellable solve.  On stop, returns early with
+  /// result.status set (never throws for deadline/cancel); cancellation
+  /// latency is bounded by a few hundred inner-loop operations.
+  virtual FlowResult solve(const graph::FlowProblem& problem,
+                           const util::SolveControl& control) const = 0;
 
   /// Human-readable algorithm name for bench tables.
   virtual std::string name() const = 0;

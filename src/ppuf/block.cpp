@@ -141,8 +141,9 @@ std::vector<double> sweep_current(SweepCircuit& circuit,
     circuit.netlist.set_voltage(circuit.sweep_source, v);
     circuit::OperatingPoint op = solver.solve(have_prev ? &prev : nullptr);
     if (!op.converged)
-      throw std::runtime_error("sweep_current: DC solve failed at V=" +
-                               std::to_string(v));
+      throw circuit::ConvergenceError(
+          "sweep_current: DC solve failed at V=" + std::to_string(v),
+          op.diagnostics);
     currents.push_back(op.source_current(circuit.sweep_source));
     prev = op;
     have_prev = true;
@@ -180,40 +181,21 @@ BlockCurve characterize_block(const PpufParams& params,
   const std::size_t zero_index = static_cast<std::size_t>(
       std::find(grid.begin(), grid.end(), 0.0) - grid.begin());
 
-  double prev_voltage = 0.0;
   auto run = [&](std::size_t index, const circuit::OperatingPoint* warm) {
     const double target = grid[index];
     sc.netlist.set_voltage(sc.sweep_source, target);
+    // The solver's built-in recovery ladder (gmin stepping -> source
+    // stepping -> tightened damping) replaces the ad-hoc continuation this
+    // call site used to carry; the rare Monte Carlo corner the plain solve
+    // cannot reach in one hop now escalates inside DcSolver and reports
+    // which rung saved it.
     circuit::OperatingPoint op = solver.solve(warm);
-    if (!op.converged && warm != nullptr) {
-      // Source stepping: ramp from the last converged sweep voltage in
-      // small increments — the classic continuation for the rare Monte
-      // Carlo corner the plain solve cannot reach in one hop.
-      op = *warm;
-      constexpr int kSteps = 16;
-      for (int k = 1; k <= kSteps && op.converged; ++k) {
-        const double v = prev_voltage +
-                         (target - prev_voltage) * k / kSteps;
-        sc.netlist.set_voltage(sc.sweep_source, v);
-        op = solver.solve(&op);
-      }
-    }
-    if (!op.converged) {
-      // Last resort: heavily damped Newton (tiny step limit, generous
-      // iteration budget).  Slow but essentially monotone for these
-      // incrementally-passive stacks.
-      circuit::DcOptions tight = opts;
-      tight.step_limit = 0.02;
-      tight.max_iterations = 5000;
-      sc.netlist.set_voltage(sc.sweep_source, target);
-      op = circuit::DcSolver(sc.netlist, tight)
-               .solve(warm != nullptr ? warm : nullptr);
-    }
     if (!op.converged)
-      throw std::runtime_error("characterize_block: DC solve failed at V=" +
-                               std::to_string(target));
+      throw circuit::ConvergenceError(
+          "characterize_block: DC solve failed at V=" +
+              std::to_string(target),
+          op.diagnostics);
     currents[index] = op.source_current(sc.sweep_source);
-    prev_voltage = target;
     return op;
   };
 
@@ -222,7 +204,6 @@ BlockCurve characterize_block(const PpufParams& params,
   for (std::size_t i = zero_index + 1; i < grid.size(); ++i)
     prev = run(i, &prev);
   prev = at_zero;
-  prev_voltage = 0.0;
   for (std::size_t i = zero_index; i-- > 0;) prev = run(i, &prev);
 
   // Numerical noise can leave microscopic non-monotonicity (< fA) between

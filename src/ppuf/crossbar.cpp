@@ -81,6 +81,7 @@ CrossbarNetwork::Execution CrossbarNetwork::execute(
   out.source_current = dc.source_current;
   out.newton_iterations = dc.iterations;
   out.converged = dc.converged;
+  out.diagnostics = dc.diagnostics;
   return out;
 }
 
@@ -90,6 +91,10 @@ std::vector<double> CrossbarNetwork::execute_edge_currents(
   select_curves(challenge);
   const NetworkSolver::DcResult dc = solver_->solve_dc(
       challenge.source, challenge.sink, params_.vs * env.vdd_scale);
+  if (!dc.converged) {
+    throw circuit::ConvergenceError(
+        "execute_edge_currents: DC solve failed", dc.diagnostics);
+  }
   return solver_->edge_currents(dc.node_voltage);
 }
 

@@ -47,6 +47,8 @@ class CrossbarNetwork {
     double source_current = 0.0;  ///< steady-state current into the source
     int newton_iterations = 0;
     bool converged = false;
+    /// Recovery-ladder trace of the underlying DC solve.
+    circuit::SolveDiagnostics diagnostics;
   };
 
   /// Solve the steady state for a challenge (implicitly prepares `env`).

@@ -1,10 +1,13 @@
 #include "ppuf/network_solver.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "numeric/cholesky.hpp"
 #include "numeric/lu.hpp"
+#include "util/fault_hooks.hpp"
 
 namespace ppuf {
 
@@ -75,25 +78,16 @@ std::vector<double> NetworkSolver::edge_currents(
   return out;
 }
 
-NetworkSolver::DcResult NetworkSolver::solve_dc(
-    graph::VertexId source, graph::VertexId sink, double vs,
-    const numeric::Vector* warm) const {
-  if (source >= n_ || sink >= n_ || source == sink)
-    throw std::invalid_argument("NetworkSolver::solve_dc: bad source/sink");
-
-  std::vector<std::size_t> unknown_index(n_, kPinned);
+NetworkSolver::NewtonOutcome NetworkSolver::run_newton(
+    graph::VertexId source, graph::VertexId sink, numeric::Vector& v,
+    const Options& opts, const std::vector<std::size_t>& unknown_index)
+    const {
   std::size_t m = 0;
   for (graph::VertexId u = 0; u < n_; ++u) {
-    if (u != source && u != sink) unknown_index[u] = m++;
+    if (unknown_index[u] != kPinned) ++m;
   }
 
-  numeric::Vector v(n_, 0.5 * vs);
-  if (warm != nullptr && warm->size() == n_) v = *warm;
-  v[source] = vs;
-  v[sink] = 0.0;
-
-  DcResult out;
-  out.node_voltage = v;
+  NewtonOutcome out;
 
   numeric::Vector residual(m, 0.0);
   numeric::Matrix lap(m, m);
@@ -107,16 +101,16 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
     for (graph::VertexId u = 0; u < n_; ++u) {
       const std::size_t idx = unknown_index[u];
       if (idx == kPinned) continue;
-      const double ri = (r[idx] + options_.gmin * volts[u]) * 1e9;
+      const double ri = (r[idx] + opts.gmin * volts[u]) * 1e9;
       s += ri * ri;
     }
     return s;
   };
   const double merit_floor =
-      static_cast<double>(m) * (options_.current_tol * 1e9) *
-      (options_.current_tol * 1e9);
+      static_cast<double>(m) * (opts.current_tol * 1e9) *
+      (opts.current_tol * 1e9);
 
-  for (int iter = 1; iter <= options_.max_iterations; ++iter) {
+  for (int iter = 1; iter <= opts.max_iterations; ++iter) {
     residual.assign(m, 0.0);
     lap.fill(0.0);
     assemble(v, source, sink, &residual, &lap, unknown_index);
@@ -125,10 +119,11 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
     for (graph::VertexId u = 0; u < n_; ++u) {
       const std::size_t idx = unknown_index[u];
       if (idx == kPinned) continue;
-      residual[idx] += options_.gmin * v[u];
-      lap(idx, idx) += options_.gmin;
+      residual[idx] += opts.gmin * v[u];
+      lap(idx, idx) += opts.gmin;
       res_norm = std::max(res_norm, std::abs(residual[idx]));
     }
+    out.residual = res_norm;
 
     numeric::Vector rhs(m);
     for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
@@ -144,7 +139,7 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
 
     const double max_dv = numeric::norm_inf(dx);
     out.iterations = iter;
-    if (max_dv < options_.voltage_tol && res_norm < options_.current_tol) {
+    if (max_dv < opts.voltage_tol && res_norm < opts.current_tol) {
       out.converged = true;
       break;
     }
@@ -153,7 +148,7 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
     // contributes (almost) no conductance, so the raw Newton step can
     // overshoot across the knee and oscillate.
     double alpha =
-        max_dv > options_.step_limit ? options_.step_limit / max_dv : 1.0;
+        max_dv > opts.step_limit ? opts.step_limit / max_dv : 1.0;
     for (int bt = 0; bt < 16; ++bt) {
       v_trial = v;
       for (graph::VertexId u = 0; u < n_; ++u) {
@@ -172,9 +167,121 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
     v = v_trial;
   }
 
+  return out;
+}
+
+NetworkSolver::DcResult NetworkSolver::solve_dc(
+    graph::VertexId source, graph::VertexId sink, double vs,
+    const numeric::Vector* warm) const {
+  if (source >= n_ || sink >= n_ || source == sink)
+    throw std::invalid_argument("NetworkSolver::solve_dc: bad source/sink");
+
+  std::vector<std::size_t> unknown_index(n_, kPinned);
+  std::size_t m = 0;
+  for (graph::VertexId u = 0; u < n_; ++u) {
+    if (u != source && u != sink) unknown_index[u] = m++;
+  }
+
+  numeric::Vector v0(n_, 0.5 * vs);
+  if (warm != nullptr && warm->size() == n_) v0 = *warm;
+  v0[source] = vs;
+  v0[sink] = 0.0;
+
+  DcResult out;
+  util::FaultHooks& hooks = util::FaultHooks::instance();
+
+  auto record = [&](circuit::RecoveryStage stage, const NewtonOutcome& r) {
+    circuit::StageAttempt attempt;
+    attempt.stage = stage;
+    attempt.iterations = r.iterations;
+    attempt.residual = r.residual;
+    attempt.converged = r.converged;
+    out.diagnostics.stages.push_back(attempt);
+    out.diagnostics.strategy = stage;
+    out.diagnostics.total_iterations += r.iterations;
+    out.diagnostics.final_residual = r.residual;
+    out.diagnostics.converged = r.converged;
+    return r.converged;
+  };
+
+  // Rung 1: direct damped Newton from the warm/flat initial guess.  The
+  // fault harness can cap this rung's iteration budget to force the ladder
+  // to engage deterministically.
+  Options direct = options_;
+  const int direct_cap =
+      hooks.newton_direct_iteration_cap.load(std::memory_order_relaxed);
+  if (direct_cap > 0)
+    direct.max_iterations = std::min(direct.max_iterations, direct_cap);
+  numeric::Vector v = v0;
+  bool done = record(circuit::RecoveryStage::kDirect,
+                     run_newton(source, sink, v, direct, unknown_index));
+
+  if (!done && options_.enable_recovery) {
+    // Rung 2: gmin stepping.  A large shunt conductance makes the Jacobian
+    // strongly diagonally dominant and the problem nearly linear; walking
+    // it back down by decades drags the solution along the homotopy path.
+    if (!hooks.newton_skip_gmin_stage.load(std::memory_order_relaxed)) {
+      numeric::Vector vg = v0;
+      NewtonOutcome combined;
+      Options stepped = options_;
+      for (double g = 1e-3; g > options_.gmin; g *= 0.1) {
+        stepped.gmin = g;
+        const NewtonOutcome r =
+            run_newton(source, sink, vg, stepped, unknown_index);
+        combined.iterations += r.iterations;
+        if (g < 1e-12) break;  // safety: never loop past a tiny user gmin
+      }
+      stepped.gmin = options_.gmin;
+      const NewtonOutcome fin =
+          run_newton(source, sink, vg, stepped, unknown_index);
+      combined.iterations += fin.iterations;
+      combined.residual = fin.residual;
+      combined.converged = fin.converged;
+      done = record(circuit::RecoveryStage::kGminStepping, combined);
+      if (done) v = vg;
+    }
+
+    // Rung 3: source stepping.  Ramp the pinned source voltage from a
+    // fraction of vs to the full value, warm-starting each step — the
+    // classic homotopy when the operating point is far from any flat
+    // initial guess.
+    if (!done) {
+      constexpr int kRampSteps = 8;
+      numeric::Vector vr(n_, 0.0);
+      vr[sink] = 0.0;
+      NewtonOutcome combined;
+      NewtonOutcome last;
+      for (int s = 1; s <= kRampSteps; ++s) {
+        const double level = vs * static_cast<double>(s) / kRampSteps;
+        vr[source] = level;
+        last = run_newton(source, sink, vr, options_, unknown_index);
+        combined.iterations += last.iterations;
+      }
+      combined.residual = last.residual;
+      combined.converged = last.converged;
+      done = record(circuit::RecoveryStage::kSourceStepping, combined);
+      if (done) v = vr;
+    }
+
+    // Rung 4: tightened damping.  Shrink the step clamp hard and give the
+    // solver a much larger iteration budget — slow but steady for curves
+    // whose knees make the full-step iteration oscillate.
+    if (!done) {
+      Options tight = options_;
+      tight.step_limit = std::max(options_.step_limit / 16.0, 0.01);
+      tight.max_iterations = std::max(options_.max_iterations * 10, 2000);
+      numeric::Vector vt = v0;
+      done = record(circuit::RecoveryStage::kTightenedDamping,
+                    run_newton(source, sink, vt, tight, unknown_index));
+      if (done) v = vt;
+    }
+  }
+
+  out.converged = done;
+  out.iterations = out.diagnostics.total_iterations;
   // Report the source current at the final voltages.
-  out.source_current = assemble(v, source, sink, nullptr, nullptr,
-                                unknown_index);
+  out.source_current =
+      assemble(v, source, sink, nullptr, nullptr, unknown_index);
   out.node_voltage = v;
   return out;
 }
@@ -186,8 +293,10 @@ NetworkSolver::TransientResult NetworkSolver::solve_transient(
   if (node_capacitance.size() != n_)
     throw std::invalid_argument("solve_transient: capacitance size");
   const DcResult final_state = solve_dc(source, sink, vs);
-  if (!final_state.converged)
-    throw std::runtime_error("solve_transient: DC pre-solve failed");
+  if (!final_state.converged) {
+    throw circuit::ConvergenceError("solve_transient: DC pre-solve failed",
+                                    final_state.diagnostics);
+  }
 
   std::vector<std::size_t> unknown_index(n_, kPinned);
   std::size_t m = 0;
@@ -220,6 +329,8 @@ NetworkSolver::TransientResult NetworkSolver::solve_transient(
   const double g_dt = 1.0 / topt.dt;
   for (double t = topt.dt; t <= topt.t_end + 0.5 * topt.dt; t += topt.dt) {
     bool converged = false;
+    double last_res_norm = 0.0;
+    int iters_used = 0;
     for (int iter = 0; iter < options_.max_iterations; ++iter) {
       residual.assign(m, 0.0);
       jac.fill(0.0);
@@ -233,6 +344,8 @@ NetworkSolver::TransientResult NetworkSolver::solve_transient(
         jac(idx, idx) += gc + options_.gmin;
         res_norm = std::max(res_norm, std::abs(residual[idx]));
       }
+      last_res_norm = res_norm;
+      iters_used = iter + 1;
       numeric::Vector rhs(m);
       for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
       numeric::Vector dx;
@@ -255,8 +368,26 @@ NetworkSolver::TransientResult NetworkSolver::solve_transient(
         break;
       }
     }
-    if (!converged)
-      throw std::runtime_error("solve_transient: Newton failed at a step");
+    if (!converged) {
+      // Per-step Newton has no recovery ladder (the step itself is the
+      // continuation parameter), so synthesize a one-stage diagnostics
+      // record naming the failing time point.
+      circuit::SolveDiagnostics diag;
+      circuit::StageAttempt attempt;
+      attempt.stage = circuit::RecoveryStage::kDirect;
+      attempt.iterations = iters_used;
+      attempt.residual = last_res_norm;
+      attempt.converged = false;
+      diag.stages.push_back(attempt);
+      diag.strategy = circuit::RecoveryStage::kDirect;
+      diag.total_iterations = iters_used;
+      diag.final_residual = last_res_norm;
+      diag.converged = false;
+      throw circuit::ConvergenceError(
+          "solve_transient: Newton failed at t = " + std::to_string(t) +
+              " s",
+          diag);
+    }
     v_prev = v;
     out.time.push_back(t);
     out.source_current.push_back(

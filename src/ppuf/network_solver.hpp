@@ -13,6 +13,7 @@
 
 #include <vector>
 
+#include "circuit/solve_diagnostics.hpp"
 #include "graph/digraph.hpp"
 #include "numeric/matrix.hpp"
 #include "ppuf/compact.hpp"
@@ -27,6 +28,10 @@ class NetworkSolver {
     double current_tol = 1e-14;  ///< convergence on max node KCL error [A]
     double step_limit = 0.4;     ///< Newton step clamp [V]
     double gmin = 1e-12;         ///< node-to-ground conductance [S]
+    /// When the direct Newton attempt fails, escalate through the recovery
+    /// ladder (gmin stepping -> source stepping -> tightened damping)
+    /// instead of returning non-converged immediately.
+    bool enable_recovery = true;
   };
 
   /// `edge_curves[e]` is the active compact curve of the directed edge with
@@ -48,8 +53,11 @@ class NetworkSolver {
   struct DcResult {
     numeric::Vector node_voltage;  ///< size n, source/sink values included
     double source_current = 0.0;   ///< net current out of the source node
-    int iterations = 0;
+    int iterations = 0;            ///< total across all recovery stages
     bool converged = false;
+    /// Which recovery stages ran, how hard each worked, and where the
+    /// solve ended up — never a silent bool.
+    circuit::SolveDiagnostics diagnostics;
   };
 
   /// Branch currents at the given node voltages, indexed by edge id (the
@@ -90,6 +98,19 @@ class NetworkSolver {
                                   const TransientOptions& topt) const;
 
  private:
+  struct NewtonOutcome {
+    int iterations = 0;
+    double residual = 0.0;
+    bool converged = false;
+  };
+
+  /// One damped-Newton run with the given options, updating `v` in place
+  /// (pinned entries must already hold their boundary values).
+  NewtonOutcome run_newton(graph::VertexId source, graph::VertexId sink,
+                           numeric::Vector& v, const Options& opts,
+                           const std::vector<std::size_t>& unknown_index)
+      const;
+
   /// Evaluate all branch currents/conductances at the voltage vector and
   /// accumulate KCL residual + Laplacian; returns the source current.
   double assemble(const numeric::Vector& v, graph::VertexId source,

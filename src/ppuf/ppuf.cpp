@@ -48,6 +48,8 @@ MaxFlowPpuf::Evaluation MaxFlowPpuf::evaluate(const Challenge& challenge,
   out.current_a = a.source_current;
   out.current_b = b.source_current;
   out.converged = a.converged && b.converged;
+  out.diagnostics_a = a.diagnostics;
+  out.diagnostics_b = b.diagnostics;
   double margin = a.source_current - b.source_current + comparator_offset_;
   if (noise_rng != nullptr)
     margin += noise_rng->gaussian(0.0, params_.comparator_noise_sigma);

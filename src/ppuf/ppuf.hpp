@@ -34,6 +34,10 @@ class MaxFlowPpuf {
     double current_a = 0.0;  ///< steady-state source current, network A [A]
     double current_b = 0.0;  ///< network B [A]
     bool converged = false;
+    /// Recovery-ladder traces of the two network solves — when converged
+    /// is false these say which stages were tried and how far they got.
+    circuit::SolveDiagnostics diagnostics_a;
+    circuit::SolveDiagnostics diagnostics_b;
   };
 
   /// Execute one challenge.  `noise_rng`, when provided, adds the

@@ -102,10 +102,22 @@ SimulationModel SimulationModel::load(std::istream& is) {
 }
 
 SimulationModel::Prediction SimulationModel::predict(
-    const Challenge& challenge, maxflow::Algorithm algorithm) const {
+    const Challenge& challenge, maxflow::Algorithm algorithm,
+    const util::SolveControl& control) const {
   Prediction p;
-  p.flow_a = predicted_flow(0, challenge, algorithm);
-  p.flow_b = predicted_flow(1, challenge, algorithm);
+  const auto solver = maxflow::make_solver(algorithm);
+  for (int net = 0; net < 2; ++net) {
+    const graph::Digraph g = build_graph(net, challenge);
+    const auto r =
+        solver->solve({&g, challenge.source, challenge.sink}, control);
+    (net == 0 ? p.flow_a : p.flow_b) = r.value;
+    if (!r.ok()) {
+      // A stopped solve proves nothing about either network: surface the
+      // typed status and leave the bit at its default.
+      p.status = r.status;
+      return p;
+    }
+  }
   p.bit = (p.flow_a - p.flow_b + comparator_offset_) > 0.0 ? 1 : 0;
   return p;
 }

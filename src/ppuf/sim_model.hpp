@@ -15,6 +15,7 @@
 #include "graph/digraph.hpp"
 #include "maxflow/solver.hpp"
 #include "ppuf/ppuf.hpp"
+#include "util/status.hpp"
 
 namespace ppuf {
 
@@ -53,13 +54,21 @@ class SimulationModel {
     int bit = 0;
     double flow_a = 0.0;
     double flow_b = 0.0;
+    /// kOk normally; kDeadlineExceeded / kCancelled when `control` stopped a
+    /// solve, in which case `bit` is meaningless and the flows are partial.
+    util::Status status;
+
+    bool ok() const { return status.is_ok(); }
   };
 
   /// Predicted response: compare the two max-flow values through the
-  /// published comparator offset.
+  /// published comparator offset.  `control` bounds the two max-flow
+  /// solves; on stop the returned Prediction carries the typed status
+  /// instead of a response bit.
   Prediction predict(const Challenge& challenge,
                      maxflow::Algorithm algorithm =
-                         maxflow::Algorithm::kPushRelabel) const;
+                         maxflow::Algorithm::kPushRelabel,
+                     const util::SolveControl& control = {}) const;
 
   double comparator_offset() const { return comparator_offset_; }
 

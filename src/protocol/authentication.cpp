@@ -1,10 +1,52 @@
 #include "protocol/authentication.hpp"
 
 #include <chrono>
+#include <cmath>
+#include <string>
 
 #include "maxflow/verify.hpp"
 
 namespace ppuf::protocol {
+
+namespace {
+
+/// Cheap shape checks on an untrusted report, done before anything touches
+/// its vectors.  Returns the first problem found, empty when well-formed.
+/// The verifier must reject — never throw or index out of bounds — on a
+/// malformed report: the prover is an adversary, not a caller.
+std::string report_shape_error(const ProverReport& report) {
+  if (report.bit != 0 && report.bit != 1)
+    return "malformed report: bit not in {0, 1}";
+  if (!std::isfinite(report.flow_a))
+    return "malformed report: flow_a not finite";
+  if (!std::isfinite(report.flow_b))
+    return "malformed report: flow_b not finite";
+  if (!std::isfinite(report.elapsed_seconds) ||
+      report.elapsed_seconds < 0.0) {
+    return "malformed report: elapsed_seconds negative or not finite";
+  }
+  return {};
+}
+
+/// Per-network checks that need the graph: claimed flow vector must match
+/// the edge count and contain only finite entries.
+std::string flow_vector_error(const graph::Digraph& g,
+                              const std::vector<double>& flow,
+                              const char* which) {
+  if (flow.size() != g.edge_count()) {
+    return std::string("malformed report: ") + which + " has " +
+           std::to_string(flow.size()) + " entries, graph has " +
+           std::to_string(g.edge_count()) + " edges";
+  }
+  for (const double f : flow) {
+    if (!std::isfinite(f))
+      return std::string("malformed report: ") + which +
+             " contains a non-finite flow";
+  }
+  return {};
+}
+
+}  // namespace
 
 Verifier::Verifier(const SimulationModel& model, double deadline_seconds,
                    double flow_tolerance, unsigned verify_threads)
@@ -21,6 +63,9 @@ AuthenticationResult Verifier::verify(const Challenge& challenge,
                                       const ProverReport& report) const {
   AuthenticationResult result;
 
+  result.detail = report_shape_error(report);
+  if (!result.detail.empty()) return result;
+
   result.in_time = report.elapsed_seconds <= deadline_;
   if (!result.in_time) {
     result.detail = "deadline exceeded";
@@ -30,13 +75,24 @@ AuthenticationResult Verifier::verify(const Challenge& challenge,
   // Residual-graph verification (cheap, parallelizable): feasibility plus
   // no remaining augmenting path, per network.
   for (int net = 0; net < 2; ++net) {
+    const char* label = net == 0 ? "network A: " : "network B: ";
+    const char* which = net == 0 ? "edge_flow_a" : "edge_flow_b";
     const auto& flow = net == 0 ? report.edge_flow_a : report.edge_flow_b;
     const graph::Digraph g = model_.build_graph(net, challenge);
-    const maxflow::VerifyResult v = maxflow::verify_flow(
-        g, challenge.source, challenge.sink, flow, tolerance_, threads_);
-    if (!v.optimal) {
-      result.detail = std::string(net == 0 ? "network A: " : "network B: ") +
-                      v.reason;
+    const std::string shape = flow_vector_error(g, flow, which);
+    if (!shape.empty()) {
+      result.detail = label + shape;
+      return result;
+    }
+    try {
+      const maxflow::VerifyResult v = maxflow::verify_flow(
+          g, challenge.source, challenge.sink, flow, tolerance_, threads_);
+      if (!v.optimal) {
+        result.detail = label + v.reason;
+        return result;
+      }
+    } catch (const std::exception& e) {
+      result.detail = label + std::string("verification error: ") + e.what();
       return result;
     }
   }
@@ -76,13 +132,27 @@ namespace {
 bool round_flows_ok(const SimulationModel& model, const Challenge& challenge,
                     const ProverReport& report, double tolerance,
                     unsigned threads, std::string* why) {
+  *why = report_shape_error(report);
+  if (!why->empty()) return false;
   for (int net = 0; net < 2; ++net) {
+    const char* label = net == 0 ? "network A: " : "network B: ";
+    const char* which = net == 0 ? "edge_flow_a" : "edge_flow_b";
     const auto& flow = net == 0 ? report.edge_flow_a : report.edge_flow_b;
     const graph::Digraph g = model.build_graph(net, challenge);
-    const maxflow::VerifyResult v = maxflow::verify_flow(
-        g, challenge.source, challenge.sink, flow, tolerance, threads);
-    if (!v.optimal) {
-      *why = std::string(net == 0 ? "network A: " : "network B: ") + v.reason;
+    const std::string shape = flow_vector_error(g, flow, which);
+    if (!shape.empty()) {
+      *why = label + shape;
+      return false;
+    }
+    try {
+      const maxflow::VerifyResult v = maxflow::verify_flow(
+          g, challenge.source, challenge.sink, flow, tolerance, threads);
+      if (!v.optimal) {
+        *why = label + v.reason;
+        return false;
+      }
+    } catch (const std::exception& e) {
+      *why = label + std::string("verification error: ") + e.what();
       return false;
     }
   }
@@ -108,6 +178,20 @@ ChainedVerifyResult verify_chain(const Verifier& verifier,
   if (report.rounds.size() != k || k == 0) {
     result.detail = "wrong round count";
     return result;
+  }
+  if (!std::isfinite(report.elapsed_seconds) ||
+      report.elapsed_seconds < 0.0) {
+    result.detail = "malformed report: elapsed_seconds negative or not finite";
+    return result;
+  }
+  // Every round's bit feeds the challenge-chain derivation below, so all
+  // of them must be well-formed even when only a subset is spot-checked.
+  for (std::size_t i = 0; i < k; ++i) {
+    if (report.rounds[i].bit != 0 && report.rounds[i].bit != 1) {
+      result.detail =
+          "round " + std::to_string(i) + ": malformed report: bit not in {0, 1}";
+      return result;
+    }
   }
 
   result.in_time = report.elapsed_seconds <= verifier.deadline_seconds();
@@ -171,12 +255,25 @@ ChainedReport prove_chain_with_ppuf(MaxFlowPpuf& instance,
 ChainedReport prove_chain_by_simulation(const SimulationModel& model,
                                         const Challenge& first, std::size_t k,
                                         std::uint64_t protocol_nonce,
-                                        maxflow::Algorithm algorithm) {
+                                        maxflow::Algorithm algorithm,
+                                        const util::SolveControl& control) {
   const auto t0 = std::chrono::steady_clock::now();
+  util::StopCheck stop(control, /*stride=*/1);
   ChainedReport report;
   Challenge c = first;
   for (std::size_t i = 0; i < k; ++i) {
-    report.rounds.push_back(prove_by_simulation(model, c, algorithm));
+    if (stop.should_stop()) {
+      report.status = stop.status("prove_chain_by_simulation");
+      break;
+    }
+    report.rounds.push_back(
+        prove_by_simulation(model, c, algorithm, control));
+    if (!report.rounds.back().status.is_ok()) {
+      // The round itself ran out of budget; surface its reason and stop —
+      // later rounds depend on this one's response anyway.
+      report.status = report.rounds.back().status;
+      break;
+    }
     if (i + 1 < k) {
       c = next_challenge(model.layout(), c, report.rounds.back().bit,
                          protocol_nonce);
@@ -190,20 +287,27 @@ ChainedReport prove_chain_by_simulation(const SimulationModel& model,
 
 ProverReport prove_by_simulation(const SimulationModel& model,
                                  const Challenge& challenge,
-                                 maxflow::Algorithm algorithm) {
+                                 maxflow::Algorithm algorithm,
+                                 const util::SolveControl& control) {
   const auto t0 = std::chrono::steady_clock::now();
   const auto solver = maxflow::make_solver(algorithm);
   ProverReport r;
   for (int net = 0; net < 2; ++net) {
     const graph::Digraph g = model.build_graph(net, challenge);
     const graph::FlowProblem problem{&g, challenge.source, challenge.sink};
-    const maxflow::FlowResult flow = solver->solve(problem);
+    const maxflow::FlowResult flow = solver->solve(problem, control);
     if (net == 0) {
       r.flow_a = flow.value;
       r.edge_flow_a = flow.edge_flow;
     } else {
       r.flow_b = flow.value;
       r.edge_flow_b = flow.edge_flow;
+    }
+    if (!flow.ok()) {
+      // Partial flows are kept for inspection, but the typed status tells
+      // the caller this report cannot pass verification.
+      r.status = flow.status;
+      break;
     }
   }
   r.bit = (r.flow_a - r.flow_b + model.comparator_offset()) > 0.0 ? 1 : 0;

@@ -21,6 +21,7 @@
 #include "maxflow/solver.hpp"
 #include "ppuf/feedback.hpp"
 #include "ppuf/sim_model.hpp"
+#include "util/status.hpp"
 
 namespace ppuf::protocol {
 
@@ -32,6 +33,10 @@ struct ProverReport {
   std::vector<double> edge_flow_a;  ///< claimed flow function, network A
   std::vector<double> edge_flow_b;  ///< network B
   double elapsed_seconds = 0.0;     ///< prover's claimed/measured time
+  /// Prover-side outcome: non-ok when the prover's own solve was cancelled
+  /// or timed out (the verifier never trusts this field — it re-checks
+  /// everything).
+  util::Status status;
 };
 
 struct AuthenticationResult {
@@ -77,11 +82,14 @@ ProverReport prove_with_ppuf(MaxFlowPpuf& instance,
                              double modelled_delay_seconds);
 
 /// Impersonator: solves the two max-flow problems from the public model;
-/// elapsed time is real wall-clock.
+/// elapsed time is real wall-clock.  `control` bounds the simulation: when
+/// it fires, the report comes back partial with a typed status instead of
+/// hanging past the caller's budget.
 ProverReport prove_by_simulation(const SimulationModel& model,
                                  const Challenge& challenge,
                                  maxflow::Algorithm algorithm =
-                                     maxflow::Algorithm::kPushRelabel);
+                                     maxflow::Algorithm::kPushRelabel,
+                                 const util::SolveControl& control = {});
 
 // --- Chained (feedback-loop) authentication -------------------------------
 //
@@ -94,6 +102,9 @@ ProverReport prove_by_simulation(const SimulationModel& model,
 struct ChainedReport {
   std::vector<ProverReport> rounds;  ///< one report per round, in order
   double elapsed_seconds = 0.0;      ///< total prover time for the chain
+  /// Non-ok when the prover stopped early (cancelled / out of budget);
+  /// `rounds` then holds only the rounds finished before the stop.
+  util::Status status;
 };
 
 struct ChainedVerifyResult {
@@ -121,10 +132,14 @@ ChainedReport prove_chain_with_ppuf(MaxFlowPpuf& instance,
                                     double modelled_delay_seconds);
 
 /// Impersonator: simulates the chain sequentially (wall-clock measured).
+/// `control` is checked between rounds; on expiry the report returns with
+/// the rounds finished so far and a typed status.
 ChainedReport prove_chain_by_simulation(const SimulationModel& model,
                                         const Challenge& first, std::size_t k,
                                         std::uint64_t protocol_nonce,
                                         maxflow::Algorithm algorithm =
-                                            maxflow::Algorithm::kPushRelabel);
+                                            maxflow::Algorithm::kPushRelabel,
+                                        const util::SolveControl& control =
+                                            {});
 
 }  // namespace ppuf::protocol

@@ -1,0 +1,84 @@
+// Deterministic fault-injection harness.
+//
+// Robustness claims are only as good as the failures they were tested
+// against, and the interesting failures here — Newton stalls, poisoned
+// capacities, late provers — are rare in healthy instances.  This harness
+// manufactures them on demand, seeded so every corrupted input is
+// bit-for-bit reproducible:
+//
+//   - ScopedFaultInjection arms the process-wide util::FaultHooks (the tiny
+//     atomic hook points the solvers consult) and restores a clean slate on
+//     scope exit, so a failing test cannot leak faults into the next one;
+//   - FaultInjector derives corrupted copies of real inputs: perturbed
+//     device parameters, NaN/inf capacities, delayed prover reports.
+//
+// The harness lives above every subsystem it corrupts; production code
+// never links it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/netlist.hpp"
+#include "graph/digraph.hpp"
+#include "protocol/authentication.hpp"
+#include "util/fault_hooks.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::testing {
+
+/// Declarative description of the process-wide hooks to arm.
+struct FaultSpec {
+  /// >0: cap the iteration budget of the *direct* Newton rung, forcing the
+  /// recovery ladder to engage deterministically.
+  int newton_direct_iteration_cap = 0;
+  /// Skip the gmin-stepping rung so a test can pin which deeper rung
+  /// recovers.
+  bool newton_skip_gmin_stage = false;
+  /// The next N batch solve attempts fail with util::TransientError.
+  int maxflow_transient_failures = 0;
+};
+
+/// RAII arming of util::FaultHooks.  Restores an all-clear state on
+/// destruction, including on exceptions and test assertion unwinds.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(const FaultSpec& spec);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+};
+
+/// Seeded source of corrupted-but-reproducible inputs.
+class FaultInjector {
+ public:
+  explicit FaultInjector(std::uint64_t seed) : rng_(seed) {}
+
+  /// `count` distinct indices in [0, size), deterministic in the seed.
+  std::vector<std::size_t> pick_indices(std::size_t size, std::size_t count);
+
+  /// Copy of `netlist` with every MOSFET threshold shifted by a gaussian
+  /// draw of stddev `vth_sigma` volts and every resistor scaled by
+  /// (1 + gaussian(0, resistor_rel_sigma)).
+  circuit::Netlist perturb_devices(const circuit::Netlist& netlist,
+                                   double vth_sigma,
+                                   double resistor_rel_sigma);
+
+  /// Copy of `g` with the capacity of each listed edge replaced by
+  /// `poison` (NaN and +inf are the interesting values — Digraph already
+  /// rejects negatives at the API boundary).
+  graph::Digraph corrupt_capacities(const graph::Digraph& g,
+                                    const std::vector<graph::EdgeId>& edges,
+                                    double poison);
+
+  /// The report a too-slow prover would send: same claims, elapsed time
+  /// pushed past whatever it was by `delay_seconds`.
+  static protocol::ProverReport delay_report(protocol::ProverReport report,
+                                             double delay_seconds);
+
+ private:
+  util::Rng rng_;
+};
+
+}  // namespace ppuf::testing

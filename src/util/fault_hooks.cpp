@@ -1,0 +1,10 @@
+#include "util/fault_hooks.hpp"
+
+namespace ppuf::util {
+
+FaultHooks& FaultHooks::instance() {
+  static FaultHooks hooks;
+  return hooks;
+}
+
+}  // namespace ppuf::util

@@ -1,0 +1,63 @@
+// Process-wide fault-injection hook points.
+//
+// The deterministic fault harness (src/testing/fault_injection.*) needs to
+// reach *inside* the solvers — e.g. starve the direct Newton stage so the
+// recovery ladder provably fires, or make a batch worker fail transiently so
+// the retry path is exercised.  Those layers must not link against the test
+// harness, so the hooks live here, at the bottom of the dependency graph:
+// a handful of atomics the solvers consult with one relaxed load each.
+//
+// All hooks default to "inactive" (zero); production code never arms them.
+// Arm/disarm through testing::ScopedFaultInjection, which restores the
+// previous state on scope exit.  Hooks are intentionally crude knobs — the
+// richer, seeded corruption (device parameters, NaN capacities, delayed
+// reports) is pure-function work in the harness itself and needs no hooks.
+#pragma once
+
+#include <atomic>
+
+namespace ppuf::util {
+
+struct FaultHooks {
+  /// > 0: cap the *direct* Newton stage (circuit::DcSolver and
+  /// ppuf::NetworkSolver) at this many iterations, forcing a stall that
+  /// only the recovery ladder can clear.  Ladder stages are unaffected.
+  std::atomic<int> newton_direct_iteration_cap{0};
+
+  /// true: skip the gmin-stepping rung so a forced stall escalates to
+  /// source stepping / tightened damping (lets tests pin the deeper rungs).
+  std::atomic<bool> newton_skip_gmin_stage{false};
+
+  /// > 0: countdown of batch solve attempts that throw util::TransientError
+  /// before doing any work (exercises solve_batch's bounded retry).
+  std::atomic<int> maxflow_transient_failures{0};
+
+  static FaultHooks& instance();
+
+  bool any_newton_fault() const {
+    return newton_direct_iteration_cap.load(std::memory_order_relaxed) > 0 ||
+           newton_skip_gmin_stage.load(std::memory_order_relaxed);
+  }
+
+  /// Atomically consume one injected transient failure; true when the
+  /// calling solve attempt should fail.
+  static bool consume_transient_failure() {
+    auto& counter = instance().maxflow_transient_failures;
+    int n = counter.load(std::memory_order_relaxed);
+    while (n > 0) {
+      if (counter.compare_exchange_weak(n, n - 1,
+                                        std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void reset() {
+    newton_direct_iteration_cap.store(0, std::memory_order_relaxed);
+    newton_skip_gmin_stage.store(false, std::memory_order_relaxed);
+    maxflow_transient_failures.store(0, std::memory_order_relaxed);
+  }
+};
+
+}  // namespace ppuf::util

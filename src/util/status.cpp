@@ -1,0 +1,62 @@
+#include "util/status.hpp"
+
+#include <limits>
+
+namespace ppuf::util {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string s = status_code_name(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+Deadline Deadline::after_seconds(double seconds) {
+  Deadline d;
+  d.limited_ = true;
+  if (seconds <= 0.0) {
+    d.when_ = Clock::now();
+    return d;
+  }
+  d.when_ = Clock::now() +
+            std::chrono::duration_cast<Clock::duration>(
+                std::chrono::duration<double>(seconds));
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!limited_) return std::numeric_limits<double>::infinity();
+  return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+Status StopCheck::status(const std::string& where) const {
+  switch (code_) {
+    case StatusCode::kCancelled:
+      return Status::cancelled(where + ": cancelled");
+    case StatusCode::kDeadlineExceeded:
+      return Status::deadline_exceeded(where + ": deadline exceeded");
+    default:
+      return Status::ok();
+  }
+}
+
+}  // namespace ppuf::util

@@ -58,13 +58,24 @@ TEST(Batch, PreservesInputOrder) {
 }
 
 TEST(Batch, PropagatesErrors) {
+  // One malformed problem (source == sink) between two good ones: the
+  // batch keeps draining and reports the fault as a per-item typed status
+  // instead of throwing away the whole batch.
   graph::Digraph g(2);
   g.add_edge(0, 1, 1.0);
   g.finalize();
-  std::vector<graph::FlowProblem> problems{{&g, 0, 0}};  // source == sink
-  EXPECT_THROW(
-      maxflow::solve_batch(problems, maxflow::Algorithm::kDinic, 2),
-      std::invalid_argument);
+  std::vector<graph::FlowProblem> problems{
+      {&g, 0, 1}, {&g, 0, 0}, {&g, 0, 1}};
+  const auto r =
+      maxflow::solve_batch(problems, maxflow::Algorithm::kDinic, 2);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_TRUE(r[0].ok());
+  EXPECT_DOUBLE_EQ(r[0].value, 1.0);
+  EXPECT_EQ(r[1].status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(r[1].status.message().find("source == sink"),
+            std::string::npos);
+  EXPECT_TRUE(r[2].ok());
+  EXPECT_DOUBLE_EQ(r[2].value, 1.0);
 }
 
 // ------------------------------------------------------------------ entropy

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "attack/knn.hpp"
+#include "maxflow/approximate.hpp"
 #include "maxflow/parallel_push_relabel.hpp"
 #include "maxflow/solver.hpp"
 #include "maxflow/verify.hpp"
@@ -82,6 +84,26 @@ TEST_P(AdversarialShapes, UnitCapacityBipartite) {
   EXPECT_TRUE(v.optimal) << v.reason;
 }
 
+TEST_P(AdversarialShapes, NanCapacityRejectedUpFront) {
+  // NaN poisons every residual comparison (all false), which can loop a
+  // solver forever; the residual network must reject it before any work.
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, std::numeric_limits<double>::quiet_NaN());
+  g.finalize();
+  EXPECT_THROW(maxflow::make_solver(GetParam())->solve({&g, 0, 2}),
+               std::invalid_argument);
+}
+
+TEST_P(AdversarialShapes, InfiniteCapacityRejectedUpFront) {
+  Digraph g(3);
+  g.add_edge(0, 1, std::numeric_limits<double>::infinity());
+  g.add_edge(1, 2, 1.0);
+  g.finalize();
+  EXPECT_THROW(maxflow::make_solver(GetParam())->solve({&g, 0, 2}),
+               std::invalid_argument);
+}
+
 TEST_P(AdversarialShapes, WidelySpreadCapacities) {
   // Capacities across 9 decades: exercises the scale-relative epsilon.
   Digraph g(4);
@@ -112,6 +134,17 @@ TEST(AdversarialShapesParallel, AllShapesWithFourThreads) {
   EXPECT_NEAR(solver.solve({&s, 0, 1}).value, 20.0, 1e-12);
   const Digraph b = bipartite(12);
   EXPECT_NEAR(solver.solve({&b, 0, 25}).value, 12.0, 1e-12);
+}
+
+TEST(AdversarialShapesParallel, NanCapacityRejectedUpFront) {
+  Digraph g(3);
+  g.add_edge(0, 1, 1.0);
+  g.add_edge(1, 2, std::numeric_limits<double>::quiet_NaN());
+  g.finalize();
+  EXPECT_THROW(maxflow::ParallelPushRelabel(2).solve({&g, 0, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(maxflow::solve_approximate({&g, 0, 2}, 0.0),
+               std::invalid_argument);
 }
 
 // --------------------------------------------------------- numeric corners

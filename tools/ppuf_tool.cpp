@@ -6,8 +6,10 @@
 //       Print the model's geometry and capacity statistics.
 //   ppuf_tool challenge <model-file> [seed]
 //       Sample a random challenge; prints "source sink bitstring".
-//   ppuf_tool predict <model-file> <source> <sink> <bits>
+//   ppuf_tool predict <model-file> <source> <sink> <bits> [deadline-ms]
 //       Predict the response from the public model (two max-flow solves).
+//       With a deadline, an over-budget solve exits with a typed status
+//       instead of running to completion — the ESG made tangible.
 //   ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>
 //       Re-fabricate from <seed> and execute the challenge on "silicon".
 //   ppuf_tool export-spice <input-bit> <deck-file>
@@ -28,6 +30,7 @@
 #include "ppuf/ppuf.hpp"
 #include "ppuf/sim_model.hpp"
 #include "util/statistics.hpp"
+#include "util/status.hpp"
 
 namespace {
 
@@ -39,7 +42,7 @@ int usage() {
       "  ppuf_tool fabricate <nodes> <grid> <seed> <model-file>\n"
       "  ppuf_tool info <model-file>\n"
       "  ppuf_tool challenge <model-file> [seed]\n"
-      "  ppuf_tool predict <model-file> <source> <sink> <bits>\n"
+      "  ppuf_tool predict <model-file> <source> <sink> <bits> [deadline-ms]\n"
       "  ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>\n"
       "  ppuf_tool export-spice <input-bit> <deck-file>\n";
   return 2;
@@ -123,11 +126,19 @@ int cmd_challenge(const std::vector<std::string>& args) {
 }
 
 int cmd_predict(const std::vector<std::string>& args) {
-  if (args.size() != 4) return usage();
+  if (args.size() != 4 && args.size() != 5) return usage();
   const SimulationModel model = load_model(args[0]);
   const Challenge c =
       parse_challenge(model.layout(), args[1], args[2], args[3]);
-  const auto p = model.predict(c);
+  util::SolveControl control;
+  if (args.size() == 5)
+    control.deadline = util::Deadline::after_seconds(std::stol(args[4]) * 1e-3);
+  const auto p =
+      model.predict(c, maxflow::Algorithm::kPushRelabel, control);
+  if (!p.ok()) {
+    std::cout << "prediction aborted: " << p.status.to_string() << "\n";
+    return 3;
+  }
   std::cout << "max-flow A " << p.flow_a * 1e9 << " nA, B "
             << p.flow_b * 1e9 << " nA -> predicted bit " << p.bit << "\n";
   std::cout << "(O(n) two-hop heuristic would guess "
