@@ -1,8 +1,6 @@
 #include "maxflow/batch.hpp"
 
-#include <atomic>
 #include <stdexcept>
-#include <thread>
 
 #include "util/fault_hooks.hpp"
 
@@ -48,50 +46,46 @@ std::vector<FlowResult> solve_batch(
   std::vector<FlowResult> results(problems.size());
   if (problems.empty()) return results;
 
-  // StopCheck is stateful, so each worker carries its own (sharing one
-  // across threads would race on its poll counter).
-  auto run_item = [&](const Solver& solver, util::StopCheck& stop,
-                      std::size_t i) {
-    if (stop.should_stop()) {
-      // Don't start work the control has already revoked; mark the item
-      // with the typed reason instead.
-      results[i].status = stop.status("solve_batch");
-      return;
-    }
-    results[i] = solve_one(solver, problems[i], options);
-  };
-
-  if (options.thread_count <= 1) {
+  if (options.pool == nullptr && options.thread_count <= 1) {
+    // Serial fast path on the calling thread: no pool, no handoff.
+    // StopCheck is stateful, hence local to this path.
     const auto solver = make_solver(algorithm);
     util::StopCheck stop(options.control, /*stride=*/1);
-    for (std::size_t i = 0; i < problems.size(); ++i)
-      run_item(*solver, stop, i);
+    for (std::size_t i = 0; i < problems.size(); ++i) {
+      if (stop.should_stop()) {
+        // Don't start work the control has already revoked; mark the item
+        // with the typed reason instead.
+        results[i].status = stop.status("solve_batch");
+        continue;
+      }
+      results[i] = solve_one(*solver, problems[i], options);
+    }
     return results;
   }
 
-  // Work stealing via an atomic cursor; each worker owns its own solver
-  // instance (solvers are stateless but cheap to duplicate anyway).
-  // Workers keep draining after per-item failures — every failure mode is
-  // captured in that item's status by run_item.
-  std::atomic<std::size_t> next{0};
-  auto worker = [&] {
-    const auto solver = make_solver(algorithm);
-    util::StopCheck stop(options.control, /*stride=*/1);
-    for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= problems.size()) return;
-      run_item(*solver, stop, i);
-    }
+  // Pool path: the control-aware parallel_for keeps dispatching every item
+  // after a stop, handing the sticky status to the body so unattempted
+  // items are marked rather than dropped.  Workers keep draining after
+  // per-item failures — every failure mode lands in that item's status.
+  auto run_all = [&](util::ThreadPool& pool) {
+    pool.parallel_for(
+        problems.size(),
+        [&](std::size_t i, const util::Status& stop) {
+          if (!stop.is_ok()) {
+            results[i].status = stop;
+            return;
+          }
+          const auto solver = make_solver(algorithm);
+          results[i] = solve_one(*solver, problems[i], options);
+        },
+        options.control);
   };
-
-  std::vector<std::thread> threads;
-  const unsigned spawned =
-      std::min<unsigned>(options.thread_count,
-                         static_cast<unsigned>(problems.size()));
-  threads.reserve(spawned - 1);
-  for (unsigned t = 1; t < spawned; ++t) threads.emplace_back(worker);
-  worker();
-  for (auto& th : threads) th.join();
+  if (options.pool != nullptr) {
+    run_all(*options.pool);
+  } else {
+    util::ThreadPool pool(options.thread_count);
+    run_all(pool);
+  }
   return results;
 }
 

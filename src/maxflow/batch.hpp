@@ -6,7 +6,8 @@
 // one challenge, or many CRPs of a model-building campaign, are independent
 // solves.  (The feedback chain of Section 3.3 is immune: round i+1's
 // instance is unknown until round i's response exists.)  This helper
-// provides that embarrassing parallelism with plain std::thread workers.
+// provides that embarrassing parallelism on util::ThreadPool — either a
+// caller-owned long-lived pool or a transient one per call.
 //
 // Failure semantics: one malformed or failing problem must not poison the
 // batch.  Each item resolves independently to a FlowResult whose `status`
@@ -20,11 +21,17 @@
 
 #include "maxflow/solver.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ppuf::maxflow {
 
 struct BatchOptions {
+  /// Workers for the transient pool when `pool` is null; ignored otherwise.
   unsigned thread_count = 1;
+  /// Optional long-lived pool (non-owning).  A service answering many
+  /// batches should share one util::ThreadPool across calls instead of
+  /// paying thread spawn per batch.
+  util::ThreadPool* pool = nullptr;
   /// Shared deadline/cancellation for the whole batch.  Once it fires,
   /// in-flight solves stop cooperatively and remaining items are marked
   /// with the corresponding status without being attempted.
@@ -35,10 +42,13 @@ struct BatchOptions {
   int max_attempts = 1;
 };
 
-/// Solve all problems with `options.thread_count` workers; results are
-/// returned in input order with per-item statuses (see above).  Each
-/// problem's graph must stay alive and unmodified for the duration of the
-/// call.  thread_count <= 1 runs serially.
+/// Solve all problems on `options.pool` (or a transient pool of
+/// `options.thread_count` workers); results are returned in input order
+/// with per-item statuses (see above).  Each problem's graph must stay
+/// alive and unmodified for the duration of the call.  With no pool and
+/// thread_count <= 1 the batch runs serially on the calling thread.
+/// Results are bitwise independent of the worker count: each item is a
+/// deterministic solve, so 1-thread and N-thread runs agree exactly.
 std::vector<FlowResult> solve_batch(
     const std::vector<graph::FlowProblem>& problems, Algorithm algorithm,
     const BatchOptions& options);

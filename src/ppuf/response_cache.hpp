@@ -1,0 +1,117 @@
+// Sharded, bounded LRU cache of CRP responses.
+//
+// Repeated challenges are not an edge case in this system: feedback-loop
+// chains (Section 3.3) revisit prefix challenges, model-building attack
+// datasets re-query anchor CRPs, and a verifier serving many holders of the
+// same instance sees the same (challenge, environment) pairs again and
+// again.  A response is a pure function of the instance, the challenge and
+// the environment, so caching it is semantically invisible — the cache
+// returns bit-for-bit what the solve would have produced.
+//
+// The KEY MUST INCLUDE THE ENVIRONMENT.  The same challenge under a hot
+// die or a sagging rail can flip its response bit (that flip probability is
+// exactly what bench_fig9 measures); a cache keyed on challenge bits alone
+// would silently serve nominal-environment answers across environment
+// sweeps and corrupt every reliability metric downstream.
+//
+// Concurrency: the key space is split across `shard_count` independent
+// shards (chosen by key hash), each a mutex-guarded LRU list + hash map, so
+// batch workers contend only when they touch the same shard.  Counters
+// (hits / misses / evictions) are per-shard and aggregated by stats().
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "circuit/env.hpp"
+#include "ppuf/challenge.hpp"
+
+namespace ppuf {
+
+/// What the cache stores for one (challenge, environment): the response
+/// bit and the two flow values that produced it.
+struct CachedResponse {
+  int bit = 0;
+  double flow_a = 0.0;
+  double flow_b = 0.0;
+};
+
+struct ResponseCacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t entries = 0;       ///< live entries across all shards
+  std::uint64_t charged_bytes = 0; ///< estimated bytes of live entries
+
+  double hit_rate() const {
+    const std::uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) /
+                                  static_cast<double>(total);
+  }
+};
+
+class ResponseCache {
+ public:
+  /// `capacity_bytes` bounds the estimated footprint of live entries
+  /// (split evenly across shards); `shard_count` is clamped to >= 1.
+  explicit ResponseCache(std::size_t capacity_bytes,
+                         unsigned shard_count = 16);
+  ~ResponseCache();
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// The cached response, or nullopt on a miss.  A hit refreshes the
+  /// entry's LRU position.
+  std::optional<CachedResponse> lookup(const Challenge& challenge,
+                                       const circuit::Environment& env);
+
+  /// Insert or overwrite.  Eviction happens immediately if the shard's
+  /// byte budget is exceeded (least recently used first).
+  void insert(const Challenge& challenge, const circuit::Environment& env,
+              const CachedResponse& response);
+
+  void clear();
+
+  ResponseCacheStats stats() const;
+
+  unsigned shard_count() const {
+    return static_cast<unsigned>(shards_.size());
+  }
+  std::size_t capacity_bytes() const { return capacity_bytes_; }
+
+ private:
+  struct Key {
+    graph::VertexId source = 0;
+    graph::VertexId sink = 0;
+    std::vector<std::uint8_t> bits;
+    double vdd_scale = 1.0;
+    double temperature_c = 27.0;
+
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+  struct Shard;
+
+  static Key make_key(const Challenge& challenge,
+                      const circuit::Environment& env);
+  /// Estimated bytes one entry charges against the budget: the variable
+  /// part (two copies of the bit vector — map key and LRU node) plus a
+  /// fixed overhead for nodes, buckets and bookkeeping.
+  static std::size_t entry_cost(const Key& key);
+
+  Shard& shard_for(const Key& key);
+
+  std::size_t capacity_bytes_;
+  std::size_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace ppuf

@@ -122,4 +122,65 @@ SimulationModel::Prediction SimulationModel::predict(
   return p;
 }
 
+std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
+    const std::vector<Challenge>& challenges,
+    const PredictBatchOptions& options) const {
+  std::vector<Prediction> results(challenges.size());
+  if (challenges.empty()) return results;
+
+  // One item = cache probe, then (on miss) the two max-flow solves of
+  // predict().  Only completed predictions enter the cache: a partial
+  // (deadline/cancel) result proves nothing about the response.
+  auto run_item = [&](std::size_t i) {
+    const Challenge& c = challenges[i];
+    if (options.cache != nullptr) {
+      if (const auto hit = options.cache->lookup(c, options.cache_env)) {
+        results[i].bit = hit->bit;
+        results[i].flow_a = hit->flow_a;
+        results[i].flow_b = hit->flow_b;
+        return;
+      }
+    }
+    results[i] = predict(c, options.algorithm, options.control);
+    if (options.cache != nullptr && results[i].ok()) {
+      options.cache->insert(
+          c, options.cache_env,
+          CachedResponse{results[i].bit, results[i].flow_a,
+                         results[i].flow_b});
+    }
+  };
+
+  if (options.pool == nullptr && options.thread_count <= 1) {
+    util::StopCheck stop(options.control, /*stride=*/1);
+    for (std::size_t i = 0; i < challenges.size(); ++i) {
+      if (stop.should_stop()) {
+        results[i].status = stop.status("predict_batch");
+        continue;
+      }
+      run_item(i);
+    }
+    return results;
+  }
+
+  auto run_all = [&](util::ThreadPool& pool) {
+    pool.parallel_for(
+        challenges.size(),
+        [&](std::size_t i, const util::Status& stop) {
+          if (!stop.is_ok()) {
+            results[i].status = stop;
+            return;
+          }
+          run_item(i);
+        },
+        options.control);
+  };
+  if (options.pool != nullptr) {
+    run_all(*options.pool);
+  } else {
+    util::ThreadPool pool(options.thread_count);
+    run_all(pool);
+  }
+  return results;
+}
+
 }  // namespace ppuf

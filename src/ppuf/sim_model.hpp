@@ -15,7 +15,9 @@
 #include "graph/digraph.hpp"
 #include "maxflow/solver.hpp"
 #include "ppuf/ppuf.hpp"
+#include "ppuf/response_cache.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace ppuf {
 
@@ -69,6 +71,34 @@ class SimulationModel {
                      maxflow::Algorithm algorithm =
                          maxflow::Algorithm::kPushRelabel,
                      const util::SolveControl& control = {}) const;
+
+  struct PredictBatchOptions {
+    maxflow::Algorithm algorithm = maxflow::Algorithm::kPushRelabel;
+    /// Workers for the transient pool when `pool` is null.
+    unsigned thread_count = 1;
+    /// Optional shared pool (non-owning); preferred for services.
+    util::ThreadPool* pool = nullptr;
+    /// Shared budget: once it fires, remaining items carry the typed
+    /// status without being attempted.
+    util::SolveControl control{};
+    /// Optional response cache (non-owning).  Hits skip both max-flow
+    /// solves entirely; only completed (ok) predictions are inserted.
+    ResponseCache* cache = nullptr;
+    /// Environment half of the cache key.  The model's capacities were
+    /// extracted at one environment, so predictions are only comparable —
+    /// and cache entries only reusable — under that same environment.
+    /// Callers sweeping environments (reliability benches) must pass the
+    /// environment they are predicting for.
+    circuit::Environment cache_env = circuit::Environment::nominal();
+  };
+
+  /// Predict a whole batch of challenges.  Results are in input order, one
+  /// Prediction per challenge, and are bitwise independent of the worker
+  /// count and of cache hits (a hit returns exactly what the solve
+  /// produced when the entry was filled).
+  std::vector<Prediction> predict_batch(
+      const std::vector<Challenge>& challenges,
+      const PredictBatchOptions& options) const;
 
   double comparator_offset() const { return comparator_offset_; }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <stdexcept>
 #include <string>
 
 #include "maxflow/verify.hpp"
@@ -109,6 +110,38 @@ AuthenticationResult Verifier::verify(const Challenge& challenge,
 
   result.accepted = true;
   return result;
+}
+
+std::vector<AuthenticationResult> Verifier::verify_batch(
+    const std::vector<Challenge>& challenges,
+    const std::vector<ProverReport>& reports,
+    const BatchVerifyOptions& options) const {
+  if (challenges.size() != reports.size()) {
+    throw std::invalid_argument(
+        "verify_batch: challenges and reports differ in size");
+  }
+  std::vector<AuthenticationResult> results(challenges.size());
+  if (challenges.empty()) return results;
+
+  const unsigned threads =
+      options.thread_count != 0 ? options.thread_count : threads_;
+  if (options.pool == nullptr && threads <= 1) {
+    for (std::size_t i = 0; i < challenges.size(); ++i)
+      results[i] = verify(challenges[i], reports[i]);
+    return results;
+  }
+  auto run_all = [&](util::ThreadPool& pool) {
+    pool.parallel_for(challenges.size(), [&](std::size_t i) {
+      results[i] = verify(challenges[i], reports[i]);
+    });
+  };
+  if (options.pool != nullptr) {
+    run_all(*options.pool);
+  } else {
+    util::ThreadPool pool(threads);
+    run_all(pool);
+  }
+  return results;
 }
 
 ProverReport prove_with_ppuf(MaxFlowPpuf& instance,

@@ -64,6 +64,32 @@ class Verifier {
   AuthenticationResult verify(const Challenge& challenge,
                               const ProverReport& report) const;
 
+  struct BatchVerifyOptions {
+    /// Workers for the transient pool when `pool` is null; 0 means "use
+    /// the verifier's configured verify_threads()".
+    unsigned thread_count = 0;
+    /// Optional shared pool (non-owning).  A verifier serving heavy
+    /// authentication traffic should hold one pool for its lifetime.
+    util::ThreadPool* pool = nullptr;
+  };
+
+  /// Verify many (challenge, report) pairs in one call; reports[i] answers
+  /// challenges[i].  Items are independent, so they fan out across the
+  /// pool — this is the paper's O(n^2/p) verifier-side parallelism applied
+  /// across requests.  Results are in input order and identical to calling
+  /// verify() per item.  Throws std::invalid_argument on a size mismatch
+  /// (a caller bug, unlike a malformed report, which is adversary data and
+  /// yields a rejection).
+  std::vector<AuthenticationResult> verify_batch(
+      const std::vector<Challenge>& challenges,
+      const std::vector<ProverReport>& reports,
+      const BatchVerifyOptions& options) const;
+  std::vector<AuthenticationResult> verify_batch(
+      const std::vector<Challenge>& challenges,
+      const std::vector<ProverReport>& reports) const {
+    return verify_batch(challenges, reports, BatchVerifyOptions{});
+  }
+
   double deadline_seconds() const { return deadline_; }
   double flow_tolerance() const { return tolerance_; }
   unsigned verify_threads() const { return threads_; }

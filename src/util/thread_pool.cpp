@@ -1,0 +1,173 @@
+#include "util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace ppuf::util {
+
+struct ThreadPool::WorkerQueue {
+  std::mutex mutex;
+  std::deque<std::function<void()>> tasks;
+};
+
+/// Completion state of one parallel_for call.  Tasks from different calls
+/// interleave freely in the worker deques; each call waits only on its own
+/// remaining count.
+struct ThreadPool::Job {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::size_t remaining = 0;
+  std::exception_ptr first_error;
+
+  void finish_one() {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (--remaining == 0) done_cv.notify_all();
+  }
+  void record_error(std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!first_error) first_error = std::move(e);
+  }
+};
+
+ThreadPool::ThreadPool(unsigned thread_count) {
+  const unsigned n = std::max(1u, thread_count);
+  queues_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i)
+    workers_.emplace_back([this, i] { worker_loop(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    stopping_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+unsigned ThreadPool::default_thread_count() {
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+bool ThreadPool::try_take_task(unsigned worker_index,
+                               std::function<void()>* task) {
+  // Own deque first, front end (the thief uses the back end).
+  {
+    auto& q = *queues_[worker_index];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  // Steal sweep, starting just past ourselves so victims differ per worker.
+  const std::size_t n = queues_.size();
+  for (std::size_t d = 1; d < n; ++d) {
+    auto& q = *queues_[(worker_index + d) % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      *task = std::move(q.tasks.back());
+      q.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(unsigned worker_index) {
+  for (;;) {
+    std::function<void()> task;
+    if (try_take_task(worker_index, &task)) {
+      {
+        // pending_ counts *queued* tasks, decremented at take time, so
+        // idle workers sleep (rather than spin) while the last in-flight
+        // tasks execute; completion is tracked per-job, not here.
+        std::lock_guard<std::mutex> lock(wake_mutex_);
+        --pending_;
+      }
+      task();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(wake_mutex_);
+    if (stopping_ && pending_ == 0) return;
+    // A submitter bumps pending_ under the lock before pushing, so a
+    // missed task implies pending_ > 0: sweep again (bounded spin while
+    // the submitter is mid-push) rather than sleep through it.
+    if (pending_ > 0) {
+      lock.unlock();
+      std::this_thread::yield();
+      continue;
+    }
+    wake_cv_.wait(lock,
+                  [this] { return pending_ > 0 || stopping_; });
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for(
+      count, [&fn](std::size_t i, const Status&) { fn(i); },
+      SolveControl{});
+}
+
+Status ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, const Status&)>& fn,
+    const SolveControl& control) {
+  if (count == 0) return Status::ok();
+
+  auto job = std::make_shared<Job>();
+  job->remaining = count;
+
+  // Sticky stop state shared by this call's tasks: 0 = ok, else the
+  // StatusCode that fired first.  Workers poll it once per item — items
+  // are coarse (a max-flow solve), so one clock read per item is cheap.
+  auto stop_code = std::make_shared<std::atomic<int>>(0);
+  auto current_stop = [control, stop_code]() -> Status {
+    int code = stop_code->load(std::memory_order_relaxed);
+    if (code == 0 && !control.unconstrained()) {
+      if (control.cancel != nullptr && control.cancel->cancelled())
+        code = static_cast<int>(StatusCode::kCancelled);
+      else if (control.deadline.expired())
+        code = static_cast<int>(StatusCode::kDeadlineExceeded);
+      if (code != 0) stop_code->store(code, std::memory_order_relaxed);
+    }
+    if (code == 0) return Status::ok();
+    return Status(static_cast<StatusCode>(code),
+                  "stopped before item start (thread pool)");
+  };
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    pending_ += count;
+  }
+  const std::size_t n = queues_.size();
+  for (std::size_t i = 0; i < count; ++i) {
+    auto task = [i, &fn, job, current_stop] {
+      try {
+        fn(i, current_stop());
+      } catch (...) {
+        job->record_error(std::current_exception());
+      }
+      job->finish_one();
+    };
+    auto& q = *queues_[i % n];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_all();
+
+  {
+    std::unique_lock<std::mutex> lock(job->mutex);
+    job->done_cv.wait(lock, [&job] { return job->remaining == 0; });
+    if (job->first_error) std::rethrow_exception(job->first_error);
+  }
+  return current_stop();
+}
+
+}  // namespace ppuf::util

@@ -1,0 +1,246 @@
+// Property tests for the concurrent evaluation engine: worker count, cache
+// state and injected transient faults must never change WHAT a batch
+// computes — only how fast.  Every assertion here is bitwise (exact double
+// equality), because "close enough" across thread counts is exactly the
+// kind of symptom a data race produces.  The suite is sized to stay fast
+// under ASan/UBSan/TSan, where it earns its keep.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "maxflow/batch.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/response_cache.hpp"
+#include "ppuf/sim_model.hpp"
+#include "testing/fault_injection.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppuf {
+namespace {
+
+/// One shared instance/model for the whole suite: fabrication dominates
+/// the runtime and the tests only read the published model.
+class BatchConcurrencyTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PpufParams params;
+    params.node_count = 8;
+    params.grid_size = 4;
+    puf_ = new MaxFlowPpuf(params, 424242);
+    model_ = new SimulationModel(*puf_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    model_ = nullptr;
+    delete puf_;
+    puf_ = nullptr;
+  }
+
+  /// `count` challenges where the second half repeats the first half, so
+  /// cache hits occur *within* one batch, including concurrently.
+  static std::vector<Challenge> challenges_with_repeats(std::size_t count,
+                                                        std::uint64_t seed) {
+    util::Rng rng(seed);
+    std::vector<Challenge> cs;
+    cs.reserve(count);
+    for (std::size_t i = 0; i < (count + 1) / 2; ++i)
+      cs.push_back(random_challenge(model_->layout(), rng));
+    while (cs.size() < count) cs.push_back(cs[cs.size() - (count + 1) / 2]);
+    return cs;
+  }
+
+  static void expect_bitwise_equal(
+      const std::vector<SimulationModel::Prediction>& a,
+      const std::vector<SimulationModel::Prediction>& b,
+      const std::string& label) {
+    ASSERT_EQ(a.size(), b.size()) << label;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].bit, b[i].bit) << label << " item " << i;
+      // Bitwise: exact double equality, no tolerance.
+      EXPECT_EQ(a[i].flow_a, b[i].flow_a) << label << " item " << i;
+      EXPECT_EQ(a[i].flow_b, b[i].flow_b) << label << " item " << i;
+      EXPECT_EQ(a[i].status.code(), b[i].status.code())
+          << label << " item " << i;
+    }
+  }
+
+  static MaxFlowPpuf* puf_;
+  static SimulationModel* model_;
+};
+
+MaxFlowPpuf* BatchConcurrencyTest::puf_ = nullptr;
+SimulationModel* BatchConcurrencyTest::model_ = nullptr;
+
+TEST_F(BatchConcurrencyTest, PredictBatchIdenticalAcrossThreadCounts) {
+  const std::vector<Challenge> batch = challenges_with_repeats(32, 7);
+
+  SimulationModel::PredictBatchOptions serial;
+  serial.thread_count = 1;
+  const auto baseline = model_->predict_batch(batch, serial);
+  for (const auto& p : baseline) ASSERT_TRUE(p.ok());
+
+  for (const unsigned threads : {2u, 4u}) {
+    util::ThreadPool pool(threads);
+    SimulationModel::PredictBatchOptions parallel;
+    parallel.pool = &pool;
+    expect_bitwise_equal(baseline, model_->predict_batch(batch, parallel),
+                         std::to_string(threads) + " threads");
+  }
+}
+
+TEST_F(BatchConcurrencyTest, PredictBatchIdenticalWithAndWithoutCache) {
+  const std::vector<Challenge> batch = challenges_with_repeats(32, 11);
+
+  SimulationModel::PredictBatchOptions serial;
+  const auto baseline = model_->predict_batch(batch, serial);
+
+  // Cold cache, serial: second half of the batch hits the first half's
+  // freshly inserted entries.
+  {
+    ResponseCache cache(8 * 1024 * 1024);
+    SimulationModel::PredictBatchOptions cached;
+    cached.cache = &cache;
+    expect_bitwise_equal(baseline, model_->predict_batch(batch, cached),
+                         "serial cached");
+    EXPECT_GT(cache.stats().hits, 0u);
+  }
+  // Cold cache, 4 workers: concurrent lookups and inserts on the same
+  // keys must still produce the baseline answers.
+  {
+    ResponseCache cache(8 * 1024 * 1024);
+    util::ThreadPool pool(4);
+    SimulationModel::PredictBatchOptions cached;
+    cached.cache = &cache;
+    cached.pool = &pool;
+    expect_bitwise_equal(baseline, model_->predict_batch(batch, cached),
+                         "parallel cached, cold");
+    // Warm cache, 4 workers: now everything hits.
+    const auto warm_before = cache.stats();
+    expect_bitwise_equal(baseline, model_->predict_batch(batch, cached),
+                         "parallel cached, warm");
+    EXPECT_EQ(cache.stats().hits - warm_before.hits, batch.size());
+    EXPECT_EQ(cache.stats().misses, warm_before.misses);
+  }
+}
+
+TEST_F(BatchConcurrencyTest, SolveBatchIdenticalUnderTransientFaults) {
+  // Build independent flow problems from the model's graphs.
+  const std::vector<Challenge> cs = challenges_with_repeats(24, 13);
+  std::vector<graph::Digraph> graphs;
+  graphs.reserve(cs.size());
+  for (const auto& c : cs) graphs.push_back(model_->build_graph(0, c));
+  std::vector<graph::FlowProblem> problems;
+  problems.reserve(cs.size());
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    problems.push_back({&graphs[i], cs[i].source, cs[i].sink});
+
+  // Two injected transient failures against three attempts per item: even
+  // if one unlucky item absorbs both faults it still completes, so the
+  // OUTCOME is deterministic although WHICH worker absorbs a fault is not.
+  auto run = [&](unsigned threads) {
+    testing::FaultSpec spec;
+    spec.maxflow_transient_failures = 2;
+    const testing::ScopedFaultInjection fault(spec);
+    maxflow::BatchOptions options;
+    options.thread_count = threads;
+    options.max_attempts = 3;
+    return maxflow::solve_batch(problems, maxflow::Algorithm::kPushRelabel,
+                                options);
+  };
+
+  const auto serial = run(1);
+  const auto parallel = run(4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_TRUE(serial[i].ok()) << "item " << i;
+    EXPECT_TRUE(parallel[i].ok()) << "item " << i;
+    EXPECT_EQ(serial[i].value, parallel[i].value) << "item " << i;
+    ASSERT_EQ(serial[i].edge_flow.size(), parallel[i].edge_flow.size());
+    for (std::size_t e = 0; e < serial[i].edge_flow.size(); ++e) {
+      EXPECT_EQ(serial[i].edge_flow[e], parallel[i].edge_flow[e])
+          << "item " << i << " edge " << e;
+    }
+  }
+}
+
+TEST_F(BatchConcurrencyTest, FaultsExceedingRetriesFailItemsNotBatch) {
+  // More injected faults than one item's retry budget: some items land in
+  // kInternal, the rest complete, and no worker count turns a per-item
+  // failure into a batch failure.
+  const std::vector<Challenge> cs = challenges_with_repeats(8, 17);
+  std::vector<graph::Digraph> graphs;
+  for (const auto& c : cs) graphs.push_back(model_->build_graph(0, c));
+  std::vector<graph::FlowProblem> problems;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    problems.push_back({&graphs[i], cs[i].source, cs[i].sink});
+
+  for (const unsigned threads : {1u, 4u}) {
+    testing::FaultSpec spec;
+    spec.maxflow_transient_failures = 2;
+    const testing::ScopedFaultInjection fault(spec);
+    maxflow::BatchOptions options;
+    options.thread_count = threads;
+    options.max_attempts = 1;  // no retries: two items must fail
+    const auto results = maxflow::solve_batch(
+        problems, maxflow::Algorithm::kPushRelabel, options);
+    std::size_t failed = 0;
+    for (const auto& r : results) {
+      if (!r.ok()) {
+        EXPECT_EQ(r.status.code(), util::StatusCode::kInternal);
+        ++failed;
+      }
+    }
+    EXPECT_EQ(failed, 2u) << threads << " threads";
+  }
+}
+
+TEST_F(BatchConcurrencyTest, ExpiredControlMarksEveryItemIdentically) {
+  const std::vector<Challenge> batch = challenges_with_repeats(16, 19);
+
+  for (const unsigned threads : {1u, 4u}) {
+    SimulationModel::PredictBatchOptions options;
+    options.thread_count = threads;
+    options.control.deadline = util::Deadline::after_seconds(0.0);
+    const auto results = model_->predict_batch(batch, options);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].status.code(),
+                util::StatusCode::kDeadlineExceeded)
+          << threads << " threads, item " << i;
+    }
+  }
+
+  util::CancelToken cancel;
+  cancel.request_cancel();
+  for (const unsigned threads : {1u, 4u}) {
+    SimulationModel::PredictBatchOptions options;
+    options.thread_count = threads;
+    options.control.cancel = &cancel;
+    const auto results = model_->predict_batch(batch, options);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      EXPECT_EQ(results[i].status.code(), util::StatusCode::kCancelled)
+          << threads << " threads, item " << i;
+    }
+  }
+}
+
+TEST_F(BatchConcurrencyTest, SharedPoolServesConcurrentBatchFronts) {
+  // One long-lived pool, used by predict_batch and verify-style
+  // solve_batch calls in sequence — the service topology.  (Also a
+  // lifetime test: the pool must drain cleanly between calls.)
+  util::ThreadPool pool(4);
+  const std::vector<Challenge> batch = challenges_with_repeats(16, 23);
+
+  SimulationModel::PredictBatchOptions serial;
+  const auto baseline = model_->predict_batch(batch, serial);
+
+  SimulationModel::PredictBatchOptions pooled;
+  pooled.pool = &pool;
+  for (int round = 0; round < 3; ++round) {
+    expect_bitwise_equal(baseline, model_->predict_batch(batch, pooled),
+                         "round " + std::to_string(round));
+  }
+}
+
+}  // namespace
+}  // namespace ppuf

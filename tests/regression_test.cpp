@@ -91,22 +91,10 @@ TEST(Regression, CapacityStatisticsOfPopulation) {
   EXPECT_NEAR(caps.stddev() / caps.mean(), 0.58, 0.12);
 }
 
-TEST(Regression, ResponseStreamIsFrozen) {
-  // The exact bit stream of a fixed instance/challenge stream.  If this
-  // test fails and the change was intentional (e.g. a device-card change),
-  // re-record the stream — every statistical bench shifts with it.
-  PpufParams p;
-  p.node_count = 8;
-  p.grid_size = 4;
-  MaxFlowPpuf puf(p, 31415);
-  util::Rng rng(9);
-  std::string bits;
-  for (int i = 0; i < 24; ++i)
-    bits.push_back('0' + puf.evaluate(random_challenge(puf.layout(), rng)).bit);
-  EXPECT_EQ(bits.size(), 24u);
-  // Recorded 2026-07 against the calibrated device card.
-  EXPECT_EQ(bits, "010011101110001101100111");
-}
+// The frozen response stream (instance seed 31415, challenge seed 9) moved
+// to golden_crp_test.cpp / tests/data/golden_crps.json, which pins the
+// challenges, silicon bits AND model flow values of that stream in one
+// re-recordable place instead of an ad-hoc string here.
 
 }  // namespace
 }  // namespace ppuf

@@ -1,0 +1,186 @@
+// ResponseCache unit tests, with the environment-keying property front and
+// centre: a response cached under one (temperature, Vdd) point must NEVER
+// answer a query at another — the same challenge can flip its bit across
+// environments, and that flip probability is precisely what the Fig. 9
+// reliability bench measures.  A cache that ignored the environment would
+// silently flatten every such metric.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+#include "ppuf/response_cache.hpp"
+#include "ppuf/sim_model.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf {
+namespace {
+
+Challenge make_challenge(graph::VertexId source, graph::VertexId sink,
+                         std::size_t bit_count, std::uint64_t pattern) {
+  Challenge c;
+  c.source = source;
+  c.sink = sink;
+  c.bits.resize(bit_count);
+  for (std::size_t i = 0; i < bit_count; ++i)
+    c.bits[i] = static_cast<std::uint8_t>((pattern >> (i % 64)) & 1);
+  return c;
+}
+
+TEST(ResponseCache, RoundTripAndCounters) {
+  ResponseCache cache(1024 * 1024);
+  const Challenge c = make_challenge(0, 5, 16, 0b1011);
+  const circuit::Environment env = circuit::Environment::nominal();
+
+  EXPECT_FALSE(cache.lookup(c, env).has_value());
+  cache.insert(c, env, {1, 3.5e-7, 3.1e-7});
+  const auto hit = cache.lookup(c, env);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->bit, 1);
+  EXPECT_EQ(hit->flow_a, 3.5e-7);
+  EXPECT_EQ(hit->flow_b, 3.1e-7);
+
+  const ResponseCacheStats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(ResponseCache, DistinctChallengesAreDistinctKeys) {
+  ResponseCache cache(1024 * 1024);
+  const circuit::Environment env = circuit::Environment::nominal();
+  const Challenge a = make_challenge(0, 5, 16, 0b1011);
+  Challenge b = a;
+  b.bits[7] ^= 1;          // one type-B bit apart
+  Challenge ends = a;
+  ends.sink = 6;           // same bits, different type-A part
+
+  cache.insert(a, env, {0, 1.0, 2.0});
+  EXPECT_FALSE(cache.lookup(b, env).has_value());
+  EXPECT_FALSE(cache.lookup(ends, env).has_value());
+  ASSERT_TRUE(cache.lookup(a, env).has_value());
+}
+
+TEST(ResponseCache, EnvironmentChangesAreNeverServedStaleEntries) {
+  ResponseCache cache(1024 * 1024);
+  const Challenge c = make_challenge(1, 4, 16, 0xf0f0);
+  const circuit::Environment nominal = circuit::Environment::nominal();
+  circuit::Environment hot;
+  hot.temperature_c = 80.0;
+  circuit::Environment sagged;
+  sagged.vdd_scale = 0.9;
+
+  cache.insert(c, nominal, {1, 5.0e-7, 4.0e-7});
+  // Temperature or supply moved: the nominal entry must not answer.
+  EXPECT_FALSE(cache.lookup(c, hot).has_value());
+  EXPECT_FALSE(cache.lookup(c, sagged).has_value());
+
+  // Each environment holds its own (possibly flipped) response.
+  cache.insert(c, hot, {0, 4.2e-7, 4.4e-7});
+  cache.insert(c, sagged, {1, 4.6e-7, 3.9e-7});
+  EXPECT_EQ(cache.lookup(c, nominal)->bit, 1);
+  EXPECT_EQ(cache.lookup(c, hot)->bit, 0);
+  EXPECT_EQ(cache.lookup(c, sagged)->bit, 1);
+  EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+TEST(ResponseCache, PredictBatchDoesNotReuseAcrossEnvironments) {
+  // End-to-end version of the property above, through the real batch
+  // path: one cache, two environment keys, zero cross-talk.
+  PpufParams params;
+  params.node_count = 6;
+  params.grid_size = 3;
+  MaxFlowPpuf puf(params, 77);
+  SimulationModel model(puf);
+
+  util::Rng rng(3);
+  std::vector<Challenge> batch;
+  for (int i = 0; i < 8; ++i)
+    batch.push_back(random_challenge(model.layout(), rng));
+
+  ResponseCache cache(4 * 1024 * 1024);
+  SimulationModel::PredictBatchOptions nominal_opts;
+  nominal_opts.cache = &cache;
+  nominal_opts.cache_env = circuit::Environment::nominal();
+  (void)model.predict_batch(batch, nominal_opts);
+  const ResponseCacheStats after_nominal = cache.stats();
+  EXPECT_EQ(after_nominal.misses, batch.size());
+  EXPECT_EQ(after_nominal.hits, 0u);
+
+  // Same challenges, hot environment: every item must MISS (no reuse of
+  // the nominal entries), filling a second, independent set of entries.
+  SimulationModel::PredictBatchOptions hot_opts = nominal_opts;
+  hot_opts.cache_env.temperature_c = 80.0;
+  (void)model.predict_batch(batch, hot_opts);
+  const ResponseCacheStats after_hot = cache.stats();
+  EXPECT_EQ(after_hot.misses, 2 * batch.size());
+  EXPECT_EQ(after_hot.hits, 0u);
+  EXPECT_EQ(after_hot.entries, 2 * batch.size());
+
+  // Re-running each environment now hits only its own entries.
+  (void)model.predict_batch(batch, nominal_opts);
+  (void)model.predict_batch(batch, hot_opts);
+  const ResponseCacheStats final_stats = cache.stats();
+  EXPECT_EQ(final_stats.hits, 2 * batch.size());
+  EXPECT_EQ(final_stats.misses, 2 * batch.size());
+}
+
+TEST(ResponseCache, LruEvictionRespectsByteBudgetAndRecency) {
+  // One shard, tiny budget, 16-bit challenges: entry cost is
+  // 2 * 16 + 128 = 160 bytes, so a 1024-byte budget holds 6 entries.
+  ResponseCache cache(1024, /*shard_count=*/1);
+  const circuit::Environment env = circuit::Environment::nominal();
+  auto nth = [&](std::uint64_t n) {
+    return make_challenge(0, 1, 16, 0x8000 + n);
+  };
+
+  for (std::uint64_t n = 0; n < 6; ++n)
+    cache.insert(nth(n), env, {0, static_cast<double>(n), 0.0});
+  EXPECT_EQ(cache.stats().entries, 6u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  // Touch entry 0 so entry 1 is now least recently used, then overflow.
+  ASSERT_TRUE(cache.lookup(nth(0), env).has_value());
+  cache.insert(nth(6), env, {0, 6.0, 0.0});
+  EXPECT_EQ(cache.stats().entries, 6u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_TRUE(cache.lookup(nth(0), env).has_value());   // refreshed: kept
+  EXPECT_FALSE(cache.lookup(nth(1), env).has_value());  // LRU: evicted
+  EXPECT_TRUE(cache.lookup(nth(6), env).has_value());   // newest: kept
+}
+
+TEST(ResponseCache, ConcurrentMixedWorkloadStaysConsistent) {
+  // Hammer one cache from several threads with overlapping key sets; the
+  // assertions are modest (no lost updates on distinct keys, counters add
+  // up) — the real payoff is running data-race-free under TSan/ASan.
+  ResponseCache cache(1024 * 1024, /*shard_count=*/8);
+  const circuit::Environment env = circuit::Environment::nominal();
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kKeys = 64;
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&cache, &env, t] {
+      for (std::uint64_t n = 0; n < kKeys; ++n) {
+        const Challenge c = make_challenge(0, 2, 24, n);
+        cache.insert(c, env, {static_cast<int>(n & 1),
+                              static_cast<double>(n), static_cast<double>(t)});
+        const auto hit = cache.lookup(c, env);
+        ASSERT_TRUE(hit.has_value());
+        // flow_a identifies the key; every writer agrees on it.
+        ASSERT_EQ(hit->flow_a, static_cast<double>(n));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const ResponseCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, kKeys);
+  EXPECT_EQ(s.hits, static_cast<std::uint64_t>(kThreads) * kKeys);
+  EXPECT_EQ(s.misses, 0u);
+}
+
+}  // namespace
+}  // namespace ppuf

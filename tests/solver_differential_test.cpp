@@ -1,0 +1,208 @@
+// Cross-solver differential testing.
+//
+// Max-flow is unique in VALUE but not in flow assignment, which makes it a
+// perfect differential-testing target: five independent implementations
+// (Edmonds-Karp, Dinic, push-relabel, the phase-synchronous parallel
+// push-relabel, and the capacity-scaling approximate solver at eps = 0)
+// must report the same value on the same instance, and every one of their
+// flow assignments must pass the residual-graph verifier.  A bug in any
+// one solver — or in the verifier — breaks the agreement on some seeded
+// random instance long before it would surface in a PPUF-level test.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "graph/digraph.hpp"
+#include "maxflow/approximate.hpp"
+#include "maxflow/parallel_push_relabel.hpp"
+#include "maxflow/solver.hpp"
+#include "maxflow/verify.hpp"
+#include "util/rng.hpp"
+
+namespace ppuf::maxflow {
+namespace {
+
+/// One named flow answer (value + assignment) from one of the five
+/// implementations.
+struct SolverAnswer {
+  std::string name;
+  double value = 0.0;
+  std::vector<double> edge_flow;
+};
+
+/// Run all five implementations on one instance.
+std::vector<SolverAnswer> all_answers(const graph::FlowProblem& problem) {
+  std::vector<SolverAnswer> answers;
+  for (const Algorithm a : all_algorithms()) {
+    const auto solver = make_solver(a);
+    const FlowResult r = solver->solve(problem);
+    EXPECT_TRUE(r.ok()) << solver->name();
+    answers.push_back({solver->name(), r.value, r.edge_flow});
+  }
+  {
+    const ParallelPushRelabel solver(2);
+    const FlowResult r = solver.solve(problem);
+    EXPECT_TRUE(r.ok()) << solver.name();
+    answers.push_back({solver.name(), r.value, r.edge_flow});
+  }
+  {
+    // eps = 0 reduces capacity scaling to an exact algorithm.
+    const ApproximateResult r = solve_approximate(problem, 0.0);
+    EXPECT_TRUE(r.ok()) << "approximate(0)";
+    answers.push_back({"approximate(0)", r.value, r.edge_flow});
+  }
+  return answers;
+}
+
+/// Largest capacity of the instance; scales both the agreement and the
+/// verification tolerance so the checks are meaningful at any magnitude.
+double max_capacity(const graph::Digraph& g) {
+  double m = 0.0;
+  for (const auto& e : g.edges()) m = std::max(m, e.capacity);
+  return m;
+}
+
+/// The differential assertion: every implementation agrees on the value
+/// and every flow assignment verifies as feasible and maximum.
+void expect_all_agree(const graph::Digraph& g, graph::VertexId source,
+                      graph::VertexId sink, const std::string& label) {
+  const graph::FlowProblem problem{&g, source, sink};
+  const std::vector<SolverAnswer> answers = all_answers(problem);
+  const double scale = std::max(1.0, max_capacity(g));
+  const double value_tol = 1e-9 * scale;
+  const double verify_tol = 1e-9 * scale;
+
+  const double reference = answers.front().value;
+  for (const SolverAnswer& a : answers) {
+    EXPECT_NEAR(a.value, reference, value_tol)
+        << label << ": " << a.name << " disagrees with "
+        << answers.front().name;
+    const VerifyResult v =
+        verify_flow(g, source, sink, a.edge_flow, verify_tol);
+    EXPECT_TRUE(v.optimal)
+        << label << ": " << a.name << " flow rejected: " << v.reason;
+    EXPECT_NEAR(v.value, a.value, value_tol) << label << ": " << a.name;
+  }
+}
+
+/// Random digraph: every ordered pair gets an edge with probability
+/// `edge_prob`; capacities drawn by `cap` (zero-capacity edges included on
+/// purpose — they must be handled, not special-cased away).
+template <typename CapFn>
+graph::Digraph random_graph(std::size_t n, double edge_prob, util::Rng& rng,
+                            CapFn&& cap) {
+  graph::Digraph g(n);
+  for (graph::VertexId i = 0; i < n; ++i) {
+    for (graph::VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (rng.uniform() < edge_prob) g.add_edge(i, j, cap(rng));
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+TEST(SolverDifferential, SparseGraphsUniformCapacities) {
+  for (const std::size_t n : {4u, 8u, 16u}) {
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      util::Rng rng(seed * 1000 + n);
+      const graph::Digraph g = random_graph(
+          n, 0.35, rng, [](util::Rng& r) { return r.uniform(0.0, 1.0); });
+      expect_all_agree(g, 0, static_cast<graph::VertexId>(n - 1),
+                       "sparse n=" + std::to_string(n) + " seed=" +
+                           std::to_string(seed));
+    }
+  }
+}
+
+TEST(SolverDifferential, ZeroCapacityEdgesPresent) {
+  // ~30% of edges carry capacity exactly 0: present in the graph, useless
+  // for flow.  Solvers must neither push along them nor crash on them.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(seed);
+    const graph::Digraph g =
+        random_graph(10, 0.5, rng, [](util::Rng& r) {
+          return r.uniform() < 0.3 ? 0.0 : r.uniform(0.0, 2.0);
+        });
+    expect_all_agree(g, 0, 9, "zero-cap seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SolverDifferential, IntegerCapacitiesWithTies) {
+  // Small integer capacities create many saturated edges and tied
+  // augmenting choices — the regime where implementations most plausibly
+  // diverge in assignment while the value must stay identical.
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    util::Rng rng(100 + seed);
+    const graph::Digraph g =
+        random_graph(8, 0.6, rng, [](util::Rng& r) {
+          return static_cast<double>(r.uniform_int(0, 3));
+        });
+    expect_all_agree(g, 0, 7, "integer seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SolverDifferential, WideDynamicRangeCapacities) {
+  // Capacities spanning twelve decades (nano-ampere physics next to unit
+  // scale) probe the relative-epsilon handling of every solver.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(200 + seed);
+    const graph::Digraph g =
+        random_graph(8, 0.5, rng, [](util::Rng& r) {
+          return std::pow(10.0, r.uniform(-9.0, 3.0));
+        });
+    expect_all_agree(g, 0, 7, "wide-range seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SolverDifferential, CompleteGraphsAsInPpufInstances) {
+  // The PPUF instantiates complete graphs; run the full roster on the
+  // exact shape the production path solves.
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(300 + seed);
+    const graph::Digraph g = random_graph(
+        8, 1.0, rng, [](util::Rng& r) { return r.uniform(1e-9, 40e-9); });
+    expect_all_agree(g, 1, 6, "complete seed=" + std::to_string(seed));
+  }
+}
+
+TEST(SolverDifferential, DisconnectedSourceSinkPair) {
+  // Two cliques with no edges between them: max flow is exactly zero and
+  // every solver must say so.
+  graph::Digraph g(8);
+  for (graph::VertexId i = 0; i < 4; ++i)
+    for (graph::VertexId j = 0; j < 4; ++j)
+      if (i != j) g.add_edge(i, j, 1.0);
+  for (graph::VertexId i = 4; i < 8; ++i)
+    for (graph::VertexId j = 4; j < 8; ++j)
+      if (i != j) g.add_edge(i, j, 1.0);
+  g.finalize();
+  const graph::FlowProblem problem{&g, 0, 7};
+  for (const SolverAnswer& a : all_answers(problem))
+    EXPECT_EQ(a.value, 0.0) << a.name;
+}
+
+TEST(SolverDifferential, SaturatedBottleneckChain) {
+  // A chain with one narrow edge: the value is the bottleneck capacity and
+  // the bottleneck edge must be saturated in every assignment.
+  graph::Digraph g(5);
+  g.add_edge(0, 1, 10.0);
+  const graph::EdgeId bottleneck = g.add_edge(1, 2, 0.125);
+  g.add_edge(2, 3, 10.0);
+  g.add_edge(3, 4, 10.0);
+  g.add_edge(0, 2, 0.0);  // zero-capacity shortcut, unusable
+  g.finalize();
+  const graph::FlowProblem problem{&g, 0, 4};
+  for (const SolverAnswer& a : all_answers(problem)) {
+    EXPECT_NEAR(a.value, 0.125, 1e-12) << a.name;
+    ASSERT_EQ(a.edge_flow.size(), g.edge_count()) << a.name;
+    EXPECT_NEAR(a.edge_flow[bottleneck], 0.125, 1e-12) << a.name;
+  }
+  expect_all_agree(g, 0, 4, "bottleneck-chain");
+}
+
+}  // namespace
+}  // namespace ppuf::maxflow

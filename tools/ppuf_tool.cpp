@@ -12,13 +12,21 @@
 //       instead of running to completion — the ESG made tangible.
 //   ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>
 //       Re-fabricate from <seed> and execute the challenge on "silicon".
+//   ppuf_tool predict-batch <model-file> <count> [seed] [repeats]
+//       Predict `count` random challenges, `repeats` passes over the
+//       batch, on the worker pool; reports items/sec and cache counters.
 //   ppuf_tool export-spice <input-bit> <deck-file>
 //       Emit the building block (Fig. 2d) as a SPICE deck for external
 //       cross-checking against a real SPICE engine.
 //
+// Global options (before the command):
+//   --threads <n>    worker threads for batch commands (default 1)
+//   --cache-mb <m>   response-cache budget in MiB (default 0 = no cache)
+//
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
 // the published model file — and pays simulation time for every response.
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -28,23 +36,34 @@
 #include "circuit/spice_export.hpp"
 #include "ppuf/block.hpp"
 #include "ppuf/ppuf.hpp"
+#include "ppuf/response_cache.hpp"
 #include "ppuf/sim_model.hpp"
 #include "util/statistics.hpp"
 #include "util/status.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
 using namespace ppuf;
 
+/// Global options parsed ahead of the command.
+struct ToolOptions {
+  unsigned threads = 1;
+  std::size_t cache_mb = 0;  ///< 0 disables the response cache
+};
+
 int usage() {
   std::cerr <<
-      "usage:\n"
+      "usage: ppuf_tool [--threads <n>] [--cache-mb <m>] <command> ...\n"
       "  ppuf_tool fabricate <nodes> <grid> <seed> <model-file>\n"
       "  ppuf_tool info <model-file>\n"
       "  ppuf_tool challenge <model-file> [seed]\n"
       "  ppuf_tool predict <model-file> <source> <sink> <bits> [deadline-ms]\n"
+      "  ppuf_tool predict-batch <model-file> <count> [seed] [repeats]\n"
       "  ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>\n"
-      "  ppuf_tool export-spice <input-bit> <deck-file>\n";
+      "  ppuf_tool export-spice <input-bit> <deck-file>\n"
+      "--threads sizes the worker pool of batch commands; --cache-mb bounds\n"
+      "the CRP response cache (repeated challenges skip the solve).\n";
   return 2;
 }
 
@@ -146,6 +165,62 @@ int cmd_predict(const std::vector<std::string>& args) {
   return 0;
 }
 
+int cmd_predict_batch(const std::vector<std::string>& args,
+                      const ToolOptions& opts) {
+  if (args.size() < 2 || args.size() > 4) return usage();
+  const SimulationModel model = load_model(args[0]);
+  const std::size_t count = std::stoul(args[1]);
+  util::Rng rng(args.size() >= 3 ? std::stoull(args[2]) : 1);
+  const std::size_t repeats = args.size() == 4 ? std::stoul(args[3]) : 1;
+  if (count == 0 || repeats == 0)
+    throw std::runtime_error("count and repeats must be positive");
+
+  std::vector<Challenge> batch;
+  batch.reserve(count);
+  for (std::size_t i = 0; i < count; ++i)
+    batch.push_back(random_challenge(model.layout(), rng));
+
+  util::ThreadPool pool(opts.threads);
+  ResponseCache cache(opts.cache_mb * 1024 * 1024);
+  SimulationModel::PredictBatchOptions options;
+  options.pool = &pool;
+  if (opts.cache_mb > 0) options.cache = &cache;
+
+  std::size_t ok = 0, failed = 0;
+  int ones = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t pass = 0; pass < repeats; ++pass) {
+    const auto predictions = model.predict_batch(batch, options);
+    for (const auto& p : predictions) {
+      if (p.ok()) {
+        ++ok;
+        ones += p.bit;
+      } else {
+        ++failed;
+      }
+    }
+  }
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const std::size_t items = count * repeats;
+  std::cout << items << " predictions (" << count << " challenges x "
+            << repeats << " passes) on " << opts.threads << " threads in "
+            << seconds << " s -> "
+            << static_cast<double>(items) / seconds << " items/s\n";
+  std::cout << "ok " << ok << ", failed " << failed << ", response ones "
+            << ones << "\n";
+  if (opts.cache_mb > 0) {
+    const ResponseCacheStats s = cache.stats();
+    std::cout << "cache: " << s.hits << " hits, " << s.misses
+              << " misses (hit rate " << s.hit_rate() * 100.0 << "%), "
+              << s.evictions << " evictions, " << s.entries
+              << " entries, ~" << s.charged_bytes / 1024 << " KiB\n";
+  }
+  return 0;
+}
+
 int cmd_evaluate(const std::vector<std::string>& args) {
   if (args.size() != 6) return usage();
   PpufParams params;
@@ -181,14 +256,36 @@ int cmd_export_spice(const std::vector<std::string>& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) return usage();
-  const std::string cmd = argv[1];
-  const std::vector<std::string> args(argv + 2, argv + argc);
+  std::vector<std::string> argv_rest(argv + 1, argv + argc);
+  ToolOptions opts;
   try {
+    std::size_t consumed = 0;
+    while (consumed + 1 < argv_rest.size()) {
+      const std::string& flag = argv_rest[consumed];
+      if (flag == "--threads") {
+        opts.threads = static_cast<unsigned>(
+            std::stoul(argv_rest[consumed + 1]));
+        if (opts.threads == 0)
+          throw std::runtime_error("--threads must be positive");
+        consumed += 2;
+      } else if (flag == "--cache-mb") {
+        opts.cache_mb = std::stoul(argv_rest[consumed + 1]);
+        consumed += 2;
+      } else {
+        break;
+      }
+    }
+    argv_rest.erase(argv_rest.begin(),
+                    argv_rest.begin() + static_cast<std::ptrdiff_t>(consumed));
+    if (argv_rest.empty()) return usage();
+    const std::string cmd = argv_rest[0];
+    const std::vector<std::string> args(argv_rest.begin() + 1,
+                                        argv_rest.end());
     if (cmd == "fabricate") return cmd_fabricate(args);
     if (cmd == "info") return cmd_info(args);
     if (cmd == "challenge") return cmd_challenge(args);
     if (cmd == "predict") return cmd_predict(args);
+    if (cmd == "predict-batch") return cmd_predict_batch(args, opts);
     if (cmd == "evaluate") return cmd_evaluate(args);
     if (cmd == "export-spice") return cmd_export_spice(args);
   } catch (const std::exception& e) {
