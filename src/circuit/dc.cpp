@@ -9,6 +9,7 @@
 
 #include "circuit/newton_core.hpp"
 #include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
 #include "util/fault_hooks.hpp"
 
 namespace ppuf::circuit {
@@ -314,6 +315,8 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
   const std::size_t ns = netlist.voltage_source_count();
   const std::size_t dim = nv + ns;
   if (dim == 0) throw std::invalid_argument("solve_newton: empty netlist");
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "circuit.dc.solve_time_us");
 
   auto warm_init = [&](numeric::Vector& x) {
     x.assign(dim, 0.0);
@@ -339,6 +342,7 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
     diag.converged = op.converged;
     diag.final_residual = op.residual;
     op.iterations = diag.total_iterations;
+    publish_solve_metrics(obs::MetricsRegistry::global(), "circuit.dc", diag);
     op.diagnostics = std::move(diag);
     return op;
   };

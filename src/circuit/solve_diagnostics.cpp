@@ -1,5 +1,7 @@
 #include "circuit/solve_diagnostics.hpp"
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 
 namespace ppuf::circuit {
@@ -32,6 +34,24 @@ std::string SolveDiagnostics::summary() const {
   }
   s += ")";
   return s;
+}
+
+void publish_solve_metrics(obs::MetricsRegistry& registry,
+                           std::string_view prefix,
+                           const SolveDiagnostics& diagnostics) {
+  if (!registry.enabled()) return;
+  const std::string base(prefix);
+  registry.counter(base + ".solves").add();
+  registry.counter(base + ".newton_iterations")
+      .add(static_cast<std::uint64_t>(
+          std::max(0, diagnostics.total_iterations)));
+  registry.histogram(base + ".iterations_per_solve")
+      .record(static_cast<double>(diagnostics.total_iterations));
+  if (diagnostics.recovered()) registry.counter(base + ".recoveries").add();
+  if (!diagnostics.converged) registry.counter(base + ".failures").add();
+  registry
+      .counter(base + ".rung." + recovery_stage_name(diagnostics.strategy))
+      .add();
 }
 
 ConvergenceError::ConvergenceError(const std::string& context,

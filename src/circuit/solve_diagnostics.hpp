@@ -16,7 +16,10 @@
 
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace ppuf::circuit {
 
@@ -59,6 +62,19 @@ struct SolveDiagnostics {
   /// resid 4.0e-12)".
   std::string summary() const;
 };
+
+/// Publish one solve's ladder outcome into `registry` under `prefix`
+/// (e.g. "circuit.dc"): bumps `<prefix>.solves`, adds the total Newton
+/// iterations to `<prefix>.newton_iterations`, records them into
+/// `<prefix>.iterations_per_solve`, counts `<prefix>.recoveries` /
+/// `<prefix>.failures`, and bumps the per-rung counter
+/// `<prefix>.rung.<stage-name>` for the rung that produced the answer.
+/// Both Newton solvers (circuit::DcSolver, ppuf::NetworkSolver) use this,
+/// so their metric schemas stay identical.  No-op when the registry is
+/// disabled.
+void publish_solve_metrics(obs::MetricsRegistry& registry,
+                           std::string_view prefix,
+                           const SolveDiagnostics& diagnostics);
 
 /// Non-convergence that must abort, carrying the full ladder record.
 class ConvergenceError : public std::runtime_error {

@@ -6,6 +6,7 @@
 #include <stdexcept>
 
 #include "maxflow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::maxflow {
 
@@ -16,6 +17,10 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
     throw std::invalid_argument("solve_approximate: source == sink");
   if (epsilon < 0.0 || epsilon >= 1.0)
     throw std::invalid_argument("solve_approximate: epsilon in [0, 1)");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(reg, "maxflow.approximate.solve_time_us");
+  std::uint64_t phases = 0;
+  std::uint64_t augmentations = 0;
 
   const graph::Digraph& g = *problem.graph;
   ResidualNetwork net(g);
@@ -75,6 +80,7 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
       net.push(parent_vertex[v], parent_arc[v], bottleneck);
     }
     result.value += bottleneck;
+    ++augmentations;
     return true;
   };
 
@@ -84,6 +90,7 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
   for (;;) {
     while (augment_once(delta)) {
     }
+    ++phases;
     if (stop.should_stop()) {
       // The flow found so far is feasible; the certificate below would
       // only be valid for a *finished* phase, so keep the bound from the
@@ -107,6 +114,12 @@ ApproximateResult solve_approximate(const graph::FlowProblem& problem,
   }
 
   result.edge_flow = net.edge_flows(g);
+  if (reg.enabled()) {
+    reg.counter("maxflow.approximate.solves").add();
+    reg.counter("maxflow.approximate.work").add(result.work);
+    reg.counter("maxflow.approximate.phases").add(phases);
+    reg.counter("maxflow.approximate.augmentations").add(augmentations);
+  }
   return result;
 }
 

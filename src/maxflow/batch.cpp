@@ -2,18 +2,43 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
 #include "util/fault_hooks.hpp"
 
 namespace ppuf::maxflow {
 
 namespace {
 
+/// Per-batch metric handles, resolved once per solve_batch call so the
+/// per-item hot path never touches the registry map.  All null when the
+/// registry is disabled.
+struct BatchMetrics {
+  obs::Counter* items = nullptr;
+  obs::Counter* item_failures = nullptr;
+  obs::Counter* retries = nullptr;
+  obs::Histogram* item_time_us = nullptr;
+
+  static BatchMetrics resolve() {
+    BatchMetrics m;
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (!reg.enabled()) return m;
+    m.items = &reg.counter("maxflow.batch.items");
+    m.item_failures = &reg.counter("maxflow.batch.item_failures");
+    m.retries = &reg.counter("maxflow.batch.retries");
+    m.item_time_us = &reg.histogram("maxflow.batch.item_time_us");
+    return m;
+  }
+};
+
 /// Solve one item, classifying every failure into the result's status.
 /// Never throws: a batch is only useful if one bad instance cannot take
 /// the other fifteen down with it.
 FlowResult solve_one(const Solver& solver, const graph::FlowProblem& problem,
-                     const BatchOptions& options) {
+                     const BatchOptions& options,
+                     const BatchMetrics& metrics) {
   const int attempts = std::max(1, options.max_attempts);
+  obs::ScopedTimer timer(metrics.item_time_us);
+  if (metrics.items != nullptr) metrics.items->add();
   FlowResult result;
   for (int attempt = 1; attempt <= attempts; ++attempt) {
     try {
@@ -25,8 +50,9 @@ FlowResult solve_one(const Solver& solver, const graph::FlowProblem& problem,
         result.status = util::Status::internal(
             std::string("transient failure persisted after ") +
             std::to_string(attempts) + " attempts: " + e.what());
+      } else if (metrics.retries != nullptr) {
+        metrics.retries->add();
       }
-      // else: retry.
     } catch (const std::invalid_argument& e) {
       result.status = util::Status::invalid_argument(e.what());
       break;
@@ -35,6 +61,8 @@ FlowResult solve_one(const Solver& solver, const graph::FlowProblem& problem,
       break;
     }
   }
+  if (metrics.item_failures != nullptr && !result.status.is_ok())
+    metrics.item_failures->add();
   return result;
 }
 
@@ -45,6 +73,7 @@ std::vector<FlowResult> solve_batch(
     const BatchOptions& options) {
   std::vector<FlowResult> results(problems.size());
   if (problems.empty()) return results;
+  const BatchMetrics metrics = BatchMetrics::resolve();
 
   if (options.pool == nullptr && options.thread_count <= 1) {
     // Serial fast path on the calling thread: no pool, no handoff.
@@ -58,7 +87,7 @@ std::vector<FlowResult> solve_batch(
         results[i].status = stop.status("solve_batch");
         continue;
       }
-      results[i] = solve_one(*solver, problems[i], options);
+      results[i] = solve_one(*solver, problems[i], options, metrics);
     }
     return results;
   }
@@ -76,7 +105,7 @@ std::vector<FlowResult> solve_batch(
             return;
           }
           const auto solver = make_solver(algorithm);
-          results[i] = solve_one(*solver, problems[i], options);
+          results[i] = solve_one(*solver, problems[i], options, metrics);
         },
         options.control);
   };

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "maxflow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::maxflow {
 
@@ -24,20 +25,31 @@ class DinicState {
 
   FlowResult run() {
     FlowResult result;
+    std::uint64_t phases = 0;
+    std::uint64_t augmentations = 0;
     while (build_level_graph(result)) {
       if (stop_.should_stop()) break;
+      ++phases;
       std::fill(next_arc_.begin(), next_arc_.end(), 0);
       for (;;) {
         const double pushed =
             augment(source_, std::numeric_limits<double>::infinity(), result);
         if (pushed <= 0.0) break;
         result.value += pushed;
+        ++augmentations;
         if (stop_.should_stop()) break;
       }
       if (stop_.should_stop()) break;
     }
     result.status = stop_.status("Dinic");
     result.edge_flow = net_.edge_flows(g_);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      reg.counter("maxflow.dinic.solves").add();
+      reg.counter("maxflow.dinic.work").add(result.work);
+      reg.counter("maxflow.dinic.phases").add(phases);
+      reg.counter("maxflow.dinic.augmentations").add(augmentations);
+    }
     return result;
   }
 
@@ -97,6 +109,8 @@ FlowResult Dinic::solve(const graph::FlowProblem& problem,
                         const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("Dinic: source == sink");
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "maxflow.dinic.solve_time_us");
   return DinicState(problem, control).run();
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "maxflow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::maxflow {
 
@@ -13,6 +14,9 @@ FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem,
   const graph::Digraph& g = *problem.graph;
   if (problem.source == problem.sink)
     throw std::invalid_argument("EdmondsKarp: source == sink");
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::ScopedTimer timer(reg, "maxflow.edmonds_karp.solve_time_us");
+  std::uint64_t augmentations = 0;
   ResidualNetwork net(g);
   const std::size_t n = net.vertex_count();
   const double eps = net.epsilon();
@@ -75,9 +79,15 @@ FlowResult EdmondsKarp::solve(const graph::FlowProblem& problem,
       net.push(parent_vertex[v], parent_arc[v], bottleneck);
     }
     result.value += bottleneck;
+    ++augmentations;
   }
 
   result.edge_flow = net.edge_flows(g);
+  if (reg.enabled()) {
+    reg.counter("maxflow.edmonds_karp.solves").add();
+    reg.counter("maxflow.edmonds_karp.work").add(result.work);
+    reg.counter("maxflow.edmonds_karp.augmentations").add(augmentations);
+  }
   return result;
 }
 

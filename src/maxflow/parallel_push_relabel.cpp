@@ -8,6 +8,7 @@
 #include <thread>
 
 #include "maxflow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::maxflow {
 
@@ -34,6 +35,7 @@ class State {
   FlowResult run() {
     FlowResult result;
     initialize();
+    std::uint64_t rounds = 0;
     std::vector<graph::VertexId> active = collect_active();
     while (!active.empty()) {
       // Cancellation granularity is one synchronous round: workers never
@@ -44,11 +46,18 @@ class State {
         break;
       }
       round(active);
+      ++rounds;
       active = collect_active();
     }
     result.value = excess_[sink_].load(std::memory_order_relaxed);
     result.edge_flow = net_.edge_flows(g_);
     result.work = work_.load(std::memory_order_relaxed);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      reg.counter("maxflow.parallel_push_relabel.solves").add();
+      reg.counter("maxflow.parallel_push_relabel.work").add(result.work);
+      reg.counter("maxflow.parallel_push_relabel.rounds").add(rounds);
+    }
     return result;
   }
 
@@ -178,6 +187,8 @@ FlowResult ParallelPushRelabel::solve(
     const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("ParallelPushRelabel: source == sink");
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "maxflow.parallel_push_relabel.solve_time_us");
   return State(problem, thread_count_, control).run();
 }
 

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "maxflow/residual.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::maxflow {
 
@@ -48,10 +49,20 @@ class PushRelabelState {
       ++discharges;
       if (options_.global_relabel && discharges % relabel_period == 0) {
         global_relabel(result);
+        ++global_relabels_;
       }
     }
     result.value = excess_[sink_];
     result.edge_flow = net_.edge_flows(g_);
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+    if (reg.enabled()) {
+      reg.counter("maxflow.push_relabel.solves").add();
+      reg.counter("maxflow.push_relabel.work").add(result.work);
+      reg.counter("maxflow.push_relabel.discharges").add(discharges);
+      reg.counter("maxflow.push_relabel.relabels").add(relabels_);
+      reg.counter("maxflow.push_relabel.global_relabels")
+          .add(global_relabels_);
+    }
     return result;
   }
 
@@ -110,6 +121,7 @@ class PushRelabelState {
   }
 
   void relabel(graph::VertexId v, FlowResult& result) {
+    ++relabels_;
     const std::uint32_t old_height = height_[v];
     std::uint32_t best = 2 * static_cast<std::uint32_t>(n_) + 1;
     for (const Arc& a : net_.arcs(v)) {
@@ -203,6 +215,8 @@ class PushRelabelState {
   std::vector<bool> in_queue_;
   std::vector<std::uint32_t> height_count_;
   std::queue<graph::VertexId> active_;
+  std::uint64_t relabels_ = 0;
+  std::uint64_t global_relabels_ = 0;
 };
 
 }  // namespace
@@ -211,6 +225,8 @@ FlowResult PushRelabel::solve(const graph::FlowProblem& problem,
                               const util::SolveControl& control) const {
   if (problem.source == problem.sink)
     throw std::invalid_argument("PushRelabel: source == sink");
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "maxflow.push_relabel.solve_time_us");
   return PushRelabelState(problem, options_, control).run();
 }
 

@@ -66,13 +66,16 @@ VerifyResult verify_flow(const graph::Digraph& g, graph::VertexId source,
     net[g.edge(e).from] -= flow[e];
     net[g.edge(e).to] += flow[e];
   }
-  // Tolerance scales with degree: each incident edge contributes its own
-  // measurement error.
+  // Tolerance scales with degree: each incident edge — incoming AND
+  // outgoing — contributes its own measurement error, so the slack must
+  // cover the full incident count or a high-in-degree vertex with
+  // legitimate per-edge error gets falsely rejected.
+  const auto in_edges = build_in_edges(g);
   for (graph::VertexId v = 0; v < g.vertex_count(); ++v) {
     if (v == source || v == sink) continue;
     const double slack =
         tolerance * static_cast<double>(
-                        g.out_degree(v) + 1);
+                        in_edges[v].size() + g.out_degree(v));
     if (std::abs(net[v]) > slack) {
       std::ostringstream os;
       os << "conservation violated at vertex " << v << ": net=" << net[v];
@@ -84,7 +87,6 @@ VerifyResult verify_flow(const graph::Digraph& g, graph::VertexId source,
   result.value = -net[source];
 
   // Optimality: the sink must be unreachable in the residual graph.
-  const auto in_edges = build_in_edges(g);
   const auto neighbors = residual_neighbors(g, flow, tolerance, in_edges);
   const auto dist =
       thread_count <= 1

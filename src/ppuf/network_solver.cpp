@@ -7,6 +7,7 @@
 
 #include "numeric/cholesky.hpp"
 #include "numeric/lu.hpp"
+#include "obs/metrics.hpp"
 #include "util/fault_hooks.hpp"
 
 namespace ppuf {
@@ -175,6 +176,8 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
     const numeric::Vector* warm) const {
   if (source >= n_ || sink >= n_ || source == sink)
     throw std::invalid_argument("NetworkSolver::solve_dc: bad source/sink");
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "ppuf.network_solver.solve_time_us");
 
   std::vector<std::size_t> unknown_index(n_, kPinned);
   std::size_t m = 0;
@@ -279,6 +282,8 @@ NetworkSolver::DcResult NetworkSolver::solve_dc(
 
   out.converged = done;
   out.iterations = out.diagnostics.total_iterations;
+  circuit::publish_solve_metrics(obs::MetricsRegistry::global(),
+                                 "ppuf.network_solver", out.diagnostics);
   // Report the source current at the final voltages.
   out.source_current =
       assemble(v, source, sink, nullptr, nullptr, unknown_index);

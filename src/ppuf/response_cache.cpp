@@ -44,9 +44,12 @@ struct ResponseCache::Shard {
                      KeyHash>
       index;
   std::size_t charged_bytes = 0;
-  std::uint64_t hits = 0;
-  std::uint64_t misses = 0;
-  std::uint64_t evictions = 0;
+  // Registry-style counters (obs primitives) instead of ad-hoc integers;
+  // stats() aggregates them and publish_metrics() mirrors them into a
+  // MetricsRegistry snapshot.
+  obs::Counter hits;
+  obs::Counter misses;
+  obs::Counter evictions;
 };
 
 ResponseCache::ResponseCache(std::size_t capacity_bytes, unsigned shard_count)
@@ -89,10 +92,10 @@ std::optional<CachedResponse> ResponseCache::lookup(
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    ++shard.misses;
+    shard.misses.add();
     return std::nullopt;
   }
-  ++shard.hits;
+  shard.hits.add();
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return it->second->second;
 }
@@ -121,7 +124,7 @@ void ResponseCache::insert(const Challenge& challenge,
     shard.charged_bytes -= entry_cost(victim.first);
     shard.index.erase(victim.first);
     shard.lru.pop_back();
-    ++shard.evictions;
+    shard.evictions.add();
   }
 }
 
@@ -131,6 +134,12 @@ void ResponseCache::clear() {
     shard->lru.clear();
     shard->index.clear();
     shard->charged_bytes = 0;
+    // Counters describe the entries' lifetime; once the entries are gone
+    // the counts are about a cache that no longer exists.  Keeping them
+    // would make post-clear hit_rate() blend two unrelated populations.
+    shard->hits.reset();
+    shard->misses.reset();
+    shard->evictions.reset();
   }
 }
 
@@ -138,13 +147,49 @@ ResponseCacheStats ResponseCache::stats() const {
   ResponseCacheStats total;
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
-    total.hits += shard->hits;
-    total.misses += shard->misses;
-    total.evictions += shard->evictions;
+    total.hits += shard->hits.value();
+    total.misses += shard->misses.value();
+    total.evictions += shard->evictions.value();
     total.entries += shard->lru.size();
     total.charged_bytes += shard->charged_bytes;
   }
   return total;
+}
+
+void ResponseCache::publish_metrics(obs::MetricsRegistry& registry,
+                                    std::string_view prefix) const {
+  if (!registry.enabled()) return;
+  const std::string base(prefix);
+  std::uint64_t hits = 0, misses = 0, evictions = 0;
+  std::uint64_t entries = 0, charged = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::uint64_t shard_entries = 0, shard_charged = 0;
+    {
+      const auto& shard = *shards_[i];
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      hits += shard.hits.value();
+      misses += shard.misses.value();
+      evictions += shard.evictions.value();
+      shard_entries = shard.lru.size();
+      shard_charged = shard.charged_bytes;
+    }
+    entries += shard_entries;
+    charged += shard_charged;
+    const std::string shard_base = base + ".shard." + std::to_string(i);
+    registry.gauge(shard_base + ".entries")
+        .set(static_cast<std::int64_t>(shard_entries));
+    registry.gauge(shard_base + ".charged_bytes")
+        .set(static_cast<std::int64_t>(shard_charged));
+  }
+  registry.gauge(base + ".hits").set(static_cast<std::int64_t>(hits));
+  registry.gauge(base + ".misses").set(static_cast<std::int64_t>(misses));
+  registry.gauge(base + ".evictions")
+      .set(static_cast<std::int64_t>(evictions));
+  registry.gauge(base + ".entries").set(static_cast<std::int64_t>(entries));
+  registry.gauge(base + ".charged_bytes")
+      .set(static_cast<std::int64_t>(charged));
+  registry.gauge(base + ".shard_count")
+      .set(static_cast<std::int64_t>(shards_.size()));
 }
 
 }  // namespace ppuf

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "circuit/env.hpp"
+#include "obs/metrics.hpp"
 #include "ppuf/challenge.hpp"
 
 namespace ppuf {
@@ -76,9 +77,21 @@ class ResponseCache {
   void insert(const Challenge& challenge, const circuit::Environment& env,
               const CachedResponse& response);
 
+  /// Drops every entry AND zeroes the hit/miss/eviction counters: a
+  /// cleared cache reports like a fresh one, so hit-rate measurements
+  /// taken after a clear() are not polluted by pre-clear traffic.
   void clear();
 
   ResponseCacheStats stats() const;
+
+  /// Mirror the current cache state into `registry` as gauges:
+  /// `<prefix>.{hits,misses,evictions,entries,charged_bytes,shard_count}`
+  /// plus per-shard occupancy `<prefix>.shard.<i>.{entries,charged_bytes}`.
+  /// Snapshot-style (set, not add) so repeated publishes stay idempotent.
+  /// No-op when the registry is disabled.
+  void publish_metrics(
+      obs::MetricsRegistry& registry,
+      std::string_view prefix = "ppuf.response_cache") const;
 
   unsigned shard_count() const {
     return static_cast<unsigned>(shards_.size());

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "graph/complete.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf {
 
@@ -128,20 +129,38 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
   std::vector<Prediction> results(challenges.size());
   if (challenges.empty()) return results;
 
+  // Metric handles resolved once per batch so the per-item path never
+  // touches the registry map; all null when metrics are disabled.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Counter* m_items =
+      reg.enabled() ? &reg.counter("ppuf.predict_batch.items") : nullptr;
+  obs::Counter* m_cache_hits =
+      reg.enabled() ? &reg.counter("ppuf.predict_batch.cache_hits") : nullptr;
+  obs::Counter* m_failures =
+      reg.enabled() ? &reg.counter("ppuf.predict_batch.item_failures")
+                    : nullptr;
+  obs::Histogram* m_item_time =
+      reg.enabled() ? &reg.histogram("ppuf.predict_batch.item_time_us")
+                    : nullptr;
+
   // One item = cache probe, then (on miss) the two max-flow solves of
   // predict().  Only completed predictions enter the cache: a partial
   // (deadline/cancel) result proves nothing about the response.
   auto run_item = [&](std::size_t i) {
+    obs::ScopedTimer timer(m_item_time);
+    if (m_items != nullptr) m_items->add();
     const Challenge& c = challenges[i];
     if (options.cache != nullptr) {
       if (const auto hit = options.cache->lookup(c, options.cache_env)) {
         results[i].bit = hit->bit;
         results[i].flow_a = hit->flow_a;
         results[i].flow_b = hit->flow_b;
+        if (m_cache_hits != nullptr) m_cache_hits->add();
         return;
       }
     }
     results[i] = predict(c, options.algorithm, options.control);
+    if (m_failures != nullptr && !results[i].ok()) m_failures->add();
     if (options.cache != nullptr && results[i].ok()) {
       options.cache->insert(
           c, options.cache_env,

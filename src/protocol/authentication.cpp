@@ -6,6 +6,7 @@
 #include <string>
 
 #include "maxflow/verify.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::protocol {
 
@@ -123,23 +124,36 @@ std::vector<AuthenticationResult> Verifier::verify_batch(
   std::vector<AuthenticationResult> results(challenges.size());
   if (challenges.empty()) return results;
 
+  // Metric handles resolved once per batch (null when disabled) so the
+  // per-item path touches only lock-free atomics.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram* m_item_time =
+      reg.enabled() ? &reg.histogram("protocol.verify_batch.item_time_us")
+                    : nullptr;
+  auto run_item = [&](std::size_t i) {
+    obs::ScopedTimer timer(m_item_time);
+    results[i] = verify(challenges[i], reports[i]);
+  };
+
   const unsigned threads =
       options.thread_count != 0 ? options.thread_count : threads_;
   if (options.pool == nullptr && threads <= 1) {
-    for (std::size_t i = 0; i < challenges.size(); ++i)
-      results[i] = verify(challenges[i], reports[i]);
-    return results;
-  }
-  auto run_all = [&](util::ThreadPool& pool) {
-    pool.parallel_for(challenges.size(), [&](std::size_t i) {
-      results[i] = verify(challenges[i], reports[i]);
-    });
-  };
-  if (options.pool != nullptr) {
-    run_all(*options.pool);
+    for (std::size_t i = 0; i < challenges.size(); ++i) run_item(i);
+  } else if (options.pool != nullptr) {
+    options.pool->parallel_for(challenges.size(), run_item);
   } else {
     util::ThreadPool pool(threads);
-    run_all(pool);
+    pool.parallel_for(challenges.size(), run_item);
+  }
+
+  if (reg.enabled()) {
+    std::uint64_t accepted = 0;
+    for (const AuthenticationResult& r : results)
+      if (r.accepted) ++accepted;
+    reg.counter("protocol.verify_batch.items").add(results.size());
+    reg.counter("protocol.verify_batch.accepted").add(accepted);
+    reg.counter("protocol.verify_batch.rejected")
+        .add(results.size() - accepted);
   }
   return results;
 }

@@ -167,7 +167,15 @@ Status ThreadPool::parallel_for(
     job->done_cv.wait(lock, [&job] { return job->remaining == 0; });
     if (job->first_error) std::rethrow_exception(job->first_error);
   }
-  return current_stop();
+  // Report only the sticky stop state the dispatched items actually
+  // observed.  Re-polling the control here would race the clock against
+  // completion: a deadline expiring between the last item finishing and
+  // this return would mislabel a fully-completed batch as
+  // kDeadlineExceeded even though no item was skipped.
+  const int code = stop_code->load(std::memory_order_relaxed);
+  if (code == 0) return Status::ok();
+  return Status(static_cast<StatusCode>(code),
+                "stopped before item start (thread pool)");
 }
 
 }  // namespace ppuf::util

@@ -67,7 +67,10 @@ class ThreadPool {
   /// Control-aware variant.  Every index is still dispatched, but once
   /// `control` fires fn is handed the sticky non-ok Status (kCancelled or
   /// kDeadlineExceeded) so it can mark its item without attempting it.
-  /// Returns ok when the control never fired, the sticky status otherwise.
+  /// Returns Ok when every item was handed an ok status (even if the
+  /// deadline expired while the last item was running or after it
+  /// finished — a completed batch is a completed batch); returns the
+  /// sticky status once any item observed the stop.
   Status parallel_for(
       std::size_t count,
       const std::function<void(std::size_t, const Status&)>& fn,

@@ -6,6 +6,9 @@
 // under ASan/UBSan/TSan, where it earns its keep.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "maxflow/batch.hpp"
@@ -222,6 +225,50 @@ TEST_F(BatchConcurrencyTest, ExpiredControlMarksEveryItemIdentically) {
           << threads << " threads, item " << i;
     }
   }
+}
+
+// Regression: the control-aware parallel_for used to re-poll the control
+// AFTER all items had completed, so a deadline expiring in the gap between
+// the last item finishing and the return mislabelled a fully-completed
+// batch as kDeadlineExceeded.  The call must report only what the
+// dispatched items observed: every item ran with an ok status -> Ok.
+TEST_F(BatchConcurrencyTest, DeadlineExpiryAfterCompletionStillReportsOk) {
+  util::ThreadPool pool(2);
+  // Generous enough that the single item always starts in time, even on a
+  // loaded CI host.
+  util::SolveControl control;
+  control.deadline = util::Deadline::after_seconds(0.05);
+
+  std::atomic<int> ok_items{0};
+  const util::Status status = pool.parallel_for(
+      1,
+      [&](std::size_t, const util::Status& stop) {
+        if (stop.is_ok()) {
+          ++ok_items;
+          // Outlive the deadline: by the time this item returns, the
+          // control has expired — but the item itself was never stopped.
+          std::this_thread::sleep_for(std::chrono::milliseconds(100));
+        }
+      },
+      control);
+
+  ASSERT_EQ(ok_items.load(), 1);
+  EXPECT_TRUE(control.deadline.expired());
+  EXPECT_TRUE(status.is_ok()) << status.to_string();
+
+  // Control case: a deadline that fires before dispatch still surfaces,
+  // both per item and in the aggregate status.
+  util::SolveControl expired;
+  expired.deadline = util::Deadline::after_seconds(0.0);
+  std::atomic<int> stopped_items{0};
+  const util::Status late = pool.parallel_for(
+      1,
+      [&](std::size_t, const util::Status& stop) {
+        if (!stop.is_ok()) ++stopped_items;
+      },
+      expired);
+  EXPECT_EQ(stopped_items.load(), 1);
+  EXPECT_EQ(late.code(), util::StatusCode::kDeadlineExceeded);
 }
 
 TEST_F(BatchConcurrencyTest, SharedPoolServesConcurrentBatchFronts) {

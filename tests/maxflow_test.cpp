@@ -239,6 +239,34 @@ TEST(Verify, ToleranceAbsorbsMeasurementNoise) {
   EXPECT_TRUE(verify_flow(g, 0, 1, flow, 0.01).optimal);
 }
 
+// Regression: the conservation slack used to be tolerance * (out_degree +
+// 1), which under-counts at vertices whose in-degree exceeds one — eight
+// incoming edges each carrying a legitimate per-edge error of 0.9*tol sum
+// to 7.2*tol of net imbalance, far above the old 2*tol slack, and the
+// honest flow was falsely rejected.  The slack must scale with the full
+// incident count (in-degree + out-degree).
+TEST(Verify, HighInDegreeVertexToleratesPerEdgeNoise) {
+  // Funnel: source 0 -> {1..8} -> 9 -> sink 10.
+  Digraph g(11);
+  for (VertexId v = 1; v <= 8; ++v) g.add_edge(0, v, 1.0);
+  for (VertexId v = 1; v <= 8; ++v) g.add_edge(v, 9, 1.0);
+  g.add_edge(9, 10, 2.0);
+  g.finalize();
+
+  const double tol = 1e-6;
+  std::vector<double> flow(g.edge_count(), 0.0);
+  for (std::size_t e = 0; e < 8; ++e) flow[e] = 0.25;
+  // Each middle edge reads 0.9*tol high: fine per edge, but vertex 9
+  // accumulates 8 * 0.9*tol = 7.2*tol of apparent excess.
+  for (std::size_t e = 8; e < 16; ++e) flow[e] = 0.25 + 0.9 * tol;
+  flow[16] = 2.0;  // saturated, so the flow is maximum
+
+  const VerifyResult v = verify_flow(g, 0, 10, flow, tol);
+  EXPECT_TRUE(v.feasible) << v.reason;
+  EXPECT_TRUE(v.optimal) << v.reason;
+  EXPECT_NEAR(v.value, 2.0, 1e-9);
+}
+
 TEST(PushRelabel, HeuristicsDoNotChangeTheValue) {
   util::Rng rng(23);
   const Digraph g = graph::make_complete_uniform(18, rng);

@@ -74,8 +74,15 @@ TEST_F(ProtocolFixture, InflatedFlowClaimRejected) {
   const Verifier verifier(*model, 1e-3, tolerance());
   const Challenge c = verifier.issue_challenge(rng);
   ProverReport report = prove_with_ppuf(*puf, c, 1e-6);
-  // Claim an over-capacity flow on one edge of network A.
-  report.edge_flow_a[0] = model->capacity(0, 0, 1) * 2.0;
+  // Claim an over-capacity flow on the strongest edge of network A, as the
+  // challenge configures it.  Doubling the largest capacity exceeds it by
+  // more than the verifier tolerance (10% of the mean), so the capacity
+  // constraint itself must reject, independent of conservation slack.
+  const graph::Digraph g = model->build_graph(0, c);
+  graph::EdgeId strongest = 0;
+  for (graph::EdgeId e = 1; e < g.edge_count(); ++e)
+    if (g.edge(e).capacity > g.edge(strongest).capacity) strongest = e;
+  report.edge_flow_a[strongest] = g.edge(strongest).capacity * 2.0;
   const AuthenticationResult r = verifier.verify(c, report);
   EXPECT_FALSE(r.accepted);
   EXPECT_FALSE(r.flows_valid);

@@ -6,6 +6,7 @@
 // silently flatten every such metric.
 #include <gtest/gtest.h>
 
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -149,6 +150,82 @@ TEST(ResponseCache, LruEvictionRespectsByteBudgetAndRecency) {
   EXPECT_TRUE(cache.lookup(nth(0), env).has_value());   // refreshed: kept
   EXPECT_FALSE(cache.lookup(nth(1), env).has_value());  // LRU: evicted
   EXPECT_TRUE(cache.lookup(nth(6), env).has_value());   // newest: kept
+}
+
+// Regression: clear() used to drop the entries but keep hits / misses /
+// evictions, so the first hit_rate() measured after a clear blended two
+// unrelated populations.  A cleared cache must report like a fresh one.
+TEST(ResponseCache, ClearResetsCountersAlongWithEntries) {
+  ResponseCache cache(1024, /*shard_count=*/1);
+  const circuit::Environment env = circuit::Environment::nominal();
+  auto nth = [&](std::uint64_t n) {
+    return make_challenge(0, 1, 16, 0x4000 + n);
+  };
+
+  // Generate traffic in every counter: misses, hits and (by overflowing
+  // the 6-entry budget) evictions.
+  for (std::uint64_t n = 0; n < 8; ++n) {
+    (void)cache.lookup(nth(n), env);  // miss
+    cache.insert(nth(n), env, {0, static_cast<double>(n), 0.0});
+  }
+  (void)cache.lookup(nth(7), env);  // hit
+  const ResponseCacheStats before = cache.stats();
+  ASSERT_GT(before.hits, 0u);
+  ASSERT_GT(before.misses, 0u);
+  ASSERT_GT(before.evictions, 0u);
+
+  cache.clear();
+  const ResponseCacheStats s = cache.stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.charged_bytes, 0u);
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 0u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.hit_rate(), 0.0);
+
+  // Post-clear traffic counts from zero.
+  (void)cache.lookup(nth(0), env);
+  cache.insert(nth(0), env, {1, 0.5, 0.25});
+  (void)cache.lookup(nth(0), env);
+  const ResponseCacheStats fresh = cache.stats();
+  EXPECT_EQ(fresh.hits, 1u);
+  EXPECT_EQ(fresh.misses, 1u);
+  EXPECT_EQ(fresh.entries, 1u);
+}
+
+TEST(ResponseCache, PublishMetricsMirrorsStatsAndShardOccupancy) {
+  ResponseCache cache(1024 * 1024, /*shard_count=*/4);
+  const circuit::Environment env = circuit::Environment::nominal();
+  for (std::uint64_t n = 0; n < 32; ++n) {
+    const Challenge c = make_challenge(0, 3, 16, n);
+    (void)cache.lookup(c, env);
+    cache.insert(c, env, {0, static_cast<double>(n), 0.0});
+    (void)cache.lookup(c, env);
+  }
+
+  obs::MetricsRegistry reg(/*enabled=*/true);
+  cache.publish_metrics(reg, "test.cache");
+  const ResponseCacheStats s = cache.stats();
+  EXPECT_EQ(reg.gauge_value("test.cache.hits"),
+            static_cast<std::int64_t>(s.hits));
+  EXPECT_EQ(reg.gauge_value("test.cache.misses"),
+            static_cast<std::int64_t>(s.misses));
+  EXPECT_EQ(reg.gauge_value("test.cache.entries"),
+            static_cast<std::int64_t>(s.entries));
+  EXPECT_EQ(reg.gauge_value("test.cache.shard_count"), 4);
+  std::int64_t shard_total = 0;
+  for (int i = 0; i < 4; ++i) {
+    const std::string name =
+        "test.cache.shard." + std::to_string(i) + ".entries";
+    EXPECT_TRUE(reg.has_metric(name));
+    shard_total += reg.gauge_value(name);
+  }
+  EXPECT_EQ(shard_total, static_cast<std::int64_t>(s.entries));
+
+  // A disabled registry must stay untouched.
+  obs::MetricsRegistry off(/*enabled=*/false);
+  cache.publish_metrics(off, "test.cache");
+  EXPECT_EQ(off.metric_count(), 0u);
 }
 
 TEST(ResponseCache, ConcurrentMixedWorkloadStaysConsistent) {

@@ -20,6 +20,7 @@
 #include "maxflow/parallel_push_relabel.hpp"
 #include "maxflow/solver.hpp"
 #include "maxflow/verify.hpp"
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace ppuf::maxflow {
@@ -183,6 +184,33 @@ TEST(SolverDifferential, DisconnectedSourceSinkPair) {
   const graph::FlowProblem problem{&g, 0, 7};
   for (const SolverAnswer& a : all_answers(problem))
     EXPECT_EQ(a.value, 0.0) << a.name;
+}
+
+TEST(SolverDifferential, InstrumentationCountsEverySolverOnce) {
+  // Running the full roster with the registry enabled must populate each
+  // solver's solves/work counters — an instrumentation point silently
+  // dropped from one solver is itself a differential bug.
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  reg.reset();
+
+  util::Rng rng(424);
+  const graph::Digraph g = random_graph(
+      10, 0.6, rng, [](util::Rng& r) { return r.uniform(0.1, 2.0); });
+  const graph::FlowProblem problem{&g, 0, 9};
+  (void)all_answers(problem);
+
+  for (const char* name :
+       {"maxflow.edmonds_karp", "maxflow.dinic", "maxflow.push_relabel",
+        "maxflow.parallel_push_relabel", "maxflow.approximate"}) {
+    const std::string base(name);
+    EXPECT_GE(reg.counter_value(base + ".solves"), 1u) << name;
+    EXPECT_GT(reg.counter_value(base + ".work"), 0u) << name;
+    EXPECT_GE(reg.histogram_snapshot(base + ".solve_time_us").count, 1u)
+        << name;
+  }
+  reg.set_enabled(false);
+  reg.reset();
 }
 
 TEST(SolverDifferential, SaturatedBottleneckChain) {

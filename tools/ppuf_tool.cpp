@@ -20,8 +20,10 @@
 //       cross-checking against a real SPICE engine.
 //
 // Global options (before the command):
-//   --threads <n>    worker threads for batch commands (default 1)
-//   --cache-mb <m>   response-cache budget in MiB (default 0 = no cache)
+//   --threads <n>        worker threads for batch commands (default 1)
+//   --cache-mb <m>       response-cache budget in MiB (default 0 = no cache)
+//   --metrics-json <f>   enable the metrics registry and write its JSON
+//                        snapshot to <f> when the command finishes
 //
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
@@ -34,6 +36,7 @@
 
 #include "attack/heuristic.hpp"
 #include "circuit/spice_export.hpp"
+#include "obs/metrics.hpp"
 #include "ppuf/block.hpp"
 #include "ppuf/ppuf.hpp"
 #include "ppuf/response_cache.hpp"
@@ -49,12 +52,14 @@ using namespace ppuf;
 /// Global options parsed ahead of the command.
 struct ToolOptions {
   unsigned threads = 1;
-  std::size_t cache_mb = 0;  ///< 0 disables the response cache
+  std::size_t cache_mb = 0;   ///< 0 disables the response cache
+  std::string metrics_json;   ///< empty = metrics disabled
 };
 
 int usage() {
   std::cerr <<
-      "usage: ppuf_tool [--threads <n>] [--cache-mb <m>] <command> ...\n"
+      "usage: ppuf_tool [--threads <n>] [--cache-mb <m>]\n"
+      "                 [--metrics-json <file>] <command> ...\n"
       "  ppuf_tool fabricate <nodes> <grid> <seed> <model-file>\n"
       "  ppuf_tool info <model-file>\n"
       "  ppuf_tool challenge <model-file> [seed]\n"
@@ -63,7 +68,9 @@ int usage() {
       "  ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>\n"
       "  ppuf_tool export-spice <input-bit> <deck-file>\n"
       "--threads sizes the worker pool of batch commands; --cache-mb bounds\n"
-      "the CRP response cache (repeated challenges skip the solve).\n";
+      "the CRP response cache (repeated challenges skip the solve);\n"
+      "--metrics-json enables solver/batch/cache metrics on any command and\n"
+      "writes the registry snapshot to <file> on exit.\n";
   return 2;
 }
 
@@ -218,6 +225,10 @@ int cmd_predict_batch(const std::vector<std::string>& args,
               << s.evictions << " evictions, " << s.entries
               << " entries, ~" << s.charged_bytes / 1024 << " KiB\n";
   }
+  // Shard occupancy is cache state, not an event stream, so it is mirrored
+  // into the registry here — once, after the batch — rather than on every
+  // lookup.
+  cache.publish_metrics(obs::MetricsRegistry::global());
   return 0;
 }
 
@@ -271,6 +282,11 @@ int main(int argc, char** argv) {
       } else if (flag == "--cache-mb") {
         opts.cache_mb = std::stoul(argv_rest[consumed + 1]);
         consumed += 2;
+      } else if (flag == "--metrics-json") {
+        opts.metrics_json = argv_rest[consumed + 1];
+        if (opts.metrics_json.empty())
+          throw std::runtime_error("--metrics-json needs a file path");
+        consumed += 2;
       } else {
         break;
       }
@@ -278,16 +294,31 @@ int main(int argc, char** argv) {
     argv_rest.erase(argv_rest.begin(),
                     argv_rest.begin() + static_cast<std::ptrdiff_t>(consumed));
     if (argv_rest.empty()) return usage();
+    if (!opts.metrics_json.empty()) {
+      // Enable before dispatch and pre-register the canonical schema, so
+      // the snapshot always carries the full set of solver/Newton/batch
+      // metric names (as zeros) even for commands that exercise only a
+      // subset of the stack.
+      ppuf::obs::MetricsRegistry::global().set_enabled(true);
+      ppuf::obs::register_standard_metrics(
+          ppuf::obs::MetricsRegistry::global());
+    }
     const std::string cmd = argv_rest[0];
     const std::vector<std::string> args(argv_rest.begin() + 1,
                                         argv_rest.end());
-    if (cmd == "fabricate") return cmd_fabricate(args);
-    if (cmd == "info") return cmd_info(args);
-    if (cmd == "challenge") return cmd_challenge(args);
-    if (cmd == "predict") return cmd_predict(args);
-    if (cmd == "predict-batch") return cmd_predict_batch(args, opts);
-    if (cmd == "evaluate") return cmd_evaluate(args);
-    if (cmd == "export-spice") return cmd_export_spice(args);
+    int rc = -1;
+    if (cmd == "fabricate") rc = cmd_fabricate(args);
+    else if (cmd == "info") rc = cmd_info(args);
+    else if (cmd == "challenge") rc = cmd_challenge(args);
+    else if (cmd == "predict") rc = cmd_predict(args);
+    else if (cmd == "predict-batch") rc = cmd_predict_batch(args, opts);
+    else if (cmd == "evaluate") rc = cmd_evaluate(args);
+    else if (cmd == "export-spice") rc = cmd_export_spice(args);
+    if (rc >= 0) {
+      if (!opts.metrics_json.empty())
+        ppuf::obs::MetricsRegistry::global().write_json(opts.metrics_json);
+      return rc;
+    }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
