@@ -1,0 +1,353 @@
+// Loopback load test of the authentication service (DESIGN.md §12).
+//
+// Three legs, all against in-process AuthServer instances on 127.0.0.1:
+//
+//   1. Load: K = 4 concurrent AuthClients each issue R PREDICT requests
+//      (every one is two max-flow solves server-side), then one full
+//      CHALLENGE -> chained-proof -> CHAINED_AUTH round as the honest
+//      device holder.  Reports items/s and exact (not bucketed) p50/p95/
+//      p99 request latency.
+//   2. Deadline: a raw-socket request whose budget_ms expires inside the
+//      server's work must come back as a *typed* DEADLINE_EXCEEDED error
+//      reply — and the connection must survive to serve the next request.
+//   3. Overload: three pipelined requests against a max_inflight=1,
+//      single-worker server; the admission bound must answer the excess
+//      with typed OVERLOADED replies while the first request completes
+//      normally, all on one connection.
+//
+// Results land in a JSON file (argv[1], default BENCH_server.json) so CI
+// can archive the trend; the exit status encodes the acceptance gates
+// (every load request served, chained auth accepted, both typed-error
+// legs behaving).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "server/auth_server.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace ppuf;
+
+constexpr std::size_t kNodes = 24;
+constexpr std::size_t kGrid = 6;
+constexpr std::uint64_t kFabricationSeed = 2026;
+constexpr unsigned kClients = 4;  ///< acceptance floor: >= 4 concurrent
+constexpr double kChipDelaySeconds = 1e-6;
+
+/// Exact percentile of a sorted sample (nearest-rank).
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  return sorted[std::max<std::size_t>(1, rank) - 1];
+}
+
+/// Read one whole frame from a raw blocking socket.
+util::Status read_frame(int fd, const util::Deadline& deadline,
+                        net::Frame* out) {
+  std::vector<std::uint8_t> buf(net::kHeaderSize);
+  if (util::Status s =
+          net::recv_exact(fd, buf.data(), buf.size(), deadline);
+      !s.is_ok())
+    return s;
+  // payload_len lives in the last 4 header bytes (little-endian).
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(buf[20]) |
+      static_cast<std::uint32_t>(buf[21]) << 8 |
+      static_cast<std::uint32_t>(buf[22]) << 16 |
+      static_cast<std::uint32_t>(buf[23]) << 24;
+  if (payload_len > net::kMaxPayload)
+    return util::Status::internal("oversized reply payload");
+  buf.resize(net::kHeaderSize + payload_len);
+  if (payload_len > 0) {
+    if (util::Status s = net::recv_exact(fd, buf.data() + net::kHeaderSize,
+                                         payload_len, deadline);
+        !s.is_ok())
+      return s;
+  }
+  std::size_t consumed = 0;
+  if (net::decode_frame(buf.data(), buf.size(), out, &consumed) !=
+      net::DecodeResult::kOk)
+    return util::Status::internal("unparseable reply frame");
+  return util::Status::ok();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_server.json";
+  const std::size_t requests_per_client = bench::scaled(30, 8);
+
+  std::cout << "fabricating n=" << kNodes << " instance and extracting the "
+            << "public model...\n";
+  PpufParams params;
+  params.node_count = kNodes;
+  params.grid_size = kGrid;
+  MaxFlowPpuf puf(params, kFabricationSeed);
+  SimulationModel model(puf);
+
+  const unsigned hw = util::ThreadPool::default_thread_count();
+
+  // --- leg 1: concurrent predict load + one chained auth per client -------
+  server::AuthServerOptions so;
+  so.threads = std::max(2u, std::min(hw, 8u));
+  so.max_inflight = 256;
+  so.chain_length = 3;
+  so.spot_checks = 2;
+  server::AuthServer srv(model, so);
+  if (util::Status s = srv.start(); !s.is_ok()) {
+    std::cerr << "FATAL: server start failed: " << s.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "server on 127.0.0.1:" << srv.port() << " ("
+            << so.threads << " workers), " << kClients << " clients x "
+            << requests_per_client << " predicts\n";
+
+  std::vector<std::vector<double>> latencies(kClients);
+  std::vector<std::size_t> failures(kClients, 0);
+  std::vector<std::size_t> chained_ok(kClients, 0);
+  std::vector<double> predict_seconds(kClients, 0.0);
+  // Chip execution mutates solver state, so each client gets its own
+  // (seed-identical) instance — fabricated before the clock starts, since
+  // fabrication is device-owner setup, not serving load.
+  std::vector<std::unique_ptr<MaxFlowPpuf>> chips;
+  for (unsigned k = 0; k < kClients; ++k)
+    chips.push_back(std::make_unique<MaxFlowPpuf>(params, kFabricationSeed));
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(kClients);
+  for (unsigned k = 0; k < kClients; ++k) {
+    threads.emplace_back([&, k] {
+      net::AuthClient client("127.0.0.1", srv.port());
+      util::Rng rng(100 + k);
+      latencies[k].reserve(requests_per_client);
+      for (std::size_t i = 0; i < requests_per_client; ++i) {
+        const Challenge c = random_challenge(model.layout(), rng);
+        SimulationModel::Prediction p;
+        const auto r0 = std::chrono::steady_clock::now();
+        const util::Status s = client.predict(c, &p);
+        const double us =
+            std::chrono::duration<double, std::micro>(
+                std::chrono::steady_clock::now() - r0)
+                .count();
+        if (s.is_ok())
+          latencies[k].push_back(us);
+        else
+          ++failures[k];
+      }
+      // Throughput window ends here; the chained round below exercises the
+      // protocol end to end but its chip-side Newton solves are holder
+      // work, not server load.
+      predict_seconds[k] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        t0)
+              .count();
+      // Full honest-holder round: grant -> chip execution -> verdict.
+      net::ChallengeGrant grant;
+      protocol::ChainedVerifyResult verdict;
+      if (client.get_challenge(&grant).is_ok()) {
+        const protocol::ChainedReport report =
+            protocol::prove_chain_with_ppuf(*chips[k], grant.challenge,
+                                            grant.chain_length, grant.nonce,
+                                            kChipDelaySeconds);
+        if (client.chained_auth(grant, report, &verdict).is_ok() &&
+            verdict.accepted)
+          chained_ok[k] = 1;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double load_seconds =
+      *std::max_element(predict_seconds.begin(), predict_seconds.end());
+
+  std::vector<double> merged;
+  std::size_t total_failures = 0, chained_accepted = 0;
+  for (unsigned k = 0; k < kClients; ++k) {
+    merged.insert(merged.end(), latencies[k].begin(), latencies[k].end());
+    total_failures += failures[k];
+    chained_accepted += chained_ok[k];
+  }
+  std::sort(merged.begin(), merged.end());
+  const std::size_t items = merged.size();
+  const double items_per_sec = static_cast<double>(items) / load_seconds;
+  const double p50 = percentile(merged, 0.50);
+  const double p95 = percentile(merged, 0.95);
+  const double p99 = percentile(merged, 0.99);
+
+  util::Table table({"clients", "items/s", "p50 us", "p95 us", "p99 us"});
+  table.add_row({std::to_string(kClients), util::Table::num(items_per_sec, 4),
+                 util::Table::num(p50, 1), util::Table::num(p95, 1),
+                 util::Table::num(p99, 1)});
+  table.print(std::cout);
+  std::cout << items << " predicts served in "
+            << util::Table::num(load_seconds, 3) << " s, " << total_failures
+            << " failures, " << chained_accepted << "/" << kClients
+            << " chained auths accepted\n";
+
+  // --- leg 2: typed DEADLINE_EXCEEDED on the same (surviving) connection --
+  bool deadline_typed = false, connection_survived = false;
+  {
+    net::Socket sock;
+    if (util::Status s =
+            net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock);
+        !s.is_ok()) {
+      std::cerr << "FATAL: deadline-leg connect failed: " << s.to_string()
+                << "\n";
+      return 1;
+    }
+    const util::Deadline io = util::Deadline::after_seconds(5.0);
+    // budget_ms = 25 but the ping asks to be held 2000 ms: the budget
+    // expires inside the handler, which must answer typed, not hang.
+    const std::vector<std::uint8_t> request = net::encode_frame(
+        net::MessageType::kPingRequest, 777, 25,
+        net::encode_ping_request(2000));
+    net::Frame reply;
+    if (net::send_all(sock.fd(), request.data(), request.size(), io)
+            .is_ok() &&
+        read_frame(sock.fd(), io, &reply).is_ok() &&
+        reply.type == net::MessageType::kErrorReply &&
+        reply.request_id == 777) {
+      net::ErrorReply err;
+      deadline_typed = net::decode_error_reply(reply.payload, &err).is_ok() &&
+                       err.code == net::WireCode::kDeadlineExceeded;
+    }
+    // The connection must still be serviceable after the typed error.
+    const std::vector<std::uint8_t> followup = net::encode_frame(
+        net::MessageType::kPingRequest, 778, 0, net::encode_ping_request(0));
+    net::Frame reply2;
+    connection_survived =
+        net::send_all(sock.fd(), followup.data(), followup.size(), io)
+            .is_ok() &&
+        read_frame(sock.fd(), io, &reply2).is_ok() &&
+        reply2.type == net::MessageType::kPingReply &&
+        reply2.request_id == 778;
+  }
+  std::cout << "deadline leg: typed reply " << (deadline_typed ? "yes" : "NO")
+            << ", connection survived "
+            << (connection_survived ? "yes" : "NO") << "\n";
+  srv.stop();
+
+  // --- leg 3: typed OVERLOADED past the admission bound -------------------
+  std::size_t overloaded_replies = 0, served_under_overload = 0;
+  std::uint64_t server_overload_count = 0;
+  {
+    server::AuthServerOptions tiny;
+    tiny.threads = 1;
+    tiny.max_inflight = 1;
+    server::AuthServer small(model, tiny);
+    if (util::Status s = small.start(); !s.is_ok()) {
+      std::cerr << "FATAL: overload-leg server start failed: "
+                << s.to_string() << "\n";
+      return 1;
+    }
+    net::Socket sock;
+    if (util::Status s =
+            net::connect_tcp("127.0.0.1", small.port(), 2000, &sock);
+        !s.is_ok()) {
+      std::cerr << "FATAL: overload-leg connect failed: " << s.to_string()
+                << "\n";
+      return 1;
+    }
+    // Three requests in one write: the first occupies the only worker for
+    // 300 ms, so the loop must reject the other two at admission — without
+    // blocking the acceptor or dropping the connection.
+    std::vector<std::uint8_t> burst;
+    for (std::uint64_t id = 1; id <= 3; ++id) {
+      const std::vector<std::uint8_t> f = net::encode_frame(
+          net::MessageType::kPingRequest, id, 0,
+          net::encode_ping_request(300));
+      burst.insert(burst.end(), f.begin(), f.end());
+    }
+    const util::Deadline io = util::Deadline::after_seconds(10.0);
+    if (!net::send_all(sock.fd(), burst.data(), burst.size(), io).is_ok()) {
+      std::cerr << "FATAL: overload-leg send failed\n";
+      return 1;
+    }
+    for (int i = 0; i < 3; ++i) {
+      net::Frame reply;
+      if (!read_frame(sock.fd(), io, &reply).is_ok()) break;
+      if (reply.type == net::MessageType::kPingReply) {
+        ++served_under_overload;
+      } else if (reply.type == net::MessageType::kErrorReply) {
+        net::ErrorReply err;
+        if (net::decode_error_reply(reply.payload, &err).is_ok() &&
+            err.code == net::WireCode::kOverloaded)
+          ++overloaded_replies;
+      }
+    }
+    small.stop();
+    server_overload_count = small.stats().overloaded_rejections;
+  }
+  std::cout << "overload leg: " << overloaded_replies
+            << " typed OVERLOADED replies, " << served_under_overload
+            << " served (server counted " << server_overload_count << ")\n";
+
+  bench::paper_note(
+      "the verifier is a service by construction: the prover owns the chip, "
+      "the verifier owns only the published model — so load, deadlines and "
+      "admission control are part of the authentication story, not ops "
+      "trivia.");
+
+  std::ofstream json(json_path);
+  json << "{\n";
+  json << "  \"nodes\": " << kNodes << ",\n";
+  json << "  \"hardware_concurrency\": " << hw << ",\n";
+  json << "  \"server_threads\": " << so.threads << ",\n";
+  json << "  \"clients\": " << kClients << ",\n";
+  json << "  \"requests_per_client\": " << requests_per_client << ",\n";
+  json << "  \"items\": " << items << ",\n";
+  json << "  \"failures\": " << total_failures << ",\n";
+  json << "  \"seconds\": " << load_seconds << ",\n";
+  json << "  \"items_per_sec\": " << items_per_sec << ",\n";
+  json << "  \"p50_us\": " << p50 << ",\n";
+  json << "  \"p95_us\": " << p95 << ",\n";
+  json << "  \"p99_us\": " << p99 << ",\n";
+  json << "  \"chained_auth_accepted\": " << chained_accepted << ",\n";
+  json << "  \"deadline_typed_reply\": " << (deadline_typed ? 1 : 0) << ",\n";
+  json << "  \"deadline_connection_survived\": "
+       << (connection_survived ? 1 : 0) << ",\n";
+  json << "  \"overloaded_typed_replies\": " << overloaded_replies << ",\n";
+  json << "  \"overload_served\": " << served_under_overload << "\n";
+  json << "}\n";
+  std::cout << "json written to " << json_path << "\n";
+
+  bool failed = false;
+  if (total_failures != 0) {
+    std::cerr << "FAIL: " << total_failures << " load requests failed\n";
+    failed = true;
+  }
+  if (chained_accepted != kClients) {
+    std::cerr << "FAIL: only " << chained_accepted << "/" << kClients
+              << " chained auths accepted\n";
+    failed = true;
+  }
+  if (!deadline_typed || !connection_survived) {
+    std::cerr << "FAIL: deadline leg did not produce a typed reply on a "
+              << "surviving connection\n";
+    failed = true;
+  }
+  if (overloaded_replies != 2 || served_under_overload != 1) {
+    std::cerr << "FAIL: overload leg expected 1 served + 2 typed OVERLOADED "
+              << "replies\n";
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}

@@ -1,0 +1,260 @@
+#include "net/client.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "net/socket.hpp"
+
+namespace ppuf::net {
+
+namespace {
+
+using util::Status;
+
+/// The deadline actually used for one attempt: the caller's, or the
+/// default per-attempt budget when the caller passed unlimited (a client
+/// must never block forever on a wedged server).
+util::Deadline attempt_deadline(const util::Deadline& caller,
+                                int default_ms) {
+  if (!caller.is_unlimited()) return caller;
+  return util::Deadline::after_seconds(default_ms * 1e-3);
+}
+
+std::uint32_t budget_ms_for(const util::Deadline& caller) {
+  if (caller.is_unlimited()) return 0;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      caller.remaining());
+  // A sub-millisecond remainder still rounds up to 1 so "expired on the
+  // client" and "unlimited on the wire" can never be confused.
+  const auto ms = std::max<std::chrono::milliseconds::rep>(1, left.count());
+  return static_cast<std::uint32_t>(
+      std::min<std::chrono::milliseconds::rep>(ms, 0xffffffffu));
+}
+
+}  // namespace
+
+AuthClient::AuthClient(std::string host, std::uint16_t port,
+                       ClientOptions options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+AuthClient::~AuthClient() { disconnect(); }
+
+bool AuthClient::connected() const { return fd_ >= 0; }
+
+void AuthClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status AuthClient::ensure_connected(const util::Deadline& deadline) {
+  if (fd_ >= 0) return Status::ok();
+  const auto left_ms = deadline.is_unlimited()
+                           ? options_.connect_timeout_ms
+                           : static_cast<int>(std::min<long long>(
+                                 options_.connect_timeout_ms,
+                                 std::chrono::duration_cast<
+                                     std::chrono::milliseconds>(
+                                     deadline.remaining())
+                                     .count()));
+  Socket sock;
+  if (Status s = connect_tcp(host_, port_, left_ms, &sock); !s.is_ok())
+    return s;
+  fd_ = sock.release();
+  ++stats_.reconnects;
+  return Status::ok();
+}
+
+util::Status AuthClient::attempt(MessageType type,
+                                 const std::vector<std::uint8_t>& payload,
+                                 const util::Deadline& deadline,
+                                 Frame* reply) {
+  ++stats_.attempts;
+  if (Status s = ensure_connected(deadline); !s.is_ok()) return s;
+
+  const std::uint64_t request_id = next_request_id_++;
+  const std::vector<std::uint8_t> frame =
+      encode_frame(type, request_id, budget_ms_for(deadline), payload);
+  if (Status s = send_all(fd_, frame.data(), frame.size(), deadline);
+      !s.is_ok()) {
+    disconnect();
+    return s;
+  }
+
+  std::vector<std::uint8_t> header(kHeaderSize);
+  if (Status s = recv_exact(fd_, header.data(), header.size(), deadline);
+      !s.is_ok()) {
+    disconnect();
+    return s;
+  }
+  // Peek the payload length out of the fixed header so we know how many
+  // more bytes to read; full validation happens in decode_frame below.
+  protocol::codec::Reader r(header.data(), header.size());
+  std::uint32_t magic = 0, payload_len = 0, budget = 0;
+  std::uint16_t version = 0, type_raw = 0;
+  std::uint64_t reply_id = 0;
+  r.u32(&magic);
+  r.u16(&version);
+  r.u16(&type_raw);
+  r.u64(&reply_id);
+  r.u32(&budget);
+  r.u32(&payload_len);
+  if (magic != kWireMagic || version != kWireVersion ||
+      payload_len > kMaxPayload) {
+    disconnect();
+    return Status::internal("server sent an unparseable frame header");
+  }
+
+  std::size_t consumed = 0;
+  std::vector<std::uint8_t> whole(header);
+  whole.resize(kHeaderSize + payload_len);
+  if (payload_len > 0) {
+    if (Status s = recv_exact(fd_, whole.data() + kHeaderSize, payload_len,
+                              deadline);
+        !s.is_ok()) {
+      disconnect();
+      return s;
+    }
+  }
+  if (decode_frame(whole.data(), whole.size(), reply, &consumed) !=
+      DecodeResult::kOk) {
+    disconnect();
+    return Status::internal("server sent an unparseable frame");
+  }
+  if (reply->request_id != request_id) {
+    // The stream is out of sync (a stale reply from a previous timed-out
+    // request); drop the connection rather than guess.
+    disconnect();
+    return Status::unavailable("reply id mismatch; connection resynced");
+  }
+  return Status::ok();
+}
+
+util::Status AuthClient::round_trip(MessageType type,
+                                    const std::vector<std::uint8_t>& payload,
+                                    const util::Deadline& deadline,
+                                    MessageType expected_reply,
+                                    Frame* reply) {
+  ++stats_.requests;
+  Status last = Status::internal("no attempt made");
+  int backoff_ms = options_.backoff_initial_ms;
+  const int attempts = std::max(1, options_.max_attempts);
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) {
+      ++stats_.retries;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+    const util::Deadline att =
+        attempt_deadline(deadline, options_.request_timeout_ms);
+    last = attempt(type, payload, att, reply);
+    if (last.is_ok()) {
+      if (reply->type == MessageType::kErrorReply) {
+        ErrorReply err;
+        if (Status s = decode_error_reply(reply->payload, &err); !s.is_ok())
+          return s;
+        last = wire_code_to_status(
+            err.code, std::string(wire_code_name(err.code)) +
+                          (err.message.empty() ? "" : ": " + err.message));
+        // Typed transient rejections (OVERLOADED, SHUTTING_DOWN) retry
+        // like transport failures; anything else is final.
+        if (last.code() != util::StatusCode::kUnavailable) return last;
+        continue;
+      }
+      if (reply->type != expected_reply) {
+        disconnect();
+        return Status::internal(
+            std::string("unexpected reply type ") +
+            message_type_name(reply->type));
+      }
+      return Status::ok();
+    }
+    // Only transient transport failures are worth another attempt.
+    if (last.code() != util::StatusCode::kUnavailable) return last;
+  }
+  return last;
+}
+
+util::Status AuthClient::ping(std::uint32_t delay_ms,
+                              const util::Deadline& deadline) {
+  Frame reply;
+  return round_trip(MessageType::kPingRequest,
+                    encode_ping_request(delay_ms), deadline,
+                    MessageType::kPingReply, &reply);
+}
+
+util::Status AuthClient::predict(const Challenge& challenge,
+                                 SimulationModel::Prediction* out,
+                                 const util::Deadline& deadline) {
+  Frame reply;
+  if (Status s = round_trip(MessageType::kPredictRequest,
+                            encode_predict_request(challenge), deadline,
+                            MessageType::kPredictReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_predict_reply(reply.payload, out);
+}
+
+util::Status AuthClient::verify(const Challenge& challenge,
+                                const protocol::ProverReport& report,
+                                protocol::AuthenticationResult* out,
+                                const util::Deadline& deadline) {
+  Frame reply;
+  if (Status s = round_trip(MessageType::kVerifyRequest,
+                            encode_verify_request(challenge, report),
+                            deadline, MessageType::kVerifyReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_verify_reply(reply.payload, out);
+}
+
+util::Status AuthClient::verify_batch(
+    const std::vector<Challenge>& challenges,
+    const std::vector<protocol::ProverReport>& reports,
+    std::vector<protocol::AuthenticationResult>* out,
+    const util::Deadline& deadline) {
+  if (challenges.size() != reports.size())
+    return Status::invalid_argument(
+        "verify_batch: challenges/reports size mismatch");
+  Frame reply;
+  if (Status s =
+          round_trip(MessageType::kVerifyBatchRequest,
+                     encode_verify_batch_request(challenges, reports),
+                     deadline, MessageType::kVerifyBatchReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_verify_batch_reply(reply.payload, out);
+}
+
+util::Status AuthClient::get_challenge(ChallengeGrant* out,
+                                       const util::Deadline& deadline) {
+  Frame reply;
+  if (Status s = round_trip(MessageType::kChallengeRequest,
+                            encode_challenge_request(), deadline,
+                            MessageType::kChallengeReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_challenge_reply(reply.payload, out);
+}
+
+util::Status AuthClient::chained_auth(const ChallengeGrant& grant,
+                                      const protocol::ChainedReport& report,
+                                      protocol::ChainedVerifyResult* out,
+                                      const util::Deadline& deadline) {
+  ChainedAuthRequest req;
+  req.grant = grant;
+  req.report = report;
+  Frame reply;
+  if (Status s = round_trip(MessageType::kChainedAuthRequest,
+                            encode_chained_auth_request(req), deadline,
+                            MessageType::kChainedAuthReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_chained_auth_reply(reply.payload, out);
+}
+
+}  // namespace ppuf::net

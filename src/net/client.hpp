@@ -1,0 +1,112 @@
+// Blocking client for the authentication service.
+//
+// One AuthClient owns one connection (lazily opened, transparently
+// reopened) and performs synchronous request/reply rounds.  Transient
+// failures — connect refused, connection reset, a typed OVERLOADED or
+// SHUTTING_DOWN reply — are retried up to `max_attempts` with bounded
+// exponential backoff; deterministic failures (malformed, invalid
+// argument, a typed DEADLINE_EXCEEDED) are returned at once.  All request
+// methods are read-only on the server, so retry is always safe.
+//
+// Deadline plumbing: pass a util::Deadline per request and the client puts
+// Deadline::remaining() on the wire as the budget_ms header field; the
+// server re-anchors it on arrival and propagates it into its solvers.  The
+// same deadline also bounds the client-side socket I/O, so a dead server
+// cannot hold the caller past its own budget.
+//
+// Not thread-safe: one AuthClient per thread (they are cheap — a load
+// generator opens K of them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::net {
+
+struct ClientOptions {
+  int connect_timeout_ms = 2000;
+  /// Per-attempt transport budget when the request carries no deadline.
+  int request_timeout_ms = 30000;
+  /// Total tries per request (1 = no retry).
+  int max_attempts = 3;
+  int backoff_initial_ms = 10;
+  int backoff_max_ms = 500;
+};
+
+class AuthClient {
+ public:
+  AuthClient(std::string host, std::uint16_t port,
+             ClientOptions options = {});
+  ~AuthClient();
+
+  AuthClient(const AuthClient&) = delete;
+  AuthClient& operator=(const AuthClient&) = delete;
+
+  /// Round-trip a no-op frame; `delay_ms` asks the server's worker to hold
+  /// the request that long before answering (load/overload testing).
+  util::Status ping(std::uint32_t delay_ms = 0,
+                    const util::Deadline& deadline = {});
+
+  util::Status predict(const Challenge& challenge,
+                       SimulationModel::Prediction* out,
+                       const util::Deadline& deadline = {});
+
+  util::Status verify(const Challenge& challenge,
+                      const protocol::ProverReport& report,
+                      protocol::AuthenticationResult* out,
+                      const util::Deadline& deadline = {});
+
+  util::Status verify_batch(
+      const std::vector<Challenge>& challenges,
+      const std::vector<protocol::ProverReport>& reports,
+      std::vector<protocol::AuthenticationResult>* out,
+      const util::Deadline& deadline = {});
+
+  /// Ask the verifier for a chain grant (first challenge, k, nonce).
+  util::Status get_challenge(ChallengeGrant* out,
+                             const util::Deadline& deadline = {});
+
+  /// Submit the chained report answering `grant`.
+  util::Status chained_auth(const ChallengeGrant& grant,
+                            const protocol::ChainedReport& report,
+                            protocol::ChainedVerifyResult* out,
+                            const util::Deadline& deadline = {});
+
+  struct Stats {
+    std::uint64_t requests = 0;   ///< logical requests issued
+    std::uint64_t attempts = 0;   ///< wire round-trips tried
+    std::uint64_t retries = 0;    ///< attempts beyond the first
+    std::uint64_t reconnects = 0; ///< sockets (re)opened
+  };
+  const Stats& stats() const { return stats_; }
+
+  bool connected() const;
+  void disconnect();
+
+ private:
+  /// One request with retry/backoff/reconnect.  On success `*reply` holds
+  /// the reply frame (possibly kErrorReply, which is mapped to a Status by
+  /// the caller-facing wrappers).
+  util::Status round_trip(MessageType type,
+                          const std::vector<std::uint8_t>& payload,
+                          const util::Deadline& deadline,
+                          MessageType expected_reply, Frame* reply);
+  /// Single attempt: (re)connect if needed, send, receive one frame.
+  util::Status attempt(MessageType type,
+                       const std::vector<std::uint8_t>& payload,
+                       const util::Deadline& deadline, Frame* reply);
+  util::Status ensure_connected(const util::Deadline& deadline);
+
+  std::string host_;
+  std::uint16_t port_;
+  ClientOptions options_;
+  Stats stats_;
+  std::uint64_t next_request_id_ = 1;
+  int fd_ = -1;
+};
+
+}  // namespace ppuf::net

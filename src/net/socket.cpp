@@ -1,0 +1,190 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+
+namespace ppuf::net {
+
+namespace {
+
+using util::Status;
+
+Status errno_status(const char* what) {
+  return Status::unavailable(std::string(what) + ": " + strerror(errno));
+}
+
+/// Remaining deadline budget as a poll() timeout: -1 for unlimited,
+/// clamped to [0, INT_MAX] otherwise.
+int poll_timeout_ms(const util::Deadline& deadline) {
+  if (deadline.is_unlimited()) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline.remaining());
+  return static_cast<int>(
+      std::min<std::chrono::milliseconds::rep>(left.count(), 1 << 30));
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+int Socket::release() {
+  const int fd = fd_;
+  fd_ = -1;
+  return fd;
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+util::Status set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+    return errno_status("fcntl(O_NONBLOCK)");
+  return Status::ok();
+}
+
+util::Status listen_tcp(std::uint16_t port, int backlog, Socket* out,
+                        std::uint16_t* bound_port) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+  const int one = 1;
+  // REUSEADDR so a drained-and-restarted server does not trip over
+  // TIME_WAIT from its own previous life.
+  setsockopt(sock.fd(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(sock.fd(), reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0)
+    return errno_status("bind");
+  if (::listen(sock.fd(), backlog) < 0) return errno_status("listen");
+
+  sockaddr_in actual{};
+  socklen_t len = sizeof(actual);
+  if (getsockname(sock.fd(), reinterpret_cast<sockaddr*>(&actual), &len) <
+      0)
+    return errno_status("getsockname");
+  *bound_port = ntohs(actual.sin_port);
+
+  if (Status s = set_nonblocking(sock.fd()); !s.is_ok()) return s;
+  *out = std::move(sock);
+  return Status::ok();
+}
+
+util::Status connect_tcp(const std::string& host, std::uint16_t port,
+                         int timeout_ms, Socket* out) {
+  Socket sock(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!sock.valid()) return errno_status("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::invalid_argument("not an IPv4 address: " + host);
+
+  // Non-blocking connect + poll gives a real timeout (a blocking connect
+  // can hang for minutes on a black-holed address).
+  if (Status s = set_nonblocking(sock.fd()); !s.is_ok()) return s;
+  if (::connect(sock.fd(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof(addr)) < 0) {
+    if (errno != EINPROGRESS) return errno_status("connect");
+    pollfd pfd{sock.fd(), POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc == 0)
+      return Status::deadline_exceeded("connect timed out: " + host);
+    if (rc < 0) return errno_status("poll(connect)");
+    int err = 0;
+    socklen_t len = sizeof(err);
+    if (getsockopt(sock.fd(), SOL_SOCKET, SO_ERROR, &err, &len) < 0 ||
+        err != 0) {
+      errno = err;
+      return errno_status("connect");
+    }
+  }
+
+  // Back to blocking for the synchronous client; disable Nagle so small
+  // request frames do not wait for a 40 ms delayed ACK.
+  const int flags = fcntl(sock.fd(), F_GETFL, 0);
+  if (flags < 0 ||
+      fcntl(sock.fd(), F_SETFL, flags & ~O_NONBLOCK) < 0)
+    return errno_status("fcntl(blocking)");
+  const int one = 1;
+  setsockopt(sock.fd(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  *out = std::move(sock);
+  return Status::ok();
+}
+
+util::Status send_all(int fd, const std::uint8_t* data, std::size_t size,
+                      const util::Deadline& deadline) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    if (deadline.expired())
+      return Status::deadline_exceeded("send timed out");
+    pollfd pfd{fd, POLLOUT, 0};
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc == 0) return Status::deadline_exceeded("send timed out");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll(send)");
+    }
+    const ssize_t n =
+        ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return errno_status("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+util::Status recv_exact(int fd, std::uint8_t* data, std::size_t size,
+                        const util::Deadline& deadline) {
+  std::size_t got = 0;
+  while (got < size) {
+    if (deadline.expired())
+      return Status::deadline_exceeded("recv timed out");
+    pollfd pfd{fd, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, poll_timeout_ms(deadline));
+    if (rc == 0) return Status::deadline_exceeded("recv timed out");
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("poll(recv)");
+    }
+    const ssize_t n = ::recv(fd, data + got, size - got, 0);
+    if (n == 0) return Status::unavailable("connection closed by peer");
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+        continue;
+      return errno_status("recv");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+}  // namespace ppuf::net

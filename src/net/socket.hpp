@@ -1,0 +1,62 @@
+// Thin RAII layer over POSIX TCP sockets (Linux).
+//
+// Everything the service needs and nothing more: an owning fd wrapper, a
+// listener factory that can bind an ephemeral port and report which one it
+// got, a connector with a real connect timeout (non-blocking connect +
+// poll), and deadline-bounded send_all/recv_exact for the blocking client.
+// Errors are typed Statuses, not errno soup: transport failures come back
+// kUnavailable (retryable), timeouts kDeadlineExceeded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace ppuf::net {
+
+/// Owning file descriptor.  Move-only; closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  /// Release ownership without closing.
+  int release();
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on 127.0.0.1:`port` (0 = ephemeral).  On success fills
+/// `*bound_port` with the actual port.  The socket is returned in
+/// non-blocking mode (it feeds the epoll loop).
+util::Status listen_tcp(std::uint16_t port, int backlog, Socket* out,
+                        std::uint16_t* bound_port);
+
+/// Connect to host:port with a timeout; the returned socket is *blocking*
+/// (the client does synchronous request/reply).
+util::Status connect_tcp(const std::string& host, std::uint16_t port,
+                         int timeout_ms, Socket* out);
+
+util::Status set_nonblocking(int fd);
+
+/// Write all `size` bytes before `deadline` (poll-bounded).
+util::Status send_all(int fd, const std::uint8_t* data, std::size_t size,
+                      const util::Deadline& deadline);
+
+/// Read exactly `size` bytes before `deadline`.  A clean peer close mid-
+/// message is kUnavailable ("connection closed").
+util::Status recv_exact(int fd, std::uint8_t* data, std::size_t size,
+                        const util::Deadline& deadline);
+
+}  // namespace ppuf::net

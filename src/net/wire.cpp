@@ -1,0 +1,372 @@
+#include "net/wire.hpp"
+
+namespace ppuf::net {
+
+namespace {
+
+using protocol::codec::Reader;
+using protocol::codec::Writer;
+using util::Status;
+
+Status malformed(const char* what) {
+  return Status::invalid_argument(std::string("malformed ") + what);
+}
+
+/// Shared epilogue: a payload decoder must consume its bytes exactly.
+Status finish(const Reader& r, const char* what) {
+  if (!r.exhausted()) return malformed(what);
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* message_type_name(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest: return "PING";
+    case MessageType::kPredictRequest: return "PREDICT";
+    case MessageType::kVerifyRequest: return "VERIFY";
+    case MessageType::kVerifyBatchRequest: return "VERIFY_BATCH";
+    case MessageType::kChallengeRequest: return "CHALLENGE";
+    case MessageType::kChainedAuthRequest: return "CHAINED_AUTH";
+    case MessageType::kErrorReply: return "ERROR_REPLY";
+    case MessageType::kPingReply: return "PING_REPLY";
+    case MessageType::kPredictReply: return "PREDICT_REPLY";
+    case MessageType::kVerifyReply: return "VERIFY_REPLY";
+    case MessageType::kVerifyBatchReply: return "VERIFY_BATCH_REPLY";
+    case MessageType::kChallengeReply: return "CHALLENGE_REPLY";
+    case MessageType::kChainedAuthReply: return "CHAINED_AUTH_REPLY";
+  }
+  return "UNKNOWN";
+}
+
+bool is_request(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest:
+    case MessageType::kPredictRequest:
+    case MessageType::kVerifyRequest:
+    case MessageType::kVerifyBatchRequest:
+    case MessageType::kChallengeRequest:
+    case MessageType::kChainedAuthRequest:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* wire_code_name(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "OK";
+    case WireCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case WireCode::kMalformed: return "MALFORMED";
+    case WireCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
+    case WireCode::kCancelled: return "CANCELLED";
+    case WireCode::kOverloaded: return "OVERLOADED";
+    case WireCode::kShuttingDown: return "SHUTTING_DOWN";
+    case WireCode::kUnsupportedType: return "UNSUPPORTED_TYPE";
+    case WireCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+util::Status wire_code_to_status(WireCode code, const std::string& message) {
+  switch (code) {
+    case WireCode::kOk:
+      return Status::ok();
+    case WireCode::kDeadlineExceeded:
+      return Status::deadline_exceeded(message);
+    case WireCode::kCancelled:
+      return Status::cancelled(message);
+    case WireCode::kOverloaded:
+    case WireCode::kShuttingDown:
+      return Status::unavailable(message);
+    case WireCode::kInvalidArgument:
+    case WireCode::kMalformed:
+    case WireCode::kUnsupportedType:
+      return Status::invalid_argument(message);
+    case WireCode::kInternal:
+      return Status::internal(message);
+  }
+  return Status::internal(message);
+}
+
+std::vector<std::uint8_t> encode_frame(
+    MessageType type, std::uint64_t request_id, std::uint32_t budget_ms,
+    const std::vector<std::uint8_t>& payload) {
+  Writer w;
+  w.u32(kWireMagic);
+  w.u16(kWireVersion);
+  w.u16(static_cast<std::uint16_t>(type));
+  w.u64(request_id);
+  w.u32(budget_ms);
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.raw(payload.data(), payload.size());
+  return w.take();
+}
+
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
+                          Frame* out, std::size_t* consumed) {
+  if (size < kHeaderSize) return DecodeResult::kNeedMore;
+  Reader r(data, kHeaderSize);
+  std::uint32_t magic = 0, payload_len = 0;
+  std::uint16_t version = 0, type_raw = 0;
+  std::uint64_t request_id = 0;
+  std::uint32_t budget_ms = 0;
+  r.u32(&magic);
+  r.u16(&version);
+  r.u16(&type_raw);
+  r.u64(&request_id);
+  r.u32(&budget_ms);
+  r.u32(&payload_len);
+  if (magic != kWireMagic || version != kWireVersion ||
+      payload_len > kMaxPayload)
+    return DecodeResult::kMalformed;
+  const std::size_t total = kHeaderSize + payload_len;
+  if (size < total) return DecodeResult::kNeedMore;
+  out->version = version;
+  out->type = static_cast<MessageType>(type_raw);
+  out->request_id = request_id;
+  out->budget_ms = budget_ms;
+  out->payload.assign(data + kHeaderSize, data + total);
+  *consumed = total;
+  return DecodeResult::kOk;
+}
+
+// --- typed payloads -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& e) {
+  Writer w;
+  w.u16(static_cast<std::uint16_t>(e.code));
+  w.str(e.message);
+  return w.take();
+}
+
+util::Status decode_error_reply(const std::vector<std::uint8_t>& payload,
+                                ErrorReply* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint16_t code = 0;
+  if (!r.u16(&code) ||
+      code > static_cast<std::uint16_t>(WireCode::kInternal) ||
+      !r.str(&out->message))
+    return malformed("error reply");
+  out->code = static_cast<WireCode>(code);
+  return finish(r, "error reply");
+}
+
+std::vector<std::uint8_t> encode_ping_request(std::uint32_t delay_ms) {
+  Writer w;
+  w.u32(delay_ms);
+  return w.take();
+}
+
+util::Status decode_ping_request(const std::vector<std::uint8_t>& payload,
+                                 std::uint32_t* delay_ms) {
+  Reader r(payload.data(), payload.size());
+  if (!r.u32(delay_ms)) return malformed("ping request");
+  return finish(r, "ping request");
+}
+
+std::vector<std::uint8_t> encode_predict_request(const Challenge& c) {
+  Writer w;
+  protocol::codec::encode_challenge(w, c);
+  return w.take();
+}
+
+util::Status decode_predict_request(const std::vector<std::uint8_t>& payload,
+                                    Challenge* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_challenge(r, out); !s.is_ok())
+    return s;
+  return finish(r, "predict request");
+}
+
+std::vector<std::uint8_t> encode_predict_reply(
+    const SimulationModel::Prediction& p) {
+  Writer w;
+  protocol::codec::encode_prediction(w, p);
+  return w.take();
+}
+
+util::Status decode_predict_reply(const std::vector<std::uint8_t>& payload,
+                                  SimulationModel::Prediction* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_prediction(r, out); !s.is_ok())
+    return s;
+  return finish(r, "predict reply");
+}
+
+std::vector<std::uint8_t> encode_verify_request(
+    const Challenge& c, const protocol::ProverReport& report) {
+  Writer w;
+  protocol::codec::encode_challenge(w, c);
+  protocol::codec::encode_prover_report(w, report);
+  return w.take();
+}
+
+util::Status decode_verify_request(const std::vector<std::uint8_t>& payload,
+                                   Challenge* c,
+                                   protocol::ProverReport* report) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_challenge(r, c); !s.is_ok())
+    return s;
+  if (Status s = protocol::codec::decode_prover_report(r, report);
+      !s.is_ok())
+    return s;
+  return finish(r, "verify request");
+}
+
+std::vector<std::uint8_t> encode_verify_reply(
+    const protocol::AuthenticationResult& res) {
+  Writer w;
+  protocol::codec::encode_auth_result(w, res);
+  return w.take();
+}
+
+util::Status decode_verify_reply(const std::vector<std::uint8_t>& payload,
+                                 protocol::AuthenticationResult* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_auth_result(r, out); !s.is_ok())
+    return s;
+  return finish(r, "verify reply");
+}
+
+std::vector<std::uint8_t> encode_verify_batch_request(
+    const std::vector<Challenge>& challenges,
+    const std::vector<protocol::ProverReport>& reports) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(challenges.size()));
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    protocol::codec::encode_challenge(w, challenges[i]);
+    protocol::codec::encode_prover_report(w, reports[i]);
+  }
+  return w.take();
+}
+
+util::Status decode_verify_batch_request(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<Challenge>* challenges,
+    std::vector<protocol::ProverReport>* reports) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t count = 0;
+  if (!r.u32(&count)) return malformed("verify batch request");
+  // An item is at least ~52 bytes (12-byte minimal challenge + 40-byte
+  // minimal report); 52 defeats forged counts without being tight.
+  if (static_cast<std::size_t>(count) > r.remaining() / 52)
+    return malformed("verify batch count");
+  challenges->clear();
+  reports->clear();
+  challenges->reserve(count);
+  reports->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Challenge c;
+    protocol::ProverReport report;
+    if (Status s = protocol::codec::decode_challenge(r, &c); !s.is_ok())
+      return s;
+    if (Status s = protocol::codec::decode_prover_report(r, &report);
+        !s.is_ok())
+      return s;
+    challenges->push_back(std::move(c));
+    reports->push_back(std::move(report));
+  }
+  return finish(r, "verify batch request");
+}
+
+std::vector<std::uint8_t> encode_verify_batch_reply(
+    const std::vector<protocol::AuthenticationResult>& results) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(results.size()));
+  for (const auto& res : results) protocol::codec::encode_auth_result(w, res);
+  return w.take();
+}
+
+util::Status decode_verify_batch_reply(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<protocol::AuthenticationResult>* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t count = 0;
+  if (!r.u32(&count) ||
+      static_cast<std::size_t>(count) > r.remaining() / 8)
+    return malformed("verify batch reply");
+  out->clear();
+  out->reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    protocol::AuthenticationResult res;
+    if (Status s = protocol::codec::decode_auth_result(r, &res); !s.is_ok())
+      return s;
+    out->push_back(std::move(res));
+  }
+  return finish(r, "verify batch reply");
+}
+
+std::vector<std::uint8_t> encode_challenge_request() { return {}; }
+
+util::Status decode_challenge_request(
+    const std::vector<std::uint8_t>& payload) {
+  if (!payload.empty()) return malformed("challenge request");
+  return Status::ok();
+}
+
+std::vector<std::uint8_t> encode_challenge_reply(const ChallengeGrant& g) {
+  Writer w;
+  protocol::codec::encode_challenge(w, g.challenge);
+  w.u32(g.chain_length);
+  w.u64(g.nonce);
+  w.f64(g.deadline_seconds);
+  return w.take();
+}
+
+util::Status decode_challenge_reply(const std::vector<std::uint8_t>& payload,
+                                    ChallengeGrant* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_challenge(r, &out->challenge);
+      !s.is_ok())
+    return s;
+  if (!r.u32(&out->chain_length) || out->chain_length == 0 ||
+      !r.u64(&out->nonce) || !r.f64(&out->deadline_seconds))
+    return malformed("challenge reply");
+  return finish(r, "challenge reply");
+}
+
+std::vector<std::uint8_t> encode_chained_auth_request(
+    const ChainedAuthRequest& req) {
+  Writer w;
+  protocol::codec::encode_challenge(w, req.grant.challenge);
+  w.u32(req.grant.chain_length);
+  w.u64(req.grant.nonce);
+  w.f64(req.grant.deadline_seconds);
+  protocol::codec::encode_chained_report(w, req.report);
+  return w.take();
+}
+
+util::Status decode_chained_auth_request(
+    const std::vector<std::uint8_t>& payload, ChainedAuthRequest* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s =
+          protocol::codec::decode_challenge(r, &out->grant.challenge);
+      !s.is_ok())
+    return s;
+  if (!r.u32(&out->grant.chain_length) || out->grant.chain_length == 0 ||
+      !r.u64(&out->grant.nonce) || !r.f64(&out->grant.deadline_seconds))
+    return malformed("chained auth grant");
+  if (Status s = protocol::codec::decode_chained_report(r, &out->report);
+      !s.is_ok())
+    return s;
+  return finish(r, "chained auth request");
+}
+
+std::vector<std::uint8_t> encode_chained_auth_reply(
+    const protocol::ChainedVerifyResult& res) {
+  Writer w;
+  protocol::codec::encode_chained_result(w, res);
+  return w.take();
+}
+
+util::Status decode_chained_auth_reply(
+    const std::vector<std::uint8_t>& payload,
+    protocol::ChainedVerifyResult* out) {
+  Reader r(payload.data(), payload.size());
+  if (Status s = protocol::codec::decode_chained_result(r, out); !s.is_ok())
+    return s;
+  return finish(r, "chained auth reply");
+}
+
+}  // namespace ppuf::net

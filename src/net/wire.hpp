@@ -1,0 +1,204 @@
+// Framed wire protocol of the authentication service.
+//
+// Every message is one frame:
+//
+//   offset  size  field
+//        0     4  magic          "PPUF" (0x46 0x55 0x50 0x50 on the wire —
+//                                little-endian u32 of 'P','P','U','F')
+//        4     2  version        kWireVersion (1)
+//        6     2  type           MessageType
+//        8     8  request_id     echoed verbatim in the reply
+//       16     4  budget_ms      per-request deadline budget; 0 = unlimited
+//       20     4  payload_len    bytes following the header (<= kMaxPayload)
+//       24     …  payload        protocol::codec bytes, per message type
+//
+// The header is fixed at kHeaderSize bytes.  budget_ms travels in the
+// header (not the payload) so deadline propagation is uniform across every
+// request type: the client converts its absolute Deadline into a relative
+// budget with Deadline::remaining(), the server re-anchors it on arrival.
+//
+// decode_frame() is incremental and strict: it reports kNeedMore until a
+// whole frame is buffered, and kMalformed on a bad magic, unknown version,
+// or oversized payload — at which point the stream is unsynchronised and
+// the connection must be closed (after a best-effort typed error reply).
+// Payload decoders additionally require the payload to be consumed exactly
+// (no trailing bytes), so two frames can never blur together.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppuf/challenge.hpp"
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "protocol/codec.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::net {
+
+inline constexpr std::uint32_t kWireMagic =
+    0x46555050u;  // 'P' 'P' 'U' 'F' little-endian
+inline constexpr std::uint16_t kWireVersion = 1;
+inline constexpr std::size_t kHeaderSize = 24;
+/// Hard payload bound; a forged length cannot make the server buffer more.
+inline constexpr std::uint32_t kMaxPayload = 16u * 1024 * 1024;
+
+enum class MessageType : std::uint16_t {
+  // requests
+  kPingRequest = 1,
+  kPredictRequest = 2,
+  kVerifyRequest = 3,
+  kVerifyBatchRequest = 4,
+  kChallengeRequest = 5,
+  kChainedAuthRequest = 6,
+  // replies (request type + 100)
+  kErrorReply = 100,
+  kPingReply = 101,
+  kPredictReply = 102,
+  kVerifyReply = 103,
+  kVerifyBatchReply = 104,
+  kChallengeReply = 105,
+  kChainedAuthReply = 106,
+};
+
+const char* message_type_name(MessageType type);
+bool is_request(MessageType type);
+
+/// Typed failure codes carried by kErrorReply.  These are the service's
+/// contract: an overloaded or draining server *answers* (it never silently
+/// drops a connection that spoke valid frames).
+enum class WireCode : std::uint16_t {
+  kOk = 0,
+  kInvalidArgument = 1,   ///< well-framed but semantically bad request
+  kMalformed = 2,         ///< undecodable payload / broken framing
+  kDeadlineExceeded = 3,  ///< budget_ms expired before or during the work
+  kCancelled = 4,
+  kOverloaded = 5,        ///< admission control rejected; retry later
+  kShuttingDown = 6,      ///< server draining; retry elsewhere/later
+  kUnsupportedType = 7,   ///< unknown request type for this version
+  kInternal = 8,
+};
+
+const char* wire_code_name(WireCode code);
+/// Client-side mapping into the project-wide Status vocabulary
+/// (kOverloaded / kShuttingDown become kUnavailable, i.e. retryable).
+util::Status wire_code_to_status(WireCode code, const std::string& message);
+
+struct Frame {
+  std::uint16_t version = kWireVersion;
+  MessageType type = MessageType::kPingRequest;
+  std::uint64_t request_id = 0;
+  std::uint32_t budget_ms = 0;  ///< 0 = unlimited
+  std::vector<std::uint8_t> payload;
+
+  /// Re-anchor the relative budget as an absolute deadline at the
+  /// receiver.  0 = unlimited.
+  util::Deadline deadline() const {
+    return budget_ms == 0 ? util::Deadline::unlimited()
+                          : util::Deadline::after_seconds(budget_ms * 1e-3);
+  }
+};
+
+/// Serialise a complete frame (header + payload).
+std::vector<std::uint8_t> encode_frame(MessageType type,
+                                       std::uint64_t request_id,
+                                       std::uint32_t budget_ms,
+                                       const std::vector<std::uint8_t>&
+                                           payload);
+
+enum class DecodeResult {
+  kOk,        ///< one frame extracted; *consumed bytes were used
+  kNeedMore,  ///< buffer holds a frame prefix; read more bytes
+  kMalformed, ///< stream is broken; close the connection
+};
+
+/// Try to extract one frame from the front of [data, data+size).  On kOk,
+/// `*out` holds the frame and `*consumed` the bytes to drop from the
+/// buffer.  Never reads past `size`.
+DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
+                          Frame* out, std::size_t* consumed);
+
+// --- typed payloads -------------------------------------------------------
+//
+// One encode/decode pair per message type.  Decoders return
+// kInvalidArgument on any malformed byte and reject trailing garbage.
+
+struct ErrorReply {
+  WireCode code = WireCode::kInternal;
+  std::string message;
+};
+
+struct ChallengeGrant {
+  Challenge challenge;           ///< first challenge of the chain
+  std::uint32_t chain_length = 1;
+  std::uint64_t nonce = 0;       ///< protocol nonce for the successor fn
+  double deadline_seconds = 0.0; ///< verifier's response-time budget
+};
+
+struct ChainedAuthRequest {
+  ChallengeGrant grant;               ///< echoed grant being answered
+  protocol::ChainedReport report;
+};
+
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& e);
+util::Status decode_error_reply(const std::vector<std::uint8_t>& payload,
+                                ErrorReply* out);
+
+std::vector<std::uint8_t> encode_ping_request(std::uint32_t delay_ms);
+util::Status decode_ping_request(const std::vector<std::uint8_t>& payload,
+                                 std::uint32_t* delay_ms);
+
+std::vector<std::uint8_t> encode_predict_request(const Challenge& c);
+util::Status decode_predict_request(const std::vector<std::uint8_t>& payload,
+                                    Challenge* out);
+
+std::vector<std::uint8_t> encode_predict_reply(
+    const SimulationModel::Prediction& p);
+util::Status decode_predict_reply(const std::vector<std::uint8_t>& payload,
+                                  SimulationModel::Prediction* out);
+
+std::vector<std::uint8_t> encode_verify_request(
+    const Challenge& c, const protocol::ProverReport& report);
+util::Status decode_verify_request(const std::vector<std::uint8_t>& payload,
+                                   Challenge* c,
+                                   protocol::ProverReport* report);
+
+std::vector<std::uint8_t> encode_verify_reply(
+    const protocol::AuthenticationResult& r);
+util::Status decode_verify_reply(const std::vector<std::uint8_t>& payload,
+                                 protocol::AuthenticationResult* out);
+
+std::vector<std::uint8_t> encode_verify_batch_request(
+    const std::vector<Challenge>& challenges,
+    const std::vector<protocol::ProverReport>& reports);
+util::Status decode_verify_batch_request(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<Challenge>* challenges,
+    std::vector<protocol::ProverReport>* reports);
+
+std::vector<std::uint8_t> encode_verify_batch_reply(
+    const std::vector<protocol::AuthenticationResult>& results);
+util::Status decode_verify_batch_reply(
+    const std::vector<std::uint8_t>& payload,
+    std::vector<protocol::AuthenticationResult>* out);
+
+std::vector<std::uint8_t> encode_challenge_request();
+util::Status decode_challenge_request(
+    const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_challenge_reply(const ChallengeGrant& g);
+util::Status decode_challenge_reply(const std::vector<std::uint8_t>& payload,
+                                    ChallengeGrant* out);
+
+std::vector<std::uint8_t> encode_chained_auth_request(
+    const ChainedAuthRequest& req);
+util::Status decode_chained_auth_request(
+    const std::vector<std::uint8_t>& payload, ChainedAuthRequest* out);
+
+std::vector<std::uint8_t> encode_chained_auth_reply(
+    const protocol::ChainedVerifyResult& r);
+util::Status decode_chained_auth_reply(
+    const std::vector<std::uint8_t>& payload,
+    protocol::ChainedVerifyResult* out);
+
+}  // namespace ppuf::net

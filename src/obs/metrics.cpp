@@ -323,6 +323,22 @@ void register_standard_metrics(MetricsRegistry& registry) {
                         "charged_bytes", "shard_count"}) {
     registry.gauge(std::string("ppuf.response_cache.") + g);
   }
+
+  // Authentication server (src/server): request outcomes, connection
+  // lifecycle, byte I/O, and a per-type wall-time histogram measured from
+  // dispatch to completion enqueue.
+  for (const char* c :
+       {"requests", "connections_accepted", "connections_closed",
+        "overloaded_rejections", "shutdown_rejections", "malformed_frames",
+        "bytes_read", "bytes_written"}) {
+    registry.counter(std::string("server.") + c);
+  }
+  registry.gauge("server.inflight");
+  registry.gauge("server.connections");
+  for (const char* t : {"ping", "predict", "verify", "verify_batch",
+                        "challenge", "chained_auth"}) {
+    registry.histogram(std::string("server.") + t + ".request_us");
+  }
 }
 
 }  // namespace ppuf::obs

@@ -1,0 +1,714 @@
+#include "server/auth_server.hpp"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "protocol/authentication.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace ppuf::server {
+
+namespace {
+
+using net::DecodeResult;
+using net::ErrorReply;
+using net::Frame;
+using net::MessageType;
+using net::WireCode;
+using util::Status;
+
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+std::vector<std::uint8_t> error_frame(std::uint64_t request_id,
+                                      WireCode code, std::string message) {
+  ErrorReply err;
+  err.code = code;
+  err.message = std::move(message);
+  return net::encode_frame(MessageType::kErrorReply, request_id, 0,
+                           net::encode_error_reply(err));
+}
+
+/// The challenge came off the wire, i.e. from the adversary: bounds-check
+/// it against the model before any graph is built from it.
+Status validate_challenge(const SimulationModel& model, const Challenge& c) {
+  const CrossbarLayout& layout = model.layout();
+  if (c.source >= layout.node_count() || c.sink >= layout.node_count() ||
+      c.source == c.sink)
+    return Status::invalid_argument("challenge: bad source/sink pair");
+  if (c.bits.size() != layout.cell_count())
+    return Status::invalid_argument("challenge: wrong control-bit count");
+  return Status::ok();
+}
+
+WireCode wire_code_for(const Status& s) {
+  switch (s.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    case util::StatusCode::kCancelled:
+      return WireCode::kCancelled;
+    case util::StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case util::StatusCode::kUnavailable:
+      return WireCode::kOverloaded;
+    default:
+      return WireCode::kInternal;
+  }
+}
+
+}  // namespace
+
+/// Minimal RAII fd for epoll/eventfd: these must outlive the worker pool
+/// (a finishing worker writes the eventfd), so they are declared before it
+/// and closed after it joins.
+struct OwnedFd {
+  int fd = -1;
+  ~OwnedFd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+struct AuthServer::Impl {
+  Impl(const SimulationModel& model, const AuthServerOptions& options,
+       std::atomic<bool>& draining)
+      : model(model),
+        options(options),
+        draining(draining),
+        verifier(model, options.verifier_deadline_seconds,
+                 mean_capacity(model) * options.flow_tolerance_fraction,
+                 /*verify_threads=*/1),
+        rng(options.challenge_seed),
+        pool(options.threads) {}
+
+  static double mean_capacity(const SimulationModel& model) {
+    double sum = 0.0;
+    const std::size_t edges = model.layout().edge_count();
+    for (graph::EdgeId e = 0; e < edges; ++e)
+      for (int net = 0; net < 2; ++net)
+        for (int bit = 0; bit < 2; ++bit) sum += model.capacity(net, e, bit);
+    return sum / static_cast<double>(edges * 4);
+  }
+
+  // --- shared state -------------------------------------------------------
+
+  const SimulationModel& model;
+  AuthServerOptions options;
+  std::atomic<bool>& draining;
+  protocol::Verifier verifier;
+
+  std::mutex rng_mutex;  ///< guards rng (workers issue challenges too)
+  util::Rng rng;
+
+  std::atomic<std::size_t> inflight{0};
+
+  net::Socket listener;
+  OwnedFd epoll_handle;
+  OwnedFd wake_handle;
+  int epoll_fd = -1;  ///< == epoll_handle.fd, kept for readability
+  int wake_fd = -1;   ///< == wake_handle.fd
+
+  struct Connection {
+    std::uint64_t id = 0;
+    int fd = -1;
+    std::vector<std::uint8_t> inbuf;
+    std::deque<std::vector<std::uint8_t>> outq;
+    std::size_t out_offset = 0;  ///< bytes of outq.front() already sent
+    bool close_after_flush = false;
+    bool want_write = false;
+  };
+
+  std::unordered_map<int, Connection> connections;       // fd -> state
+  std::unordered_map<std::uint64_t, int> connection_fd;  // id -> fd
+  std::uint64_t next_connection_id = 1;
+
+  struct Completion {
+    std::uint64_t connection_id;
+    std::vector<std::uint8_t> bytes;
+  };
+  std::mutex completion_mutex;
+  std::vector<Completion> completions;
+
+  // Stats (relaxed atomics; read via AuthServer::stats()).
+  std::atomic<std::uint64_t> connections_accepted{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> overloaded_rejections{0};
+  std::atomic<std::uint64_t> shutdown_rejections{0};
+  std::atomic<std::uint64_t> malformed_frames{0};
+
+  /// Declared last so it is destroyed FIRST: the pool's destructor joins
+  /// workers that may still be writing wake_fd, which must stay open
+  /// until they are gone.
+  util::ThreadPool pool;
+
+  // --- event loop ---------------------------------------------------------
+
+  void run();
+  void accept_ready();
+  void read_ready(int fd);
+  void consume_frames(Connection& conn);
+  void dispatch(Connection& conn, Frame frame);
+  void enqueue_reply(Connection& conn, std::vector<std::uint8_t> bytes);
+  void flush(Connection& conn);
+  void update_epoll(Connection& conn);
+  void close_connection(int fd);
+  void drain_completions();
+  bool drained();
+
+  // --- request handlers (worker threads) ----------------------------------
+
+  std::vector<std::uint8_t> handle(const Frame& frame,
+                                   const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_ping(const Frame& frame,
+                                        const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_predict(const Frame& frame,
+                                           const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_verify(const Frame& frame,
+                                          const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_verify_batch(
+      const Frame& frame, const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_challenge(const Frame& frame);
+  std::vector<std::uint8_t> handle_chained_auth(
+      const Frame& frame, const util::Deadline& deadline);
+};
+
+// --- lifecycle -------------------------------------------------------------
+
+AuthServer::AuthServer(const SimulationModel& model,
+                       AuthServerOptions options)
+    : model_(model), options_(options) {}
+
+AuthServer::~AuthServer() { stop(); }
+
+util::Status AuthServer::start() {
+  if (running_.load(std::memory_order_acquire))
+    return Status::invalid_argument("server already started");
+  impl_ = std::make_unique<Impl>(model_, options_, draining_);
+
+  if (Status s = net::listen_tcp(options_.port, options_.listen_backlog,
+                                 &impl_->listener, &port_);
+      !s.is_ok())
+    return s;
+
+  impl_->epoll_handle.fd = epoll_create1(EPOLL_CLOEXEC);
+  impl_->epoll_fd = impl_->epoll_handle.fd;
+  if (impl_->epoll_fd < 0)
+    return Status::unavailable(std::string("epoll_create1: ") +
+                               strerror(errno));
+  impl_->wake_handle.fd = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  impl_->wake_fd = impl_->wake_handle.fd;
+  if (impl_->wake_fd < 0)
+    return Status::unavailable(std::string("eventfd: ") + strerror(errno));
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = impl_->listener.fd();
+  epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->listener.fd(), &ev);
+  ev.data.fd = impl_->wake_fd;
+  epoll_ctl(impl_->epoll_fd, EPOLL_CTL_ADD, impl_->wake_fd, &ev);
+
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { impl_->run(); });
+  return Status::ok();
+}
+
+void AuthServer::request_drain() {
+  if (impl_ == nullptr) return;
+  draining_.store(true, std::memory_order_relaxed);
+  // Wake the loop so it notices; eventfd writes are async-signal-safe,
+  // so a signal-handling thread may call this.
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc =
+      ::write(impl_->wake_fd, &one, sizeof(one));
+}
+
+void AuthServer::wait() {
+  if (loop_thread_.joinable()) loop_thread_.join();
+  running_.store(false, std::memory_order_release);
+}
+
+void AuthServer::stop() {
+  request_drain();
+  wait();
+}
+
+AuthServer::Stats AuthServer::stats() const {
+  Stats s;
+  if (impl_ == nullptr) return s;
+  s.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.overloaded_rejections =
+      impl_->overloaded_rejections.load(std::memory_order_relaxed);
+  s.shutdown_rejections =
+      impl_->shutdown_rejections.load(std::memory_order_relaxed);
+  s.malformed_frames =
+      impl_->malformed_frames.load(std::memory_order_relaxed);
+  return s;
+}
+
+// --- event loop ------------------------------------------------------------
+
+void AuthServer::Impl::run() {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  bool listener_open = true;
+  std::vector<epoll_event> events(64);
+  for (;;) {
+    const bool drain_now = draining.load(std::memory_order_relaxed);
+    if (drain_now && listener_open) {
+      epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listener.fd(), nullptr);
+      listener.close();
+      listener_open = false;
+    }
+    if (drain_now && drained()) break;
+
+    const int n = epoll_wait(epoll_fd, events.data(),
+                             static_cast<int>(events.size()),
+                             /*timeout ms=*/drain_now ? 50 : 500);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;  // epoll itself failed; nothing sensible left to do
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == wake_fd) {
+        std::uint64_t drainv = 0;
+        while (::read(wake_fd, &drainv, sizeof(drainv)) > 0) {
+        }
+        continue;  // completions handled below every iteration
+      }
+      if (listener_open && fd == listener.fd()) {
+        accept_ready();
+        continue;
+      }
+      auto it = connections.find(fd);
+      if (it == connections.end()) continue;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        close_connection(fd);
+        continue;
+      }
+      if (events[i].events & EPOLLIN) read_ready(fd);
+      // read_ready may have closed the connection; re-find before writing.
+      auto wit = connections.find(fd);
+      if (wit != connections.end() && (events[i].events & EPOLLOUT))
+        flush(wit->second);
+    }
+    drain_completions();
+    reg.gauge("server.inflight")
+        .set(static_cast<std::int64_t>(
+            inflight.load(std::memory_order_relaxed)));
+    reg.gauge("server.connections")
+        .set(static_cast<std::int64_t>(connections.size()));
+  }
+  // Drained: close every remaining connection.  The epoll/event fds stay
+  // open until ~Impl (workers may still be writing wake_fd).
+  std::vector<int> fds;
+  fds.reserve(connections.size());
+  for (const auto& [fd, conn] : connections) fds.push_back(fd);
+  for (const int fd : fds) close_connection(fd);
+}
+
+bool AuthServer::Impl::drained() {
+  if (inflight.load(std::memory_order_relaxed) != 0) return false;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex);
+    if (!completions.empty()) return false;
+  }
+  for (const auto& [fd, conn] : connections)
+    if (!conn.outq.empty()) return false;
+  return true;
+}
+
+void AuthServer::Impl::accept_ready() {
+  for (;;) {
+    const int fd = ::accept4(listener.fd(), nullptr, nullptr,
+                             SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the loop will retry
+    }
+    Connection conn;
+    conn.fd = fd;
+    conn.id = next_connection_id++;
+    connection_fd[conn.id] = fd;
+    connections.emplace(fd, std::move(conn));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(epoll_fd, EPOLL_CTL_ADD, fd, &ev);
+    connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global().counter("server.connections_accepted")
+        .add();
+  }
+}
+
+void AuthServer::Impl::read_ready(int fd) {
+  auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  Connection& conn = it->second;
+  std::uint8_t chunk[kReadChunk];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), chunk, chunk + n);
+      obs::MetricsRegistry::global().counter("server.bytes_read")
+          .add(static_cast<std::uint64_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      close_connection(fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    close_connection(fd);
+    return;
+  }
+  consume_frames(conn);
+}
+
+void AuthServer::Impl::consume_frames(Connection& conn) {
+  std::size_t offset = 0;
+  while (!conn.close_after_flush) {
+    Frame frame;
+    std::size_t consumed = 0;
+    const DecodeResult r = net::decode_frame(
+        conn.inbuf.data() + offset, conn.inbuf.size() - offset, &frame,
+        &consumed);
+    if (r == DecodeResult::kNeedMore) break;
+    if (r == DecodeResult::kMalformed) {
+      // The stream cannot be resynchronised: answer with a typed error
+      // (request id unknown — use 0) and close once it is flushed.
+      malformed_frames.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global().counter("server.malformed_frames")
+          .add();
+      // Flag before enqueueing so the flush inside enqueue_reply closes the
+      // socket as soon as the error is written; return without touching
+      // `conn` again — it may already be destroyed by that close.
+      conn.close_after_flush = true;
+      enqueue_reply(conn, error_frame(0, WireCode::kMalformed,
+                                      "unparseable frame"));
+      return;
+    }
+    offset += consumed;
+    dispatch(conn, std::move(frame));
+  }
+  if (offset > 0)
+    conn.inbuf.erase(conn.inbuf.begin(),
+                     conn.inbuf.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  if (!net::is_request(frame.type)) {
+    enqueue_reply(conn,
+                  error_frame(frame.request_id, WireCode::kUnsupportedType,
+                              std::string("not a request type: ") +
+                                  net::message_type_name(frame.type)));
+    return;
+  }
+  if (draining.load(std::memory_order_relaxed)) {
+    shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
+    reg.counter("server.shutdown_rejections").add();
+    enqueue_reply(conn, error_frame(frame.request_id,
+                                    WireCode::kShuttingDown,
+                                    "server is draining"));
+    return;
+  }
+  // Admission control.  Only the event loop increments, so load+store is
+  // race-free; workers decrement when done.
+  if (inflight.load(std::memory_order_relaxed) >= options.max_inflight) {
+    overloaded_rejections.fetch_add(1, std::memory_order_relaxed);
+    reg.counter("server.overloaded_rejections").add();
+    enqueue_reply(conn, error_frame(frame.request_id, WireCode::kOverloaded,
+                                    "in-flight limit reached"));
+    return;
+  }
+  inflight.fetch_add(1, std::memory_order_relaxed);
+  requests.fetch_add(1, std::memory_order_relaxed);
+  reg.counter("server.requests").add();
+
+  // Budget is re-anchored NOW, at decode: queue wait burns budget.
+  const util::Deadline deadline = frame.deadline();
+  const std::uint64_t connection_id = conn.id;
+  auto shared_frame = std::make_shared<Frame>(std::move(frame));
+  pool.submit([this, shared_frame, deadline, connection_id] {
+    std::vector<std::uint8_t> reply;
+    try {
+      reply = handle(*shared_frame, deadline);
+    } catch (const std::exception& e) {
+      reply = error_frame(shared_frame->request_id, WireCode::kInternal,
+                          e.what());
+    } catch (...) {
+      reply = error_frame(shared_frame->request_id, WireCode::kInternal,
+                          "unknown handler failure");
+    }
+    {
+      std::lock_guard<std::mutex> lock(completion_mutex);
+      completions.push_back({connection_id, std::move(reply)});
+    }
+    inflight.fetch_sub(1, std::memory_order_relaxed);
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t rc = ::write(wake_fd, &one, sizeof(one));
+  });
+}
+
+void AuthServer::Impl::drain_completions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex);
+    done.swap(completions);
+  }
+  for (Completion& c : done) {
+    const auto it = connection_fd.find(c.connection_id);
+    if (it == connection_fd.end()) continue;  // connection died meanwhile
+    const auto cit = connections.find(it->second);
+    if (cit == connections.end()) continue;
+    enqueue_reply(cit->second, std::move(c.bytes));
+  }
+}
+
+void AuthServer::Impl::enqueue_reply(Connection& conn,
+                                     std::vector<std::uint8_t> bytes) {
+  conn.outq.push_back(std::move(bytes));
+  flush(conn);
+}
+
+void AuthServer::Impl::flush(Connection& conn) {
+  while (!conn.outq.empty()) {
+    const std::vector<std::uint8_t>& front = conn.outq.front();
+    const std::size_t left = front.size() - conn.out_offset;
+    const ssize_t n = ::send(conn.fd, front.data() + conn.out_offset, left,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      close_connection(conn.fd);
+      return;
+    }
+    obs::MetricsRegistry::global().counter("server.bytes_written")
+        .add(static_cast<std::uint64_t>(n));
+    conn.out_offset += static_cast<std::size_t>(n);
+    if (conn.out_offset == front.size()) {
+      conn.outq.pop_front();
+      conn.out_offset = 0;
+    }
+  }
+  if (conn.outq.empty() && conn.close_after_flush) {
+    close_connection(conn.fd);
+    return;
+  }
+  update_epoll(conn);
+}
+
+void AuthServer::Impl::update_epoll(Connection& conn) {
+  const bool want_write = !conn.outq.empty();
+  if (want_write == conn.want_write) return;
+  conn.want_write = want_write;
+  epoll_event ev{};
+  ev.events = EPOLLIN | (want_write ? EPOLLOUT : 0u);
+  ev.data.fd = conn.fd;
+  epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+void AuthServer::Impl::close_connection(int fd) {
+  const auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  connection_fd.erase(it->second.id);
+  epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  connections.erase(it);
+  obs::MetricsRegistry::global().counter("server.connections_closed").add();
+}
+
+// --- request handlers (worker threads) -------------------------------------
+
+std::vector<std::uint8_t> AuthServer::Impl::handle(
+    const Frame& frame, const util::Deadline& deadline) {
+  // Expired in the queue: answer with the typed error instead of doing
+  // work nobody is waiting for.
+  if (deadline.expired())
+    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+                       "budget expired before processing");
+  switch (frame.type) {
+    case MessageType::kPingRequest:
+      return handle_ping(frame, deadline);
+    case MessageType::kPredictRequest:
+      return handle_predict(frame, deadline);
+    case MessageType::kVerifyRequest:
+      return handle_verify(frame, deadline);
+    case MessageType::kVerifyBatchRequest:
+      return handle_verify_batch(frame, deadline);
+    case MessageType::kChallengeRequest:
+      return handle_challenge(frame);
+    case MessageType::kChainedAuthRequest:
+      return handle_chained_auth(frame, deadline);
+    default:
+      return error_frame(frame.request_id, WireCode::kUnsupportedType,
+                         "unsupported request type");
+  }
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_ping(
+    const Frame& frame, const util::Deadline& deadline) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.ping.request_us");
+  std::uint32_t delay_ms = 0;
+  if (Status s = net::decode_ping_request(frame.payload, &delay_ms);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  delay_ms = std::min(delay_ms, options.max_ping_delay_ms);
+  if (delay_ms > 0) {
+    // Sleep in slices so an expiring budget still gets its typed answer
+    // roughly on time.
+    const auto until = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(delay_ms);
+    while (std::chrono::steady_clock::now() < until) {
+      if (deadline.expired())
+        return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+                           "budget expired during ping delay");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  return net::encode_frame(MessageType::kPingReply, frame.request_id, 0, {});
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_predict(
+    const Frame& frame, const util::Deadline& deadline) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.predict.request_us");
+  Challenge challenge;
+  if (Status s = net::decode_predict_request(frame.payload, &challenge);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(model, challenge); !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kInvalidArgument,
+                       s.message());
+  util::SolveControl control;
+  control.deadline = deadline;
+  const SimulationModel::Prediction p =
+      model.predict(challenge, maxflow::Algorithm::kPushRelabel, control);
+  if (!p.ok())
+    return error_frame(frame.request_id, wire_code_for(p.status),
+                       p.status.to_string());
+  return net::encode_frame(MessageType::kPredictReply, frame.request_id, 0,
+                           net::encode_predict_reply(p));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_verify(
+    const Frame& frame, const util::Deadline& deadline) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.verify.request_us");
+  Challenge challenge;
+  protocol::ProverReport report;
+  if (Status s =
+          net::decode_verify_request(frame.payload, &challenge, &report);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(model, challenge); !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kInvalidArgument,
+                       s.message());
+  if (deadline.expired())
+    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+                       "budget expired before verification");
+  const protocol::AuthenticationResult result =
+      verifier.verify(challenge, report);
+  return net::encode_frame(MessageType::kVerifyReply, frame.request_id, 0,
+                           net::encode_verify_reply(result));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_verify_batch(
+    const Frame& frame, const util::Deadline& deadline) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.verify_batch.request_us");
+  std::vector<Challenge> challenges;
+  std::vector<protocol::ProverReport> reports;
+  if (Status s = net::decode_verify_batch_request(frame.payload,
+                                                  &challenges, &reports);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  for (const Challenge& c : challenges)
+    if (Status s = validate_challenge(model, c); !s.is_ok())
+      return error_frame(frame.request_id, WireCode::kInvalidArgument,
+                         s.message());
+  // Items run inline on this worker (no nested pool dispatch); the budget
+  // is checked between items so an expiring batch still answers typed.
+  std::vector<protocol::AuthenticationResult> results;
+  results.reserve(challenges.size());
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    if (deadline.expired())
+      return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+                         "budget expired at batch item " +
+                             std::to_string(i));
+    results.push_back(verifier.verify(challenges[i], reports[i]));
+  }
+  return net::encode_frame(MessageType::kVerifyBatchReply, frame.request_id,
+                           0, net::encode_verify_batch_reply(results));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_challenge(
+    const Frame& frame) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.challenge.request_us");
+  if (Status s = net::decode_challenge_request(frame.payload); !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  net::ChallengeGrant grant;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex);
+    grant.challenge = verifier.issue_challenge(rng);
+    grant.nonce = rng();
+  }
+  grant.chain_length = options.chain_length;
+  grant.deadline_seconds = verifier.deadline_seconds();
+  return net::encode_frame(MessageType::kChallengeReply, frame.request_id,
+                           0, net::encode_challenge_reply(grant));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
+    const Frame& frame, const util::Deadline& deadline) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.chained_auth.request_us");
+  net::ChainedAuthRequest request;
+  if (Status s =
+          net::decode_chained_auth_request(frame.payload, &request);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(model, request.grant.challenge);
+      !s.is_ok())
+    return error_frame(frame.request_id, WireCode::kInvalidArgument,
+                       s.message());
+  // k is adversary-controlled verification work; bound it.
+  if (request.grant.chain_length > options.max_chain_length)
+    return error_frame(frame.request_id, WireCode::kInvalidArgument,
+                       "chain length exceeds server limit");
+  if (deadline.expired())
+    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+                       "budget expired before chain verification");
+  util::Rng spot_rng;
+  {
+    std::lock_guard<std::mutex> lock(rng_mutex);
+    spot_rng = rng.fork();
+  }
+  const protocol::ChainedVerifyResult result = protocol::verify_chain(
+      verifier, model, request.grant.challenge, request.grant.chain_length,
+      request.grant.nonce, request.report, options.spot_checks, spot_rng);
+  return net::encode_frame(MessageType::kChainedAuthReply, frame.request_id,
+                           0, net::encode_chained_auth_reply(result));
+}
+
+}  // namespace ppuf::server

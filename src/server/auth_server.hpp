@@ -1,0 +1,118 @@
+// Network authentication service: the paper's verifier as a TCP server.
+//
+// A public PUF is a client/server primitive by construction — the prover
+// owns the chip, the verifier owns only the published model — so this
+// server is the missing half of the reproduction: it loads a
+// SimulationModel and serves PREDICT / VERIFY / VERIFY_BATCH / CHALLENGE /
+// CHAINED_AUTH over the framed wire protocol of net/wire.
+//
+// Threading model (DESIGN.md §12):
+//   - ONE event-loop thread owns every socket: epoll-driven non-blocking
+//     accept/read/write, frame extraction, admission control, and error
+//     replies.  It never solves anything.
+//   - A util::ThreadPool executes request bodies (max-flow solves,
+//     residual-graph verification).  Workers never touch sockets; they
+//     hand finished reply bytes back through a completion queue and wake
+//     the loop via an eventfd.
+//
+// Overload semantics: admission is a bounded in-flight count checked by
+// the event loop before dispatch.  Past the bound the request is answered
+// immediately with a typed OVERLOADED error reply — the acceptor never
+// blocks, the connection never drops, and the client's backoff machinery
+// gets a signal it can act on.
+//
+// Deadlines: the frame header's budget_ms is re-anchored to an absolute
+// util::Deadline when the frame is decoded, so queue wait counts against
+// the budget.  The deadline propagates into SolveControl for predictions
+// and is checked between items/rounds for verification, so an expired
+// request yields a typed DEADLINE_EXCEEDED reply, never a hung or dropped
+// connection.
+//
+// Drain: request_drain() stops the acceptor, answers new requests with
+// SHUTTING_DOWN, lets in-flight work finish, flushes every reply, then
+// closes.  SIGTERM wiring lives in the caller (ppuf_tool serve).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "ppuf/sim_model.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::server {
+
+struct AuthServerOptions {
+  std::uint16_t port = 0;       ///< 0 = ephemeral (read back via port())
+  int listen_backlog = 64;
+  unsigned threads = 1;         ///< worker pool size
+  std::size_t max_inflight = 64;  ///< admission bound (dispatched, unfinished)
+  /// Verifier response-time budget handed out with challenge grants and
+  /// enforced against reported elapsed_seconds.
+  double verifier_deadline_seconds = 1.0;
+  /// Flow tolerance as a fraction of the model's mean edge capacity (see
+  /// Verifier's constructor notes; 0.10 is the robust setting).
+  double flow_tolerance_fraction = 0.10;
+  std::uint32_t chain_length = 4;  ///< k granted to CHALLENGE requests
+  std::size_t spot_checks = 2;     ///< chained rounds fully verified (0=all)
+  std::uint64_t challenge_seed = 1;
+  /// Upper bound accepted for a client-echoed grant's chain length — the
+  /// verification cost is k solves, so k is adversary-controlled work.
+  std::uint32_t max_chain_length = 64;
+  /// Upper bound honoured for PING delay_ms (a load-testing knob, not an
+  /// invitation to park workers forever).
+  std::uint32_t max_ping_delay_ms = 10000;
+};
+
+class AuthServer {
+ public:
+  /// `model` must outlive the server.
+  AuthServer(const SimulationModel& model, AuthServerOptions options = {});
+  ~AuthServer();
+
+  AuthServer(const AuthServer&) = delete;
+  AuthServer& operator=(const AuthServer&) = delete;
+
+  /// Bind, listen, and spawn the event loop + worker pool.
+  util::Status start();
+
+  /// The bound port (valid after start()).
+  std::uint16_t port() const { return port_; }
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool draining() const { return draining_.load(std::memory_order_relaxed); }
+
+  /// Begin graceful shutdown: stop accepting, reject new requests with
+  /// SHUTTING_DOWN, finish in-flight work, flush replies, close.
+  /// Idempotent; safe from any thread (including a signal-watching one).
+  void request_drain();
+
+  /// Block until the event loop has exited (drained).
+  void wait();
+
+  /// request_drain() + wait().  Also called by the destructor.
+  void stop();
+
+  struct Stats {
+    std::uint64_t connections_accepted = 0;
+    std::uint64_t requests = 0;            ///< dispatched to the pool
+    std::uint64_t overloaded_rejections = 0;
+    std::uint64_t shutdown_rejections = 0;
+    std::uint64_t malformed_frames = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Impl;
+
+  const SimulationModel& model_;
+  AuthServerOptions options_;
+  std::unique_ptr<Impl> impl_;
+  std::thread loop_thread_;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::atomic<bool> draining_{false};
+};
+
+}  // namespace ppuf::server

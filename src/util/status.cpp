@@ -16,6 +16,8 @@ const char* status_code_name(StatusCode code) {
       return "INVALID_ARGUMENT";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -46,6 +48,12 @@ Deadline Deadline::after_seconds(double seconds) {
 double Deadline::remaining_seconds() const {
   if (!limited_) return std::numeric_limits<double>::infinity();
   return std::chrono::duration<double>(when_ - Clock::now()).count();
+}
+
+Deadline::Clock::duration Deadline::remaining() const {
+  if (!limited_) return Clock::duration::max();
+  const auto left = when_ - Clock::now();
+  return left < Clock::duration::zero() ? Clock::duration::zero() : left;
 }
 
 Status StopCheck::status(const std::string& where) const {

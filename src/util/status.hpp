@@ -34,6 +34,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kInvalidArgument,
   kInternal,
+  kUnavailable,  ///< transient: overloaded / draining / transport failure
 };
 
 const char* status_code_name(StatusCode code);
@@ -59,6 +60,9 @@ class Status {
   }
   static Status internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }
@@ -95,6 +99,11 @@ class Deadline {
   bool expired() const { return limited_ && Clock::now() >= when_; }
   /// Seconds until expiry; +inf when unlimited, <= 0 when expired.
   double remaining_seconds() const;
+  /// Time until expiry, clamped to zero once expired;
+  /// Clock::duration::max() when unlimited.  This is the form the service
+  /// layer puts on the wire: an absolute deadline becomes a per-request
+  /// millisecond budget that survives serialization.
+  Clock::duration remaining() const;
 
  private:
   bool limited_ = false;

@@ -108,6 +108,24 @@ void ThreadPool::worker_loop(unsigned worker_index) {
   }
 }
 
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    // pending_ is bumped under the wake lock before the push so a worker
+    // that misses the deque sweep spins rather than sleeping through it
+    // (same ordering as parallel_for's dispatch).
+    std::lock_guard<std::mutex> lock(wake_mutex_);
+    ++pending_;
+  }
+  const std::size_t idx =
+      next_queue_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    auto& q = *queues_[idx];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    q.tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
 void ThreadPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& fn) {
   parallel_for(

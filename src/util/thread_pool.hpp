@@ -25,6 +25,7 @@
 //     call parallel_for on the same pool (no nested dispatch).
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -57,6 +58,14 @@ class ThreadPool {
   /// clamped to at least 1 (hardware_concurrency() may return 0).
   static unsigned default_thread_count();
 
+  /// Fire-and-forget: enqueue one task (round-robin across the worker
+  /// deques) and return immediately.  This is the service entry point —
+  /// the AuthServer event loop hands each decoded request to the pool and
+  /// goes back to its sockets.  The task must not throw (there is no job
+  /// to collect the exception; an escaping one terminates the process) and
+  /// must not itself call submit()/parallel_for() on the same pool.
+  void submit(std::function<void()> task);
+
   /// Runs fn(i) for every i in [0, count); blocks until all have run.
   /// Exceptions thrown by fn are a bug in the caller (batch fronts catch
   /// per-item failures themselves); the first one is rethrown after the
@@ -87,6 +96,7 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerQueue>> queues_;
   std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};  ///< submit() round-robin cursor
 
   std::mutex wake_mutex_;
   std::condition_variable wake_cv_;

@@ -1,0 +1,417 @@
+// End-to-end tests of the authentication service: AuthServer + AuthClient
+// over real loopback sockets.
+//
+// Everything here runs against in-process servers on ephemeral 127.0.0.1
+// ports, so the suite exercises the full stack — framing, epoll loop,
+// worker pool, admission control, deadline propagation, graceful drain —
+// without touching anything outside the test process.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "obs/metrics.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "server/auth_server.hpp"
+#include "util/status.hpp"
+
+namespace ppuf {
+namespace {
+
+using net::AuthClient;
+using net::Frame;
+using net::MessageType;
+using net::WireCode;
+using server::AuthServer;
+using server::AuthServerOptions;
+using util::Status;
+using util::StatusCode;
+
+constexpr std::uint64_t kSeed = 7;
+constexpr double kChipDelay = 1e-6;
+
+PpufParams small_params() {
+  PpufParams p;
+  p.node_count = 16;
+  p.grid_size = 4;
+  return p;
+}
+
+/// One fabricated instance + its public model, shared by every test (the
+/// tests in this binary run sequentially on one thread).
+MaxFlowPpuf& shared_puf() {
+  static MaxFlowPpuf puf(small_params(), kSeed);
+  return puf;
+}
+
+SimulationModel& shared_model() {
+  static SimulationModel model(shared_puf());
+  return model;
+}
+
+AuthServerOptions default_options() {
+  AuthServerOptions o;
+  o.threads = 2;
+  o.chain_length = 3;
+  o.spot_checks = 0;  // verify every round: deterministic verdicts
+  return o;
+}
+
+/// Read one whole frame from a raw blocking socket.
+Status read_frame(int fd, const util::Deadline& deadline, Frame* out) {
+  std::vector<std::uint8_t> buf(net::kHeaderSize);
+  if (Status s = net::recv_exact(fd, buf.data(), buf.size(), deadline);
+      !s.is_ok())
+    return s;
+  const std::uint32_t payload_len =
+      static_cast<std::uint32_t>(buf[20]) |
+      static_cast<std::uint32_t>(buf[21]) << 8 |
+      static_cast<std::uint32_t>(buf[22]) << 16 |
+      static_cast<std::uint32_t>(buf[23]) << 24;
+  if (payload_len > net::kMaxPayload)
+    return Status::internal("oversized reply payload");
+  buf.resize(net::kHeaderSize + payload_len);
+  if (payload_len > 0) {
+    if (Status s = net::recv_exact(fd, buf.data() + net::kHeaderSize,
+                                   payload_len, deadline);
+        !s.is_ok())
+      return s;
+  }
+  std::size_t consumed = 0;
+  if (net::decode_frame(buf.data(), buf.size(), out, &consumed) !=
+      net::DecodeResult::kOk)
+    return Status::internal("unparseable reply frame");
+  return Status::ok();
+}
+
+WireCode error_code_of(const Frame& reply) {
+  net::ErrorReply err;
+  if (reply.type != MessageType::kErrorReply ||
+      !net::decode_error_reply(reply.payload, &err).is_ok())
+    return WireCode::kOk;
+  return err.code;
+}
+
+TEST(AuthServer, BindsEphemeralPortAndStops) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  EXPECT_NE(srv.port(), 0);
+  EXPECT_TRUE(srv.running());
+  srv.stop();
+  EXPECT_FALSE(srv.running());
+}
+
+TEST(AuthServer, PredictMatchesLocalModel) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+  util::Rng rng(21);
+  for (int i = 0; i < 5; ++i) {
+    const Challenge c = random_challenge(shared_model().layout(), rng);
+    SimulationModel::Prediction remote;
+    ASSERT_TRUE(client.predict(c, &remote).is_ok());
+    const SimulationModel::Prediction local = shared_model().predict(c);
+    EXPECT_EQ(remote.bit, local.bit);
+    EXPECT_EQ(remote.flow_a, local.flow_a);
+    EXPECT_EQ(remote.flow_b, local.flow_b);
+  }
+  srv.stop();
+}
+
+TEST(AuthServer, VerifyAcceptsHonestRejectsTampered) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+  util::Rng rng(22);
+  const Challenge c = random_challenge(shared_model().layout(), rng);
+  const protocol::ProverReport honest =
+      protocol::prove_with_ppuf(shared_puf(), c, kChipDelay);
+
+  protocol::AuthenticationResult result;
+  ASSERT_TRUE(client.verify(c, honest, &result).is_ok());
+  EXPECT_TRUE(result.accepted) << result.detail;
+
+  protocol::ProverReport tampered = honest;
+  tampered.bit ^= 1;  // claim the opposite response
+  ASSERT_TRUE(client.verify(c, tampered, &result).is_ok());
+  EXPECT_FALSE(result.accepted);
+  srv.stop();
+}
+
+TEST(AuthServer, VerifyBatchKeepsItemOrder) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+  util::Rng rng(23);
+  std::vector<Challenge> challenges;
+  std::vector<protocol::ProverReport> reports;
+  for (int i = 0; i < 3; ++i) {
+    challenges.push_back(random_challenge(shared_model().layout(), rng));
+    reports.push_back(
+        protocol::prove_with_ppuf(shared_puf(), challenges.back(),
+                                  kChipDelay));
+  }
+  reports[1].flow_a *= 2.0;  // tamper the middle item only
+  std::vector<protocol::AuthenticationResult> results;
+  ASSERT_TRUE(client.verify_batch(challenges, reports, &results).is_ok());
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].accepted) << results[0].detail;
+  EXPECT_FALSE(results[1].accepted);
+  EXPECT_TRUE(results[2].accepted) << results[2].detail;
+  srv.stop();
+}
+
+TEST(AuthServer, ChainedAuthAcceptsHolderRejectsWrongChip) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+
+  net::ChallengeGrant grant;
+  ASSERT_TRUE(client.get_challenge(&grant).is_ok());
+  EXPECT_EQ(grant.chain_length, 3u);
+  EXPECT_GT(grant.deadline_seconds, 0.0);
+
+  // The honest holder executes the chain on the real chip.
+  const protocol::ChainedReport honest = protocol::prove_chain_with_ppuf(
+      shared_puf(), grant.challenge, grant.chain_length, grant.nonce,
+      kChipDelay);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(client.chained_auth(grant, honest, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+
+  // A different chip (wrong seed) answers the same grant and must fail.
+  MaxFlowPpuf impostor(small_params(), kSeed + 1);
+  ASSERT_TRUE(client.get_challenge(&grant).is_ok());
+  const protocol::ChainedReport forged = protocol::prove_chain_with_ppuf(
+      impostor, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  ASSERT_TRUE(client.chained_auth(grant, forged, &verdict).is_ok());
+  EXPECT_FALSE(verdict.accepted);
+  srv.stop();
+}
+
+TEST(AuthServer, InvalidChallengeIsTypedInvalidArgument) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+  Challenge bad;
+  bad.source = 0;
+  bad.sink = 9999;  // out of range for a 16-node model
+  bad.bits.assign(shared_model().layout().cell_count(), 0);
+  SimulationModel::Prediction p;
+  const Status s = client.predict(bad, &p);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  srv.stop();
+}
+
+TEST(AuthServer, DeadlineExpiryYieldsTypedReplyOnLiveConnection) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  net::Socket sock;
+  ASSERT_TRUE(
+      net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(5.0);
+
+  // budget_ms = 25 while the handler is asked to hold the request 1000 ms:
+  // the budget expires mid-work and must yield a typed error reply.
+  const std::vector<std::uint8_t> request = net::encode_frame(
+      MessageType::kPingRequest, 50, 25, net::encode_ping_request(1000));
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), request.data(), request.size(), io).is_ok());
+  Frame reply;
+  ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+  EXPECT_EQ(reply.request_id, 50u);
+  EXPECT_EQ(error_code_of(reply), WireCode::kDeadlineExceeded);
+
+  // Not a dropped connection: the next request on the same socket works.
+  const std::vector<std::uint8_t> followup = net::encode_frame(
+      MessageType::kPingRequest, 51, 0, net::encode_ping_request(0));
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), followup.data(), followup.size(), io)
+          .is_ok());
+  ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+  EXPECT_EQ(reply.type, MessageType::kPingReply);
+  EXPECT_EQ(reply.request_id, 51u);
+  srv.stop();
+}
+
+TEST(AuthServer, OverloadYieldsTypedRepliesWithoutBlockingAcceptor) {
+  AuthServerOptions tiny = default_options();
+  tiny.threads = 1;
+  tiny.max_inflight = 1;
+  AuthServer srv(shared_model(), tiny);
+  ASSERT_TRUE(srv.start().is_ok());
+  net::Socket sock;
+  ASSERT_TRUE(
+      net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(10.0);
+
+  // Three pipelined requests; the first parks the only worker for 300 ms,
+  // so admission control must answer the other two typed OVERLOADED.
+  std::vector<std::uint8_t> burst;
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    const std::vector<std::uint8_t> f = net::encode_frame(
+        MessageType::kPingRequest, id, 0, net::encode_ping_request(300));
+    burst.insert(burst.end(), f.begin(), f.end());
+  }
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), burst.data(), burst.size(), io).is_ok());
+
+  int served = 0, overloaded = 0;
+  for (int i = 0; i < 3; ++i) {
+    Frame reply;
+    ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+    if (reply.type == MessageType::kPingReply)
+      ++served;
+    else if (error_code_of(reply) == WireCode::kOverloaded)
+      ++overloaded;
+  }
+  EXPECT_EQ(served, 1);
+  EXPECT_EQ(overloaded, 2);
+
+  // While the admission bound was doing its job the acceptor stayed live:
+  // a second connection gets served immediately afterwards.
+  AuthClient client("127.0.0.1", srv.port());
+  EXPECT_TRUE(client.ping().is_ok());
+  srv.stop();
+  EXPECT_EQ(srv.stats().overloaded_rejections, 2u);
+}
+
+TEST(AuthServer, ClientRetriesThroughOverload) {
+  AuthServerOptions tiny = default_options();
+  tiny.threads = 1;
+  tiny.max_inflight = 1;
+  AuthServer srv(shared_model(), tiny);
+  ASSERT_TRUE(srv.start().is_ok());
+
+  // Thread A parks the only worker; B's first attempt is rejected typed
+  // OVERLOADED, then backoff + retry succeed once the worker frees up.
+  std::thread occupant([&] {
+    AuthClient a("127.0.0.1", srv.port());
+    EXPECT_TRUE(a.ping(150).is_ok());
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  net::ClientOptions retrying;
+  retrying.max_attempts = 10;
+  retrying.backoff_initial_ms = 20;
+  retrying.backoff_max_ms = 100;
+  AuthClient b("127.0.0.1", srv.port(), retrying);
+  EXPECT_TRUE(b.ping().is_ok());
+  EXPECT_GE(b.stats().retries, 1u);
+  occupant.join();
+  srv.stop();
+}
+
+TEST(AuthServer, DrainRejectsNewFinishesInflight) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  net::Socket sock;
+  ASSERT_TRUE(
+      net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(10.0);
+
+  // In-flight work before the drain begins...
+  const std::vector<std::uint8_t> slow = net::encode_frame(
+      MessageType::kPingRequest, 1, 0, net::encode_ping_request(300));
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), slow.data(), slow.size(), io).is_ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  srv.request_drain();
+  EXPECT_TRUE(srv.draining());
+
+  // ...must finish; new work must be answered typed SHUTTING_DOWN.
+  const std::vector<std::uint8_t> late = net::encode_frame(
+      MessageType::kPingRequest, 2, 0, net::encode_ping_request(0));
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), late.data(), late.size(), io).is_ok());
+
+  int ping_ok = 0, shutting_down = 0;
+  for (int i = 0; i < 2; ++i) {
+    Frame reply;
+    ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+    if (reply.type == MessageType::kPingReply && reply.request_id == 1)
+      ++ping_ok;
+    else if (error_code_of(reply) == WireCode::kShuttingDown)
+      ++shutting_down;
+  }
+  EXPECT_EQ(ping_ok, 1);
+  EXPECT_EQ(shutting_down, 1);
+
+  srv.wait();
+  EXPECT_FALSE(srv.running());
+  EXPECT_EQ(srv.stats().shutdown_rejections, 1u);
+
+  // Fully drained: the listener is gone.
+  net::Socket refused;
+  EXPECT_FALSE(
+      net::connect_tcp("127.0.0.1", srv.port(), 250, &refused).is_ok());
+}
+
+TEST(AuthServer, MalformedStreamGetsTypedErrorThenClose) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  net::Socket sock;
+  ASSERT_TRUE(
+      net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(5.0);
+
+  std::vector<std::uint8_t> garbage(net::kHeaderSize, 0x58);  // "XXXX..."
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), garbage.data(), garbage.size(), io).is_ok());
+  Frame reply;
+  ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+  EXPECT_EQ(error_code_of(reply), WireCode::kMalformed);
+
+  // An unsynchronised stream cannot be trusted further: the server closes
+  // after flushing the error.
+  std::uint8_t byte = 0;
+  EXPECT_FALSE(net::recv_exact(sock.fd(), &byte, 1, io).is_ok());
+  srv.stop();
+  EXPECT_EQ(srv.stats().malformed_frames, 1u);
+}
+
+TEST(AuthServer, NonRequestTypeGetsTypedUnsupported) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  net::Socket sock;
+  ASSERT_TRUE(
+      net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(5.0);
+  // A well-framed message whose type is a *reply*: framing survives, the
+  // dispatcher rejects it typed.
+  const std::vector<std::uint8_t> bogus =
+      net::encode_frame(MessageType::kPingReply, 3, 0, {});
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), bogus.data(), bogus.size(), io).is_ok());
+  Frame reply;
+  ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
+  EXPECT_EQ(error_code_of(reply), WireCode::kUnsupportedType);
+  srv.stop();
+}
+
+TEST(AuthServer, PublishesMetricsWhenRegistryEnabled) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  reg.set_enabled(true);
+  reg.reset();
+  {
+    AuthServer srv(shared_model(), default_options());
+    ASSERT_TRUE(srv.start().is_ok());
+    AuthClient client("127.0.0.1", srv.port());
+    ASSERT_TRUE(client.ping().is_ok());
+    srv.stop();
+  }
+  EXPECT_GE(reg.counter_value("server.requests"), 1u);
+  EXPECT_GE(reg.counter_value("server.connections_accepted"), 1u);
+  EXPECT_GE(reg.histogram_snapshot("server.ping.request_us").count, 1u);
+  reg.set_enabled(false);
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -1,13 +1,16 @@
-// Tests for src/util: statistics, bigint, fitting, tables, rng.
+// Tests for src/util: statistics, bigint, fitting, tables, rng, deadlines.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cmath>
 #include <sstream>
+#include <thread>
 
 #include "util/bigint.hpp"
 #include "util/fit.hpp"
 #include "util/rng.hpp"
 #include "util/statistics.hpp"
+#include "util/status.hpp"
 #include "util/table.hpp"
 
 namespace ppuf::util {
@@ -314,6 +317,45 @@ TEST(Rng, GaussianMoments) {
 TEST(Rng, BenchScaleDefaultsToOne) {
   // The variable is unset in the test environment.
   EXPECT_DOUBLE_EQ(bench_scale(), 1.0);
+}
+
+// ------------------------------------------------------------------ deadline
+//
+// Deadline::remaining() is what the service layer puts on the wire as a
+// per-request budget, so its edge cases (unlimited, already expired) are
+// protocol semantics, not just convenience.
+
+TEST(Deadline, UnlimitedRemainingIsDurationMax) {
+  const Deadline d;
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_EQ(d.remaining(), Deadline::Clock::duration::max());
+  EXPECT_EQ(Deadline::unlimited().remaining(),
+            Deadline::Clock::duration::max());
+}
+
+TEST(Deadline, RemainingIsPositiveAndBoundedBeforeExpiry) {
+  const Deadline d = Deadline::after_seconds(60.0);
+  const auto left = d.remaining();
+  EXPECT_GT(left, Deadline::Clock::duration::zero());
+  EXPECT_LE(left, std::chrono::seconds(60));
+}
+
+TEST(Deadline, RemainingClampsToZeroOnceExpired) {
+  const Deadline immediate = Deadline::after_seconds(0.0);
+  EXPECT_TRUE(immediate.expired());
+  EXPECT_EQ(immediate.remaining(), Deadline::Clock::duration::zero());
+  // Far in the past: still exactly zero, never negative.
+  const Deadline past =
+      Deadline::at(Deadline::Clock::now() - std::chrono::seconds(5));
+  EXPECT_EQ(past.remaining(), Deadline::Clock::duration::zero());
+}
+
+TEST(Deadline, RemainingShrinksAsTimePasses) {
+  const Deadline d = Deadline::after_seconds(60.0);
+  const auto first = d.remaining();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_LT(d.remaining(), first);
 }
 
 }  // namespace

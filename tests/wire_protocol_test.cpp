@@ -1,0 +1,553 @@
+// Tests for protocol::codec and net/wire: canonical binary round trips,
+// strict framing, and fuzz-style robustness.
+//
+// The fuzz sections are the decoder's safety contract: every payload and
+// frame decoder consumes adversary bytes, so for EVERY byte offset of a
+// valid message we check that (a) truncating there yields a typed error —
+// never a crash, never an over-read — and (b) flipping bits there yields
+// either a typed error or a clean decode of different values.  CI runs
+// this binary under ASan/UBSan, which turns "never over-reads" from a
+// claim into a checked property.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/wire.hpp"
+#include "protocol/codec.hpp"
+#include "util/status.hpp"
+
+namespace ppuf {
+namespace {
+
+using net::DecodeResult;
+using net::Frame;
+using net::MessageType;
+using net::WireCode;
+using protocol::codec::Reader;
+using protocol::codec::Writer;
+using util::Status;
+using util::StatusCode;
+
+Challenge sample_challenge() {
+  Challenge c;
+  c.source = 3;
+  c.sink = 7;
+  c.bits = {1, 0, 1, 1, 0, 0, 1, 0, 1};
+  return c;
+}
+
+protocol::ProverReport sample_report() {
+  protocol::ProverReport r;
+  r.bit = 1;
+  r.flow_a = 2.5e-8;
+  r.flow_b = 1.25e-8;
+  r.edge_flow_a = {1e-9, 0.0, 2e-9, 3e-9};
+  r.edge_flow_b = {0.0, 4e-9};
+  r.elapsed_seconds = 1e-6;
+  r.status = Status::ok();
+  return r;
+}
+
+protocol::ChainedReport sample_chained_report() {
+  protocol::ChainedReport r;
+  r.rounds = {sample_report(), sample_report()};
+  r.rounds[1].bit = 0;
+  r.elapsed_seconds = 2e-6;
+  r.status = Status::deadline_exceeded("stopped at round 2");
+  return r;
+}
+
+net::ChallengeGrant sample_grant() {
+  net::ChallengeGrant g;
+  g.challenge = sample_challenge();
+  g.chain_length = 4;
+  g.nonce = 0xdeadbeefcafe1234ull;
+  g.deadline_seconds = 0.75;
+  return g;
+}
+
+// ------------------------------------------------------------- codec basics
+
+TEST(Codec, ChallengeRoundTrip) {
+  const Challenge in = sample_challenge();
+  Writer w;
+  protocol::codec::encode_challenge(w, in);
+  Reader r(w.bytes().data(), w.bytes().size());
+  Challenge out;
+  ASSERT_TRUE(protocol::codec::decode_challenge(r, &out).is_ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(in, out);
+}
+
+TEST(Codec, ChallengeRejectsNonBinaryBits) {
+  Challenge bad = sample_challenge();
+  bad.bits[2] = 2;
+  Writer w;
+  protocol::codec::encode_challenge(w, bad);
+  Reader r(w.bytes().data(), w.bytes().size());
+  Challenge out;
+  const Status s = protocol::codec::decode_challenge(r, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Codec, StatusRoundTripAllCodes) {
+  for (const StatusCode code :
+       {StatusCode::kOk, StatusCode::kCancelled,
+        StatusCode::kDeadlineExceeded, StatusCode::kInvalidArgument,
+        StatusCode::kInternal, StatusCode::kUnavailable}) {
+    const Status in(code, code == StatusCode::kOk ? "" : "reason text");
+    Writer w;
+    protocol::codec::encode_status(w, in);
+    Reader r(w.bytes().data(), w.bytes().size());
+    Status out;
+    ASSERT_TRUE(protocol::codec::decode_status(r, &out).is_ok());
+    EXPECT_EQ(out.code(), in.code());
+    EXPECT_EQ(out.message(), in.message());
+  }
+}
+
+TEST(Codec, ProverReportRoundTrip) {
+  const protocol::ProverReport in = sample_report();
+  Writer w;
+  protocol::codec::encode_prover_report(w, in);
+  Reader r(w.bytes().data(), w.bytes().size());
+  protocol::ProverReport out;
+  ASSERT_TRUE(protocol::codec::decode_prover_report(r, &out).is_ok());
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_EQ(out.bit, in.bit);
+  EXPECT_EQ(out.flow_a, in.flow_a);
+  EXPECT_EQ(out.flow_b, in.flow_b);
+  EXPECT_EQ(out.edge_flow_a, in.edge_flow_a);
+  EXPECT_EQ(out.edge_flow_b, in.edge_flow_b);
+  EXPECT_EQ(out.elapsed_seconds, in.elapsed_seconds);
+  EXPECT_EQ(out.status.code(), in.status.code());
+}
+
+TEST(Codec, ChainedReportRoundTrip) {
+  const protocol::ChainedReport in = sample_chained_report();
+  Writer w;
+  protocol::codec::encode_chained_report(w, in);
+  Reader r(w.bytes().data(), w.bytes().size());
+  protocol::ChainedReport out;
+  ASSERT_TRUE(protocol::codec::decode_chained_report(r, &out).is_ok());
+  ASSERT_EQ(out.rounds.size(), in.rounds.size());
+  EXPECT_EQ(out.rounds[0].bit, in.rounds[0].bit);
+  EXPECT_EQ(out.rounds[1].bit, in.rounds[1].bit);
+  EXPECT_EQ(out.elapsed_seconds, in.elapsed_seconds);
+  EXPECT_EQ(out.status.code(), in.status.code());
+  EXPECT_EQ(out.status.message(), in.status.message());
+}
+
+TEST(Codec, PredictionRoundTrip) {
+  SimulationModel::Prediction in;
+  in.bit = 1;
+  in.flow_a = 3.25e-8;
+  in.flow_b = 3.5e-8;
+  in.status = Status::ok();
+  Writer w;
+  protocol::codec::encode_prediction(w, in);
+  Reader r(w.bytes().data(), w.bytes().size());
+  SimulationModel::Prediction out;
+  ASSERT_TRUE(protocol::codec::decode_prediction(r, &out).is_ok());
+  EXPECT_EQ(out.bit, in.bit);
+  EXPECT_EQ(out.flow_a, in.flow_a);
+  EXPECT_EQ(out.flow_b, in.flow_b);
+}
+
+TEST(Codec, AuthResultRoundTrip) {
+  protocol::AuthenticationResult in;
+  in.accepted = false;
+  in.flows_valid = true;
+  in.bit_consistent = true;
+  in.in_time = false;
+  in.detail = "missed the deadline";
+  Writer w;
+  protocol::codec::encode_auth_result(w, in);
+  Reader r(w.bytes().data(), w.bytes().size());
+  protocol::AuthenticationResult out;
+  ASSERT_TRUE(protocol::codec::decode_auth_result(r, &out).is_ok());
+  EXPECT_EQ(out.accepted, in.accepted);
+  EXPECT_EQ(out.flows_valid, in.flows_valid);
+  EXPECT_EQ(out.bit_consistent, in.bit_consistent);
+  EXPECT_EQ(out.in_time, in.in_time);
+  EXPECT_EQ(out.detail, in.detail);
+}
+
+TEST(Codec, TrailingGarbageIsNotExhausted) {
+  Writer w;
+  protocol::codec::encode_challenge(w, sample_challenge());
+  w.u8(0xff);  // one stray byte
+  Reader r(w.bytes().data(), w.bytes().size());
+  Challenge out;
+  ASSERT_TRUE(protocol::codec::decode_challenge(r, &out).is_ok());
+  EXPECT_FALSE(r.exhausted());
+  EXPECT_EQ(r.remaining(), 1u);
+}
+
+TEST(Codec, ReaderIsStickyAfterFailure) {
+  const std::vector<std::uint8_t> two = {0x01, 0x02};
+  Reader r(two.data(), two.size());
+  std::uint64_t v = 0;
+  EXPECT_FALSE(r.u64(&v));  // over-read attempt
+  EXPECT_TRUE(r.failed());
+  std::uint8_t b = 0;
+  EXPECT_FALSE(r.u8(&b));  // sticky: even in-bounds reads fail now
+}
+
+// -------------------------------------------------------------- report files
+
+TEST(CodecFiles, ChainedReportFileRoundTrip) {
+  const protocol::ChainedReport in = sample_chained_report();
+  std::stringstream file;
+  protocol::codec::write_chained_report(file, in);
+  protocol::ChainedReport out;
+  ASSERT_TRUE(protocol::codec::read_chained_report(file, &out).is_ok());
+  ASSERT_EQ(out.rounds.size(), in.rounds.size());
+  EXPECT_EQ(out.rounds[0].flow_a, in.rounds[0].flow_a);
+  EXPECT_EQ(out.status.code(), in.status.code());
+}
+
+TEST(CodecFiles, WireAndFileShareOneEncoding) {
+  // The satellite invariant: a report saved to disk and a report framed
+  // for the wire must be byte-identical payloads.
+  const protocol::ChainedReport report = sample_chained_report();
+  Writer w;
+  protocol::codec::encode_chained_report(w, report);
+  std::stringstream file;
+  protocol::codec::write_chained_report(file, report);
+  const std::string on_disk = file.str();
+  const std::string payload(w.bytes().begin(), w.bytes().end());
+  ASSERT_GT(on_disk.size(), payload.size());  // file adds magic + length
+  EXPECT_NE(on_disk.find(payload), std::string::npos);
+}
+
+TEST(CodecFiles, BadMagicIsTypedError) {
+  std::stringstream file;
+  protocol::codec::write_chained_report(file, sample_chained_report());
+  std::string bytes = file.str();
+  bytes[0] ^= 0x5a;
+  std::stringstream corrupted(bytes);
+  protocol::ChainedReport out;
+  const Status s = protocol::codec::read_chained_report(corrupted, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CodecFiles, TruncatedFileIsTypedError) {
+  std::stringstream file;
+  protocol::codec::write_chained_report(file, sample_chained_report());
+  const std::string bytes = file.str();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::stringstream truncated(bytes.substr(0, len));
+    protocol::ChainedReport out;
+    const Status s = protocol::codec::read_chained_report(truncated, &out);
+    EXPECT_FALSE(s.is_ok()) << "prefix of " << len << " bytes decoded";
+  }
+}
+
+// ------------------------------------------------------------------ framing
+
+TEST(Wire, FrameRoundTrip) {
+  const std::vector<std::uint8_t> payload = net::encode_ping_request(17);
+  const std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kPingRequest, 42, 250, payload);
+  ASSERT_EQ(bytes.size(), net::kHeaderSize + payload.size());
+  Frame f;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(f.type, MessageType::kPingRequest);
+  EXPECT_EQ(f.request_id, 42u);
+  EXPECT_EQ(f.budget_ms, 250u);
+  EXPECT_EQ(f.payload, payload);
+  std::uint32_t delay = 0;
+  ASSERT_TRUE(net::decode_ping_request(f.payload, &delay).is_ok());
+  EXPECT_EQ(delay, 17u);
+}
+
+TEST(Wire, EmptyPayloadFrame) {
+  const std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kPingReply, 7, 0, {});
+  Frame f;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(consumed, net::kHeaderSize);
+  EXPECT_TRUE(f.payload.empty());
+}
+
+TEST(Wire, TwoFramesDecodeSequentially) {
+  std::vector<std::uint8_t> stream =
+      net::encode_frame(MessageType::kPingRequest, 1, 0,
+                        net::encode_ping_request(0));
+  const std::vector<std::uint8_t> second =
+      net::encode_frame(MessageType::kChallengeRequest, 2, 0,
+                        net::encode_challenge_request());
+  stream.insert(stream.end(), second.begin(), second.end());
+
+  Frame f;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(stream.data(), stream.size(), &f, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(f.request_id, 1u);
+  const std::size_t first_len = consumed;
+  ASSERT_EQ(net::decode_frame(stream.data() + first_len,
+                              stream.size() - first_len, &f, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(f.request_id, 2u);
+  EXPECT_EQ(first_len + consumed, stream.size());
+}
+
+TEST(Wire, BadMagicIsMalformed) {
+  std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
+  bytes[0] ^= 0xff;
+  Frame f;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kMalformed);
+}
+
+TEST(Wire, UnknownVersionIsMalformed) {
+  std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
+  bytes[4] = 0x7f;  // version low byte
+  Frame f;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kMalformed);
+}
+
+TEST(Wire, OversizedPayloadLengthIsMalformed) {
+  std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
+  // payload_len field: header bytes 20..23, little-endian.
+  bytes[20] = 0xff;
+  bytes[21] = 0xff;
+  bytes[22] = 0xff;
+  bytes[23] = 0x7f;
+  Frame f;
+  std::size_t consumed = 0;
+  EXPECT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kMalformed);
+}
+
+TEST(Wire, ErrorReplyRoundTrip) {
+  net::ErrorReply in;
+  in.code = WireCode::kOverloaded;
+  in.message = "64 in flight";
+  const std::vector<std::uint8_t> payload = net::encode_error_reply(in);
+  net::ErrorReply out;
+  ASSERT_TRUE(net::decode_error_reply(payload, &out).is_ok());
+  EXPECT_EQ(out.code, in.code);
+  EXPECT_EQ(out.message, in.message);
+}
+
+TEST(Wire, ChallengeGrantRoundTrip) {
+  const net::ChallengeGrant in = sample_grant();
+  const std::vector<std::uint8_t> payload = net::encode_challenge_reply(in);
+  net::ChallengeGrant out;
+  ASSERT_TRUE(net::decode_challenge_reply(payload, &out).is_ok());
+  EXPECT_EQ(out.challenge, in.challenge);
+  EXPECT_EQ(out.chain_length, in.chain_length);
+  EXPECT_EQ(out.nonce, in.nonce);
+  EXPECT_EQ(out.deadline_seconds, in.deadline_seconds);
+}
+
+TEST(Wire, ChainedAuthRequestRoundTrip) {
+  net::ChainedAuthRequest in;
+  in.grant = sample_grant();
+  in.report = sample_chained_report();
+  const std::vector<std::uint8_t> payload =
+      net::encode_chained_auth_request(in);
+  net::ChainedAuthRequest out;
+  ASSERT_TRUE(net::decode_chained_auth_request(payload, &out).is_ok());
+  EXPECT_EQ(out.grant.nonce, in.grant.nonce);
+  EXPECT_EQ(out.report.rounds.size(), in.report.rounds.size());
+}
+
+TEST(Wire, VerifyBatchRoundTrip) {
+  const std::vector<Challenge> challenges{sample_challenge(),
+                                          sample_challenge()};
+  const std::vector<protocol::ProverReport> reports{sample_report(),
+                                                    sample_report()};
+  const std::vector<std::uint8_t> payload =
+      net::encode_verify_batch_request(challenges, reports);
+  std::vector<Challenge> out_c;
+  std::vector<protocol::ProverReport> out_r;
+  ASSERT_TRUE(
+      net::decode_verify_batch_request(payload, &out_c, &out_r).is_ok());
+  ASSERT_EQ(out_c.size(), 2u);
+  ASSERT_EQ(out_r.size(), 2u);
+  EXPECT_EQ(out_c[0], challenges[0]);
+  EXPECT_EQ(out_r[1].flow_b, reports[1].flow_b);
+}
+
+TEST(Wire, WireCodeMapping) {
+  using util::StatusCode;
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kOverloaded, "x").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kShuttingDown, "x").code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kDeadlineExceeded, "x").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kInvalidArgument, "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kOk, "").code(),
+            StatusCode::kOk);
+}
+
+// ----------------------------------------------------------------- fuzzing
+
+/// One named payload decoder driven over adversarial bytes.
+struct PayloadCase {
+  const char* name;
+  std::vector<std::uint8_t> valid;
+  std::function<Status(const std::vector<std::uint8_t>&)> decode;
+};
+
+std::vector<PayloadCase> payload_cases() {
+  std::vector<PayloadCase> cases;
+  cases.push_back({"ping_request", net::encode_ping_request(250),
+                   [](const std::vector<std::uint8_t>& p) {
+                     std::uint32_t d = 0;
+                     return net::decode_ping_request(p, &d);
+                   }});
+  cases.push_back({"predict_request",
+                   net::encode_predict_request(sample_challenge()),
+                   [](const std::vector<std::uint8_t>& p) {
+                     Challenge c;
+                     return net::decode_predict_request(p, &c);
+                   }});
+  cases.push_back({"verify_request",
+                   net::encode_verify_request(sample_challenge(),
+                                              sample_report()),
+                   [](const std::vector<std::uint8_t>& p) {
+                     Challenge c;
+                     protocol::ProverReport r;
+                     return net::decode_verify_request(p, &c, &r);
+                   }});
+  cases.push_back(
+      {"verify_batch_request",
+       net::encode_verify_batch_request({sample_challenge()},
+                                        {sample_report()}),
+       [](const std::vector<std::uint8_t>& p) {
+         std::vector<Challenge> c;
+         std::vector<protocol::ProverReport> r;
+         return net::decode_verify_batch_request(p, &c, &r);
+       }});
+  cases.push_back({"challenge_reply",
+                   net::encode_challenge_reply(sample_grant()),
+                   [](const std::vector<std::uint8_t>& p) {
+                     net::ChallengeGrant g;
+                     return net::decode_challenge_reply(p, &g);
+                   }});
+  net::ChainedAuthRequest chained;
+  chained.grant = sample_grant();
+  chained.report = sample_chained_report();
+  cases.push_back({"chained_auth_request",
+                   net::encode_chained_auth_request(chained),
+                   [](const std::vector<std::uint8_t>& p) {
+                     net::ChainedAuthRequest r;
+                     return net::decode_chained_auth_request(p, &r);
+                   }});
+  net::ErrorReply err;
+  err.code = WireCode::kDeadlineExceeded;
+  err.message = "late";
+  cases.push_back({"error_reply", net::encode_error_reply(err),
+                   [](const std::vector<std::uint8_t>& p) {
+                     net::ErrorReply e;
+                     return net::decode_error_reply(p, &e);
+                   }});
+  return cases;
+}
+
+TEST(WireFuzz, TruncationAtEveryOffsetIsTypedError) {
+  for (const PayloadCase& pc : payload_cases()) {
+    ASSERT_FALSE(pc.valid.empty()) << pc.name;
+    // Sanity: the untruncated payload decodes.
+    ASSERT_TRUE(pc.decode(pc.valid).is_ok()) << pc.name;
+    for (std::size_t len = 0; len < pc.valid.size(); ++len) {
+      const std::vector<std::uint8_t> prefix(pc.valid.begin(),
+                                             pc.valid.begin() +
+                                                 static_cast<long>(len));
+      const Status s = pc.decode(prefix);
+      // A strict prefix can never decode: decoders demand exact
+      // consumption, and the decode path is deterministic in the bytes.
+      EXPECT_FALSE(s.is_ok())
+          << pc.name << " decoded from a " << len << "-byte prefix";
+      EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+          << pc.name << " at prefix " << len;
+    }
+  }
+}
+
+TEST(WireFuzz, BitFlipAtEveryOffsetNeverCrashes) {
+  for (const PayloadCase& pc : payload_cases()) {
+    // All 8 flips per byte for small messages; one rotating flip per byte
+    // for large ones (keeps the ASan run fast without losing coverage of
+    // every offset).
+    const int flips_per_byte = pc.valid.size() <= 256 ? 8 : 1;
+    for (std::size_t off = 0; off < pc.valid.size(); ++off) {
+      for (int b = 0; b < flips_per_byte; ++b) {
+        std::vector<std::uint8_t> mutated = pc.valid;
+        mutated[off] ^= static_cast<std::uint8_t>(
+            1u << (flips_per_byte == 8 ? b : off % 8));
+        // Either a clean decode of different values or a typed error —
+        // never a crash or over-read (ASan enforces the latter).
+        const Status s = pc.decode(mutated);
+        if (!s.is_ok()) {
+          EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+              << pc.name << " offset " << off;
+        }
+      }
+    }
+  }
+}
+
+TEST(WireFuzz, FrameTruncationNeedsMoreAtEveryOffset) {
+  const std::vector<std::uint8_t> frame = net::encode_frame(
+      MessageType::kVerifyRequest, 9,  125,
+      net::encode_verify_request(sample_challenge(), sample_report()));
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    Frame f;
+    std::size_t consumed = 0;
+    EXPECT_EQ(net::decode_frame(frame.data(), len, &f, &consumed),
+              DecodeResult::kNeedMore)
+        << "prefix " << len;
+  }
+}
+
+TEST(WireFuzz, FrameBitFlipNeverCrashesOrOverconsumes) {
+  const std::vector<std::uint8_t> frame = net::encode_frame(
+      MessageType::kChainedAuthRequest, 1234, 0, [] {
+        net::ChainedAuthRequest r;
+        r.grant = sample_grant();
+        r.report = sample_chained_report();
+        return net::encode_chained_auth_request(r);
+      }());
+  for (std::size_t off = 0; off < frame.size(); ++off) {
+    for (int b = 0; b < 8; ++b) {
+      std::vector<std::uint8_t> mutated = frame;
+      mutated[off] ^= static_cast<std::uint8_t>(1u << b);
+      Frame f;
+      std::size_t consumed = 0;
+      const DecodeResult r =
+          net::decode_frame(mutated.data(), mutated.size(), &f, &consumed);
+      if (r == DecodeResult::kOk) {
+        EXPECT_LE(consumed, mutated.size()) << "offset " << off;
+        // A frame that still parses hands its payload to the typed
+        // decoder, which must also hold the no-crash contract.
+        net::ChainedAuthRequest out;
+        (void)net::decode_chained_auth_request(f.payload, &out);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -18,29 +18,54 @@
 //   ppuf_tool export-spice <input-bit> <deck-file>
 //       Emit the building block (Fig. 2d) as a SPICE deck for external
 //       cross-checking against a real SPICE engine.
+//   ppuf_tool serve <model-file> [--port <p>] [--port-file <f>] ...
+//       Run the authentication service (DESIGN.md §12) on 127.0.0.1:
+//       PREDICT / VERIFY / VERIFY_BATCH / CHALLENGE / CHAINED_AUTH over
+//       the framed wire protocol.  SIGTERM/SIGINT drain gracefully.
+//   ppuf_tool auth <host:port> <nodes> <grid> <seed> [--report-file <f>]
+//       Authenticate against a running server as the device holder:
+//       fetch a chain grant, execute the chain on the re-fabricated
+//       "silicon", submit the chained report.
 //
 // Global options (before the command):
-//   --threads <n>        worker threads for batch commands (default 1)
+//   --threads <n>        worker threads for batch commands and serve
 //   --cache-mb <m>       response-cache budget in MiB (default 0 = no cache)
 //   --metrics-json <f>   enable the metrics registry and write its JSON
 //                        snapshot to <f> when the command finishes
+//
+// Exit codes (stable contract, exercised by tests/CI):
+//   0      success (for `auth`: authentication ACCEPTED)
+//   1      runtime error (I/O failure, transport failure, bad file, ...)
+//   2      no/unknown command, or bad global options
+//   3      predict aborted by its deadline (typed status)
+//   4      auth completed but the server REJECTED the proof
+//   10-18  bad arguments for a specific subcommand (usage printed to
+//          stderr): fabricate=10 info=11 challenge=12 predict=13
+//          predict-batch=14 evaluate=15 export-spice=16 serve=17 auth=18
 //
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
 // the published model file — and pays simulation time for every response.
 #include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "attack/heuristic.hpp"
 #include "circuit/spice_export.hpp"
+#include "net/client.hpp"
 #include "obs/metrics.hpp"
 #include "ppuf/block.hpp"
 #include "ppuf/ppuf.hpp"
 #include "ppuf/response_cache.hpp"
 #include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "protocol/codec.hpp"
+#include "server/auth_server.hpp"
 #include "util/statistics.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
@@ -49,6 +74,11 @@ namespace {
 
 using namespace ppuf;
 
+/// Modelled chip execution delay reported by the honest prover; the chip
+/// settles in ~nanoseconds, our host merely simulates it (DESIGN.md on the
+/// elapsed-time substitution).  Matches the convention of the test suite.
+constexpr double kChipDelaySeconds = 1e-6;
+
 /// Global options parsed ahead of the command.
 struct ToolOptions {
   unsigned threads = 1;
@@ -56,22 +86,95 @@ struct ToolOptions {
   std::string metrics_json;   ///< empty = metrics disabled
 };
 
+/// Thrown on a bad *argument* (unparsable number, wrong shape) so main()
+/// can print the offending command's usage and return its distinct code —
+/// as opposed to runtime errors, which exit 1.
+struct UsageError {
+  std::string command;  ///< empty = global usage
+};
+
+struct CommandSpec {
+  const char* name;
+  int bad_args_code;  ///< exit code for bad arguments (usage audit)
+  const char* usage;
+};
+
+constexpr CommandSpec kCommands[] = {
+    {"fabricate", 10, "fabricate <nodes> <grid> <seed> <model-file>"},
+    {"info", 11, "info <model-file>"},
+    {"challenge", 12, "challenge <model-file> [seed]"},
+    {"predict", 13, "predict <model-file> <source> <sink> <bits> [deadline-ms]"},
+    {"predict-batch", 14, "predict-batch <model-file> <count> [seed] [repeats]"},
+    {"evaluate", 15, "evaluate <nodes> <grid> <seed> <source> <sink> <bits>"},
+    {"export-spice", 16, "export-spice <input-bit> <deck-file>"},
+    {"serve", 17,
+     "serve <model-file> [--port <p>] [--port-file <f>]\n"
+     "                 [--max-inflight <n>] [--deadline-s <sec>]\n"
+     "                 [--chain-k <k>] [--spot-checks <s>] [--seed <s>]"},
+    {"auth", 18, "auth <host:port> <nodes> <grid> <seed> [--report-file <f>]"},
+};
+
 int usage() {
   std::cerr <<
       "usage: ppuf_tool [--threads <n>] [--cache-mb <m>]\n"
-      "                 [--metrics-json <file>] <command> ...\n"
-      "  ppuf_tool fabricate <nodes> <grid> <seed> <model-file>\n"
-      "  ppuf_tool info <model-file>\n"
-      "  ppuf_tool challenge <model-file> [seed]\n"
-      "  ppuf_tool predict <model-file> <source> <sink> <bits> [deadline-ms]\n"
-      "  ppuf_tool predict-batch <model-file> <count> [seed] [repeats]\n"
-      "  ppuf_tool evaluate <nodes> <grid> <seed> <source> <sink> <bits>\n"
-      "  ppuf_tool export-spice <input-bit> <deck-file>\n"
-      "--threads sizes the worker pool of batch commands; --cache-mb bounds\n"
-      "the CRP response cache (repeated challenges skip the solve);\n"
-      "--metrics-json enables solver/batch/cache metrics on any command and\n"
-      "writes the registry snapshot to <file> on exit.\n";
+      "                 [--metrics-json <file>] <command> ...\n";
+  for (const CommandSpec& spec : kCommands)
+    std::cerr << "  ppuf_tool " << spec.usage << "\n";
+  std::cerr <<
+      "--threads sizes the worker pool of batch commands and the serve\n"
+      "command; --cache-mb bounds the CRP response cache (repeated\n"
+      "challenges skip the solve); --metrics-json enables solver/batch/\n"
+      "cache/server metrics on any command and writes the registry\n"
+      "snapshot to <file> on exit.\n";
   return 2;
+}
+
+/// Print one command's usage line to stderr and return its distinct
+/// bad-arguments exit code.
+int usage_for(const std::string& command) {
+  for (const CommandSpec& spec : kCommands) {
+    if (command == spec.name) {
+      std::cerr << "usage: ppuf_tool " << spec.usage << "\n";
+      return spec.bad_args_code;
+    }
+  }
+  return usage();
+}
+
+/// Strict unsigned parse: the whole token must be a number, else the
+/// command's usage error.
+std::uint64_t parse_number(const std::string& command,
+                           const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const unsigned long long v = std::stoull(text, &pos);
+    if (pos != text.size()) throw UsageError{command};
+    return v;
+  } catch (const UsageError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw UsageError{command};
+  }
+}
+
+double parse_double(const std::string& command, const std::string& text) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || !(v >= 0.0)) throw UsageError{command};
+    return v;
+  } catch (const UsageError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw UsageError{command};
+  }
+}
+
+std::uint16_t parse_port(const std::string& command,
+                         const std::string& text) {
+  const std::uint64_t v = parse_number(command, text);
+  if (v > 65535) throw UsageError{command};
+  return static_cast<std::uint16_t>(v);
 }
 
 SimulationModel load_model(const std::string& path) {
@@ -80,12 +183,13 @@ SimulationModel load_model(const std::string& path) {
   return SimulationModel::load(in);
 }
 
-Challenge parse_challenge(const CrossbarLayout& layout,
+Challenge parse_challenge(const std::string& command,
+                          const CrossbarLayout& layout,
                           const std::string& source, const std::string& sink,
                           const std::string& bits) {
   Challenge c;
-  c.source = static_cast<graph::VertexId>(std::stoul(source));
-  c.sink = static_cast<graph::VertexId>(std::stoul(sink));
+  c.source = static_cast<graph::VertexId>(parse_number(command, source));
+  c.sink = static_cast<graph::VertexId>(parse_number(command, sink));
   if (c.source >= layout.node_count() || c.sink >= layout.node_count() ||
       c.source == c.sink)
     throw std::runtime_error("bad source/sink pair");
@@ -106,11 +210,13 @@ std::string bits_to_string(const Challenge& c) {
 }
 
 int cmd_fabricate(const std::vector<std::string>& args) {
-  if (args.size() != 4) return usage();
+  if (args.size() != 4) return usage_for("fabricate");
   PpufParams params;
-  params.node_count = std::stoul(args[0]);
-  params.grid_size = std::stoul(args[1]);
-  MaxFlowPpuf puf(params, std::stoull(args[2]));
+  params.node_count = static_cast<std::size_t>(
+      parse_number("fabricate", args[0]));
+  params.grid_size = static_cast<std::size_t>(
+      parse_number("fabricate", args[1]));
+  MaxFlowPpuf puf(params, parse_number("fabricate", args[2]));
   SimulationModel model(puf);
   std::ofstream out(args[3]);
   if (!out) throw std::runtime_error("cannot write " + args[3]);
@@ -121,7 +227,7 @@ int cmd_fabricate(const std::vector<std::string>& args) {
 }
 
 int cmd_info(const std::vector<std::string>& args) {
-  if (args.size() != 1) return usage();
+  if (args.size() != 1) return usage_for("info");
   const SimulationModel model = load_model(args[0]);
   util::RunningStats caps;
   for (graph::EdgeId e = 0; e < model.layout().edge_count(); ++e) {
@@ -143,22 +249,23 @@ int cmd_info(const std::vector<std::string>& args) {
 }
 
 int cmd_challenge(const std::vector<std::string>& args) {
-  if (args.empty() || args.size() > 2) return usage();
+  if (args.empty() || args.size() > 2) return usage_for("challenge");
   const SimulationModel model = load_model(args[0]);
-  util::Rng rng(args.size() == 2 ? std::stoull(args[1]) : 1);
+  util::Rng rng(args.size() == 2 ? parse_number("challenge", args[1]) : 1);
   const Challenge c = random_challenge(model.layout(), rng);
   std::cout << c.source << ' ' << c.sink << ' ' << bits_to_string(c) << "\n";
   return 0;
 }
 
 int cmd_predict(const std::vector<std::string>& args) {
-  if (args.size() != 4 && args.size() != 5) return usage();
+  if (args.size() != 4 && args.size() != 5) return usage_for("predict");
   const SimulationModel model = load_model(args[0]);
   const Challenge c =
-      parse_challenge(model.layout(), args[1], args[2], args[3]);
+      parse_challenge("predict", model.layout(), args[1], args[2], args[3]);
   util::SolveControl control;
   if (args.size() == 5)
-    control.deadline = util::Deadline::after_seconds(std::stol(args[4]) * 1e-3);
+    control.deadline = util::Deadline::after_seconds(
+        static_cast<double>(parse_number("predict", args[4])) * 1e-3);
   const auto p =
       model.predict(c, maxflow::Algorithm::kPushRelabel, control);
   if (!p.ok()) {
@@ -174,11 +281,16 @@ int cmd_predict(const std::vector<std::string>& args) {
 
 int cmd_predict_batch(const std::vector<std::string>& args,
                       const ToolOptions& opts) {
-  if (args.size() < 2 || args.size() > 4) return usage();
+  if (args.size() < 2 || args.size() > 4) return usage_for("predict-batch");
   const SimulationModel model = load_model(args[0]);
-  const std::size_t count = std::stoul(args[1]);
-  util::Rng rng(args.size() >= 3 ? std::stoull(args[2]) : 1);
-  const std::size_t repeats = args.size() == 4 ? std::stoul(args[3]) : 1;
+  const auto count = static_cast<std::size_t>(
+      parse_number("predict-batch", args[1]));
+  util::Rng rng(args.size() >= 3 ? parse_number("predict-batch", args[2])
+                                 : 1);
+  const std::size_t repeats =
+      args.size() == 4
+          ? static_cast<std::size_t>(parse_number("predict-batch", args[3]))
+          : 1;
   if (count == 0 || repeats == 0)
     throw std::runtime_error("count and repeats must be positive");
 
@@ -233,13 +345,15 @@ int cmd_predict_batch(const std::vector<std::string>& args,
 }
 
 int cmd_evaluate(const std::vector<std::string>& args) {
-  if (args.size() != 6) return usage();
+  if (args.size() != 6) return usage_for("evaluate");
   PpufParams params;
-  params.node_count = std::stoul(args[0]);
-  params.grid_size = std::stoul(args[1]);
-  MaxFlowPpuf puf(params, std::stoull(args[2]));
+  params.node_count = static_cast<std::size_t>(
+      parse_number("evaluate", args[0]));
+  params.grid_size = static_cast<std::size_t>(
+      parse_number("evaluate", args[1]));
+  MaxFlowPpuf puf(params, parse_number("evaluate", args[2]));
   const Challenge c =
-      parse_challenge(puf.layout(), args[3], args[4], args[5]);
+      parse_challenge("evaluate", puf.layout(), args[3], args[4], args[5]);
   const auto e = puf.evaluate(c);
   std::cout << "I_A " << e.current_a * 1e9 << " nA, I_B "
             << e.current_b * 1e9 << " nA -> response bit " << e.bit << "\n";
@@ -247,8 +361,8 @@ int cmd_evaluate(const std::vector<std::string>& args) {
 }
 
 int cmd_export_spice(const std::vector<std::string>& args) {
-  if (args.size() != 2) return usage();
-  const int bit = std::stoi(args[0]);
+  if (args.size() != 2) return usage_for("export-spice");
+  const auto bit = static_cast<int>(parse_number("export-spice", args[0]));
   if (bit != 0 && bit != 1) throw std::runtime_error("input bit must be 0/1");
   PpufParams params;
   SweepCircuit sc = build_block(params, circuit::BlockVariation{}, bit,
@@ -264,11 +378,152 @@ int cmd_export_spice(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- serve -----------------------------------------------------------------
+
+/// Set by SIGTERM/SIGINT; polled by cmd_serve.  A signal handler may only
+/// touch sig_atomic_t, so the actual drain call happens on the main thread.
+volatile std::sig_atomic_t g_drain_requested = 0;
+
+void on_drain_signal(int) { g_drain_requested = 1; }
+
+int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
+  if (args.empty()) return usage_for("serve");
+  server::AuthServerOptions so;
+  so.threads = opts.threads;
+  std::string port_file;
+  for (std::size_t i = 1; i < args.size(); i += 2) {
+    const std::string& flag = args[i];
+    if (i + 1 >= args.size()) return usage_for("serve");
+    const std::string& value = args[i + 1];
+    if (flag == "--port") {
+      so.port = parse_port("serve", value);
+    } else if (flag == "--port-file") {
+      port_file = value;
+    } else if (flag == "--max-inflight") {
+      so.max_inflight = static_cast<std::size_t>(
+          parse_number("serve", value));
+      if (so.max_inflight == 0) return usage_for("serve");
+    } else if (flag == "--deadline-s") {
+      so.verifier_deadline_seconds = parse_double("serve", value);
+    } else if (flag == "--chain-k") {
+      so.chain_length = static_cast<std::uint32_t>(
+          parse_number("serve", value));
+      if (so.chain_length == 0) return usage_for("serve");
+    } else if (flag == "--spot-checks") {
+      so.spot_checks = static_cast<std::size_t>(parse_number("serve", value));
+    } else if (flag == "--seed") {
+      so.challenge_seed = parse_number("serve", value);
+    } else {
+      return usage_for("serve");
+    }
+  }
+
+  const SimulationModel model = load_model(args[0]);
+  server::AuthServer srv(model, so);
+  const util::Status started = srv.start();
+  if (!started.is_ok())
+    throw std::runtime_error("cannot start server: " + started.to_string());
+  if (!port_file.empty()) {
+    // Written after bind so scripts can wait for the file, then connect to
+    // the ephemeral port it names.
+    std::ofstream pf(port_file);
+    pf << srv.port() << "\n";
+    if (!pf) throw std::runtime_error("cannot write " + port_file);
+  }
+  std::cout << "serving " << args[0] << " on 127.0.0.1:" << srv.port()
+            << " (" << so.threads << " worker threads, max-inflight "
+            << so.max_inflight << ", chain k=" << so.chain_length << ")\n"
+            << std::flush;
+
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
+  while (srv.running() && g_drain_requested == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cout << "drain requested; finishing in-flight requests\n"
+            << std::flush;
+  srv.stop();
+
+  const server::AuthServer::Stats s = srv.stats();
+  std::cout << "served " << s.requests << " requests on "
+            << s.connections_accepted << " connections ("
+            << s.overloaded_rejections << " overloaded, "
+            << s.shutdown_rejections << " rejected while draining, "
+            << s.malformed_frames << " malformed)\n";
+  return 0;
+}
+
+// --- auth ------------------------------------------------------------------
+
+int cmd_auth(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage_for("auth");
+  const std::string& hostport = args[0];
+  const std::size_t colon = hostport.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == hostport.size())
+    return usage_for("auth");
+  const std::string host = hostport.substr(0, colon);
+  const std::uint16_t port = parse_port("auth", hostport.substr(colon + 1));
+
+  PpufParams params;
+  params.node_count = static_cast<std::size_t>(parse_number("auth", args[1]));
+  params.grid_size = static_cast<std::size_t>(parse_number("auth", args[2]));
+  const std::uint64_t seed = parse_number("auth", args[3]);
+
+  std::string report_file;
+  for (std::size_t i = 4; i < args.size(); i += 2) {
+    if (args[i] == "--report-file" && i + 1 < args.size())
+      report_file = args[i + 1];
+    else
+      return usage_for("auth");
+  }
+
+  // The "chip": only the holder of <seed> can fabricate it.
+  MaxFlowPpuf puf(params, seed);
+
+  net::AuthClient client(host, port);
+  net::ChallengeGrant grant;
+  util::Status st = client.get_challenge(&grant);
+  if (!st.is_ok())
+    throw std::runtime_error("challenge request failed: " + st.to_string());
+  if (grant.challenge.bits.size() != puf.layout().cell_count() ||
+      grant.challenge.source >= puf.layout().node_count() ||
+      grant.challenge.sink >= puf.layout().node_count())
+    throw std::runtime_error(
+        "server challenge does not fit this device geometry "
+        "(wrong <nodes>/<grid> for that server's model?)");
+  std::cout << "grant: chain k=" << grant.chain_length << ", nonce "
+            << grant.nonce << ", response deadline "
+            << grant.deadline_seconds << " s\n";
+
+  const protocol::ChainedReport report = protocol::prove_chain_with_ppuf(
+      puf, grant.challenge, grant.chain_length, grant.nonce,
+      kChipDelaySeconds);
+  if (!report_file.empty()) {
+    std::ofstream out(report_file, std::ios::binary);
+    if (!out) throw std::runtime_error("cannot write " + report_file);
+    protocol::codec::write_chained_report(out, report);
+    std::cout << "chained report saved to " << report_file << "\n";
+  }
+
+  protocol::ChainedVerifyResult result;
+  st = client.chained_auth(grant, report, &result);
+  if (!st.is_ok())
+    throw std::runtime_error("chained auth failed: " + st.to_string());
+  std::cout << (result.accepted ? "ACCEPTED" : "REJECTED")
+            << ": chain_consistent=" << result.chain_consistent
+            << " rounds_valid=" << result.rounds_valid
+            << " in_time=" << result.in_time;
+  if (!result.detail.empty()) std::cout << " (" << result.detail << ")";
+  std::cout << "\n";
+  return result.accepted ? 0 : 4;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> argv_rest(argv + 1, argv + argc);
   ToolOptions opts;
+  std::string cmd;
   try {
     std::size_t consumed = 0;
     while (consumed + 1 < argv_rest.size()) {
@@ -296,14 +551,14 @@ int main(int argc, char** argv) {
     if (argv_rest.empty()) return usage();
     if (!opts.metrics_json.empty()) {
       // Enable before dispatch and pre-register the canonical schema, so
-      // the snapshot always carries the full set of solver/Newton/batch
-      // metric names (as zeros) even for commands that exercise only a
-      // subset of the stack.
+      // the snapshot always carries the full set of solver/Newton/batch/
+      // server metric names (as zeros) even for commands that exercise
+      // only a subset of the stack.
       ppuf::obs::MetricsRegistry::global().set_enabled(true);
       ppuf::obs::register_standard_metrics(
           ppuf::obs::MetricsRegistry::global());
     }
-    const std::string cmd = argv_rest[0];
+    cmd = argv_rest[0];
     const std::vector<std::string> args(argv_rest.begin() + 1,
                                         argv_rest.end());
     int rc = -1;
@@ -314,11 +569,15 @@ int main(int argc, char** argv) {
     else if (cmd == "predict-batch") rc = cmd_predict_batch(args, opts);
     else if (cmd == "evaluate") rc = cmd_evaluate(args);
     else if (cmd == "export-spice") rc = cmd_export_spice(args);
+    else if (cmd == "serve") rc = cmd_serve(args, opts);
+    else if (cmd == "auth") rc = cmd_auth(args);
     if (rc >= 0) {
       if (!opts.metrics_json.empty())
         ppuf::obs::MetricsRegistry::global().write_json(opts.metrics_json);
       return rc;
     }
+  } catch (const UsageError& e) {
+    return e.command.empty() ? usage() : usage_for(e.command);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
