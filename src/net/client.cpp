@@ -140,13 +140,27 @@ util::Status AuthClient::round_trip(MessageType type,
                                     MessageType expected_reply,
                                     Frame* reply) {
   ++stats_.requests;
+  if (payload.size() > kMaxPayload)
+    return Status::invalid_argument(
+        std::string(message_type_name(type)) +
+        " request payload exceeds frame limit");
   Status last = Status::internal("no attempt made");
   int backoff_ms = options_.backoff_initial_ms;
   const int attempts = std::max(1, options_.max_attempts);
   for (int i = 0; i < attempts; ++i) {
     if (i > 0) {
+      // Backoff must respect the caller's budget: an already-expired
+      // deadline answers now, and the sleep never outlives what remains.
+      if (deadline.expired())
+        return Status::deadline_exceeded(
+            "deadline expired before retry; last error: " + last.message());
       ++stats_.retries;
-      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      auto pause = std::chrono::milliseconds(backoff_ms);
+      if (!deadline.is_unlimited())
+        pause = std::min(
+            pause, std::chrono::duration_cast<std::chrono::milliseconds>(
+                       deadline.remaining()));
+      if (pause.count() > 0) std::this_thread::sleep_for(pause);
       backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
     }
     const util::Deadline att =

@@ -1,5 +1,7 @@
 #include "net/wire.hpp"
 
+#include <algorithm>
+
 namespace ppuf::net {
 
 namespace {
@@ -92,6 +94,18 @@ util::Status wire_code_to_status(WireCode code, const std::string& message) {
 std::vector<std::uint8_t> encode_frame(
     MessageType type, std::uint64_t request_id, std::uint32_t budget_ms,
     const std::vector<std::uint8_t>& payload) {
+  if (payload.size() > kMaxPayload) {
+    // A frame the peer is guaranteed to reject as unparseable (oversized
+    // length, or a silently truncated u32 beyond 4 GiB) desynchronises the
+    // stream and drops the connection.  Degrade to a typed error carrying
+    // the same request id so the sender fails loudly instead.
+    ErrorReply err;
+    err.code = WireCode::kInternal;
+    err.message = std::string(message_type_name(type)) +
+                  " payload exceeds frame limit";
+    return encode_frame(MessageType::kErrorReply, request_id, budget_ms,
+                        encode_error_reply(err));
+  }
   Writer w;
   w.u32(kWireMagic);
   w.u16(kWireVersion);
@@ -232,9 +246,12 @@ util::Status decode_verify_reply(const std::vector<std::uint8_t>& payload,
 std::vector<std::uint8_t> encode_verify_batch_request(
     const std::vector<Challenge>& challenges,
     const std::vector<protocol::ProverReport>& reports) {
+  // Bounded by BOTH vectors: a mismatched caller gets the common prefix,
+  // not an out-of-bounds read.
+  const std::size_t n = std::min(challenges.size(), reports.size());
   Writer w;
-  w.u32(static_cast<std::uint32_t>(challenges.size()));
-  for (std::size_t i = 0; i < challenges.size(); ++i) {
+  w.u32(static_cast<std::uint32_t>(n));
+  for (std::size_t i = 0; i < n; ++i) {
     protocol::codec::encode_challenge(w, challenges[i]);
     protocol::codec::encode_prover_report(w, reports[i]);
   }

@@ -99,7 +99,10 @@ struct Frame {
   }
 };
 
-/// Serialise a complete frame (header + payload).
+/// Serialise a complete frame (header + payload).  A payload over
+/// kMaxPayload is never framed (the peer would reject it and drop the
+/// connection); it is replaced by a kErrorReply frame (kInternal) with the
+/// same request id so the failure stays typed and in-band.
 std::vector<std::uint8_t> encode_frame(MessageType type,
                                        std::uint64_t request_id,
                                        std::uint32_t budget_ms,

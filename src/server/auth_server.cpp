@@ -13,12 +13,14 @@
 #include <mutex>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "protocol/authentication.hpp"
+#include "util/fault_hooks.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -136,6 +138,13 @@ struct AuthServer::Impl {
   std::unordered_map<std::uint64_t, int> connection_fd;  // id -> fd
   std::uint64_t next_connection_id = 1;
 
+  /// Fds closed while processing the current epoll_wait batch.  accept()
+  /// may reuse such an fd for a NEW connection within the same batch; a
+  /// stale queued event (e.g. EPOLLHUP for the old peer) must not be
+  /// applied to it.  Events for the new fd cannot be in this batch, so
+  /// skipping is always safe.
+  std::unordered_set<int> closed_in_batch;
+
   struct Completion {
     std::uint64_t connection_id;
     std::vector<std::uint8_t> bytes;
@@ -160,7 +169,7 @@ struct AuthServer::Impl {
   void run();
   void accept_ready();
   void read_ready(int fd);
-  void consume_frames(Connection& conn);
+  void consume_frames(int fd);
   void dispatch(Connection& conn, Frame frame);
   void enqueue_reply(Connection& conn, std::vector<std::uint8_t> bytes);
   void flush(Connection& conn);
@@ -283,6 +292,7 @@ void AuthServer::Impl::run() {
       if (errno == EINTR) continue;
       break;  // epoll itself failed; nothing sensible left to do
     }
+    closed_in_batch.clear();
     for (int i = 0; i < n; ++i) {
       const int fd = events[i].data.fd;
       if (fd == wake_fd) {
@@ -295,6 +305,7 @@ void AuthServer::Impl::run() {
         accept_ready();
         continue;
       }
+      if (closed_in_batch.count(fd) != 0) continue;  // stale: fd was reused
       auto it = connections.find(fd);
       if (it == connections.end()) continue;
       if (events[i].events & (EPOLLHUP | EPOLLERR)) {
@@ -379,12 +390,19 @@ void AuthServer::Impl::read_ready(int fd) {
     close_connection(fd);
     return;
   }
-  consume_frames(conn);
+  consume_frames(fd);
 }
 
-void AuthServer::Impl::consume_frames(Connection& conn) {
+void AuthServer::Impl::consume_frames(int fd) {
+  // The Connection must be re-looked-up after every dispatch: a reply flush
+  // can hit a send error (peer reset mid-pipeline) and close_connection()
+  // destroys the map entry, so any reference held across dispatch dangles.
+  auto it = connections.find(fd);
+  if (it == connections.end()) return;
+  const std::uint64_t conn_id = it->second.id;
   std::size_t offset = 0;
-  while (!conn.close_after_flush) {
+  while (!it->second.close_after_flush) {
+    Connection& conn = it->second;
     Frame frame;
     std::size_t consumed = 0;
     const DecodeResult r = net::decode_frame(
@@ -407,10 +425,14 @@ void AuthServer::Impl::consume_frames(Connection& conn) {
     }
     offset += consumed;
     dispatch(conn, std::move(frame));
+    it = connections.find(fd);
+    if (it == connections.end() || it->second.id != conn_id)
+      return;  // closed (and possibly reused) during dispatch
   }
   if (offset > 0)
-    conn.inbuf.erase(conn.inbuf.begin(),
-                     conn.inbuf.begin() + static_cast<std::ptrdiff_t>(offset));
+    it->second.inbuf.erase(
+        it->second.inbuf.begin(),
+        it->second.inbuf.begin() + static_cast<std::ptrdiff_t>(offset));
 }
 
 void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
@@ -491,6 +513,11 @@ void AuthServer::Impl::enqueue_reply(Connection& conn,
 
 void AuthServer::Impl::flush(Connection& conn) {
   while (!conn.outq.empty()) {
+    if (util::FaultHooks::consume_server_send_failure()) {
+      // Injected peer reset (test-only; see util::FaultHooks).
+      close_connection(conn.fd);
+      return;
+    }
     const std::vector<std::uint8_t>& front = conn.outq.front();
     const std::size_t left = front.size() - conn.out_offset;
     const ssize_t n = ::send(conn.fd, front.data() + conn.out_offset, left,
@@ -529,6 +556,7 @@ void AuthServer::Impl::update_epoll(Connection& conn) {
 void AuthServer::Impl::close_connection(int fd) {
   const auto it = connections.find(fd);
   if (it == connections.end()) return;
+  closed_in_batch.insert(fd);
   connection_fd.erase(it->second.id);
   epoll_ctl(epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);

@@ -14,6 +14,8 @@ ScopedFaultInjection::ScopedFaultInjection(const FaultSpec& spec) {
                                      std::memory_order_relaxed);
   hooks.maxflow_transient_failures.store(spec.maxflow_transient_failures,
                                          std::memory_order_relaxed);
+  hooks.server_send_failures.store(spec.server_send_failures,
+                                   std::memory_order_relaxed);
 }
 
 ScopedFaultInjection::~ScopedFaultInjection() {

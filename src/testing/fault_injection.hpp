@@ -37,6 +37,9 @@ struct FaultSpec {
   bool newton_skip_gmin_stage = false;
   /// The next N batch solve attempts fail with util::TransientError.
   int maxflow_transient_failures = 0;
+  /// The next N AuthServer socket sends fail as if the peer reset the
+  /// connection (deterministic close-mid-pipeline).
+  int server_send_failures = 0;
 };
 
 /// RAII arming of util::FaultHooks.  Restores an all-clear state on

@@ -32,6 +32,12 @@ struct FaultHooks {
   /// before doing any work (exercises solve_batch's bounded retry).
   std::atomic<int> maxflow_transient_failures{0};
 
+  /// > 0: countdown of AuthServer socket sends that fail as if the peer
+  /// reset the connection (the hard-error branch of flush()).  Lets tests
+  /// deterministically close a connection mid-pipeline, a path that is
+  /// otherwise a narrow timing race against a real RST.
+  std::atomic<int> server_send_failures{0};
+
   static FaultHooks& instance();
 
   bool any_newton_fault() const {
@@ -42,7 +48,24 @@ struct FaultHooks {
   /// Atomically consume one injected transient failure; true when the
   /// calling solve attempt should fail.
   static bool consume_transient_failure() {
-    auto& counter = instance().maxflow_transient_failures;
+    return consume_countdown(instance().maxflow_transient_failures);
+  }
+
+  /// Atomically consume one injected send failure; true when the calling
+  /// send should fail as a peer reset.
+  static bool consume_server_send_failure() {
+    return consume_countdown(instance().server_send_failures);
+  }
+
+  void reset() {
+    newton_direct_iteration_cap.store(0, std::memory_order_relaxed);
+    newton_skip_gmin_stage.store(false, std::memory_order_relaxed);
+    maxflow_transient_failures.store(0, std::memory_order_relaxed);
+    server_send_failures.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  static bool consume_countdown(std::atomic<int>& counter) {
     int n = counter.load(std::memory_order_relaxed);
     while (n > 0) {
       if (counter.compare_exchange_weak(n, n - 1,
@@ -51,12 +74,6 @@ struct FaultHooks {
       }
     }
     return false;
-  }
-
-  void reset() {
-    newton_direct_iteration_cap.store(0, std::memory_order_relaxed);
-    newton_skip_gmin_stage.store(false, std::memory_order_relaxed);
-    maxflow_transient_failures.store(0, std::memory_order_relaxed);
   }
 };
 

@@ -7,6 +7,8 @@
 // without touching anything outside the test process.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <chrono>
 #include <cstdint>
 #include <thread>
@@ -20,6 +22,7 @@
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
 #include "server/auth_server.hpp"
+#include "testing/fault_injection.hpp"
 #include "util/status.hpp"
 
 namespace ppuf {
@@ -394,6 +397,104 @@ TEST(AuthServer, NonRequestTypeGetsTypedUnsupported) {
   ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
   EXPECT_EQ(error_code_of(reply), WireCode::kUnsupportedType);
   srv.stop();
+}
+
+TEST(AuthServer, SurvivesInjectedSendFailureMidPipeline) {
+  // Deterministic regression for a use-after-free: the fault hook makes the
+  // server's first reply send fail as if the peer reset the connection, so
+  // close_connection() destroys the Connection inside consume_frames with
+  // 63 pipelined frames still unprocessed.  The loop must re-look-up the
+  // connection instead of touching the destroyed one (the ASan CI job
+  // turns any regression into a crash).
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(5.0);
+  const std::vector<std::uint8_t> one =
+      net::encode_frame(MessageType::kPingReply, 9, 0, {});
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 64; ++i)
+    burst.insert(burst.end(), one.begin(), one.end());
+  {
+    testing::FaultSpec spec;
+    spec.server_send_failures = 1;
+    const testing::ScopedFaultInjection fault(spec);
+    net::Socket sock;
+    ASSERT_TRUE(
+        net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+    ASSERT_TRUE(
+        net::send_all(sock.fd(), burst.data(), burst.size(), io).is_ok());
+    // The injected failure makes the server close this connection without
+    // replying; recv returning 0/error is the sync point proving the burst
+    // was fully processed before the hook is disarmed.
+    std::uint8_t sink[256];
+    while (::recv(sock.fd(), sink, sizeof(sink), 0) > 0) {
+    }
+  }
+  // The server must come through intact and still serving.
+  AuthClient client("127.0.0.1", srv.port());
+  EXPECT_TRUE(client.ping().is_ok());
+  srv.stop();
+}
+
+TEST(AuthServer, SurvivesPipelinedFramesWithAbruptReset) {
+  // Regression for a use-after-free: a send error while replying to one of
+  // several pipelined frames closes (destroys) the connection inside
+  // consume_frames, which must then stop touching it.  Non-request frames
+  // produce their error replies synchronously on the event loop, so an
+  // RST racing the reply burst exercises exactly that path (the ASan CI
+  // job turns any regression into a crash).
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  const util::Deadline io = util::Deadline::after_seconds(5.0);
+  const std::vector<std::uint8_t> one =
+      net::encode_frame(MessageType::kPingReply, 9, 0, {});
+  std::vector<std::uint8_t> burst;
+  for (int i = 0; i < 64; ++i)
+    burst.insert(burst.end(), one.begin(), one.end());
+  for (int trial = 0; trial < 20; ++trial) {
+    net::Socket sock;
+    ASSERT_TRUE(
+        net::connect_tcp("127.0.0.1", srv.port(), 2000, &sock).is_ok());
+    ASSERT_TRUE(
+        net::send_all(sock.fd(), burst.data(), burst.size(), io).is_ok());
+    // Close with the replies unread and linger zeroed: the peer sees an
+    // RST, so the server's next send on this connection fails mid-burst.
+    struct linger lg = {1, 0};
+    setsockopt(sock.fd(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  }  // ~Socket closes the fd here
+  // The server must come through intact and still serving.
+  AuthClient client("127.0.0.1", srv.port());
+  EXPECT_TRUE(client.ping().is_ok());
+  srv.stop();
+}
+
+TEST(AuthServer, RetryBackoffRespectsDeadline) {
+  // Find a port with no listener behind it.
+  net::Socket probe;
+  std::uint16_t dead_port = 0;
+  ASSERT_TRUE(net::listen_tcp(0, 1, &probe, &dead_port).is_ok());
+  probe.close();
+
+  net::ClientOptions slow;
+  slow.max_attempts = 5;
+  slow.backoff_initial_ms = 2000;  // well past the deadline if slept fully
+  slow.backoff_max_ms = 2000;
+  AuthClient client("127.0.0.1", dead_port, slow);
+  const auto start = std::chrono::steady_clock::now();
+  const Status s = client.ping(0, util::Deadline::after_seconds(0.1));
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count();
+  // Refusal on loopback is near-instant, so the attempts may exhaust
+  // (UNAVAILABLE) a hair before the expiry check fires (DEADLINE_EXCEEDED);
+  // either way the loop must bail or clamp its backoff at the deadline
+  // instead of sleeping the full 2 s schedule.
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_TRUE(s.code() == StatusCode::kDeadlineExceeded ||
+              s.code() == StatusCode::kUnavailable)
+      << s.to_string();
+  EXPECT_LT(elapsed_ms, 1500);
 }
 
 TEST(AuthServer, PublishesMetricsWhenRegistryEnabled) {

@@ -387,6 +387,42 @@ TEST(Wire, VerifyBatchRoundTrip) {
   EXPECT_EQ(out_r[1].flow_b, reports[1].flow_b);
 }
 
+TEST(Wire, OversizedPayloadBecomesTypedErrorFrame) {
+  // encode_frame must never emit a frame the receiver is guaranteed to
+  // reject (which desynchronises the stream): an oversized payload is
+  // replaced by a typed kInternal error carrying the same request id.
+  const std::vector<std::uint8_t> huge(net::kMaxPayload + 1, 0xab);
+  const std::vector<std::uint8_t> bytes =
+      net::encode_frame(MessageType::kVerifyBatchReply, 42, 7, huge);
+  Frame f;
+  std::size_t consumed = 0;
+  ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+            DecodeResult::kOk);
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(f.type, MessageType::kErrorReply);
+  EXPECT_EQ(f.request_id, 42u);
+  net::ErrorReply err;
+  ASSERT_TRUE(net::decode_error_reply(f.payload, &err).is_ok());
+  EXPECT_EQ(err.code, WireCode::kInternal);
+}
+
+TEST(Wire, VerifyBatchEncoderClampsMismatchedLengths) {
+  // The encoder is bounded by BOTH vectors: a mismatched caller gets the
+  // common prefix, never an out-of-bounds read of the shorter one.
+  const std::vector<Challenge> challenges{sample_challenge(),
+                                          sample_challenge(),
+                                          sample_challenge()};
+  const std::vector<protocol::ProverReport> reports{sample_report()};
+  const std::vector<std::uint8_t> payload =
+      net::encode_verify_batch_request(challenges, reports);
+  std::vector<Challenge> out_c;
+  std::vector<protocol::ProverReport> out_r;
+  ASSERT_TRUE(
+      net::decode_verify_batch_request(payload, &out_c, &out_r).is_ok());
+  EXPECT_EQ(out_c.size(), 1u);
+  EXPECT_EQ(out_r.size(), 1u);
+}
+
 TEST(Wire, WireCodeMapping) {
   using util::StatusCode;
   EXPECT_EQ(net::wire_code_to_status(WireCode::kOverloaded, "x").code(),
