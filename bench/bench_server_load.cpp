@@ -14,6 +14,10 @@
 //      single-worker server; the admission bound must answer the excess
 //      with typed OVERLOADED replies while the first request completes
 //      normally, all on one connection.
+//   4. Registry: a multi-tenant server fronting an on-disk DeviceRegistry;
+//      the first request per device pays the hydration cost (WAL decode +
+//      model materialisation), later ones hit the LRU cache.  Reports
+//      cold vs warm request latency.
 //
 // Results land in a JSON file (argv[1], default BENCH_server.json) so CI
 // can archive the trend; the exit status encodes the acceptance gates
@@ -23,6 +27,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -37,6 +42,7 @@
 #include "ppuf/ppuf.hpp"
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
 #include "server/auth_server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -70,10 +76,10 @@ util::Status read_frame(int fd, const util::Deadline& deadline,
     return s;
   // payload_len lives in the last 4 header bytes (little-endian).
   const std::uint32_t payload_len =
-      static_cast<std::uint32_t>(buf[20]) |
-      static_cast<std::uint32_t>(buf[21]) << 8 |
-      static_cast<std::uint32_t>(buf[22]) << 16 |
-      static_cast<std::uint32_t>(buf[23]) << 24;
+      static_cast<std::uint32_t>(buf[28]) |
+      static_cast<std::uint32_t>(buf[29]) << 8 |
+      static_cast<std::uint32_t>(buf[30]) << 16 |
+      static_cast<std::uint32_t>(buf[31]) << 24;
   if (payload_len > net::kMaxPayload)
     return util::Status::internal("oversized reply payload");
   buf.resize(net::kHeaderSize + payload_len);
@@ -217,7 +223,7 @@ int main(int argc, char** argv) {
     // budget_ms = 25 but the ping asks to be held 2000 ms: the budget
     // expires inside the handler, which must answer typed, not hang.
     const std::vector<std::uint8_t> request = net::encode_frame(
-        net::MessageType::kPingRequest, 777, 25,
+        net::MessageType::kPingRequest, 777, net::kDefaultDeviceId, 25,
         net::encode_ping_request(2000));
     net::Frame reply;
     if (net::send_all(sock.fd(), request.data(), request.size(), io)
@@ -231,7 +237,8 @@ int main(int argc, char** argv) {
     }
     // The connection must still be serviceable after the typed error.
     const std::vector<std::uint8_t> followup = net::encode_frame(
-        net::MessageType::kPingRequest, 778, 0, net::encode_ping_request(0));
+        net::MessageType::kPingRequest, 778, net::kDefaultDeviceId, 0,
+        net::encode_ping_request(0));
     net::Frame reply2;
     connection_survived =
         net::send_all(sock.fd(), followup.data(), followup.size(), io)
@@ -272,7 +279,7 @@ int main(int argc, char** argv) {
     std::vector<std::uint8_t> burst;
     for (std::uint64_t id = 1; id <= 3; ++id) {
       const std::vector<std::uint8_t> f = net::encode_frame(
-          net::MessageType::kPingRequest, id, 0,
+          net::MessageType::kPingRequest, id, net::kDefaultDeviceId, 0,
           net::encode_ping_request(300));
       burst.insert(burst.end(), f.begin(), f.end());
     }
@@ -300,6 +307,74 @@ int main(int argc, char** argv) {
             << " typed OVERLOADED replies, " << served_under_overload
             << " served (server counted " << server_overload_count << ")\n";
 
+  // --- leg 4: registry hydration — cold materialisation vs warm cache ----
+  constexpr std::size_t kRegistryDevices = 3;
+  double registry_cold_us = 0.0, registry_warm_us = 0.0;
+  std::size_t registry_failures = 0;
+  {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ppuf_bench_registry";
+    std::filesystem::remove_all(dir);
+    registry::DeviceRegistry reg;
+    if (util::Status s = reg.open(dir.string()); !s.is_ok()) {
+      std::cerr << "FATAL: registry open failed: " << s.to_string() << "\n";
+      return 1;
+    }
+    std::vector<std::uint64_t> ids;
+    for (std::size_t i = 0; i < kRegistryDevices; ++i) {
+      registry::EnrollRequest req;
+      req.node_count = kNodes;
+      req.grid_size = kGrid;
+      req.seed = kFabricationSeed + 1 + i;
+      req.label = "bench";
+      std::uint64_t id = 0;
+      if (util::Status s = reg.enroll(req, &id); !s.is_ok()) {
+        std::cerr << "FATAL: enroll failed: " << s.to_string() << "\n";
+        return 1;
+      }
+      ids.push_back(id);
+    }
+    server::AuthServerOptions ro;
+    ro.threads = 2;
+    server::AuthServer rsrv(reg, ro);
+    if (util::Status s = rsrv.start(); !s.is_ok()) {
+      std::cerr << "FATAL: registry server start failed: " << s.to_string()
+                << "\n";
+      return 1;
+    }
+    util::Rng rng(9);
+    const Challenge c = random_challenge(model.layout(), rng);
+    // Two passes per device on one client each: the first predict pays the
+    // hydration miss (registry lookup + model materialisation + verifier
+    // build), the second hits the LRU.  Averages over devices.
+    const auto timed_predict = [&](net::AuthClient& client, double* acc) {
+      SimulationModel::Prediction p;
+      const auto r0 = std::chrono::steady_clock::now();
+      const util::Status s = client.predict(c, &p);
+      *acc += std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - r0)
+                  .count();
+      if (!s.is_ok()) ++registry_failures;
+    };
+    std::vector<std::unique_ptr<net::AuthClient>> clients;
+    for (std::uint64_t id : ids) {
+      net::ClientOptions co;
+      co.device_id = id;
+      clients.push_back(std::make_unique<net::AuthClient>(
+          "127.0.0.1", rsrv.port(), co));
+    }
+    for (auto& client : clients) timed_predict(*client, &registry_cold_us);
+    for (auto& client : clients) timed_predict(*client, &registry_warm_us);
+    registry_cold_us /= static_cast<double>(kRegistryDevices);
+    registry_warm_us /= static_cast<double>(kRegistryDevices);
+    rsrv.stop();
+    std::filesystem::remove_all(dir);
+  }
+  std::cout << "registry leg: cold " << util::Table::num(registry_cold_us, 1)
+            << " us vs warm " << util::Table::num(registry_warm_us, 1)
+            << " us per predict (" << kRegistryDevices << " devices, "
+            << registry_failures << " failures)\n";
+
   bench::paper_note(
       "the verifier is a service by construction: the prover owns the chip, "
       "the verifier owns only the published model — so load, deadlines and "
@@ -325,7 +400,11 @@ int main(int argc, char** argv) {
   json << "  \"deadline_connection_survived\": "
        << (connection_survived ? 1 : 0) << ",\n";
   json << "  \"overloaded_typed_replies\": " << overloaded_replies << ",\n";
-  json << "  \"overload_served\": " << served_under_overload << "\n";
+  json << "  \"overload_served\": " << served_under_overload << ",\n";
+  json << "  \"registry_devices\": " << kRegistryDevices << ",\n";
+  json << "  \"registry_failures\": " << registry_failures << ",\n";
+  json << "  \"registry_cold_us\": " << registry_cold_us << ",\n";
+  json << "  \"registry_warm_us\": " << registry_warm_us << "\n";
   json << "}\n";
   std::cout << "json written to " << json_path << "\n";
 
@@ -347,6 +426,11 @@ int main(int argc, char** argv) {
   if (overloaded_replies != 2 || served_under_overload != 1) {
     std::cerr << "FAIL: overload leg expected 1 served + 2 typed OVERLOADED "
               << "replies\n";
+    failed = true;
+  }
+  if (registry_failures != 0) {
+    std::cerr << "FAIL: " << registry_failures
+              << " registry-leg predicts failed\n";
     failed = true;
   }
   return failed ? 1 : 0;

@@ -78,7 +78,8 @@ util::Status AuthClient::attempt(MessageType type,
 
   const std::uint64_t request_id = next_request_id_++;
   const std::vector<std::uint8_t> frame =
-      encode_frame(type, request_id, budget_ms_for(deadline), payload);
+      encode_frame(type, request_id, options_.device_id,
+                   budget_ms_for(deadline), payload);
   if (Status s = send_all(fd_, frame.data(), frame.size(), deadline);
       !s.is_ok()) {
     disconnect();
@@ -96,11 +97,12 @@ util::Status AuthClient::attempt(MessageType type,
   protocol::codec::Reader r(header.data(), header.size());
   std::uint32_t magic = 0, payload_len = 0, budget = 0;
   std::uint16_t version = 0, type_raw = 0;
-  std::uint64_t reply_id = 0;
+  std::uint64_t reply_id = 0, reply_device = 0;
   r.u32(&magic);
   r.u16(&version);
   r.u16(&type_raw);
   r.u64(&reply_id);
+  r.u64(&reply_device);
   r.u32(&budget);
   r.u32(&payload_len);
   if (magic != kWireMagic || version != kWireVersion ||

@@ -35,6 +35,10 @@ struct ClientOptions {
   int max_attempts = 3;
   int backoff_initial_ms = 10;
   int backoff_max_ms = 500;
+  /// Registry device every request addresses (header field).
+  /// kDefaultDeviceId targets a single-device server's implicit model; a
+  /// registry-backed server answers it with UNKNOWN_DEVICE.
+  std::uint64_t device_id = kDefaultDeviceId;
 };
 
 class AuthClient {
@@ -86,6 +90,13 @@ class AuthClient {
 
   bool connected() const;
   void disconnect();
+
+  /// Retarget subsequent requests at another enrolled device.  Safe
+  /// between round trips (the id is stamped per request).
+  void set_device_id(std::uint64_t device_id) {
+    options_.device_id = device_id;
+  }
+  std::uint64_t device_id() const { return options_.device_id; }
 
  private:
   /// One request with retry/backoff/reconnect.  On success `*reply` holds

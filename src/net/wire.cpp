@@ -66,6 +66,7 @@ const char* wire_code_name(WireCode code) {
     case WireCode::kShuttingDown: return "SHUTTING_DOWN";
     case WireCode::kUnsupportedType: return "UNSUPPORTED_TYPE";
     case WireCode::kInternal: return "INTERNAL";
+    case WireCode::kUnknownDevice: return "UNKNOWN_DEVICE";
   }
   return "UNKNOWN";
 }
@@ -87,13 +88,17 @@ util::Status wire_code_to_status(WireCode code, const std::string& message) {
       return Status::invalid_argument(message);
     case WireCode::kInternal:
       return Status::internal(message);
+    case WireCode::kUnknownDevice:
+      // NOT retryable: the id is wrong (or revoked), and retrying the same
+      // id can only get the same answer.
+      return Status::not_found(message);
   }
   return Status::internal(message);
 }
 
 std::vector<std::uint8_t> encode_frame(
-    MessageType type, std::uint64_t request_id, std::uint32_t budget_ms,
-    const std::vector<std::uint8_t>& payload) {
+    MessageType type, std::uint64_t request_id, std::uint64_t device_id,
+    std::uint32_t budget_ms, const std::vector<std::uint8_t>& payload) {
   if (payload.size() > kMaxPayload) {
     // A frame the peer is guaranteed to reject as unparseable (oversized
     // length, or a silently truncated u32 beyond 4 GiB) desynchronises the
@@ -103,14 +108,15 @@ std::vector<std::uint8_t> encode_frame(
     err.code = WireCode::kInternal;
     err.message = std::string(message_type_name(type)) +
                   " payload exceeds frame limit";
-    return encode_frame(MessageType::kErrorReply, request_id, budget_ms,
-                        encode_error_reply(err));
+    return encode_frame(MessageType::kErrorReply, request_id, device_id,
+                        budget_ms, encode_error_reply(err));
   }
   Writer w;
   w.u32(kWireMagic);
   w.u16(kWireVersion);
   w.u16(static_cast<std::uint16_t>(type));
   w.u64(request_id);
+  w.u64(device_id);
   w.u32(budget_ms);
   w.u32(static_cast<std::uint32_t>(payload.size()));
   w.raw(payload.data(), payload.size());
@@ -123,12 +129,13 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
   Reader r(data, kHeaderSize);
   std::uint32_t magic = 0, payload_len = 0;
   std::uint16_t version = 0, type_raw = 0;
-  std::uint64_t request_id = 0;
+  std::uint64_t request_id = 0, device_id = 0;
   std::uint32_t budget_ms = 0;
   r.u32(&magic);
   r.u16(&version);
   r.u16(&type_raw);
   r.u64(&request_id);
+  r.u64(&device_id);
   r.u32(&budget_ms);
   r.u32(&payload_len);
   if (magic != kWireMagic || version != kWireVersion ||
@@ -139,6 +146,7 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
   out->version = version;
   out->type = static_cast<MessageType>(type_raw);
   out->request_id = request_id;
+  out->device_id = device_id;
   out->budget_ms = budget_ms;
   out->payload.assign(data + kHeaderSize, data + total);
   *consumed = total;
@@ -159,7 +167,7 @@ util::Status decode_error_reply(const std::vector<std::uint8_t>& payload,
   Reader r(payload.data(), payload.size());
   std::uint16_t code = 0;
   if (!r.u16(&code) ||
-      code > static_cast<std::uint16_t>(WireCode::kInternal) ||
+      code > static_cast<std::uint16_t>(WireCode::kUnknownDevice) ||
       !r.str(&out->message))
     return malformed("error reply");
   out->code = static_cast<WireCode>(code);

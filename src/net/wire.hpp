@@ -5,17 +5,25 @@
 //   offset  size  field
 //        0     4  magic          "PPUF" (0x46 0x55 0x50 0x50 on the wire —
 //                                little-endian u32 of 'P','P','U','F')
-//        4     2  version        kWireVersion (1)
+//        4     2  version        kWireVersion (2)
 //        6     2  type           MessageType
 //        8     8  request_id     echoed verbatim in the reply
-//       16     4  budget_ms      per-request deadline budget; 0 = unlimited
-//       20     4  payload_len    bytes following the header (<= kMaxPayload)
-//       24     …  payload        protocol::codec bytes, per message type
+//       16     8  device_id      registry device the request addresses;
+//                                0 = the server's single implicit device
+//       24     4  budget_ms      per-request deadline budget; 0 = unlimited
+//       28     4  payload_len    bytes following the header (<= kMaxPayload)
+//       32     …  payload        protocol::codec bytes, per message type
 //
 // The header is fixed at kHeaderSize bytes.  budget_ms travels in the
 // header (not the payload) so deadline propagation is uniform across every
 // request type: the client converts its absolute Deadline into a relative
 // budget with Deadline::remaining(), the server re-anchors it on arrival.
+// device_id travels in the header for the same reason: multi-tenant
+// routing is uniform across every request type, and replies echo the id so
+// a client multiplexing devices over one connection can correlate.
+// Version history: v1 had no device_id (24-byte header); v2 inserted it.
+// Decoders accept exactly kWireVersion — there are no v1 peers to keep
+// compatible with, and a version mismatch must fail loudly, not half-work.
 //
 // decode_frame() is incremental and strict: it reports kNeedMore until a
 // whole frame is buffered, and kMalformed on a bad magic, unknown version,
@@ -38,8 +46,11 @@ namespace ppuf::net {
 
 inline constexpr std::uint32_t kWireMagic =
     0x46555050u;  // 'P' 'P' 'U' 'F' little-endian
-inline constexpr std::uint16_t kWireVersion = 1;
-inline constexpr std::size_t kHeaderSize = 24;
+inline constexpr std::uint16_t kWireVersion = 2;
+inline constexpr std::size_t kHeaderSize = 32;
+/// Header device id meaning "the single device this server was started
+/// with" — what every pre-registry client speaks.
+inline constexpr std::uint64_t kDefaultDeviceId = 0;
 /// Hard payload bound; a forged length cannot make the server buffer more.
 inline constexpr std::uint32_t kMaxPayload = 16u * 1024 * 1024;
 
@@ -77,6 +88,7 @@ enum class WireCode : std::uint16_t {
   kShuttingDown = 6,      ///< server draining; retry elsewhere/later
   kUnsupportedType = 7,   ///< unknown request type for this version
   kInternal = 8,
+  kUnknownDevice = 9,     ///< device_id not enrolled, or revoked
 };
 
 const char* wire_code_name(WireCode code);
@@ -88,6 +100,7 @@ struct Frame {
   std::uint16_t version = kWireVersion;
   MessageType type = MessageType::kPingRequest;
   std::uint64_t request_id = 0;
+  std::uint64_t device_id = kDefaultDeviceId;
   std::uint32_t budget_ms = 0;  ///< 0 = unlimited
   std::vector<std::uint8_t> payload;
 
@@ -105,6 +118,7 @@ struct Frame {
 /// same request id so the failure stays typed and in-band.
 std::vector<std::uint8_t> encode_frame(MessageType type,
                                        std::uint64_t request_id,
+                                       std::uint64_t device_id,
                                        std::uint32_t budget_ms,
                                        const std::vector<std::uint8_t>&
                                            payload);

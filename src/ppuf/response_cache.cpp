@@ -24,7 +24,8 @@ std::size_t fnv1a(const void* data, std::size_t size,
 }  // namespace
 
 std::size_t ResponseCache::KeyHash::operator()(const Key& k) const {
-  std::size_t h = fnv1a(&k.source, sizeof(k.source));
+  std::size_t h = fnv1a(&k.device, sizeof(k.device));
+  h = fnv1a(&k.source, sizeof(k.source), h);
   h = fnv1a(&k.sink, sizeof(k.sink), h);
   if (!k.bits.empty()) h = fnv1a(k.bits.data(), k.bits.size(), h);
   // Hash the value representation of the doubles: environments compare by
@@ -63,9 +64,11 @@ ResponseCache::ResponseCache(std::size_t capacity_bytes, unsigned shard_count)
 
 ResponseCache::~ResponseCache() = default;
 
-ResponseCache::Key ResponseCache::make_key(const Challenge& challenge,
+ResponseCache::Key ResponseCache::make_key(std::uint64_t device_id,
+                                           const Challenge& challenge,
                                            const circuit::Environment& env) {
   Key k;
+  k.device = device_id;
   k.source = challenge.source;
   k.sink = challenge.sink;
   k.bits = challenge.bits;
@@ -86,8 +89,9 @@ ResponseCache::Shard& ResponseCache::shard_for(const Key& key) {
 }
 
 std::optional<CachedResponse> ResponseCache::lookup(
-    const Challenge& challenge, const circuit::Environment& env) {
-  const Key key = make_key(challenge, env);
+    std::uint64_t device_id, const Challenge& challenge,
+    const circuit::Environment& env) {
+  const Key key = make_key(device_id, challenge, env);
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);
   const auto it = shard.index.find(key);
@@ -100,10 +104,11 @@ std::optional<CachedResponse> ResponseCache::lookup(
   return it->second->second;
 }
 
-void ResponseCache::insert(const Challenge& challenge,
+void ResponseCache::insert(std::uint64_t device_id,
+                           const Challenge& challenge,
                            const circuit::Environment& env,
                            const CachedResponse& response) {
-  Key key = make_key(challenge, env);
+  Key key = make_key(device_id, challenge, env);
   const std::size_t cost = entry_cost(key);
   Shard& shard = shard_for(key);
   std::lock_guard<std::mutex> lock(shard.mutex);

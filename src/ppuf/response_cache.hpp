@@ -14,6 +14,13 @@
 // would silently serve nominal-environment answers across environment
 // sweeps and corrupt every reliability metric downstream.
 //
+// The KEY MUST ALSO INCLUDE THE DEVICE.  A multi-tenant server shares one
+// cache across every enrolled device, and two devices routinely see the
+// same (challenge, environment) pair with *different* response bits —
+// that difference is the whole identity.  Callers without a registry
+// identity pass kSingleDeviceId; what matters is that the id is explicit
+// at every call site, so a cross-device leak cannot happen by omission.
+//
 // Concurrency: the key space is split across `shard_count` independent
 // shards (chosen by key hash), each a mutex-guarded LRU list + hash map, so
 // batch workers contend only when they touch the same shard.  Counters
@@ -34,8 +41,13 @@
 
 namespace ppuf {
 
-/// What the cache stores for one (challenge, environment): the response
-/// bit and the two flow values that produced it.
+/// Cache identity for callers operating on a single ad-hoc instance with
+/// no registry-assigned device id (benches, attack datasets, single-model
+/// serving).  Registry ids start at 1, so this can never collide.
+inline constexpr std::uint64_t kSingleDeviceId = 0;
+
+/// What the cache stores for one (device, challenge, environment): the
+/// response bit and the two flow values that produced it.
 struct CachedResponse {
   int bit = 0;
   double flow_a = 0.0;
@@ -68,13 +80,16 @@ class ResponseCache {
   ResponseCache& operator=(const ResponseCache&) = delete;
 
   /// The cached response, or nullopt on a miss.  A hit refreshes the
-  /// entry's LRU position.
-  std::optional<CachedResponse> lookup(const Challenge& challenge,
+  /// entry's LRU position.  `device_id` partitions the key space per
+  /// device (kSingleDeviceId when there is no registry identity).
+  std::optional<CachedResponse> lookup(std::uint64_t device_id,
+                                       const Challenge& challenge,
                                        const circuit::Environment& env);
 
   /// Insert or overwrite.  Eviction happens immediately if the shard's
   /// byte budget is exceeded (least recently used first).
-  void insert(const Challenge& challenge, const circuit::Environment& env,
+  void insert(std::uint64_t device_id, const Challenge& challenge,
+              const circuit::Environment& env,
               const CachedResponse& response);
 
   /// Drops every entry AND zeroes the hit/miss/eviction counters: a
@@ -100,6 +115,7 @@ class ResponseCache {
 
  private:
   struct Key {
+    std::uint64_t device = kSingleDeviceId;
     graph::VertexId source = 0;
     graph::VertexId sink = 0;
     std::vector<std::uint8_t> bits;
@@ -113,7 +129,7 @@ class ResponseCache {
   };
   struct Shard;
 
-  static Key make_key(const Challenge& challenge,
+  static Key make_key(std::uint64_t device_id, const Challenge& challenge,
                       const circuit::Environment& env);
   /// Estimated bytes one entry charges against the budget: the variable
   /// part (two copies of the bit vector — map key and LRU node) plus a

@@ -29,6 +29,30 @@ SimulationModel::SimulationModel(MaxFlowPpuf& instance,
   }
 }
 
+SimulationModel SimulationModel::restore(
+    const CrossbarLayout& layout,
+    std::array<std::vector<std::array<double, 2>>, 2> capacities,
+    double comparator_offset) {
+  for (const auto& caps : capacities) {
+    if (caps.size() != layout.edge_count())
+      throw std::invalid_argument(
+          "SimulationModel::restore: capacity table size mismatch");
+  }
+  SimulationModel model{layout};
+  model.capacities_ = std::move(capacities);
+  model.comparator_offset_ = comparator_offset;
+  return model;
+}
+
+double SimulationModel::mean_capacity() const {
+  const std::size_t edges = layout_.edge_count();
+  if (edges == 0) return 0.0;
+  double sum = 0.0;
+  for (const auto& caps : capacities_)
+    for (const auto& per_bit : caps) sum += per_bit[0] + per_bit[1];
+  return sum / static_cast<double>(edges * 4);
+}
+
 double SimulationModel::capacity(int network, graph::EdgeId e,
                                  int bit) const {
   if (network < 0 || network > 1 || bit < 0 || bit > 1)
@@ -151,7 +175,8 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
     if (m_items != nullptr) m_items->add();
     const Challenge& c = challenges[i];
     if (options.cache != nullptr) {
-      if (const auto hit = options.cache->lookup(c, options.cache_env)) {
+      if (const auto hit = options.cache->lookup(options.cache_device_id, c,
+                                                 options.cache_env)) {
         results[i].bit = hit->bit;
         results[i].flow_a = hit->flow_a;
         results[i].flow_b = hit->flow_b;
@@ -163,7 +188,7 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
     if (m_failures != nullptr && !results[i].ok()) m_failures->add();
     if (options.cache != nullptr && results[i].ok()) {
       options.cache->insert(
-          c, options.cache_env,
+          options.cache_device_id, c, options.cache_env,
           CachedResponse{results[i].bit, results[i].flow_a,
                          results[i].flow_b});
     }

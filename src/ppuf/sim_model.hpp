@@ -30,6 +30,22 @@ class SimulationModel {
                            const circuit::Environment& env =
                                circuit::Environment::nominal());
 
+  /// Smallest valid model (2 nodes, grid 1, zero capacities).  Exists so a
+  /// model can be a decode *target* (registry hydration, codec round
+  /// trips); a default-constructed model predicts nothing useful.
+  SimulationModel() : SimulationModel(CrossbarLayout(2, 1)) {
+    for (auto& caps : capacities_)
+      caps.assign(layout_.edge_count(), {0.0, 0.0});
+  }
+
+  /// Reassemble a model from already-validated parts (the binary codec's
+  /// decode path).  `capacities[net]` must have exactly
+  /// `layout.edge_count()` entries; throws std::invalid_argument otherwise.
+  static SimulationModel restore(
+      const CrossbarLayout& layout,
+      std::array<std::vector<std::array<double, 2>>, 2> capacities,
+      double comparator_offset);
+
   /// Serialise / restore the published model (a PPUF's public identity is
   /// literally this file).  Plain text, versioned; see save() for the
   /// format.  load() throws std::runtime_error on malformed input.
@@ -84,6 +100,10 @@ class SimulationModel {
     /// Optional response cache (non-owning).  Hits skip both max-flow
     /// solves entirely; only completed (ok) predictions are inserted.
     ResponseCache* cache = nullptr;
+    /// Device half of the cache key.  A shared multi-tenant cache must
+    /// never serve one device's responses for another, so callers with a
+    /// registry identity pass it here (kSingleDeviceId otherwise).
+    std::uint64_t cache_device_id = kSingleDeviceId;
     /// Environment half of the cache key.  The model's capacities were
     /// extracted at one environment, so predictions are only comparable —
     /// and cache entries only reusable — under that same environment.
@@ -101,6 +121,11 @@ class SimulationModel {
       const PredictBatchOptions& options) const;
 
   double comparator_offset() const { return comparator_offset_; }
+
+  /// Mean published capacity across both networks and both input bits.
+  /// The natural scale for flow tolerances: the serving layer derives its
+  /// absolute comparator tolerance from it.
+  double mean_capacity() const;
 
  private:
   explicit SimulationModel(const CrossbarLayout& layout) : layout_(layout) {}

@@ -1,5 +1,6 @@
 #include "protocol/codec.hpp"
 
+#include <array>
 #include <bit>
 #include <cstring>
 #include <istream>
@@ -146,7 +147,7 @@ util::Status decode_status(Reader& r, util::Status* out) {
   std::uint16_t code = 0;
   std::string message;
   if (!r.u16(&code) || !r.str(&message)) return malformed("status");
-  if (code > static_cast<std::uint16_t>(util::StatusCode::kUnavailable))
+  if (code > static_cast<std::uint16_t>(util::StatusCode::kNotFound))
     return malformed("status code");
   *out = util::Status(static_cast<util::StatusCode>(code),
                       std::move(message));
@@ -296,6 +297,50 @@ util::Status decode_chained_result(Reader& r, ChainedVerifyResult* out) {
       return s;
   }
   if (!r.str(&out->detail)) return malformed("chained result detail");
+  return Status::ok();
+}
+
+// --- SimulationModel ------------------------------------------------------
+
+void encode_sim_model(Writer& w, const SimulationModel& model) {
+  const CrossbarLayout& layout = model.layout();
+  w.u32(static_cast<std::uint32_t>(layout.node_count()));
+  w.u32(static_cast<std::uint32_t>(layout.grid_size()));
+  w.f64(model.comparator_offset());
+  for (graph::EdgeId e = 0; e < layout.edge_count(); ++e) {
+    w.f64(model.capacity(0, e, 0));
+    w.f64(model.capacity(0, e, 1));
+    w.f64(model.capacity(1, e, 0));
+    w.f64(model.capacity(1, e, 1));
+  }
+}
+
+util::Status decode_sim_model(Reader& r, SimulationModel* out) {
+  std::uint32_t nodes = 0, grid = 0;
+  double offset = 0.0;
+  if (!r.u32(&nodes) || !r.u32(&grid) || !r.f64(&offset))
+    return malformed("model header");
+  // Same geometry rules as the text loader, plus a remaining-bytes bound so
+  // a forged node count cannot demand a quadratic allocation: the table
+  // itself must fit in the bytes the caller actually has.
+  if (nodes < 2 || grid < 1 || grid > nodes)
+    return malformed("model geometry");
+  const std::size_t edges =
+      static_cast<std::size_t>(nodes) * (static_cast<std::size_t>(nodes) - 1);
+  if (edges > r.remaining() / 32) return malformed("model geometry");
+  std::array<std::vector<std::array<double, 2>>, 2> capacities;
+  for (auto& caps : capacities) caps.resize(edges);
+  for (std::size_t e = 0; e < edges; ++e) {
+    double v[4] = {};
+    for (double& x : v) {
+      if (!r.f64(&x)) return malformed("model capacity table");
+      if (!(x >= 0.0)) return malformed("model capacity value");
+    }
+    capacities[0][e] = {v[0], v[1]};
+    capacities[1][e] = {v[2], v[3]};
+  }
+  *out = SimulationModel::restore(CrossbarLayout(nodes, grid),
+                                  std::move(capacities), offset);
   return Status::ok();
 }
 

@@ -108,6 +108,16 @@ util::Status decode_auth_result(Reader& r, AuthenticationResult* out);
 void encode_chained_result(Writer& w, const ChainedVerifyResult& r);
 util::Status decode_chained_result(Reader& r, ChainedVerifyResult* out);
 
+/// Binary form of the published model, used by the device registry (the
+/// text format of SimulationModel::save() stays the human-facing file
+/// format).  Layout: u32 nodes, u32 grid, f64 comparator_offset, then
+/// edge_count rows of 4 doubles (capA0 capA1 capB0 capB1, edge-id order).
+/// decode validates geometry and non-negative capacities before touching
+/// the table, and sizes the allocation from the validated geometry — a
+/// forged header cannot demand more memory than its own byte count proves.
+void encode_sim_model(Writer& w, const SimulationModel& model);
+util::Status decode_sim_model(Reader& r, SimulationModel* out);
+
 // --- report files ---------------------------------------------------------
 //
 // Same payload bytes as the wire, wrapped in a versioned magic header so a

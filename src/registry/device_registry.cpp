@@ -1,0 +1,318 @@
+#include "registry/device_registry.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <system_error>
+
+#include "obs/metrics.hpp"
+#include "ppuf/ppuf.hpp"
+#include "protocol/codec.hpp"
+#include "util/fault_hooks.hpp"
+
+namespace ppuf::registry {
+
+namespace {
+
+using util::Status;
+
+namespace fs = std::filesystem;
+
+/// Whole-file read; distinguishes "absent" (empty result, ok) from I/O
+/// failure so recovery can treat a missing snapshot/WAL as a fresh store.
+Status read_file(const std::string& path, std::vector<std::uint8_t>* out,
+                 bool* exists) {
+  out->clear();
+  std::error_code ec;
+  *exists = fs::exists(path, ec);
+  if (ec) return Status::internal("stat " + path + ": " + ec.message());
+  if (!*exists) return Status::ok();
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::internal("cannot open " + path);
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  out->resize(static_cast<std::size_t>(size));
+  if (size > 0 &&
+      !in.read(reinterpret_cast<char*>(out->data()), size))
+    return Status::internal("cannot read " + path);
+  return Status::ok();
+}
+
+obs::Counter* counter_or_null(const char* name) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  return reg.enabled() ? &reg.counter(name) : nullptr;
+}
+
+}  // namespace
+
+util::Status DeviceRegistry::open(const std::string& directory,
+                                  const Options& options) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  directory_ = directory;
+  options_ = options;
+  open_ = false;
+  next_id_ = 1;
+  entries_.clear();
+  wal_records_since_snapshot_ = 0;
+  recovery_stats_ = RecoveryStats{};
+
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec)
+    return Status::internal("create " + directory_ + ": " + ec.message());
+
+  // 1. Snapshot: the folded state at the last compaction, if any.
+  std::vector<std::uint8_t> bytes;
+  bool exists = false;
+  if (Status s = read_file(snapshot_path(), &bytes, &exists); !s.is_ok())
+    return s;
+  if (exists) {
+    SnapshotBody snapshot;
+    if (Status s = parse_snapshot(bytes.data(), bytes.size(), &snapshot);
+        !s.is_ok())
+      return Status::invalid_argument("registry snapshot " + snapshot_path() +
+                                      ": " + s.message());
+    for (DeviceEntry& e : snapshot.entries) {
+      const std::uint64_t id = e.id;
+      entries_[id] = std::move(e);
+    }
+    next_id_ = std::max(snapshot.next_id, next_id_);
+    recovery_stats_.snapshot_entries = entries_.size();
+  }
+
+  // 2. WAL replay.  kNeedMore at EOF is the torn-tail case: the process
+  // died mid-append, so the incomplete bytes were never acknowledged —
+  // truncate them and keep everything before.  kCorrupt is different in
+  // kind (a *complete* record whose bytes lie) and is refused.
+  if (Status s = read_file(wal_path(), &bytes, &exists); !s.is_ok()) return s;
+  std::size_t offset = 0;
+  while (offset < bytes.size()) {
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> body;
+    std::string error;
+    const ExtractStatus es = extract_record(bytes.data() + offset,
+                                            bytes.size() - offset, &consumed,
+                                            &body, &error);
+    if (es == ExtractStatus::kNeedMore) {
+      recovery_stats_.truncated_tail_bytes = bytes.size() - offset;
+      fs::resize_file(wal_path(), offset, ec);
+      if (ec)
+        return Status::internal("truncate " + wal_path() + ": " +
+                                ec.message());
+      break;
+    }
+    if (es == ExtractStatus::kCorrupt)
+      return Status::invalid_argument("registry wal " + wal_path() + ": " +
+                                      error);
+    protocol::codec::Reader r(body.data(), body.size());
+    WalRecord record;
+    if (Status s = decode_wal_record(r, &record); !s.is_ok())
+      return Status::invalid_argument("registry wal " + wal_path() + ": " +
+                                      s.message());
+    switch (record.type) {
+      case WalRecord::Type::kEnroll: {
+        const std::uint64_t id = record.entry.id;
+        next_id_ = std::max(next_id_, id + 1);
+        entries_[id] = std::move(record.entry);
+        break;
+      }
+      case WalRecord::Type::kRevoke: {
+        const auto it = entries_.find(record.entry.id);
+        if (it == entries_.end())
+          return Status::invalid_argument(
+              "registry wal " + wal_path() + ": revoke of unknown device " +
+              std::to_string(record.entry.id));
+        it->second.revoked = true;
+        break;
+      }
+    }
+    ++recovery_stats_.wal_records;
+    ++wal_records_since_snapshot_;
+    offset += consumed;
+  }
+
+  open_ = true;
+  return Status::ok();
+}
+
+bool DeviceRegistry::is_open() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return open_;
+}
+
+util::Status DeviceRegistry::append_record_locked(const WalRecord& record) {
+  const std::vector<std::uint8_t> frame = frame_record(record);
+  std::ofstream out(wal_path(), std::ios::binary | std::ios::app);
+  if (!out) return Status::internal("cannot open " + wal_path());
+  // Crash-recovery tests arm this hook to leave a deterministic torn
+  // tail: only the first `torn` bytes of the frame reach the file, then
+  // the append fails exactly as a mid-write crash would.
+  const int torn = util::FaultHooks::consume_registry_torn_write();
+  if (torn >= 0) {
+    const std::size_t n =
+        std::min(frame.size(), static_cast<std::size_t>(torn));
+    out.write(reinterpret_cast<const char*>(frame.data()),
+              static_cast<std::streamsize>(n));
+    out.flush();
+    return Status::internal("injected torn write after " +
+                            std::to_string(n) + " bytes");
+  }
+  out.write(reinterpret_cast<const char*>(frame.data()),
+            static_cast<std::streamsize>(frame.size()));
+  out.flush();
+  if (!out) return Status::internal("cannot append to " + wal_path());
+  return Status::ok();
+}
+
+util::Status DeviceRegistry::enroll(const EnrollRequest& request,
+                                    std::uint64_t* id_out) {
+  if (request.node_count < 2 || request.grid_size < 1 ||
+      request.grid_size > request.node_count)
+    return Status::invalid_argument("enroll: invalid geometry");
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+
+  // Fabricate the instance and extract its public model — enrollment *is*
+  // the publish step of the PPUF lifecycle.
+  PpufParams params;
+  params.node_count = request.node_count;
+  params.grid_size = request.grid_size;
+  MaxFlowPpuf puf(params, request.seed);
+  SimulationModel model(puf);
+
+  WalRecord record;
+  record.type = WalRecord::Type::kEnroll;
+  record.entry.id = next_id_;
+  record.entry.nodes = static_cast<std::uint32_t>(request.node_count);
+  record.entry.grid = static_cast<std::uint32_t>(request.grid_size);
+  record.entry.label = request.label;
+  record.entry.revoked = false;
+  protocol::codec::Writer w;
+  protocol::codec::encode_sim_model(w, model);
+  record.entry.model_bytes = w.take();
+
+  // WAL first, memory second: state the process acknowledges is state a
+  // restart will reconstruct.
+  if (Status s = append_record_locked(record); !s.is_ok()) return s;
+  const std::uint64_t id = record.entry.id;
+  entries_[id] = std::move(record.entry);
+  next_id_ = id + 1;
+  ++wal_records_since_snapshot_;
+  if (id_out != nullptr) *id_out = id;
+  if (obs::Counter* c = counter_or_null("registry.enrolls")) c->add();
+
+  // Auto-compaction is best-effort: the enroll is already durable in the
+  // WAL, so a failed snapshot must not make it look failed.
+  if (options_.auto_compact_records > 0 &&
+      wal_records_since_snapshot_ >= options_.auto_compact_records)
+    (void)compact_locked();
+  return Status::ok();
+}
+
+util::Status DeviceRegistry::revoke(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  const auto it = entries_.find(id);
+  if (it == entries_.end())
+    return Status::not_found("device " + std::to_string(id) +
+                             " is not enrolled");
+  if (it->second.revoked) return Status::ok();  // idempotent
+  WalRecord record;
+  record.type = WalRecord::Type::kRevoke;
+  record.entry.id = id;
+  if (Status s = append_record_locked(record); !s.is_ok()) return s;
+  it->second.revoked = true;
+  ++wal_records_since_snapshot_;
+  if (obs::Counter* c = counter_or_null("registry.revokes")) c->add();
+  if (options_.auto_compact_records > 0 &&
+      wal_records_since_snapshot_ >= options_.auto_compact_records)
+    (void)compact_locked();
+  return Status::ok();
+}
+
+bool DeviceRegistry::contains(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.count(id) != 0;
+}
+
+bool DeviceRegistry::active(std::uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  return it != entries_.end() && !it->second.revoked;
+}
+
+util::Status DeviceRegistry::load_model(std::uint64_t id,
+                                        SimulationModel* out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end())
+    return Status::not_found("device " + std::to_string(id) +
+                             " is not enrolled");
+  protocol::codec::Reader r(it->second.model_bytes.data(),
+                            it->second.model_bytes.size());
+  if (Status s = protocol::codec::decode_sim_model(r, out); !s.is_ok())
+    return Status::internal("device " + std::to_string(id) +
+                            " model blob: " + s.message());
+  if (!r.exhausted())
+    return Status::internal("device " + std::to_string(id) +
+                            " model blob: trailing bytes");
+  return Status::ok();
+}
+
+std::vector<DeviceInfo> DeviceRegistry::list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<DeviceInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, e] : entries_)
+    out.push_back(DeviceInfo{id, e.nodes, e.grid, e.label, e.revoked});
+  return out;
+}
+
+std::size_t DeviceRegistry::device_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+util::Status DeviceRegistry::compact() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  return compact_locked();
+}
+
+util::Status DeviceRegistry::compact_locked() {
+  SnapshotBody snapshot;
+  snapshot.next_id = next_id_;
+  snapshot.entries.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) snapshot.entries.push_back(e);
+  const std::vector<std::uint8_t> image = frame_snapshot(snapshot);
+
+  // Temp-then-rename so a crash mid-compaction leaves the old snapshot
+  // intact; rename within one directory is atomic on POSIX.
+  const std::string tmp = snapshot_path() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::internal("cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) return Status::internal("cannot write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, snapshot_path(), ec);
+  if (ec)
+    return Status::internal("rename " + tmp + ": " + ec.message());
+
+  // Only now is the WAL redundant.
+  std::ofstream wal(wal_path(), std::ios::binary | std::ios::trunc);
+  if (!wal) return Status::internal("cannot truncate " + wal_path());
+  wal_records_since_snapshot_ = 0;
+  if (obs::Counter* c = counter_or_null("registry.compactions")) c->add();
+  return Status::ok();
+}
+
+DeviceRegistry::RecoveryStats DeviceRegistry::recovery_stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return recovery_stats_;
+}
+
+}  // namespace ppuf::registry

@@ -1,0 +1,136 @@
+// Persistent, crash-safe store of enrolled PPUF devices.
+//
+// The whole point of a *public* PUF is that each chip's model is published
+// so any verifier can (slowly) simulate it — which makes the published
+// model database the deployment substrate: enrollment writes a device's
+// public model into the store, serving reads it back, revocation retires
+// it.  This class is that store.
+//
+// Layout on disk (one directory per registry):
+//
+//   <dir>/snapshot.bin   folded state at the last compaction (optional)
+//   <dir>/wal.log        framed enroll/revoke records appended since
+//
+// Durability model: every mutation appends one CRC-framed record to the
+// WAL and flushes before the in-memory state changes, so a crash can lose
+// at most the record being written — and that loss is *detectable*: the
+// torn tail fails its frame (kNeedMore at EOF) and open() truncates it,
+// keeping every committed device.  A record that is complete but wrong
+// (bit rot, tampering) fails its CRC instead and open() refuses with a
+// typed error — the registry never guesses at corrupt state.
+//
+// Compaction folds snapshot + WAL into a fresh snapshot (written to a
+// temp file and atomically renamed) and truncates the WAL.  It runs
+// explicitly via compact() and automatically every
+// Options::auto_compact_records appends, so the WAL stays bounded under
+// continuous enrollment.
+//
+// Thread safety: every public method is safe to call concurrently; one
+// mutex guards the map and the log file.  Reads that services care about
+// (contains / active / load_model) are map lookups plus, for load_model,
+// one model decode — the hydration cache above this class amortises that.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ppuf/sim_model.hpp"
+#include "registry/record.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::registry {
+
+/// Listing row: everything about a device except its model blob.
+struct DeviceInfo {
+  std::uint64_t id = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t grid = 0;
+  std::string label;
+  bool revoked = false;
+};
+
+/// What enroll() fabricates: geometry + fabrication seed (the same seed
+/// always fabricates the same instance, so the seed is the "silicon").
+struct EnrollRequest {
+  std::size_t node_count = 40;
+  std::size_t grid_size = 8;
+  std::uint64_t seed = 0;
+  std::string label;
+};
+
+class DeviceRegistry {
+ public:
+  struct Options {
+    /// Compact automatically once this many WAL records accumulate past
+    /// the snapshot; 0 disables auto-compaction.
+    std::size_t auto_compact_records = 64;
+  };
+
+  /// Stats from the last open(): how recovery went.
+  struct RecoveryStats {
+    std::size_t snapshot_entries = 0;   ///< devices loaded from snapshot
+    std::size_t wal_records = 0;        ///< records replayed from the WAL
+    std::size_t truncated_tail_bytes = 0;  ///< torn bytes dropped at EOF
+  };
+
+  DeviceRegistry() = default;
+  DeviceRegistry(const DeviceRegistry&) = delete;
+  DeviceRegistry& operator=(const DeviceRegistry&) = delete;
+
+  /// Open (creating the directory if needed) and recover.  Typed errors:
+  /// kInvalidArgument for a corrupt snapshot or WAL record, kInternal for
+  /// I/O failures.  A torn WAL tail is not an error — it is truncated and
+  /// reported through recovery_stats().
+  util::Status open(const std::string& directory, const Options& options);
+  util::Status open(const std::string& directory) {
+    return open(directory, Options());
+  }
+
+  bool is_open() const;
+  const std::string& directory() const { return directory_; }
+
+  /// Fabricate, derive the public model, assign the next id, persist.
+  /// On success `*id_out` is the stable device id (ids start at 1 and are
+  /// never reused, including across revocations and restarts).
+  util::Status enroll(const EnrollRequest& request, std::uint64_t* id_out);
+
+  /// Mark a device revoked (idempotent).  kNotFound for unknown ids.
+  util::Status revoke(std::uint64_t id);
+
+  bool contains(std::uint64_t id) const;
+  /// Enrolled and not revoked — the predicate serving cares about.
+  bool active(std::uint64_t id) const;
+
+  /// Decode the stored public model.  kNotFound for unknown ids (revoked
+  /// devices still load: revocation is a serving policy, the model is
+  /// still published).
+  util::Status load_model(std::uint64_t id, SimulationModel* out) const;
+
+  std::vector<DeviceInfo> list() const;
+  std::size_t device_count() const;
+
+  /// Fold snapshot + WAL into a fresh snapshot and truncate the WAL.
+  util::Status compact();
+
+  RecoveryStats recovery_stats() const;
+
+ private:
+  util::Status append_record_locked(const WalRecord& record);
+  util::Status compact_locked();
+  std::string wal_path() const { return directory_ + "/wal.log"; }
+  std::string snapshot_path() const { return directory_ + "/snapshot.bin"; }
+
+  mutable std::mutex mutex_;
+  std::string directory_;
+  Options options_;
+  bool open_ = false;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, DeviceEntry> entries_;
+  std::size_t wal_records_since_snapshot_ = 0;
+  RecoveryStats recovery_stats_;
+};
+
+}  // namespace ppuf::registry

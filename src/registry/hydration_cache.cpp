@@ -1,0 +1,129 @@
+#include "registry/hydration_cache.hpp"
+
+#include <algorithm>
+
+#include "obs/metrics.hpp"
+
+namespace ppuf::registry {
+
+using util::Status;
+
+HydrationCache::HydrationCache(const DeviceRegistry& registry,
+                               const Options& options)
+    : registry_(registry),
+      options_(options),
+      max_entries_(std::max<std::size_t>(1, options.max_entries)) {}
+
+util::Status HydrationCache::get(
+    std::uint64_t id, std::shared_ptr<const HydratedDevice>* out) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  obs::Histogram* m_load_time =
+      reg.enabled() ? &reg.histogram("registry.hydration.load_time_us")
+                    : nullptr;
+  auto bump = [&reg](const char* name) {
+    if (reg.enabled()) reg.counter(name).add();
+  };
+
+  // Policy before cache: a revoked device must be refused even while its
+  // materialised instance is still resident.
+  if (!registry_.active(id)) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      lru_.erase(it->second);
+      index_.erase(it);
+      ++stats_.evictions;
+      bump("registry.hydration.evictions");
+    }
+    return Status::not_found("device " + std::to_string(id) +
+                             " is not enrolled or is revoked");
+  }
+
+  std::shared_ptr<Slot> slot;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(id);
+    if (it != index_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++stats_.hits;
+      bump("registry.hydration.hits");
+      *out = it->second->second;
+      return Status::ok();
+    }
+    auto [inflight_it, inserted] =
+        inflight_.try_emplace(id, std::make_shared<Slot>());
+    slot = inflight_it->second;
+    leader = inserted;
+    if (leader) {
+      ++stats_.misses;
+      bump("registry.hydration.misses");
+    } else {
+      ++stats_.single_flight_waits;
+      bump("registry.hydration.single_flight_waits");
+    }
+  }
+
+  if (!leader) {
+    // Someone else is hydrating this device; wait for their result.
+    std::unique_lock<std::mutex> lock(slot->mutex);
+    slot->cv.wait(lock, [&] { return slot->done; });
+    if (!slot->status.is_ok()) return slot->status;
+    *out = slot->device;
+    return Status::ok();
+  }
+
+  // Leader path: hydrate outside both locks so other devices keep moving.
+  Status status;
+  std::shared_ptr<const HydratedDevice> device;
+  {
+    obs::ScopedTimer timer(m_load_time);
+    SimulationModel model;
+    status = registry_.load_model(id, &model);
+    if (status.is_ok()) {
+      const double tolerance =
+          options_.flow_tolerance_fraction * model.mean_capacity();
+      device = std::make_shared<const HydratedDevice>(
+          id, std::move(model), options_.verifier_deadline_seconds, tolerance,
+          options_.verify_threads);
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (status.is_ok()) {
+      lru_.emplace_front(id, device);
+      index_[id] = lru_.begin();
+      while (lru_.size() > max_entries_) {
+        index_.erase(lru_.back().first);
+        lru_.pop_back();
+        ++stats_.evictions;
+        bump("registry.hydration.evictions");
+      }
+    }
+    inflight_.erase(id);
+    if (reg.enabled())
+      reg.gauge("registry.hydration.entries")
+          .set(static_cast<std::int64_t>(lru_.size()));
+  }
+  {
+    std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->status = status;
+    slot->device = device;
+    slot->done = true;
+  }
+  slot->cv.notify_all();
+
+  if (!status.is_ok()) return status;
+  *out = std::move(device);
+  return Status::ok();
+}
+
+HydrationCache::Stats HydrationCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s = stats_;
+  s.entries = lru_.size();
+  return s;
+}
+
+}  // namespace ppuf::registry

@@ -1,0 +1,117 @@
+// Bounded LRU of materialised devices with single-flight loading.
+//
+// The registry stores models as encoded blobs; serving needs them
+// *materialised* — a SimulationModel plus a Verifier configured for it.
+// Decoding a blob and sizing the verifier tolerance is the expensive,
+// once-per-device step, and a popular device is asked for by many
+// connections at once.  This cache makes that cheap and bounded:
+//
+//   - LRU over at most Options::max_entries materialised devices, so a
+//     million-device registry serves from a working set, not from RAM
+//     proportional to enrollment;
+//   - single-flight: concurrent requests for the same *cold* device wait
+//     on one hydration instead of decoding the same blob N times (the
+//     classic cache-stampede fix);
+//   - revocation-aware: every get() consults the registry first, so a
+//     device revoked after being cached is evicted and refused.
+//
+// A HydratedDevice is heap-allocated and never moved: the Verifier holds
+// a reference to the model member, which stays valid for exactly as long
+// as callers hold the shared_ptr — including after eviction, so inflight
+// requests finish on the instance they resolved.
+//
+// Publishes registry.hydration.* metrics through the global obs registry
+// (hits / misses / single-flight waits / evictions / load-time histogram).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::registry {
+
+/// A device ready to serve: the decoded model and a verifier sized for
+/// it.  Immutable after construction; shared by reference count.
+struct HydratedDevice {
+  HydratedDevice(std::uint64_t id_, SimulationModel model_,
+                 double deadline_seconds, double flow_tolerance,
+                 unsigned verify_threads)
+      : id(id_),
+        model(std::move(model_)),
+        verifier(model, deadline_seconds, flow_tolerance, verify_threads) {}
+
+  HydratedDevice(const HydratedDevice&) = delete;
+  HydratedDevice& operator=(const HydratedDevice&) = delete;
+
+  const std::uint64_t id;
+  const SimulationModel model;
+  const protocol::Verifier verifier;
+};
+
+class HydrationCache {
+ public:
+  struct Options {
+    std::size_t max_entries = 8;  ///< clamped to >= 1
+    /// Verifier configuration, applied per device: the absolute flow
+    /// tolerance is flow_tolerance_fraction * model.mean_capacity().
+    double verifier_deadline_seconds = 1.0;
+    double flow_tolerance_fraction = 0.10;
+    unsigned verify_threads = 1;
+  };
+
+  /// `registry` must outlive the cache.
+  HydrationCache(const DeviceRegistry& registry, const Options& options);
+
+  /// The materialised device, hydrating on a cold miss.  kNotFound when
+  /// the id is unknown *or revoked* — the caller cannot tell the two
+  /// apart, which is deliberate: a revoked id must look exactly as dead
+  /// as one that never existed.
+  util::Status get(std::uint64_t id,
+                   std::shared_ptr<const HydratedDevice>* out);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;            ///< cold loads performed
+    std::uint64_t single_flight_waits = 0;  ///< requests that joined a load
+    std::uint64_t evictions = 0;
+    std::uint64_t entries = 0;
+  };
+  Stats stats() const;
+
+  std::size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Slot {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    util::Status status;
+    std::shared_ptr<const HydratedDevice> device;
+  };
+
+  const DeviceRegistry& registry_;
+  Options options_;
+  std::size_t max_entries_;
+
+  mutable std::mutex mutex_;
+  /// Most recently used at the front.
+  std::list<std::pair<std::uint64_t, std::shared_ptr<const HydratedDevice>>>
+      lru_;
+  std::unordered_map<
+      std::uint64_t,
+      std::list<std::pair<std::uint64_t,
+                          std::shared_ptr<const HydratedDevice>>>::iterator>
+      index_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Slot>> inflight_;
+  Stats stats_;
+};
+
+}  // namespace ppuf::registry

@@ -1,0 +1,111 @@
+// On-disk record format of the device registry.
+//
+// The registry persists as an append-only write-ahead log of enroll/revoke
+// records plus a periodic snapshot.  Both use the canonical protocol codec
+// for their bodies and frame every body with a CRC-32C, which is what lets
+// recovery distinguish the two failure modes that matter:
+//
+//   - a *torn tail* — the process died mid-append, leaving an incomplete
+//     record at EOF.  extract_record() reports kNeedMore; recovery
+//     truncates the tail and carries on with every committed device.
+//   - *corruption* — a complete record whose bytes changed (bit rot, a
+//     hostile edit).  The CRC or the strict body decode fails;
+//     extract_record() reports kCorrupt and open() surfaces a typed
+//     error.  Corruption is never silently dropped: dropping it would
+//     turn "this file was tampered with" into "this device vanished".
+//
+// Record frame:   u32 magic 'PPRG' | u32 body_len | u32 crc32c(body) | body
+// Snapshot file:  8-byte magic "ppufreg1" | u32 body_len | u32 crc | body
+//
+// Bodies are strict codec payloads (bounds-checked, exhausted() required),
+// so a bit flip anywhere yields a typed error, never a crash — the same
+// discipline as the wire protocol, because a registry file is just as
+// attacker-reachable as a socket.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "protocol/codec.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::registry {
+
+/// One enrolled device as the store sees it.  The model is kept as its
+/// canonical encoded bytes (protocol::codec::encode_sim_model): list and
+/// compaction never pay for materialising capacities, and hydration
+/// decodes on demand.  `nodes`/`grid` mirror the blob's header so listings
+/// are free.
+struct DeviceEntry {
+  std::uint64_t id = 0;
+  std::uint32_t nodes = 0;
+  std::uint32_t grid = 0;
+  std::string label;
+  bool revoked = false;
+  std::vector<std::uint8_t> model_bytes;
+};
+
+/// One write-ahead-log record.  kEnroll carries the full entry; kRevoke
+/// only names the id (the other entry fields are ignored).
+struct WalRecord {
+  enum class Type : std::uint8_t { kEnroll = 1, kRevoke = 2 };
+  Type type = Type::kEnroll;
+  DeviceEntry entry;
+};
+
+inline constexpr std::uint32_t kRecordMagic = 0x47525050;  // "PPRG"
+inline constexpr char kSnapshotMagic[8] = {'p', 'p', 'u', 'f',
+                                           'r', 'e', 'g', '1'};
+/// Upper bound on one record / snapshot body.  A model blob is
+/// 32*n*(n-1) + 16 bytes, so this admits instances beyond n = 1000 while
+/// keeping a forged length from demanding gigabytes.
+inline constexpr std::uint32_t kMaxBodyBytes = 64u * 1024 * 1024;
+
+void encode_device_entry(protocol::codec::Writer& w, const DeviceEntry& e);
+util::Status decode_device_entry(protocol::codec::Reader& r,
+                                 DeviceEntry* out);
+
+/// Body only — framing (magic/len/crc) is applied by frame_record().
+void encode_wal_record(protocol::codec::Writer& w, const WalRecord& record);
+util::Status decode_wal_record(protocol::codec::Reader& r, WalRecord* out);
+
+/// The full framed bytes of one record, ready to append to the log.
+std::vector<std::uint8_t> frame_record(const WalRecord& record);
+
+/// Incremental scan outcome over a byte stream of framed records.
+enum class ExtractStatus {
+  kOk,        ///< one complete, CRC-valid record extracted
+  kNeedMore,  ///< the bytes end mid-record (a torn tail at EOF)
+  kCorrupt,   ///< bad magic, implausible length, or CRC mismatch
+};
+
+/// Extract the next framed record from [data, data+size).  On kOk,
+/// `*consumed` is the frame size and `*body` holds the verified body
+/// bytes (not yet decoded).  On kNeedMore, `*consumed` is 0 — the caller
+/// decides whether more bytes are coming (mid-file read) or not (EOF:
+/// torn tail, truncate here).  On kCorrupt, `*error` says why.
+ExtractStatus extract_record(const std::uint8_t* data, std::size_t size,
+                             std::size_t* consumed,
+                             std::vector<std::uint8_t>* body,
+                             std::string* error);
+
+/// Snapshot body: the folded state of the whole registry.
+struct SnapshotBody {
+  std::uint64_t next_id = 1;
+  std::vector<DeviceEntry> entries;
+};
+
+void encode_snapshot_body(protocol::codec::Writer& w, const SnapshotBody& s);
+util::Status decode_snapshot_body(protocol::codec::Reader& r,
+                                  SnapshotBody* out);
+
+/// The full snapshot file image (magic + len + crc + body).
+std::vector<std::uint8_t> frame_snapshot(const SnapshotBody& snapshot);
+
+/// Parse a complete snapshot file image.  Any truncation, bad magic, bad
+/// CRC or malformed body is a typed kInvalidArgument.
+util::Status parse_snapshot(const std::uint8_t* data, std::size_t size,
+                            SnapshotBody* out);
+
+}  // namespace ppuf::registry

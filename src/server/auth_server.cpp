@@ -11,6 +11,7 @@
 #include <chrono>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <unordered_map>
 #include <unordered_set>
@@ -20,6 +21,8 @@
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
 #include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
+#include "registry/hydration_cache.hpp"
 #include "util/fault_hooks.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -37,13 +40,16 @@ using util::Status;
 
 constexpr std::size_t kReadChunk = 64 * 1024;
 
+/// Error replies echo the request's device id so a client multiplexing
+/// devices over one connection can attribute the failure.
 std::vector<std::uint8_t> error_frame(std::uint64_t request_id,
-                                      WireCode code, std::string message) {
+                                      std::uint64_t device_id, WireCode code,
+                                      std::string message) {
   ErrorReply err;
   err.code = code;
   err.message = std::move(message);
-  return net::encode_frame(MessageType::kErrorReply, request_id, 0,
-                           net::encode_error_reply(err));
+  return net::encode_frame(MessageType::kErrorReply, request_id, device_id,
+                           0, net::encode_error_reply(err));
 }
 
 /// The challenge came off the wire, i.e. from the adversary: bounds-check
@@ -68,6 +74,8 @@ WireCode wire_code_for(const Status& s) {
       return WireCode::kInvalidArgument;
     case util::StatusCode::kUnavailable:
       return WireCode::kOverloaded;
+    case util::StatusCode::kNotFound:
+      return WireCode::kUnknownDevice;
     default:
       return WireCode::kInternal;
   }
@@ -86,32 +94,93 @@ struct OwnedFd {
 };
 
 struct AuthServer::Impl {
+  /// Single-device mode: one model, one verifier, addressed as device 0.
   Impl(const SimulationModel& model, const AuthServerOptions& options,
        std::atomic<bool>& draining)
-      : model(model),
+      : single_model(&model),
         options(options),
         draining(draining),
-        verifier(model, options.verifier_deadline_seconds,
-                 mean_capacity(model) * options.flow_tolerance_fraction,
-                 /*verify_threads=*/1),
         rng(options.challenge_seed),
-        pool(options.threads) {}
+        pool(options.threads) {
+    single_verifier.emplace(
+        model, options.verifier_deadline_seconds,
+        model.mean_capacity() * options.flow_tolerance_fraction,
+        /*verify_threads=*/1);
+  }
 
-  static double mean_capacity(const SimulationModel& model) {
-    double sum = 0.0;
-    const std::size_t edges = model.layout().edge_count();
-    for (graph::EdgeId e = 0; e < edges; ++e)
-      for (int net = 0; net < 2; ++net)
-        for (int bit = 0; bit < 2; ++bit) sum += model.capacity(net, e, bit);
-    return sum / static_cast<double>(edges * 4);
+  /// Multi-tenant mode: devices resolve through the registry via a
+  /// bounded hydration cache.
+  Impl(const registry::DeviceRegistry& registry,
+       const AuthServerOptions& options, std::atomic<bool>& draining)
+      : device_registry(&registry),
+        options(options),
+        draining(draining),
+        rng(options.challenge_seed),
+        pool(options.threads) {
+    registry::HydrationCache::Options cache_options;
+    cache_options.max_entries = options.hydration_cache_entries;
+    cache_options.verifier_deadline_seconds =
+        options.verifier_deadline_seconds;
+    cache_options.flow_tolerance_fraction = options.flow_tolerance_fraction;
+    cache_options.verify_threads = 1;
+    hydration.emplace(registry, cache_options);
   }
 
   // --- shared state -------------------------------------------------------
 
-  const SimulationModel& model;
+  /// Exactly one of these two is set.
+  const SimulationModel* single_model = nullptr;
+  const registry::DeviceRegistry* device_registry = nullptr;
+  std::optional<protocol::Verifier> single_verifier;
+  std::optional<registry::HydrationCache> hydration;
+
   AuthServerOptions options;
   std::atomic<bool>& draining;
-  protocol::Verifier verifier;
+
+  /// What a handler works against once the frame's device id resolved:
+  /// borrowed pointers, kept alive by `hold` in registry mode (eviction
+  /// from the hydration cache must not free a device mid-request).
+  struct DeviceContext {
+    const SimulationModel* model = nullptr;
+    const protocol::Verifier* verifier = nullptr;
+    std::shared_ptr<const registry::HydratedDevice> hold;
+  };
+
+  /// kNotFound when the id is unknown or revoked (mapped to a typed
+  /// UNKNOWN_DEVICE reply by the caller).
+  Status resolve_device(std::uint64_t device_id, DeviceContext* out) {
+    if (single_model != nullptr) {
+      if (device_id != net::kDefaultDeviceId)
+        return Status::not_found("single-device server; use device id 0");
+      out->model = single_model;
+      out->verifier = &*single_verifier;
+      return Status::ok();
+    }
+    if (device_id == net::kDefaultDeviceId)
+      return Status::not_found(
+          "registry-backed server requires an enrolled device id");
+    std::shared_ptr<const registry::HydratedDevice> device;
+    if (Status s = hydration->get(device_id, &device); !s.is_ok()) return s;
+    out->model = &device->model;
+    out->verifier = &device->verifier;
+    out->hold = std::move(device);
+    return Status::ok();
+  }
+
+  /// The typed reply for a frame whose device id did not resolve.  An
+  /// unknown/revoked id is an UNKNOWN_DEVICE reply and counted; transient
+  /// hydration failures map through wire_code_for like any other status.
+  std::vector<std::uint8_t> device_error_reply(const Frame& frame,
+                                               const Status& s) {
+    if (s.code() == util::StatusCode::kNotFound) {
+      unknown_device_rejections.fetch_add(1, std::memory_order_relaxed);
+      obs::MetricsRegistry::global()
+          .counter("server.unknown_device_rejections")
+          .add();
+    }
+    return error_frame(frame.request_id, frame.device_id, wire_code_for(s),
+                       s.message());
+  }
 
   std::mutex rng_mutex;  ///< guards rng (workers issue challenges too)
   util::Rng rng;
@@ -158,6 +227,7 @@ struct AuthServer::Impl {
   std::atomic<std::uint64_t> overloaded_rejections{0};
   std::atomic<std::uint64_t> shutdown_rejections{0};
   std::atomic<std::uint64_t> malformed_frames{0};
+  std::atomic<std::uint64_t> unknown_device_rejections{0};
 
   /// Declared last so it is destroyed FIRST: the pool's destructor joins
   /// workers that may still be writing wake_fd, which must stay open
@@ -199,14 +269,20 @@ struct AuthServer::Impl {
 
 AuthServer::AuthServer(const SimulationModel& model,
                        AuthServerOptions options)
-    : model_(model), options_(options) {}
+    : model_(&model), options_(options) {}
+
+AuthServer::AuthServer(const registry::DeviceRegistry& registry,
+                       AuthServerOptions options)
+    : registry_(&registry), options_(options) {}
 
 AuthServer::~AuthServer() { stop(); }
 
 util::Status AuthServer::start() {
   if (running_.load(std::memory_order_acquire))
     return Status::invalid_argument("server already started");
-  impl_ = std::make_unique<Impl>(model_, options_, draining_);
+  impl_ = model_ != nullptr
+              ? std::make_unique<Impl>(*model_, options_, draining_)
+              : std::make_unique<Impl>(*registry_, options_, draining_);
 
   if (Status s = net::listen_tcp(options_.port, options_.listen_backlog,
                                  &impl_->listener, &port_);
@@ -267,6 +343,8 @@ AuthServer::Stats AuthServer::stats() const {
       impl_->shutdown_rejections.load(std::memory_order_relaxed);
   s.malformed_frames =
       impl_->malformed_frames.load(std::memory_order_relaxed);
+  s.unknown_device_rejections =
+      impl_->unknown_device_rejections.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -419,7 +497,8 @@ void AuthServer::Impl::consume_frames(int fd) {
       // socket as soon as the error is written; return without touching
       // `conn` again — it may already be destroyed by that close.
       conn.close_after_flush = true;
-      enqueue_reply(conn, error_frame(0, WireCode::kMalformed,
+      enqueue_reply(conn, error_frame(0, net::kDefaultDeviceId,
+                                      WireCode::kMalformed,
                                       "unparseable frame"));
       return;
     }
@@ -439,7 +518,8 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
   if (!net::is_request(frame.type)) {
     enqueue_reply(conn,
-                  error_frame(frame.request_id, WireCode::kUnsupportedType,
+                  error_frame(frame.request_id, frame.device_id,
+                              WireCode::kUnsupportedType,
                               std::string("not a request type: ") +
                                   net::message_type_name(frame.type)));
     return;
@@ -447,7 +527,7 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
   if (draining.load(std::memory_order_relaxed)) {
     shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
     reg.counter("server.shutdown_rejections").add();
-    enqueue_reply(conn, error_frame(frame.request_id,
+    enqueue_reply(conn, error_frame(frame.request_id, frame.device_id,
                                     WireCode::kShuttingDown,
                                     "server is draining"));
     return;
@@ -457,7 +537,8 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
   if (inflight.load(std::memory_order_relaxed) >= options.max_inflight) {
     overloaded_rejections.fetch_add(1, std::memory_order_relaxed);
     reg.counter("server.overloaded_rejections").add();
-    enqueue_reply(conn, error_frame(frame.request_id, WireCode::kOverloaded,
+    enqueue_reply(conn, error_frame(frame.request_id, frame.device_id,
+                                    WireCode::kOverloaded,
                                     "in-flight limit reached"));
     return;
   }
@@ -474,11 +555,11 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
     try {
       reply = handle(*shared_frame, deadline);
     } catch (const std::exception& e) {
-      reply = error_frame(shared_frame->request_id, WireCode::kInternal,
-                          e.what());
+      reply = error_frame(shared_frame->request_id, shared_frame->device_id,
+                          WireCode::kInternal, e.what());
     } catch (...) {
-      reply = error_frame(shared_frame->request_id, WireCode::kInternal,
-                          "unknown handler failure");
+      reply = error_frame(shared_frame->request_id, shared_frame->device_id,
+                          WireCode::kInternal, "unknown handler failure");
     }
     {
       std::lock_guard<std::mutex> lock(completion_mutex);
@@ -571,7 +652,8 @@ std::vector<std::uint8_t> AuthServer::Impl::handle(
   // Expired in the queue: answer with the typed error instead of doing
   // work nobody is waiting for.
   if (deadline.expired())
-    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kDeadlineExceeded,
                        "budget expired before processing");
   switch (frame.type) {
     case MessageType::kPingRequest:
@@ -587,7 +669,8 @@ std::vector<std::uint8_t> AuthServer::Impl::handle(
     case MessageType::kChainedAuthRequest:
       return handle_chained_auth(frame, deadline);
     default:
-      return error_frame(frame.request_id, WireCode::kUnsupportedType,
+      return error_frame(frame.request_id, frame.device_id,
+                         WireCode::kUnsupportedType,
                          "unsupported request type");
   }
 }
@@ -599,7 +682,8 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_ping(
   std::uint32_t delay_ms = 0;
   if (Status s = net::decode_ping_request(frame.payload, &delay_ms);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
   delay_ms = std::min(delay_ms, options.max_ping_delay_ms);
   if (delay_ms > 0) {
     // Sleep in slices so an expiring budget still gets its typed answer
@@ -608,33 +692,42 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_ping(
                        std::chrono::milliseconds(delay_ms);
     while (std::chrono::steady_clock::now() < until) {
       if (deadline.expired())
-        return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+        return error_frame(frame.request_id, frame.device_id,
+                           WireCode::kDeadlineExceeded,
                            "budget expired during ping delay");
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     }
   }
-  return net::encode_frame(MessageType::kPingReply, frame.request_id, 0, {});
+  // PING is transport-level: it answers for any device id without
+  // resolving it (load tests ping before enrolment exists).
+  return net::encode_frame(MessageType::kPingReply, frame.request_id,
+                           frame.device_id, 0, {});
 }
 
 std::vector<std::uint8_t> AuthServer::Impl::handle_predict(
     const Frame& frame, const util::Deadline& deadline) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "server.predict.request_us");
+  DeviceContext ctx;
+  if (Status s = resolve_device(frame.device_id, &ctx); !s.is_ok())
+    return device_error_reply(frame, s);
   Challenge challenge;
   if (Status s = net::decode_predict_request(frame.payload, &challenge);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(model, challenge); !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kInvalidArgument,
-                       s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(*ctx.model, challenge); !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument, s.message());
   util::SolveControl control;
   control.deadline = deadline;
-  const SimulationModel::Prediction p =
-      model.predict(challenge, maxflow::Algorithm::kPushRelabel, control);
+  const SimulationModel::Prediction p = ctx.model->predict(
+      challenge, maxflow::Algorithm::kPushRelabel, control);
   if (!p.ok())
-    return error_frame(frame.request_id, wire_code_for(p.status),
-                       p.status.to_string());
-  return net::encode_frame(MessageType::kPredictReply, frame.request_id, 0,
+    return error_frame(frame.request_id, frame.device_id,
+                       wire_code_for(p.status), p.status.to_string());
+  return net::encode_frame(MessageType::kPredictReply, frame.request_id,
+                           frame.device_id, 0,
                            net::encode_predict_reply(p));
 }
 
@@ -642,21 +735,27 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify(
     const Frame& frame, const util::Deadline& deadline) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "server.verify.request_us");
+  DeviceContext ctx;
+  if (Status s = resolve_device(frame.device_id, &ctx); !s.is_ok())
+    return device_error_reply(frame, s);
   Challenge challenge;
   protocol::ProverReport report;
   if (Status s =
           net::decode_verify_request(frame.payload, &challenge, &report);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(model, challenge); !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kInvalidArgument,
-                       s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(*ctx.model, challenge); !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument, s.message());
   if (deadline.expired())
-    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kDeadlineExceeded,
                        "budget expired before verification");
   const protocol::AuthenticationResult result =
-      verifier.verify(challenge, report);
-  return net::encode_frame(MessageType::kVerifyReply, frame.request_id, 0,
+      ctx.verifier->verify(challenge, report);
+  return net::encode_frame(MessageType::kVerifyReply, frame.request_id,
+                           frame.device_id, 0,
                            net::encode_verify_reply(result));
 }
 
@@ -664,68 +763,85 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify_batch(
     const Frame& frame, const util::Deadline& deadline) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "server.verify_batch.request_us");
+  DeviceContext ctx;
+  if (Status s = resolve_device(frame.device_id, &ctx); !s.is_ok())
+    return device_error_reply(frame, s);
   std::vector<Challenge> challenges;
   std::vector<protocol::ProverReport> reports;
   if (Status s = net::decode_verify_batch_request(frame.payload,
                                                   &challenges, &reports);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
   for (const Challenge& c : challenges)
-    if (Status s = validate_challenge(model, c); !s.is_ok())
-      return error_frame(frame.request_id, WireCode::kInvalidArgument,
-                         s.message());
+    if (Status s = validate_challenge(*ctx.model, c); !s.is_ok())
+      return error_frame(frame.request_id, frame.device_id,
+                         WireCode::kInvalidArgument, s.message());
   // Items run inline on this worker (no nested pool dispatch); the budget
   // is checked between items so an expiring batch still answers typed.
   std::vector<protocol::AuthenticationResult> results;
   results.reserve(challenges.size());
   for (std::size_t i = 0; i < challenges.size(); ++i) {
     if (deadline.expired())
-      return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+      return error_frame(frame.request_id, frame.device_id,
+                         WireCode::kDeadlineExceeded,
                          "budget expired at batch item " +
                              std::to_string(i));
-    results.push_back(verifier.verify(challenges[i], reports[i]));
+    results.push_back(ctx.verifier->verify(challenges[i], reports[i]));
   }
   return net::encode_frame(MessageType::kVerifyBatchReply, frame.request_id,
-                           0, net::encode_verify_batch_reply(results));
+                           frame.device_id, 0,
+                           net::encode_verify_batch_reply(results));
 }
 
 std::vector<std::uint8_t> AuthServer::Impl::handle_challenge(
     const Frame& frame) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "server.challenge.request_us");
+  DeviceContext ctx;
+  if (Status s = resolve_device(frame.device_id, &ctx); !s.is_ok())
+    return device_error_reply(frame, s);
   if (Status s = net::decode_challenge_request(frame.payload); !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
   net::ChallengeGrant grant;
   {
     std::lock_guard<std::mutex> lock(rng_mutex);
-    grant.challenge = verifier.issue_challenge(rng);
+    grant.challenge = ctx.verifier->issue_challenge(rng);
     grant.nonce = rng();
   }
   grant.chain_length = options.chain_length;
-  grant.deadline_seconds = verifier.deadline_seconds();
+  grant.deadline_seconds = ctx.verifier->deadline_seconds();
   return net::encode_frame(MessageType::kChallengeReply, frame.request_id,
-                           0, net::encode_challenge_reply(grant));
+                           frame.device_id, 0,
+                           net::encode_challenge_reply(grant));
 }
 
 std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
     const Frame& frame, const util::Deadline& deadline) {
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "server.chained_auth.request_us");
+  DeviceContext ctx;
+  if (Status s = resolve_device(frame.device_id, &ctx); !s.is_ok())
+    return device_error_reply(frame, s);
   net::ChainedAuthRequest request;
   if (Status s =
           net::decode_chained_auth_request(frame.payload, &request);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(model, request.grant.challenge);
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
+  if (Status s = validate_challenge(*ctx.model, request.grant.challenge);
       !s.is_ok())
-    return error_frame(frame.request_id, WireCode::kInvalidArgument,
-                       s.message());
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument, s.message());
   // k is adversary-controlled verification work; bound it.
   if (request.grant.chain_length > options.max_chain_length)
-    return error_frame(frame.request_id, WireCode::kInvalidArgument,
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument,
                        "chain length exceeds server limit");
   if (deadline.expired())
-    return error_frame(frame.request_id, WireCode::kDeadlineExceeded,
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kDeadlineExceeded,
                        "budget expired before chain verification");
   util::Rng spot_rng;
   {
@@ -733,10 +849,12 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
     spot_rng = rng.fork();
   }
   const protocol::ChainedVerifyResult result = protocol::verify_chain(
-      verifier, model, request.grant.challenge, request.grant.chain_length,
-      request.grant.nonce, request.report, options.spot_checks, spot_rng);
+      *ctx.verifier, *ctx.model, request.grant.challenge,
+      request.grant.chain_length, request.grant.nonce, request.report,
+      options.spot_checks, spot_rng);
   return net::encode_frame(MessageType::kChainedAuthReply, frame.request_id,
-                           0, net::encode_chained_auth_reply(result));
+                           frame.device_id, 0,
+                           net::encode_chained_auth_reply(result));
 }
 
 }  // namespace ppuf::server

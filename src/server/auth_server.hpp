@@ -41,6 +41,10 @@
 #include "ppuf/sim_model.hpp"
 #include "util/status.hpp"
 
+namespace ppuf::registry {
+class DeviceRegistry;
+}
+
 namespace ppuf::server {
 
 struct AuthServerOptions {
@@ -56,7 +60,14 @@ struct AuthServerOptions {
   double flow_tolerance_fraction = 0.10;
   std::uint32_t chain_length = 4;  ///< k granted to CHALLENGE requests
   std::size_t spot_checks = 2;     ///< chained rounds fully verified (0=all)
+  /// Seed of the challenge-issuing RNG.  Callers MUST set this to an
+  /// unpredictable value: a guessable seed means guessable challenges,
+  /// which collapses the protocol (ppuf_tool refuses to serve a single
+  /// device without an explicit seed for exactly this reason).
   std::uint64_t challenge_seed = 1;
+  /// Registry mode only: bound on concurrently materialised devices (the
+  /// hydration cache's LRU size).
+  std::size_t hydration_cache_entries = 8;
   /// Upper bound accepted for a client-echoed grant's chain length — the
   /// verification cost is k solves, so k is adversary-controlled work.
   std::uint32_t max_chain_length = 64;
@@ -67,8 +78,18 @@ struct AuthServerOptions {
 
 class AuthServer {
  public:
-  /// `model` must outlive the server.
+  /// Single-device mode: serve exactly one model, addressed on the wire
+  /// as device id 0 (net::kDefaultDeviceId).  `model` must outlive the
+  /// server.
   AuthServer(const SimulationModel& model, AuthServerOptions options = {});
+
+  /// Multi-tenant mode: serve every active device enrolled in `registry`,
+  /// addressed by its registry id; unknown or revoked ids get a typed
+  /// UNKNOWN_DEVICE reply (and so does id 0 — there is no implicit device
+  /// in this mode).  Models are materialised on demand through a bounded
+  /// hydration cache.  `registry` must outlive the server.
+  AuthServer(const registry::DeviceRegistry& registry,
+             AuthServerOptions options = {});
   ~AuthServer();
 
   AuthServer(const AuthServer&) = delete;
@@ -100,13 +121,15 @@ class AuthServer {
     std::uint64_t overloaded_rejections = 0;
     std::uint64_t shutdown_rejections = 0;
     std::uint64_t malformed_frames = 0;
+    std::uint64_t unknown_device_rejections = 0;
   };
   Stats stats() const;
 
  private:
   struct Impl;
 
-  const SimulationModel& model_;
+  const SimulationModel* model_ = nullptr;          ///< single-device mode
+  const registry::DeviceRegistry* registry_ = nullptr;  ///< registry mode
   AuthServerOptions options_;
   std::unique_ptr<Impl> impl_;
   std::thread loop_thread_;

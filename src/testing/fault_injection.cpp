@@ -16,6 +16,8 @@ ScopedFaultInjection::ScopedFaultInjection(const FaultSpec& spec) {
                                          std::memory_order_relaxed);
   hooks.server_send_failures.store(spec.server_send_failures,
                                    std::memory_order_relaxed);
+  hooks.registry_torn_write_bytes.store(spec.registry_torn_write_bytes,
+                                        std::memory_order_relaxed);
 }
 
 ScopedFaultInjection::~ScopedFaultInjection() {

@@ -40,6 +40,9 @@ struct FaultSpec {
   /// The next N AuthServer socket sends fail as if the peer reset the
   /// connection (deterministic close-mid-pipeline).
   int server_send_failures = 0;
+  /// >= 0: the next registry WAL append writes only this many bytes of the
+  /// record and then fails as if the process died (torn tail).  One-shot.
+  int registry_torn_write_bytes = -1;
 };
 
 /// RAII arming of util::FaultHooks.  Restores an all-clear state on

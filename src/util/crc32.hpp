@@ -1,0 +1,21 @@
+// CRC-32C (Castagnoli) over byte spans.
+//
+// The device registry frames every write-ahead-log record and snapshot
+// body with a checksum so recovery can tell a *torn* write (incomplete
+// tail bytes: truncate and continue) from *corruption* (a complete record
+// whose bytes changed: a typed error).  CRC-32C is the standard pick for
+// this job (iSCSI, ext4, LevelDB); the table-driven software form below is
+// plenty fast for registry record sizes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppuf::util {
+
+/// CRC-32C of [data, data+size).  `seed` chains partial computations:
+/// crc32c(b, crc32c(a)) == crc32c(a||b).
+std::uint32_t crc32c(const void* data, std::size_t size,
+                     std::uint32_t seed = 0);
+
+}  // namespace ppuf::util

@@ -38,6 +38,14 @@ struct FaultHooks {
   /// otherwise a narrow timing race against a real RST.
   std::atomic<int> server_send_failures{0};
 
+  /// >= 0: the next registry write-ahead-log append writes only this many
+  /// bytes of the record and then fails as if the process died (a torn
+  /// tail).  One-shot: consumed by the first append that observes it.
+  /// -1 (default): inactive.  Crash-recovery tests arm this to prove the
+  /// registry truncates the torn tail on reopen and keeps every
+  /// previously committed device.
+  std::atomic<int> registry_torn_write_bytes{-1};
+
   static FaultHooks& instance();
 
   bool any_newton_fault() const {
@@ -57,11 +65,20 @@ struct FaultHooks {
     return consume_countdown(instance().server_send_failures);
   }
 
+  /// Atomically consume the one-shot torn-write injection.  Returns the
+  /// armed byte count (>= 0) exactly once, -1 otherwise.
+  static int consume_registry_torn_write() {
+    auto& hook = instance().registry_torn_write_bytes;
+    if (hook.load(std::memory_order_relaxed) < 0) return -1;
+    return hook.exchange(-1, std::memory_order_relaxed);
+  }
+
   void reset() {
     newton_direct_iteration_cap.store(0, std::memory_order_relaxed);
     newton_skip_gmin_stage.store(false, std::memory_order_relaxed);
     maxflow_transient_failures.store(0, std::memory_order_relaxed);
     server_send_failures.store(0, std::memory_order_relaxed);
+    registry_torn_write_bytes.store(-1, std::memory_order_relaxed);
   }
 
  private:

@@ -18,6 +18,8 @@ const char* status_code_name(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
   }
   return "UNKNOWN";
 }

@@ -35,6 +35,7 @@ enum class StatusCode {
   kInvalidArgument,
   kInternal,
   kUnavailable,  ///< transient: overloaded / draining / transport failure
+  kNotFound,     ///< named entity (e.g. a device id) is not in the store
 };
 
 const char* status_code_name(StatusCode code);
@@ -63,6 +64,9 @@ class Status {
   }
   static Status unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status not_found(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
   }
 
   bool is_ok() const { return code_ == StatusCode::kOk; }

@@ -11,6 +11,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <filesystem>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "ppuf/ppuf.hpp"
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
 #include "server/auth_server.hpp"
 #include "testing/fault_injection.hpp"
 #include "util/status.hpp"
@@ -74,10 +77,10 @@ Status read_frame(int fd, const util::Deadline& deadline, Frame* out) {
       !s.is_ok())
     return s;
   const std::uint32_t payload_len =
-      static_cast<std::uint32_t>(buf[20]) |
-      static_cast<std::uint32_t>(buf[21]) << 8 |
-      static_cast<std::uint32_t>(buf[22]) << 16 |
-      static_cast<std::uint32_t>(buf[23]) << 24;
+      static_cast<std::uint32_t>(buf[28]) |
+      static_cast<std::uint32_t>(buf[29]) << 8 |
+      static_cast<std::uint32_t>(buf[30]) << 16 |
+      static_cast<std::uint32_t>(buf[31]) << 24;
   if (payload_len > net::kMaxPayload)
     return Status::internal("oversized reply payload");
   buf.resize(net::kHeaderSize + payload_len);
@@ -224,7 +227,7 @@ TEST(AuthServer, DeadlineExpiryYieldsTypedReplyOnLiveConnection) {
   // budget_ms = 25 while the handler is asked to hold the request 1000 ms:
   // the budget expires mid-work and must yield a typed error reply.
   const std::vector<std::uint8_t> request = net::encode_frame(
-      MessageType::kPingRequest, 50, 25, net::encode_ping_request(1000));
+      MessageType::kPingRequest, 50, 0, 25, net::encode_ping_request(1000));
   ASSERT_TRUE(
       net::send_all(sock.fd(), request.data(), request.size(), io).is_ok());
   Frame reply;
@@ -234,7 +237,7 @@ TEST(AuthServer, DeadlineExpiryYieldsTypedReplyOnLiveConnection) {
 
   // Not a dropped connection: the next request on the same socket works.
   const std::vector<std::uint8_t> followup = net::encode_frame(
-      MessageType::kPingRequest, 51, 0, net::encode_ping_request(0));
+      MessageType::kPingRequest, 51, 0, 0, net::encode_ping_request(0));
   ASSERT_TRUE(
       net::send_all(sock.fd(), followup.data(), followup.size(), io)
           .is_ok());
@@ -260,7 +263,7 @@ TEST(AuthServer, OverloadYieldsTypedRepliesWithoutBlockingAcceptor) {
   std::vector<std::uint8_t> burst;
   for (std::uint64_t id = 1; id <= 3; ++id) {
     const std::vector<std::uint8_t> f = net::encode_frame(
-        MessageType::kPingRequest, id, 0, net::encode_ping_request(300));
+        MessageType::kPingRequest, id, 0, 0, net::encode_ping_request(300));
     burst.insert(burst.end(), f.begin(), f.end());
   }
   ASSERT_TRUE(
@@ -322,7 +325,7 @@ TEST(AuthServer, DrainRejectsNewFinishesInflight) {
 
   // In-flight work before the drain begins...
   const std::vector<std::uint8_t> slow = net::encode_frame(
-      MessageType::kPingRequest, 1, 0, net::encode_ping_request(300));
+      MessageType::kPingRequest, 1, 0, 0, net::encode_ping_request(300));
   ASSERT_TRUE(
       net::send_all(sock.fd(), slow.data(), slow.size(), io).is_ok());
   std::this_thread::sleep_for(std::chrono::milliseconds(50));
@@ -331,7 +334,7 @@ TEST(AuthServer, DrainRejectsNewFinishesInflight) {
 
   // ...must finish; new work must be answered typed SHUTTING_DOWN.
   const std::vector<std::uint8_t> late = net::encode_frame(
-      MessageType::kPingRequest, 2, 0, net::encode_ping_request(0));
+      MessageType::kPingRequest, 2, 0, 0, net::encode_ping_request(0));
   ASSERT_TRUE(
       net::send_all(sock.fd(), late.data(), late.size(), io).is_ok());
 
@@ -390,7 +393,7 @@ TEST(AuthServer, NonRequestTypeGetsTypedUnsupported) {
   // A well-framed message whose type is a *reply*: framing survives, the
   // dispatcher rejects it typed.
   const std::vector<std::uint8_t> bogus =
-      net::encode_frame(MessageType::kPingReply, 3, 0, {});
+      net::encode_frame(MessageType::kPingReply, 3, 0, 0, {});
   ASSERT_TRUE(
       net::send_all(sock.fd(), bogus.data(), bogus.size(), io).is_ok());
   Frame reply;
@@ -410,7 +413,7 @@ TEST(AuthServer, SurvivesInjectedSendFailureMidPipeline) {
   ASSERT_TRUE(srv.start().is_ok());
   const util::Deadline io = util::Deadline::after_seconds(5.0);
   const std::vector<std::uint8_t> one =
-      net::encode_frame(MessageType::kPingReply, 9, 0, {});
+      net::encode_frame(MessageType::kPingReply, 9, 0, 0, {});
   std::vector<std::uint8_t> burst;
   for (int i = 0; i < 64; ++i)
     burst.insert(burst.end(), one.begin(), one.end());
@@ -447,7 +450,7 @@ TEST(AuthServer, SurvivesPipelinedFramesWithAbruptReset) {
   ASSERT_TRUE(srv.start().is_ok());
   const util::Deadline io = util::Deadline::after_seconds(5.0);
   const std::vector<std::uint8_t> one =
-      net::encode_frame(MessageType::kPingReply, 9, 0, {});
+      net::encode_frame(MessageType::kPingReply, 9, 0, 0, {});
   std::vector<std::uint8_t> burst;
   for (int i = 0; i < 64; ++i)
     burst.insert(burst.end(), one.begin(), one.end());
@@ -495,6 +498,155 @@ TEST(AuthServer, RetryBackoffRespectsDeadline) {
               s.code() == StatusCode::kUnavailable)
       << s.to_string();
   EXPECT_LT(elapsed_ms, 1500);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant mode: one server fronting a DeviceRegistry.
+
+/// Fresh registry directory under the test temp dir.
+std::string fresh_registry_dir(const char* name) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / name;
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+/// Enroll a small device and return its id.  The enrollment seed fully
+/// determines the fabricated instance, so tests can build the matching
+/// "chip" locally as MaxFlowPpuf(params, seed).
+std::uint64_t enroll_small(registry::DeviceRegistry& reg, std::uint64_t seed,
+                           const std::string& label) {
+  registry::EnrollRequest req;
+  req.node_count = small_params().node_count;
+  req.grid_size = small_params().grid_size;
+  req.seed = seed;
+  req.label = label;
+  std::uint64_t id = 0;
+  EXPECT_TRUE(reg.enroll(req, &id).is_ok());
+  return id;
+}
+
+AuthClient client_for_device(std::uint16_t port, std::uint64_t device_id) {
+  net::ClientOptions o;
+  o.device_id = device_id;
+  return AuthClient("127.0.0.1", port, o);
+}
+
+/// Run one full chained authentication against `port` as `device_id`,
+/// proving with `chip`.  Returns the transport status; *verdict reports
+/// the protocol outcome when the exchange itself succeeded.
+Status chained_auth_as(std::uint16_t port, std::uint64_t device_id,
+                       MaxFlowPpuf& chip,
+                       protocol::ChainedVerifyResult* verdict) {
+  AuthClient client = client_for_device(port, device_id);
+  net::ChallengeGrant grant;
+  if (Status s = client.get_challenge(&grant); !s.is_ok()) return s;
+  const protocol::ChainedReport report = protocol::prove_chain_with_ppuf(
+      chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  return client.chained_auth(grant, report, verdict);
+}
+
+TEST(AuthServerRegistry, ServesEnrolledDevicesAndRejectsCrossDeviceProofs) {
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(
+      reg.open(fresh_registry_dir("authsrv_multi")).is_ok());
+  const std::uint64_t seeds[3] = {101, 102, 103};
+  std::uint64_t ids[3];
+  for (int i = 0; i < 3; ++i)
+    ids[i] = enroll_small(reg, seeds[i], "dev");
+
+  AuthServer srv(reg, default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+
+  // Every enrolled device authenticates with its own silicon...
+  for (int i = 0; i < 3; ++i) {
+    MaxFlowPpuf chip(small_params(), seeds[i]);
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(
+        chained_auth_as(srv.port(), ids[i], chip, &verdict).is_ok());
+    EXPECT_TRUE(verdict.accepted)
+        << "device " << ids[i] << ": " << verdict.detail;
+  }
+  // ...and device A's chip cannot answer for device B.
+  MaxFlowPpuf chip_a(small_params(), seeds[0]);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(
+      chained_auth_as(srv.port(), ids[1], chip_a, &verdict).is_ok());
+  EXPECT_FALSE(verdict.accepted);
+
+  // PREDICT is routed per device too: same challenge, per-device answers
+  // matching each device's own published model.
+  util::Rng rng(31);
+  SimulationModel model_a, model_b;
+  ASSERT_TRUE(reg.load_model(ids[0], &model_a).is_ok());
+  ASSERT_TRUE(reg.load_model(ids[1], &model_b).is_ok());
+  const Challenge c = random_challenge(model_a.layout(), rng);
+  SimulationModel::Prediction pa, pb;
+  ASSERT_TRUE(client_for_device(srv.port(), ids[0]).predict(c, &pa).is_ok());
+  ASSERT_TRUE(client_for_device(srv.port(), ids[1]).predict(c, &pb).is_ok());
+  EXPECT_EQ(pa.flow_a, model_a.predict(c).flow_a);
+  EXPECT_EQ(pb.flow_a, model_b.predict(c).flow_a);
+  srv.stop();
+}
+
+TEST(AuthServerRegistry, UnknownRevokedAndZeroIdsGetTypedNotFound) {
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(
+      reg.open(fresh_registry_dir("authsrv_unknown")).is_ok());
+  const std::uint64_t id = enroll_small(reg, 55, "victim");
+
+  AuthServer srv(reg, default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+
+  net::ChallengeGrant grant;
+  // Never-enrolled id.
+  EXPECT_EQ(client_for_device(srv.port(), 999).get_challenge(&grant).code(),
+            StatusCode::kNotFound);
+  // Id 0 has no implicit meaning in registry mode.
+  EXPECT_EQ(client_for_device(srv.port(), 0).get_challenge(&grant).code(),
+            StatusCode::kNotFound);
+
+  // The device works until revoked, then gets the same typed refusal —
+  // even though its model may still sit in the hydration cache.
+  ASSERT_TRUE(client_for_device(srv.port(), id).get_challenge(&grant).is_ok());
+  ASSERT_TRUE(reg.revoke(id).is_ok());
+  EXPECT_EQ(client_for_device(srv.port(), id).get_challenge(&grant).code(),
+            StatusCode::kNotFound);
+
+  EXPECT_GE(srv.stats().unknown_device_rejections, 3u);
+  srv.stop();
+}
+
+TEST(AuthServerRegistry, RegistryPersistsAcrossServerRestart) {
+  // Seed 101 is known-good for the first grant of a challenge_seed=1
+  // server (the chained protocol's flow tolerance is approximate, so
+  // accept/reject is deterministic per (device seed, challenge) pair).
+  constexpr std::uint64_t kDeviceSeed = 101;
+  const std::string dir = fresh_registry_dir("authsrv_restart");
+  std::uint64_t id = 0;
+  {
+    registry::DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    id = enroll_small(reg, kDeviceSeed, "persistent");
+    AuthServer srv(reg, default_options());
+    ASSERT_TRUE(srv.start().is_ok());
+    MaxFlowPpuf chip(small_params(), kDeviceSeed);
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(chained_auth_as(srv.port(), id, chip, &verdict).is_ok());
+    EXPECT_TRUE(verdict.accepted) << verdict.detail;
+    srv.stop();
+  }
+  // Cold start: a new registry instance recovered from disk serves the
+  // same device to a new server.
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  AuthServer srv(reg, default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  MaxFlowPpuf chip(small_params(), kDeviceSeed);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(chained_auth_as(srv.port(), id, chip, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+  srv.stop();
 }
 
 TEST(AuthServer, PublishesMetricsWhenRegistryEnabled) {

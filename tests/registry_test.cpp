@@ -1,0 +1,362 @@
+// DeviceRegistry + HydrationCache tests: durability, crash recovery,
+// compaction, and multi-tenant hydration.
+//
+// The recovery tests are the contract that matters for a persistent
+// store: a process killed mid-append loses at most the record being
+// written (torn tail -> truncated, committed devices intact), while a
+// complete-but-wrong record (bit rot, tampering) is a typed error, never
+// a silently vanished device.  The kill is injected deterministically via
+// util::FaultHooks, so every torn-write length is reproducible.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "registry/device_registry.hpp"
+#include "registry/hydration_cache.hpp"
+#include "registry/record.hpp"
+#include "testing/fault_injection.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace ppuf {
+namespace {
+
+namespace fs = std::filesystem;
+using registry::DeviceRegistry;
+using registry::EnrollRequest;
+using registry::HydrationCache;
+using util::Status;
+using util::StatusCode;
+
+/// Fresh directory under the test temp root, unique per test.
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir =
+      fs::path(::testing::TempDir()) / ("ppuf_registry_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// Small, fast geometry for enrollment-heavy tests.
+EnrollRequest small_request(std::uint64_t seed,
+                            const std::string& label = "") {
+  EnrollRequest req;
+  req.node_count = 6;
+  req.grid_size = 3;
+  req.seed = seed;
+  req.label = label;
+  return req;
+}
+
+TEST(DeviceRegistry, EnrollAssignsSequentialIdsAndPersists) {
+  const std::string dir = fresh_dir("enroll_persist");
+  std::uint64_t id_a = 0, id_b = 0;
+  {
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(101, "card-A"), &id_a).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(102, "card-B"), &id_b).is_ok());
+    EXPECT_EQ(id_a, 1u);
+    EXPECT_EQ(id_b, 2u);
+  }
+  // Reopen from disk: both devices, same ids, same metadata.
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  EXPECT_EQ(reg.device_count(), 2u);
+  const auto devices = reg.list();
+  ASSERT_EQ(devices.size(), 2u);
+  EXPECT_EQ(devices[0].id, id_a);
+  EXPECT_EQ(devices[0].nodes, 6u);
+  EXPECT_EQ(devices[0].grid, 3u);
+  EXPECT_EQ(devices[0].label, "card-A");
+  EXPECT_FALSE(devices[0].revoked);
+  EXPECT_EQ(devices[1].label, "card-B");
+  EXPECT_EQ(reg.recovery_stats().wal_records, 2u);
+}
+
+TEST(DeviceRegistry, StoredModelMatchesFabricatedSilicon) {
+  // The enrolled model must be byte-faithful: predictions from the
+  // registry's copy equal predictions from a model derived directly from
+  // the same fabrication seed.
+  const std::string dir = fresh_dir("model_fidelity");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t id = 0;
+  ASSERT_TRUE(reg.enroll(small_request(777), &id).is_ok());
+
+  SimulationModel stored;
+  ASSERT_TRUE(reg.load_model(id, &stored).is_ok());
+
+  PpufParams params;
+  params.node_count = 6;
+  params.grid_size = 3;
+  MaxFlowPpuf fabricated(params, 777);
+  const SimulationModel direct(fabricated);
+  ASSERT_EQ(stored.layout().node_count(), direct.layout().node_count());
+  EXPECT_EQ(stored.comparator_offset(), direct.comparator_offset());
+
+  util::Rng rng(5);
+  for (int i = 0; i < 4; ++i) {
+    const Challenge c = random_challenge(direct.layout(), rng);
+    const auto p_stored = stored.predict(c);
+    const auto p_direct = direct.predict(c);
+    ASSERT_TRUE(p_stored.ok());
+    EXPECT_EQ(p_stored.bit, p_direct.bit);
+    EXPECT_EQ(p_stored.flow_a, p_direct.flow_a);
+    EXPECT_EQ(p_stored.flow_b, p_direct.flow_b);
+  }
+}
+
+TEST(DeviceRegistry, RevokeIsTypedIdempotentAndPersistent) {
+  const std::string dir = fresh_dir("revoke");
+  std::uint64_t id = 0;
+  {
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(1), &id).is_ok());
+    EXPECT_EQ(reg.revoke(99).code(), StatusCode::kNotFound);
+    ASSERT_TRUE(reg.revoke(id).is_ok());
+    ASSERT_TRUE(reg.revoke(id).is_ok());  // idempotent
+    EXPECT_TRUE(reg.contains(id));
+    EXPECT_FALSE(reg.active(id));
+  }
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  EXPECT_FALSE(reg.active(id));
+  // Revocation is a serving policy: the published model still loads.
+  SimulationModel model;
+  EXPECT_TRUE(reg.load_model(id, &model).is_ok());
+  // Ids are never reused, even after revocation.
+  std::uint64_t next = 0;
+  ASSERT_TRUE(reg.enroll(small_request(2), &next).is_ok());
+  EXPECT_EQ(next, id + 1);
+}
+
+TEST(DeviceRegistry, TornTailWriteIsTruncatedAndCommittedStateSurvives) {
+  // Kill the process (simulated) at several points inside the appended
+  // record: every prefix length must recover to "device 1 intact, the
+  // torn enrollment gone", and re-enrollment must reuse nothing.
+  for (const int torn_bytes : {0, 1, 7, 12, 40, 200}) {
+    const std::string dir =
+        fresh_dir("torn_" + std::to_string(torn_bytes));
+    std::uint64_t id1 = 0;
+    {
+      DeviceRegistry reg;
+      ASSERT_TRUE(reg.open(dir).is_ok());
+      ASSERT_TRUE(reg.enroll(small_request(11), &id1).is_ok());
+      testing::FaultSpec spec;
+      spec.registry_torn_write_bytes = torn_bytes;
+      const testing::ScopedFaultInjection fault(spec);
+      std::uint64_t id2 = 0;
+      const Status s = reg.enroll(small_request(12), &id2);
+      ASSERT_FALSE(s.is_ok()) << "torn write must surface as an error";
+    }
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok()) << "torn_bytes=" << torn_bytes;
+    const auto rs = reg.recovery_stats();
+    EXPECT_EQ(rs.truncated_tail_bytes, static_cast<std::size_t>(torn_bytes))
+        << "torn_bytes=" << torn_bytes;
+    EXPECT_EQ(reg.device_count(), 1u);
+    EXPECT_TRUE(reg.active(id1));
+    SimulationModel model;
+    EXPECT_TRUE(reg.load_model(id1, &model).is_ok());
+    // The torn enrollment never committed, so its id is free to assign.
+    std::uint64_t id2 = 0;
+    ASSERT_TRUE(reg.enroll(small_request(12), &id2).is_ok());
+    EXPECT_EQ(id2, id1 + 1);
+  }
+}
+
+TEST(DeviceRegistry, CorruptWalRecordIsTypedErrorNotSilentLoss) {
+  const std::string dir = fresh_dir("corrupt_wal");
+  {
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    std::uint64_t id = 0;
+    ASSERT_TRUE(reg.enroll(small_request(21), &id).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(22), &id).is_ok());
+  }
+  // Flip one byte in the middle of the FIRST record: a complete record
+  // that fails its CRC is corruption, not a torn tail.
+  const std::string wal = dir + "/wal.log";
+  std::fstream f(wal, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  f.seekp(40);
+  char byte = 0;
+  f.seekg(40);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x20);
+  f.seekp(40);
+  f.write(&byte, 1);
+  f.close();
+
+  DeviceRegistry reg;
+  const Status s = reg.open(dir);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(reg.is_open());
+}
+
+TEST(DeviceRegistry, CorruptSnapshotIsTypedError) {
+  const std::string dir = fresh_dir("corrupt_snapshot");
+  {
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    std::uint64_t id = 0;
+    ASSERT_TRUE(reg.enroll(small_request(31), &id).is_ok());
+    ASSERT_TRUE(reg.compact().is_ok());
+  }
+  const std::string snap = dir + "/snapshot.bin";
+  ASSERT_TRUE(fs::exists(snap));
+  std::fstream f(snap, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open());
+  char byte = 0;
+  f.seekg(30);
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x5a);
+  f.seekp(30);
+  f.write(&byte, 1);
+  f.close();
+
+  DeviceRegistry reg;
+  EXPECT_EQ(reg.open(dir).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DeviceRegistry, CompactionFoldsWalAndPreservesState) {
+  const std::string dir = fresh_dir("compact");
+  std::uint64_t id1 = 0, id2 = 0, id3 = 0;
+  {
+    DeviceRegistry reg;
+    ASSERT_TRUE(reg.open(dir).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(41, "a"), &id1).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(42, "b"), &id2).is_ok());
+    ASSERT_TRUE(reg.enroll(small_request(43, "c"), &id3).is_ok());
+    ASSERT_TRUE(reg.revoke(id2).is_ok());
+    ASSERT_TRUE(reg.compact().is_ok());
+  }
+  EXPECT_EQ(fs::file_size(dir + "/wal.log"), 0u);
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  const auto rs = reg.recovery_stats();
+  EXPECT_EQ(rs.snapshot_entries, 3u);
+  EXPECT_EQ(rs.wal_records, 0u);
+  EXPECT_EQ(reg.device_count(), 3u);
+  EXPECT_TRUE(reg.active(id1));
+  EXPECT_FALSE(reg.active(id2));
+  EXPECT_TRUE(reg.active(id3));
+  // next_id survives the fold: no id reuse after compaction.
+  std::uint64_t id4 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(44), &id4).is_ok());
+  EXPECT_EQ(id4, id3 + 1);
+}
+
+TEST(DeviceRegistry, AutoCompactionBoundsTheWal) {
+  const std::string dir = fresh_dir("auto_compact");
+  DeviceRegistry::Options options;
+  options.auto_compact_records = 2;
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir, options).is_ok());
+  std::uint64_t id = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed)
+    ASSERT_TRUE(reg.enroll(small_request(seed), &id).is_ok());
+  // Five appends with a two-record bound: the WAL can hold at most one
+  // yet-unfolded record, the rest live in the snapshot.
+  ASSERT_TRUE(fs::exists(dir + "/snapshot.bin"));
+  const auto model_size = fs::file_size(dir + "/snapshot.bin");
+  EXPECT_LT(fs::file_size(dir + "/wal.log"), model_size);
+
+  DeviceRegistry reopened;
+  ASSERT_TRUE(reopened.open(dir).is_ok());
+  EXPECT_EQ(reopened.device_count(), 5u);
+}
+
+// ---------------------------------------------------------- hydration cache
+
+TEST(HydrationCache, HitMissEvictionAndUnknown) {
+  const std::string dir = fresh_dir("hydration_lru");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t ids[3] = {};
+  for (int i = 0; i < 3; ++i)
+    ASSERT_TRUE(reg.enroll(small_request(60 + i), &ids[i]).is_ok());
+
+  HydrationCache::Options options;
+  options.max_entries = 2;
+  HydrationCache cache(reg, options);
+
+  std::shared_ptr<const registry::HydratedDevice> dev;
+  EXPECT_EQ(cache.get(999, &dev).code(), StatusCode::kNotFound);
+
+  ASSERT_TRUE(cache.get(ids[0], &dev).is_ok());  // cold load
+  EXPECT_EQ(dev->id, ids[0]);
+  EXPECT_EQ(dev->model.layout().node_count(), 6u);
+  ASSERT_TRUE(cache.get(ids[0], &dev).is_ok());  // hit
+  ASSERT_TRUE(cache.get(ids[1], &dev).is_ok());  // cold load
+  ASSERT_TRUE(cache.get(ids[2], &dev).is_ok());  // cold load -> evicts [0]
+  const HydrationCache::Stats s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.entries, 2u);
+
+  // The evicted device hydrates again on demand.
+  ASSERT_TRUE(cache.get(ids[0], &dev).is_ok());
+  EXPECT_EQ(cache.stats().misses, 4u);
+}
+
+TEST(HydrationCache, RevocationEvictsCachedDevice) {
+  const std::string dir = fresh_dir("hydration_revoke");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t id = 0;
+  ASSERT_TRUE(reg.enroll(small_request(70), &id).is_ok());
+
+  HydrationCache cache(reg, {});
+  std::shared_ptr<const registry::HydratedDevice> dev;
+  ASSERT_TRUE(cache.get(id, &dev).is_ok());
+  // A holder keeps its materialised instance alive across revocation...
+  ASSERT_TRUE(reg.revoke(id).is_ok());
+  EXPECT_EQ(dev->id, id);
+  // ...but no new request may resolve the device.
+  std::shared_ptr<const registry::HydratedDevice> dev2;
+  EXPECT_EQ(cache.get(id, &dev2).code(), StatusCode::kNotFound);
+  EXPECT_EQ(cache.stats().entries, 0u);  // evicted on the refused get
+}
+
+TEST(HydrationCache, SingleFlightLoadsOnceUnderConcurrency) {
+  const std::string dir = fresh_dir("hydration_single_flight");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t id = 0;
+  ASSERT_TRUE(reg.enroll(small_request(80), &id).is_ok());
+
+  HydrationCache cache(reg, {});
+  constexpr int kThreads = 8;
+  std::atomic<int> ok{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      std::shared_ptr<const registry::HydratedDevice> dev;
+      if (cache.get(id, &dev).is_ok() && dev->id == id)
+        ok.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(ok.load(), kThreads);
+  const HydrationCache::Stats s = cache.stats();
+  // Single-flight: exactly one cold load ever happens; every other
+  // request either joined that load or hit the cache afterwards.
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits + s.single_flight_waits,
+            static_cast<std::uint64_t>(kThreads) - 1);
+  EXPECT_EQ(s.entries, 1u);
+}
+
+}  // namespace
+}  // namespace ppuf

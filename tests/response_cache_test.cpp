@@ -34,9 +34,9 @@ TEST(ResponseCache, RoundTripAndCounters) {
   const Challenge c = make_challenge(0, 5, 16, 0b1011);
   const circuit::Environment env = circuit::Environment::nominal();
 
-  EXPECT_FALSE(cache.lookup(c, env).has_value());
-  cache.insert(c, env, {1, 3.5e-7, 3.1e-7});
-  const auto hit = cache.lookup(c, env);
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, c, env).has_value());
+  cache.insert(kSingleDeviceId, c, env, {1, 3.5e-7, 3.1e-7});
+  const auto hit = cache.lookup(kSingleDeviceId, c, env);
   ASSERT_TRUE(hit.has_value());
   EXPECT_EQ(hit->bit, 1);
   EXPECT_EQ(hit->flow_a, 3.5e-7);
@@ -58,10 +58,10 @@ TEST(ResponseCache, DistinctChallengesAreDistinctKeys) {
   Challenge ends = a;
   ends.sink = 6;           // same bits, different type-A part
 
-  cache.insert(a, env, {0, 1.0, 2.0});
-  EXPECT_FALSE(cache.lookup(b, env).has_value());
-  EXPECT_FALSE(cache.lookup(ends, env).has_value());
-  ASSERT_TRUE(cache.lookup(a, env).has_value());
+  cache.insert(kSingleDeviceId, a, env, {0, 1.0, 2.0});
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, b, env).has_value());
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, ends, env).has_value());
+  ASSERT_TRUE(cache.lookup(kSingleDeviceId, a, env).has_value());
 }
 
 TEST(ResponseCache, EnvironmentChangesAreNeverServedStaleEntries) {
@@ -73,18 +73,77 @@ TEST(ResponseCache, EnvironmentChangesAreNeverServedStaleEntries) {
   circuit::Environment sagged;
   sagged.vdd_scale = 0.9;
 
-  cache.insert(c, nominal, {1, 5.0e-7, 4.0e-7});
+  cache.insert(kSingleDeviceId, c, nominal, {1, 5.0e-7, 4.0e-7});
   // Temperature or supply moved: the nominal entry must not answer.
-  EXPECT_FALSE(cache.lookup(c, hot).has_value());
-  EXPECT_FALSE(cache.lookup(c, sagged).has_value());
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, c, hot).has_value());
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, c, sagged).has_value());
 
   // Each environment holds its own (possibly flipped) response.
-  cache.insert(c, hot, {0, 4.2e-7, 4.4e-7});
-  cache.insert(c, sagged, {1, 4.6e-7, 3.9e-7});
-  EXPECT_EQ(cache.lookup(c, nominal)->bit, 1);
-  EXPECT_EQ(cache.lookup(c, hot)->bit, 0);
-  EXPECT_EQ(cache.lookup(c, sagged)->bit, 1);
+  cache.insert(kSingleDeviceId, c, hot, {0, 4.2e-7, 4.4e-7});
+  cache.insert(kSingleDeviceId, c, sagged, {1, 4.6e-7, 3.9e-7});
+  EXPECT_EQ(cache.lookup(kSingleDeviceId, c, nominal)->bit, 1);
+  EXPECT_EQ(cache.lookup(kSingleDeviceId, c, hot)->bit, 0);
+  EXPECT_EQ(cache.lookup(kSingleDeviceId, c, sagged)->bit, 1);
   EXPECT_EQ(cache.stats().entries, 3u);
+}
+
+// Regression for the multi-tenant server: two enrolled devices can receive
+// the same challenge in the same environment, and their responses differ —
+// the key must carry the device identity or one device's cached bit
+// answers for the other.
+TEST(ResponseCache, DistinctDevicesNeverShareEntries) {
+  ResponseCache cache(1024 * 1024);
+  const circuit::Environment env = circuit::Environment::nominal();
+  const Challenge c = make_challenge(0, 5, 16, 0b1011);
+  constexpr std::uint64_t kDeviceA = 1, kDeviceB = 2;
+
+  cache.insert(kDeviceA, c, env, {1, 5.0e-7, 4.0e-7});
+  // Device B asking the same challenge must MISS, not read A's bit.
+  EXPECT_FALSE(cache.lookup(kDeviceB, c, env).has_value());
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, c, env).has_value());
+
+  cache.insert(kDeviceB, c, env, {0, 4.0e-7, 5.0e-7});
+  ASSERT_TRUE(cache.lookup(kDeviceA, c, env).has_value());
+  ASSERT_TRUE(cache.lookup(kDeviceB, c, env).has_value());
+  EXPECT_EQ(cache.lookup(kDeviceA, c, env)->bit, 1);
+  EXPECT_EQ(cache.lookup(kDeviceB, c, env)->bit, 0);
+  EXPECT_EQ(cache.stats().entries, 2u);
+}
+
+TEST(ResponseCache, PredictBatchPartitionsByDeviceId) {
+  // The batch path stamps PredictBatchOptions::cache_device_id into every
+  // key: two models sharing one cache under different ids never cross.
+  PpufParams params;
+  params.node_count = 6;
+  params.grid_size = 3;
+  MaxFlowPpuf puf_a(params, 77);
+  MaxFlowPpuf puf_b(params, 78);
+  SimulationModel model_a(puf_a);
+  SimulationModel model_b(puf_b);
+
+  util::Rng rng(3);
+  std::vector<Challenge> batch;
+  for (int i = 0; i < 8; ++i)
+    batch.push_back(random_challenge(model_a.layout(), rng));
+
+  ResponseCache cache(4 * 1024 * 1024);
+  SimulationModel::PredictBatchOptions opts_a;
+  opts_a.cache = &cache;
+  opts_a.cache_device_id = 1;
+  SimulationModel::PredictBatchOptions opts_b = opts_a;
+  opts_b.cache_device_id = 2;
+
+  (void)model_a.predict_batch(batch, opts_a);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // Same challenges under device B's id: all misses, fresh entries.
+  (void)model_b.predict_batch(batch, opts_b);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().entries, 2 * batch.size());
+  // Each device now hits only its own partition.
+  (void)model_a.predict_batch(batch, opts_a);
+  (void)model_b.predict_batch(batch, opts_b);
+  EXPECT_EQ(cache.stats().hits, 2 * batch.size());
+  EXPECT_EQ(cache.stats().misses, 2 * batch.size());
 }
 
 TEST(ResponseCache, PredictBatchDoesNotReuseAcrossEnvironments) {
@@ -138,18 +197,18 @@ TEST(ResponseCache, LruEvictionRespectsByteBudgetAndRecency) {
   };
 
   for (std::uint64_t n = 0; n < 6; ++n)
-    cache.insert(nth(n), env, {0, static_cast<double>(n), 0.0});
+    cache.insert(kSingleDeviceId, nth(n), env, {0, static_cast<double>(n), 0.0});
   EXPECT_EQ(cache.stats().entries, 6u);
   EXPECT_EQ(cache.stats().evictions, 0u);
 
   // Touch entry 0 so entry 1 is now least recently used, then overflow.
-  ASSERT_TRUE(cache.lookup(nth(0), env).has_value());
-  cache.insert(nth(6), env, {0, 6.0, 0.0});
+  ASSERT_TRUE(cache.lookup(kSingleDeviceId, nth(0), env).has_value());
+  cache.insert(kSingleDeviceId, nth(6), env, {0, 6.0, 0.0});
   EXPECT_EQ(cache.stats().entries, 6u);
   EXPECT_EQ(cache.stats().evictions, 1u);
-  EXPECT_TRUE(cache.lookup(nth(0), env).has_value());   // refreshed: kept
-  EXPECT_FALSE(cache.lookup(nth(1), env).has_value());  // LRU: evicted
-  EXPECT_TRUE(cache.lookup(nth(6), env).has_value());   // newest: kept
+  EXPECT_TRUE(cache.lookup(kSingleDeviceId, nth(0), env).has_value());   // refreshed: kept
+  EXPECT_FALSE(cache.lookup(kSingleDeviceId, nth(1), env).has_value());  // LRU: evicted
+  EXPECT_TRUE(cache.lookup(kSingleDeviceId, nth(6), env).has_value());   // newest: kept
 }
 
 // Regression: clear() used to drop the entries but keep hits / misses /
@@ -165,10 +224,10 @@ TEST(ResponseCache, ClearResetsCountersAlongWithEntries) {
   // Generate traffic in every counter: misses, hits and (by overflowing
   // the 6-entry budget) evictions.
   for (std::uint64_t n = 0; n < 8; ++n) {
-    (void)cache.lookup(nth(n), env);  // miss
-    cache.insert(nth(n), env, {0, static_cast<double>(n), 0.0});
+    (void)cache.lookup(kSingleDeviceId, nth(n), env);  // miss
+    cache.insert(kSingleDeviceId, nth(n), env, {0, static_cast<double>(n), 0.0});
   }
-  (void)cache.lookup(nth(7), env);  // hit
+  (void)cache.lookup(kSingleDeviceId, nth(7), env);  // hit
   const ResponseCacheStats before = cache.stats();
   ASSERT_GT(before.hits, 0u);
   ASSERT_GT(before.misses, 0u);
@@ -184,9 +243,9 @@ TEST(ResponseCache, ClearResetsCountersAlongWithEntries) {
   EXPECT_EQ(s.hit_rate(), 0.0);
 
   // Post-clear traffic counts from zero.
-  (void)cache.lookup(nth(0), env);
-  cache.insert(nth(0), env, {1, 0.5, 0.25});
-  (void)cache.lookup(nth(0), env);
+  (void)cache.lookup(kSingleDeviceId, nth(0), env);
+  cache.insert(kSingleDeviceId, nth(0), env, {1, 0.5, 0.25});
+  (void)cache.lookup(kSingleDeviceId, nth(0), env);
   const ResponseCacheStats fresh = cache.stats();
   EXPECT_EQ(fresh.hits, 1u);
   EXPECT_EQ(fresh.misses, 1u);
@@ -198,9 +257,9 @@ TEST(ResponseCache, PublishMetricsMirrorsStatsAndShardOccupancy) {
   const circuit::Environment env = circuit::Environment::nominal();
   for (std::uint64_t n = 0; n < 32; ++n) {
     const Challenge c = make_challenge(0, 3, 16, n);
-    (void)cache.lookup(c, env);
-    cache.insert(c, env, {0, static_cast<double>(n), 0.0});
-    (void)cache.lookup(c, env);
+    (void)cache.lookup(kSingleDeviceId, c, env);
+    cache.insert(kSingleDeviceId, c, env, {0, static_cast<double>(n), 0.0});
+    (void)cache.lookup(kSingleDeviceId, c, env);
   }
 
   obs::MetricsRegistry reg(/*enabled=*/true);
@@ -242,9 +301,9 @@ TEST(ResponseCache, ConcurrentMixedWorkloadStaysConsistent) {
     threads.emplace_back([&cache, &env, t] {
       for (std::uint64_t n = 0; n < kKeys; ++n) {
         const Challenge c = make_challenge(0, 2, 24, n);
-        cache.insert(c, env, {static_cast<int>(n & 1),
+        cache.insert(kSingleDeviceId, c, env, {static_cast<int>(n & 1),
                               static_cast<double>(n), static_cast<double>(t)});
-        const auto hit = cache.lookup(c, env);
+        const auto hit = cache.lookup(kSingleDeviceId, c, env);
         ASSERT_TRUE(hit.has_value());
         // flow_a identifies the key; every writer agrees on it.
         ASSERT_EQ(hit->flow_a, static_cast<double>(n));

@@ -12,12 +12,16 @@
 
 #include <cstdint>
 #include <functional>
+#include <iterator>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "net/wire.hpp"
+#include "ppuf/ppuf.hpp"
 #include "protocol/codec.hpp"
+#include "registry/record.hpp"
+#include "util/crc32.hpp"
 #include "util/status.hpp"
 
 namespace ppuf {
@@ -98,7 +102,8 @@ TEST(Codec, StatusRoundTripAllCodes) {
   for (const StatusCode code :
        {StatusCode::kOk, StatusCode::kCancelled,
         StatusCode::kDeadlineExceeded, StatusCode::kInvalidArgument,
-        StatusCode::kInternal, StatusCode::kUnavailable}) {
+        StatusCode::kInternal, StatusCode::kUnavailable,
+        StatusCode::kNotFound}) {
     const Status in(code, code == StatusCode::kOk ? "" : "reason text");
     Writer w;
     protocol::codec::encode_status(w, in);
@@ -252,8 +257,8 @@ TEST(CodecFiles, TruncatedFileIsTypedError) {
 
 TEST(Wire, FrameRoundTrip) {
   const std::vector<std::uint8_t> payload = net::encode_ping_request(17);
-  const std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kPingRequest, 42, 250, payload);
+  const std::vector<std::uint8_t> bytes = net::encode_frame(
+      MessageType::kPingRequest, 42, 5, 250, payload);
   ASSERT_EQ(bytes.size(), net::kHeaderSize + payload.size());
   Frame f;
   std::size_t consumed = 0;
@@ -262,6 +267,7 @@ TEST(Wire, FrameRoundTrip) {
   EXPECT_EQ(consumed, bytes.size());
   EXPECT_EQ(f.type, MessageType::kPingRequest);
   EXPECT_EQ(f.request_id, 42u);
+  EXPECT_EQ(f.device_id, 5u);
   EXPECT_EQ(f.budget_ms, 250u);
   EXPECT_EQ(f.payload, payload);
   std::uint32_t delay = 0;
@@ -269,9 +275,26 @@ TEST(Wire, FrameRoundTrip) {
   EXPECT_EQ(delay, 17u);
 }
 
+TEST(Wire, DeviceIdRoundTripsAtFullWidth) {
+  // The device id is a full u64 header field: the registry never reuses
+  // ids, so a long-lived deployment can reach arbitrary values.
+  for (const std::uint64_t id :
+       {std::uint64_t{0}, std::uint64_t{1},
+        std::uint64_t{0xffffffffull} + 1, ~std::uint64_t{0}}) {
+    const std::vector<std::uint8_t> bytes =
+        net::encode_frame(MessageType::kChallengeRequest, 1, id, 0,
+                          net::encode_challenge_request());
+    Frame f;
+    std::size_t consumed = 0;
+    ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
+              DecodeResult::kOk);
+    EXPECT_EQ(f.device_id, id);
+  }
+}
+
 TEST(Wire, EmptyPayloadFrame) {
   const std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kPingReply, 7, 0, {});
+      net::encode_frame(MessageType::kPingReply, 7, 0, 0, {});
   Frame f;
   std::size_t consumed = 0;
   ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
@@ -282,10 +305,10 @@ TEST(Wire, EmptyPayloadFrame) {
 
 TEST(Wire, TwoFramesDecodeSequentially) {
   std::vector<std::uint8_t> stream =
-      net::encode_frame(MessageType::kPingRequest, 1, 0,
+      net::encode_frame(MessageType::kPingRequest, 1, 0, 0,
                         net::encode_ping_request(0));
   const std::vector<std::uint8_t> second =
-      net::encode_frame(MessageType::kChallengeRequest, 2, 0,
+      net::encode_frame(MessageType::kChallengeRequest, 2, 3, 0,
                         net::encode_challenge_request());
   stream.insert(stream.end(), second.begin(), second.end());
 
@@ -299,12 +322,13 @@ TEST(Wire, TwoFramesDecodeSequentially) {
                               stream.size() - first_len, &f, &consumed),
             DecodeResult::kOk);
   EXPECT_EQ(f.request_id, 2u);
+  EXPECT_EQ(f.device_id, 3u);
   EXPECT_EQ(first_len + consumed, stream.size());
 }
 
 TEST(Wire, BadMagicIsMalformed) {
   std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
+      net::encode_frame(MessageType::kPingRequest, 1, 0, 0, {});
   bytes[0] ^= 0xff;
   Frame f;
   std::size_t consumed = 0;
@@ -314,7 +338,7 @@ TEST(Wire, BadMagicIsMalformed) {
 
 TEST(Wire, UnknownVersionIsMalformed) {
   std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
+      net::encode_frame(MessageType::kPingRequest, 1, 0, 0, {});
   bytes[4] = 0x7f;  // version low byte
   Frame f;
   std::size_t consumed = 0;
@@ -324,12 +348,12 @@ TEST(Wire, UnknownVersionIsMalformed) {
 
 TEST(Wire, OversizedPayloadLengthIsMalformed) {
   std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kPingRequest, 1, 0, {});
-  // payload_len field: header bytes 20..23, little-endian.
-  bytes[20] = 0xff;
-  bytes[21] = 0xff;
-  bytes[22] = 0xff;
-  bytes[23] = 0x7f;
+      net::encode_frame(MessageType::kPingRequest, 1, 0, 0, {});
+  // payload_len field: header bytes 28..31, little-endian.
+  bytes[28] = 0xff;
+  bytes[29] = 0xff;
+  bytes[30] = 0xff;
+  bytes[31] = 0x7f;
   Frame f;
   std::size_t consumed = 0;
   EXPECT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
@@ -393,7 +417,7 @@ TEST(Wire, OversizedPayloadBecomesTypedErrorFrame) {
   // replaced by a typed kInternal error carrying the same request id.
   const std::vector<std::uint8_t> huge(net::kMaxPayload + 1, 0xab);
   const std::vector<std::uint8_t> bytes =
-      net::encode_frame(MessageType::kVerifyBatchReply, 42, 7, huge);
+      net::encode_frame(MessageType::kVerifyBatchReply, 42, 0, 7, huge);
   Frame f;
   std::size_t consumed = 0;
   ASSERT_EQ(net::decode_frame(bytes.data(), bytes.size(), &f, &consumed),
@@ -425,6 +449,8 @@ TEST(Wire, VerifyBatchEncoderClampsMismatchedLengths) {
 
 TEST(Wire, WireCodeMapping) {
   using util::StatusCode;
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kUnknownDevice, "x").code(),
+            StatusCode::kNotFound);
   EXPECT_EQ(net::wire_code_to_status(WireCode::kOverloaded, "x").code(),
             StatusCode::kUnavailable);
   EXPECT_EQ(net::wire_code_to_status(WireCode::kShuttingDown, "x").code(),
@@ -502,8 +528,99 @@ std::vector<PayloadCase> payload_cases() {
   return cases;
 }
 
+// Registry persistence bodies ride the same fuzz harness as wire
+// payloads: a registry file is exactly as attacker-reachable as a socket.
+
+SimulationModel sample_model() {
+  PpufParams params;
+  params.node_count = 6;
+  params.grid_size = 3;
+  MaxFlowPpuf puf(params, 99);
+  return SimulationModel(puf);
+}
+
+registry::DeviceEntry sample_entry() {
+  registry::DeviceEntry e;
+  e.id = 11;
+  e.nodes = 6;
+  e.grid = 3;
+  e.label = "card-A";
+  Writer w;
+  protocol::codec::encode_sim_model(w, sample_model());
+  e.model_bytes = w.bytes();
+  return e;
+}
+
+std::vector<PayloadCase> registry_payload_cases() {
+  std::vector<PayloadCase> cases;
+  {
+    Writer w;
+    protocol::codec::encode_sim_model(w, sample_model());
+    cases.push_back({"sim_model", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       SimulationModel m;
+                       Status s = protocol::codec::decode_sim_model(r, &m);
+                       if (s.is_ok() && !r.exhausted())
+                         s = Status::invalid_argument("trailing bytes");
+                       return s;
+                     }});
+  }
+  {
+    Writer w;
+    registry::encode_device_entry(w, sample_entry());
+    cases.push_back({"device_entry", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       registry::DeviceEntry e;
+                       Status s = registry::decode_device_entry(r, &e);
+                       if (s.is_ok() && !r.exhausted())
+                         s = Status::invalid_argument("trailing bytes");
+                       return s;
+                     }});
+  }
+  {
+    registry::WalRecord rec;
+    rec.type = registry::WalRecord::Type::kEnroll;
+    rec.entry = sample_entry();
+    Writer w;
+    registry::encode_wal_record(w, rec);
+    cases.push_back({"wal_record", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       registry::WalRecord out;
+                       return registry::decode_wal_record(r, &out);
+                     }});
+  }
+  {
+    registry::SnapshotBody snap;
+    snap.next_id = 12;
+    snap.entries = {sample_entry()};
+    Writer w;
+    registry::encode_snapshot_body(w, snap);
+    cases.push_back({"snapshot_body", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       registry::SnapshotBody out;
+                       Status s = registry::decode_snapshot_body(r, &out);
+                       if (s.is_ok() && !r.exhausted())
+                         s = Status::invalid_argument("trailing bytes");
+                       return s;
+                     }});
+  }
+  return cases;
+}
+
+std::vector<PayloadCase> all_payload_cases() {
+  std::vector<PayloadCase> cases = payload_cases();
+  std::vector<PayloadCase> reg = registry_payload_cases();
+  cases.insert(cases.end(), std::make_move_iterator(reg.begin()),
+               std::make_move_iterator(reg.end()));
+  return cases;
+}
+
 TEST(WireFuzz, TruncationAtEveryOffsetIsTypedError) {
-  for (const PayloadCase& pc : payload_cases()) {
+  for (const PayloadCase& pc : all_payload_cases()) {
     ASSERT_FALSE(pc.valid.empty()) << pc.name;
     // Sanity: the untruncated payload decodes.
     ASSERT_TRUE(pc.decode(pc.valid).is_ok()) << pc.name;
@@ -523,7 +640,7 @@ TEST(WireFuzz, TruncationAtEveryOffsetIsTypedError) {
 }
 
 TEST(WireFuzz, BitFlipAtEveryOffsetNeverCrashes) {
-  for (const PayloadCase& pc : payload_cases()) {
+  for (const PayloadCase& pc : all_payload_cases()) {
     // All 8 flips per byte for small messages; one rotating flip per byte
     // for large ones (keeps the ASan run fast without losing coverage of
     // every offset).
@@ -547,7 +664,7 @@ TEST(WireFuzz, BitFlipAtEveryOffsetNeverCrashes) {
 
 TEST(WireFuzz, FrameTruncationNeedsMoreAtEveryOffset) {
   const std::vector<std::uint8_t> frame = net::encode_frame(
-      MessageType::kVerifyRequest, 9,  125,
+      MessageType::kVerifyRequest, 9, 2, 125,
       net::encode_verify_request(sample_challenge(), sample_report()));
   for (std::size_t len = 0; len < frame.size(); ++len) {
     Frame f;
@@ -560,7 +677,7 @@ TEST(WireFuzz, FrameTruncationNeedsMoreAtEveryOffset) {
 
 TEST(WireFuzz, FrameBitFlipNeverCrashesOrOverconsumes) {
   const std::vector<std::uint8_t> frame = net::encode_frame(
-      MessageType::kChainedAuthRequest, 1234, 0, [] {
+      MessageType::kChainedAuthRequest, 1234, 77, 0, [] {
         net::ChainedAuthRequest r;
         r.grant = sample_grant();
         r.report = sample_chained_report();
@@ -583,6 +700,108 @@ TEST(WireFuzz, FrameBitFlipNeverCrashesOrOverconsumes) {
       }
     }
   }
+}
+
+// ------------------------------------------------------ registry record frames
+
+TEST(RegistryFuzz, RecordTruncationAtEveryOffsetIsNeedMore) {
+  registry::WalRecord rec;
+  rec.entry = sample_entry();
+  const std::vector<std::uint8_t> frame = registry::frame_record(rec);
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    std::size_t consumed = 1;
+    std::vector<std::uint8_t> body;
+    std::string error;
+    // Every strict prefix is indistinguishable from a torn tail write:
+    // recovery must see kNeedMore (truncate at EOF), never kCorrupt.
+    EXPECT_EQ(registry::extract_record(frame.data(), len, &consumed, &body,
+                                       &error),
+              registry::ExtractStatus::kNeedMore)
+        << "prefix " << len;
+    EXPECT_EQ(consumed, 0u);
+  }
+  std::size_t consumed = 0;
+  std::vector<std::uint8_t> body;
+  std::string error;
+  ASSERT_EQ(registry::extract_record(frame.data(), frame.size(), &consumed,
+                                     &body, &error),
+            registry::ExtractStatus::kOk);
+  EXPECT_EQ(consumed, frame.size());
+  Reader r(body.data(), body.size());
+  registry::WalRecord out;
+  ASSERT_TRUE(registry::decode_wal_record(r, &out).is_ok());
+  EXPECT_EQ(out.entry.id, rec.entry.id);
+}
+
+TEST(RegistryFuzz, RecordBitFlipAtEveryByteIsDetected) {
+  registry::WalRecord rec;
+  rec.entry = sample_entry();
+  const std::vector<std::uint8_t> frame = registry::frame_record(rec);
+  for (std::size_t off = 0; off < frame.size(); ++off) {
+    std::vector<std::uint8_t> mutated = frame;
+    mutated[off] ^= static_cast<std::uint8_t>(1u << (off % 8));
+    std::size_t consumed = 0;
+    std::vector<std::uint8_t> body;
+    std::string error;
+    const registry::ExtractStatus s = registry::extract_record(
+        mutated.data(), mutated.size(), &consumed, &body, &error);
+    // A flipped body byte fails the CRC; a flipped header byte fails the
+    // magic or yields a length that no longer fits (kNeedMore).  A flip
+    // can never extract a record with the original content.
+    EXPECT_NE(s, registry::ExtractStatus::kOk) << "offset " << off;
+  }
+}
+
+TEST(RegistryFuzz, SnapshotBitFlipAtEveryByteIsTypedError) {
+  registry::SnapshotBody snap;
+  snap.next_id = 42;
+  snap.entries = {sample_entry()};
+  const std::vector<std::uint8_t> image = registry::frame_snapshot(snap);
+  {
+    registry::SnapshotBody out;
+    ASSERT_TRUE(
+        registry::parse_snapshot(image.data(), image.size(), &out).is_ok());
+    EXPECT_EQ(out.next_id, 42u);
+  }
+  for (std::size_t len = 0; len < image.size(); ++len) {
+    registry::SnapshotBody out;
+    EXPECT_FALSE(
+        registry::parse_snapshot(image.data(), len, &out).is_ok())
+        << "prefix " << len;
+  }
+  for (std::size_t off = 0; off < image.size(); ++off) {
+    std::vector<std::uint8_t> mutated = image;
+    mutated[off] ^= static_cast<std::uint8_t>(1u << (off % 8));
+    registry::SnapshotBody out;
+    const Status s =
+        registry::parse_snapshot(mutated.data(), mutated.size(), &out);
+    // A snapshot is read whole, so every flip — header or body — must
+    // surface as the typed corruption error.
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << "offset " << off;
+  }
+}
+
+TEST(RegistryFuzz, SimModelDecodeRejectsHostileGeometry) {
+  // A forged node count must be rejected by arithmetic against the
+  // remaining bytes, not by attempting the allocation.
+  Writer w;
+  w.u32(50000);  // nodes -> ~2.5e9 edges if believed
+  w.u32(8);      // grid
+  w.f64(0.0);    // comparator offset
+  Reader r(w.bytes().data(), w.bytes().size());
+  SimulationModel m;
+  const Status s = protocol::codec::decode_sim_model(r, &m);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RegistryFuzz, Crc32cKnownAnswer) {
+  // RFC 3720 test vector for CRC-32C (Castagnoli).
+  const char* text = "123456789";
+  EXPECT_EQ(util::crc32c(text, 9), 0xE3069283u);
+  // Chaining across a split must equal the one-shot digest.
+  const std::uint32_t first = util::crc32c(text, 4);
+  EXPECT_EQ(util::crc32c(text + 4, 5, first), 0xE3069283u);
+  EXPECT_EQ(util::crc32c(nullptr, 0), 0u);
 }
 
 }  // namespace

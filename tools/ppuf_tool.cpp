@@ -18,14 +18,29 @@
 //   ppuf_tool export-spice <input-bit> <deck-file>
 //       Emit the building block (Fig. 2d) as a SPICE deck for external
 //       cross-checking against a real SPICE engine.
-//   ppuf_tool serve <model-file> [--port <p>] [--port-file <f>] ...
+//   ppuf_tool enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]
+//       Fabricate an instance and enroll its public model into the
+//       persistent device registry; prints the assigned device id.
+//   ppuf_tool registry <registry-dir> list
+//   ppuf_tool registry <registry-dir> revoke <device-id>
+//   ppuf_tool registry <registry-dir> compact
+//       Inspect and administer a device registry.
+//   ppuf_tool serve <model-file> --seed <s> [--port <p>] ...
+//   ppuf_tool serve --registry <dir> [--port <p>] ...
 //       Run the authentication service (DESIGN.md §12) on 127.0.0.1:
 //       PREDICT / VERIFY / VERIFY_BATCH / CHALLENGE / CHAINED_AUTH over
 //       the framed wire protocol.  SIGTERM/SIGINT drain gracefully.
-//   ppuf_tool auth <host:port> <nodes> <grid> <seed> [--report-file <f>]
+//       Single-device mode serves <model-file> as device id 0 and
+//       REQUIRES an explicit --seed (a silently-defaulted challenge seed
+//       means guessable challenges); registry mode serves every enrolled
+//       device by id and self-seeds from the OS entropy pool unless
+//       --seed overrides it (for reproducible tests).
+//   ppuf_tool auth <host:port> <nodes> <grid> <seed> [--device <id>]
+//                  [--report-file <f>]
 //       Authenticate against a running server as the device holder:
 //       fetch a chain grant, execute the chain on the re-fabricated
-//       "silicon", submit the chained report.
+//       "silicon", submit the chained report.  --device targets an
+//       enrolled device id on a registry-backed server.
 //
 // Global options (before the command):
 //   --threads <n>        worker threads for batch commands and serve
@@ -39,9 +54,14 @@
 //   2      no/unknown command, or bad global options
 //   3      predict aborted by its deadline (typed status)
 //   4      auth completed but the server REJECTED the proof
-//   10-18  bad arguments for a specific subcommand (usage printed to
+//   5      auth refused: the server does not know the addressed device
+//          (unknown or revoked id -> typed UNKNOWN_DEVICE reply)
+//   10-20  bad arguments for a specific subcommand (usage printed to
 //          stderr): fabricate=10 info=11 challenge=12 predict=13
 //          predict-batch=14 evaluate=15 export-spice=16 serve=17 auth=18
+//          enroll=19 registry=20.  Note serve without --registry exits 17
+//          when --seed is missing: refusing a guessable default seed is
+//          part of the usage contract.
 //
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
@@ -51,6 +71,7 @@
 #include <cstdint>
 #include <fstream>
 #include <iostream>
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
@@ -65,6 +86,7 @@
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
 #include "protocol/codec.hpp"
+#include "registry/device_registry.hpp"
 #include "server/auth_server.hpp"
 #include "util/statistics.hpp"
 #include "util/status.hpp"
@@ -108,10 +130,19 @@ constexpr CommandSpec kCommands[] = {
     {"evaluate", 15, "evaluate <nodes> <grid> <seed> <source> <sink> <bits>"},
     {"export-spice", 16, "export-spice <input-bit> <deck-file>"},
     {"serve", 17,
-     "serve <model-file> [--port <p>] [--port-file <f>]\n"
+     "serve <model-file> --seed <s> | serve --registry <dir> [--seed <s>]\n"
+     "                 [--port <p>] [--port-file <f>]\n"
      "                 [--max-inflight <n>] [--deadline-s <sec>]\n"
-     "                 [--chain-k <k>] [--spot-checks <s>] [--seed <s>]"},
-    {"auth", 18, "auth <host:port> <nodes> <grid> <seed> [--report-file <f>]"},
+     "                 [--chain-k <k>] [--spot-checks <s>]\n"
+     "                 [--cache-entries <n>]\n"
+     "       (single-device mode refuses to run without an explicit\n"
+     "        --seed: a guessable challenge seed breaks the protocol)"},
+    {"auth", 18,
+     "auth <host:port> <nodes> <grid> <seed> [--device <id>]\n"
+     "                 [--report-file <f>]"},
+    {"enroll", 19,
+     "enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]"},
+    {"registry", 20, "registry <registry-dir> list|compact|revoke <id>"},
 };
 
 int usage() {
@@ -378,6 +409,74 @@ int cmd_export_spice(const std::vector<std::string>& args) {
   return 0;
 }
 
+// --- enroll / registry -----------------------------------------------------
+
+int cmd_enroll(const std::vector<std::string>& args) {
+  if (args.size() < 4) return usage_for("enroll");
+  registry::EnrollRequest req;
+  req.node_count = static_cast<std::size_t>(parse_number("enroll", args[1]));
+  req.grid_size = static_cast<std::size_t>(parse_number("enroll", args[2]));
+  req.seed = parse_number("enroll", args[3]);
+  for (std::size_t i = 4; i < args.size(); i += 2) {
+    if (args[i] == "--label" && i + 1 < args.size())
+      req.label = args[i + 1];
+    else
+      return usage_for("enroll");
+  }
+  registry::DeviceRegistry registry;
+  if (util::Status s = registry.open(args[0]); !s.is_ok())
+    throw std::runtime_error("cannot open registry: " + s.to_string());
+  std::uint64_t id = 0;
+  if (util::Status s = registry.enroll(req, &id); !s.is_ok())
+    throw std::runtime_error("enroll failed: " + s.to_string());
+  std::cout << "enrolled device " << id << " (" << req.node_count
+            << " nodes, grid " << req.grid_size << ", seed " << req.seed
+            << (req.label.empty() ? "" : ", label \"" + req.label + "\"")
+            << ") into " << args[0] << "\n";
+  return 0;
+}
+
+int cmd_registry(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage_for("registry");
+  const std::string& verb = args[1];
+  registry::DeviceRegistry registry;
+  if (util::Status s = registry.open(args[0]); !s.is_ok())
+    throw std::runtime_error("cannot open registry: " + s.to_string());
+  if (verb == "list" && args.size() == 2) {
+    const registry::DeviceRegistry::RecoveryStats rs =
+        registry.recovery_stats();
+    std::cout << "registry " << args[0] << ": " << registry.device_count()
+              << " devices (" << rs.snapshot_entries << " from snapshot, "
+              << rs.wal_records << " WAL records";
+    if (rs.truncated_tail_bytes > 0)
+      std::cout << ", torn tail of " << rs.truncated_tail_bytes
+                << " bytes dropped";
+    std::cout << ")\n";
+    for (const registry::DeviceInfo& d : registry.list()) {
+      std::cout << "  device " << d.id << ": " << d.nodes << " nodes, grid "
+                << d.grid << (d.revoked ? ", REVOKED" : "");
+      if (!d.label.empty()) std::cout << ", label \"" << d.label << "\"";
+      std::cout << "\n";
+    }
+    return 0;
+  }
+  if (verb == "revoke" && args.size() == 3) {
+    const std::uint64_t id = parse_number("registry", args[2]);
+    if (util::Status s = registry.revoke(id); !s.is_ok())
+      throw std::runtime_error("revoke failed: " + s.to_string());
+    std::cout << "revoked device " << id << "\n";
+    return 0;
+  }
+  if (verb == "compact" && args.size() == 2) {
+    if (util::Status s = registry.compact(); !s.is_ok())
+      throw std::runtime_error("compact failed: " + s.to_string());
+    std::cout << "compacted " << args[0] << " ("
+              << registry.device_count() << " devices in snapshot)\n";
+    return 0;
+  }
+  return usage_for("registry");
+}
+
 // --- serve -----------------------------------------------------------------
 
 /// Set by SIGTERM/SIGINT; polled by cmd_serve.  A signal handler may only
@@ -387,39 +486,85 @@ volatile std::sig_atomic_t g_drain_requested = 0;
 void on_drain_signal(int) { g_drain_requested = 1; }
 
 int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
-  if (args.empty()) return usage_for("serve");
   server::AuthServerOptions so;
   so.threads = opts.threads;
   std::string port_file;
-  for (std::size_t i = 1; i < args.size(); i += 2) {
-    const std::string& flag = args[i];
+  std::string model_file;
+  std::string registry_dir;
+  bool seed_given = false;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      if (!model_file.empty()) return usage_for("serve");
+      model_file = arg;
+      continue;
+    }
     if (i + 1 >= args.size()) return usage_for("serve");
-    const std::string& value = args[i + 1];
-    if (flag == "--port") {
+    const std::string& value = args[++i];
+    if (arg == "--port") {
       so.port = parse_port("serve", value);
-    } else if (flag == "--port-file") {
+    } else if (arg == "--port-file") {
       port_file = value;
-    } else if (flag == "--max-inflight") {
+    } else if (arg == "--registry") {
+      registry_dir = value;
+    } else if (arg == "--max-inflight") {
       so.max_inflight = static_cast<std::size_t>(
           parse_number("serve", value));
       if (so.max_inflight == 0) return usage_for("serve");
-    } else if (flag == "--deadline-s") {
+    } else if (arg == "--deadline-s") {
       so.verifier_deadline_seconds = parse_double("serve", value);
-    } else if (flag == "--chain-k") {
+    } else if (arg == "--chain-k") {
       so.chain_length = static_cast<std::uint32_t>(
           parse_number("serve", value));
       if (so.chain_length == 0) return usage_for("serve");
-    } else if (flag == "--spot-checks") {
+    } else if (arg == "--spot-checks") {
       so.spot_checks = static_cast<std::size_t>(parse_number("serve", value));
-    } else if (flag == "--seed") {
+    } else if (arg == "--cache-entries") {
+      so.hydration_cache_entries = static_cast<std::size_t>(
+          parse_number("serve", value));
+      if (so.hydration_cache_entries == 0) return usage_for("serve");
+    } else if (arg == "--seed") {
       so.challenge_seed = parse_number("serve", value);
+      seed_given = true;
     } else {
       return usage_for("serve");
     }
   }
+  const bool registry_mode = !registry_dir.empty();
+  if (registry_mode == !model_file.empty())
+    return usage_for("serve");  // exactly one of <model-file> / --registry
+  if (!registry_mode && !seed_given) {
+    // A defaulted challenge seed would make every grant predictable; the
+    // single-device operator must choose one deliberately.
+    std::cerr << "serve: single-device mode requires an explicit --seed "
+                 "(guessable challenge seeds break the protocol)\n";
+    return usage_for("serve");
+  }
+  if (registry_mode && !seed_given) {
+    // Registry deployments get an unpredictable seed by default; --seed
+    // remains available so tests can pin the challenge stream.
+    std::random_device entropy;
+    so.challenge_seed = (static_cast<std::uint64_t>(entropy()) << 32) ^
+                        entropy();
+  }
 
-  const SimulationModel model = load_model(args[0]);
-  server::AuthServer srv(model, so);
+  // Whichever mode, the serving substrate must outlive the server.
+  SimulationModel model;
+  registry::DeviceRegistry registry;
+  if (registry_mode) {
+    if (util::Status s = registry.open(registry_dir); !s.is_ok())
+      throw std::runtime_error("cannot open registry: " + s.to_string());
+    const registry::DeviceRegistry::RecoveryStats rs =
+        registry.recovery_stats();
+    if (rs.truncated_tail_bytes > 0)
+      std::cout << "registry recovery: dropped a torn WAL tail of "
+                << rs.truncated_tail_bytes << " bytes\n";
+  } else {
+    model = load_model(model_file);
+  }
+  server::AuthServer srv =
+      registry_mode ? server::AuthServer(registry, so)
+                    : server::AuthServer(model, so);
   const util::Status started = srv.start();
   if (!started.is_ok())
     throw std::runtime_error("cannot start server: " + started.to_string());
@@ -430,8 +575,13 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
     pf << srv.port() << "\n";
     if (!pf) throw std::runtime_error("cannot write " + port_file);
   }
-  std::cout << "serving " << args[0] << " on 127.0.0.1:" << srv.port()
-            << " (" << so.threads << " worker threads, max-inflight "
+  if (registry_mode)
+    std::cout << "serving registry " << registry_dir << " ("
+              << registry.device_count() << " devices) on 127.0.0.1:"
+              << srv.port();
+  else
+    std::cout << "serving " << model_file << " on 127.0.0.1:" << srv.port();
+  std::cout << " (" << so.threads << " worker threads, max-inflight "
             << so.max_inflight << ", chain k=" << so.chain_length << ")\n"
             << std::flush;
 
@@ -448,7 +598,8 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
             << s.connections_accepted << " connections ("
             << s.overloaded_rejections << " overloaded, "
             << s.shutdown_rejections << " rejected while draining, "
-            << s.malformed_frames << " malformed)\n";
+            << s.malformed_frames << " malformed, "
+            << s.unknown_device_rejections << " unknown-device)\n";
   return 0;
 }
 
@@ -470,9 +621,12 @@ int cmd_auth(const std::vector<std::string>& args) {
   const std::uint64_t seed = parse_number("auth", args[3]);
 
   std::string report_file;
+  net::ClientOptions copts;
   for (std::size_t i = 4; i < args.size(); i += 2) {
     if (args[i] == "--report-file" && i + 1 < args.size())
       report_file = args[i + 1];
+    else if (args[i] == "--device" && i + 1 < args.size())
+      copts.device_id = parse_number("auth", args[i + 1]);
     else
       return usage_for("auth");
   }
@@ -480,9 +634,16 @@ int cmd_auth(const std::vector<std::string>& args) {
   // The "chip": only the holder of <seed> can fabricate it.
   MaxFlowPpuf puf(params, seed);
 
-  net::AuthClient client(host, port);
+  net::AuthClient client(host, port, copts);
   net::ChallengeGrant grant;
   util::Status st = client.get_challenge(&grant);
+  if (st.code() == util::StatusCode::kNotFound) {
+    // Typed UNKNOWN_DEVICE from the server: the id is not enrolled or has
+    // been revoked.  Distinct exit code so scripts can tell "wrong
+    // device" from transport failures.
+    std::cerr << "auth refused: " << st.message() << "\n";
+    return 5;
+  }
   if (!st.is_ok())
     throw std::runtime_error("challenge request failed: " + st.to_string());
   if (grant.challenge.bits.size() != puf.layout().cell_count() ||
@@ -507,6 +668,11 @@ int cmd_auth(const std::vector<std::string>& args) {
 
   protocol::ChainedVerifyResult result;
   st = client.chained_auth(grant, report, &result);
+  if (st.code() == util::StatusCode::kNotFound) {
+    // The device can vanish between grant and proof (revoked mid-auth).
+    std::cerr << "auth refused: " << st.message() << "\n";
+    return 5;
+  }
   if (!st.is_ok())
     throw std::runtime_error("chained auth failed: " + st.to_string());
   std::cout << (result.accepted ? "ACCEPTED" : "REJECTED")
@@ -571,6 +737,8 @@ int main(int argc, char** argv) {
     else if (cmd == "export-spice") rc = cmd_export_spice(args);
     else if (cmd == "serve") rc = cmd_serve(args, opts);
     else if (cmd == "auth") rc = cmd_auth(args);
+    else if (cmd == "enroll") rc = cmd_enroll(args);
+    else if (cmd == "registry") rc = cmd_registry(args);
     if (rc >= 0) {
       if (!opts.metrics_json.empty())
         ppuf::obs::MetricsRegistry::global().write_json(opts.metrics_json);
