@@ -1,0 +1,114 @@
+// Chaos campaign driver: the long-running companion of the bounded
+// chaos_test suite.
+//
+// Runs the kill-9 crash-recovery torture FIRST (it forks, so it must
+// happen before any thread is spawned), then one seeded fault-schedule
+// campaign per seed against a live registry-mode server.  Aggregated
+// results — faults injected, request/violation tallies, recovery p50/p99
+// — land in BENCH_chaos.json (argv[1]) so CI can archive the trend.
+//
+// Exit status is the acceptance gate: 0 only when every invariant held
+// (violations == 0) and the campaigns actually injected faults.  On a
+// violation the failing seed is printed and written to
+// chaos_failing_seed.txt so the exact schedule can be replayed locally:
+//
+//   ./bench/bench_chaos [out.json] [--extra-seed S] [--seconds SEC]
+//   ./tools/ppuf_tool chaos --seed S        # reproduce a CI failure
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "testing/chaos/chaos.hpp"
+
+namespace {
+
+using namespace ppuf;
+
+constexpr std::uint64_t kFixedSeeds[] = {1, 2, 3, 4, 5};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_chaos.json";
+  std::vector<std::uint64_t> seeds(std::begin(kFixedSeeds),
+                                   std::end(kFixedSeeds));
+  double seconds = 1.5;
+  int torture_iterations = 25;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--extra-seed" && i + 1 < argc) {
+      seeds.push_back(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--seconds" && i + 1 < argc) {
+      seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--torture" && i + 1 < argc) {
+      torture_iterations = std::atoi(argv[++i]);
+    } else {
+      out_path = arg;
+    }
+  }
+
+  testing::chaos::Aggregate aggregate;
+
+  // Torture first: fork() needs a single-threaded process, and every
+  // campaign below spawns (and joins) server/client/scheduler threads.
+  {
+    testing::chaos::TortureOptions options;
+    options.iterations = torture_iterations;
+    options.seed = 11;
+    std::cout << "[chaos] kill-9 torture: " << options.iterations
+              << " iterations\n";
+    const testing::chaos::TortureResult torture =
+        testing::chaos::run_kill9_torture(options);
+    aggregate.add(torture);
+    std::cout << "[chaos]   committed enrolls=" << torture.committed_enrolls
+              << " revokes=" << torture.committed_revokes
+              << " violations=" << torture.violations.size() << "\n";
+  }
+
+  for (const std::uint64_t seed : seeds) {
+    testing::chaos::CampaignOptions options;
+    options.seed = seed;
+    options.duration_s = seconds;
+    options.restarts = 2;
+    std::cout << "[chaos] campaign seed=" << seed << " (" << seconds
+              << " s)\n";
+    const testing::chaos::CampaignResult result =
+        testing::chaos::run_campaign(options);
+    aggregate.add(result);
+    std::cout << "[chaos]   faults=" << result.faults_injected
+              << " requests=" << result.requests << " ok=" << result.ok
+              << " transient=" << result.typed_transient
+              << " violations=" << result.violations.size() << "\n";
+    for (const std::string& v : result.violations)
+      std::cout << "[chaos]   VIOLATION: " << v << "\n";
+  }
+
+  std::ofstream out(out_path);
+  out << aggregate.to_json();
+  out.close();
+  std::cout << "[chaos] wrote " << out_path << "\n";
+
+  if (!aggregate.passed()) {
+    std::cout << "[chaos] FAILED: " << aggregate.violation_count
+              << " violation(s), first failing seed "
+              << aggregate.failing_seed << "\n"
+              << "[chaos] reproduce: ppuf_tool chaos --seed "
+              << aggregate.failing_seed << "\n";
+    std::ofstream fail("chaos_failing_seed.txt");
+    fail << aggregate.failing_seed << "\n";
+    return 1;
+  }
+  if (aggregate.faults_injected == 0) {
+    std::cout << "[chaos] FAILED: no faults injected — the campaign "
+                 "tested nothing\n";
+    return 1;
+  }
+  std::cout << "[chaos] PASS: " << aggregate.faults_injected
+            << " faults injected, 0 violations, recovery p99 "
+            << testing::chaos::percentile(aggregate.recovery_ms, 99.0)
+            << " ms\n";
+  return 0;
+}

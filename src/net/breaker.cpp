@@ -1,0 +1,75 @@
+#include "net/breaker.hpp"
+
+#include <map>
+
+namespace ppuf::net {
+
+bool CircuitBreaker::allow() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen: {
+      const auto elapsed = Clock::now() - opened_at_;
+      if (elapsed < std::chrono::milliseconds(options_.cooldown_ms))
+        return false;
+      // Cooldown over: this caller becomes the single half-open probe.
+      state_ = State::kHalfOpen;
+      return true;
+    }
+    case State::kHalfOpen:
+      return false;  // probe already in flight
+  }
+  return true;
+}
+
+void CircuitBreaker::record_success() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+}
+
+void CircuitBreaker::record_failure() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kHalfOpen) {
+    // The probe failed: straight back to open for another cooldown.
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    ++times_opened_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+    ++times_opened_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+std::uint64_t CircuitBreaker::times_opened() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return times_opened_;
+}
+
+std::shared_ptr<CircuitBreaker> endpoint_breaker(
+    const std::string& host, std::uint16_t port,
+    const CircuitBreaker::Options& options) {
+  static std::mutex registry_mutex;
+  static std::map<std::string, std::shared_ptr<CircuitBreaker>>& registry =
+      *new std::map<std::string, std::shared_ptr<CircuitBreaker>>();
+  const std::string key = host + ":" + std::to_string(port);
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  auto it = registry.find(key);
+  if (it == registry.end())
+    it = registry.emplace(key, std::make_shared<CircuitBreaker>(options))
+             .first;
+  return it->second;
+}
+
+}  // namespace ppuf::net

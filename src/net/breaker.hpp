@@ -1,0 +1,78 @@
+// Per-endpoint circuit breaker for client-side self-protection.
+//
+// When a server dies (or a chaos schedule makes the network lie), every
+// client that keeps hammering the dead endpoint burns its own deadline
+// budget *and* contributes to the recovering server's thundering herd.
+// The breaker converts a run of consecutive transport failures into a
+// fast local "no" for a cooldown window, then lets exactly one half-open
+// probe through; the probe's outcome decides between closing the circuit
+// and another cooldown.
+//
+// Only transport failures count: a *typed* error reply (OVERLOADED,
+// SHUTTING_DOWN, UNKNOWN_DEVICE…) proves the endpoint is alive and
+// talking protocol, so it records as a success here even though the call
+// itself failed.
+//
+// Breakers are shared per endpoint via endpoint_breaker(): every
+// AuthClient in the process talking to the same host:port sees the same
+// state, which is the point — one client discovering a dead server
+// spares the rest of the fleet in this process.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace ppuf::net {
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  struct Options {
+    /// Consecutive transport failures that trip the breaker.
+    int failure_threshold = 5;
+    /// How long the breaker stays open before admitting a half-open
+    /// probe.
+    int cooldown_ms = 1000;
+  };
+
+  explicit CircuitBreaker(const Options& options) : options_(options) {}
+
+  /// May this call proceed?  kClosed: yes.  kOpen: no, until the
+  /// cooldown elapses — then exactly one caller is admitted as the
+  /// half-open probe.  kHalfOpen: no (a probe is already in flight).
+  bool allow();
+
+  /// The endpoint answered (any protocol-level reply counts).
+  void record_success();
+
+  /// The endpoint failed at the transport level (connect/send/recv).
+  void record_failure();
+
+  State state() const;
+
+  /// Times the breaker transitioned kClosed/kHalfOpen -> kOpen.
+  std::uint64_t times_opened() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  const Options options_;
+  mutable std::mutex mutex_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  std::uint64_t times_opened_ = 0;
+  Clock::time_point opened_at_{};
+};
+
+/// Process-wide breaker for `host:port`, created on first use with
+/// `options` (later callers share the existing breaker regardless of
+/// their options).
+std::shared_ptr<CircuitBreaker> endpoint_breaker(
+    const std::string& host, std::uint16_t port,
+    const CircuitBreaker::Options& options);
+
+}  // namespace ppuf::net

@@ -4,15 +4,27 @@
 
 #include <algorithm>
 #include <chrono>
+#include <random>
 #include <thread>
 
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 
 namespace ppuf::net {
 
 namespace {
 
 using util::Status;
+
+obs::Counter* counter_or_null(const char* name) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  return reg.enabled() ? &reg.counter(name) : nullptr;
+}
+
+std::uint64_t entropy_seed() {
+  std::random_device rd;
+  return (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+}
 
 /// The deadline actually used for one attempt: the caller's, or the
 /// default per-attempt budget when the caller passed unlimited (a client
@@ -36,9 +48,33 @@ std::uint32_t budget_ms_for(const util::Deadline& caller) {
 
 }  // namespace
 
+int decorrelated_jitter_ms(util::Rng& rng, int base_ms, int cap_ms,
+                           int prev_ms) {
+  base_ms = std::max(1, base_ms);
+  cap_ms = std::max(base_ms, cap_ms);
+  // Decorrelated jitter (a la the classic AWS architecture-blog scheme):
+  // each pause is uniform in [base, 3 * previous], capped.  Growth is
+  // still roughly exponential in expectation, but two clients that failed
+  // at the same instant immediately diverge.
+  const std::int64_t hi = std::min<std::int64_t>(
+      cap_ms, 3ll * std::max(prev_ms, base_ms));
+  return static_cast<int>(rng.uniform_int(base_ms, hi));
+}
+
 AuthClient::AuthClient(std::string host, std::uint16_t port,
                        ClientOptions options)
-    : host_(std::move(host)), port_(port), options_(options) {}
+    : host_(std::move(host)),
+      port_(port),
+      options_(options),
+      backoff_rng_(options.backoff_seed != 0 ? options.backoff_seed
+                                             : entropy_seed()) {
+  if (options_.breaker_failure_threshold > 0) {
+    CircuitBreaker::Options bo;
+    bo.failure_threshold = options_.breaker_failure_threshold;
+    bo.cooldown_ms = options_.breaker_cooldown_ms;
+    breaker_ = endpoint_breaker(host_, port_, bo);
+  }
+}
 
 AuthClient::~AuthClient() { disconnect(); }
 
@@ -142,6 +178,7 @@ util::Status AuthClient::round_trip(MessageType type,
                                     MessageType expected_reply,
                                     Frame* reply) {
   ++stats_.requests;
+  if (obs::Counter* c = counter_or_null("client.requests")) c->add();
   if (payload.size() > kMaxPayload)
     return Status::invalid_argument(
         std::string(message_type_name(type)) +
@@ -157,17 +194,48 @@ util::Status AuthClient::round_trip(MessageType type,
         return Status::deadline_exceeded(
             "deadline expired before retry; last error: " + last.message());
       ++stats_.retries;
+      if (obs::Counter* c = counter_or_null("client.retries")) c->add();
+      backoff_ms = decorrelated_jitter_ms(backoff_rng_,
+                                          options_.backoff_initial_ms,
+                                          options_.backoff_max_ms, backoff_ms);
       auto pause = std::chrono::milliseconds(backoff_ms);
       if (!deadline.is_unlimited())
         pause = std::min(
             pause, std::chrono::duration_cast<std::chrono::milliseconds>(
                        deadline.remaining()));
       if (pause.count() > 0) std::this_thread::sleep_for(pause);
-      backoff_ms = std::min(backoff_ms * 2, options_.backoff_max_ms);
+    }
+    // Fast-fail while the endpoint's breaker is open: protect the
+    // recovering server (and our own deadline budget) instead of piling
+    // on.  Later iterations still backoff, so a half-open probe can be
+    // admitted within this same logical request once the cooldown ends.
+    if (breaker_ && !breaker_->allow()) {
+      ++stats_.breaker_fast_fails;
+      if (obs::Counter* c = counter_or_null("client.breaker.fast_fails"))
+        c->add();
+      last = Status::unavailable("circuit breaker open for " + host_ + ":" +
+                                 std::to_string(port_));
+      continue;
     }
     const util::Deadline att =
         attempt_deadline(deadline, options_.request_timeout_ms);
+    const std::uint64_t opens_before =
+        breaker_ ? breaker_->times_opened() : 0;
     last = attempt(type, payload, att, reply);
+    if (breaker_) {
+      // A typed error reply is a *successful* transport round-trip: the
+      // endpoint is alive and speaking protocol, so only a failed attempt
+      // records as a breaker failure.
+      if (last.is_ok()) {
+        breaker_->record_success();
+      } else {
+        breaker_->record_failure();
+        if (breaker_->times_opened() > opens_before) {
+          if (obs::Counter* c = counter_or_null("client.breaker.opened"))
+            c->add();
+        }
+      }
+    }
     if (last.is_ok()) {
       if (reply->type == MessageType::kErrorReply) {
         ErrorReply err;
@@ -196,11 +264,16 @@ util::Status AuthClient::round_trip(MessageType type,
 }
 
 util::Status AuthClient::ping(std::uint32_t delay_ms,
-                              const util::Deadline& deadline) {
+                              const util::Deadline& deadline,
+                              HealthInfo* health) {
   Frame reply;
-  return round_trip(MessageType::kPingRequest,
-                    encode_ping_request(delay_ms), deadline,
-                    MessageType::kPingReply, &reply);
+  if (Status s = round_trip(MessageType::kPingRequest,
+                            encode_ping_request(delay_ms), deadline,
+                            MessageType::kPingReply, &reply);
+      !s.is_ok())
+    return s;
+  if (health == nullptr) return Status::ok();
+  return decode_ping_reply(reply.payload, health);
 }
 
 util::Status AuthClient::predict(const Challenge& challenge,

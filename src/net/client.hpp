@@ -4,9 +4,17 @@
 // reopened) and performs synchronous request/reply rounds.  Transient
 // failures — connect refused, connection reset, a typed OVERLOADED or
 // SHUTTING_DOWN reply — are retried up to `max_attempts` with bounded
-// exponential backoff; deterministic failures (malformed, invalid
-// argument, a typed DEADLINE_EXCEEDED) are returned at once.  All request
-// methods are read-only on the server, so retry is always safe.
+// *decorrelated-jitter* backoff (every client doubling in lockstep after
+// a restart is a thundering herd at fleet scale); deterministic failures
+// (malformed, invalid argument, a typed DEADLINE_EXCEEDED) are returned
+// at once.  All request methods are read-only on the server, so retry is
+// always safe.
+//
+// Self-protection: clients to the same endpoint share a per-endpoint
+// circuit breaker (net/breaker.hpp).  A run of consecutive *transport*
+// failures opens it and further attempts fail fast with kUnavailable
+// until a half-open probe succeeds; typed error replies never trip it.
+// Set breaker_failure_threshold = 0 to opt out.
 //
 // Deadline plumbing: pass a util::Deadline per request and the client puts
 // Deadline::remaining() on the wire as the budget_ms header field; the
@@ -19,10 +27,13 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "net/breaker.hpp"
 #include "net/wire.hpp"
+#include "util/rng.hpp"
 #include "util/status.hpp"
 
 namespace ppuf::net {
@@ -35,11 +46,25 @@ struct ClientOptions {
   int max_attempts = 3;
   int backoff_initial_ms = 10;
   int backoff_max_ms = 500;
+  /// Seed for the backoff jitter stream; 0 (default) seeds from entropy
+  /// so distinct clients decorrelate, nonzero makes tests reproducible.
+  std::uint64_t backoff_seed = 0;
+  /// Consecutive transport failures that open the shared per-endpoint
+  /// circuit breaker; 0 disables the breaker for this client.
+  int breaker_failure_threshold = 5;
+  /// How long an open breaker waits before admitting a half-open probe.
+  int breaker_cooldown_ms = 1000;
   /// Registry device every request addresses (header field).
   /// kDefaultDeviceId targets a single-device server's implicit model; a
   /// registry-backed server answers it with UNKNOWN_DEVICE.
   std::uint64_t device_id = kDefaultDeviceId;
 };
+
+/// Next backoff pause, AWS-style decorrelated jitter:
+/// uniform(base, min(cap, 3 * prev)).  Exposed as a free function so the
+/// distribution itself is testable.
+int decorrelated_jitter_ms(util::Rng& rng, int base_ms, int cap_ms,
+                           int prev_ms);
 
 class AuthClient {
  public:
@@ -52,8 +77,11 @@ class AuthClient {
 
   /// Round-trip a no-op frame; `delay_ms` asks the server's worker to hold
   /// the request that long before answering (load/overload testing).
+  /// When `health` is non-null it receives the server's health report
+  /// (in-flight load, drain state) carried in the reply.
   util::Status ping(std::uint32_t delay_ms = 0,
-                    const util::Deadline& deadline = {});
+                    const util::Deadline& deadline = {},
+                    HealthInfo* health = nullptr);
 
   util::Status predict(const Challenge& challenge,
                        SimulationModel::Prediction* out,
@@ -85,6 +113,7 @@ class AuthClient {
     std::uint64_t attempts = 0;   ///< wire round-trips tried
     std::uint64_t retries = 0;    ///< attempts beyond the first
     std::uint64_t reconnects = 0; ///< sockets (re)opened
+    std::uint64_t breaker_fast_fails = 0;  ///< attempts refused locally
   };
   const Stats& stats() const { return stats_; }
 
@@ -118,6 +147,8 @@ class AuthClient {
   Stats stats_;
   std::uint64_t next_request_id_ = 1;
   int fd_ = -1;
+  util::Rng backoff_rng_;
+  std::shared_ptr<CircuitBreaker> breaker_;  ///< null when disabled
 };
 
 }  // namespace ppuf::net

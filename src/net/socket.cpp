@@ -12,12 +12,29 @@
 
 #include <algorithm>
 #include <chrono>
+#include <thread>
+
+#include "util/fault_hooks.hpp"
 
 namespace ppuf::net {
 
 namespace {
 
 using util::Status;
+
+/// Chaos-plane entry for client-side socket ops: optional injected
+/// latency (bounded by the remaining deadline) ahead of the real I/O.
+void maybe_inject_latency(const util::Deadline& deadline) {
+  const std::uint32_t us = util::FaultHooks::consume_net_latency_us();
+  if (us == 0) return;
+  auto pause = std::chrono::microseconds(us);
+  if (!deadline.is_unlimited()) {
+    const auto left = std::chrono::duration_cast<std::chrono::microseconds>(
+        deadline.remaining());
+    pause = std::min(pause, std::max(std::chrono::microseconds(0), left));
+  }
+  std::this_thread::sleep_for(pause);
+}
 
 Status errno_status(const char* what) {
   return Status::unavailable(std::string(what) + ": " + strerror(errno));
@@ -139,6 +156,9 @@ util::Status connect_tcp(const std::string& host, std::uint16_t port,
 
 util::Status send_all(int fd, const std::uint8_t* data, std::size_t size,
                       const util::Deadline& deadline) {
+  maybe_inject_latency(deadline);
+  if (util::FaultHooks::consume_net_send_failure())
+    return Status::unavailable("injected send failure");
   std::size_t sent = 0;
   while (sent < size) {
     if (deadline.expired())
@@ -164,6 +184,9 @@ util::Status send_all(int fd, const std::uint8_t* data, std::size_t size,
 
 util::Status recv_exact(int fd, std::uint8_t* data, std::size_t size,
                         const util::Deadline& deadline) {
+  maybe_inject_latency(deadline);
+  if (util::FaultHooks::consume_net_recv_failure())
+    return Status::unavailable("injected recv failure");
   std::size_t got = 0;
   while (got < size) {
     if (deadline.expired())

@@ -187,6 +187,28 @@ util::Status decode_ping_request(const std::vector<std::uint8_t>& payload,
   return finish(r, "ping request");
 }
 
+std::vector<std::uint8_t> encode_ping_reply(const HealthInfo& h) {
+  Writer w;
+  w.u32(h.inflight);
+  w.u32(h.max_inflight);
+  w.u8(h.draining);
+  w.u64(h.requests_served);
+  w.u64(h.connections_accepted);
+  return w.take();
+}
+
+util::Status decode_ping_reply(const std::vector<std::uint8_t>& payload,
+                               HealthInfo* out) {
+  *out = HealthInfo{};
+  if (payload.empty()) return Status::ok();  // pre-health servers
+  Reader r(payload.data(), payload.size());
+  if (!r.u32(&out->inflight) || !r.u32(&out->max_inflight) ||
+      !r.u8(&out->draining) || !r.u64(&out->requests_served) ||
+      !r.u64(&out->connections_accepted))
+    return malformed("ping reply");
+  return finish(r, "ping reply");
+}
+
 std::vector<std::uint8_t> encode_predict_request(const Challenge& c) {
   Writer w;
   protocol::codec::encode_challenge(w, c);

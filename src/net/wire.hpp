@@ -165,6 +165,23 @@ std::vector<std::uint8_t> encode_ping_request(std::uint32_t delay_ms);
 util::Status decode_ping_request(const std::vector<std::uint8_t>& payload,
                                  std::uint32_t* delay_ms);
 
+/// Health/readiness report carried in every PING reply: enough for a load
+/// balancer (or the chaos campaign) to see saturation and drain state
+/// without a separate admin channel.
+struct HealthInfo {
+  std::uint32_t inflight = 0;        ///< requests currently being served
+  std::uint32_t max_inflight = 0;    ///< admission-control ceiling
+  std::uint8_t draining = 0;         ///< 1 once a drain has been requested
+  std::uint64_t requests_served = 0;
+  std::uint64_t connections_accepted = 0;
+};
+
+std::vector<std::uint8_t> encode_ping_reply(const HealthInfo& h);
+/// Strict decode; an *empty* payload is accepted as all-defaults so a
+/// new client can still ping a pre-health server.
+util::Status decode_ping_reply(const std::vector<std::uint8_t>& payload,
+                               HealthInfo* out);
+
 std::vector<std::uint8_t> encode_predict_request(const Challenge& c);
 util::Status decode_predict_request(const std::vector<std::uint8_t>& payload,
                                     Challenge* out);

@@ -1,6 +1,11 @@
 #include "registry/device_registry.hpp"
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <system_error>
@@ -43,6 +48,53 @@ obs::Counter* counter_or_null(const char* name) {
   return reg.enabled() ? &reg.counter(name) : nullptr;
 }
 
+/// RAII file descriptor so every error branch below closes exactly once.
+struct Fd {
+  int fd = -1;
+  explicit Fd(int f) : fd(f) {}
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+  bool ok() const { return fd >= 0; }
+};
+
+/// Full write with EINTR retry; false on any hard error (errno set).
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::write(fd, data + off, size - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// fsync that consults the fault plane first, so durability failures are
+/// injectable exactly at the syscall boundary.
+Status fsync_durable(int fd, const std::string& what) {
+  if (util::FaultHooks::consume_registry_fsync_failure())
+    return Status::internal("injected fsync failure on " + what);
+  if (::fsync(fd) != 0)
+    return Status::internal("fsync " + what + ": " +
+                            std::strerror(errno));
+  return Status::ok();
+}
+
+/// fsync the directory so a just-renamed or just-created entry survives
+/// power loss (the rename/creat is durable only once its directory is).
+Status fsync_directory(const std::string& directory) {
+  Fd dfd(::open(directory.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC));
+  if (!dfd.ok())
+    return Status::internal("open dir " + directory + ": " +
+                            std::strerror(errno));
+  return fsync_durable(dfd.fd, "directory " + directory);
+}
+
 }  // namespace
 
 util::Status DeviceRegistry::open(const std::string& directory,
@@ -55,11 +107,18 @@ util::Status DeviceRegistry::open(const std::string& directory,
   entries_.clear();
   wal_records_since_snapshot_ = 0;
   recovery_stats_ = RecoveryStats{};
+  wal_len_ = 0;
+  wal_dirty_ = false;
 
   std::error_code ec;
   fs::create_directories(directory_, ec);
   if (ec)
     return Status::internal("create " + directory_ + ": " + ec.message());
+
+  // A crashed compaction can leave a snapshot.bin.tmp that was never
+  // renamed; it is dead bytes (the old snapshot is still authoritative),
+  // so recovery removes it rather than letting it accumulate.
+  fs::remove(snapshot_path() + ".tmp", ec);
 
   // 1. Snapshot: the folded state at the last compaction, if any.
   std::vector<std::uint8_t> bytes;
@@ -130,6 +189,9 @@ util::Status DeviceRegistry::open(const std::string& directory,
     ++wal_records_since_snapshot_;
     offset += consumed;
   }
+  // Everything up to `offset` replayed cleanly; a torn tail (if any) was
+  // truncated above, so `offset` is the committed WAL length.
+  wal_len_ = offset;
 
   open_ = true;
   return Status::ok();
@@ -142,25 +204,56 @@ bool DeviceRegistry::is_open() const {
 
 util::Status DeviceRegistry::append_record_locked(const WalRecord& record) {
   const std::vector<std::uint8_t> frame = frame_record(record);
-  std::ofstream out(wal_path(), std::ios::binary | std::ios::app);
-  if (!out) return Status::internal("cannot open " + wal_path());
+
+  // A previously failed append may have left partial or un-fsynced bytes
+  // past wal_len_.  Appending after them would bury the garbage mid-file,
+  // turning recovery's benign torn-tail case into hard kCorrupt — so roll
+  // the file back to the last committed length first.
+  if (wal_dirty_) {
+    std::error_code ec;
+    fs::resize_file(wal_path(), wal_len_, ec);
+    if (ec)
+      return Status::internal("wal rollback to " + std::to_string(wal_len_) +
+                              " bytes: " + ec.message());
+    wal_dirty_ = false;
+  }
+
+  // Disk-full injection point: fails before a single byte is written, so
+  // the caller sees a typed, retryable error and state is untouched.
+  if (util::FaultHooks::consume_registry_append_failure())
+    return Status::unavailable("injected wal append failure (disk full)");
+
+  Fd fd(::open(wal_path().c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644));
+  if (!fd.ok())
+    return Status::internal("cannot open " + wal_path() + ": " +
+                            std::strerror(errno));
+
   // Crash-recovery tests arm this hook to leave a deterministic torn
   // tail: only the first `torn` bytes of the frame reach the file, then
   // the append fails exactly as a mid-write crash would.
-  const int torn = util::FaultHooks::consume_registry_torn_write();
+  const int torn = util::FaultHooks::consume_registry_torn_write(frame.size());
   if (torn >= 0) {
     const std::size_t n =
         std::min(frame.size(), static_cast<std::size_t>(torn));
-    out.write(reinterpret_cast<const char*>(frame.data()),
-              static_cast<std::streamsize>(n));
-    out.flush();
+    (void)write_all(fd.fd, frame.data(), n);
+    wal_dirty_ = true;
     return Status::internal("injected torn write after " +
                             std::to_string(n) + " bytes");
   }
-  out.write(reinterpret_cast<const char*>(frame.data()),
-            static_cast<std::streamsize>(frame.size()));
-  out.flush();
-  if (!out) return Status::internal("cannot append to " + wal_path());
+
+  if (!write_all(fd.fd, frame.data(), frame.size())) {
+    wal_dirty_ = true;
+    return Status::internal("cannot append to " + wal_path() + ": " +
+                            std::strerror(errno));
+  }
+  // The record is committed only once it is on stable storage; a failed
+  // fsync means the bytes may evaporate, so treat them as never written.
+  if (Status s = fsync_durable(fd.fd, wal_path()); !s.is_ok()) {
+    wal_dirty_ = true;
+    return s;
+  }
+  wal_len_ += frame.size();
   return Status::ok();
 }
 
@@ -287,24 +380,50 @@ util::Status DeviceRegistry::compact_locked() {
   const std::vector<std::uint8_t> image = frame_snapshot(snapshot);
 
   // Temp-then-rename so a crash mid-compaction leaves the old snapshot
-  // intact; rename within one directory is atomic on POSIX.
+  // intact; rename within one directory is atomic on POSIX.  The .tmp is
+  // fsynced *before* the rename — otherwise the rename can become durable
+  // while the file contents do not, and a crash surfaces an empty or
+  // truncated snapshot under the final name.
   const std::string tmp = snapshot_path() + ".tmp";
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::internal("cannot open " + tmp);
-    out.write(reinterpret_cast<const char*>(image.data()),
-              static_cast<std::streamsize>(image.size()));
-    out.flush();
-    if (!out) return Status::internal("cannot write " + tmp);
+    Fd fd(::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                 0644));
+    if (!fd.ok())
+      return Status::internal("cannot open " + tmp + ": " +
+                              std::strerror(errno));
+    if (!write_all(fd.fd, image.data(), image.size()))
+      return Status::internal("cannot write " + tmp + ": " +
+                              std::strerror(errno));
+    // On failure the stale .tmp stays behind; open() removes it during
+    // the next recovery, and the old snapshot + WAL remain authoritative.
+    if (Status s = fsync_durable(fd.fd, tmp); !s.is_ok()) return s;
   }
+  if (util::FaultHooks::consume_registry_rename_failure())
+    return Status::internal("injected rename failure for " + tmp);
   std::error_code ec;
   fs::rename(tmp, snapshot_path(), ec);
   if (ec)
     return Status::internal("rename " + tmp + ": " + ec.message());
+  // The rename is durable only once the directory entry is; if this
+  // fails the WAL is left untouched and replay over the (possibly old,
+  // possibly new) snapshot is idempotent either way.
+  if (Status s = fsync_directory(directory_); !s.is_ok()) return s;
 
   // Only now is the WAL redundant.
-  std::ofstream wal(wal_path(), std::ios::binary | std::ios::trunc);
-  if (!wal) return Status::internal("cannot truncate " + wal_path());
+  {
+    Fd wfd(::open(wal_path().c_str(),
+                  O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644));
+    if (!wfd.ok())
+      return Status::internal("cannot truncate " + wal_path() + ": " +
+                              std::strerror(errno));
+    // The truncate took effect the moment the open succeeded, so the
+    // committed length is 0 from here on even if the fsync below fails
+    // (an unpersisted truncate just means replay sees snapshot + old
+    // WAL, which is idempotent).
+    wal_len_ = 0;
+    wal_dirty_ = false;
+    if (Status s = fsync_durable(wfd.fd, wal_path()); !s.is_ok()) return s;
+  }
   wal_records_since_snapshot_ = 0;
   if (obs::Counter* c = counter_or_null("registry.compactions")) c->add();
   return Status::ok();

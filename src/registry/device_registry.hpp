@@ -12,18 +12,23 @@
 //   <dir>/wal.log        framed enroll/revoke records appended since
 //
 // Durability model: every mutation appends one CRC-framed record to the
-// WAL and flushes before the in-memory state changes, so a crash can lose
-// at most the record being written — and that loss is *detectable*: the
-// torn tail fails its frame (kNeedMore at EOF) and open() truncates it,
-// keeping every committed device.  A record that is complete but wrong
-// (bit rot, tampering) fails its CRC instead and open() refuses with a
-// typed error — the registry never guesses at corrupt state.
+// WAL and fsyncs it before the in-memory state changes, so a crash can
+// lose at most the record being written — and that loss is *detectable*:
+// the torn tail fails its frame (kNeedMore at EOF) and open() truncates
+// it, keeping every committed device.  A record that is complete but
+// wrong (bit rot, tampering) fails its CRC instead and open() refuses
+// with a typed error — the registry never guesses at corrupt state.  A
+// *failed* append (disk full, fsync error, torn write) marks the WAL
+// dirty; the next append first truncates back to the last committed
+// length, so partial bytes can never end up buried under later records.
 //
-// Compaction folds snapshot + WAL into a fresh snapshot (written to a
-// temp file and atomically renamed) and truncates the WAL.  It runs
-// explicitly via compact() and automatically every
-// Options::auto_compact_records appends, so the WAL stays bounded under
-// continuous enrollment.
+// Compaction folds snapshot + WAL into a fresh snapshot: written to a
+// temp file, fsynced, atomically renamed, then the directory is fsynced
+// so the rename itself survives power loss; only then is the WAL
+// truncated.  A stale snapshot.bin.tmp left by a crashed compaction is
+// removed during recovery.  Compaction runs explicitly via compact() and
+// automatically every Options::auto_compact_records appends, so the WAL
+// stays bounded under continuous enrollment.
 //
 // Thread safety: every public method is safe to call concurrently; one
 // mutex guards the map and the log file.  Reads that services care about
@@ -131,6 +136,11 @@ class DeviceRegistry {
   std::map<std::uint64_t, DeviceEntry> entries_;
   std::size_t wal_records_since_snapshot_ = 0;
   RecoveryStats recovery_stats_;
+  /// Committed WAL byte length — everything before it replays cleanly.
+  std::uint64_t wal_len_ = 0;
+  /// True after a failed append left (possibly) uncommitted bytes past
+  /// wal_len_; the next append truncates back to wal_len_ first.
+  bool wal_dirty_ = false;
 };
 
 }  // namespace ppuf::registry

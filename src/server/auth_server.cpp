@@ -248,6 +248,20 @@ struct AuthServer::Impl {
   void drain_completions();
   bool drained();
 
+  /// Health snapshot carried in every PING reply (safe from any thread:
+  /// all inputs are atomics or immutable options).
+  net::HealthInfo health_info() const {
+    net::HealthInfo h;
+    h.inflight = static_cast<std::uint32_t>(
+        inflight.load(std::memory_order_relaxed));
+    h.max_inflight = static_cast<std::uint32_t>(options.max_inflight);
+    h.draining = draining.load(std::memory_order_relaxed) ? 1 : 0;
+    h.requests_served = requests.load(std::memory_order_relaxed);
+    h.connections_accepted =
+        connections_accepted.load(std::memory_order_relaxed);
+    return h;
+  }
+
   // --- request handlers (worker threads) ----------------------------------
 
   std::vector<std::uint8_t> handle(const Frame& frame,
@@ -431,6 +445,12 @@ void AuthServer::Impl::accept_ready() {
       if (errno == EINTR) continue;
       return;  // transient accept failure; the loop will retry
     }
+    if (util::FaultHooks::consume_server_accept_failure()) {
+      // Injected accept failure: the peer sees an immediate close, as if
+      // the listener ran out of fds or reset under SYN pressure.
+      ::close(fd);
+      continue;
+    }
     Connection conn;
     conn.fd = fd;
     conn.id = next_connection_id++;
@@ -449,6 +469,11 @@ void AuthServer::Impl::accept_ready() {
 void AuthServer::Impl::read_ready(int fd) {
   auto it = connections.find(fd);
   if (it == connections.end()) return;
+  if (util::FaultHooks::consume_server_recv_failure()) {
+    // Injected hard recv error: drop the connection mid-stream.
+    close_connection(fd);
+    return;
+  }
   Connection& conn = it->second;
   std::uint8_t chunk[kReadChunk];
   for (;;) {
@@ -525,6 +550,18 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
     return;
   }
   if (draining.load(std::memory_order_relaxed)) {
+    if (frame.type == MessageType::kPingRequest) {
+      // Readiness must stay observable *during* the drain — a load
+      // balancer that cannot ping a draining node just sees it vanish.
+      // PING is answered inline on the event loop (no pool, no admission
+      // control, delay knob ignored) so nothing can stall the drain, and
+      // the health payload reports draining=1.
+      enqueue_reply(conn,
+                    net::encode_frame(MessageType::kPingReply,
+                                      frame.request_id, frame.device_id, 0,
+                                      net::encode_ping_reply(health_info())));
+      return;
+    }
     shutdown_rejections.fetch_add(1, std::memory_order_relaxed);
     reg.counter("server.shutdown_rejections").add();
     enqueue_reply(conn, error_frame(frame.request_id, frame.device_id,
@@ -600,7 +637,13 @@ void AuthServer::Impl::flush(Connection& conn) {
       return;
     }
     const std::vector<std::uint8_t>& front = conn.outq.front();
-    const std::size_t left = front.size() - conn.out_offset;
+    std::size_t left = front.size() - conn.out_offset;
+    if (left > 1 && util::FaultHooks::consume_server_send_short()) {
+      // Injected short write: the kernel "accepts" only a few bytes, so
+      // the partial-write bookkeeping (out_offset, EPOLLOUT re-arm) runs
+      // under test instead of only under a saturated socket buffer.
+      left = std::min<std::size_t>(left, 8);
+    }
     const ssize_t n = ::send(conn.fd, front.data() + conn.out_offset, left,
                              MSG_NOSIGNAL);
     if (n < 0) {
@@ -699,9 +742,11 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_ping(
     }
   }
   // PING is transport-level: it answers for any device id without
-  // resolving it (load tests ping before enrolment exists).
+  // resolving it (load tests ping before enrolment exists), and the reply
+  // carries the server's health report.
   return net::encode_frame(MessageType::kPingReply, frame.request_id,
-                           frame.device_id, 0, {});
+                           frame.device_id, 0,
+                           net::encode_ping_reply(health_info()));
 }
 
 std::vector<std::uint8_t> AuthServer::Impl::handle_predict(

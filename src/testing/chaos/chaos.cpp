@@ -1,0 +1,871 @@
+#include "testing/chaos/chaos.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "net/client.hpp"
+#include "ppuf/challenge.hpp"
+#include "ppuf/ppuf.hpp"
+#include "ppuf/sim_model.hpp"
+#include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
+#include "server/auth_server.hpp"
+#include "util/fault_hooks.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace ppuf::testing::chaos {
+
+namespace fs = std::filesystem;
+using util::Deadline;
+using util::FaultHooks;
+using util::Status;
+using util::StatusCode;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_ms(Clock::time_point since) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - since)
+      .count();
+}
+
+/// The only error codes a fault is allowed to surface to a client.
+bool is_transient(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kDeadlineExceeded;
+}
+
+}  // namespace
+
+const char* phase_kind_name(FaultPhase::Kind kind) {
+  switch (kind) {
+    case FaultPhase::Kind::kQuiet: return "quiet";
+    case FaultPhase::Kind::kNetwork: return "network";
+    case FaultPhase::Kind::kDisk: return "disk";
+    case FaultPhase::Kind::kLatency: return "latency";
+    case FaultPhase::Kind::kMixed: return "mixed";
+  }
+  return "unknown";
+}
+
+FaultSchedule FaultSchedule::from_seed(std::uint64_t seed,
+                                       double total_seconds) {
+  FaultSchedule schedule;
+  schedule.seed = seed;
+  util::Rng rng(seed * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  // Percentage -> parts-per-million, jittered within [lo, hi].
+  const auto ppm = [&rng](double lo_pct, double hi_pct) {
+    return static_cast<std::uint32_t>(
+        10000.0 * (lo_pct + (hi_pct - lo_pct) * rng.uniform()));
+  };
+  double remaining = total_seconds;
+  bool first = true;
+  while (remaining > 1e-9) {
+    FaultPhase p;
+    p.duration_s = std::min(remaining, 0.06 + 0.12 * rng.uniform());
+    // Always open with a quiet window so the stack warms up before the
+    // first burst; after that the kind is drawn per window.
+    const int kind = first ? 0 : static_cast<int>(rng.uniform_int(0, 4));
+    first = false;
+    p.kind = static_cast<FaultPhase::Kind>(kind);
+    switch (p.kind) {
+      case FaultPhase::Kind::kQuiet:
+        break;
+      case FaultPhase::Kind::kNetwork:
+        p.net_send_fail_ppm = ppm(0.5, 4.0);
+        p.net_recv_fail_ppm = ppm(0.5, 4.0);
+        p.server_send_fail_ppm = ppm(0.5, 4.0);
+        p.server_send_short_ppm = ppm(1.0, 10.0);
+        p.server_recv_fail_ppm = ppm(0.5, 3.0);
+        p.server_accept_fail_ppm = ppm(0.5, 5.0);
+        break;
+      case FaultPhase::Kind::kDisk:
+        p.wal_append_fail_ppm = ppm(2.0, 20.0);
+        p.wal_torn_ppm = ppm(1.0, 10.0);
+        p.fsync_fail_ppm = ppm(2.0, 20.0);
+        p.rename_fail_ppm = ppm(5.0, 30.0);
+        break;
+      case FaultPhase::Kind::kLatency:
+        p.net_latency_ppm = ppm(5.0, 25.0);
+        p.net_latency_us =
+            static_cast<std::uint32_t>(200 + 2800 * rng.uniform());
+        break;
+      case FaultPhase::Kind::kMixed:
+        p.net_send_fail_ppm = ppm(0.3, 2.0);
+        p.net_recv_fail_ppm = ppm(0.3, 2.0);
+        p.server_send_fail_ppm = ppm(0.3, 2.0);
+        p.server_send_short_ppm = ppm(0.5, 5.0);
+        p.server_accept_fail_ppm = ppm(0.3, 2.0);
+        p.wal_append_fail_ppm = ppm(1.0, 10.0);
+        p.wal_torn_ppm = ppm(0.5, 5.0);
+        p.fsync_fail_ppm = ppm(1.0, 10.0);
+        p.rename_fail_ppm = ppm(2.0, 15.0);
+        p.net_latency_ppm = ppm(2.0, 10.0);
+        p.net_latency_us =
+            static_cast<std::uint32_t>(100 + 1400 * rng.uniform());
+        break;
+    }
+    schedule.phases.push_back(p);
+    remaining -= p.duration_s;
+  }
+  return schedule;
+}
+
+namespace {
+
+void apply_phase(const FaultPhase& p) {
+  FaultHooks::instance().clear_chaos_plane();
+  auto& h = FaultHooks::instance();
+  h.net_send_fail_ppm = p.net_send_fail_ppm;
+  h.net_recv_fail_ppm = p.net_recv_fail_ppm;
+  h.net_latency_ppm = p.net_latency_ppm;
+  h.net_latency_us = p.net_latency_us;
+  h.server_send_fail_ppm = p.server_send_fail_ppm;
+  h.server_send_short_ppm = p.server_send_short_ppm;
+  h.server_recv_fail_ppm = p.server_recv_fail_ppm;
+  h.server_accept_fail_ppm = p.server_accept_fail_ppm;
+  h.wal_append_fail_ppm = p.wal_append_fail_ppm;
+  h.wal_torn_ppm = p.wal_torn_ppm;
+  h.fsync_fail_ppm = p.fsync_fail_ppm;
+  h.rename_fail_ppm = p.rename_fail_ppm;
+}
+
+/// Everything the worker threads share; violations and tallies are merged
+/// under one mutex (the campaign is seconds long, contention is nil).
+struct CampaignState {
+  std::mutex mutex;
+  std::vector<std::string> violations;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t typed_transient = 0;
+  std::uint64_t typed_rejections = 0;
+  std::atomic<bool> stop{false};
+
+  static constexpr std::size_t kMaxViolations = 32;
+
+  void violation(const std::string& message) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (violations.size() < kMaxViolations) violations.push_back(message);
+  }
+  void tally(std::uint64_t req, std::uint64_t okc, std::uint64_t transient,
+             std::uint64_t rejections) {
+    std::lock_guard<std::mutex> lock(mutex);
+    requests += req;
+    ok += okc;
+    typed_transient += transient;
+    typed_rejections += rejections;
+  }
+};
+
+struct OracleDevice {
+  std::uint64_t id = 0;
+  std::uint64_t fab_seed = 0;
+  SimulationModel model;
+  std::vector<Challenge> challenges;
+  std::vector<SimulationModel::Prediction> expected;
+};
+
+/// One client worker: hammers the server with a seeded mix of operations
+/// and checks every *successful* reply against the oracle.  Transient
+/// typed errors are expected under faults; anything else is a violation.
+void client_worker(int index, const CampaignOptions& options,
+                   std::uint16_t port,
+                   const std::vector<OracleDevice>& oracle,
+                   CampaignState* state) {
+  util::Rng rng(options.seed * 1315423911ULL + 0x7f4a7c15ULL * (index + 1));
+  net::ClientOptions copts;
+  copts.connect_timeout_ms = 250;
+  copts.request_timeout_ms = 400;
+  copts.max_attempts = 2;
+  copts.backoff_initial_ms = 1;
+  copts.backoff_max_ms = 20;
+  copts.backoff_seed = options.seed * 100 + index + 1;
+  copts.breaker_failure_threshold = 5;
+  copts.breaker_cooldown_ms = 50;
+  net::AuthClient client("127.0.0.1", port, copts);
+
+  // The honest prover needs the physical chip: refabricate each oracle
+  // device from its seed (the seed IS the silicon).
+  PpufParams params;
+  params.node_count = static_cast<std::size_t>(options.node_count);
+  params.grid_size = static_cast<std::size_t>(options.grid_size);
+  std::vector<std::unique_ptr<MaxFlowPpuf>> chips;
+  chips.reserve(oracle.size());
+  for (const OracleDevice& dev : oracle)
+    chips.push_back(std::make_unique<MaxFlowPpuf>(params, dev.fab_seed));
+  constexpr double kChipDelay = 1e-6;
+
+  std::uint64_t requests = 0, ok = 0, transient = 0, rejections = 0;
+  const auto classify = [&](const Status& s, const char* what) {
+    ++requests;
+    if (s.is_ok()) {
+      ++ok;
+      return true;
+    }
+    if (is_transient(s.code())) {
+      ++transient;
+    } else {
+      state->violation(std::string("client ") + std::to_string(index) + " " +
+                       what + ": untyped/unexpected error: " + s.to_string());
+    }
+    return false;
+  };
+
+  while (!state->stop.load(std::memory_order_relaxed)) {
+    const std::size_t dev_index =
+        static_cast<std::size_t>(rng.uniform_int(0, oracle.size() - 1));
+    const OracleDevice& dev = oracle[dev_index];
+    client.set_device_id(dev.id);
+    const int op = static_cast<int>(rng.uniform_int(0, 99));
+
+    if (op < 40) {
+      // PREDICT against the precomputed oracle table: a successful reply
+      // that differs from the device's own model is a wrong response
+      // (cross-device or corrupted) — the core invariant.
+      const std::size_t c =
+          static_cast<std::size_t>(rng.uniform_int(0, dev.challenges.size() - 1));
+      SimulationModel::Prediction got;
+      const Status s = client.predict(dev.challenges[c], &got,
+                                      Deadline::after_seconds(0.5));
+      if (classify(s, "predict")) {
+        const SimulationModel::Prediction& want = dev.expected[c];
+        if (got.bit != want.bit || got.flow_a != want.flow_a ||
+            got.flow_b != want.flow_b) {
+          state->violation(
+              "wrong response for device " + std::to_string(dev.id) +
+              ": bit " + std::to_string(got.bit) + " vs " +
+              std::to_string(want.bit) + " (oracle mismatch)");
+        }
+      }
+    } else if (op < 58) {
+      net::HealthInfo health;
+      const Status s = client.ping(0, Deadline::after_seconds(0.5), &health);
+      if (classify(s, "ping")) {
+        if (health.max_inflight !=
+            static_cast<std::uint32_t>(options.max_inflight)) {
+          state->violation("health payload max_inflight " +
+                           std::to_string(health.max_inflight) +
+                           " != configured " +
+                           std::to_string(options.max_inflight));
+        }
+      }
+    } else if (op < 70) {
+      net::ChallengeGrant grant;
+      const Status s =
+          client.get_challenge(&grant, Deadline::after_seconds(0.5));
+      if (classify(s, "get_challenge") && grant.chain_length == 0) {
+        state->violation("challenge grant with chain_length 0");
+      }
+    } else if (op < 82) {
+      // Unknown-device probe: must be refused with a typed NOT_FOUND, an
+      // ok reply here means the registry served a device that does not
+      // exist.
+      client.set_device_id(1000000 + static_cast<std::uint64_t>(index));
+      SimulationModel::Prediction got;
+      const Status s = client.predict(dev.challenges[0], &got,
+                                      Deadline::after_seconds(0.5));
+      ++requests;
+      if (s.is_ok()) {
+        state->violation("unknown device id was served a prediction");
+      } else if (s.code() == StatusCode::kNotFound) {
+        ++rejections;
+      } else if (is_transient(s.code())) {
+        ++transient;
+      } else {
+        state->violation("unknown-device probe: unexpected error: " +
+                         s.to_string());
+      }
+    } else {
+      // Chained authentication.  Honest proof must be accepted; a forged
+      // report (every response bit flipped) must be rejected — both are
+      // deterministic verdicts, so either failure is a wrong-accept /
+      // wrong-reject violation.
+      net::ChallengeGrant grant;
+      Status s = client.get_challenge(&grant, Deadline::after_seconds(0.5));
+      if (classify(s, "get_challenge(chain)")) {
+        protocol::ChainedReport report = protocol::prove_chain_with_ppuf(
+            *chips[dev_index], grant.challenge, grant.chain_length,
+            grant.nonce, kChipDelay);
+        const bool forge = op >= 93;
+        if (forge)
+          for (auto& round : report.rounds) round.bit = 1 - round.bit;
+        protocol::ChainedVerifyResult verdict;
+        s = client.chained_auth(grant, report, &verdict,
+                                Deadline::after_seconds(0.8));
+        if (classify(s, "chained_auth")) {
+          // Only the wrong-ACCEPT direction is a hard invariant: the
+          // forged report must never pass.  The honest direction is
+          // statistical (the chip's circuit-level currents sit inside the
+          // verifier's flow tolerance for most but not every challenge),
+          // so a rejection there is not a campaign violation.
+          if (forge && verdict.accepted) {
+            state->violation("forged chained report was ACCEPTED (device " +
+                             std::to_string(dev.id) + ")");
+          }
+        }
+      }
+    }
+  }
+  state->tally(requests, ok, transient, rejections);
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const CampaignOptions& options) {
+  CampaignResult result;
+  result.seed = options.seed;
+
+  FaultHooks::instance().reset();
+  FaultHooks::seed_chaos(options.seed);
+
+  const fs::path dir =
+      fs::temp_directory_path() /
+      ("ppuf_chaos_" + std::to_string(options.seed) + "_" +
+       std::to_string(static_cast<long>(::getpid())));
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+
+  registry::DeviceRegistry reg;
+  Status st = reg.open(dir.string());
+  if (!st.is_ok()) {
+    result.violations.push_back("registry open failed: " + st.to_string());
+    return result;
+  }
+
+  // Enroll the oracle devices and precompute their expected predictions
+  // while the fault plane is still cold.
+  std::vector<OracleDevice> oracle;
+  util::Rng challenge_rng(options.seed ^ 0x5bd1e995U);
+  for (int i = 0; i < options.devices; ++i) {
+    OracleDevice dev;
+    dev.fab_seed = options.seed * 1000 + i + 1;
+    registry::EnrollRequest req;
+    req.node_count = static_cast<std::size_t>(options.node_count);
+    req.grid_size = static_cast<std::size_t>(options.grid_size);
+    req.seed = dev.fab_seed;
+    req.label = "oracle-" + std::to_string(i);
+    st = reg.enroll(req, &dev.id);
+    if (!st.is_ok()) {
+      result.violations.push_back("oracle enroll failed: " + st.to_string());
+      return result;
+    }
+    st = reg.load_model(dev.id, &dev.model);
+    if (!st.is_ok()) {
+      result.violations.push_back("oracle load_model failed: " +
+                                  st.to_string());
+      return result;
+    }
+    for (int c = 0; c < 6; ++c) {
+      dev.challenges.push_back(
+          random_challenge(dev.model.layout(), challenge_rng));
+      dev.expected.push_back(dev.model.predict(dev.challenges.back()));
+    }
+    oracle.push_back(std::move(dev));
+  }
+
+  server::AuthServerOptions sopts;
+  sopts.port = 0;
+  sopts.threads = static_cast<unsigned>(options.server_threads);
+  sopts.max_inflight = static_cast<std::size_t>(options.max_inflight);
+  sopts.chain_length = 2;
+  sopts.spot_checks = 2;
+  sopts.challenge_seed = options.seed * 2654435761ULL + 17;
+  auto server = std::make_unique<server::AuthServer>(reg, sopts);
+  st = server->start();
+  if (!st.is_ok()) {
+    result.violations.push_back("server start failed: " + st.to_string());
+    return result;
+  }
+  const std::uint16_t port = server->port();
+  sopts.port = port;  // restarts rebind the same port
+
+  CampaignState state;
+
+  // Fault scheduler: replay the seeded schedule, looping until told to
+  // stop; the plane is cleared between windows and fully reset at exit.
+  const FaultSchedule schedule =
+      FaultSchedule::from_seed(options.seed, options.duration_s);
+  std::thread scheduler([&schedule, &state] {
+    while (!state.stop.load(std::memory_order_relaxed)) {
+      for (const FaultPhase& p : schedule.phases) {
+        if (state.stop.load(std::memory_order_relaxed)) break;
+        apply_phase(p);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(p.duration_s));
+      }
+    }
+    FaultHooks::instance().clear_chaos_plane();
+  });
+
+  // Enrollment churn: disk faults must land on live WAL appends and
+  // auto-compactions, and every acknowledged commit is recorded so the
+  // final recovery can be diffed against it.
+  std::set<std::uint64_t> committed_enrolls;
+  std::set<std::uint64_t> committed_revokes;
+  std::uint64_t enrolls_failed = 0;
+  std::thread churn;
+  if (options.enroll_churn) {
+    churn = std::thread([&] {
+      util::Rng rng(options.seed * 31 + 7);
+      std::uint64_t counter = 0;
+      std::vector<std::uint64_t> mine;
+      while (!state.stop.load(std::memory_order_relaxed)) {
+        registry::EnrollRequest req;
+        req.node_count = 6;
+        req.grid_size = 3;
+        req.seed = options.seed * 1000 + 500 + counter++;
+        req.label = "churn";
+        std::uint64_t id = 0;
+        const Status es = reg.enroll(req, &id);
+        if (es.is_ok()) {
+          committed_enrolls.insert(id);
+          mine.push_back(id);
+        } else {
+          ++enrolls_failed;
+        }
+        if (!mine.empty() && rng.uniform_int(0, 3) == 0) {
+          const std::uint64_t rid = mine[static_cast<std::size_t>(
+              rng.uniform_int(0, static_cast<std::int64_t>(mine.size()) - 1))];
+          if (reg.revoke(rid).is_ok()) committed_revokes.insert(rid);
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < options.clients; ++i) {
+    workers.emplace_back(client_worker, i, options, port, std::cref(oracle),
+                         &state);
+  }
+
+  // Controller: spread the restarts evenly across the campaign and
+  // measure each blackout from stop() to the first successful ping.
+  const auto begin = Clock::now();
+  const double slice_s =
+      options.duration_s / static_cast<double>(options.restarts + 1);
+  for (int r = 0; r < options.restarts + 1; ++r) {
+    std::this_thread::sleep_for(std::chrono::duration<double>(slice_s));
+    if (r == options.restarts) break;  // last slice just runs out the clock
+    const auto t0 = Clock::now();
+    server->stop();
+    server = std::make_unique<server::AuthServer>(reg, sopts);
+    st = server->start();
+    for (int attempt = 0; !st.is_ok() && attempt < 50; ++attempt) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      server = std::make_unique<server::AuthServer>(reg, sopts);
+      st = server->start();
+    }
+    if (!st.is_ok()) {
+      state.violation("server failed to restart on port " +
+                      std::to_string(port) + ": " + st.to_string());
+      break;
+    }
+    // Readiness probe with self-protection off: one attempt per ping, no
+    // breaker, so the measurement is the server's, not the client's.
+    net::ClientOptions popts;
+    popts.connect_timeout_ms = 100;
+    popts.request_timeout_ms = 200;
+    popts.max_attempts = 1;
+    popts.breaker_failure_threshold = 0;
+    popts.backoff_seed = options.seed + 99;
+    net::AuthClient probe("127.0.0.1", port, popts);
+    bool up = false;
+    while (elapsed_ms(t0) < options.recovery_bound_ms) {
+      if (probe.ping(0, Deadline::after_seconds(0.2)).is_ok()) {
+        up = true;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    const double blackout = elapsed_ms(t0);
+    if (!up) {
+      state.violation("restart " + std::to_string(r) +
+                      " did not recover within " +
+                      std::to_string(options.recovery_bound_ms) + " ms");
+    } else {
+      result.recovery_ms.push_back(blackout);
+    }
+  }
+  (void)begin;
+
+  state.stop.store(true, std::memory_order_relaxed);
+  for (std::thread& w : workers) w.join();
+  if (churn.joinable()) churn.join();
+  scheduler.join();
+
+  result.faults_injected = FaultHooks::total_faults_injected();
+  FaultHooks::instance().reset();
+
+  server->stop();
+  server.reset();
+
+  // Final durability diff: recover the directory from scratch and check
+  // every acknowledged commit survived.
+  registry::DeviceRegistry recovered;
+  st = recovered.open(dir.string());
+  if (!st.is_ok()) {
+    result.violations.push_back("final recovery failed: " + st.to_string());
+  } else {
+    for (const OracleDevice& dev : oracle) {
+      if (!recovered.active(dev.id))
+        result.violations.push_back("oracle device " + std::to_string(dev.id) +
+                                    " lost after recovery");
+    }
+    for (const std::uint64_t id : committed_enrolls) {
+      if (!recovered.contains(id))
+        result.violations.push_back("committed enrollment " +
+                                    std::to_string(id) +
+                                    " lost after recovery");
+    }
+    for (const std::uint64_t id : committed_revokes) {
+      if (recovered.active(id))
+        result.violations.push_back("revoked device " + std::to_string(id) +
+                                    " active again after recovery");
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state.mutex);
+    result.requests = state.requests;
+    result.ok = state.ok;
+    result.typed_transient = state.typed_transient;
+    result.typed_rejections = state.typed_rejections;
+    for (std::string& v : state.violations)
+      result.violations.push_back(std::move(v));
+  }
+  result.enrolls_committed = committed_enrolls.size();
+  result.enrolls_failed = enrolls_failed;
+
+  fs::remove_all(dir, ec);
+  return result;
+}
+
+namespace {
+
+bool write_line(int fd, const char* buffer, std::size_t length) {
+  std::size_t done = 0;
+  while (done < length) {
+    const ssize_t n = ::write(fd, buffer + done, length - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Child body for one torture iteration: enroll (and occasionally revoke)
+/// as fast as possible, acknowledging each commit over the pipe only
+/// AFTER the registry reported it durable.  The parent SIGKILLs us at an
+/// arbitrary point; anything acknowledged must survive.
+[[noreturn]] void torture_child(const TortureOptions& options,
+                                const std::string& dir, int iteration,
+                                int ack_fd) {
+  registry::DeviceRegistry reg;
+  if (!reg.open(dir).is_ok()) ::_exit(2);
+  util::Rng rng(options.seed * 7919 + static_cast<std::uint64_t>(iteration));
+  std::vector<std::uint64_t> mine;
+  for (int k = 0; k < 1000; ++k) {
+    registry::EnrollRequest req;
+    req.node_count = static_cast<std::size_t>(options.node_count);
+    req.grid_size = static_cast<std::size_t>(options.grid_size);
+    req.seed = options.seed * 100000 +
+               static_cast<std::uint64_t>(iteration) * 1000 +
+               static_cast<std::uint64_t>(k) + 1;
+    req.label = "t9";
+    std::uint64_t id = 0;
+    if (!reg.enroll(req, &id).is_ok()) ::_exit(3);
+    char line[48];
+    const int n = std::snprintf(line, sizeof line, "E %llu\n",
+                                static_cast<unsigned long long>(id));
+    if (!write_line(ack_fd, line, static_cast<std::size_t>(n))) ::_exit(4);
+    mine.push_back(id);
+    if (rng.uniform_int(0, 4) == 0) {
+      const std::uint64_t rid = mine[static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(mine.size()) - 1))];
+      if (reg.revoke(rid).is_ok()) {
+        const int m = std::snprintf(line, sizeof line, "R %llu\n",
+                                    static_cast<unsigned long long>(rid));
+        if (!write_line(ack_fd, line, static_cast<std::size_t>(m)))
+          ::_exit(4);
+      }
+    }
+  }
+  ::_exit(0);
+}
+
+}  // namespace
+
+TortureResult run_kill9_torture(const TortureOptions& options) {
+  TortureResult result;
+  FaultHooks::instance().reset();  // children inherit a clean fault plane
+
+  const bool own_dir = options.directory.empty();
+  const fs::path dir =
+      own_dir ? fs::temp_directory_path() /
+                    ("ppuf_chaos_t9_" + std::to_string(options.seed) + "_" +
+                     std::to_string(static_cast<long>(::getpid())))
+              : fs::path(options.directory);
+  std::error_code ec;
+  if (own_dir) fs::remove_all(dir, ec);
+
+  util::Rng rng(options.seed ^ 0x9e3779b9U);
+  std::set<std::uint64_t> acked_enrolls;
+  std::set<std::uint64_t> acked_revokes;
+
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    int pipe_fds[2];
+    if (::pipe(pipe_fds) != 0) {
+      result.violations.push_back("pipe() failed");
+      break;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      result.violations.push_back("fork() failed");
+      ::close(pipe_fds[0]);
+      ::close(pipe_fds[1]);
+      break;
+    }
+    if (pid == 0) {
+      ::close(pipe_fds[0]);
+      torture_child(options, dir.string(), iter, pipe_fds[1]);
+    }
+    ::close(pipe_fds[1]);
+
+    // Block until the child has committed (and acknowledged) at least one
+    // record — killing before any work would make the diff vacuous on a
+    // loaded machine — then let it run a random slice and pull the plug.
+    std::string acks;
+    char buffer[4096];
+    {
+      ssize_t n;
+      do {
+        n = ::read(pipe_fds[0], buffer, sizeof buffer);
+      } while (n < 0 && errno == EINTR);
+      if (n > 0) acks.append(buffer, static_cast<std::size_t>(n));
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(rng.uniform_int(0, 23)));
+    ::kill(pid, SIGKILL);
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+
+    // Drain every acknowledgement the child managed to write.  Each line
+    // was a single atomic pipe write, so the stream is whole lines.
+    for (;;) {
+      const ssize_t n = ::read(pipe_fds[0], buffer, sizeof buffer);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      acks.append(buffer, static_cast<std::size_t>(n));
+    }
+    ::close(pipe_fds[0]);
+    std::istringstream lines(acks);
+    char kind = 0;
+    unsigned long long id = 0;
+    while (lines >> kind >> id) {
+      if (kind == 'E') acked_enrolls.insert(id);
+      if (kind == 'R') acked_revokes.insert(id);
+    }
+
+    // Recover and diff the survivors against the acknowledged log.
+    const auto t0 = Clock::now();
+    registry::DeviceRegistry recovered;
+    const Status st = recovered.open(dir.string());
+    const double rec_ms = elapsed_ms(t0);
+    if (!st.is_ok()) {
+      result.violations.push_back("iteration " + std::to_string(iter) +
+                                  ": recovery failed: " + st.to_string());
+      continue;
+    }
+    result.recovery_ms.push_back(rec_ms);
+    if (rec_ms > options.recovery_bound_ms) {
+      result.violations.push_back(
+          "iteration " + std::to_string(iter) + ": recovery took " +
+          std::to_string(rec_ms) + " ms (bound " +
+          std::to_string(options.recovery_bound_ms) + ")");
+    }
+    for (const std::uint64_t e : acked_enrolls) {
+      if (!recovered.contains(e)) {
+        result.violations.push_back("iteration " + std::to_string(iter) +
+                                    ": committed enrollment " +
+                                    std::to_string(e) + " lost by kill -9");
+        break;
+      }
+    }
+    for (const std::uint64_t r : acked_revokes) {
+      if (recovered.active(r)) {
+        result.violations.push_back("iteration " + std::to_string(iter) +
+                                    ": revoked device " + std::to_string(r) +
+                                    " resurrected by kill -9");
+        break;
+      }
+    }
+
+    // Periodically serve the recovered registry and check the admission
+    // policy end to end: live id answered, revoked and unknown refused.
+    if (options.serve_check_every > 0 &&
+        (iter + 1) % options.serve_check_every == 0) {
+      std::uint64_t live_id = 0;
+      for (const std::uint64_t e : acked_enrolls) {
+        if (acked_revokes.count(e) == 0 && recovered.active(e)) {
+          live_id = e;
+          break;
+        }
+      }
+      server::AuthServerOptions sopts;
+      sopts.threads = 1;
+      sopts.challenge_seed = options.seed + 13;
+      server::AuthServer server(recovered, sopts);
+      if (!server.start().is_ok()) {
+        result.violations.push_back("iteration " + std::to_string(iter) +
+                                    ": serve-check server failed to start");
+      } else {
+        net::ClientOptions copts;
+        copts.backoff_seed = options.seed + 29;
+        net::AuthClient client("127.0.0.1", server.port(), copts);
+        net::ChallengeGrant grant;
+        if (live_id != 0) {
+          client.set_device_id(live_id);
+          if (!client.get_challenge(&grant).is_ok())
+            result.violations.push_back(
+                "iteration " + std::to_string(iter) + ": live device " +
+                std::to_string(live_id) + " refused after recovery");
+        }
+        if (!acked_revokes.empty()) {
+          client.set_device_id(*acked_revokes.begin());
+          if (client.get_challenge(&grant).code() != StatusCode::kNotFound)
+            result.violations.push_back("iteration " + std::to_string(iter) +
+                                        ": revoked device admitted");
+        }
+        client.set_device_id(999999999);
+        if (client.get_challenge(&grant).code() != StatusCode::kNotFound)
+          result.violations.push_back("iteration " + std::to_string(iter) +
+                                      ": unknown device admitted");
+        server.stop();
+      }
+    }
+    ++result.iterations;
+  }
+
+  result.committed_enrolls = acked_enrolls.size();
+  result.committed_revokes = acked_revokes.size();
+  if (own_dir) fs::remove_all(dir, ec);
+  return result;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p / 100.0 * static_cast<double>(values.size());
+  std::size_t index =
+      rank <= 1.0 ? 0 : static_cast<std::size_t>(std::ceil(rank)) - 1;
+  if (index >= values.size()) index = values.size() - 1;
+  return values[index];
+}
+
+void Aggregate::add(const CampaignResult& r) {
+  seeds.push_back(r.seed);
+  faults_injected += r.faults_injected;
+  requests += r.requests;
+  ok += r.ok;
+  typed_transient += r.typed_transient;
+  typed_rejections += r.typed_rejections;
+  enrolls_committed += r.enrolls_committed;
+  enrolls_failed += r.enrolls_failed;
+  violation_count += r.violations.size();
+  if (!r.violations.empty() && failing_seed == 0) failing_seed = r.seed;
+  for (const std::string& v : r.violations)
+    if (sample_violations.size() < 8) sample_violations.push_back(v);
+  recovery_ms.insert(recovery_ms.end(), r.recovery_ms.begin(),
+                     r.recovery_ms.end());
+}
+
+void Aggregate::add(const TortureResult& r) {
+  torture_iterations += r.iterations;
+  torture_committed_enrolls += r.committed_enrolls;
+  torture_committed_revokes += r.committed_revokes;
+  violation_count += r.violations.size();
+  for (const std::string& v : r.violations)
+    if (sample_violations.size() < 8) sample_violations.push_back(v);
+  recovery_ms.insert(recovery_ms.end(), r.recovery_ms.begin(),
+                     r.recovery_ms.end());
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Aggregate::to_json() const {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"bench\": \"chaos\",\n";
+  os << "  \"seeds\": [";
+  for (std::size_t i = 0; i < seeds.size(); ++i)
+    os << (i ? ", " : "") << seeds[i];
+  os << "],\n";
+  os << "  \"faults_injected\": " << faults_injected << ",\n";
+  os << "  \"requests\": " << requests << ",\n";
+  os << "  \"ok\": " << ok << ",\n";
+  os << "  \"typed_transient\": " << typed_transient << ",\n";
+  os << "  \"typed_rejections\": " << typed_rejections << ",\n";
+  os << "  \"enrolls_committed\": " << enrolls_committed << ",\n";
+  os << "  \"enrolls_failed\": " << enrolls_failed << ",\n";
+  os << "  \"violations\": " << violation_count << ",\n";
+  os << "  \"failing_seed\": " << failing_seed << ",\n";
+  os << "  \"sample_violations\": [";
+  for (std::size_t i = 0; i < sample_violations.size(); ++i)
+    os << (i ? ", " : "") << '"' << json_escape(sample_violations[i]) << '"';
+  os << "],\n";
+  os << "  \"recovery_samples\": " << recovery_ms.size() << ",\n";
+  os << "  \"recovery_ms_p50\": " << percentile(recovery_ms, 50.0) << ",\n";
+  os << "  \"recovery_ms_p99\": " << percentile(recovery_ms, 99.0) << ",\n";
+  os << "  \"torture_iterations\": " << torture_iterations << ",\n";
+  os << "  \"torture_committed_enrolls\": " << torture_committed_enrolls
+     << ",\n";
+  os << "  \"torture_committed_revokes\": " << torture_committed_revokes
+     << "\n";
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace ppuf::testing::chaos

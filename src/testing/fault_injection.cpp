@@ -18,6 +18,12 @@ ScopedFaultInjection::ScopedFaultInjection(const FaultSpec& spec) {
                                    std::memory_order_relaxed);
   hooks.registry_torn_write_bytes.store(spec.registry_torn_write_bytes,
                                         std::memory_order_relaxed);
+  hooks.registry_append_failures.store(spec.registry_append_failures,
+                                       std::memory_order_relaxed);
+  hooks.registry_fsync_failures.store(spec.registry_fsync_failures,
+                                      std::memory_order_relaxed);
+  hooks.registry_rename_failures.store(spec.registry_rename_failures,
+                                       std::memory_order_relaxed);
 }
 
 ScopedFaultInjection::~ScopedFaultInjection() {

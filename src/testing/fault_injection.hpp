@@ -43,6 +43,15 @@ struct FaultSpec {
   /// >= 0: the next registry WAL append writes only this many bytes of the
   /// record and then fails as if the process died (torn tail).  One-shot.
   int registry_torn_write_bytes = -1;
+  /// The next N registry WAL appends fail before writing anything, as if
+  /// the disk were full (typed error, state unchanged).
+  int registry_append_failures = 0;
+  /// The next N registry fsyncs (WAL append, snapshot .tmp, directory)
+  /// fail; the caller must treat the data as uncommitted.
+  int registry_fsync_failures = 0;
+  /// The next N registry snapshot renames fail; compaction must keep the
+  /// old snapshot + WAL intact.
+  int registry_rename_failures = 0;
 };
 
 /// RAII arming of util::FaultHooks.  Restores an all-clear state on

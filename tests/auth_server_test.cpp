@@ -114,6 +114,23 @@ TEST(AuthServer, BindsEphemeralPortAndStops) {
   EXPECT_FALSE(srv.running());
 }
 
+TEST(AuthServer, PingReportsHealthPayload) {
+  AuthServer srv(shared_model(), default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+  AuthClient client("127.0.0.1", srv.port());
+  net::HealthInfo health;
+  ASSERT_TRUE(client.ping(0, {}, &health).is_ok());
+  EXPECT_EQ(health.draining, 0);
+  EXPECT_EQ(health.max_inflight,
+            static_cast<std::uint32_t>(default_options().max_inflight));
+  // The ping being answered is itself in flight when the snapshot is
+  // taken, so both tallies are at least one.
+  EXPECT_GE(health.inflight, 1u);
+  EXPECT_GE(health.requests_served, 1u);
+  EXPECT_GE(health.connections_accepted, 1u);
+  srv.stop();
+}
+
 TEST(AuthServer, PredictMatchesLocalModel) {
   AuthServer srv(shared_model(), default_options());
   ASSERT_TRUE(srv.start().is_ok());
@@ -332,23 +349,37 @@ TEST(AuthServer, DrainRejectsNewFinishesInflight) {
   srv.request_drain();
   EXPECT_TRUE(srv.draining());
 
-  // ...must finish; new work must be answered typed SHUTTING_DOWN.
+  // ...must finish; new *work* must be answered typed SHUTTING_DOWN
+  // (PING is exempt: readiness probes are served inline during a drain).
   const std::vector<std::uint8_t> late = net::encode_frame(
-      MessageType::kPingRequest, 2, 0, 0, net::encode_ping_request(0));
+      MessageType::kChallengeRequest, 2, 0, 0,
+      net::encode_challenge_request());
   ASSERT_TRUE(
       net::send_all(sock.fd(), late.data(), late.size(), io).is_ok());
+  const std::vector<std::uint8_t> probe = net::encode_frame(
+      MessageType::kPingRequest, 3, 0, 0, net::encode_ping_request(0));
+  ASSERT_TRUE(
+      net::send_all(sock.fd(), probe.data(), probe.size(), io).is_ok());
 
-  int ping_ok = 0, shutting_down = 0;
-  for (int i = 0; i < 2; ++i) {
+  int ping_ok = 0, shutting_down = 0, drain_visible = 0;
+  for (int i = 0; i < 3; ++i) {
     Frame reply;
     ASSERT_TRUE(read_frame(sock.fd(), io, &reply).is_ok());
-    if (reply.type == MessageType::kPingReply && reply.request_id == 1)
+    if (reply.type == MessageType::kPingReply && reply.request_id == 1) {
       ++ping_ok;
-    else if (error_code_of(reply) == WireCode::kShuttingDown)
+    } else if (reply.type == MessageType::kPingReply &&
+               reply.request_id == 3) {
+      net::HealthInfo health;
+      ASSERT_TRUE(net::decode_ping_reply(reply.payload, &health).is_ok());
+      EXPECT_EQ(health.draining, 1);
+      ++drain_visible;
+    } else if (error_code_of(reply) == WireCode::kShuttingDown) {
       ++shutting_down;
+    }
   }
   EXPECT_EQ(ping_ok, 1);
   EXPECT_EQ(shutting_down, 1);
+  EXPECT_EQ(drain_visible, 1);
 
   srv.wait();
   EXPECT_FALSE(srv.running());

@@ -276,6 +276,124 @@ TEST(DeviceRegistry, AutoCompactionBoundsTheWal) {
   EXPECT_EQ(reopened.device_count(), 5u);
 }
 
+TEST(DeviceRegistry, WalAppendDiskFullIsTypedAndLeavesStateUnchanged) {
+  const std::string dir = fresh_dir("disk_full");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t id1 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(71), &id1).is_ok());
+  const auto wal_size = fs::file_size(dir + "/wal.log");
+  {
+    testing::FaultSpec spec;
+    spec.registry_append_failures = 2;
+    const testing::ScopedFaultInjection fault(spec);
+    std::uint64_t id = 0;
+    Status s = reg.enroll(small_request(72), &id);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.to_string();
+    s = reg.revoke(id1);
+    EXPECT_EQ(s.code(), StatusCode::kUnavailable) << s.to_string();
+    // Nothing moved: no device appeared, none was revoked, not a byte
+    // reached the WAL.
+    EXPECT_EQ(reg.device_count(), 1u);
+    EXPECT_TRUE(reg.active(id1));
+    EXPECT_EQ(fs::file_size(dir + "/wal.log"), wal_size);
+  }
+  // Fault cleared: the enrollment succeeds and the failed attempt did
+  // not burn an id.
+  std::uint64_t id2 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(72), &id2).is_ok());
+  EXPECT_EQ(id2, id1 + 1);
+  EXPECT_TRUE(reg.active(id2));
+}
+
+TEST(DeviceRegistry, AppendAfterTornWriteRollsBackPartialBytes) {
+  // Regression: a torn append used to leave its partial bytes in the
+  // WAL; the next successful append then wrote a complete record AFTER
+  // the garbage, turning recovery's benign torn-tail case into hard
+  // mid-file corruption — reopen refused and every committed device was
+  // unreachable.
+  const std::string dir = fresh_dir("torn_then_continue");
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  std::uint64_t id1 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(61), &id1).is_ok());
+  {
+    testing::FaultSpec spec;
+    spec.registry_torn_write_bytes = 25;
+    const testing::ScopedFaultInjection fault(spec);
+    std::uint64_t torn_id = 0;
+    ASSERT_FALSE(reg.enroll(small_request(62), &torn_id).is_ok());
+  }
+  std::uint64_t id2 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(63), &id2).is_ok());
+  EXPECT_EQ(id2, id1 + 1);
+  DeviceRegistry reopened;
+  ASSERT_TRUE(reopened.open(dir).is_ok());
+  EXPECT_EQ(reopened.device_count(), 2u);
+  EXPECT_TRUE(reopened.active(id1));
+  EXPECT_TRUE(reopened.active(id2));
+  EXPECT_EQ(reopened.recovery_stats().truncated_tail_bytes, 0u);
+}
+
+TEST(DeviceRegistry, SnapshotFsyncFailureKeepsOldStateAndCleansTmp) {
+  const std::string dir = fresh_dir("snapshot_fsync");
+  std::uint64_t id1 = 0, id2 = 0;
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  ASSERT_TRUE(reg.enroll(small_request(81, "a"), &id1).is_ok());
+  ASSERT_TRUE(reg.enroll(small_request(82, "b"), &id2).is_ok());
+  {
+    testing::FaultSpec spec;
+    spec.registry_fsync_failures = 1;  // hits the snapshot .tmp fsync
+    const testing::ScopedFaultInjection fault(spec);
+    EXPECT_FALSE(reg.compact().is_ok());
+  }
+  // The failed compaction left the stale .tmp behind and the WAL
+  // untouched; serving state is unaffected.
+  EXPECT_TRUE(fs::exists(dir + "/snapshot.bin.tmp"));
+  EXPECT_FALSE(fs::exists(dir + "/snapshot.bin"));
+  EXPECT_GT(fs::file_size(dir + "/wal.log"), 0u);
+  EXPECT_EQ(reg.device_count(), 2u);
+
+  // Recovery removes the stale .tmp and loses nothing.
+  DeviceRegistry reopened;
+  ASSERT_TRUE(reopened.open(dir).is_ok());
+  EXPECT_FALSE(fs::exists(dir + "/snapshot.bin.tmp"));
+  EXPECT_EQ(reopened.device_count(), 2u);
+  EXPECT_TRUE(reopened.active(id1));
+  EXPECT_TRUE(reopened.active(id2));
+  // And with the fault gone, compaction completes.
+  ASSERT_TRUE(reopened.compact().is_ok());
+  EXPECT_EQ(fs::file_size(dir + "/wal.log"), 0u);
+  EXPECT_TRUE(fs::exists(dir + "/snapshot.bin"));
+}
+
+TEST(DeviceRegistry, SnapshotRenameFailureKeepsOldStateServing) {
+  const std::string dir = fresh_dir("snapshot_rename");
+  std::uint64_t id1 = 0;
+  DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir).is_ok());
+  ASSERT_TRUE(reg.enroll(small_request(91), &id1).is_ok());
+  ASSERT_TRUE(reg.compact().is_ok());  // baseline snapshot
+  std::uint64_t id2 = 0;
+  ASSERT_TRUE(reg.enroll(small_request(92), &id2).is_ok());
+  const auto old_snapshot_size = fs::file_size(dir + "/snapshot.bin");
+  {
+    testing::FaultSpec spec;
+    spec.registry_rename_failures = 1;
+    const testing::ScopedFaultInjection fault(spec);
+    EXPECT_FALSE(reg.compact().is_ok());
+  }
+  // Old snapshot still in place, WAL still holds the second enrollment.
+  EXPECT_EQ(fs::file_size(dir + "/snapshot.bin"), old_snapshot_size);
+  EXPECT_GT(fs::file_size(dir + "/wal.log"), 0u);
+  DeviceRegistry reopened;
+  ASSERT_TRUE(reopened.open(dir).is_ok());
+  EXPECT_EQ(reopened.device_count(), 2u);
+  EXPECT_TRUE(reopened.active(id1));
+  EXPECT_TRUE(reopened.active(id2));
+}
+
 // ---------------------------------------------------------- hydration cache
 
 TEST(HydrationCache, HitMissEvictionAndUnknown) {

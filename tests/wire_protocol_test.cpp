@@ -371,6 +371,54 @@ TEST(Wire, ErrorReplyRoundTrip) {
   EXPECT_EQ(out.message, in.message);
 }
 
+TEST(Wire, PingReplyHealthRoundTrip) {
+  net::HealthInfo in;
+  in.inflight = 7;
+  in.max_inflight = 64;
+  in.draining = 1;
+  in.requests_served = 123456789ull;
+  in.connections_accepted = 42;
+  const std::vector<std::uint8_t> payload = net::encode_ping_reply(in);
+  net::HealthInfo out;
+  ASSERT_TRUE(net::decode_ping_reply(payload, &out).is_ok());
+  EXPECT_EQ(out.inflight, in.inflight);
+  EXPECT_EQ(out.max_inflight, in.max_inflight);
+  EXPECT_EQ(out.draining, in.draining);
+  EXPECT_EQ(out.requests_served, in.requests_served);
+  EXPECT_EQ(out.connections_accepted, in.connections_accepted);
+}
+
+TEST(Wire, PingReplyEmptyPayloadIsLegacyDefaults) {
+  // A pre-health server answers PING with an empty payload; the client
+  // must accept it as an all-defaults health report, not a typed error.
+  net::HealthInfo out;
+  out.inflight = 99;
+  ASSERT_TRUE(net::decode_ping_reply({}, &out).is_ok());
+  EXPECT_EQ(out.inflight, 0u);
+  EXPECT_EQ(out.draining, 0);
+}
+
+TEST(Wire, PingReplyTruncationIsTypedError) {
+  net::HealthInfo in;
+  in.inflight = 3;
+  in.max_inflight = 8;
+  in.requests_served = 17;
+  in.connections_accepted = 2;
+  const std::vector<std::uint8_t> payload = net::encode_ping_reply(in);
+  for (std::size_t len = 1; len < payload.size(); ++len) {
+    const std::vector<std::uint8_t> cut(payload.begin(),
+                                        payload.begin() + len);
+    net::HealthInfo out;
+    EXPECT_FALSE(net::decode_ping_reply(cut, &out).is_ok())
+        << "prefix of " << len << " bytes decoded";
+  }
+  // Trailing garbage is rejected too: decoders consume bytes exactly.
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  net::HealthInfo out;
+  EXPECT_FALSE(net::decode_ping_reply(padded, &out).is_ok());
+}
+
 TEST(Wire, ChallengeGrantRoundTrip) {
   const net::ChallengeGrant in = sample_grant();
   const std::vector<std::uint8_t> payload = net::encode_challenge_reply(in);

@@ -41,6 +41,14 @@
 //       fetch a chain grant, execute the chain on the re-fabricated
 //       "silicon", submit the chained report.  --device targets an
 //       enrolled device id on a registry-backed server.
+//   ppuf_tool chaos [--seed <s>] [--seeds <n>] [--seconds <sec>]
+//                   [--torture <iters>] [--json <file>]
+//       Run the chaos campaign (DESIGN.md §14): kill-9 crash-recovery
+//       torture, then seeded fault-schedule campaigns against a live
+//       registry-mode server while concurrent clients hammer it.  Exits
+//       0 only when every invariant held; --seed replays one schedule
+//       (e.g. to reproduce a CI failure), --seeds widens the default
+//       fixed set, --json names the aggregate report (BENCH_chaos.json).
 //
 // Global options (before the command):
 //   --threads <n>        worker threads for batch commands and serve
@@ -56,12 +64,12 @@
 //   4      auth completed but the server REJECTED the proof
 //   5      auth refused: the server does not know the addressed device
 //          (unknown or revoked id -> typed UNKNOWN_DEVICE reply)
-//   10-20  bad arguments for a specific subcommand (usage printed to
+//   10-21  bad arguments for a specific subcommand (usage printed to
 //          stderr): fabricate=10 info=11 challenge=12 predict=13
 //          predict-batch=14 evaluate=15 export-spice=16 serve=17 auth=18
-//          enroll=19 registry=20.  Note serve without --registry exits 17
-//          when --seed is missing: refusing a guessable default seed is
-//          part of the usage contract.
+//          enroll=19 registry=20 chaos=21.  Note serve without --registry
+//          exits 17 when --seed is missing: refusing a guessable default
+//          seed is part of the usage contract.
 //
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
@@ -88,6 +96,7 @@
 #include "protocol/codec.hpp"
 #include "registry/device_registry.hpp"
 #include "server/auth_server.hpp"
+#include "testing/chaos/chaos.hpp"
 #include "util/statistics.hpp"
 #include "util/status.hpp"
 #include "util/thread_pool.hpp"
@@ -143,6 +152,9 @@ constexpr CommandSpec kCommands[] = {
     {"enroll", 19,
      "enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]"},
     {"registry", 20, "registry <registry-dir> list|compact|revoke <id>"},
+    {"chaos", 21,
+     "chaos [--seed <s>] [--seeds <n>] [--seconds <sec>]\n"
+     "                 [--torture <iters>] [--json <file>]"},
 };
 
 int usage() {
@@ -477,6 +489,109 @@ int cmd_registry(const std::vector<std::string>& args) {
   return usage_for("registry");
 }
 
+// --- chaos -----------------------------------------------------------------
+
+/// Run the chaos campaign from the command line.  Mirrors bench_chaos so a
+/// CI failure (which prints the failing seed) can be replayed on a
+/// workstation with `ppuf_tool chaos --seed <s>`.
+int cmd_chaos(const std::vector<std::string>& args) {
+  std::vector<std::uint64_t> seeds;
+  std::size_t fixed_seed_count = 5;
+  bool single_seed = false;
+  double seconds = 1.5;
+  int torture_iterations = 20;
+  std::string json_path = "BENCH_chaos.json";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (i + 1 >= args.size()) return usage_for("chaos");
+    const std::string& value = args[++i];
+    if (arg == "--seed") {
+      seeds.assign(1, parse_number("chaos", value));
+      single_seed = true;
+    } else if (arg == "--seeds") {
+      fixed_seed_count = static_cast<std::size_t>(
+          parse_number("chaos", value));
+      if (fixed_seed_count == 0) return usage_for("chaos");
+    } else if (arg == "--seconds") {
+      seconds = parse_double("chaos", value);
+      if (seconds <= 0.0) return usage_for("chaos");
+    } else if (arg == "--torture") {
+      torture_iterations = static_cast<int>(parse_number("chaos", value));
+    } else if (arg == "--json") {
+      json_path = value;
+    } else {
+      return usage_for("chaos");
+    }
+  }
+  if (!single_seed)
+    for (std::uint64_t s = 1; s <= fixed_seed_count; ++s) seeds.push_back(s);
+
+  testing::chaos::Aggregate aggregate;
+
+  // Torture first: fork() wants a single-threaded process, and every
+  // campaign spawns (and joins) server/client/scheduler threads.
+  if (torture_iterations > 0) {
+    testing::chaos::TortureOptions topts;
+    topts.iterations = torture_iterations;
+    topts.seed = 11;
+    std::cout << "[chaos] kill-9 torture: " << topts.iterations
+              << " iterations\n";
+    const testing::chaos::TortureResult torture =
+        testing::chaos::run_kill9_torture(topts);
+    aggregate.add(torture);
+    std::cout << "[chaos]   committed enrolls=" << torture.committed_enrolls
+              << " revokes=" << torture.committed_revokes
+              << " violations=" << torture.violations.size() << "\n";
+  }
+
+  for (const std::uint64_t seed : seeds) {
+    testing::chaos::CampaignOptions copts;
+    copts.seed = seed;
+    copts.duration_s = seconds;
+    copts.restarts = 2;
+    std::cout << "[chaos] campaign seed=" << seed << " (" << seconds
+              << " s)\n";
+    const testing::chaos::CampaignResult result =
+        testing::chaos::run_campaign(copts);
+    aggregate.add(result);
+    std::cout << "[chaos]   faults=" << result.faults_injected
+              << " requests=" << result.requests << " ok=" << result.ok
+              << " transient=" << result.typed_transient
+              << " violations=" << result.violations.size() << "\n";
+    for (const std::string& v : result.violations)
+      std::cout << "[chaos]   VIOLATION: " << v << "\n";
+  }
+
+  {
+    std::ofstream out(json_path);
+    out << aggregate.to_json();
+    if (!out) throw std::runtime_error("cannot write " + json_path);
+  }
+  std::cout << "[chaos] wrote " << json_path << "\n";
+
+  if (!aggregate.passed()) {
+    std::cout << "[chaos] FAILED: " << aggregate.violation_count
+              << " violation(s), first failing seed "
+              << aggregate.failing_seed << "\n"
+              << "[chaos] reproduce: ppuf_tool chaos --seed "
+              << aggregate.failing_seed << " --torture 0\n";
+    return 1;
+  }
+  if (!seeds.empty() && aggregate.faults_injected == 0) {
+    std::cout << "[chaos] FAILED: no faults injected — the campaign "
+                 "tested nothing\n";
+    return 1;
+  }
+  std::cout << "[chaos] PASS: " << aggregate.faults_injected
+            << " faults injected, 0 violations";
+  if (!aggregate.recovery_ms.empty())
+    std::cout << ", recovery p99 "
+              << testing::chaos::percentile(aggregate.recovery_ms, 99.0)
+              << " ms";
+  std::cout << "\n";
+  return 0;
+}
+
 // --- serve -----------------------------------------------------------------
 
 /// Set by SIGTERM/SIGINT; polled by cmd_serve.  A signal handler may only
@@ -486,6 +601,12 @@ volatile std::sig_atomic_t g_drain_requested = 0;
 void on_drain_signal(int) { g_drain_requested = 1; }
 
 int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
+  // Registered before any setup work: registry recovery / model hydration
+  // can take a while on big stores, and an operator's Ctrl-C (or a CI
+  // supervisor's SIGTERM/SIGINT) during that window must still drain
+  // gracefully instead of killing the process mid-recovery.
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
   server::AuthServerOptions so;
   so.threads = opts.threads;
   std::string port_file;
@@ -585,8 +706,6 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
             << so.max_inflight << ", chain k=" << so.chain_length << ")\n"
             << std::flush;
 
-  std::signal(SIGTERM, on_drain_signal);
-  std::signal(SIGINT, on_drain_signal);
   while (srv.running() && g_drain_requested == 0)
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   std::cout << "drain requested; finishing in-flight requests\n"
@@ -739,6 +858,7 @@ int main(int argc, char** argv) {
     else if (cmd == "auth") rc = cmd_auth(args);
     else if (cmd == "enroll") rc = cmd_enroll(args);
     else if (cmd == "registry") rc = cmd_registry(args);
+    else if (cmd == "chaos") rc = cmd_chaos(args);
     if (rc >= 0) {
       if (!opts.metrics_json.empty())
         ppuf::obs::MetricsRegistry::global().write_json(opts.metrics_json);
