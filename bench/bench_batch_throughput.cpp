@@ -8,6 +8,14 @@
 // repeat-customer pattern).  Results also land in a JSON file (argv[1],
 // default BENCH_batch.json) so CI can archive the trend.
 //
+// A sparse-vs-dense leg gates the MNA linear core: one n=8 crossbar
+// challenge is flattened transistor-by-transistor into a single MNA system
+// (~850 unknowns) and the full cold DC solve is timed through the sparse
+// core (slot-replayed assembly + Gilbert-Peierls LU with min-degree
+// ordering) and through the dense LU oracle.  The acceptance gate is a
+// >= 5x sparse speedup with matching source currents; the measured ratio
+// lands in the JSON as "sparse_vs_dense_speedup".
+//
 // A final leg measures the cost of the obs metrics layer itself: the same
 // single-thread uncached batch with the registry enabled versus disabled
 // (median of 3 runs each).  The budget is < 3% throughput change; the
@@ -28,7 +36,9 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "circuit/dc.hpp"
 #include "obs/metrics.hpp"
+#include "ppuf/device_netlist.hpp"
 #include "ppuf/ppuf.hpp"
 #include "ppuf/response_cache.hpp"
 #include "ppuf/sim_model.hpp"
@@ -135,6 +145,52 @@ int main(int argc, char** argv) {
       "must be cheap; the cache makes repeats O(lookup) and the pool "
       "spreads fresh solves across p workers (O(n^2/p) per check).");
 
+  // Sparse-vs-dense linear-core leg: a paper-scale flattened device.  The
+  // production path solves compact models, so this leg builds the circuit
+  // the compact models abstract — all 56 blocks of an n=8 challenge,
+  // transistor by transistor, in one MNA system — and solves it cold
+  // through both linear cores.  No prepare()/characterisation is needed:
+  // the flattened netlist only consumes the variation draws.
+  std::cout << "\nflattened-device MNA: sparse core vs dense oracle...\n";
+  PpufParams dev_params;
+  dev_params.node_count = 8;
+  dev_params.grid_size = 4;
+  MaxFlowPpuf device(dev_params, kFabricationSeed);
+  util::Rng dev_rng(kChallengeSeed + 1);
+  const Challenge dev_challenge = random_challenge(device.layout(), dev_rng);
+  DeviceNetlist flat =
+      build_device_netlist(dev_params, device.network_a(), dev_challenge);
+
+  bool flat_failed = false;
+  auto solve_flat = [&](bool dense, double* current) {
+    circuit::DcOptions o;
+    o.use_dense_solver = dense;
+    const circuit::DcSolver solver(flat.netlist, o);
+    const circuit::OperatingPoint op = solver.solve();
+    if (!op.converged) flat_failed = true;
+    *current = op.source_current(flat.drive_source);
+  };
+  double sparse_current = 0.0, dense_current = 0.0;
+  const double sparse_seconds = bench::time_seconds_median(
+      [&] { solve_flat(false, &sparse_current); }, 3);
+  const double dense_seconds =
+      bench::time_seconds([&] { solve_flat(true, &dense_current); });
+  if (flat_failed) {
+    std::cerr << "FAIL: flattened device solve did not converge\n";
+    return 1;
+  }
+  const double core_speedup = dense_seconds / sparse_seconds;
+  std::cout << "dim=" << flat.mna_dimension << ": sparse "
+            << util::Table::num(sparse_seconds, 4) << " s, dense "
+            << util::Table::num(dense_seconds, 4) << " s -> "
+            << util::Table::num(core_speedup, 3) << "x (source currents "
+            << sparse_current << " / " << dense_current << " A)\n";
+  if (std::abs(sparse_current - dense_current) >
+      1e-12 + 1e-6 * std::abs(dense_current)) {
+    std::cerr << "FAIL: sparse and dense source currents diverged\n";
+    return 1;
+  }
+
   // Metrics-overhead leg: identical single-thread uncached batches with
   // the registry off and on.  Run disabled first so the enabled run's
   // counters describe exactly the runs in the snapshot.
@@ -179,6 +235,10 @@ int main(int argc, char** argv) {
   json << "  \"speedup_4_threads\": " << items_per_sec[4] / baseline << ",\n";
   json << "  \"repeated_batch_hit_rate\": " << repeat_hit_rate << ",\n";
   json << "  \"repeated_batch_items_per_sec\": " << cached_ips << ",\n";
+  json << "  \"mna_dimension\": " << flat.mna_dimension << ",\n";
+  json << "  \"sparse_solve_seconds\": " << sparse_seconds << ",\n";
+  json << "  \"dense_solve_seconds\": " << dense_seconds << ",\n";
+  json << "  \"sparse_vs_dense_speedup\": " << core_speedup << ",\n";
   json << "  \"metrics_overhead_pct\": " << overhead_pct << "\n";
   json << "}\n";
   std::cout << "json written to " << json_path << "\n";
@@ -192,6 +252,12 @@ int main(int argc, char** argv) {
   }
   if (hw >= 4 && items_per_sec[4] / baseline < 3.0) {
     std::cerr << "FAIL: 4-thread speedup below 3x on a >= 4 core host\n";
+    return 1;
+  }
+  if (core_speedup < 5.0) {
+    std::cerr << "FAIL: sparse linear core below 5x the dense oracle on "
+              << "the flattened device (got "
+              << util::Table::num(core_speedup, 3) << "x)\n";
     return 1;
   }
   return 0;

@@ -1,18 +1,33 @@
 #include "circuit/dc.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
 
+#include "circuit/mna.hpp"
 #include "circuit/newton_core.hpp"
 #include "numeric/lu.hpp"
+#include "numeric/sparse_lu.hpp"
 #include "obs/metrics.hpp"
 #include "util/fault_hooks.hpp"
 
 namespace ppuf::circuit {
+
+namespace {
+std::atomic<bool> g_default_dense_solver{false};
+}  // namespace
+
+bool default_dense_solver() {
+  return g_default_dense_solver.load(std::memory_order_relaxed);
+}
+
+void set_default_dense_solver(bool dense) {
+  g_default_dense_solver.store(dense, std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -24,127 +39,6 @@ constexpr std::size_t kGroundIdx = static_cast<std::size_t>(-1);
 std::size_t node_index(NodeId n) {
   return n == kGround ? kGroundIdx : static_cast<std::size_t>(n) - 1;
 }
-
-double voltage_of(const numeric::Vector& x, NodeId n) {
-  return n == kGround ? 0.0 : x[node_index(n)];
-}
-
-/// Accumulate a current I flowing out of node `n` plus its derivatives.
-/// `j` may be null for residual-only evaluations (line search).
-struct Stamper {
-  numeric::Vector& f;
-  numeric::Matrix* j;
-
-  void current(NodeId n, double i) {
-    const std::size_t idx = node_index(n);
-    if (idx != kGroundIdx) f[idx] += i;
-  }
-  void jacobian(NodeId row, NodeId col, double didv) {
-    if (j == nullptr) return;
-    const std::size_t r = node_index(row);
-    const std::size_t c = node_index(col);
-    if (r != kGroundIdx && c != kGroundIdx) (*j)(r, c) += didv;
-  }
-  void jacobian_branch(NodeId row, std::size_t branch_idx, double d) {
-    if (j == nullptr) return;
-    const std::size_t r = node_index(row);
-    if (r != kGroundIdx) (*j)(r, branch_idx) += d;
-  }
-};
-
-void assemble(const Netlist& nl, const DcOptions& opts,
-              const numeric::Vector& x, numeric::Vector& f,
-              numeric::Matrix* j) {
-  const std::size_t nv = nl.node_count() - 1;
-  f.assign(f.size(), 0.0);
-  if (j != nullptr) j->fill(0.0);
-  Stamper st{f, j};
-
-  // gmin from every node to ground keeps the matrix nonsingular when
-  // devices are cut off (floating internal nodes).
-  for (NodeId n = 1; n < nl.node_count(); ++n) {
-    st.current(n, opts.gmin * voltage_of(x, n));
-    st.jacobian(n, n, opts.gmin);
-  }
-
-  for (const auto& r : nl.resistors()) {
-    const double g = 1.0 / r.resistance;
-    const double i = g * (voltage_of(x, r.a) - voltage_of(x, r.b));
-    st.current(r.a, i);
-    st.current(r.b, -i);
-    st.jacobian(r.a, r.a, g);
-    st.jacobian(r.a, r.b, -g);
-    st.jacobian(r.b, r.a, -g);
-    st.jacobian(r.b, r.b, g);
-  }
-
-  for (const auto& d : nl.diodes()) {
-    const double vd = voltage_of(x, d.anode) - voltage_of(x, d.cathode);
-    const DiodeEval e = eval_diode(d.params, vd, opts.temperature_c);
-    st.current(d.anode, e.current);
-    st.current(d.cathode, -e.current);
-    st.jacobian(d.anode, d.anode, e.conductance);
-    st.jacobian(d.anode, d.cathode, -e.conductance);
-    st.jacobian(d.cathode, d.anode, -e.conductance);
-    st.jacobian(d.cathode, d.cathode, e.conductance);
-  }
-
-  for (const auto& m : nl.mosfets()) {
-    const double vgs = voltage_of(x, m.gate) - voltage_of(x, m.source);
-    const double vds = voltage_of(x, m.drain) - voltage_of(x, m.source);
-    const MosfetEval e = eval_mosfet(m.params, vgs, vds);
-    // Drain current enters the drain and exits the source; the gate draws
-    // no current.
-    st.current(m.drain, e.id);
-    st.current(m.source, -e.id);
-    // dId/dVg = gm, dId/dVd = gds, dId/dVs = -(gm + gds).
-    st.jacobian(m.drain, m.gate, e.gm);
-    st.jacobian(m.drain, m.drain, e.gds);
-    st.jacobian(m.drain, m.source, -(e.gm + e.gds));
-    st.jacobian(m.source, m.gate, -e.gm);
-    st.jacobian(m.source, m.drain, -e.gds);
-    st.jacobian(m.source, m.source, e.gm + e.gds);
-  }
-
-  for (const auto& nlel : nl.nonlinears()) {
-    const double v = voltage_of(x, nlel.a) - voltage_of(x, nlel.b);
-    double g = 0.0;
-    const double i = nlel.law.law(v, &g);
-    st.current(nlel.a, i);
-    st.current(nlel.b, -i);
-    st.jacobian(nlel.a, nlel.a, g);
-    st.jacobian(nlel.a, nlel.b, -g);
-    st.jacobian(nlel.b, nlel.a, -g);
-    st.jacobian(nlel.b, nlel.b, g);
-  }
-
-  for (const auto& s : nl.isources()) {
-    st.current(s.from, s.amps);
-    st.current(s.to, -s.amps);
-  }
-
-  // Voltage sources: branch current i_k flows out of the + pin.
-  for (std::size_t k = 0; k < nl.vsources().size(); ++k) {
-    const auto& s = nl.vsources()[k];
-    const std::size_t branch = nv + k;
-    const double ik = x[branch];
-    // KCL contribution: i_k leaves the source into node pos.
-    st.current(s.pos, -ik);
-    st.current(s.neg, ik);
-    st.jacobian_branch(s.pos, branch, -1.0);
-    st.jacobian_branch(s.neg, branch, 1.0);
-    // Branch equation: v_pos - v_neg = volts.
-    f[branch] = voltage_of(x, s.pos) - voltage_of(x, s.neg) - s.volts;
-    if (j != nullptr) {
-      if (s.pos != kGround) (*j)(branch, node_index(s.pos)) += 1.0;
-      if (s.neg != kGround) (*j)(branch, node_index(s.neg)) -= 1.0;
-    }
-  }
-}
-
-}  // namespace
-
-namespace {
 
 /// SPICE-style junction limiting (Nagel's pnjlim, adapted): any upward move
 /// of a conducting junction beyond 2 kT/q is tapered logarithmically.  The
@@ -199,10 +93,52 @@ bool limit_junctions(const Netlist& nl, const DcOptions& opts,
   return limited;
 }
 
+/// Linear-solve workspaces reused across every iteration of every
+/// recovery-ladder rung in one solve_newton call.  Exactly one of the two
+/// halves is active, per DcOptions::use_dense_solver.
+struct NewtonWorkspace {
+  bool dense = false;
+
+  // Dense oracle path.
+  numeric::Matrix j;
+  numeric::Matrix j_scratch;
+
+  // Sparse default path.  `structure` is the shared topology (pattern +
+  // replay slots + published symbolic analysis); `a` is this call's private
+  // value workspace over that pattern.
+  std::shared_ptr<const MnaStructure> structure;
+  numeric::SparseMatrix a;
+  numeric::SparseLu lu;
+};
+
+/// Factorise/refactorise the sparse workspace and solve for dx (already
+/// holding -f).  Prefers the cheap numeric replay against the held or
+/// shared symbolic analysis; falls back to a full factorisation (fresh
+/// pivot order) on kUnavailable pivot degradation, publishing the new
+/// analysis for later solves.  A typed failure here means the iteration
+/// matrix is genuinely singular.
+util::Status sparse_solve_step(NewtonWorkspace& ws, numeric::Vector& dx) {
+  util::Status st;
+  if (ws.lu.ok()) {
+    st = ws.lu.refactorize(ws.a);
+  } else if (auto sym = ws.structure->symbolic()) {
+    st = ws.lu.refactorize(ws.a, std::move(sym));
+  } else {
+    st = util::Status::unavailable("no symbolic analysis yet");
+  }
+  if (!st.is_ok()) {
+    st = ws.lu.factorize(ws.a);
+    if (st.is_ok()) ws.structure->set_symbolic(ws.lu.symbolic());
+  }
+  if (!st.is_ok()) return st;
+  return ws.lu.solve_in_place({dx.data(), dx.size()});
+}
+
 /// One Newton run at fixed options; `x` is used as the initial guess and
 /// holds the final iterate on return.
 OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
-                          const ExtraStamp& extra, numeric::Vector& x) {
+                          const ExtraStamp& extra, numeric::Vector& x,
+                          NewtonWorkspace& ws) {
   const std::size_t nv = netlist.node_count() - 1;
   const std::size_t ns = netlist.voltage_source_count();
   const std::size_t dim = nv + ns;
@@ -212,14 +148,12 @@ OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
   constexpr double kVoltageClamp = 10.0;
 
   numeric::Vector f(dim, 0.0);
-  numeric::Matrix j(dim, dim);
 
   OperatingPoint op;
   op.node_voltage.assign(netlist.node_count(), 0.0);
   op.vsource_current.assign(ns, 0.0);
 
   numeric::Vector x_trial(dim);
-  numeric::Matrix j_scratch;
   numeric::Vector dx(dim);
 
   // Anti-oscillation damping: full Newton steps can enter a period-2 cycle
@@ -232,8 +166,16 @@ OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
 
   double node_residual = 0.0;
   for (int iter = 1; iter <= options.max_iterations; ++iter) {
-    assemble(netlist, options, x, f, &j);
-    if (extra) extra(x, f, &j);
+    if (ws.dense) {
+      ws.j.fill(0.0);
+      DenseJacobianSink sink(&ws.j);
+      assemble(netlist, options, x, f, &sink, extra);
+    } else {
+      ws.a.zero_values();
+      SlotReplaySink sink(&ws.a, ws.structure->slots);
+      assemble(netlist, options, x, f, &sink, extra);
+      assert(sink.cursor() == ws.structure->slots.size());
+    }
 
     node_residual = 0.0;
     for (std::size_t i = 0; i < nv; ++i)
@@ -255,8 +197,21 @@ OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
     }
 
     for (std::size_t i = 0; i < dim; ++i) dx[i] = -f[i];
-    j_scratch = j;  // reuses its buffer after the first iteration
-    numeric::solve_in_place(j_scratch, dx);
+    util::Status solve_status;
+    if (ws.dense) {
+      ws.j_scratch = ws.j;  // reuses its buffer after the first iteration
+      solve_status = numeric::solve_in_place(ws.j_scratch, dx);
+    } else {
+      solve_status = sparse_solve_step(ws, dx);
+    }
+    if (!solve_status.is_ok()) {
+      // Singular iteration matrix (degenerate netlist): report an infinite
+      // residual instead of crashing so the recovery ladder can escalate —
+      // and, at the last rung, so the caller gets a typed non-converged
+      // OperatingPoint.
+      node_residual = std::numeric_limits<double>::infinity();
+      break;
+    }
 
     // Limit the voltage step while preserving the Newton direction.
     double max_dv = 0.0;
@@ -310,13 +265,25 @@ OperatingPoint run_newton(const Netlist& netlist, const DcOptions& options,
 
 OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
                             const ExtraStamp& extra,
-                            const OperatingPoint* warm_start) {
+                            const OperatingPoint* warm_start,
+                            std::shared_ptr<const MnaStructure> structure) {
   const std::size_t nv = netlist.node_count() - 1;
   const std::size_t ns = netlist.voltage_source_count();
   const std::size_t dim = nv + ns;
   if (dim == 0) throw std::invalid_argument("solve_newton: empty netlist");
   obs::ScopedTimer timer(obs::MetricsRegistry::global(),
                          "circuit.dc.solve_time_us");
+
+  NewtonWorkspace ws;
+  ws.dense = options.use_dense_solver;
+  if (ws.dense) {
+    ws.j = numeric::Matrix(dim, dim);
+  } else {
+    if (structure == nullptr || structure->dim != dim)
+      structure = build_mna_structure(netlist, options, extra);
+    ws.structure = std::move(structure);
+    ws.a = ws.structure->pattern;  // private value workspace, shared pattern
+  }
 
   auto warm_init = [&](numeric::Vector& x) {
     x.assign(dim, 0.0);
@@ -357,7 +324,7 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
   const int cap =
       hooks.newton_direct_iteration_cap.load(std::memory_order_relaxed);
   if (cap > 0) direct.max_iterations = std::min(direct.max_iterations, cap);
-  OperatingPoint op = run_newton(netlist, direct, extra, x);
+  OperatingPoint op = run_newton(netlist, direct, extra, x, ws);
   record(RecoveryStage::kDirect, op, op.iterations);
   if (op.converged || !options.enable_recovery) return finish(op);
 
@@ -373,10 +340,10 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
       stage.gmin = gmin;
       // Intermediate stages only need to hand over a good starting point.
       stage.residual_tol = std::max(options.residual_tol, gmin * 1e-3);
-      op = run_newton(netlist, stage, extra, x);
+      op = run_newton(netlist, stage, extra, x, ws);
       stage_iterations += op.iterations;
     }
-    op = run_newton(netlist, options, extra, x);
+    op = run_newton(netlist, options, extra, x, ws);
     stage_iterations += op.iterations;
     record(RecoveryStage::kGminStepping, op, stage_iterations);
     if (op.converged) return finish(op);
@@ -401,11 +368,13 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
         // Intermediate points only seed the next step.
         stage.residual_tol = std::max(options.residual_tol, 1e-13) * 1e2;
       }
-      op = run_newton(scaled, stage, extra, x);
+      // `scaled` shares the topology (only source values change), so the
+      // workspace pattern and symbolic analysis stay valid.
+      op = run_newton(scaled, stage, extra, x, ws);
       stage_iterations += op.iterations;
     }
     // Polish on the original netlist (bit-identical sources).
-    op = run_newton(netlist, options, extra, x);
+    op = run_newton(netlist, options, extra, x, ws);
     stage_iterations += op.iterations;
     record(RecoveryStage::kSourceStepping, op, stage_iterations);
     if (op.converged) return finish(op);
@@ -419,7 +388,7 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
     tight.step_limit = std::max(options.step_limit / 16.0, 0.01);
     tight.max_iterations = std::max(options.max_iterations * 10, 2000);
     warm_init(x);
-    op = run_newton(netlist, tight, extra, x);
+    op = run_newton(netlist, tight, extra, x, ws);
     record(RecoveryStage::kTightenedDamping, op, op.iterations);
   }
   return finish(op);
@@ -428,10 +397,28 @@ OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
 }  // namespace detail
 
 DcSolver::DcSolver(const Netlist& netlist, DcOptions options)
-    : netlist_(netlist), options_(options) {}
+    : netlist_(netlist), options_(std::move(options)) {}
 
 OperatingPoint DcSolver::solve(const OperatingPoint* warm_start) const {
-  return detail::solve_newton(netlist_, options_, nullptr, warm_start);
+  std::shared_ptr<const MnaStructure> structure;
+  if (!options_.use_dense_solver) {
+    std::lock_guard<std::mutex> lock(structure_mu_);
+    if (structure_ == nullptr) {
+      if (options_.symbolic_cache != nullptr) {
+        const std::uint64_t key = netlist_topology_key(netlist_);
+        structure_ = options_.symbolic_cache->find(key);
+        if (structure_ == nullptr) {
+          structure_ = options_.symbolic_cache->insert(
+              key, build_mna_structure(netlist_, options_, nullptr));
+        }
+      } else {
+        structure_ = build_mna_structure(netlist_, options_, nullptr);
+      }
+    }
+    structure = structure_;
+  }
+  return detail::solve_newton(netlist_, options_, nullptr, warm_start,
+                              std::move(structure));
 }
 
 }  // namespace ppuf::circuit

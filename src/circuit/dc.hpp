@@ -2,15 +2,36 @@
 // This is the "SPICE" of the project — Section 5 of the paper acquires all
 // circuit outputs from SPICE; we acquire them from here.
 //
+// The linear core inside Newton is sparse by default (slot-replayed
+// assembly + Gilbert–Peierls LU with a shared symbolic analysis; see
+// mna.hpp and numeric/sparse_lu.hpp).  The original dense path is kept
+// behind DcOptions::use_dense_solver as the differential-testing oracle;
+// set_default_dense_solver() forces it process-wide for code paths that
+// build their own DcOptions.
+//
 // Debugging: set the environment variable PPUF_NEWTON_TRACE=1 to stream a
 // per-iteration residual/step trace to stderr.
 #pragma once
+
+#include <memory>
+#include <mutex>
 
 #include "circuit/netlist.hpp"
 #include "circuit/solve_diagnostics.hpp"
 #include "numeric/matrix.hpp"
 
 namespace ppuf::circuit {
+
+class SymbolicCache;     // circuit/mna.hpp
+struct MnaStructure;     // circuit/mna.hpp
+
+/// Process-wide default for DcOptions::use_dense_solver (false unless
+/// overridden).  Tests and benches flip it to run entire subsystems —
+/// including code that constructs its own DcOptions internally — through
+/// the dense oracle.  Not synchronised: set it before spawning solver
+/// threads.
+bool default_dense_solver();
+void set_default_dense_solver(bool dense);
 
 struct DcOptions {
   int max_iterations = 200;
@@ -25,6 +46,13 @@ struct DcOptions {
   /// source stepping -> tightened damping) when the direct Newton solve
   /// stalls.  Disable only to observe the bare solver (tests do).
   bool enable_recovery = true;
+  /// Solve the Newton linear systems with the dense LU oracle instead of
+  /// the sparse default.  Differential tests diff the two paths bit-level.
+  bool use_dense_solver = default_dense_solver();
+  /// Optional shared cache of topology structures (pattern + symbolic
+  /// analysis), so same-topology netlists — e.g. every block of a device —
+  /// analyse once.  Null means per-solver caching only.
+  std::shared_ptr<SymbolicCache> symbolic_cache;
 };
 
 /// Solution of a DC analysis.
@@ -59,6 +87,12 @@ class DcSolver {
  private:
   const Netlist& netlist_;
   DcOptions options_;
+  // Topology structure, built lazily on the first sparse solve and reused
+  // for the solver's lifetime (shared through options_.symbolic_cache when
+  // one is present).  Guarded: DcSolver::solve is const and may be called
+  // from several threads.
+  mutable std::mutex structure_mu_;
+  mutable std::shared_ptr<const MnaStructure> structure_;
 };
 
 }  // namespace ppuf::circuit

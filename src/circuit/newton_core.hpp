@@ -2,26 +2,26 @@
 // Not part of the public API.
 #pragma once
 
-#include <functional>
+#include <memory>
 
 #include "circuit/dc.hpp"
+#include "circuit/mna.hpp"
 #include "circuit/netlist.hpp"
 #include "numeric/matrix.hpp"
 
 namespace ppuf::circuit::detail {
 
-/// Extra stamp hook invoked on every Newton iteration after the static
-/// devices; the transient solver uses it for capacitor companion models.
-/// Arguments: current unknown vector, residual to accumulate into, Jacobian
-/// to accumulate into (null during residual-only line-search evaluations).
-using ExtraStamp = std::function<void(
-    const numeric::Vector& x, numeric::Vector& f, numeric::Matrix* j)>;
-
 /// Runs damped Newton on the MNA system of `netlist`.
 /// Unknown layout: x[0 .. N-2] node voltages for nodes 1..N-1 (ground
 /// excluded), followed by one branch current per voltage source.
-OperatingPoint solve_newton(const Netlist& netlist, const DcOptions& options,
-                            const ExtraStamp& extra,
-                            const OperatingPoint* warm_start);
+///
+/// `structure` (optional) is the cached topology structure for this
+/// netlist + extra-stamp combination; when null (and the sparse path is
+/// active) it is built locally for the call.  Sharing it across calls is
+/// what amortises the pattern build and the LU symbolic analysis.
+OperatingPoint solve_newton(
+    const Netlist& netlist, const DcOptions& options, const ExtraStamp& extra,
+    const OperatingPoint* warm_start,
+    std::shared_ptr<const MnaStructure> structure = nullptr);
 
 }  // namespace ppuf::circuit::detail

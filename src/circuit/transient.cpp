@@ -29,38 +29,45 @@ void TransientSolver::run(const TransientObserver& observer,
   if (observer) observer(0.0, prev_op);
 
   const double g_dt = 1.0 / options_.dt;
-  for (double t = options_.dt; t <= options_.t_end + 0.5 * options_.dt;
-       t += options_.dt) {
-    // Backward-Euler companion: each capacitor becomes a conductance C/dt
-    // in parallel with a history current source -C/dt * v_prev.
-    auto stamp_caps = [&](const numeric::Vector& x, numeric::Vector& f,
-                          numeric::Matrix* j) {
-      for (const auto& c : netlist_.capacitors()) {
-        const double g = c.capacitance * g_dt;
-        const double va = c.a == kGround ? 0.0 : x[c.a - 1];
-        const double vb = c.b == kGround ? 0.0 : x[c.b - 1];
-        const double va_prev = v_prev[c.a];
-        const double vb_prev = v_prev[c.b];
-        const double i = g * ((va - vb) - (va_prev - vb_prev));
-        if (c.a != kGround) {
-          f[c.a - 1] += i;
-          if (j != nullptr) {
-            (*j)(c.a - 1, c.a - 1) += g;
-            if (c.b != kGround) (*j)(c.a - 1, c.b - 1) -= g;
-          }
-        }
-        if (c.b != kGround) {
-          f[c.b - 1] -= i;
-          if (j != nullptr) {
-            (*j)(c.b - 1, c.b - 1) += g;
-            if (c.a != kGround) (*j)(c.b - 1, c.a - 1) -= g;
-          }
+  // Backward-Euler companion: each capacitor becomes a conductance C/dt
+  // in parallel with a history current source -C/dt * v_prev.  The
+  // emission sequence is topology-fixed (only v_prev changes per step), so
+  // one structure serves every time step.
+  auto stamp_caps = [&](const numeric::Vector& x, numeric::Vector& f,
+                        JacobianSink* j) {
+    for (const auto& c : netlist_.capacitors()) {
+      const double g = c.capacitance * g_dt;
+      const double va = c.a == kGround ? 0.0 : x[c.a - 1];
+      const double vb = c.b == kGround ? 0.0 : x[c.b - 1];
+      const double va_prev = v_prev[c.a];
+      const double vb_prev = v_prev[c.b];
+      const double i = g * ((va - vb) - (va_prev - vb_prev));
+      if (c.a != kGround) {
+        f[c.a - 1] += i;
+        if (j != nullptr) {
+          j->add(c.a - 1, c.a - 1, g);
+          if (c.b != kGround) j->add(c.a - 1, c.b - 1, -g);
         }
       }
-    };
+      if (c.b != kGround) {
+        f[c.b - 1] -= i;
+        if (j != nullptr) {
+          j->add(c.b - 1, c.b - 1, g);
+          if (c.a != kGround) j->add(c.b - 1, c.a - 1, -g);
+        }
+      }
+    }
+  };
 
+  // Pattern + symbolic analysis built once, reused by every time step.
+  std::shared_ptr<const MnaStructure> structure;
+  if (!options_.dc.use_dense_solver)
+    structure = build_mna_structure(netlist_, options_.dc, stamp_caps);
+
+  for (double t = options_.dt; t <= options_.t_end + 0.5 * options_.dt;
+       t += options_.dt) {
     OperatingPoint op = detail::solve_newton(netlist_, options_.dc,
-                                             stamp_caps, &prev_op);
+                                             stamp_caps, &prev_op, structure);
     if (!op.converged)
       throw std::runtime_error("TransientSolver: Newton failed at t=" +
                                std::to_string(t));

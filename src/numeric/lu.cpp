@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace ppuf::numeric {
 
@@ -23,7 +24,11 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
         pivot = r;
       }
     }
-    if (best < 1e-300) throw std::runtime_error("LuDecomposition: singular");
+    if (best < 1e-300) {
+      status_ = util::Status::invalid_argument(
+          "LuDecomposition: singular matrix at column " + std::to_string(col));
+      return;
+    }
     if (pivot != col) {
       auto rp = lu_.row(pivot);
       auto rc = lu_.row(col);
@@ -44,39 +49,45 @@ LuDecomposition::LuDecomposition(Matrix a) : lu_(std::move(a)) {
   }
 }
 
-Vector LuDecomposition::solve(std::span<const double> b) const {
+util::Status LuDecomposition::solve(std::span<const double> b,
+                                    Vector* x) const {
+  if (!status_.is_ok()) return status_;
   const std::size_t n = size();
-  if (b.size() != n)
-    throw std::invalid_argument("LuDecomposition::solve: size mismatch");
-  Vector x(n);
+  if (b.size() != n || x == nullptr)
+    return util::Status::invalid_argument(
+        "LuDecomposition::solve: size mismatch");
+  x->resize(n);
+  Vector& out = *x;
   // Apply permutation and forward-substitute through L (unit diagonal).
   for (std::size_t i = 0; i < n; ++i) {
     double s = b[perm_[i]];
     auto rowi = lu_.row(i);
-    for (std::size_t j = 0; j < i; ++j) s -= rowi[j] * x[j];
-    x[i] = s;
+    for (std::size_t j = 0; j < i; ++j) s -= rowi[j] * out[j];
+    out[i] = s;
   }
   // Back-substitute through U.
   for (std::size_t i = n; i-- > 0;) {
-    double s = x[i];
+    double s = out[i];
     auto rowi = lu_.row(i);
-    for (std::size_t j = i + 1; j < n; ++j) s -= rowi[j] * x[j];
-    x[i] = s / rowi[i];
+    for (std::size_t j = i + 1; j < n; ++j) s -= rowi[j] * out[j];
+    out[i] = s / rowi[i];
   }
-  return x;
+  return util::Status::ok();
 }
 
 double LuDecomposition::determinant() const {
+  // A failed (singular) factorisation stopped at a sub-tiny pivot; the
+  // partial diagonal product is still ≈0, which is the right answer.
   double d = perm_sign_;
   for (std::size_t i = 0; i < size(); ++i) d *= lu_(i, i);
   return d;
 }
 
-Vector lu_solve(Matrix a, std::span<const double> b) {
-  return LuDecomposition(std::move(a)).solve(b);
+util::Status lu_solve(Matrix a, std::span<const double> b, Vector* x) {
+  return LuDecomposition(std::move(a)).solve(b, x);
 }
 
-void solve_in_place(Matrix& a, std::span<double> b) {
+util::Status solve_in_place(Matrix& a, std::span<double> b) {
   const std::size_t n = a.rows();
   if (a.cols() != n || b.size() != n)
     throw std::invalid_argument("solve_in_place: shape mismatch");
@@ -92,7 +103,9 @@ void solve_in_place(Matrix& a, std::span<double> b) {
         pivot = r;
       }
     }
-    if (best < 1e-300) throw std::runtime_error("solve_in_place: singular");
+    if (best < 1e-300)
+      return util::Status::invalid_argument(
+          "solve_in_place: singular matrix at column " + std::to_string(col));
     if (pivot != col) {
       auto rp = a.row(pivot);
       auto rc = a.row(col);
@@ -115,6 +128,7 @@ void solve_in_place(Matrix& a, std::span<double> b) {
     for (std::size_t j = i + 1; j < n; ++j) s -= rowi[j] * b[j];
     b[i] = s / rowi[i];
   }
+  return util::Status::ok();
 }
 
 }  // namespace ppuf::numeric

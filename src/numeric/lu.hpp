@@ -1,10 +1,17 @@
 // LU factorisation with partial pivoting — the workhorse behind every
 // Newton step in the circuit solver.
+//
+// Singularity is reported through util::Status (the project's error
+// ladder), never thrown: a degenerate netlist reaching a serving worker
+// must surface as a typed, per-item failure, not a process-killing
+// exception.  std::invalid_argument remains for caller bugs only (shape
+// mismatches).
 #pragma once
 
 #include <span>
 
 #include "numeric/matrix.hpp"
+#include "util/status.hpp"
 
 namespace ppuf::numeric {
 
@@ -12,32 +19,41 @@ namespace ppuf::numeric {
 /// Factor once, solve many right-hand sides.
 class LuDecomposition {
  public:
-  /// Factorises a square matrix; throws std::runtime_error if singular
-  /// (pivot magnitude below tiny threshold).
+  /// Factorises a square matrix.  Never throws on numeric trouble: check
+  /// status() / ok() before solving.  Throws std::invalid_argument only
+  /// for a non-square input (a caller bug).
   explicit LuDecomposition(Matrix a);
+
+  /// kOk, or kInvalidArgument when the matrix is singular (pivot below the
+  /// tiny threshold).
+  const util::Status& status() const { return status_; }
+  bool ok() const { return status_.is_ok(); }
 
   std::size_t size() const { return lu_.rows(); }
 
-  /// Solve A x = b.
-  Vector solve(std::span<const double> b) const;
+  /// Solve A x = b.  kInvalidArgument when the factorisation failed or
+  /// sizes mismatch.
+  util::Status solve(std::span<const double> b, Vector* x) const;
 
-  /// Determinant of the original matrix.
+  /// Determinant of the original matrix (≈0 when singular).
   double determinant() const;
 
  private:
   Matrix lu_;
   std::vector<std::size_t> perm_;
   int perm_sign_ = 1;
+  util::Status status_;
 };
 
-/// One-shot convenience: solve A x = b.
-Vector lu_solve(Matrix a, std::span<const double> b);
+/// One-shot convenience: solve A x = b into *x.  kInvalidArgument when
+/// singular or sizes mismatch.
+util::Status lu_solve(Matrix a, std::span<const double> b, Vector* x);
 
 /// Destructive in-place solve: factorises `a` (clobbered, with partial
 /// pivoting applied directly to `b`) and overwrites `b` with the solution.
 /// No heap allocation — the fast path for small systems solved in a loop
-/// (the per-iteration Newton solves).  Throws std::runtime_error when
-/// singular.
-void solve_in_place(Matrix& a, std::span<double> b);
+/// (the per-iteration Newton solves).  kInvalidArgument when singular; `b`
+/// is left in an unspecified state on failure.
+util::Status solve_in_place(Matrix& a, std::span<double> b);
 
 }  // namespace ppuf::numeric

@@ -14,11 +14,17 @@
 // saturation current is the edge capacity.
 #pragma once
 
+#include <memory>
+
 #include "circuit/env.hpp"
 #include "circuit/netlist.hpp"
 #include "circuit/variation.hpp"
 #include "ppuf/compact.hpp"
 #include "ppuf/params.hpp"
+
+namespace ppuf::circuit {
+class SymbolicCache;  // circuit/mna.hpp
+}
 
 namespace ppuf {
 
@@ -44,6 +50,17 @@ SweepCircuit build_block(const PpufParams& params,
                          const circuit::BlockVariation& variation,
                          int input_bit, const circuit::Environment& env);
 
+/// Instantiate the Fig. 2(d) block between two existing nodes of `nl`
+/// (conduction direction top -> bottom): diode, the two complementary
+/// kDoubleSd stages with their gate batteries, diode.  This is the flat
+/// transistor-level form used when a whole crossbar is assembled into one
+/// MNA system (device_netlist.hpp); build_block wraps it with a sweep
+/// source for stand-alone characterisation.
+void append_block(circuit::Netlist& nl, const PpufParams& params,
+                  const circuit::BlockVariation& variation, int input_bit,
+                  circuit::NodeId top, circuit::NodeId bottom,
+                  const circuit::Environment& env);
+
 /// Characterised block: a monotone compact I-V curve plus the saturation
 /// current used as the edge capacity in the public simulation model.
 struct BlockCurve {
@@ -57,16 +74,20 @@ constexpr double kCapacityReferenceVoltage = 1.4;
 
 /// Sweep the device-level block netlist and build its compact model.
 /// This is the expensive step; CrossbarNetwork caches the result per
-/// (block, input bit, environment).
-BlockCurve characterize_block(const PpufParams& params,
-                              const circuit::BlockVariation& variation,
-                              int input_bit, const circuit::Environment& env);
+/// (block, input bit, environment).  `symbolic_cache` (optional) shares the
+/// MNA pattern + sparse-LU symbolic analysis across calls: every block of a
+/// device has the same netlist topology, so the whole device analyses once.
+BlockCurve characterize_block(
+    const PpufParams& params, const circuit::BlockVariation& variation,
+    int input_bit, const circuit::Environment& env,
+    std::shared_ptr<circuit::SymbolicCache> symbolic_cache = nullptr);
 
 /// I-V samples of a sweep circuit at the given voltages (exposed for the
 /// Fig. 3 bench and tests).
-std::vector<double> sweep_current(SweepCircuit& circuit,
-                                  std::span<const double> voltages,
-                                  const circuit::Environment& env);
+std::vector<double> sweep_current(
+    SweepCircuit& circuit, std::span<const double> voltages,
+    const circuit::Environment& env,
+    std::shared_ptr<circuit::SymbolicCache> symbolic_cache = nullptr);
 
 /// The characterisation voltage grid: dense around the knee, sparser on the
 /// plateau, with a small negative segment for the diode-blocked region.

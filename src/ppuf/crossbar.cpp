@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "circuit/mna.hpp"
+
 namespace ppuf {
 
 namespace {
@@ -32,11 +34,18 @@ CrossbarNetwork::CrossbarNetwork(const PpufParams& params,
 
 void CrossbarNetwork::prepare(const circuit::Environment& env) {
   if (prepared_ && same_env(env, cached_env_)) return;
+  // Operating conditions changed: any stored warm-start point belongs to
+  // the previous environment and must not seed the next solve.
+  clear_warm_start();
+  if (symbolic_cache_ == nullptr)
+    symbolic_cache_ = std::make_shared<circuit::SymbolicCache>();
   const std::size_t edges = variation_.size();
   curves_.assign(edges, {});
   for (std::size_t e = 0; e < edges; ++e) {
     for (int bit = 0; bit < 2; ++bit) {
-      curves_[e][bit] = characterize_block(params_, variation_[e], bit, env);
+      curves_[e][bit] =
+          characterize_block(params_, variation_[e], bit, env,
+                             symbolic_cache_);
     }
   }
   if (!solver_) {
@@ -75,8 +84,15 @@ CrossbarNetwork::Execution CrossbarNetwork::execute(
     const Challenge& challenge, const circuit::Environment& env) {
   prepare(env);
   select_curves(challenge);
-  const NetworkSolver::DcResult dc = solver_->solve_dc(
-      challenge.source, challenge.sink, params_.vs * env.vdd_scale);
+  const numeric::Vector* warm =
+      warm_start_enabled_ && have_last_solution_ ? &last_solution_ : nullptr;
+  const NetworkSolver::DcResult dc =
+      solver_->solve_dc(challenge.source, challenge.sink,
+                        params_.vs * env.vdd_scale, warm);
+  if (warm_start_enabled_ && dc.converged) {
+    last_solution_ = dc.node_voltage;
+    have_last_solution_ = true;
+  }
   Execution out;
   out.source_current = dc.source_current;
   out.newton_iterations = dc.iterations;
@@ -89,11 +105,18 @@ std::vector<double> CrossbarNetwork::execute_edge_currents(
     const Challenge& challenge, const circuit::Environment& env) {
   prepare(env);
   select_curves(challenge);
-  const NetworkSolver::DcResult dc = solver_->solve_dc(
-      challenge.source, challenge.sink, params_.vs * env.vdd_scale);
+  const numeric::Vector* warm =
+      warm_start_enabled_ && have_last_solution_ ? &last_solution_ : nullptr;
+  const NetworkSolver::DcResult dc =
+      solver_->solve_dc(challenge.source, challenge.sink,
+                        params_.vs * env.vdd_scale, warm);
   if (!dc.converged) {
     throw circuit::ConvergenceError(
         "execute_edge_currents: DC solve failed", dc.diagnostics);
+  }
+  if (warm_start_enabled_) {
+    last_solution_ = dc.node_voltage;
+    have_last_solution_ = true;
   }
   return solver_->edge_currents(dc.node_voltage);
 }

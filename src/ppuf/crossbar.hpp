@@ -40,6 +40,30 @@ class CrossbarNetwork {
   /// cached for the same environment).
   void prepare(const circuit::Environment& env);
 
+  /// Share a circuit-level symbolic cache (MNA pattern + sparse-LU
+  /// analysis) used during block characterisation.  All blocks have the
+  /// same netlist topology, so a whole device analyses once; MaxFlowPpuf
+  /// passes one cache to both of its networks.  Set before prepare().
+  void set_symbolic_cache(std::shared_ptr<circuit::SymbolicCache> cache) {
+    symbolic_cache_ = std::move(cache);
+  }
+  const std::shared_ptr<circuit::SymbolicCache>& symbolic_cache() const {
+    return symbolic_cache_;
+  }
+
+  /// Opt in to warm-starting the network Newton solve from the previous
+  /// converged execution (chained-auth acceleration).  Off by default:
+  /// cold starts make execute() bitwise repeatable, which tests and the
+  /// golden corpus rely on; warm starts converge to the same bits but may
+  /// differ in the last few ulps of the node voltages.  The stored state is
+  /// discarded whenever the environment changes (re-characterisation).
+  void set_warm_start(bool enabled) {
+    warm_start_enabled_ = enabled;
+    if (!enabled) clear_warm_start();
+  }
+  bool warm_start_enabled() const { return warm_start_enabled_; }
+  void clear_warm_start() { have_last_solution_ = false; }
+
   /// Compact model of edge e under input bit `bit`; prepare() first.
   const BlockCurve& curve(graph::EdgeId e, int bit) const;
 
@@ -79,6 +103,10 @@ class CrossbarNetwork {
   circuit::Environment cached_env_{};
   bool prepared_ = false;
   std::unique_ptr<NetworkSolver> solver_;
+  std::shared_ptr<circuit::SymbolicCache> symbolic_cache_;
+  bool warm_start_enabled_ = false;
+  bool have_last_solution_ = false;
+  numeric::Vector last_solution_;  ///< node voltages of last converged solve
 };
 
 }  // namespace ppuf

@@ -1,0 +1,53 @@
+#include "ppuf/device_netlist.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "ppuf/block.hpp"
+
+namespace ppuf {
+
+DeviceNetlist build_device_netlist(const PpufParams& params,
+                                   const CrossbarNetwork& network,
+                                   const Challenge& challenge,
+                                   const circuit::Environment& env) {
+  const CrossbarLayout& layout = network.layout();
+  const std::size_t n = layout.node_count();
+  if (challenge.bits.size() != layout.cell_count())
+    throw std::invalid_argument(
+        "build_device_netlist: challenge size mismatch");
+  if (challenge.source >= n || challenge.sink >= n ||
+      challenge.source == challenge.sink)
+    throw std::invalid_argument(
+        "build_device_netlist: bad source/sink pair");
+
+  DeviceNetlist dn;
+  circuit::Netlist& nl = dn.netlist;
+  dn.bar_node.resize(n);
+  for (graph::VertexId v = 0; v < n; ++v) {
+    dn.bar_node[v] = v == challenge.sink
+                         ? circuit::kGround
+                         : nl.add_node("bar" + std::to_string(v));
+  }
+
+  // Same row-major ordered-pair edge enumeration as CrossbarNetwork's
+  // variation table and graph::complete_edge_id.
+  graph::EdgeId e = 0;
+  for (graph::VertexId i = 0; i < n; ++i) {
+    for (graph::VertexId j = 0; j < n; ++j) {
+      if (i == j) continue;
+      const int bit = challenge.bits[layout.cell_of_edge(i, j)] ? 1 : 0;
+      append_block(nl, params, network.block_variation(e), bit,
+                   dn.bar_node[i], dn.bar_node[j], env);
+      ++e;
+    }
+  }
+
+  dn.drive_source = nl.add_voltage_source(
+      dn.bar_node[challenge.source], circuit::kGround,
+      params.vs * env.vdd_scale);
+  dn.mna_dimension = (nl.node_count() - 1) + nl.voltage_source_count();
+  return dn;
+}
+
+}  // namespace ppuf

@@ -1,0 +1,50 @@
+// Flat transistor-level view of one crossbar challenge.
+//
+// The production path never solves this: CrossbarNetwork characterises
+// each block once into a compact monotone curve and NetworkSolver works on
+// the n-node weighted Laplacian.  But the flattened system — every one of
+// the n(n-1) blocks instantiated device-by-device between its two bars,
+// assembled into a single MNA matrix of several hundred unknowns — is the
+// circuit the paper's SPICE decks actually contain, and it is exactly the
+// scale where the sparse linear core earns its keep: the MNA Jacobian has
+// O(1) entries per row, so dense LU pays O(dim^3) per Newton iteration for
+// a structurally sparse problem.  bench_batch_throughput times a full DC
+// solve of this netlist through both linear cores and gates on the
+// speedup; tests use it as a paper-scale sparse-vs-dense fixture.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/env.hpp"
+#include "circuit/netlist.hpp"
+#include "ppuf/challenge.hpp"
+#include "ppuf/crossbar.hpp"
+
+namespace ppuf {
+
+struct DeviceNetlist {
+  circuit::Netlist netlist;
+  /// Electrical node of each graph vertex's bar pair; the challenge's sink
+  /// bar is ground.
+  std::vector<circuit::NodeId> bar_node;
+  /// Handle of the source-bar supply (its branch current is the device's
+  /// source current, sign as in OperatingPoint::source_current).
+  std::size_t drive_source = 0;
+  /// MNA dimension of the flattened system: every non-ground node plus one
+  /// branch current per voltage source.
+  std::size_t mna_dimension = 0;
+};
+
+/// Flatten `network` under `challenge` into one device-level netlist: for
+/// every directed edge (i, j) the full Fig. 2(d) block with that edge's
+/// process variation and the challenge's input bit, conduction from bar i
+/// to bar j; the source bar is driven at params.vs * env.vdd_scale against
+/// the grounded sink bar.
+DeviceNetlist build_device_netlist(const PpufParams& params,
+                                   const CrossbarNetwork& network,
+                                   const Challenge& challenge,
+                                   const circuit::Environment& env =
+                                       circuit::Environment::nominal());
+
+}  // namespace ppuf

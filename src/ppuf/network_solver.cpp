@@ -130,12 +130,19 @@ NetworkSolver::NewtonOutcome NetworkSolver::run_newton(
     for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
 
     numeric::Vector dx;
+    bool factored = true;
     try {
       dx = numeric::cholesky_solve(lap, rhs);
     } catch (const std::runtime_error&) {
       // The Laplacian is SPD in exact arithmetic; fall back to pivoted LU
       // if rounding pushes a pivot non-positive.
-      dx = numeric::lu_solve(lap, rhs);
+      factored = false;
+    }
+    if (!factored && !numeric::lu_solve(lap, rhs, &dx).is_ok()) {
+      // Genuinely singular system (degenerate network): stop iterating and
+      // report a typed non-converged result instead of crashing the worker.
+      out.converged = false;
+      break;
     }
 
     const double max_dv = numeric::norm_inf(dx);
@@ -354,10 +361,16 @@ NetworkSolver::TransientResult NetworkSolver::solve_transient(
       numeric::Vector rhs(m);
       for (std::size_t i = 0; i < m; ++i) rhs[i] = -residual[i];
       numeric::Vector dx;
+      bool factored = true;
       try {
         dx = numeric::cholesky_solve(jac, rhs);
       } catch (const std::runtime_error&) {
-        dx = numeric::lu_solve(jac, rhs);
+        factored = false;
+      }
+      if (!factored && !numeric::lu_solve(jac, rhs, &dx).is_ok()) {
+        // Singular step matrix: leave `converged` false so the existing
+        // per-step diagnostics path reports a typed failure.
+        break;
       }
       const double max_dv = numeric::norm_inf(dx);
       const double scale =

@@ -1,5 +1,7 @@
 #include "ppuf/ppuf.hpp"
 
+#include "circuit/mna.hpp"
+
 namespace ppuf {
 
 namespace {
@@ -32,6 +34,12 @@ MaxFlowPpuf::MaxFlowPpuf(const PpufParams& params, std::uint64_t seed)
   util::Rng rng = make_fab_rng(seed ^ 0xd6e8feb86659fd93ULL);
   comparator_offset_ =
       rng.gaussian(0.0, params_.comparator_offset_sigma);
+  // One symbolic cache per device: both networks' blocks share a netlist
+  // topology, so the MNA pattern and sparse-LU analysis are computed once
+  // and replayed for all 4 n (n-1) characterisation sweeps.
+  auto cache = std::make_shared<circuit::SymbolicCache>();
+  network_a_.set_symbolic_cache(cache);
+  network_b_.set_symbolic_cache(cache);
 }
 
 void MaxFlowPpuf::prepare(const circuit::Environment& env) {

@@ -51,6 +51,24 @@ class MaxFlowPpuf {
   /// Pre-characterise both networks for `env` (evaluate() does this lazily).
   void prepare(const circuit::Environment& env);
 
+  /// Opt in to warm-starting each network's Newton solve from its previous
+  /// converged execution.  Chained authentication flips only a handful of
+  /// challenge bits per round, so the previous operating point is an
+  /// excellent initial guess.  Off by default: cold starts keep evaluate()
+  /// bitwise repeatable.  Response *bits* are identical either way (the
+  /// differential suite asserts it).
+  void set_warm_start(bool enabled) {
+    network_a_.set_warm_start(enabled);
+    network_b_.set_warm_start(enabled);
+  }
+  bool warm_start_enabled() const { return network_a_.warm_start_enabled(); }
+
+  /// The per-device symbolic cache shared by both networks' block
+  /// characterisations (one MNA pattern + sparse-LU analysis per device).
+  const std::shared_ptr<circuit::SymbolicCache>& symbolic_cache() const {
+    return network_a_.symbolic_cache();
+  }
+
  private:
   PpufParams params_;
   CrossbarLayout layout_;

@@ -286,6 +286,12 @@ ChainedReport prove_chain_with_ppuf(MaxFlowPpuf& instance,
                                     double modelled_delay_seconds) {
   ChainedReport report;
   Challenge c = first;
+  // Consecutive chain rounds flip only a handful of challenge bits, so each
+  // round's operating point is an excellent Newton seed for the next.
+  // Warm-starting is scoped to the chain: restore the instance's previous
+  // mode on exit so one-shot evaluations stay bitwise repeatable.
+  const bool was_warm = instance.warm_start_enabled();
+  instance.set_warm_start(true);
   for (std::size_t i = 0; i < k; ++i) {
     report.rounds.push_back(
         prove_with_ppuf(instance, c, modelled_delay_seconds));
@@ -294,6 +300,7 @@ ChainedReport prove_chain_with_ppuf(MaxFlowPpuf& instance,
                          protocol_nonce);
     }
   }
+  instance.set_warm_start(was_warm);
   report.elapsed_seconds =
       modelled_delay_seconds * static_cast<double>(k);
   return report;

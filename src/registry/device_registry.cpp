@@ -10,6 +10,7 @@
 #include <fstream>
 #include <system_error>
 
+#include "circuit/mna.hpp"
 #include "obs/metrics.hpp"
 #include "ppuf/ppuf.hpp"
 #include "protocol/codec.hpp"
@@ -271,6 +272,13 @@ util::Status DeviceRegistry::enroll(const EnrollRequest& request,
   params.node_count = request.node_count;
   params.grid_size = request.grid_size;
   MaxFlowPpuf puf(params, request.seed);
+  // Fleet-level symbolic reuse: all devices' blocks share one netlist
+  // topology, so block characterisation after the first enrollment skips
+  // the MNA pattern build and sparse-LU symbolic analysis entirely.
+  if (enroll_symbolic_cache_ == nullptr)
+    enroll_symbolic_cache_ = std::make_shared<circuit::SymbolicCache>();
+  puf.network_a().set_symbolic_cache(enroll_symbolic_cache_);
+  puf.network_b().set_symbolic_cache(enroll_symbolic_cache_);
   SimulationModel model(puf);
 
   WalRecord record;

@@ -38,6 +38,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
@@ -45,6 +46,10 @@
 #include "ppuf/sim_model.hpp"
 #include "registry/record.hpp"
 #include "util/status.hpp"
+
+namespace ppuf::circuit {
+class SymbolicCache;  // circuit/mna.hpp
+}
 
 namespace ppuf::registry {
 
@@ -141,6 +146,11 @@ class DeviceRegistry {
   /// True after a failed append left (possibly) uncommitted bytes past
   /// wal_len_; the next append truncates back to wal_len_ first.
   bool wal_dirty_ = false;
+  /// Fleet-level circuit symbolic cache: every enrolled device's blocks
+  /// share one netlist topology, so the MNA pattern + sparse-LU analysis
+  /// from the first enrollment is replayed by all later ones.  Created
+  /// lazily on the first enroll; guarded by mutex_.
+  std::shared_ptr<circuit::SymbolicCache> enroll_symbolic_cache_;
 };
 
 }  // namespace ppuf::registry

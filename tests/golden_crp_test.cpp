@@ -15,6 +15,7 @@
 // and a review of the resulting JSON diff.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <iomanip>
@@ -22,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "circuit/dc.hpp"
 #include "ppuf/ppuf.hpp"
 #include "ppuf/sim_model.hpp"
 #include "util/rng.hpp"
@@ -223,6 +225,39 @@ TEST(GoldenCrp, RecordedVectorsMatchCurrentBehaviour) {
     const double tol_b = 1e-9 * std::abs(want.flow_b);
     EXPECT_NEAR(got.flow_a, want.flow_a, tol_a) << "flow drift, crp " << i;
     EXPECT_NEAR(got.flow_b, want.flow_b, tol_b) << "flow drift, crp " << i;
+  }
+}
+
+TEST(GoldenCrp, DenseOracleReproducesGoldenCorpusBitForBit) {
+  // The goldens were recorded with the dense linear core; the sparse core
+  // is now the default, so RecordedVectorsMatchCurrentBehaviour already
+  // pins sparse-vs-goldens.  This leg closes the triangle: recompute the
+  // whole corpus through the dense oracle and demand identical response
+  // bits (and solver-tolerance flows) against the sparse recomputation.
+  const std::vector<GoldenCrp> sparse = compute_current();
+  std::vector<GoldenCrp> dense;
+  circuit::set_default_dense_solver(true);
+  try {
+    dense = compute_current();
+  } catch (...) {
+    circuit::set_default_dense_solver(false);
+    throw;
+  }
+  circuit::set_default_dense_solver(false);
+
+  ASSERT_EQ(sparse.size(), dense.size());
+  for (std::size_t i = 0; i < sparse.size(); ++i) {
+    EXPECT_EQ(sparse[i].bits, dense[i].bits) << "crp " << i;
+    EXPECT_EQ(sparse[i].silicon_bit, dense[i].silicon_bit)
+        << "sparse/dense silicon bit drift, crp " << i;
+    EXPECT_EQ(sparse[i].model_bit, dense[i].model_bit)
+        << "sparse/dense model bit drift, crp " << i;
+    EXPECT_NEAR(sparse[i].flow_a, dense[i].flow_a,
+                1e-9 * std::abs(dense[i].flow_a))
+        << "crp " << i;
+    EXPECT_NEAR(sparse[i].flow_b, dense[i].flow_b,
+                1e-9 * std::abs(dense[i].flow_b))
+        << "crp " << i;
   }
 }
 

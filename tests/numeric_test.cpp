@@ -1,10 +1,16 @@
-// Tests for src/numeric: matrix, LU, Cholesky.
+// Tests for src/numeric: matrix, LU, Cholesky, sparse matrix + sparse LU.
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
 
 #include "numeric/cholesky.hpp"
 #include "numeric/lu.hpp"
 #include "numeric/matrix.hpp"
+#include "numeric/sparse.hpp"
+#include "numeric/sparse_lu.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 
 namespace ppuf::numeric {
 namespace {
@@ -69,22 +75,41 @@ TEST(VectorOps, DotAxpyNorms) {
 
 TEST(Lu, SolvesKnownSystem) {
   // x + 2y = 5; 3x + 4y = 11  ->  x = 1, y = 2
-  const Vector x = lu_solve(Matrix{{1.0, 2.0}, {3.0, 4.0}}, Vector{5.0, 11.0});
+  Vector x;
+  ASSERT_TRUE(
+      lu_solve(Matrix{{1.0, 2.0}, {3.0, 4.0}}, Vector{5.0, 11.0}, &x)
+          .is_ok());
   EXPECT_NEAR(x[0], 1.0, 1e-12);
   EXPECT_NEAR(x[1], 2.0, 1e-12);
 }
 
 TEST(Lu, PivotingHandlesZeroDiagonal) {
   // Leading zero forces a row swap.
-  const Vector x =
-      lu_solve(Matrix{{0.0, 1.0}, {1.0, 0.0}}, Vector{3.0, 7.0});
+  Vector x;
+  ASSERT_TRUE(
+      lu_solve(Matrix{{0.0, 1.0}, {1.0, 0.0}}, Vector{3.0, 7.0}, &x).is_ok());
   EXPECT_NEAR(x[0], 7.0, 1e-12);
   EXPECT_NEAR(x[1], 3.0, 1e-12);
 }
 
-TEST(Lu, SingularThrows) {
-  EXPECT_THROW(LuDecomposition(Matrix{{1.0, 2.0}, {2.0, 4.0}}),
-               std::runtime_error);
+// Regression for the serving-worker crash path: a singular system must come
+// back as a typed Status (kInvalidArgument), never as a thrown
+// std::runtime_error that can kill a worker mid-batch.
+TEST(Lu, SingularReportsTypedStatus) {
+  const LuDecomposition lu(Matrix{{1.0, 2.0}, {2.0, 4.0}});
+  EXPECT_FALSE(lu.ok());
+  EXPECT_EQ(lu.status().code(), util::StatusCode::kInvalidArgument);
+  Vector x;
+  EXPECT_EQ(lu.solve(Vector{1.0, 1.0}, &x).code(),
+            util::StatusCode::kInvalidArgument);
+
+  Matrix a{{1.0, 2.0}, {2.0, 4.0}};
+  Vector b{1.0, 1.0};
+  EXPECT_EQ(solve_in_place(a, b).code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(lu_solve(Matrix{{1.0, 2.0}, {2.0, 4.0}}, Vector{1.0, 1.0}, &x)
+                .code(),
+            util::StatusCode::kInvalidArgument);
 }
 
 TEST(Lu, NonSquareThrows) {
@@ -100,8 +125,10 @@ TEST(Lu, DeterminantKnown) {
 
 TEST(Lu, MultipleRhsReuseFactorisation) {
   const LuDecomposition lu(Matrix{{4.0, 1.0}, {1.0, 3.0}});
-  const Vector x1 = lu.solve(Vector{1.0, 0.0});
-  const Vector x2 = lu.solve(Vector{0.0, 1.0});
+  ASSERT_TRUE(lu.ok());
+  Vector x1, x2;
+  ASSERT_TRUE(lu.solve(Vector{1.0, 0.0}, &x1).is_ok());
+  ASSERT_TRUE(lu.solve(Vector{0.0, 1.0}, &x2).is_ok());
   // Columns of the inverse of [[4,1],[1,3]] = 1/11 [[3,-1],[-1,4]].
   EXPECT_NEAR(x1[0], 3.0 / 11.0, 1e-12);
   EXPECT_NEAR(x1[1], -1.0 / 11.0, 1e-12);
@@ -142,7 +169,8 @@ TEST_P(SpdSolveProperty, CholeskyMatchesLuAndResidualSmall) {
   for (auto& v : rhs) v = rng.gaussian();
 
   const Vector x_chol = cholesky_solve(a, rhs);
-  const Vector x_lu = lu_solve(a, rhs);
+  Vector x_lu;
+  ASSERT_TRUE(lu_solve(a, rhs, &x_lu).is_ok());
   for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x_chol[i], x_lu[i], 1e-8);
 
   const Vector ax = a.multiply(x_chol);
@@ -151,6 +179,227 @@ TEST_P(SpdSolveProperty, CholeskyMatchesLuAndResidualSmall) {
 
 INSTANTIATE_TEST_SUITE_P(RandomSpd, SpdSolveProperty,
                          ::testing::Range(0, 12));
+
+// ---------------------------------------------------------------------------
+// SparseMatrix structure + hostile-input behaviour
+// ---------------------------------------------------------------------------
+
+TEST(Sparse, FromTripletsBuildsSortedCsr) {
+  // Out-of-order columns and rows: CSR must come out sorted either way.
+  const std::vector<Triplet> t{{1, 2, 3.0}, {0, 1, 2.0}, {1, 0, 4.0},
+                               {0, 0, 1.0}};
+  std::vector<std::size_t> slots;
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 3, t, &slots);
+  EXPECT_EQ(m.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.to_dense()(1, 0), 4.0);
+  EXPECT_DOUBLE_EQ(m.to_dense()(1, 2), 3.0);
+  // Column indices ascend within each row.
+  for (std::size_t r = 0; r < m.rows(); ++r)
+    for (std::size_t k = m.row_ptr()[r] + 1; k < m.row_ptr()[r + 1]; ++k)
+      EXPECT_LT(m.col_idx()[k - 1], m.col_idx()[k]);
+  // The slot map traces each input triplet to its value slot.
+  for (std::size_t i = 0; i < t.size(); ++i)
+    EXPECT_DOUBLE_EQ(m.values()[slots[i]], t[i].value);
+}
+
+TEST(Sparse, DuplicateTripletsAccumulate) {
+  const std::vector<Triplet> t{{0, 0, 1.5}, {0, 0, 2.5}, {1, 1, -1.0}};
+  std::vector<std::size_t> slots;
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 2, t, &slots);
+  EXPECT_EQ(m.nnz(), 2u);  // duplicates merged
+  EXPECT_DOUBLE_EQ(m.to_dense()(0, 0), 4.0);
+  EXPECT_EQ(slots[0], slots[1]);  // both duplicates share one slot
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+  const std::vector<Triplet> t{{2, 0, 1.0}};
+  EXPECT_THROW(SparseMatrix::from_triplets(2, 2, t), std::invalid_argument);
+}
+
+TEST(Sparse, DenseRoundTripOnRandomPatterns) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(trial);
+    Matrix dense(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        if (rng.uniform() < 0.35) dense(r, c) = rng.gaussian();
+    const SparseMatrix sp = SparseMatrix::from_dense(dense);
+    const Matrix back = sp.to_dense();
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c)
+        EXPECT_DOUBLE_EQ(back(r, c), dense(r, c));
+    // multiply() agrees with the dense product.
+    Vector x(n);
+    for (auto& v : x) v = rng.gaussian();
+    const Vector ys = sp.multiply(x);
+    const Vector yd = dense.multiply(x);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ys[i], yd[i], 1e-12);
+  }
+}
+
+TEST(Sparse, PatternHashAndSlotLookup) {
+  const std::vector<Triplet> t{{0, 0, 1.0}, {1, 1, 2.0}, {0, 1, 3.0}};
+  SparseMatrix a = SparseMatrix::from_triplets(2, 2, t);
+  SparseMatrix b = SparseMatrix::from_triplets(
+      2, 2, std::vector<Triplet>{{0, 1, 9.0}, {1, 1, 8.0}, {0, 0, 7.0}});
+  EXPECT_TRUE(a.same_pattern(b));
+  EXPECT_EQ(a.pattern_hash(), b.pattern_hash());
+  EXPECT_NE(a.find_slot(0, 1), SparseMatrix::npos);
+  EXPECT_EQ(a.find_slot(1, 0), SparseMatrix::npos);
+  a.zero_values();
+  for (const double v : a.values()) EXPECT_EQ(v, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Sparse LU: round-trip vs dense, typed singular errors, pattern reuse
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Random diagonally-dominant sparse system (always solvable).
+SparseMatrix random_system(util::Rng& rng, std::size_t n, double density) {
+  std::vector<Triplet> t;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      if (r == c) continue;
+      if (rng.uniform() < density) t.push_back({r, c, rng.gaussian()});
+    }
+    t.push_back({r, r, 4.0 + static_cast<double>(n) + rng.uniform()});
+  }
+  return SparseMatrix::from_triplets(n, n, t);
+}
+
+}  // namespace
+
+TEST(SparseLu, MatchesDenseLuOnRandomPatterns) {
+  util::Rng rng(777);
+  for (int trial = 0; trial < 12; ++trial) {
+    const std::size_t n = 4 + static_cast<std::size_t>(trial) * 3;
+    const SparseMatrix a = random_system(rng, n, 0.25);
+    Vector b(n);
+    for (auto& v : b) v = rng.gaussian();
+
+    SparseLu lu;
+    ASSERT_TRUE(lu.factorize(a).is_ok());
+    Vector xs;
+    ASSERT_TRUE(lu.solve(b, &xs).is_ok());
+
+    Vector xd;
+    ASSERT_TRUE(lu_solve(a.to_dense(), b, &xd).is_ok());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+
+    // Residual check against the sparse operator itself.
+    const Vector ax = a.multiply(xs);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(ax[i], b[i], 1e-9);
+  }
+}
+
+TEST(SparseLu, SingularTypedErrorMatchesDenseLadder) {
+  // Second row is a multiple of the first: structurally fine, numerically
+  // singular.  Both solvers must answer with kInvalidArgument — neither may
+  // throw (the no throw-crash divergence the differential layer relies on).
+  const std::vector<Triplet> t{{0, 0, 1.0}, {0, 1, 2.0},
+                               {1, 0, 2.0}, {1, 1, 4.0}};
+  const SparseMatrix a = SparseMatrix::from_triplets(2, 2, t);
+  SparseLu lu;
+  const util::Status sparse_status = lu.factorize(a);
+  EXPECT_EQ(sparse_status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(lu.ok());
+
+  const LuDecomposition dense(a.to_dense());
+  EXPECT_EQ(dense.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SparseLu, HostileInputsTypedErrors) {
+  SparseLu lu;
+  EXPECT_EQ(lu.factorize(SparseMatrix()).code(),
+            util::StatusCode::kInvalidArgument);  // empty matrix
+  const SparseMatrix rect = SparseMatrix::from_triplets(
+      2, 3, std::vector<Triplet>{{0, 0, 1.0}});
+  EXPECT_EQ(lu.factorize(rect).code(), util::StatusCode::kInvalidArgument);
+  // Solve before (successful) factorisation.
+  Vector x;
+  EXPECT_EQ(lu.solve(Vector{1.0}, &x).code(),
+            util::StatusCode::kInvalidArgument);
+  // refactorize with no symbolic analysis held.
+  const SparseMatrix ok2 = SparseMatrix::from_triplets(
+      2, 2, std::vector<Triplet>{{0, 0, 1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(lu.refactorize(ok2).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SparseLu, PatternReuseAfterValueChange) {
+  util::Rng rng(4242);
+  const std::size_t n = 30;
+  SparseMatrix a = random_system(rng, n, 0.2);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factorize(a).is_ok());
+  const auto symbolic = lu.symbolic();
+  ASSERT_NE(symbolic, nullptr);
+
+  for (int round = 0; round < 5; ++round) {
+    // New values, same pattern: numeric-only replay must stay exact.
+    for (double& v : a.values()) v += 0.01 * rng.gaussian();
+    ASSERT_TRUE(lu.refactorize(a).is_ok());
+    Vector b(n);
+    for (auto& v : b) v = rng.gaussian();
+    Vector xs, xd;
+    ASSERT_TRUE(lu.solve(b, &xs).is_ok());
+    ASSERT_TRUE(lu_solve(a.to_dense(), b, &xd).is_ok());
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+    // The symbolic analysis object is stable across refactorisations.
+    EXPECT_EQ(lu.symbolic(), symbolic);
+  }
+
+  // A different pattern must be rejected by the replay path.
+  const SparseMatrix other = random_system(rng, n + 1, 0.2);
+  EXPECT_EQ(lu.refactorize(other).code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(SparseLu, SharedSymbolicAcrossInstances) {
+  util::Rng rng(99);
+  const std::size_t n = 20;
+  const SparseMatrix a = random_system(rng, n, 0.25);
+  SparseLu first;
+  ASSERT_TRUE(first.factorize(a).is_ok());
+
+  // Same pattern, different values, a *fresh* instance adopting the shared
+  // analysis: no symbolic work, still exact.
+  SparseMatrix b = a;
+  for (double& v : b.values()) v *= 1.1;
+  SparseLu second;
+  ASSERT_TRUE(second.refactorize(b, first.symbolic()).is_ok());
+  Vector rhs(n);
+  for (auto& v : rhs) v = rng.gaussian();
+  Vector xs, xd;
+  ASSERT_TRUE(second.solve(rhs, &xs).is_ok());
+  ASSERT_TRUE(lu_solve(b.to_dense(), rhs, &xd).is_ok());
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(xs[i], xd[i], 1e-9);
+}
+
+TEST(SparseLu, RefactorizeReportsDegradedPivots) {
+  // Factorise with a dominant (1,1) entry, then swing the values so the
+  // frozen pivot order becomes catastrophically bad: the replay must come
+  // back kUnavailable (retry with factorize), not return a silently wrong
+  // factor or crash.
+  const std::vector<Triplet> t{{0, 0, 1e-8}, {0, 1, 1.0},
+                               {1, 0, 1.0},  {1, 1, 5.0}};
+  SparseMatrix a = SparseMatrix::from_triplets(2, 2, t);
+  SparseLu lu;
+  ASSERT_TRUE(lu.factorize(a).is_ok());
+
+  SparseMatrix bad = a;
+  // Zero the entry the fixed pivot order relies on.
+  bad.values()[bad.find_slot(1, 0)] = 0.0;
+  bad.values()[bad.find_slot(1, 1)] = 0.0;
+  const util::Status st = lu.refactorize(bad);
+  EXPECT_FALSE(st.is_ok());
+  // Recovery: a fresh factorisation decides for itself.
+  EXPECT_EQ(lu.factorize(bad).code(), util::StatusCode::kInvalidArgument);
+}
 
 }  // namespace
 }  // namespace ppuf::numeric
