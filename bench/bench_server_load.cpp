@@ -18,11 +18,20 @@
 //      the first request per device pays the hydration cost (WAL decode +
 //      model materialisation), later ones hit the LRU cache.  Reports
 //      cold vs warm request latency.
+//   5. Coalescing: 64 pipelined connections against coalesce-off vs
+//      coalesce-on servers (the on-server also runs the device-keyed
+//      response cache, which per-frame dispatch never reads — that IS the
+//      uncached baseline).  Gate: >= 2x items/s.  Also sweeps
+//      coalesce_max_batch in {1, 4, 16, 32} for a batch-size-vs-p99
+//      curve, and soaks a coalescing server under thousands of
+//      simultaneously open connections (clamped to RLIMIT_NOFILE).
 //
 // Results land in a JSON file (argv[1], default BENCH_server.json) so CI
 // can archive the trend; the exit status encodes the acceptance gates
 // (every load request served, chained auth accepted, both typed-error
 // legs behaving).
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -375,6 +384,178 @@ int main(int argc, char** argv) {
             << " us per predict (" << kRegistryDevices << " devices, "
             << registry_failures << " failures)\n";
 
+  // --- leg 5: cross-connection coalescing — throughput, p99 curve, soak --
+  struct CoalesceRun {
+    double items_per_sec = 0.0;
+    double p99_window_us = 0.0;  ///< per depth-8 pipelined window
+    std::size_t failures = 0;
+    std::uint64_t coalesced_batches = 0;
+    std::uint64_t coalesced_items = 0;
+  };
+  constexpr unsigned kCoalesceConnections = 64;
+  constexpr int kPipelineDepth = 8;
+  const std::size_t per_connection = bench::scaled(16, 8);
+  // A small shared challenge pool: with coalescing on, repeats are
+  // answered from the device-keyed response cache without a solve.
+  std::vector<Challenge> pool;
+  {
+    util::Rng rng(77);
+    for (int i = 0; i < 16; ++i)
+      pool.push_back(random_challenge(model.layout(), rng));
+  }
+  const auto run_coalesce_leg = [&](std::size_t max_batch) {
+    CoalesceRun run;
+    server::AuthServerOptions co;
+    co.threads = so.threads;
+    co.max_inflight = 4096;  // admission must not throttle the pipeline
+    co.coalesce_max_batch = max_batch;
+    co.coalesce_wait_us = 200;
+    co.response_cache_bytes =
+        max_batch > 1 ? std::size_t{64} << 20 : std::size_t{0};
+    server::AuthServer csrv(model, co);
+    if (util::Status s = csrv.start(); !s.is_ok()) {
+      std::cerr << "FATAL: coalescing server start failed: " << s.to_string()
+                << "\n";
+      run.failures = kCoalesceConnections * per_connection;
+      return run;
+    }
+    std::vector<std::vector<double>> window_us(kCoalesceConnections);
+    std::vector<std::size_t> fails(kCoalesceConnections, 0);
+    std::vector<std::thread> conns;
+    conns.reserve(kCoalesceConnections);
+    const auto c0 = std::chrono::steady_clock::now();
+    for (unsigned k = 0; k < kCoalesceConnections; ++k) {
+      conns.emplace_back([&, k] {
+        net::ClientOptions copts;
+        copts.pipeline_depth = kPipelineDepth;
+        net::AuthClient client("127.0.0.1", csrv.port(), copts);
+        std::vector<Challenge> window;
+        std::vector<SimulationModel::Prediction> out;
+        for (std::size_t start = 0; start < per_connection;
+             start += kPipelineDepth) {
+          window.clear();
+          const std::size_t end = std::min(
+              per_connection, start + static_cast<std::size_t>(kPipelineDepth));
+          // Rotate the pool per connection so batches mix cache hits and
+          // genuine solves in different orders across the fleet.
+          for (std::size_t j = start; j < end; ++j)
+            window.push_back(pool[(j + k) % pool.size()]);
+          const auto w0 = std::chrono::steady_clock::now();
+          const util::Status s = client.predict_pipelined(window, &out);
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - w0)
+                                .count();
+          if (!s.is_ok()) {
+            fails[k] += window.size();
+            continue;
+          }
+          window_us[k].push_back(us);
+          for (const SimulationModel::Prediction& p : out)
+            if (!p.ok()) ++fails[k];
+        }
+      });
+    }
+    for (std::thread& t : conns) t.join();
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - c0)
+                               .count();
+    std::vector<double> merged_windows;
+    for (unsigned k = 0; k < kCoalesceConnections; ++k) {
+      merged_windows.insert(merged_windows.end(), window_us[k].begin(),
+                            window_us[k].end());
+      run.failures += fails[k];
+    }
+    std::sort(merged_windows.begin(), merged_windows.end());
+    const std::size_t total = kCoalesceConnections * per_connection;
+    run.items_per_sec =
+        static_cast<double>(total - run.failures) / seconds;
+    run.p99_window_us = percentile(merged_windows, 0.99);
+    const server::AuthServer::Stats cstats = csrv.stats();
+    run.coalesced_batches = cstats.coalesced_batches;
+    run.coalesced_items = cstats.coalesced_items;
+    csrv.stop();
+    return run;
+  };
+
+  const std::size_t batch_sweep[] = {1, 4, 16, 32};
+  std::vector<CoalesceRun> curve;
+  util::Table ctable({"max_batch", "items/s", "p99 window us",
+                      "batches", "batched items", "failures"});
+  for (const std::size_t b : batch_sweep) {
+    curve.push_back(run_coalesce_leg(b));
+    const CoalesceRun& r = curve.back();
+    ctable.add_row({std::to_string(b), util::Table::num(r.items_per_sec, 4),
+                    util::Table::num(r.p99_window_us, 1),
+                    std::to_string(r.coalesced_batches),
+                    std::to_string(r.coalesced_items),
+                    std::to_string(r.failures)});
+  }
+  ctable.print(std::cout);
+  const double coalesce_speedup =
+      curve[0].items_per_sec > 0.0
+          ? curve[2].items_per_sec / curve[0].items_per_sec
+          : 0.0;
+  std::size_t coalesce_failures = 0;
+  for (const CoalesceRun& r : curve) coalesce_failures += r.failures;
+  std::cout << "coalescing leg: " << kCoalesceConnections
+            << " pipelined connections, batch 16 vs per-frame speedup "
+            << util::Table::num(coalesce_speedup, 2) << "x\n";
+
+  // Soak: thousands of simultaneously open connections (clamped to the
+  // process fd limit), each served one ping and held open, then a final
+  // liveness probe while they all still sit in the epoll set.
+  std::size_t soak_target = 10000, soak_served = 0;
+  double soak_seconds = 0.0;
+  bool soak_live = false;
+  {
+    struct rlimit rl{};
+    if (::getrlimit(RLIMIT_NOFILE, &rl) == 0 && rl.rlim_cur != RLIM_INFINITY)
+      soak_target = std::min<std::size_t>(
+          soak_target,
+          rl.rlim_cur > 512 ? static_cast<std::size_t>(rl.rlim_cur - 256) / 2
+                            : 64);
+    server::AuthServerOptions sopt;
+    sopt.threads = 2;
+    sopt.coalesce_max_batch = 16;
+    sopt.coalesce_wait_us = 200;
+    sopt.response_cache_bytes = std::size_t{16} << 20;
+    server::AuthServer ssrv(model, sopt);
+    if (util::Status s = ssrv.start(); !s.is_ok()) {
+      std::cerr << "FATAL: soak server start failed: " << s.to_string()
+                << "\n";
+      return 1;
+    }
+    const util::Deadline io = util::Deadline::after_seconds(60.0);
+    std::vector<net::Socket> open_conns;
+    open_conns.reserve(soak_target);
+    const auto s0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < soak_target; ++i) {
+      net::Socket sock;
+      if (!net::connect_tcp("127.0.0.1", ssrv.port(), 2000, &sock).is_ok())
+        break;
+      const std::vector<std::uint8_t> f = net::encode_frame(
+          net::MessageType::kPingRequest, i + 1, net::kDefaultDeviceId, 0,
+          net::encode_ping_request(0));
+      net::Frame reply;
+      if (net::send_all(sock.fd(), f.data(), f.size(), io).is_ok() &&
+          read_frame(sock.fd(), io, &reply).is_ok() &&
+          reply.type == net::MessageType::kPingReply)
+        ++soak_served;
+      open_conns.push_back(std::move(sock));
+    }
+    net::AuthClient probe("127.0.0.1", ssrv.port());
+    soak_live = probe.ping().is_ok();
+    soak_seconds = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - s0)
+                       .count();
+    open_conns.clear();
+    ssrv.stop();
+  }
+  std::cout << "soak: " << soak_served << "/" << soak_target
+            << " connections served and held open in "
+            << util::Table::num(soak_seconds, 2) << " s, liveness probe "
+            << (soak_live ? "ok" : "FAILED") << "\n";
+
   bench::paper_note(
       "the verifier is a service by construction: the prover owns the chip, "
       "the verifier owns only the published model — so load, deadlines and "
@@ -404,7 +585,26 @@ int main(int argc, char** argv) {
   json << "  \"registry_devices\": " << kRegistryDevices << ",\n";
   json << "  \"registry_failures\": " << registry_failures << ",\n";
   json << "  \"registry_cold_us\": " << registry_cold_us << ",\n";
-  json << "  \"registry_warm_us\": " << registry_warm_us << "\n";
+  json << "  \"registry_warm_us\": " << registry_warm_us << ",\n";
+  json << "  \"coalesce_connections\": " << kCoalesceConnections << ",\n";
+  json << "  \"coalesce_pipeline_depth\": " << kPipelineDepth << ",\n";
+  json << "  \"coalesce_per_connection\": " << per_connection << ",\n";
+  json << "  \"coalesce_speedup\": " << coalesce_speedup << ",\n";
+  json << "  \"coalesce_failures\": " << coalesce_failures << ",\n";
+  json << "  \"coalesce_curve\": [\n";
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    json << "    {\"max_batch\": " << batch_sweep[i]
+         << ", \"items_per_sec\": " << curve[i].items_per_sec
+         << ", \"p99_window_us\": " << curve[i].p99_window_us
+         << ", \"coalesced_batches\": " << curve[i].coalesced_batches
+         << ", \"coalesced_items\": " << curve[i].coalesced_items << "}"
+         << (i + 1 < curve.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"soak_connections\": " << soak_served << ",\n";
+  json << "  \"soak_target\": " << soak_target << ",\n";
+  json << "  \"soak_seconds\": " << soak_seconds << ",\n";
+  json << "  \"soak_live\": " << (soak_live ? 1 : 0) << "\n";
   json << "}\n";
   std::cout << "json written to " << json_path << "\n";
 
@@ -431,6 +631,26 @@ int main(int argc, char** argv) {
   if (registry_failures != 0) {
     std::cerr << "FAIL: " << registry_failures
               << " registry-leg predicts failed\n";
+    failed = true;
+  }
+  if (coalesce_failures != 0) {
+    std::cerr << "FAIL: " << coalesce_failures
+              << " coalescing-leg predicts failed\n";
+    failed = true;
+  }
+  if (coalesce_speedup < 2.0) {
+    std::cerr << "FAIL: coalescing speedup "
+              << util::Table::num(coalesce_speedup, 2)
+              << "x is below the 2x gate\n";
+    failed = true;
+  }
+  if (curve[2].coalesced_batches == 0) {
+    std::cerr << "FAIL: the coalesce-on leg never formed a batch\n";
+    failed = true;
+  }
+  if (soak_served != soak_target || !soak_live) {
+    std::cerr << "FAIL: soak served " << soak_served << "/" << soak_target
+              << " with liveness " << (soak_live ? "ok" : "lost") << "\n";
     failed = true;
   }
   return failed ? 1 : 0;

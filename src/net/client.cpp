@@ -6,6 +6,7 @@
 #include <chrono>
 #include <random>
 #include <thread>
+#include <unordered_map>
 
 #include "net/socket.hpp"
 #include "obs/metrics.hpp"
@@ -122,46 +123,9 @@ util::Status AuthClient::attempt(MessageType type,
     return s;
   }
 
-  std::vector<std::uint8_t> header(kHeaderSize);
-  if (Status s = recv_exact(fd_, header.data(), header.size(), deadline);
-      !s.is_ok()) {
+  if (Status s = read_frame(fd_, reply, deadline); !s.is_ok()) {
     disconnect();
     return s;
-  }
-  // Peek the payload length out of the fixed header so we know how many
-  // more bytes to read; full validation happens in decode_frame below.
-  protocol::codec::Reader r(header.data(), header.size());
-  std::uint32_t magic = 0, payload_len = 0, budget = 0;
-  std::uint16_t version = 0, type_raw = 0;
-  std::uint64_t reply_id = 0, reply_device = 0;
-  r.u32(&magic);
-  r.u16(&version);
-  r.u16(&type_raw);
-  r.u64(&reply_id);
-  r.u64(&reply_device);
-  r.u32(&budget);
-  r.u32(&payload_len);
-  if (magic != kWireMagic || version != kWireVersion ||
-      payload_len > kMaxPayload) {
-    disconnect();
-    return Status::internal("server sent an unparseable frame header");
-  }
-
-  std::size_t consumed = 0;
-  std::vector<std::uint8_t> whole(header);
-  whole.resize(kHeaderSize + payload_len);
-  if (payload_len > 0) {
-    if (Status s = recv_exact(fd_, whole.data() + kHeaderSize, payload_len,
-                              deadline);
-        !s.is_ok()) {
-      disconnect();
-      return s;
-    }
-  }
-  if (decode_frame(whole.data(), whole.size(), reply, &consumed) !=
-      DecodeResult::kOk) {
-    disconnect();
-    return Status::internal("server sent an unparseable frame");
   }
   if (reply->request_id != request_id) {
     // The stream is out of sync (a stale reply from a previous timed-out
@@ -274,6 +238,106 @@ util::Status AuthClient::ping(std::uint32_t delay_ms,
     return s;
   if (health == nullptr) return Status::ok();
   return decode_ping_reply(reply.payload, health);
+}
+
+util::Status AuthClient::run_pipeline(
+    const std::vector<Challenge>& challenges,
+    std::vector<SimulationModel::Prediction>* out,
+    const util::Deadline& deadline) {
+  ++stats_.attempts;
+  if (Status s = ensure_connected(deadline); !s.is_ok()) return s;
+  const std::size_t window =
+      static_cast<std::size_t>(std::max(1, options_.pipeline_depth));
+  // Outstanding request id -> index into `challenges`.  Replies are
+  // matched STRICTLY through this map: a reply whose id is absent (a late
+  // answer to a request some earlier window abandoned, or a confused
+  // peer) must never be attributed to whatever happens to be oldest —
+  // that is exactly the late-reply misattribution bug.  Drop the
+  // connection instead so the next window starts on a clean stream.
+  std::unordered_map<std::uint64_t, std::size_t> outstanding;
+  outstanding.reserve(window);
+  std::size_t next = 0, answered = 0;
+  while (answered < challenges.size()) {
+    while (next < challenges.size() && outstanding.size() < window) {
+      const std::uint64_t id = next_request_id_++;
+      const std::vector<std::uint8_t> frame = encode_frame(
+          MessageType::kPredictRequest, id, options_.device_id,
+          budget_ms_for(deadline), encode_predict_request(challenges[next]));
+      if (Status s = send_all(fd_, frame.data(), frame.size(), deadline);
+          !s.is_ok()) {
+        disconnect();
+        return s;
+      }
+      outstanding.emplace(id, next);
+      ++next;
+    }
+    Frame reply;
+    if (Status s = read_frame(fd_, &reply, deadline); !s.is_ok()) {
+      disconnect();
+      return s;
+    }
+    const auto it = outstanding.find(reply.request_id);
+    if (it == outstanding.end()) {
+      disconnect();
+      return Status::unavailable(
+          "pipelined reply id " + std::to_string(reply.request_id) +
+          " matches no outstanding request; connection resynced");
+    }
+    const std::size_t index = it->second;
+    outstanding.erase(it);
+    ++answered;
+    if (reply.type == MessageType::kErrorReply) {
+      ErrorReply err;
+      if (Status s = decode_error_reply(reply.payload, &err); !s.is_ok()) {
+        disconnect();
+        return s;
+      }
+      (*out)[index].status = wire_code_to_status(
+          err.code, std::string(wire_code_name(err.code)) +
+                        (err.message.empty() ? "" : ": " + err.message));
+      continue;
+    }
+    if (reply.type != MessageType::kPredictReply) {
+      disconnect();
+      return Status::internal(std::string("unexpected reply type ") +
+                              message_type_name(reply.type));
+    }
+    if (Status s = decode_predict_reply(reply.payload, &(*out)[index]);
+        !s.is_ok()) {
+      disconnect();
+      return s;
+    }
+  }
+  return Status::ok();
+}
+
+util::Status AuthClient::predict_pipelined(
+    const std::vector<Challenge>& challenges,
+    std::vector<SimulationModel::Prediction>* out,
+    const util::Deadline& deadline) {
+  out->assign(challenges.size(), SimulationModel::Prediction{});
+  for (SimulationModel::Prediction& p : *out)
+    p.status = Status::unavailable("pipelined request not answered");
+  if (challenges.empty()) return Status::ok();
+  ++stats_.requests;
+  if (obs::Counter* c = counter_or_null("client.requests")) c->add();
+  if (breaker_ && !breaker_->allow()) {
+    ++stats_.breaker_fast_fails;
+    if (obs::Counter* c = counter_or_null("client.breaker.fast_fails"))
+      c->add();
+    return Status::unavailable("circuit breaker open for " + host_ + ":" +
+                               std::to_string(port_));
+  }
+  const util::Deadline att =
+      attempt_deadline(deadline, options_.request_timeout_ms);
+  const Status s = run_pipeline(challenges, out, att);
+  if (breaker_) {
+    if (s.is_ok())
+      breaker_->record_success();
+    else
+      breaker_->record_failure();
+  }
+  return s;
 }
 
 util::Status AuthClient::predict(const Challenge& challenge,

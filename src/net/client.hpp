@@ -58,6 +58,10 @@ struct ClientOptions {
   /// kDefaultDeviceId targets a single-device server's implicit model; a
   /// registry-backed server answers it with UNKNOWN_DEVICE.
   std::uint64_t device_id = kDefaultDeviceId;
+  /// Bound on outstanding requests in predict_pipelined (clamped to >= 1).
+  /// 1 degenerates to one-at-a-time round trips; a deeper window is what
+  /// keeps a coalescing server's batches fed from a single connection.
+  int pipeline_depth = 1;
 };
 
 /// Next backoff pause, AWS-style decorrelated jitter:
@@ -86,6 +90,23 @@ class AuthClient {
   util::Status predict(const Challenge& challenge,
                        SimulationModel::Prediction* out,
                        const util::Deadline& deadline = {});
+
+  /// Pipelined predictions: keep up to options.pipeline_depth requests
+  /// outstanding on this connection and match replies STRICTLY by request
+  /// id — out-of-order replies are legal (a coalescing server answers
+  /// cache hits and solo dispatches ahead of slower batch-mates).  `out`
+  /// is resized to challenges.size(); a typed per-item error reply (e.g.
+  /// DEADLINE_EXCEEDED) lands in that item's Prediction::status without
+  /// affecting the rest of the window.  The returned Status covers the
+  /// transport: on a desync — a reply id matching no outstanding request —
+  /// the connection is dropped and a typed kUnavailable is returned, with
+  /// unanswered items left holding kUnavailable statuses.  No automatic
+  /// retry: a half-answered window is not idempotently resumable, so
+  /// callers wanting retry re-issue the whole window.
+  util::Status predict_pipelined(
+      const std::vector<Challenge>& challenges,
+      std::vector<SimulationModel::Prediction>* out,
+      const util::Deadline& deadline = {});
 
   util::Status verify(const Challenge& challenge,
                       const protocol::ProverReport& report,
@@ -139,6 +160,10 @@ class AuthClient {
   util::Status attempt(MessageType type,
                        const std::vector<std::uint8_t>& payload,
                        const util::Deadline& deadline, Frame* reply);
+  /// One pipelined window (no retry); results land in *out per item.
+  util::Status run_pipeline(const std::vector<Challenge>& challenges,
+                            std::vector<SimulationModel::Prediction>* out,
+                            const util::Deadline& deadline);
   util::Status ensure_connected(const util::Deadline& deadline);
 
   std::string host_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/socket.hpp"
+
 namespace ppuf::net {
 
 namespace {
@@ -151,6 +153,41 @@ DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
   out->payload.assign(data + kHeaderSize, data + total);
   *consumed = total;
   return DecodeResult::kOk;
+}
+
+util::Status read_frame(int fd, Frame* out, const util::Deadline& deadline) {
+  std::vector<std::uint8_t> buf(kHeaderSize);
+  if (Status s = recv_exact(fd, buf.data(), buf.size(), deadline);
+      !s.is_ok())
+    return s;
+  // Peek the payload length out of the fixed header so we know how many
+  // more bytes to read; full validation happens in decode_frame below.
+  Reader r(buf.data(), buf.size());
+  std::uint32_t magic = 0, payload_len = 0, budget = 0;
+  std::uint16_t version = 0, type_raw = 0;
+  std::uint64_t reply_id = 0, reply_device = 0;
+  r.u32(&magic);
+  r.u16(&version);
+  r.u16(&type_raw);
+  r.u64(&reply_id);
+  r.u64(&reply_device);
+  r.u32(&budget);
+  r.u32(&payload_len);
+  if (magic != kWireMagic || version != kWireVersion ||
+      payload_len > kMaxPayload)
+    return Status::internal("peer sent an unparseable frame header");
+  buf.resize(kHeaderSize + payload_len);
+  if (payload_len > 0) {
+    if (Status s =
+            recv_exact(fd, buf.data() + kHeaderSize, payload_len, deadline);
+        !s.is_ok())
+      return s;
+  }
+  std::size_t consumed = 0;
+  if (decode_frame(buf.data(), buf.size(), out, &consumed) !=
+      DecodeResult::kOk)
+    return Status::internal("peer sent an unparseable frame");
+  return Status::ok();
 }
 
 // --- typed payloads -------------------------------------------------------

@@ -135,6 +135,16 @@ enum class DecodeResult {
 DecodeResult decode_frame(const std::uint8_t* data, std::size_t size,
                           Frame* out, std::size_t* consumed);
 
+/// Blocking receive of exactly one frame from `fd`: header, then payload,
+/// both bounded by `deadline`.  Transport failures pass through from the
+/// socket layer (kUnavailable / kDeadlineExceeded); an unparseable header
+/// or frame returns kInternal, at which point the stream cannot be
+/// resynchronised and the caller must drop the connection.  This is the
+/// single client-side read path — the synchronous round trip, the
+/// pipelined window, and raw-socket tests all read replies through it, so
+/// framing bugs cannot hide in one copy of the peek logic.
+util::Status read_frame(int fd, Frame* out, const util::Deadline& deadline);
+
 // --- typed payloads -------------------------------------------------------
 //
 // One encode/decode pair per message type.  Decoders return

@@ -339,6 +339,17 @@ void register_standard_metrics(MetricsRegistry& registry) {
                         "challenge", "chained_auth"}) {
     registry.histogram(std::string("server.") + t + ".request_us");
   }
+
+  // Cross-connection coalescing (DESIGN.md §16): batch shape, the wait
+  // each flushed batch actually absorbed, frames too budget-tight to
+  // coalesce, and slow peers cut at the backlog bound.
+  for (const char* c : {"coalesced_batches", "coalesced_items",
+                        "solo_dispatches", "slow_peer_disconnects"}) {
+    registry.counter(std::string("server.") + c);
+  }
+  registry.histogram("server.batch_size");
+  registry.histogram("server.coalesce_wait_us");
+  registry.histogram("server.batch.request_us");
 }
 
 }  // namespace ppuf::obs

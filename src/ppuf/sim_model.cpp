@@ -151,6 +151,10 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
     const std::vector<Challenge>& challenges,
     const PredictBatchOptions& options) const {
   std::vector<Prediction> results(challenges.size());
+  if (!options.deadlines.empty() &&
+      options.deadlines.size() != challenges.size())
+    throw std::invalid_argument(
+        "predict_batch: deadlines/challenges size mismatch");
   if (challenges.empty()) return results;
 
   // Metric handles resolved once per batch so the per-item path never
@@ -174,6 +178,24 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
     obs::ScopedTimer timer(m_item_time);
     if (m_items != nullptr) m_items->add();
     const Challenge& c = challenges[i];
+    // Per-item budget: checked before the cache probe so an expired item
+    // always answers typed (its caller has already given up on it), and
+    // folded into the solve control so a live item cannot overrun its own
+    // deadline while batch-mates keep the shared budget.
+    util::SolveControl item_control = options.control;
+    if (!options.deadlines.empty()) {
+      const util::Deadline& d = options.deadlines[i];
+      if (d.expired()) {
+        results[i].status = util::Status::deadline_exceeded(
+            "predict_batch: item budget expired");
+        if (m_failures != nullptr) m_failures->add();
+        return;
+      }
+      if (!d.is_unlimited() &&
+          (item_control.deadline.is_unlimited() ||
+           d.remaining() < item_control.deadline.remaining()))
+        item_control.deadline = d;
+    }
     if (options.cache != nullptr) {
       if (const auto hit = options.cache->lookup(options.cache_device_id, c,
                                                  options.cache_env)) {
@@ -184,7 +206,7 @@ std::vector<SimulationModel::Prediction> SimulationModel::predict_batch(
         return;
       }
     }
-    results[i] = predict(c, options.algorithm, options.control);
+    results[i] = predict(c, options.algorithm, item_control);
     if (m_failures != nullptr && !results[i].ok()) m_failures->add();
     if (options.cache != nullptr && results[i].ok()) {
       options.cache->insert(

@@ -110,6 +110,15 @@ class SimulationModel {
     /// Callers sweeping environments (reliability benches) must pass the
     /// environment they are predicting for.
     circuit::Environment cache_env = circuit::Environment::nominal();
+    /// Optional per-item deadlines, parallel to `challenges` (ignored when
+    /// empty; any other size mismatch throws std::invalid_argument).  An
+    /// item whose deadline has already expired is answered with a typed
+    /// kDeadlineExceeded status without being attempted — its batch-mates
+    /// are unaffected — and a live item's solves are bounded by the
+    /// earlier of its own deadline and `control.deadline`.  This is what
+    /// lets a server coalesce requests with different budgets into one
+    /// batch without the tightest budget poisoning the rest.
+    std::vector<util::Deadline> deadlines{};
   };
 
   /// Predict a whole batch of challenges.  Results are in input order, one

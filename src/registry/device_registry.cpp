@@ -442,4 +442,10 @@ DeviceRegistry::RecoveryStats DeviceRegistry::recovery_stats() const {
   return recovery_stats_;
 }
 
+std::shared_ptr<circuit::SymbolicCache> DeviceRegistry::enroll_symbolic_cache()
+    const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return enroll_symbolic_cache_;
+}
+
 }  // namespace ppuf::registry

@@ -127,6 +127,13 @@ class DeviceRegistry {
 
   RecoveryStats recovery_stats() const;
 
+  /// The fleet-level circuit symbolic cache built up by enroll() (see the
+  /// member's notes).  Null until the first enrollment.  Exposed so
+  /// callers that re-fabricate oracle chips for devices enrolled here —
+  /// differential tests, chaos campaigns — can share the analysis instead
+  /// of re-deriving the identical topology per chip.
+  std::shared_ptr<circuit::SymbolicCache> enroll_symbolic_cache() const;
+
  private:
   util::Status append_record_locked(const WalRecord& record);
   util::Status compact_locked();

@@ -85,7 +85,7 @@ util::Status HydrationCache::get(
           options_.flow_tolerance_fraction * model.mean_capacity();
       device = std::make_shared<const HydratedDevice>(
           id, std::move(model), options_.verifier_deadline_seconds, tolerance,
-          options_.verify_threads);
+          options_.verify_threads, options_.response_cache);
     }
   }
 

@@ -43,10 +43,12 @@ namespace ppuf::registry {
 struct HydratedDevice {
   HydratedDevice(std::uint64_t id_, SimulationModel model_,
                  double deadline_seconds, double flow_tolerance,
-                 unsigned verify_threads)
+                 unsigned verify_threads,
+                 ResponseCache* response_cache_ = nullptr)
       : id(id_),
         model(std::move(model_)),
-        verifier(model, deadline_seconds, flow_tolerance, verify_threads) {}
+        verifier(model, deadline_seconds, flow_tolerance, verify_threads),
+        response_cache(response_cache_) {}
 
   HydratedDevice(const HydratedDevice&) = delete;
   HydratedDevice& operator=(const HydratedDevice&) = delete;
@@ -54,6 +56,11 @@ struct HydratedDevice {
   const std::uint64_t id;
   const SimulationModel model;
   const protocol::Verifier verifier;
+  /// The fleet's shared CRP response cache, attached at materialisation
+  /// so every serving path that resolved this device already holds the
+  /// warm plane (keyed by the device's registry id — entries never cross
+  /// devices).  Non-owning; null when the deployment runs uncached.
+  ResponseCache* const response_cache;
 };
 
 class HydrationCache {
@@ -65,6 +72,9 @@ class HydrationCache {
     double verifier_deadline_seconds = 1.0;
     double flow_tolerance_fraction = 0.10;
     unsigned verify_threads = 1;
+    /// Shared device-keyed CRP cache handed to every hydrated device
+    /// (non-owning, must outlive the cache); null = serve uncached.
+    ResponseCache* response_cache = nullptr;
   };
 
   /// `registry` must outlive the cache.

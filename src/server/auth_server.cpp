@@ -20,6 +20,7 @@
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
+#include "ppuf/response_cache.hpp"
 #include "protocol/authentication.hpp"
 #include "registry/device_registry.hpp"
 #include "registry/hydration_cache.hpp"
@@ -106,6 +107,8 @@ struct AuthServer::Impl {
         model, options.verifier_deadline_seconds,
         model.mean_capacity() * options.flow_tolerance_fraction,
         /*verify_threads=*/1);
+    if (options.response_cache_bytes > 0)
+      response_cache.emplace(options.response_cache_bytes);
   }
 
   /// Multi-tenant mode: devices resolve through the registry via a
@@ -117,12 +120,20 @@ struct AuthServer::Impl {
         draining(draining),
         rng(options.challenge_seed),
         pool(options.threads) {
+    if (options.response_cache_bytes > 0)
+      response_cache.emplace(options.response_cache_bytes);
     registry::HydrationCache::Options cache_options;
     cache_options.max_entries = options.hydration_cache_entries;
     cache_options.verifier_deadline_seconds =
         options.verifier_deadline_seconds;
     cache_options.flow_tolerance_fraction = options.flow_tolerance_fraction;
     cache_options.verify_threads = 1;
+    // Wired at materialisation: every hydrated device comes out of the
+    // cache already attached to the fleet's warm-response plane, so the
+    // coalesced predict path serves registry devices from the shared
+    // device-keyed cache without a second lookup layer.
+    cache_options.response_cache =
+        response_cache ? &*response_cache : nullptr;
     hydration.emplace(registry, cache_options);
   }
 
@@ -132,6 +143,10 @@ struct AuthServer::Impl {
   const SimulationModel* single_model = nullptr;
   const registry::DeviceRegistry* device_registry = nullptr;
   std::optional<protocol::Verifier> single_verifier;
+  /// Shared device-keyed CRP cache for the coalesced predict path
+  /// (options.response_cache_bytes > 0).  Declared before `hydration`
+  /// because hydrated devices carry a pointer into it.
+  std::optional<ResponseCache> response_cache;
   std::optional<registry::HydrationCache> hydration;
 
   AuthServerOptions options;
@@ -199,6 +214,7 @@ struct AuthServer::Impl {
     std::vector<std::uint8_t> inbuf;
     std::deque<std::vector<std::uint8_t>> outq;
     std::size_t out_offset = 0;  ///< bytes of outq.front() already sent
+    std::size_t outq_bytes = 0;  ///< total queued reply bytes (backlog cap)
     bool close_after_flush = false;
     bool want_write = false;
   };
@@ -218,8 +234,31 @@ struct AuthServer::Impl {
     std::uint64_t connection_id;
     std::vector<std::uint8_t> bytes;
   };
+  /// completion_mutex protects ONLY the vector push/swap — it is never
+  /// held across a socket flush or any other syscall.  Workers post under
+  /// the lock and return; the event loop swaps the whole vector out under
+  /// the lock (drain_completions) and does every enqueue/flush after
+  /// releasing it, so a slow or blocked peer can never stall a worker
+  /// that is trying to post a completion.
   std::mutex completion_mutex;
   std::vector<Completion> completions;
+
+  // --- coalescing stage (event-loop thread only) --------------------------
+
+  /// One frame parked in a per-device batch.  The deadline was re-anchored
+  /// at decode, so waiting in the batch burns the request's own budget.
+  struct PendingItem {
+    std::uint64_t connection_id = 0;
+    Frame frame;
+    util::Deadline deadline;
+    std::chrono::steady_clock::time_point enqueued_at{};
+  };
+  /// device id -> open batch.  Only the event loop touches this; a batch
+  /// leaves the map wholesale when it is flushed to the pool.
+  std::unordered_map<std::uint64_t, std::vector<PendingItem>> pending;
+  std::size_t pending_count = 0;
+
+  bool coalesce_enabled() const { return options.coalesce_max_batch > 1; }
 
   // Stats (relaxed atomics; read via AuthServer::stats()).
   std::atomic<std::uint64_t> connections_accepted{0};
@@ -228,6 +267,10 @@ struct AuthServer::Impl {
   std::atomic<std::uint64_t> shutdown_rejections{0};
   std::atomic<std::uint64_t> malformed_frames{0};
   std::atomic<std::uint64_t> unknown_device_rejections{0};
+  std::atomic<std::uint64_t> coalesced_batches{0};
+  std::atomic<std::uint64_t> coalesced_items{0};
+  std::atomic<std::uint64_t> solo_dispatches{0};
+  std::atomic<std::uint64_t> slow_peer_disconnects{0};
 
   /// Declared last so it is destroyed FIRST: the pool's destructor joins
   /// workers that may still be writing wake_fd, which must stay open
@@ -241,6 +284,19 @@ struct AuthServer::Impl {
   void read_ready(int fd);
   void consume_frames(int fd);
   void dispatch(Connection& conn, Frame frame);
+  /// Per-frame dispatch: one pool task for one frame (the pre-coalescing
+  /// path, still used for every non-batchable type and for solo frames).
+  void submit_frame(std::uint64_t connection_id, Frame frame,
+                    const util::Deadline& deadline);
+  /// Flush one device's open batch to the pool.
+  void flush_device_batch(std::uint64_t device_id);
+  /// Flush every batch that is due: full batches close in dispatch();
+  /// here age (oldest item waited >= coalesce_wait_us) or a drain closes
+  /// the rest.
+  void flush_ready_batches(bool force);
+  /// epoll timeout until the next batch-window expiry, in ms (clamped to
+  /// [1, fallback]); fallback when no batch is open.
+  int poll_timeout_ms(int fallback) const;
   void enqueue_reply(Connection& conn, std::vector<std::uint8_t> bytes);
   void flush(Connection& conn);
   void update_epoll(Connection& conn);
@@ -263,6 +319,20 @@ struct AuthServer::Impl {
   }
 
   // --- request handlers (worker threads) ----------------------------------
+
+  /// The response cache the coalesced predict path should use for `ctx`:
+  /// the pointer the device was hydrated with (registry mode), or the
+  /// server's own cache (single-device mode); null when disabled.
+  ResponseCache* cache_for(const DeviceContext& ctx) {
+    if (ctx.hold != nullptr) return ctx.hold->response_cache;
+    return response_cache ? &*response_cache : nullptr;
+  }
+
+  /// Serve one coalesced device batch on a worker: resolve the device
+  /// once, run predicts through predict_batch (device-keyed cache,
+  /// per-item deadlines) and verifies through verify_batch, then scatter
+  /// one completion per item back to its originating connection.
+  void run_batch(std::uint64_t device_id, std::vector<PendingItem> items);
 
   std::vector<std::uint8_t> handle(const Frame& frame,
                                    const util::Deadline& deadline);
@@ -359,6 +429,12 @@ AuthServer::Stats AuthServer::stats() const {
       impl_->malformed_frames.load(std::memory_order_relaxed);
   s.unknown_device_rejections =
       impl_->unknown_device_rejections.load(std::memory_order_relaxed);
+  s.coalesced_batches =
+      impl_->coalesced_batches.load(std::memory_order_relaxed);
+  s.coalesced_items = impl_->coalesced_items.load(std::memory_order_relaxed);
+  s.solo_dispatches = impl_->solo_dispatches.load(std::memory_order_relaxed);
+  s.slow_peer_disconnects =
+      impl_->slow_peer_disconnects.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -379,7 +455,7 @@ void AuthServer::Impl::run() {
 
     const int n = epoll_wait(epoll_fd, events.data(),
                              static_cast<int>(events.size()),
-                             /*timeout ms=*/drain_now ? 50 : 500);
+                             poll_timeout_ms(drain_now ? 50 : 500));
     if (n < 0) {
       if (errno == EINTR) continue;
       break;  // epoll itself failed; nothing sensible left to do
@@ -410,6 +486,9 @@ void AuthServer::Impl::run() {
       if (wit != connections.end() && (events[i].events & EPOLLOUT))
         flush(wit->second);
     }
+    // Batches whose window elapsed while we slept (or that a drain must
+    // not strand) go to the pool before completions are scattered.
+    flush_ready_batches(/*force=*/drain_now);
     drain_completions();
     reg.gauge("server.inflight")
         .set(static_cast<std::int64_t>(
@@ -426,6 +505,7 @@ void AuthServer::Impl::run() {
 }
 
 bool AuthServer::Impl::drained() {
+  if (pending_count != 0) return false;  // open batches still hold frames
   if (inflight.load(std::memory_order_relaxed) != 0) return false;
   {
     std::lock_guard<std::mutex> lock(completion_mutex);
@@ -585,7 +665,39 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
 
   // Budget is re-anchored NOW, at decode: queue wait burns budget.
   const util::Deadline deadline = frame.deadline();
-  const std::uint64_t connection_id = conn.id;
+  const bool batchable = coalesce_enabled() &&
+                         (frame.type == MessageType::kPredictRequest ||
+                          frame.type == MessageType::kVerifyRequest);
+  if (!batchable) {
+    submit_frame(conn.id, std::move(frame), deadline);
+    return;
+  }
+  // Batch-window deadline policy: a frame joins a batch only if its
+  // budget can survive the full window; otherwise it goes to the pool
+  // solo, where nothing ahead of it can eat the remaining budget.
+  if (!deadline.is_unlimited() &&
+      deadline.remaining() < std::chrono::microseconds(
+                                 options.coalesce_wait_us)) {
+    solo_dispatches.fetch_add(1, std::memory_order_relaxed);
+    reg.counter("server.solo_dispatches").add();
+    submit_frame(conn.id, std::move(frame), deadline);
+    return;
+  }
+  const std::uint64_t device_id = frame.device_id;
+  std::vector<PendingItem>& batch = pending[device_id];
+  PendingItem item;
+  item.connection_id = conn.id;
+  item.frame = std::move(frame);
+  item.deadline = deadline;
+  item.enqueued_at = std::chrono::steady_clock::now();
+  batch.push_back(std::move(item));
+  ++pending_count;
+  if (batch.size() >= options.coalesce_max_batch)
+    flush_device_batch(device_id);
+}
+
+void AuthServer::Impl::submit_frame(std::uint64_t connection_id, Frame frame,
+                                    const util::Deadline& deadline) {
   auto shared_frame = std::make_shared<Frame>(std::move(frame));
   pool.submit([this, shared_frame, deadline, connection_id] {
     std::vector<std::uint8_t> reply;
@@ -608,6 +720,65 @@ void AuthServer::Impl::dispatch(Connection& conn, Frame frame) {
   });
 }
 
+void AuthServer::Impl::flush_device_batch(std::uint64_t device_id) {
+  const auto it = pending.find(device_id);
+  if (it == pending.end() || it->second.empty()) return;
+  std::vector<PendingItem> items = std::move(it->second);
+  pending.erase(it);
+  pending_count -= items.size();
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::global();
+  coalesced_batches.fetch_add(1, std::memory_order_relaxed);
+  coalesced_items.fetch_add(items.size(), std::memory_order_relaxed);
+  reg.counter("server.coalesced_batches").add();
+  reg.counter("server.coalesced_items").add(items.size());
+  reg.histogram("server.batch_size")
+      .record(static_cast<double>(items.size()));
+  const auto waited = std::chrono::steady_clock::now() -
+                      items.front().enqueued_at;
+  reg.histogram("server.coalesce_wait_us")
+      .record(static_cast<double>(
+          std::chrono::duration_cast<std::chrono::microseconds>(waited)
+              .count()));
+
+  auto shared_items =
+      std::make_shared<std::vector<PendingItem>>(std::move(items));
+  pool.submit([this, device_id, shared_items] {
+    run_batch(device_id, std::move(*shared_items));
+  });
+}
+
+void AuthServer::Impl::flush_ready_batches(bool force) {
+  if (pending.empty()) return;
+  const auto now = std::chrono::steady_clock::now();
+  const auto window = std::chrono::microseconds(options.coalesce_wait_us);
+  std::vector<std::uint64_t> due;
+  for (const auto& [device_id, batch] : pending) {
+    if (force ||
+        (!batch.empty() && now - batch.front().enqueued_at >= window))
+      due.push_back(device_id);
+  }
+  for (const std::uint64_t device_id : due) flush_device_batch(device_id);
+}
+
+int AuthServer::Impl::poll_timeout_ms(int fallback) const {
+  if (pending.empty()) return fallback;
+  const auto now = std::chrono::steady_clock::now();
+  const auto window = std::chrono::microseconds(options.coalesce_wait_us);
+  auto next = std::chrono::steady_clock::duration::max();
+  for (const auto& [device_id, batch] : pending) {
+    if (batch.empty()) continue;
+    next = std::min(next, (batch.front().enqueued_at + window) - now);
+  }
+  if (next == std::chrono::steady_clock::duration::max()) return fallback;
+  const auto ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(next).count();
+  // Clamp to >= 1: a zero timeout would busy-spin, and a 1 ms over-wait
+  // is inside the window tolerance the policy already promises.
+  return static_cast<int>(
+      std::min<long long>(fallback, std::max<long long>(1, ms)));
+}
+
 void AuthServer::Impl::drain_completions() {
   std::vector<Completion> done;
   {
@@ -625,12 +796,14 @@ void AuthServer::Impl::drain_completions() {
 
 void AuthServer::Impl::enqueue_reply(Connection& conn,
                                      std::vector<std::uint8_t> bytes) {
+  conn.outq_bytes += bytes.size();
   conn.outq.push_back(std::move(bytes));
   flush(conn);
 }
 
 void AuthServer::Impl::flush(Connection& conn) {
   while (!conn.outq.empty()) {
+    if (util::FaultHooks::server_send_blocked()) break;  // injected EAGAIN
     if (util::FaultHooks::consume_server_send_failure()) {
       // Injected peer reset (test-only; see util::FaultHooks).
       close_connection(conn.fd);
@@ -656,11 +829,25 @@ void AuthServer::Impl::flush(Connection& conn) {
         .add(static_cast<std::uint64_t>(n));
     conn.out_offset += static_cast<std::size_t>(n);
     if (conn.out_offset == front.size()) {
+      conn.outq_bytes -= front.size();
       conn.outq.pop_front();
       conn.out_offset = 0;
     }
   }
   if (conn.outq.empty() && conn.close_after_flush) {
+    close_connection(conn.fd);
+    return;
+  }
+  // Slow-peer bound: a reader that stopped draining while replies keep
+  // arriving gets disconnected here rather than growing the out-queue
+  // without limit.  Workers are unaffected either way — they post
+  // completions under completion_mutex and never touch a socket.
+  if (options.max_connection_backlog_bytes != 0 &&
+      conn.outq_bytes > options.max_connection_backlog_bytes) {
+    slow_peer_disconnects.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::global()
+        .counter("server.slow_peer_disconnects")
+        .add();
     close_connection(conn.fd);
     return;
   }
@@ -900,6 +1087,157 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
   return net::encode_frame(MessageType::kChainedAuthReply, frame.request_id,
                            frame.device_id, 0,
                            net::encode_chained_auth_reply(result));
+}
+
+void AuthServer::Impl::run_batch(std::uint64_t device_id,
+                                 std::vector<PendingItem> items) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.batch.request_us");
+  // Every item produces exactly one reply, no matter how the batch goes.
+  std::vector<std::vector<std::uint8_t>> replies(items.size());
+  try {
+    DeviceContext ctx;
+    if (Status resolved = resolve_device(device_id, &ctx);
+        !resolved.is_ok()) {
+      for (std::size_t i = 0; i < items.size(); ++i)
+        replies[i] = device_error_reply(items[i].frame, resolved);
+    } else {
+      // Partition: decode/validate failures answer their own item and
+      // drop out; the survivors gather into ONE predict_batch call and
+      // ONE verify_batch call.  Both run inline on this worker — nested
+      // pool dispatch would deadlock the pool (DESIGN.md §12).
+      struct PredictSlot {
+        std::size_t item;
+        Challenge challenge;
+      };
+      struct VerifySlot {
+        std::size_t item;
+        Challenge challenge;
+        protocol::ProverReport report;
+      };
+      std::vector<PredictSlot> predicts;
+      std::vector<VerifySlot> verifies;
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        const Frame& frame = items[i].frame;
+        if (frame.type == MessageType::kPredictRequest) {
+          Challenge c;
+          if (Status s = net::decode_predict_request(frame.payload, &c);
+              !s.is_ok()) {
+            replies[i] = error_frame(frame.request_id, frame.device_id,
+                                     WireCode::kMalformed, s.message());
+            continue;
+          }
+          if (Status s = validate_challenge(*ctx.model, c); !s.is_ok()) {
+            replies[i] = error_frame(frame.request_id, frame.device_id,
+                                     WireCode::kInvalidArgument,
+                                     s.message());
+            continue;
+          }
+          predicts.push_back({i, std::move(c)});
+        } else {  // kVerifyRequest: dispatch() coalesces only these two
+          Challenge c;
+          protocol::ProverReport r;
+          if (Status s = net::decode_verify_request(frame.payload, &c, &r);
+              !s.is_ok()) {
+            replies[i] = error_frame(frame.request_id, frame.device_id,
+                                     WireCode::kMalformed, s.message());
+            continue;
+          }
+          if (Status s = validate_challenge(*ctx.model, c); !s.is_ok()) {
+            replies[i] = error_frame(frame.request_id, frame.device_id,
+                                     WireCode::kInvalidArgument,
+                                     s.message());
+            continue;
+          }
+          verifies.push_back({i, std::move(c), std::move(r)});
+        }
+      }
+      if (!predicts.empty()) {
+        std::vector<Challenge> challenges;
+        challenges.reserve(predicts.size());
+        SimulationModel::PredictBatchOptions popts;
+        popts.algorithm = maxflow::Algorithm::kPushRelabel;
+        popts.thread_count = 1;  // inline: this IS a pool worker already
+        popts.cache = cache_for(ctx);
+        popts.cache_device_id = device_id;
+        popts.deadlines.reserve(predicts.size());
+        for (const PredictSlot& slot : predicts) {
+          challenges.push_back(slot.challenge);
+          popts.deadlines.push_back(items[slot.item].deadline);
+        }
+        const std::vector<SimulationModel::Prediction> preds =
+            ctx.model->predict_batch(challenges, popts);
+        for (std::size_t k = 0; k < predicts.size(); ++k) {
+          const std::size_t i = predicts[k].item;
+          const Frame& frame = items[i].frame;
+          if (!preds[k].ok())
+            replies[i] = error_frame(frame.request_id, frame.device_id,
+                                     wire_code_for(preds[k].status),
+                                     preds[k].status.to_string());
+          else
+            replies[i] = net::encode_frame(
+                MessageType::kPredictReply, frame.request_id,
+                frame.device_id, 0, net::encode_predict_reply(preds[k]));
+        }
+      }
+      if (!verifies.empty()) {
+        // verify_batch has no per-item deadline plumbing; check expiry
+        // per item here so a dead budget answers typed without poisoning
+        // its batch-mates.
+        std::vector<Challenge> vc;
+        std::vector<protocol::ProverReport> vr;
+        std::vector<std::size_t> live;
+        for (VerifySlot& slot : verifies) {
+          if (items[slot.item].deadline.expired()) {
+            const Frame& frame = items[slot.item].frame;
+            replies[slot.item] = error_frame(
+                frame.request_id, frame.device_id,
+                WireCode::kDeadlineExceeded,
+                "budget expired in coalescing window");
+            continue;
+          }
+          live.push_back(slot.item);
+          vc.push_back(std::move(slot.challenge));
+          vr.push_back(std::move(slot.report));
+        }
+        if (!vc.empty()) {
+          protocol::Verifier::BatchVerifyOptions vopts;
+          vopts.thread_count = 1;  // inline on this worker
+          const std::vector<protocol::AuthenticationResult> results =
+              ctx.verifier->verify_batch(vc, vr, vopts);
+          for (std::size_t k = 0; k < live.size(); ++k) {
+            const Frame& frame = items[live[k]].frame;
+            replies[live[k]] = net::encode_frame(
+                MessageType::kVerifyReply, frame.request_id,
+                frame.device_id, 0, net::encode_verify_reply(results[k]));
+          }
+        }
+      }
+    }
+  } catch (const std::exception& e) {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      if (replies[i].empty())
+        replies[i] = error_frame(items[i].frame.request_id,
+                                 items[i].frame.device_id,
+                                 WireCode::kInternal, e.what());
+  } catch (...) {
+    for (std::size_t i = 0; i < items.size(); ++i)
+      if (replies[i].empty())
+        replies[i] = error_frame(items[i].frame.request_id,
+                                 items[i].frame.device_id,
+                                 WireCode::kInternal,
+                                 "unknown batch handler failure");
+  }
+  // Reply-scatter: one lock and one wake for the whole batch; each item
+  // routes back to its own originating connection.
+  {
+    std::lock_guard<std::mutex> lock(completion_mutex);
+    for (std::size_t i = 0; i < items.size(); ++i)
+      completions.push_back({items[i].connection_id, std::move(replies[i])});
+  }
+  inflight.fetch_sub(items.size(), std::memory_order_relaxed);
+  const std::uint64_t one = 1;
+  [[maybe_unused]] ssize_t rc = ::write(wake_fd, &one, sizeof(one));
 }
 
 }  // namespace ppuf::server

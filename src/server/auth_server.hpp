@@ -74,6 +74,28 @@ struct AuthServerOptions {
   /// Upper bound honoured for PING delay_ms (a load-testing knob, not an
   /// invitation to park workers forever).
   std::uint32_t max_ping_delay_ms = 10000;
+  /// Cross-connection request coalescing (DESIGN.md §16).  When > 1 the
+  /// event loop gathers PREDICT / VERIFY frames from *all* connections
+  /// into per-device batches instead of dispatching one pool task per
+  /// frame: a batch closes when it reaches this many items, when its
+  /// oldest frame has waited coalesce_wait_us, or when the server starts
+  /// draining.  A frame whose budget cannot survive the batch window is
+  /// dispatched solo.  1 (the default) preserves per-frame dispatch
+  /// exactly — same tasks, same replies, byte for byte.
+  std::size_t coalesce_max_batch = 1;
+  /// Batch window: the longest a coalesced frame waits before its batch
+  /// is flushed to the worker pool regardless of fill.
+  std::uint32_t coalesce_wait_us = 500;
+  /// Bytes of the shared, device-keyed CRP response cache wired into the
+  /// coalesced predict path; 0 disables.  Per-frame dispatch never reads
+  /// it, so a coalesce-off server measures the uncached baseline.
+  std::size_t response_cache_bytes = 0;
+  /// Per-connection bound on queued reply bytes.  A peer that stops
+  /// reading while replies keep arriving (a slow or blocked reader) is
+  /// disconnected at this bound instead of growing the out-queue without
+  /// limit; 0 = unbounded.  Workers never block on a peer either way —
+  /// only the event loop touches sockets.
+  std::size_t max_connection_backlog_bytes = 4 * 1024 * 1024;
 };
 
 class AuthServer {
@@ -122,6 +144,10 @@ class AuthServer {
     std::uint64_t shutdown_rejections = 0;
     std::uint64_t malformed_frames = 0;
     std::uint64_t unknown_device_rejections = 0;
+    std::uint64_t coalesced_batches = 0;   ///< device batches flushed
+    std::uint64_t coalesced_items = 0;     ///< frames served via a batch
+    std::uint64_t solo_dispatches = 0;     ///< budget too tight to coalesce
+    std::uint64_t slow_peer_disconnects = 0;  ///< backlog bound enforced
   };
   Stats stats() const;
 

@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "circuit/mna.hpp"
 #include "net/client.hpp"
 #include "ppuf/challenge.hpp"
 #include "ppuf/ppuf.hpp"
@@ -187,6 +188,7 @@ struct OracleDevice {
 void client_worker(int index, const CampaignOptions& options,
                    std::uint16_t port,
                    const std::vector<OracleDevice>& oracle,
+                   std::shared_ptr<circuit::SymbolicCache> symbolic,
                    CampaignState* state) {
   util::Rng rng(options.seed * 1315423911ULL + 0x7f4a7c15ULL * (index + 1));
   net::ClientOptions copts;
@@ -198,17 +200,26 @@ void client_worker(int index, const CampaignOptions& options,
   copts.backoff_seed = options.seed * 100 + index + 1;
   copts.breaker_failure_threshold = 5;
   copts.breaker_cooldown_ms = 50;
+  copts.pipeline_depth = 4;
   net::AuthClient client("127.0.0.1", port, copts);
 
   // The honest prover needs the physical chip: refabricate each oracle
-  // device from its seed (the seed IS the silicon).
+  // device from its seed (the seed IS the silicon).  Every chip shares
+  // the registry's enrollment symbolic cache — same netlist topology, so
+  // the MNA pattern/sparse-LU analysis is derived once, not per chip per
+  // worker.
   PpufParams params;
   params.node_count = static_cast<std::size_t>(options.node_count);
   params.grid_size = static_cast<std::size_t>(options.grid_size);
   std::vector<std::unique_ptr<MaxFlowPpuf>> chips;
   chips.reserve(oracle.size());
-  for (const OracleDevice& dev : oracle)
+  for (const OracleDevice& dev : oracle) {
     chips.push_back(std::make_unique<MaxFlowPpuf>(params, dev.fab_seed));
+    if (symbolic != nullptr) {
+      chips.back()->network_a().set_symbolic_cache(symbolic);
+      chips.back()->network_b().set_symbolic_cache(symbolic);
+    }
+  }
   constexpr double kChipDelay = 1e-6;
 
   std::uint64_t requests = 0, ok = 0, transient = 0, rejections = 0;
@@ -234,7 +245,7 @@ void client_worker(int index, const CampaignOptions& options,
     client.set_device_id(dev.id);
     const int op = static_cast<int>(rng.uniform_int(0, 99));
 
-    if (op < 40) {
+    if (op < 32) {
       // PREDICT against the precomputed oracle table: a successful reply
       // that differs from the device's own model is a wrong response
       // (cross-device or corrupted) — the core invariant.
@@ -251,6 +262,39 @@ void client_worker(int index, const CampaignOptions& options,
               "wrong response for device " + std::to_string(dev.id) +
               ": bit " + std::to_string(got.bit) + " vs " +
               std::to_string(want.bit) + " (oracle mismatch)");
+        }
+      }
+    } else if (op < 40) {
+      // Pipelined PREDICT window: replies may come back out of submission
+      // order (a coalescing server answers solo dispatches ahead of
+      // batch-mates), so strict request-id matching must still attribute
+      // every reply to its own challenge — checked against the oracle.
+      const std::size_t n = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      std::vector<Challenge> window;
+      std::vector<std::size_t> which;
+      for (std::size_t k = 0; k < n; ++k) {
+        const std::size_t c = static_cast<std::size_t>(
+            rng.uniform_int(0, dev.challenges.size() - 1));
+        which.push_back(c);
+        window.push_back(dev.challenges[c]);
+      }
+      std::vector<SimulationModel::Prediction> got;
+      const Status s = client.predict_pipelined(
+          window, &got, Deadline::after_seconds(0.8));
+      if (classify(s, "predict_pipelined")) {
+        for (std::size_t k = 0; k < n; ++k) {
+          if (!got[k].ok()) {
+            if (!is_transient(got[k].status.code()))
+              state->violation("pipelined item: unexpected typed error: " +
+                               got[k].status.to_string());
+            continue;
+          }
+          const SimulationModel::Prediction& want = dev.expected[which[k]];
+          if (got[k].bit != want.bit || got[k].flow_a != want.flow_a ||
+              got[k].flow_b != want.flow_b)
+            state->violation("pipelined wrong response for device " +
+                             std::to_string(dev.id) +
+                             " (misattributed or corrupted reply)");
         }
       }
     } else if (op < 58) {
@@ -386,6 +430,9 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   sopts.chain_length = 2;
   sopts.spot_checks = 2;
   sopts.challenge_seed = options.seed * 2654435761ULL + 17;
+  sopts.coalesce_max_batch = options.coalesce_batch;
+  sopts.coalesce_wait_us = options.coalesce_wait_us;
+  sopts.response_cache_bytes = options.response_cache_bytes;
   auto server = std::make_unique<server::AuthServer>(reg, sopts);
   st = server->start();
   if (!st.is_ok()) {
@@ -452,7 +499,7 @@ CampaignResult run_campaign(const CampaignOptions& options) {
   std::vector<std::thread> workers;
   for (int i = 0; i < options.clients; ++i) {
     workers.emplace_back(client_worker, i, options, port, std::cref(oracle),
-                         &state);
+                         reg.enroll_symbolic_cache(), &state);
   }
 
   // Controller: spread the restarts evenly across the campaign and

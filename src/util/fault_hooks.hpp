@@ -50,6 +50,13 @@ struct FaultHooks {
   /// otherwise a narrow timing race against a real RST.
   std::atomic<int> server_send_failures{0};
 
+  /// true: AuthServer flush() treats every send as EAGAIN (kernel buffer
+  /// full) without touching the socket — the deterministic way to grow a
+  /// connection's reply backlog for slow-peer tests, independent of the
+  /// host's actual socket buffer sizing.  State, not an event: it does
+  /// not tick faults_injected.
+  std::atomic<bool> server_send_block{false};
+
   /// >= 0: the next registry write-ahead-log append writes only this many
   /// bytes of the record and then fails as if the process died (a torn
   /// tail).  One-shot: consumed by the first append that observes it.
@@ -144,6 +151,12 @@ struct FaultHooks {
                  h.roll(h.server_send_fail_ppm));
   }
 
+  /// True while server sends should back-pressure as if the socket
+  /// buffer were full.
+  static bool server_send_blocked() {
+    return instance().server_send_block.load(std::memory_order_relaxed);
+  }
+
   /// True when the calling server send should be artificially short.
   static bool consume_server_send_short() {
     auto& h = instance();
@@ -230,6 +243,7 @@ struct FaultHooks {
     newton_skip_gmin_stage.store(false, std::memory_order_relaxed);
     maxflow_transient_failures.store(0, std::memory_order_relaxed);
     server_send_failures.store(0, std::memory_order_relaxed);
+    server_send_block.store(false, std::memory_order_relaxed);
     registry_torn_write_bytes.store(-1, std::memory_order_relaxed);
     registry_append_failures.store(0, std::memory_order_relaxed);
     registry_fsync_failures.store(0, std::memory_order_relaxed);

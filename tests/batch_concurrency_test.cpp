@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -225,6 +226,46 @@ TEST_F(BatchConcurrencyTest, ExpiredControlMarksEveryItemIdentically) {
           << threads << " threads, item " << i;
     }
   }
+}
+
+// Per-item deadlines: one expired item must be answered typed without
+// being attempted, and must not poison its batch-mates — the invariant a
+// coalescing server relies on when it folds requests with different
+// budgets into one batch.
+TEST_F(BatchConcurrencyTest, PerItemDeadlineExpiresOneItemNotItsMates) {
+  const std::vector<Challenge> batch = challenges_with_repeats(6, 23);
+
+  SimulationModel::PredictBatchOptions plain;
+  plain.thread_count = 1;
+  const auto want = model_->predict_batch(batch, plain);
+
+  for (const unsigned threads : {1u, 4u}) {
+    SimulationModel::PredictBatchOptions options;
+    options.thread_count = threads;
+    options.deadlines.assign(batch.size(), util::Deadline());
+    options.deadlines[2] = util::Deadline::after_seconds(0.0);  // expired
+    const auto results = model_->predict_batch(batch, options);
+    ASSERT_EQ(results.size(), batch.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (i == 2) {
+        EXPECT_EQ(results[i].status.code(),
+                  util::StatusCode::kDeadlineExceeded)
+            << threads << " threads";
+        continue;
+      }
+      ASSERT_TRUE(results[i].ok()) << threads << " threads, item " << i;
+      EXPECT_EQ(results[i].bit, want[i].bit);
+      EXPECT_EQ(results[i].flow_a, want[i].flow_a);
+      EXPECT_EQ(results[i].flow_b, want[i].flow_b);
+    }
+  }
+
+  // A deadlines vector of the wrong length is a caller bug, not a data
+  // error: it must throw, not silently misalign budgets with items.
+  SimulationModel::PredictBatchOptions mismatched;
+  mismatched.deadlines.assign(batch.size() + 1, util::Deadline());
+  EXPECT_THROW(model_->predict_batch(batch, mismatched),
+               std::invalid_argument);
 }
 
 // Regression: the control-aware parallel_for used to re-poll the control

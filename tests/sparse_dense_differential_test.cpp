@@ -28,6 +28,10 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -37,7 +41,10 @@
 #include "circuit/netlist.hpp"
 #include "ppuf/feedback.hpp"
 #include "ppuf/ppuf.hpp"
+#include "ppuf/response_cache.hpp"
 #include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
+#include "registry/hydration_cache.hpp"
 #include "util/rng.hpp"
 
 namespace ppuf {
@@ -366,6 +373,97 @@ TEST(SparseDenseDifferential, SingularNetlistReturnsTypedNonConvergence) {
     EXPECT_FALSE(op.diagnostics.stages.empty())
         << (dense ? "dense" : "sparse");
   }
+}
+
+// --- serving warm path: registry-hydrated models vs the dense oracle ------
+
+// The serving stack never touches a MaxFlowPpuf directly: enrollment
+// characterises through the sparse core (sharing the registry's fleet
+// SymbolicCache) and the AuthServer answers from a HydrationCache-
+// materialised model, optionally through a device-keyed ResponseCache.
+// This test pins that whole warm path against the dense oracle: the
+// hydrated model's bits must equal a dense re-characterisation of the same
+// silicon, and cached replies (fill pass and hit pass) must be bit- and
+// flow-exact with the uncached solve.
+TEST(SparseDenseDifferential, HydratedRegistryModelMatchesDenseOracle) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / "sdd_registry";
+  std::filesystem::remove_all(dir);
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(dir.string()).is_ok());
+
+  constexpr std::uint64_t kFabSeed = 8642;
+  registry::EnrollRequest req;
+  req.node_count = 6;
+  req.grid_size = 4;
+  req.seed = kFabSeed;
+  req.label = "sdd";
+  std::uint64_t id = 0;
+  ASSERT_TRUE(reg.enroll(req, &id).is_ok());
+  // Enrollment went through the sparse core and seeded the fleet cache.
+  ASSERT_NE(reg.enroll_symbolic_cache(), nullptr);
+
+  // Dense oracle: re-fabricate the same silicon and characterise every
+  // block through the dense LU.
+  std::optional<SimulationModel> oracle;
+  {
+    DenseOracleScope dense;
+    PpufParams params;
+    params.node_count = 6;
+    params.grid_size = 4;
+    MaxFlowPpuf chip(params, kFabSeed);
+    oracle.emplace(chip);
+  }
+
+  // Serving path: hydrate through the cache with the shared response
+  // cache attached at materialisation (the PR-7/PR-8 warm plane).
+  ResponseCache response_cache(1 << 20);
+  registry::HydrationCache::Options hopts;
+  hopts.response_cache = &response_cache;
+  registry::HydrationCache hydration(reg, hopts);
+  std::shared_ptr<const registry::HydratedDevice> dev;
+  ASSERT_TRUE(hydration.get(id, &dev).is_ok());
+  ASSERT_EQ(dev->response_cache, &response_cache);
+
+  util::Rng rng(7);
+  std::vector<Challenge> challenges;
+  for (int i = 0; i < 12; ++i)
+    challenges.push_back(random_challenge(dev->model.layout(), rng));
+
+  const SimulationModel::PredictBatchOptions uncached;
+  const auto cold = dev->model.predict_batch(challenges, uncached);
+
+  SimulationModel::PredictBatchOptions cached;
+  cached.cache = dev->response_cache;
+  cached.cache_device_id = dev->id;
+  const auto fill = dev->model.predict_batch(challenges, cached);
+  const auto warm = dev->model.predict_batch(challenges, cached);
+
+  ASSERT_EQ(cold.size(), challenges.size());
+  for (std::size_t i = 0; i < challenges.size(); ++i) {
+    ASSERT_TRUE(cold[i].ok()) << "challenge " << i;
+    const SimulationModel::Prediction want = oracle->predict(challenges[i]);
+    ASSERT_TRUE(want.ok()) << "challenge " << i;
+    // Sparse-enrolled, hydration-served bits equal the dense oracle's;
+    // flows agree within solver tolerance.
+    EXPECT_EQ(cold[i].bit, want.bit) << "challenge " << i;
+    EXPECT_NEAR(cold[i].flow_a, want.flow_a,
+                1e-12 + 1e-6 * std::abs(want.flow_a))
+        << "challenge " << i;
+    EXPECT_NEAR(cold[i].flow_b, want.flow_b,
+                1e-12 + 1e-6 * std::abs(want.flow_b))
+        << "challenge " << i;
+    // Cache fill and cache hit are exact copies of the uncached solve —
+    // the cache must never launder a different response.
+    for (const auto* pass : {&fill, &warm}) {
+      ASSERT_TRUE((*pass)[i].ok()) << "challenge " << i;
+      EXPECT_EQ((*pass)[i].bit, cold[i].bit) << "challenge " << i;
+      EXPECT_EQ((*pass)[i].flow_a, cold[i].flow_a) << "challenge " << i;
+      EXPECT_EQ((*pass)[i].flow_b, cold[i].flow_b) << "challenge " << i;
+    }
+  }
+  // The second cached pass hit every entry.
+  EXPECT_GE(response_cache.stats().hits, challenges.size());
 }
 
 }  // namespace

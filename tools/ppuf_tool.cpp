@@ -144,11 +144,13 @@ constexpr CommandSpec kCommands[] = {
      "                 [--max-inflight <n>] [--deadline-s <sec>]\n"
      "                 [--chain-k <k>] [--spot-checks <s>]\n"
      "                 [--cache-entries <n>]\n"
+     "                 [--coalesce-batch <n>] [--coalesce-wait-us <us>]\n"
      "       (single-device mode refuses to run without an explicit\n"
-     "        --seed: a guessable challenge seed breaks the protocol)"},
+     "        --seed: a guessable challenge seed breaks the protocol;\n"
+     "        the global --cache-mb sizes the serve response cache)"},
     {"auth", 18,
      "auth <host:port> <nodes> <grid> <seed> [--device <id>]\n"
-     "                 [--report-file <f>]"},
+     "                 [--report-file <f>] [--pipeline-depth <n>]"},
     {"enroll", 19,
      "enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]"},
     {"registry", 20, "registry <registry-dir> list|compact|revoke <id>"},
@@ -647,10 +649,20 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
     } else if (arg == "--seed") {
       so.challenge_seed = parse_number("serve", value);
       seed_given = true;
+    } else if (arg == "--coalesce-batch") {
+      so.coalesce_max_batch = static_cast<std::size_t>(
+          parse_number("serve", value));
+      if (so.coalesce_max_batch == 0) return usage_for("serve");
+    } else if (arg == "--coalesce-wait-us") {
+      so.coalesce_wait_us = static_cast<std::uint32_t>(
+          parse_number("serve", value));
     } else {
       return usage_for("serve");
     }
   }
+  // The global --cache-mb sizes the serving response cache here, the same
+  // way it sizes predict-batch's cache.
+  so.response_cache_bytes = opts.cache_mb * 1024 * 1024;
   const bool registry_mode = !registry_dir.empty();
   if (registry_mode == !model_file.empty())
     return usage_for("serve");  // exactly one of <model-file> / --registry
@@ -719,6 +731,11 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
             << s.shutdown_rejections << " rejected while draining, "
             << s.malformed_frames << " malformed, "
             << s.unknown_device_rejections << " unknown-device)\n";
+  if (so.coalesce_max_batch > 1)
+    std::cout << "coalescing: " << s.coalesced_items << " items in "
+              << s.coalesced_batches << " batches, " << s.solo_dispatches
+              << " solo (budget-tight), " << s.slow_peer_disconnects
+              << " slow peers disconnected\n";
   return 0;
 }
 
@@ -746,7 +763,11 @@ int cmd_auth(const std::vector<std::string>& args) {
       report_file = args[i + 1];
     else if (args[i] == "--device" && i + 1 < args.size())
       copts.device_id = parse_number("auth", args[i + 1]);
-    else
+    else if (args[i] == "--pipeline-depth" && i + 1 < args.size()) {
+      copts.pipeline_depth = static_cast<int>(
+          parse_number("auth", args[i + 1]));
+      if (copts.pipeline_depth < 1) return usage_for("auth");
+    } else
       return usage_for("auth");
   }
 
