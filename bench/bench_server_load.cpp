@@ -25,6 +25,19 @@
 //      coalesce_max_batch in {1, 4, 16, 32} for a batch-size-vs-p99
 //      curve, and soaks a coalescing server under thousands of
 //      simultaneously open connections (clamped to RLIMIT_NOFILE).
+//   6. Fleet: the same predict load pushed through the fleet gateway over
+//      1 / 2 / 4 registry shards (items/s and p50/p99 per shard count,
+//      enrollment routed by the gateway itself), then a kill-a-shard leg:
+//      a shard dies, its WAL-shipping standby promotes, the gateway shard
+//      name is re-pointed at the promoted server, and the window from
+//      kill to the first successful forward is the recovery time — with
+//      zero acked enrollments lost.
+//   7. Large registry: a synthesized >= 100k-device registry (bulk
+//      snapshot plus a record-framed WAL tail, every device sharing one
+//      tiny model blob — the leg measures recovery and hydration
+//      mechanics, not solver cost), cold open() recovery time, and the
+//      hydration hit-ratio curve vs cache capacity under a fixed working
+//      set.
 //
 // Results land in a JSON file (argv[1], default BENCH_server.json) so CI
 // can archive the trend; the exit status encodes the acceptance gates
@@ -45,13 +58,18 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "fleet/gateway.hpp"
+#include "fleet/standby.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "ppuf/ppuf.hpp"
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
+#include "protocol/codec.hpp"
 #include "registry/device_registry.hpp"
+#include "registry/hydration_cache.hpp"
+#include "registry/record.hpp"
 #include "server/auth_server.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -556,6 +574,463 @@ int main(int argc, char** argv) {
             << util::Table::num(soak_seconds, 2) << " s, liveness probe "
             << (soak_live ? "ok" : "FAILED") << "\n";
 
+  // --- leg 6: fleet — gateway scaling across shards, then shard loss ------
+  constexpr std::size_t kFleetNodes = 16;
+  constexpr std::size_t kFleetGrid = 4;
+  constexpr std::uint64_t kFleetSeedBase = 7100;
+  constexpr std::size_t kFleetDevices = 8;  ///< one loader client per device
+  const std::size_t fleet_requests_per_device = bench::scaled(12, 4);
+
+  // Every fleet device shares one geometry, so one locally fabricated
+  // model provides the layout challenge sampling needs.
+  PpufParams fleet_params;
+  fleet_params.node_count = kFleetNodes;
+  fleet_params.grid_size = kFleetGrid;
+  MaxFlowPpuf fleet_reference(fleet_params, kFleetSeedBase);
+  SimulationModel fleet_layout(fleet_reference);
+  std::vector<Challenge> fleet_pool;
+  {
+    util::Rng rng(501);
+    for (int i = 0; i < 16; ++i)
+      fleet_pool.push_back(random_challenge(fleet_layout.layout(), rng));
+  }
+
+  struct FleetRun {
+    std::size_t shards = 0;
+    double items_per_sec = 0.0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    std::size_t failures = 0;
+    std::uint64_t forwarded = 0;
+    std::uint64_t dropped_inflight = 0;
+    bool ok = false;  ///< setup + enrollment clean, zero failed predicts
+  };
+
+  /// One fleet shard: its own on-disk registry behind its own AuthServer.
+  struct FleetShard {
+    std::filesystem::path dir;
+    std::unique_ptr<registry::DeviceRegistry> registry;
+    std::unique_ptr<server::AuthServer> server;
+  };
+  const auto open_fleet_shard = [](const std::string& name,
+                                   std::uint64_t challenge_seed,
+                                   FleetShard* s) {
+    s->dir = std::filesystem::temp_directory_path() / ("ppuf_bench_" + name);
+    std::filesystem::remove_all(s->dir);
+    s->registry = std::make_unique<registry::DeviceRegistry>();
+    if (!s->registry->open(s->dir.string()).is_ok()) return false;
+    server::AuthServerOptions o;
+    o.threads = 2;
+    o.spot_checks = 0;
+    o.challenge_seed = challenge_seed;
+    s->server = std::make_unique<server::AuthServer>(*s->registry, o);
+    if (!s->server->start().is_ok()) {
+      s->server.reset();
+      return false;
+    }
+    return true;
+  };
+  const auto close_fleet_shards = [](std::vector<FleetShard>& shards) {
+    for (FleetShard& s : shards) {
+      if (s.server) s.server->stop();
+      std::filesystem::remove_all(s.dir);
+    }
+  };
+  /// The health prober needs one probe round trip before routing opens.
+  const auto fleet_wait_up = [](net::AuthClient& admin,
+                                std::size_t expected) {
+    for (int i = 0; i < 400; ++i) {
+      net::AdminRequestBody req;
+      req.op = net::AdminOp::kStatus;
+      net::AdminReplyBody reply;
+      if (admin.admin(req, &reply).is_ok() &&
+          reply.shards.size() == expected) {
+        std::size_t up = 0;
+        for (const net::ShardStatus& s : reply.shards)
+          if (s.state == static_cast<std::uint8_t>(fleet::ShardState::kUp))
+            ++up;
+        if (up == expected) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(25));
+    }
+    return false;
+  };
+  /// Enroll ids 1..kFleetDevices THROUGH the gateway (explicit ids: the
+  /// id a client hashes on is the id the owning shard stores).
+  const auto fleet_enroll_all = [&](std::uint16_t gateway_port) {
+    for (std::uint64_t id = 1; id <= kFleetDevices; ++id) {
+      net::ClientOptions co;
+      co.device_id = id;
+      co.backoff_seed = 1;
+      net::AuthClient c("127.0.0.1", gateway_port, co);
+      net::EnrollRequestBody spec;
+      spec.node_count = kFleetNodes;
+      spec.grid_size = kFleetGrid;
+      spec.fabrication_seed = kFleetSeedBase + id;
+      spec.label = "bench-fleet";
+      std::uint64_t assigned = 0;
+      if (!c.enroll_device(spec, id, &assigned).is_ok() || assigned != id)
+        return false;
+    }
+    return true;
+  };
+
+  const auto run_fleet_leg = [&](std::size_t shard_count) {
+    FleetRun run;
+    run.shards = shard_count;
+    std::vector<FleetShard> shards(shard_count);
+    bool up = true;
+    for (std::size_t i = 0; i < shard_count; ++i)
+      up = up && open_fleet_shard("fleet_s" + std::to_string(shard_count) +
+                                      "_" + std::to_string(i),
+                                  1000 + 10 * shard_count + i, &shards[i]);
+    fleet::GatewayOptions go;
+    go.threads = 4;
+    go.health_interval_ms = 50;
+    fleet::Gateway gateway(go);
+    for (std::size_t i = 0; i < shard_count && up; ++i)
+      up = gateway
+               .add_shard("s" + std::to_string(i), "127.0.0.1",
+                          shards[i].server->port())
+               .is_ok();
+    up = up && gateway.start().is_ok();
+    if (up) {
+      net::AuthClient admin("127.0.0.1", gateway.port());
+      up = fleet_wait_up(admin, shard_count) &&
+           fleet_enroll_all(gateway.port());
+    }
+    if (!up) {
+      std::cerr << "FATAL: fleet leg setup failed (shards=" << shard_count
+                << ")\n";
+      run.failures = kFleetDevices * fleet_requests_per_device;
+      close_fleet_shards(shards);
+      return run;
+    }
+    std::vector<std::vector<double>> lat(kFleetDevices);
+    std::vector<std::size_t> fails(kFleetDevices, 0);
+    std::vector<std::thread> loaders;
+    loaders.reserve(kFleetDevices);
+    const auto f0 = std::chrono::steady_clock::now();
+    for (std::size_t k = 0; k < kFleetDevices; ++k) {
+      loaders.emplace_back([&, k] {
+        net::ClientOptions co;
+        co.device_id = k + 1;
+        co.backoff_seed = 2 + k;
+        net::AuthClient client("127.0.0.1", gateway.port(), co);
+        lat[k].reserve(fleet_requests_per_device);
+        for (std::size_t i = 0; i < fleet_requests_per_device; ++i) {
+          const Challenge& c = fleet_pool[(i + 3 * k) % fleet_pool.size()];
+          SimulationModel::Prediction p;
+          const auto r0 = std::chrono::steady_clock::now();
+          if (client.predict(c, &p).is_ok())
+            lat[k].push_back(std::chrono::duration<double, std::micro>(
+                                 std::chrono::steady_clock::now() - r0)
+                                 .count());
+          else
+            ++fails[k];
+        }
+      });
+    }
+    for (std::thread& t : loaders) t.join();
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - f0)
+                               .count();
+    std::vector<double> merged_lat;
+    for (std::size_t k = 0; k < kFleetDevices; ++k) {
+      merged_lat.insert(merged_lat.end(), lat[k].begin(), lat[k].end());
+      run.failures += fails[k];
+    }
+    std::sort(merged_lat.begin(), merged_lat.end());
+    run.items_per_sec = static_cast<double>(merged_lat.size()) / seconds;
+    run.p50_us = percentile(merged_lat, 0.50);
+    run.p99_us = percentile(merged_lat, 0.99);
+    const fleet::Gateway::Stats gs = gateway.stats();
+    run.forwarded = gs.forwarded;
+    run.dropped_inflight = gs.dropped_inflight;
+    gateway.stop();
+    close_fleet_shards(shards);
+    run.ok = run.failures == 0 && run.dropped_inflight == 0;
+    return run;
+  };
+
+  const std::size_t fleet_shard_counts[] = {1, 2, 4};
+  std::vector<FleetRun> fleet_runs;
+  util::Table ftable({"shards", "items/s", "p50 us", "p99 us", "forwarded",
+                      "dropped", "failures"});
+  for (const std::size_t s : fleet_shard_counts) {
+    fleet_runs.push_back(run_fleet_leg(s));
+    const FleetRun& r = fleet_runs.back();
+    ftable.add_row({std::to_string(r.shards),
+                    util::Table::num(r.items_per_sec, 4),
+                    util::Table::num(r.p50_us, 1),
+                    util::Table::num(r.p99_us, 1),
+                    std::to_string(r.forwarded),
+                    std::to_string(r.dropped_inflight),
+                    std::to_string(r.failures)});
+  }
+  ftable.print(std::cout);
+  std::cout << "fleet leg: " << kFleetDevices << " devices x "
+            << fleet_requests_per_device
+            << " predicts through the gateway per shard count\n";
+
+  // Kill-a-shard recovery: a 2-shard fleet with a WAL-shipping standby on
+  // shard s0.  The shard dies, the standby promotes, the gateway's shard
+  // name is re-pointed at the promoted server (ring placement is
+  // name-keyed: no device moves), and the window from kill to the first
+  // successful forward is the recovery time.  Every enrollment the dead
+  // shard acked must still answer afterwards.
+  double fleet_recovery_ms = -1.0;
+  std::size_t fleet_recovery_devices = 0, fleet_recovery_lost = 0;
+  bool fleet_recovery_ok = false;
+  {
+    std::vector<FleetShard> shards(2);
+    bool up = open_fleet_shard("fleet_failover_0", 2000, &shards[0]) &&
+              open_fleet_shard("fleet_failover_1", 2001, &shards[1]);
+    fleet::GatewayOptions go;
+    go.threads = 4;
+    go.health_interval_ms = 50;
+    fleet::Gateway gateway(go);
+    up = up &&
+         gateway.add_shard("s0", "127.0.0.1", shards[0].server->port())
+             .is_ok() &&
+         gateway.add_shard("s1", "127.0.0.1", shards[1].server->port())
+             .is_ok() &&
+         gateway.start().is_ok();
+    if (up) {
+      net::AuthClient admin("127.0.0.1", gateway.port());
+      up = fleet_wait_up(admin, 2) && fleet_enroll_all(gateway.port());
+    }
+    std::vector<std::uint64_t> owned;
+    if (up)
+      for (std::uint64_t id = 1; id <= kFleetDevices; ++id)
+        if (shards[0].registry->contains(id)) owned.push_back(id);
+    fleet_recovery_devices = owned.size();
+    up = up && !owned.empty();
+    if (up) {
+      const std::filesystem::path standby_dir =
+          std::filesystem::temp_directory_path() /
+          "ppuf_bench_fleet_standby";
+      std::filesystem::remove_all(standby_dir);
+      fleet::StandbyOptions sbo;
+      sbo.primary_port = shards[0].server->port();
+      sbo.directory = standby_dir.string();
+      fleet::WalStandby standby(sbo);
+      up = standby.start().is_ok();
+      // Quiesce the poll thread: the catch-up pass below is explicit, so
+      // "caught up" is a deterministic fact, not a race with the kill.
+      standby.stop();
+      up = up && standby.sync_once().is_ok();
+      // Kill the primary; the clock runs from here to the first
+      // successful forward after the re-point.
+      const auto k0 = std::chrono::steady_clock::now();
+      shards[0].server->stop();
+      const fleet::PromotionReport report = standby.promote();
+      server::AuthServerOptions po;
+      po.threads = 2;
+      po.spot_checks = 0;
+      po.challenge_seed = 2002;
+      server::AuthServer promoted(standby.registry(), po);
+      up = up && report.caught_up && promoted.start().is_ok();
+      if (up) {
+        net::AuthClient admin("127.0.0.1", gateway.port());
+        net::AdminRequestBody req;
+        req.op = net::AdminOp::kAddShard;
+        req.shard = "s0";
+        req.host = "127.0.0.1";
+        req.port = promoted.port();
+        net::AdminReplyBody reply;
+        up = admin.admin(req, &reply).is_ok() && reply.ok == 1;
+      }
+      if (up) {
+        net::ClientOptions co;
+        co.device_id = owned.front();
+        co.backoff_seed = 3;
+        co.max_attempts = 1;
+        co.breaker_failure_threshold = 0;
+        net::AuthClient probe("127.0.0.1", gateway.port(), co);
+        const util::Deadline give_up = util::Deadline::after_seconds(15.0);
+        bool served = false;
+        while (!served && !give_up.expired()) {
+          SimulationModel::Prediction p;
+          if (probe.predict(fleet_pool[0], &p).is_ok())
+            served = true;
+          else
+            std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        }
+        fleet_recovery_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - k0)
+                                .count();
+        up = served;
+      }
+      // Zero acked loss: every device the dead shard had committed still
+      // answers through the gateway.
+      if (up)
+        for (std::uint64_t id : owned) {
+          net::ClientOptions co;
+          co.device_id = id;
+          co.backoff_seed = 4 + id;
+          net::AuthClient c("127.0.0.1", gateway.port(), co);
+          SimulationModel::Prediction p;
+          if (!c.predict(fleet_pool[id % fleet_pool.size()], &p).is_ok())
+            ++fleet_recovery_lost;
+        }
+      promoted.stop();
+      std::filesystem::remove_all(standby_dir);
+    }
+    fleet_recovery_ok = up && fleet_recovery_lost == 0;
+    gateway.stop();
+    close_fleet_shards(shards);
+  }
+  std::cout << "fleet failover: shard of " << fleet_recovery_devices
+            << " devices killed, standby promoted and re-pointed in "
+            << util::Table::num(fleet_recovery_ms, 1) << " ms, "
+            << fleet_recovery_lost << " acked devices lost ("
+            << (fleet_recovery_ok ? "ok" : "FAILED") << ")\n";
+
+  // --- leg 7: large registry — cold recovery + hydration hit-ratio curve --
+  const std::size_t large_devices = bench::scaled(100000, 100000);
+  // The snapshot is ONE CRC-framed body bounded by record.hpp's
+  // kMaxBodyBytes (64 MB), so the bulk that fits in it is capped and the
+  // rest ships as individually framed WAL records — which is also the
+  // interesting half: recovery replays tens of thousands of records.
+  const std::size_t large_bulk = std::min<std::size_t>(large_devices, 40000);
+  const std::size_t large_wal_tail = large_devices - large_bulk;
+  const std::size_t hydration_working_set =
+      std::min<std::size_t>(4096, large_devices);
+  const std::size_t hydration_requests = bench::scaled(20000, 4000);
+  double large_build_seconds = 0.0, large_recovery_seconds = 0.0;
+  std::size_t large_recovered = 0;
+  std::size_t hydration_failures = 0;
+  struct HydrationPoint {
+    std::size_t capacity = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    double hit_ratio = 0.0;
+    double gets_per_sec = 0.0;
+  };
+  const std::size_t hydration_capacities[] = {64, 256, 1024, 4096};
+  std::vector<HydrationPoint> hydration_curve;
+  {
+    const std::filesystem::path dir =
+        std::filesystem::temp_directory_path() / "ppuf_bench_large_registry";
+    std::filesystem::remove_all(dir);
+    std::filesystem::create_directories(dir);
+    // One tiny fabricated instance provides the model blob every
+    // synthesized device shares: the leg measures recovery and hydration
+    // mechanics, and real per-device fabrication at this scale would
+    // dominate the whole bench.
+    PpufParams tiny;
+    tiny.node_count = 6;
+    tiny.grid_size = 3;
+    MaxFlowPpuf tiny_chip(tiny, 4242);
+    SimulationModel tiny_model(tiny_chip);
+    protocol::codec::Writer blob_writer;
+    protocol::codec::encode_sim_model(blob_writer, tiny_model);
+    const std::vector<std::uint8_t> blob = blob_writer.take();
+    const std::size_t bulk = large_bulk;
+
+    const auto entry_for = [&](std::uint64_t id) {
+      registry::DeviceEntry e;
+      e.id = id;
+      e.nodes = static_cast<std::uint32_t>(tiny.node_count);
+      e.grid = static_cast<std::uint32_t>(tiny.grid_size);
+      e.model_bytes = blob;
+      return e;
+    };
+    large_build_seconds = bench::time_seconds([&] {
+      registry::SnapshotBody snap;
+      snap.next_id = bulk + 1;
+      snap.entries.reserve(bulk);
+      for (std::uint64_t id = 1; id <= bulk; ++id)
+        snap.entries.push_back(entry_for(id));
+      const std::vector<std::uint8_t> image = registry::frame_snapshot(snap);
+      std::ofstream snap_out(dir / "snapshot.bin",
+                             std::ios::binary | std::ios::trunc);
+      snap_out.write(reinterpret_cast<const char*>(image.data()),
+                     static_cast<std::streamsize>(image.size()));
+      snap_out.close();
+      std::ofstream wal_out(dir / "wal.log",
+                            std::ios::binary | std::ios::trunc);
+      for (std::uint64_t id = bulk + 1; id <= large_devices; ++id) {
+        registry::WalRecord rec;
+        rec.type = registry::WalRecord::Type::kEnroll;
+        rec.entry = entry_for(id);
+        const std::vector<std::uint8_t> frame = registry::frame_record(rec);
+        wal_out.write(reinterpret_cast<const char*>(frame.data()),
+                      static_cast<std::streamsize>(frame.size()));
+      }
+      wal_out.close();
+    });
+
+    registry::DeviceRegistry reg;
+    bool opened = false;
+    large_recovery_seconds = bench::time_seconds(
+        [&] { opened = reg.open(dir.string()).is_ok(); });
+    large_recovered = opened ? reg.device_count() : 0;
+    if (!opened)
+      std::cerr << "FATAL: large-registry recovery failed\n";
+
+    // Hit-ratio curve: a uniform working set far larger than the small
+    // capacities, so the curve shows capacity/working-set scaling up to
+    // the capacity that holds the whole set.
+    std::vector<std::uint64_t> ws_ids;
+    ws_ids.reserve(hydration_working_set);
+    const std::uint64_t stride = std::max<std::uint64_t>(
+        1, large_devices / hydration_working_set);
+    for (std::size_t i = 0; i < hydration_working_set; ++i)
+      ws_ids.push_back(1 + static_cast<std::uint64_t>(i) * stride);
+    for (const std::size_t capacity : hydration_capacities) {
+      HydrationPoint point;
+      point.capacity = capacity;
+      if (opened) {
+        registry::HydrationCache::Options ho;
+        ho.max_entries = capacity;
+        ho.verify_threads = 1;
+        registry::HydrationCache cache(reg, ho);
+        util::Rng rng(13 + capacity);
+        const double secs = bench::time_seconds([&] {
+          for (std::size_t i = 0; i < hydration_requests; ++i) {
+            const std::uint64_t id = ws_ids[static_cast<std::size_t>(
+                rng.uniform_int(0,
+                                static_cast<std::int64_t>(
+                                    hydration_working_set - 1)))];
+            std::shared_ptr<const registry::HydratedDevice> dev;
+            if (!cache.get(id, &dev).is_ok()) ++hydration_failures;
+          }
+        });
+        const registry::HydrationCache::Stats hs = cache.stats();
+        point.hits = hs.hits;
+        point.misses = hs.misses;
+        point.evictions = hs.evictions;
+        point.hit_ratio =
+            hs.hits + hs.misses > 0
+                ? static_cast<double>(hs.hits) /
+                      static_cast<double>(hs.hits + hs.misses)
+                : 0.0;
+        point.gets_per_sec =
+            secs > 0.0 ? static_cast<double>(hydration_requests) / secs : 0.0;
+      }
+      hydration_curve.push_back(point);
+    }
+    std::filesystem::remove_all(dir);
+  }
+  util::Table htable({"capacity", "hits", "misses", "hit ratio",
+                      "evictions", "gets/s"});
+  for (const HydrationPoint& p : hydration_curve)
+    htable.add_row({std::to_string(p.capacity), std::to_string(p.hits),
+                    std::to_string(p.misses),
+                    util::Table::num(p.hit_ratio, 3),
+                    std::to_string(p.evictions),
+                    util::Table::num(p.gets_per_sec, 4)});
+  htable.print(std::cout);
+  std::cout << "large registry: " << large_recovered << "/" << large_devices
+            << " devices recovered cold in "
+            << util::Table::num(large_recovery_seconds, 3) << " s (built in "
+            << util::Table::num(large_build_seconds, 3) << " s, WAL tail "
+            << large_wal_tail << " records), working set "
+            << hydration_working_set << "\n";
+
   bench::paper_note(
       "the verifier is a service by construction: the prover owns the chip, "
       "the verifier owns only the published model — so load, deadlines and "
@@ -604,7 +1079,54 @@ int main(int argc, char** argv) {
   json << "  \"soak_connections\": " << soak_served << ",\n";
   json << "  \"soak_target\": " << soak_target << ",\n";
   json << "  \"soak_seconds\": " << soak_seconds << ",\n";
-  json << "  \"soak_live\": " << (soak_live ? 1 : 0) << "\n";
+  json << "  \"soak_live\": " << (soak_live ? 1 : 0) << ",\n";
+  json << "  \"fleet_devices\": " << kFleetDevices << ",\n";
+  json << "  \"fleet_requests_per_device\": " << fleet_requests_per_device
+       << ",\n";
+  json << "  \"fleet_scaling\": [\n";
+  for (std::size_t i = 0; i < fleet_runs.size(); ++i) {
+    const FleetRun& r = fleet_runs[i];
+    json << "    {\"shards\": " << r.shards
+         << ", \"items_per_sec\": " << r.items_per_sec
+         << ", \"p50_us\": " << r.p50_us << ", \"p99_us\": " << r.p99_us
+         << ", \"forwarded\": " << r.forwarded
+         << ", \"dropped_inflight\": " << r.dropped_inflight
+         << ", \"failures\": " << r.failures << "}"
+         << (i + 1 < fleet_runs.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n";
+  json << "  \"fleet_recovery_ms\": " << fleet_recovery_ms << ",\n";
+  json << "  \"fleet_recovery_devices\": " << fleet_recovery_devices
+       << ",\n";
+  json << "  \"fleet_recovery_lost\": " << fleet_recovery_lost << ",\n";
+  json << "  \"fleet_recovery_ok\": " << (fleet_recovery_ok ? 1 : 0)
+       << ",\n";
+  json << "  \"large_registry_devices\": " << large_devices << ",\n";
+  json << "  \"large_registry_wal_tail\": " << large_wal_tail << ",\n";
+  json << "  \"large_registry_recovered\": " << large_recovered << ",\n";
+  json << "  \"large_registry_build_seconds\": " << large_build_seconds
+       << ",\n";
+  json << "  \"large_registry_recovery_seconds\": "
+       << large_recovery_seconds << ",\n";
+  json << "  \"large_registry_recovery_devices_per_sec\": "
+       << (large_recovery_seconds > 0.0
+               ? static_cast<double>(large_recovered) /
+                     large_recovery_seconds
+               : 0.0)
+       << ",\n";
+  json << "  \"hydration_working_set\": " << hydration_working_set << ",\n";
+  json << "  \"hydration_requests\": " << hydration_requests << ",\n";
+  json << "  \"hydration_curve\": [\n";
+  for (std::size_t i = 0; i < hydration_curve.size(); ++i) {
+    const HydrationPoint& p = hydration_curve[i];
+    json << "    {\"capacity\": " << p.capacity << ", \"hits\": " << p.hits
+         << ", \"misses\": " << p.misses
+         << ", \"hit_ratio\": " << p.hit_ratio
+         << ", \"evictions\": " << p.evictions
+         << ", \"gets_per_sec\": " << p.gets_per_sec << "}"
+         << (i + 1 < hydration_curve.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n";
   json << "}\n";
   std::cout << "json written to " << json_path << "\n";
 
@@ -651,6 +1173,29 @@ int main(int argc, char** argv) {
   if (soak_served != soak_target || !soak_live) {
     std::cerr << "FAIL: soak served " << soak_served << "/" << soak_target
               << " with liveness " << (soak_live ? "ok" : "lost") << "\n";
+    failed = true;
+  }
+  for (const FleetRun& r : fleet_runs) {
+    if (!r.ok) {
+      std::cerr << "FAIL: fleet leg (shards=" << r.shards << ") had "
+                << r.failures << " failed predicts and "
+                << r.dropped_inflight << " dropped in-flight forwards\n";
+      failed = true;
+    }
+  }
+  if (!fleet_recovery_ok) {
+    std::cerr << "FAIL: fleet failover did not recover cleanly ("
+              << fleet_recovery_lost << " acked devices lost)\n";
+    failed = true;
+  }
+  if (large_recovered != large_devices) {
+    std::cerr << "FAIL: large registry recovered " << large_recovered << "/"
+              << large_devices << " devices\n";
+    failed = true;
+  }
+  if (hydration_failures != 0) {
+    std::cerr << "FAIL: " << hydration_failures
+              << " hydration gets failed\n";
     failed = true;
   }
   return failed ? 1 : 0;

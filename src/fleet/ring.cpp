@@ -1,0 +1,63 @@
+#include "fleet/ring.hpp"
+
+namespace ppuf::fleet {
+
+namespace {
+
+/// splitmix64: the standard 64-bit finaliser — cheap, well-mixed, and
+/// stable across platforms (placement must not depend on std::hash).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over the name, then finalised; the vnode index is folded in by
+/// the caller so every point of one shard is decorrelated.
+std::uint64_t name_hash(const std::string& name) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : name) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return mix64(h);
+}
+
+}  // namespace
+
+void HashRing::add(const std::string& name, std::size_t vnodes) {
+  if (vnodes == 0) vnodes = 1;
+  if (vnodes_.count(name) != 0) return;
+  const std::uint64_t base = name_hash(name);
+  for (std::size_t i = 0; i < vnodes; ++i) {
+    // Collisions across shards are possible in principle; first writer
+    // keeps the point.  With 64-bit positions this is vanishingly rare
+    // and costs at most one vnode's share of keyspace.
+    points_.emplace(mix64(base + i), name);
+  }
+  vnodes_[name] = vnodes;
+}
+
+void HashRing::remove(const std::string& name) {
+  const auto it = vnodes_.find(name);
+  if (it == vnodes_.end()) return;
+  const std::uint64_t base = name_hash(name);
+  for (std::size_t i = 0; i < it->second; ++i) {
+    const auto pit = points_.find(mix64(base + i));
+    // Only erase points we own (a colliding point may belong to another
+    // shard that added first).
+    if (pit != points_.end() && pit->second == name) points_.erase(pit);
+  }
+  vnodes_.erase(it);
+}
+
+std::string HashRing::route(std::uint64_t device_id) const {
+  if (points_.empty()) return {};
+  const std::uint64_t h = mix64(device_id);
+  auto it = points_.lower_bound(h);
+  if (it == points_.end()) it = points_.begin();  // wrap around
+  return it->second;
+}
+
+}  // namespace ppuf::fleet

@@ -1,0 +1,50 @@
+// Consistent-hash ring over shard NAMES.
+//
+// The ring answers one question — which shard owns device id X — and is
+// deliberately keyed by shard *name*, not endpoint: promoting a standby
+// (or re-pointing a shard at a new host) swaps the endpoint behind the
+// name without moving a single ring point, so every device keeps its
+// placement across failover.  Each shard contributes `vnodes` points
+// (splitmix64 of the name hash and the vnode index) so removal of one
+// shard spreads its keyspace across the survivors instead of dumping it
+// all on one neighbour.
+//
+// Not thread-safe: the gateway mutates and routes under its own lock.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace ppuf::fleet {
+
+class HashRing {
+ public:
+  /// Default points per shard.  128 keeps the per-shard share of a
+  /// 2..8-shard ring within a few percent of even.
+  static constexpr std::size_t kDefaultVnodes = 128;
+
+  /// Add `name` with `vnodes` ring points.  Adding an existing name is a
+  /// no-op (the points are a pure function of the name, so they are
+  /// already there).
+  void add(const std::string& name, std::size_t vnodes = kDefaultVnodes);
+
+  /// Remove every point of `name`; unknown names are a no-op.
+  void remove(const std::string& name);
+
+  bool contains(const std::string& name) const {
+    return vnodes_.count(name) != 0;
+  }
+  std::size_t shard_count() const { return vnodes_.size(); }
+  bool empty() const { return vnodes_.empty(); }
+
+  /// The shard owning `device_id`: the first ring point at or clockwise
+  /// of the id's hash.  Empty string when the ring is empty.
+  std::string route(std::uint64_t device_id) const;
+
+ private:
+  std::map<std::uint64_t, std::string> points_;   ///< ring position -> name
+  std::map<std::string, std::size_t> vnodes_;     ///< name -> point count
+};
+
+}  // namespace ppuf::fleet

@@ -69,12 +69,31 @@ AuthClient::AuthClient(std::string host, std::uint16_t port,
       options_(options),
       backoff_rng_(options.backoff_seed != 0 ? options.backoff_seed
                                              : entropy_seed()) {
-  if (options_.breaker_failure_threshold > 0) {
+  refresh_breaker();
+}
+
+void AuthClient::refresh_breaker() {
+  if (options_.breaker_failure_threshold <= 0) {
+    breaker_ = nullptr;
+    return;
+  }
+  const std::string key = host_ + ":" + std::to_string(port_);
+  auto it = breakers_.find(key);
+  if (it == breakers_.end()) {
     CircuitBreaker::Options bo;
     bo.failure_threshold = options_.breaker_failure_threshold;
     bo.cooldown_ms = options_.breaker_cooldown_ms;
-    breaker_ = endpoint_breaker(host_, port_, bo);
+    it = breakers_.emplace(key, endpoint_breaker(host_, port_, bo)).first;
   }
+  breaker_ = it->second;
+}
+
+void AuthClient::set_endpoint(const std::string& host, std::uint16_t port) {
+  if (host == host_ && port == port_) return;
+  disconnect();
+  host_ = host;
+  port_ = port;
+  refresh_breaker();
 }
 
 AuthClient::~AuthClient() { disconnect(); }
@@ -201,6 +220,20 @@ util::Status AuthClient::round_trip(MessageType type,
       }
     }
     if (last.is_ok()) {
+      if (reply->type == MessageType::kRedirectReply) {
+        // The peer (a gateway fronting a draining shard, typically) told
+        // us where this request should go; retarget and retry there.
+        RedirectReplyBody rd;
+        if (Status s = decode_redirect_reply(reply->payload, &rd);
+            !s.is_ok())
+          return s;
+        ++stats_.redirects_followed;
+        if (obs::Counter* c = counter_or_null("client.redirects")) c->add();
+        set_endpoint(rd.host, rd.port);
+        last = Status::unavailable("redirected to " + rd.host + ":" +
+                                   std::to_string(rd.port));
+        continue;
+      }
       if (reply->type == MessageType::kErrorReply) {
         ErrorReply err;
         if (Status s = decode_error_reply(reply->payload, &err); !s.is_ok())
@@ -408,6 +441,51 @@ util::Status AuthClient::chained_auth(const ChallengeGrant& grant,
       !s.is_ok())
     return s;
   return decode_chained_auth_reply(reply.payload, out);
+}
+
+util::Status AuthClient::enroll_device(const EnrollRequestBody& spec,
+                                       std::uint64_t requested_id,
+                                       std::uint64_t* assigned,
+                                       const util::Deadline& deadline) {
+  // The requested id rides the frame header so a gateway routes the
+  // enrollment like any other frame; stamp it for this round trip only.
+  const std::uint64_t saved = options_.device_id;
+  options_.device_id = requested_id;
+  Frame reply;
+  const Status s =
+      round_trip(MessageType::kEnrollRequest, encode_enroll_request(spec),
+                 deadline, MessageType::kEnrollReply, &reply);
+  options_.device_id = saved;
+  if (!s.is_ok()) return s;
+  EnrollReplyBody body;
+  if (Status d = decode_enroll_reply(reply.payload, &body); !d.is_ok())
+    return d;
+  if (assigned != nullptr) *assigned = body.device_id;
+  return Status::ok();
+}
+
+util::Status AuthClient::admin(const AdminRequestBody& request,
+                               AdminReplyBody* out,
+                               const util::Deadline& deadline) {
+  Frame reply;
+  if (Status s = round_trip(MessageType::kAdminRequest,
+                            encode_admin_request(request), deadline,
+                            MessageType::kAdminReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_admin_reply(reply.payload, out);
+}
+
+util::Status AuthClient::wal_fetch(const WalFetchRequestBody& request,
+                                   WalSegmentBody* out,
+                                   const util::Deadline& deadline) {
+  Frame reply;
+  if (Status s = round_trip(MessageType::kWalFetchRequest,
+                            encode_wal_fetch_request(request), deadline,
+                            MessageType::kWalSegmentReply, &reply);
+      !s.is_ok())
+    return s;
+  return decode_wal_segment_reply(reply.payload, out);
 }
 
 }  // namespace ppuf::net

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "net/breaker.hpp"
@@ -129,17 +130,49 @@ class AuthClient {
                             protocol::ChainedVerifyResult* out,
                             const util::Deadline& deadline = {});
 
+  /// Enroll a device (registry-backed server or gateway).  `requested_id`
+  /// travels in the frame header: 0 asks a shard to assign the next free
+  /// id (a gateway rejects 0 — it cannot route an unknown id); non-zero
+  /// enrolls exactly that id.  On success `*assigned` holds the id.
+  /// NOT idempotent: a retry after a transport failure whose first
+  /// attempt actually committed answers "already enrolled"
+  /// (kInvalidArgument) — callers enrolling explicit ids should treat
+  /// that as success-after-crash if they own the id space.
+  util::Status enroll_device(const EnrollRequestBody& spec,
+                             std::uint64_t requested_id,
+                             std::uint64_t* assigned,
+                             const util::Deadline& deadline = {});
+
+  /// Gateway fleet administration (add/drain/undrain/remove/status).
+  util::Status admin(const AdminRequestBody& request, AdminReplyBody* out,
+                     const util::Deadline& deadline = {});
+
+  /// Pull registry WAL bytes (standby replication).
+  util::Status wal_fetch(const WalFetchRequestBody& request,
+                         WalSegmentBody* out,
+                         const util::Deadline& deadline = {});
+
   struct Stats {
     std::uint64_t requests = 0;   ///< logical requests issued
     std::uint64_t attempts = 0;   ///< wire round-trips tried
     std::uint64_t retries = 0;    ///< attempts beyond the first
     std::uint64_t reconnects = 0; ///< sockets (re)opened
     std::uint64_t breaker_fast_fails = 0;  ///< attempts refused locally
+    std::uint64_t redirects_followed = 0;  ///< kRedirectReply retargets
   };
   const Stats& stats() const { return stats_; }
 
   bool connected() const;
   void disconnect();
+
+  const std::string& host() const { return host_; }
+  std::uint16_t port() const { return port_; }
+
+  /// Retarget this client at another endpoint: drops the connection and
+  /// switches to that endpoint's circuit breaker (breaker state is keyed
+  /// per host:port, so a dead shard's open breaker never fast-fails a
+  /// healthy one).  Called internally when a kRedirectReply arrives.
+  void set_endpoint(const std::string& host, std::uint16_t port);
 
   /// Retarget subsequent requests at another enrolled device.  Safe
   /// between round trips (the id is stamped per request).
@@ -165,6 +198,9 @@ class AuthClient {
                             std::vector<SimulationModel::Prediction>* out,
                             const util::Deadline& deadline);
   util::Status ensure_connected(const util::Deadline& deadline);
+  /// Point breaker_ at the current endpoint's breaker (cached per
+  /// endpoint in breakers_ so a retarget back is a map hit).
+  void refresh_breaker();
 
   std::string host_;
   std::uint16_t port_;
@@ -173,6 +209,11 @@ class AuthClient {
   std::uint64_t next_request_id_ = 1;
   int fd_ = -1;
   util::Rng backoff_rng_;
+  /// Per-endpoint ("host:port") breaker handles this client has talked
+  /// to; each handle is the process-wide shared breaker for that
+  /// endpoint.  breaker_ is the CURRENT endpoint's entry — state must
+  /// never leak across a retarget.
+  std::unordered_map<std::string, std::shared_ptr<CircuitBreaker>> breakers_;
   std::shared_ptr<CircuitBreaker> breaker_;  ///< null when disabled
 };
 

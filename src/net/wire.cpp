@@ -32,6 +32,9 @@ const char* message_type_name(MessageType type) {
     case MessageType::kVerifyBatchRequest: return "VERIFY_BATCH";
     case MessageType::kChallengeRequest: return "CHALLENGE";
     case MessageType::kChainedAuthRequest: return "CHAINED_AUTH";
+    case MessageType::kEnrollRequest: return "ENROLL";
+    case MessageType::kAdminRequest: return "ADMIN";
+    case MessageType::kWalFetchRequest: return "WAL_FETCH";
     case MessageType::kErrorReply: return "ERROR_REPLY";
     case MessageType::kPingReply: return "PING_REPLY";
     case MessageType::kPredictReply: return "PREDICT_REPLY";
@@ -39,6 +42,10 @@ const char* message_type_name(MessageType type) {
     case MessageType::kVerifyBatchReply: return "VERIFY_BATCH_REPLY";
     case MessageType::kChallengeReply: return "CHALLENGE_REPLY";
     case MessageType::kChainedAuthReply: return "CHAINED_AUTH_REPLY";
+    case MessageType::kEnrollReply: return "ENROLL_REPLY";
+    case MessageType::kAdminReply: return "ADMIN_REPLY";
+    case MessageType::kWalSegmentReply: return "WAL_SEGMENT_REPLY";
+    case MessageType::kRedirectReply: return "REDIRECT_REPLY";
   }
   return "UNKNOWN";
 }
@@ -51,6 +58,9 @@ bool is_request(MessageType type) {
     case MessageType::kVerifyBatchRequest:
     case MessageType::kChallengeRequest:
     case MessageType::kChainedAuthRequest:
+    case MessageType::kEnrollRequest:
+    case MessageType::kAdminRequest:
+    case MessageType::kWalFetchRequest:
       return true;
     default:
       return false;
@@ -69,6 +79,7 @@ const char* wire_code_name(WireCode code) {
     case WireCode::kUnsupportedType: return "UNSUPPORTED_TYPE";
     case WireCode::kInternal: return "INTERNAL";
     case WireCode::kUnknownDevice: return "UNKNOWN_DEVICE";
+    case WireCode::kShardUnavailable: return "SHARD_UNAVAILABLE";
   }
   return "UNKNOWN";
 }
@@ -83,6 +94,9 @@ util::Status wire_code_to_status(WireCode code, const std::string& message) {
       return Status::cancelled(message);
     case WireCode::kOverloaded:
     case WireCode::kShuttingDown:
+    case WireCode::kShardUnavailable:
+      // Retryable: the shard may come back, or a re-resolve may route the
+      // id to its promoted standby.
       return Status::unavailable(message);
     case WireCode::kInvalidArgument:
     case WireCode::kMalformed:
@@ -204,7 +218,7 @@ util::Status decode_error_reply(const std::vector<std::uint8_t>& payload,
   Reader r(payload.data(), payload.size());
   std::uint16_t code = 0;
   if (!r.u16(&code) ||
-      code > static_cast<std::uint16_t>(WireCode::kUnknownDevice) ||
+      code > static_cast<std::uint16_t>(WireCode::kShardUnavailable) ||
       !r.str(&out->message))
     return malformed("error reply");
   out->code = static_cast<WireCode>(code);
@@ -231,6 +245,9 @@ std::vector<std::uint8_t> encode_ping_reply(const HealthInfo& h) {
   w.u8(h.draining);
   w.u64(h.requests_served);
   w.u64(h.connections_accepted);
+  w.u64(h.device_count);
+  w.u64(h.wal_epoch);
+  w.u64(h.wal_offset);
   return w.take();
 }
 
@@ -242,6 +259,11 @@ util::Status decode_ping_reply(const std::vector<std::uint8_t>& payload,
   if (!r.u32(&out->inflight) || !r.u32(&out->max_inflight) ||
       !r.u8(&out->draining) || !r.u64(&out->requests_served) ||
       !r.u64(&out->connections_accepted))
+    return malformed("ping reply");
+  // Pre-fleet servers stop here; the fleet fields default to zero.
+  if (r.exhausted()) return Status::ok();
+  if (!r.u64(&out->device_count) || !r.u64(&out->wal_epoch) ||
+      !r.u64(&out->wal_offset))
     return malformed("ping reply");
   return finish(r, "ping reply");
 }
@@ -451,6 +473,170 @@ util::Status decode_chained_auth_reply(
   if (Status s = protocol::codec::decode_chained_result(r, out); !s.is_ok())
     return s;
   return finish(r, "chained auth reply");
+}
+
+// --- fleet payloads -------------------------------------------------------
+
+std::vector<std::uint8_t> encode_enroll_request(const EnrollRequestBody& e) {
+  Writer w;
+  w.u32(e.node_count);
+  w.u32(e.grid_size);
+  w.u64(e.fabrication_seed);
+  w.str(e.label);
+  return w.take();
+}
+
+util::Status decode_enroll_request(const std::vector<std::uint8_t>& payload,
+                                   EnrollRequestBody* out) {
+  Reader r(payload.data(), payload.size());
+  if (!r.u32(&out->node_count) || !r.u32(&out->grid_size) ||
+      !r.u64(&out->fabrication_seed) || !r.str(&out->label))
+    return malformed("enroll request");
+  // Geometry sanity mirrors registry::EnrollRequest validation; rejecting
+  // here keeps a forged request from ever reaching the fabricator.
+  if (out->node_count < 2 || out->grid_size == 0 ||
+      out->grid_size > out->node_count)
+    return malformed("enroll request geometry");
+  return finish(r, "enroll request");
+}
+
+std::vector<std::uint8_t> encode_enroll_reply(const EnrollReplyBody& e) {
+  Writer w;
+  w.u64(e.device_id);
+  return w.take();
+}
+
+util::Status decode_enroll_reply(const std::vector<std::uint8_t>& payload,
+                                 EnrollReplyBody* out) {
+  Reader r(payload.data(), payload.size());
+  if (!r.u64(&out->device_id) || out->device_id == 0)
+    return malformed("enroll reply");
+  return finish(r, "enroll reply");
+}
+
+std::vector<std::uint8_t> encode_admin_request(const AdminRequestBody& a) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(a.op));
+  w.str(a.shard);
+  w.str(a.host);
+  w.u16(a.port);
+  return w.take();
+}
+
+util::Status decode_admin_request(const std::vector<std::uint8_t>& payload,
+                                  AdminRequestBody* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint8_t op = 0;
+  if (!r.u8(&op) ||
+      op < static_cast<std::uint8_t>(AdminOp::kStatus) ||
+      op > static_cast<std::uint8_t>(AdminOp::kRemoveShard) ||
+      !r.str(&out->shard) || !r.str(&out->host) || !r.u16(&out->port))
+    return malformed("admin request");
+  out->op = static_cast<AdminOp>(op);
+  return finish(r, "admin request");
+}
+
+std::vector<std::uint8_t> encode_admin_reply(const AdminReplyBody& a) {
+  Writer w;
+  w.u8(a.ok);
+  w.str(a.message);
+  w.u32(static_cast<std::uint32_t>(a.shards.size()));
+  for (const ShardStatus& s : a.shards) {
+    w.str(s.name);
+    w.str(s.host);
+    w.u16(s.port);
+    w.u8(s.state);
+    w.u8(s.draining);
+    w.u64(s.inflight);
+    w.u64(s.pinned_sessions);
+    w.u64(s.forwarded);
+    w.u64(s.device_count);
+    w.u64(s.wal_epoch);
+    w.u64(s.wal_offset);
+  }
+  return w.take();
+}
+
+util::Status decode_admin_reply(const std::vector<std::uint8_t>& payload,
+                                AdminReplyBody* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t count = 0;
+  if (!r.u8(&out->ok) || !r.str(&out->message) || !r.u32(&count))
+    return malformed("admin reply");
+  // A shard entry is at least 60 bytes (three length-prefixed strings of
+  // 4 bytes each + the fixed fields); defeats forged counts.
+  if (static_cast<std::size_t>(count) > r.remaining() / 60)
+    return malformed("admin reply shard count");
+  out->shards.clear();
+  out->shards.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    ShardStatus s;
+    if (!r.str(&s.name) || !r.str(&s.host) || !r.u16(&s.port) ||
+        !r.u8(&s.state) || !r.u8(&s.draining) || !r.u64(&s.inflight) ||
+        !r.u64(&s.pinned_sessions) || !r.u64(&s.forwarded) ||
+        !r.u64(&s.device_count) || !r.u64(&s.wal_epoch) ||
+        !r.u64(&s.wal_offset))
+      return malformed("admin reply shard");
+    out->shards.push_back(std::move(s));
+  }
+  return finish(r, "admin reply");
+}
+
+std::vector<std::uint8_t> encode_wal_fetch_request(
+    const WalFetchRequestBody& f) {
+  Writer w;
+  w.u64(f.epoch);
+  w.u64(f.offset);
+  w.u32(f.max_bytes);
+  return w.take();
+}
+
+util::Status decode_wal_fetch_request(
+    const std::vector<std::uint8_t>& payload, WalFetchRequestBody* out) {
+  Reader r(payload.data(), payload.size());
+  if (!r.u64(&out->epoch) || !r.u64(&out->offset) || !r.u32(&out->max_bytes))
+    return malformed("wal fetch request");
+  return finish(r, "wal fetch request");
+}
+
+std::vector<std::uint8_t> encode_wal_segment_reply(const WalSegmentBody& s) {
+  Writer w;
+  w.u8(s.bootstrap);
+  w.u64(s.epoch);
+  w.u64(s.next_offset);
+  w.u32(static_cast<std::uint32_t>(s.bytes.size()));
+  w.raw(s.bytes.data(), s.bytes.size());
+  return w.take();
+}
+
+util::Status decode_wal_segment_reply(
+    const std::vector<std::uint8_t>& payload, WalSegmentBody* out) {
+  Reader r(payload.data(), payload.size());
+  std::uint32_t len = 0;
+  if (!r.u8(&out->bootstrap) || out->bootstrap > 1 || !r.u64(&out->epoch) ||
+      !r.u64(&out->next_offset) || !r.u32(&len) || len != r.remaining())
+    return malformed("wal segment reply");
+  const std::uint8_t* tail = payload.data() + (payload.size() - len);
+  out->bytes.assign(tail, tail + len);
+  return Status::ok();
+}
+
+std::vector<std::uint8_t> encode_redirect_reply(const RedirectReplyBody& rr) {
+  Writer w;
+  w.str(rr.host);
+  w.u16(rr.port);
+  w.str(rr.shard);
+  w.str(rr.message);
+  return w.take();
+}
+
+util::Status decode_redirect_reply(const std::vector<std::uint8_t>& payload,
+                                   RedirectReplyBody* out) {
+  Reader r(payload.data(), payload.size());
+  if (!r.str(&out->host) || !r.u16(&out->port) || out->port == 0 ||
+      out->host.empty() || !r.str(&out->shard) || !r.str(&out->message))
+    return malformed("redirect reply");
+  return finish(r, "redirect reply");
 }
 
 }  // namespace ppuf::net

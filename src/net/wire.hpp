@@ -62,6 +62,9 @@ enum class MessageType : std::uint16_t {
   kVerifyBatchRequest = 4,
   kChallengeRequest = 5,
   kChainedAuthRequest = 6,
+  kEnrollRequest = 7,    ///< enroll a device into the server's registry
+  kAdminRequest = 8,     ///< gateway fleet administration (add/drain/…)
+  kWalFetchRequest = 9,  ///< standby pulling registry WAL bytes
   // replies (request type + 100)
   kErrorReply = 100,
   kPingReply = 101,
@@ -70,6 +73,13 @@ enum class MessageType : std::uint16_t {
   kVerifyBatchReply = 104,
   kChallengeReply = 105,
   kChainedAuthReply = 106,
+  kEnrollReply = 107,
+  kAdminReply = 108,
+  kWalSegmentReply = 109,
+  /// Out-of-band reply to ANY request: "re-resolve and talk to this
+  /// endpoint instead".  A gateway emits it for a draining shard that has
+  /// a configured successor; AuthClient follows it transparently.
+  kRedirectReply = 110,
 };
 
 const char* message_type_name(MessageType type);
@@ -89,6 +99,8 @@ enum class WireCode : std::uint16_t {
   kUnsupportedType = 7,   ///< unknown request type for this version
   kInternal = 8,
   kUnknownDevice = 9,     ///< device_id not enrolled, or revoked
+  kShardUnavailable = 10, ///< gateway: the shard owning this id is down or
+                          ///< draining; re-resolve and retry
 };
 
 const char* wire_code_name(WireCode code);
@@ -184,11 +196,16 @@ struct HealthInfo {
   std::uint8_t draining = 0;         ///< 1 once a drain has been requested
   std::uint64_t requests_served = 0;
   std::uint64_t connections_accepted = 0;
+  // Fleet extension (absent on pre-fleet servers; decodes to zeros):
+  std::uint64_t device_count = 0;    ///< active devices in the registry
+  std::uint64_t wal_epoch = 0;       ///< registry WAL epoch (0 = no registry)
+  std::uint64_t wal_offset = 0;      ///< committed WAL byte offset
 };
 
 std::vector<std::uint8_t> encode_ping_reply(const HealthInfo& h);
 /// Strict decode; an *empty* payload is accepted as all-defaults so a
-/// new client can still ping a pre-health server.
+/// new client can still ping a pre-health server, and the 25-byte
+/// pre-fleet body is accepted with the fleet fields defaulted to zero.
 util::Status decode_ping_reply(const std::vector<std::uint8_t>& payload,
                                HealthInfo* out);
 
@@ -244,5 +261,115 @@ std::vector<std::uint8_t> encode_chained_auth_reply(
 util::Status decode_chained_auth_reply(
     const std::vector<std::uint8_t>& payload,
     protocol::ChainedVerifyResult* out);
+
+// --- fleet payloads -------------------------------------------------------
+//
+// The requested device id travels in the FRAME HEADER (device_id), not in
+// this payload, so a gateway consistent-hashes enrollments exactly like
+// every other frame.  Header id 0 means "assign the next free id" and is
+// only meaningful direct-to-shard; a gateway rejects it (it cannot route
+// an id it does not know yet).
+struct EnrollRequestBody {
+  std::uint32_t node_count = 0;
+  std::uint32_t grid_size = 0;
+  std::uint64_t fabrication_seed = 0;
+  std::string label;
+};
+
+struct EnrollReplyBody {
+  std::uint64_t device_id = 0;  ///< the id actually assigned
+};
+
+std::vector<std::uint8_t> encode_enroll_request(const EnrollRequestBody& e);
+util::Status decode_enroll_request(const std::vector<std::uint8_t>& payload,
+                                   EnrollRequestBody* out);
+
+std::vector<std::uint8_t> encode_enroll_reply(const EnrollReplyBody& e);
+util::Status decode_enroll_reply(const std::vector<std::uint8_t>& payload,
+                                 EnrollReplyBody* out);
+
+/// Gateway shard-lifecycle operations carried by kAdminRequest.
+enum class AdminOp : std::uint8_t {
+  kStatus = 1,       ///< report every shard's state + counters
+  kAddShard = 2,     ///< add (or re-point) shard `shard` at host:port
+  kDrainShard = 3,   ///< stop new sessions; host:port = optional successor
+  kUndrainShard = 4, ///< cancel a drain
+  kRemoveShard = 5,  ///< take the shard out of the ring entirely
+};
+
+struct AdminRequestBody {
+  AdminOp op = AdminOp::kStatus;
+  std::string shard;  ///< target shard name (ignored for kStatus)
+  std::string host;   ///< kAddShard: endpoint; kDrainShard: successor
+  std::uint16_t port = 0;
+};
+
+struct ShardStatus {
+  std::string name;
+  std::string host;
+  std::uint16_t port = 0;
+  std::uint8_t state = 0;     ///< fleet::ShardState numeric value
+  std::uint8_t draining = 0;  ///< backend reports draining via PING
+  std::uint64_t inflight = 0;         ///< forwards in flight right now
+  std::uint64_t pinned_sessions = 0;  ///< live chained-auth pins
+  std::uint64_t forwarded = 0;        ///< lifetime forwards
+  std::uint64_t device_count = 0;     ///< from the shard's health reply
+  std::uint64_t wal_epoch = 0;
+  std::uint64_t wal_offset = 0;
+};
+
+struct AdminReplyBody {
+  std::uint8_t ok = 0;
+  std::string message;
+  std::vector<ShardStatus> shards;
+};
+
+std::vector<std::uint8_t> encode_admin_request(const AdminRequestBody& a);
+util::Status decode_admin_request(const std::vector<std::uint8_t>& payload,
+                                  AdminRequestBody* out);
+
+std::vector<std::uint8_t> encode_admin_reply(const AdminReplyBody& a);
+util::Status decode_admin_reply(const std::vector<std::uint8_t>& payload,
+                                AdminReplyBody* out);
+
+/// Standby pull: "give me WAL bytes of `epoch` starting at `offset`".
+struct WalFetchRequestBody {
+  std::uint64_t epoch = 0;   ///< 0 = unknown; always answered by bootstrap
+  std::uint64_t offset = 0;
+  std::uint32_t max_bytes = 0;  ///< 0 = server default cap
+};
+
+/// Reply to a WAL fetch.  Either a byte-exact WAL segment (bootstrap == 0,
+/// `bytes` appended at `offset` of epoch `epoch`), or a full snapshot
+/// image (bootstrap == 1) when the requested epoch/offset no longer exists
+/// (compaction bumped the epoch, or the primary restarted).  After a
+/// bootstrap the standby resumes at {epoch, next_offset}.
+struct WalSegmentBody {
+  std::uint8_t bootstrap = 0;
+  std::uint64_t epoch = 0;
+  std::uint64_t next_offset = 0;  ///< offset after `bytes` (segment) or the
+                                  ///< WAL position the snapshot folds in
+  std::vector<std::uint8_t> bytes;
+};
+
+std::vector<std::uint8_t> encode_wal_fetch_request(
+    const WalFetchRequestBody& f);
+util::Status decode_wal_fetch_request(
+    const std::vector<std::uint8_t>& payload, WalFetchRequestBody* out);
+
+std::vector<std::uint8_t> encode_wal_segment_reply(const WalSegmentBody& s);
+util::Status decode_wal_segment_reply(
+    const std::vector<std::uint8_t>& payload, WalSegmentBody* out);
+
+struct RedirectReplyBody {
+  std::string host;
+  std::uint16_t port = 0;
+  std::string shard;    ///< shard name, informational
+  std::string message;
+};
+
+std::vector<std::uint8_t> encode_redirect_reply(const RedirectReplyBody& r);
+util::Status decode_redirect_reply(const std::vector<std::uint8_t>& payload,
+                                   RedirectReplyBody* out);
 
 }  // namespace ppuf::net

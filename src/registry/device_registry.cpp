@@ -8,6 +8,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <random>
 #include <system_error>
 
 #include "circuit/mna.hpp"
@@ -94,6 +95,15 @@ Status fsync_directory(const std::string& directory) {
     return Status::internal("open dir " + directory + ": " +
                             std::strerror(errno));
   return fsync_durable(dfd.fd, "directory " + directory);
+}
+
+/// Fresh non-zero WAL-shipping epoch.  Randomness (not a counter) so an
+/// epoch from *any* earlier process lifetime — where the same offsets may
+/// name different bytes — can never collide with the current one.
+std::uint64_t fresh_wal_epoch() {
+  std::random_device rd;
+  std::uint64_t e = (static_cast<std::uint64_t>(rd()) << 32) ^ rd();
+  return e == 0 ? 1 : e;
 }
 
 }  // namespace
@@ -193,6 +203,7 @@ util::Status DeviceRegistry::open(const std::string& directory,
   // Everything up to `offset` replayed cleanly; a torn tail (if any) was
   // truncated above, so `offset` is the committed WAL length.
   wal_len_ = offset;
+  wal_epoch_ = fresh_wal_epoch();
 
   open_ = true;
   return Status::ok();
@@ -265,6 +276,13 @@ util::Status DeviceRegistry::enroll(const EnrollRequest& request,
     return Status::invalid_argument("enroll: invalid geometry");
   std::lock_guard<std::mutex> lock(mutex_);
   if (!open_) return Status::internal("registry not open");
+  // Explicit ids come from gateway routing: the id the client hashed on
+  // must be the id stored, and a collision is the client's error, never a
+  // silent overwrite of another device's published model.
+  if (request.device_id != 0 && entries_.count(request.device_id) != 0)
+    return Status::invalid_argument(
+        "device " + std::to_string(request.device_id) +
+        " is already enrolled");
 
   // Fabricate the instance and extract its public model — enrollment *is*
   // the publish step of the PPUF lifecycle.
@@ -283,7 +301,7 @@ util::Status DeviceRegistry::enroll(const EnrollRequest& request,
 
   WalRecord record;
   record.type = WalRecord::Type::kEnroll;
-  record.entry.id = next_id_;
+  record.entry.id = request.device_id != 0 ? request.device_id : next_id_;
   record.entry.nodes = static_cast<std::uint32_t>(request.node_count);
   record.entry.grid = static_cast<std::uint32_t>(request.grid_size);
   record.entry.label = request.label;
@@ -297,7 +315,7 @@ util::Status DeviceRegistry::enroll(const EnrollRequest& request,
   if (Status s = append_record_locked(record); !s.is_ok()) return s;
   const std::uint64_t id = record.entry.id;
   entries_[id] = std::move(record.entry);
-  next_id_ = id + 1;
+  next_id_ = std::max(next_id_, id + 1);
   ++wal_records_since_snapshot_;
   if (id_out != nullptr) *id_out = id;
   if (obs::Counter* c = counter_or_null("registry.enrolls")) c->add();
@@ -433,6 +451,9 @@ util::Status DeviceRegistry::compact_locked() {
     if (Status s = fsync_durable(wfd.fd, wal_path()); !s.is_ok()) return s;
   }
   wal_records_since_snapshot_ = 0;
+  // Compaction rewrote history: old offsets no longer name the same
+  // bytes, so standbys must re-bootstrap.
+  wal_epoch_ = fresh_wal_epoch();
   if (obs::Counter* c = counter_or_null("registry.compactions")) c->add();
   return Status::ok();
 }
@@ -440,6 +461,149 @@ util::Status DeviceRegistry::compact_locked() {
 DeviceRegistry::RecoveryStats DeviceRegistry::recovery_stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return recovery_stats_;
+}
+
+DeviceRegistry::WalPosition DeviceRegistry::wal_position() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return WalPosition{wal_epoch_, wal_len_};
+}
+
+util::Status DeviceRegistry::read_wal_segment(
+    std::uint64_t epoch, std::uint64_t offset, std::size_t max_bytes,
+    std::vector<std::uint8_t>* out, bool* stale) const {
+  out->clear();
+  *stale = false;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  if (epoch != wal_epoch_ || offset > wal_len_) {
+    *stale = true;  // compaction or restart invalidated the position
+    return Status::ok();
+  }
+  const std::size_t want = static_cast<std::size_t>(
+      std::min<std::uint64_t>(wal_len_ - offset, max_bytes));
+  if (want == 0) return Status::ok();
+  std::ifstream in(wal_path(), std::ios::binary);
+  if (!in) return Status::internal("cannot open " + wal_path());
+  in.seekg(static_cast<std::streamoff>(offset));
+  out->resize(want);
+  if (!in.read(reinterpret_cast<char*>(out->data()),
+               static_cast<std::streamsize>(want)))
+    return Status::internal("cannot read " + wal_path());
+  return Status::ok();
+}
+
+util::Status DeviceRegistry::export_bootstrap(
+    std::vector<std::uint8_t>* image, WalPosition* pos) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  SnapshotBody snapshot;
+  snapshot.next_id = next_id_;
+  snapshot.entries.reserve(entries_.size());
+  for (const auto& [id, e] : entries_) snapshot.entries.push_back(e);
+  *image = frame_snapshot(snapshot);
+  // The in-memory state already reflects every committed WAL record, so
+  // the image folds the log up to exactly wal_len_.
+  *pos = WalPosition{wal_epoch_, wal_len_};
+  return Status::ok();
+}
+
+util::Status DeviceRegistry::install_bootstrap(
+    const std::vector<std::uint8_t>& image) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  SnapshotBody snapshot;
+  if (Status s = parse_snapshot(image.data(), image.size(), &snapshot);
+      !s.is_ok())
+    return Status::invalid_argument("bootstrap image: " + s.message());
+  entries_.clear();
+  for (DeviceEntry& e : snapshot.entries) {
+    const std::uint64_t id = e.id;
+    entries_[id] = std::move(e);
+  }
+  next_id_ = std::max<std::uint64_t>(snapshot.next_id, 1);
+  // Persist the installed state the same way compaction does (snapshot
+  // write + WAL truncate), so a standby restart recovers it.
+  return compact_locked();
+}
+
+util::Status DeviceRegistry::apply_wal_bytes(const std::uint8_t* data,
+                                             std::size_t size,
+                                             std::size_t* consumed) {
+  *consumed = 0;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!open_) return Status::internal("registry not open");
+  std::size_t offset = 0;
+  while (offset < size) {
+    std::size_t used = 0;
+    std::vector<std::uint8_t> body;
+    std::string error;
+    const ExtractStatus es = extract_record(data + offset, size - offset,
+                                            &used, &body, &error);
+    if (es == ExtractStatus::kNeedMore) break;  // partial record: keep it
+    if (es == ExtractStatus::kCorrupt)
+      return Status::invalid_argument("replicated wal: " + error);
+    protocol::codec::Reader r(body.data(), body.size());
+    WalRecord record;
+    if (Status s = decode_wal_record(r, &record); !s.is_ok())
+      return Status::invalid_argument("replicated wal: " + s.message());
+    // Durability first, memory second — the same invariant as enroll():
+    // a record the standby has applied is a record its restart replays.
+    if (Status s = append_raw_locked(data + offset, used); !s.is_ok())
+      return s;
+    switch (record.type) {
+      case WalRecord::Type::kEnroll: {
+        const std::uint64_t id = record.entry.id;
+        next_id_ = std::max(next_id_, id + 1);
+        entries_[id] = std::move(record.entry);
+        break;
+      }
+      case WalRecord::Type::kRevoke: {
+        const auto it = entries_.find(record.entry.id);
+        if (it == entries_.end())
+          return Status::invalid_argument(
+              "replicated wal: revoke of unknown device " +
+              std::to_string(record.entry.id));
+        it->second.revoked = true;
+        break;
+      }
+    }
+    ++wal_records_since_snapshot_;
+    offset += used;
+  }
+  *consumed = offset;
+  return Status::ok();
+}
+
+util::Status DeviceRegistry::append_raw_locked(const std::uint8_t* data,
+                                               std::size_t size) {
+  // Pre-framed record bytes from the primary; same rollback discipline as
+  // append_record_locked, without the fault-injection hooks (those model
+  // primary-side enrollment failures).
+  if (wal_dirty_) {
+    std::error_code ec;
+    fs::resize_file(wal_path(), wal_len_, ec);
+    if (ec)
+      return Status::internal("wal rollback to " + std::to_string(wal_len_) +
+                              " bytes: " + ec.message());
+    wal_dirty_ = false;
+  }
+  Fd fd(::open(wal_path().c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+               0644));
+  if (!fd.ok())
+    return Status::internal("cannot open " + wal_path() + ": " +
+                            std::strerror(errno));
+  if (!write_all(fd.fd, data, size)) {
+    wal_dirty_ = true;
+    return Status::internal("cannot append to " + wal_path() + ": " +
+                            std::strerror(errno));
+  }
+  if (::fsync(fd.fd) != 0) {
+    wal_dirty_ = true;
+    return Status::internal("fsync " + wal_path() + ": " +
+                            std::strerror(errno));
+  }
+  wal_len_ += size;
+  return Status::ok();
 }
 
 std::shared_ptr<circuit::SymbolicCache> DeviceRegistry::enroll_symbolic_cache()

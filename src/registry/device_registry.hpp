@@ -69,6 +69,11 @@ struct EnrollRequest {
   std::size_t grid_size = 8;
   std::uint64_t seed = 0;
   std::string label;
+  /// 0 = assign the next free id.  Non-zero = enroll under exactly this
+  /// id (what a gateway forwards, so the id a client hashed on is the id
+  /// the shard stores); enrolling an id that already exists is a typed
+  /// kInvalidArgument, never an overwrite.
+  std::uint64_t device_id = 0;
 };
 
 class DeviceRegistry {
@@ -127,6 +132,51 @@ class DeviceRegistry {
 
   RecoveryStats recovery_stats() const;
 
+  // --- WAL shipping (primary side) ---------------------------------------
+  //
+  // The WAL is an append-only byte stream within one *epoch*; compaction
+  // (and every open()) starts a new epoch, because it rewrites history
+  // into the snapshot and truncates the log.  A standby therefore tracks
+  // {epoch, offset}: as long as the epoch matches, bytes at a given
+  // offset are immutable and can be shipped verbatim; on a mismatch the
+  // standby re-bootstraps from a full snapshot image.
+
+  struct WalPosition {
+    std::uint64_t epoch = 0;   ///< random per open(), regenerated on compact
+    std::uint64_t offset = 0;  ///< committed WAL byte length
+  };
+
+  WalPosition wal_position() const;
+
+  /// Copy committed WAL bytes of `epoch` starting at `offset` (at most
+  /// `max_bytes`) into `*out`.  If the epoch does not match or the offset
+  /// is past the committed length, sets `*stale` and returns ok with an
+  /// empty segment — the caller must fall back to export_bootstrap().
+  util::Status read_wal_segment(std::uint64_t epoch, std::uint64_t offset,
+                                std::size_t max_bytes,
+                                std::vector<std::uint8_t>* out,
+                                bool* stale) const;
+
+  /// Frame the complete current state as a snapshot image a standby can
+  /// install_bootstrap(); `*pos` is the WAL position the image folds in
+  /// (shipping resumes from there).
+  util::Status export_bootstrap(std::vector<std::uint8_t>* image,
+                                WalPosition* pos) const;
+
+  // --- WAL shipping (standby side) ---------------------------------------
+
+  /// Replace this registry's state with a shipped snapshot image and
+  /// persist it durably (local snapshot write + WAL truncate).
+  util::Status install_bootstrap(const std::vector<std::uint8_t>& image);
+
+  /// Replay shipped WAL bytes: whole records are appended durably to the
+  /// local WAL and applied to memory; `*consumed` reports how many bytes
+  /// were used, so a partial trailing record stays in the caller's buffer
+  /// for the next segment.  A corrupt record is a typed kInvalidArgument
+  /// (the caller should re-bootstrap).
+  util::Status apply_wal_bytes(const std::uint8_t* data, std::size_t size,
+                               std::size_t* consumed);
+
   /// The fleet-level circuit symbolic cache built up by enroll() (see the
   /// member's notes).  Null until the first enrollment.  Exposed so
   /// callers that re-fabricate oracle chips for devices enrolled here —
@@ -136,6 +186,7 @@ class DeviceRegistry {
 
  private:
   util::Status append_record_locked(const WalRecord& record);
+  util::Status append_raw_locked(const std::uint8_t* data, std::size_t size);
   util::Status compact_locked();
   std::string wal_path() const { return directory_ + "/wal.log"; }
   std::string snapshot_path() const { return directory_ + "/snapshot.bin"; }
@@ -150,6 +201,10 @@ class DeviceRegistry {
   RecoveryStats recovery_stats_;
   /// Committed WAL byte length — everything before it replays cleanly.
   std::uint64_t wal_len_ = 0;
+  /// WAL shipping epoch: random and non-zero, regenerated by open() and
+  /// every compaction, so a standby can detect that offsets it remembers
+  /// no longer name the same bytes.
+  std::uint64_t wal_epoch_ = 0;
   /// True after a failed append left (possibly) uncommitted bytes past
   /// wal_len_; the next append truncates back to wal_len_ first.
   bool wal_dirty_ = false;

@@ -113,7 +113,7 @@ struct AuthServer::Impl {
 
   /// Multi-tenant mode: devices resolve through the registry via a
   /// bounded hydration cache.
-  Impl(const registry::DeviceRegistry& registry,
+  Impl(registry::DeviceRegistry& registry,
        const AuthServerOptions& options, std::atomic<bool>& draining)
       : device_registry(&registry),
         options(options),
@@ -139,9 +139,11 @@ struct AuthServer::Impl {
 
   // --- shared state -------------------------------------------------------
 
-  /// Exactly one of these two is set.
+  /// Exactly one of these two is set.  The registry pointer is non-const:
+  /// ENROLL mutates it and WAL_FETCH exports from it (both registry-mode
+  /// only; the registry's own mutex serialises against other callers).
   const SimulationModel* single_model = nullptr;
-  const registry::DeviceRegistry* device_registry = nullptr;
+  registry::DeviceRegistry* device_registry = nullptr;
   std::optional<protocol::Verifier> single_verifier;
   /// Shared device-keyed CRP cache for the coalesced predict path
   /// (options.response_cache_bytes > 0).  Declared before `hydration`
@@ -271,6 +273,8 @@ struct AuthServer::Impl {
   std::atomic<std::uint64_t> coalesced_items{0};
   std::atomic<std::uint64_t> solo_dispatches{0};
   std::atomic<std::uint64_t> slow_peer_disconnects{0};
+  std::atomic<std::uint64_t> enrolls_served{0};
+  std::atomic<std::uint64_t> wal_fetches_served{0};
 
   /// Declared last so it is destroyed FIRST: the pool's destructor joins
   /// workers that may still be writing wake_fd, which must stay open
@@ -305,7 +309,10 @@ struct AuthServer::Impl {
   bool drained();
 
   /// Health snapshot carried in every PING reply (safe from any thread:
-  /// all inputs are atomics or immutable options).
+  /// all inputs are atomics, immutable options, or the registry behind
+  /// its own mutex).  Registry mode also reports the device count and
+  /// WAL position, so a gateway's health probe doubles as replication-lag
+  /// telemetry.
   net::HealthInfo health_info() const {
     net::HealthInfo h;
     h.inflight = static_cast<std::uint32_t>(
@@ -315,6 +322,13 @@ struct AuthServer::Impl {
     h.requests_served = requests.load(std::memory_order_relaxed);
     h.connections_accepted =
         connections_accepted.load(std::memory_order_relaxed);
+    if (device_registry != nullptr) {
+      h.device_count = device_registry->device_count();
+      const registry::DeviceRegistry::WalPosition pos =
+          device_registry->wal_position();
+      h.wal_epoch = pos.epoch;
+      h.wal_offset = pos.offset;
+    }
     return h;
   }
 
@@ -347,6 +361,8 @@ struct AuthServer::Impl {
   std::vector<std::uint8_t> handle_challenge(const Frame& frame);
   std::vector<std::uint8_t> handle_chained_auth(
       const Frame& frame, const util::Deadline& deadline);
+  std::vector<std::uint8_t> handle_enroll(const Frame& frame);
+  std::vector<std::uint8_t> handle_wal_fetch(const Frame& frame);
 };
 
 // --- lifecycle -------------------------------------------------------------
@@ -355,7 +371,7 @@ AuthServer::AuthServer(const SimulationModel& model,
                        AuthServerOptions options)
     : model_(&model), options_(options) {}
 
-AuthServer::AuthServer(const registry::DeviceRegistry& registry,
+AuthServer::AuthServer(registry::DeviceRegistry& registry,
                        AuthServerOptions options)
     : registry_(&registry), options_(options) {}
 
@@ -435,6 +451,9 @@ AuthServer::Stats AuthServer::stats() const {
   s.solo_dispatches = impl_->solo_dispatches.load(std::memory_order_relaxed);
   s.slow_peer_disconnects =
       impl_->slow_peer_disconnects.load(std::memory_order_relaxed);
+  s.enrolls_served = impl_->enrolls_served.load(std::memory_order_relaxed);
+  s.wal_fetches_served =
+      impl_->wal_fetches_served.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -898,6 +917,10 @@ std::vector<std::uint8_t> AuthServer::Impl::handle(
       return handle_challenge(frame);
     case MessageType::kChainedAuthRequest:
       return handle_chained_auth(frame, deadline);
+    case MessageType::kEnrollRequest:
+      return handle_enroll(frame);
+    case MessageType::kWalFetchRequest:
+      return handle_wal_fetch(frame);
     default:
       return error_frame(frame.request_id, frame.device_id,
                          WireCode::kUnsupportedType,
@@ -1087,6 +1110,89 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
   return net::encode_frame(MessageType::kChainedAuthReply, frame.request_id,
                            frame.device_id, 0,
                            net::encode_chained_auth_reply(result));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_enroll(
+    const Frame& frame) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.enroll.request_us");
+  if (device_registry == nullptr)
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument,
+                       "enrollment requires a registry-backed server");
+  net::EnrollRequestBody body;
+  if (Status s = net::decode_enroll_request(frame.payload, &body);
+      !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
+  registry::EnrollRequest request;
+  request.node_count = body.node_count;
+  request.grid_size = body.grid_size;
+  request.seed = body.fabrication_seed;
+  request.label = body.label;
+  // The frame header's device id doubles as the requested id (0 = assign
+  // next free) so the gateway routes ENROLL like every other frame.
+  request.device_id = frame.device_id;
+  std::uint64_t assigned = 0;
+  if (Status s = device_registry->enroll(request, &assigned); !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       wire_code_for(s), s.message());
+  enrolls_served.fetch_add(1, std::memory_order_relaxed);
+  net::EnrollReplyBody reply;
+  reply.device_id = assigned;
+  return net::encode_frame(MessageType::kEnrollReply, frame.request_id,
+                           assigned, 0, net::encode_enroll_reply(reply));
+}
+
+std::vector<std::uint8_t> AuthServer::Impl::handle_wal_fetch(
+    const Frame& frame) {
+  obs::ScopedTimer timer(obs::MetricsRegistry::global(),
+                         "server.wal_fetch.request_us");
+  if (device_registry == nullptr)
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument,
+                       "WAL shipping requires a registry-backed server");
+  net::WalFetchRequestBody request;
+  if (Status s = net::decode_wal_fetch_request(frame.payload, &request);
+      !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kMalformed, s.message());
+  // Clamp the pull size: 0 means "server's choice", and nothing may
+  // exceed a bound well under kMaxPayload.
+  constexpr std::size_t kDefaultSegment = 1u << 20;  // 1 MiB
+  constexpr std::size_t kMaxSegment = 4u << 20;      // 4 MiB
+  std::size_t max_bytes =
+      request.max_bytes == 0 ? kDefaultSegment : request.max_bytes;
+  max_bytes = std::min(max_bytes, kMaxSegment);
+  net::WalSegmentBody reply;
+  bool stale = false;
+  if (Status s = device_registry->read_wal_segment(
+          request.epoch, request.offset, max_bytes, &reply.bytes, &stale);
+      !s.is_ok())
+    return error_frame(frame.request_id, frame.device_id,
+                       wire_code_for(s), s.message());
+  if (stale) {
+    // Epoch mismatch or out-of-range offset: the standby's position is
+    // meaningless (restart or compaction happened).  Answer with a full
+    // bootstrap snapshot and the position it corresponds to.
+    reply.bytes.clear();
+    registry::DeviceRegistry::WalPosition pos;
+    if (Status s = device_registry->export_bootstrap(&reply.bytes, &pos);
+        !s.is_ok())
+      return error_frame(frame.request_id, frame.device_id,
+                         wire_code_for(s), s.message());
+    reply.bootstrap = 1;
+    reply.epoch = pos.epoch;
+    reply.next_offset = pos.offset;
+  } else {
+    reply.bootstrap = 0;
+    reply.epoch = request.epoch;
+    reply.next_offset = request.offset + reply.bytes.size();
+  }
+  wal_fetches_served.fetch_add(1, std::memory_order_relaxed);
+  return net::encode_frame(MessageType::kWalSegmentReply, frame.request_id,
+                           frame.device_id, 0,
+                           net::encode_wal_segment_reply(reply));
 }
 
 void AuthServer::Impl::run_batch(std::uint64_t device_id,

@@ -109,8 +109,11 @@ class AuthServer {
   /// addressed by its registry id; unknown or revoked ids get a typed
   /// UNKNOWN_DEVICE reply (and so does id 0 — there is no implicit device
   /// in this mode).  Models are materialised on demand through a bounded
-  /// hydration cache.  `registry` must outlive the server.
-  AuthServer(const registry::DeviceRegistry& registry,
+  /// hydration cache.  `registry` must outlive the server.  Non-const
+  /// because this mode also serves ENROLL (network enrollment) and
+  /// WAL_FETCH (standby replication) frames, which mutate/export the
+  /// registry; both are refused with a typed error in single-device mode.
+  AuthServer(registry::DeviceRegistry& registry,
              AuthServerOptions options = {});
   ~AuthServer();
 
@@ -148,14 +151,16 @@ class AuthServer {
     std::uint64_t coalesced_items = 0;     ///< frames served via a batch
     std::uint64_t solo_dispatches = 0;     ///< budget too tight to coalesce
     std::uint64_t slow_peer_disconnects = 0;  ///< backlog bound enforced
+    std::uint64_t enrolls_served = 0;      ///< network enrollments committed
+    std::uint64_t wal_fetches_served = 0;  ///< standby segment/bootstrap pulls
   };
   Stats stats() const;
 
  private:
   struct Impl;
 
-  const SimulationModel* model_ = nullptr;          ///< single-device mode
-  const registry::DeviceRegistry* registry_ = nullptr;  ///< registry mode
+  const SimulationModel* model_ = nullptr;    ///< single-device mode
+  registry::DeviceRegistry* registry_ = nullptr;  ///< registry mode
   AuthServerOptions options_;
   std::unique_ptr<Impl> impl_;
   std::thread loop_thread_;

@@ -1,0 +1,649 @@
+// End-to-end tests of the fleet serving subsystem: consistent-hash ring,
+// gateway routing/pinning/drain, shard admin, and the WAL-shipping
+// standby with promotion.
+//
+// Everything runs in-process on loopback ephemeral ports, like
+// auth_server_test: real sockets, real epoll loops, real WAL files under
+// the test temp root.  Challenge seeds and enrollment seeds are fixed and
+// requests are issued sequentially, so every verifier verdict in this
+// file is deterministic — a green run stays green.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "circuit/mna.hpp"
+#include "fleet/gateway.hpp"
+#include "fleet/ring.hpp"
+#include "fleet/standby.hpp"
+#include "net/client.hpp"
+#include "net/socket.hpp"
+#include "net/wire.hpp"
+#include "ppuf/ppuf.hpp"
+#include "protocol/authentication.hpp"
+#include "registry/device_registry.hpp"
+#include "server/auth_server.hpp"
+#include "util/status.hpp"
+
+namespace ppuf {
+namespace {
+
+namespace fs = std::filesystem;
+using fleet::Gateway;
+using fleet::GatewayOptions;
+using fleet::HashRing;
+using fleet::StandbyOptions;
+using fleet::WalStandby;
+using net::AuthClient;
+using net::ClientOptions;
+using server::AuthServer;
+using server::AuthServerOptions;
+using util::Status;
+using util::StatusCode;
+
+constexpr double kChipDelay = 1e-6;
+// 16/4 matches auth_server_test: large enough that characterised
+// capacities are well-conditioned, small enough to enroll by the dozen.
+constexpr std::uint32_t kNodes = 16;
+constexpr std::uint32_t kGrid = 4;
+constexpr std::uint64_t kDeviceSeedBase = 9000;
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("ppuf_fleet_" + name);
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+AuthServerOptions shard_options(std::uint64_t challenge_seed) {
+  AuthServerOptions o;
+  o.threads = 2;
+  o.chain_length = 2;
+  o.spot_checks = 0;  // verify every round: deterministic verdicts
+  o.challenge_seed = challenge_seed;
+  return o;
+}
+
+net::EnrollRequestBody enroll_spec(std::uint64_t device_id) {
+  net::EnrollRequestBody spec;
+  spec.node_count = kNodes;
+  spec.grid_size = kGrid;
+  spec.fabrication_seed = kDeviceSeedBase + device_id;
+  return spec;
+}
+
+/// The "chip" a device holder would possess: same params and fabrication
+/// seed the registry used at enrollment.  Chips share one symbolic cache
+/// (identical topology) so a 30-device test does one symbolic analysis.
+std::unique_ptr<MaxFlowPpuf> make_chip(
+    std::uint64_t device_id,
+    const std::shared_ptr<circuit::SymbolicCache>& cache) {
+  PpufParams p;
+  p.node_count = kNodes;
+  p.grid_size = kGrid;
+  auto chip = std::make_unique<MaxFlowPpuf>(p, kDeviceSeedBase + device_id);
+  chip->network_a().set_symbolic_cache(cache);
+  chip->network_b().set_symbolic_cache(cache);
+  return chip;
+}
+
+/// One registry-backed shard: its durable directory, registry, and server.
+struct Shard {
+  std::string dir;
+  registry::DeviceRegistry registry;
+  std::unique_ptr<AuthServer> server;
+
+  Status open_and_start(const std::string& name,
+                        std::uint64_t challenge_seed) {
+    dir = fresh_dir(name);
+    if (Status s = registry.open(dir); !s.is_ok()) return s;
+    server = std::make_unique<AuthServer>(registry,
+                                          shard_options(challenge_seed));
+    return server->start();
+  }
+};
+
+/// Poll the gateway's admin STATUS until every shard reports `kUp` (the
+/// health prober needs a probe round trip before routing opens).
+void wait_all_shards_up(AuthClient& admin_client, std::size_t expected) {
+  for (int i = 0; i < 200; ++i) {
+    net::AdminRequestBody req;
+    req.op = net::AdminOp::kStatus;
+    net::AdminReplyBody reply;
+    if (admin_client.admin(req, &reply).is_ok() &&
+        reply.shards.size() == expected) {
+      std::size_t up = 0;
+      for (const net::ShardStatus& s : reply.shards)
+        if (s.state == 1) ++up;
+      if (up == expected) return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  FAIL() << "shards never became healthy";
+}
+
+ClientOptions client_options_for(std::uint64_t device_id) {
+  ClientOptions c;
+  c.device_id = device_id;
+  c.backoff_seed = 1;
+  return c;
+}
+
+// --- HashRing --------------------------------------------------------------
+
+TEST(HashRing, RoutesDeterministicallyAndSpreadsLoad) {
+  HashRing ring;
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  ASSERT_EQ(ring.shard_count(), 3u);
+
+  std::map<std::string, int> hits;
+  for (std::uint64_t id = 1; id <= 9000; ++id) ++hits[ring.route(id)];
+  // 128 vnodes per shard keeps the split well away from degenerate.
+  for (const auto& [name, count] : hits)
+    EXPECT_GT(count, 9000 / 6) << name << " is starved";
+
+  HashRing twin;
+  twin.add("c");  // insertion order must not matter
+  twin.add("a");
+  twin.add("b");
+  for (std::uint64_t id = 1; id <= 500; ++id)
+    EXPECT_EQ(ring.route(id), twin.route(id));
+}
+
+TEST(HashRing, RemovalOnlyMovesTheVictimsKeys) {
+  HashRing ring;
+  ring.add("a");
+  ring.add("b");
+  ring.add("c");
+  std::map<std::uint64_t, std::string> before;
+  for (std::uint64_t id = 1; id <= 4000; ++id) before[id] = ring.route(id);
+
+  ring.remove("c");
+  for (const auto& [id, owner] : before) {
+    if (owner == "c") continue;  // these must land somewhere new
+    EXPECT_EQ(ring.route(id), owner) << "id " << id << " moved needlessly";
+  }
+}
+
+TEST(HashRing, EmptyAndMembershipBasics) {
+  HashRing ring;
+  EXPECT_TRUE(ring.empty());
+  EXPECT_EQ(ring.route(42), "");
+  ring.add("only");
+  EXPECT_TRUE(ring.contains("only"));
+  EXPECT_EQ(ring.route(42), "only");
+  ring.add("only");  // idempotent
+  EXPECT_EQ(ring.shard_count(), 1u);
+  ring.remove("only");
+  EXPECT_TRUE(ring.empty());
+}
+
+// --- Gateway end-to-end ----------------------------------------------------
+
+TEST(FleetGateway, EndToEndEnrollPredictAndChainedAuth) {
+  constexpr std::size_t kShards = 3;
+  constexpr std::uint64_t kDevices = 30;
+
+  Shard shards[kShards];
+  ASSERT_TRUE(shards[0].open_and_start("e2e_a", 111).is_ok());
+  ASSERT_TRUE(shards[1].open_and_start("e2e_b", 222).is_ok());
+  ASSERT_TRUE(shards[2].open_and_start("e2e_c", 333).is_ok());
+
+  GatewayOptions go;
+  go.health_interval_ms = 25;
+  Gateway gateway(go);
+  ASSERT_TRUE(
+      gateway.add_shard("a", "127.0.0.1", shards[0].server->port()).is_ok());
+  ASSERT_TRUE(
+      gateway.add_shard("b", "127.0.0.1", shards[1].server->port()).is_ok());
+  ASSERT_TRUE(
+      gateway.add_shard("c", "127.0.0.1", shards[2].server->port()).is_ok());
+  ASSERT_TRUE(gateway.start().is_ok());
+
+  AuthClient admin_client("127.0.0.1", gateway.port());
+  wait_all_shards_up(admin_client, kShards);
+
+  // Enroll every device THROUGH the gateway with an explicit id.
+  for (std::uint64_t id = 1; id <= kDevices; ++id) {
+    AuthClient c("127.0.0.1", gateway.port(), client_options_for(id));
+    std::uint64_t assigned = 0;
+    ASSERT_TRUE(c.enroll_device(enroll_spec(id), id, &assigned).is_ok())
+        << "device " << id;
+    EXPECT_EQ(assigned, id);
+  }
+
+  // Enrollments landed exactly once, spread across all three shards.
+  std::uint64_t total = 0;
+  for (Shard& s : shards) {
+    EXPECT_GT(s.registry.device_count(), 0u);
+    total += s.registry.device_count();
+  }
+  EXPECT_EQ(total, kDevices);
+
+  // An id the ring cannot route (0) and a duplicate id are both typed
+  // invalid-argument, not transport errors.
+  {
+    AuthClient c("127.0.0.1", gateway.port(), client_options_for(1));
+    std::uint64_t assigned = 0;
+    EXPECT_EQ(c.enroll_device(enroll_spec(1), 0, &assigned).code(),
+              StatusCode::kInvalidArgument);
+    EXPECT_EQ(c.enroll_device(enroll_spec(1), 1, &assigned).code(),
+              StatusCode::kInvalidArgument);
+  }
+
+  auto cache = std::make_shared<circuit::SymbolicCache>();
+  util::Rng challenge_rng(77);
+
+  for (std::uint64_t id = 1; id <= kDevices; ++id) {
+    // Find the owning shard the honest way: it is the only registry that
+    // actually holds the device.
+    Shard* owner = nullptr;
+    for (Shard& s : shards)
+      if (s.registry.contains(id)) {
+        ASSERT_EQ(owner, nullptr) << "device " << id << " double-enrolled";
+        owner = &s;
+      }
+    ASSERT_NE(owner, nullptr) << "device " << id << " lost";
+
+    // PREDICT through the gateway must be byte-exact with the shard's own
+    // answer: the gateway forwards frames verbatim, both replies come
+    // from the same stored model.
+    SimulationModel model;
+    ASSERT_TRUE(owner->registry.load_model(id, &model).is_ok());
+    const Challenge c = random_challenge(model.layout(), challenge_rng);
+    AuthClient via_gateway("127.0.0.1", gateway.port(),
+                           client_options_for(id));
+    AuthClient direct("127.0.0.1", owner->server->port(),
+                      client_options_for(id));
+    SimulationModel::Prediction from_gateway, from_shard;
+    ASSERT_TRUE(via_gateway.predict(c, &from_gateway).is_ok());
+    ASSERT_TRUE(direct.predict(c, &from_shard).is_ok());
+    EXPECT_EQ(from_gateway.bit, from_shard.bit);
+    EXPECT_EQ(from_gateway.flow_a, from_shard.flow_a);
+    EXPECT_EQ(from_gateway.flow_b, from_shard.flow_b);
+
+    // Full chained authentication through the gateway: grant pins the
+    // session, the proof follows the pin to the same shard.
+    net::ChallengeGrant grant;
+    ASSERT_TRUE(via_gateway.get_challenge(&grant).is_ok());
+    auto chip = make_chip(id, cache);
+    const protocol::ChainedReport proof = protocol::prove_chain_with_ppuf(
+        *chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(via_gateway.chained_auth(grant, proof, &verdict).is_ok());
+    EXPECT_TRUE(verdict.accepted)
+        << "device " << id << ": " << verdict.detail;
+  }
+
+  const Gateway::Stats stats = gateway.stats();
+  EXPECT_GE(stats.forwarded, 3 * kDevices);  // enroll + 2 auth legs each
+  EXPECT_EQ(stats.pins_created, kDevices);
+  EXPECT_EQ(stats.dropped_inflight, 0u);
+
+  // Typed errors survive the forward: an unknown device is NOT_FOUND
+  // through the gateway, exactly as it is direct to a shard.
+  {
+    AuthClient c("127.0.0.1", gateway.port(), client_options_for(4242));
+    net::ChallengeGrant grant;
+    EXPECT_EQ(c.get_challenge(&grant).code(), StatusCode::kNotFound);
+  }
+
+  gateway.stop();
+  for (Shard& s : shards) s.server->stop();
+}
+
+TEST(FleetGateway, DrainCompletesPinnedSessionsAndRedirectsNewOnes) {
+  Shard primary, successor;
+  ASSERT_TRUE(primary.open_and_start("drain_primary", 11).is_ok());
+  ASSERT_TRUE(successor.open_and_start("drain_successor", 22).is_ok());
+
+  GatewayOptions go;
+  go.health_interval_ms = 25;
+  Gateway gateway(go);
+  // One shard in the ring: every device routes to it, its drain successor
+  // lives outside the ring (the handoff target).
+  ASSERT_TRUE(
+      gateway.add_shard("s", "127.0.0.1", primary.server->port()).is_ok());
+  ASSERT_TRUE(gateway.start().is_ok());
+  AuthClient admin_client("127.0.0.1", gateway.port());
+  wait_all_shards_up(admin_client, 1);
+
+  // Device 1 exists on BOTH nodes (real drains migrate data first); the
+  // redirected client must find it at the successor.
+  for (Shard* s : {&primary, &successor}) {
+    registry::EnrollRequest req;
+    req.node_count = kNodes;
+    req.grid_size = kGrid;
+    req.seed = kDeviceSeedBase + 1;
+    req.device_id = 1;
+    ASSERT_TRUE(s->registry.enroll(req, nullptr).is_ok());
+  }
+
+  auto cache = std::make_shared<circuit::SymbolicCache>();
+  auto chip = make_chip(1, cache);
+
+  // Open a chained session BEFORE the drain: the grant pins it.
+  AuthClient pinned("127.0.0.1", gateway.port(), client_options_for(1));
+  net::ChallengeGrant grant;
+  ASSERT_TRUE(pinned.get_challenge(&grant).is_ok());
+
+  // Drain the shard, naming the successor.
+  net::AdminRequestBody drain;
+  drain.op = net::AdminOp::kDrainShard;
+  drain.shard = "s";
+  drain.host = "127.0.0.1";
+  drain.port = successor.server->port();
+  net::AdminReplyBody reply;
+  ASSERT_TRUE(admin_client.admin(drain, &reply).is_ok());
+  ASSERT_EQ(reply.ok, 1) << reply.message;
+
+  // The pinned session completes on the draining shard.
+  const protocol::ChainedReport proof = protocol::prove_chain_with_ppuf(
+      *chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(pinned.chained_auth(grant, proof, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+
+  // A NEW session is redirected to the successor; the client follows the
+  // redirect transparently and completes a full auth there.
+  AuthClient fresh("127.0.0.1", gateway.port(), client_options_for(1));
+  ASSERT_TRUE(fresh.get_challenge(&grant).is_ok());
+  EXPECT_GE(fresh.stats().redirects_followed, 1u);
+  const protocol::ChainedReport proof2 = protocol::prove_chain_with_ppuf(
+      *chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  ASSERT_TRUE(fresh.chained_auth(grant, proof2, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+
+  const Gateway::Stats stats = gateway.stats();
+  EXPECT_EQ(stats.dropped_inflight, 0u);
+  EXPECT_GE(stats.redirects_sent, 1u);
+
+  // Undrain restores normal routing through the gateway.
+  net::AdminRequestBody undrain;
+  undrain.op = net::AdminOp::kUndrainShard;
+  undrain.shard = "s";
+  ASSERT_TRUE(admin_client.admin(undrain, &reply).is_ok());
+  ASSERT_EQ(reply.ok, 1);
+  AuthClient again("127.0.0.1", gateway.port(), client_options_for(1));
+  ASSERT_TRUE(again.get_challenge(&grant).is_ok());
+  EXPECT_EQ(again.stats().redirects_followed, 0u);
+
+  gateway.stop();
+  primary.server->stop();
+  successor.server->stop();
+}
+
+TEST(FleetGateway, RemoveShardAndUnroutableRing) {
+  Shard shard;
+  ASSERT_TRUE(shard.open_and_start("remove_me", 5).is_ok());
+
+  GatewayOptions go;
+  go.health_interval_ms = 25;
+  Gateway gateway(go);
+  ASSERT_TRUE(
+      gateway.add_shard("x", "127.0.0.1", shard.server->port()).is_ok());
+  ASSERT_TRUE(gateway.start().is_ok());
+  AuthClient admin_client("127.0.0.1", gateway.port());
+  wait_all_shards_up(admin_client, 1);
+
+  net::AdminRequestBody remove;
+  remove.op = net::AdminOp::kRemoveShard;
+  remove.shard = "x";
+  net::AdminReplyBody reply;
+  ASSERT_TRUE(admin_client.admin(remove, &reply).is_ok());
+  ASSERT_EQ(reply.ok, 1) << reply.message;
+
+  // An empty ring yields typed SHARD_UNAVAILABLE → kUnavailable, and the
+  // client's retries make it a clean error, not a hang.
+  ClientOptions one_shot = client_options_for(1);
+  one_shot.max_attempts = 1;
+  one_shot.breaker_failure_threshold = 0;
+  AuthClient c("127.0.0.1", gateway.port(), one_shot);
+  net::ChallengeGrant grant;
+  EXPECT_EQ(c.get_challenge(&grant).code(), StatusCode::kUnavailable);
+
+  // Removing an unknown shard is a refusal, not a crash.
+  remove.shard = "never-existed";
+  ASSERT_TRUE(admin_client.admin(remove, &reply).is_ok());
+  EXPECT_EQ(reply.ok, 0);
+
+  gateway.stop();
+  shard.server->stop();
+}
+
+// --- WAL-shipping standby --------------------------------------------------
+
+TEST(WalStandby, ReplicatesPromotesWithZeroAckedLoss) {
+  Shard primary;
+  ASSERT_TRUE(primary.open_and_start("ship_primary", 99).is_ok());
+
+  std::vector<std::uint64_t> acked;
+  auto enroll_one = [&](std::uint64_t id) {
+    AuthClient c("127.0.0.1", primary.server->port(),
+                 client_options_for(id));
+    std::uint64_t assigned = 0;
+    ASSERT_TRUE(c.enroll_device(enroll_spec(id), id, &assigned).is_ok());
+    acked.push_back(assigned);
+  };
+  for (std::uint64_t id = 1; id <= 4; ++id) enroll_one(id);
+
+  StandbyOptions so;
+  so.primary_port = primary.server->port();
+  so.directory = fresh_dir("ship_standby");
+  WalStandby standby(so);
+  ASSERT_TRUE(standby.start().is_ok());
+  // Quiesce the poll thread immediately: this test drives every
+  // replication pass itself via sync_once so each bootstrap/segment
+  // transition is attributable (the poll loop is covered elsewhere).
+  standby.stop();
+  ASSERT_TRUE(standby.sync_once().is_ok());
+  EXPECT_GE(standby.stats().bootstraps, 1u);  // first contact bootstraps
+
+  // More acked enrollments after the bootstrap arrive as WAL segments.
+  for (std::uint64_t id = 5; id <= 8; ++id) enroll_one(id);
+  ASSERT_TRUE(standby.sync_once().is_ok());
+
+  // Compaction on the primary rotates the WAL epoch; the standby's stale
+  // cursor self-heals by re-bootstrapping on the next pass.
+  ASSERT_TRUE(primary.registry.compact().is_ok());
+  enroll_one(9);
+  const std::uint64_t bootstraps_before = standby.stats().bootstraps;
+  ASSERT_TRUE(standby.sync_once().is_ok());
+  EXPECT_GT(standby.stats().bootstraps, bootstraps_before);
+
+  // Primary dies; promotion reports the measured loss window.
+  primary.server->stop();
+  const fleet::PromotionReport report = standby.promote();
+  EXPECT_TRUE(report.caught_up);
+  EXPECT_EQ(report.device_count, acked.size());
+
+  // Acceptance criterion: every acked enrollment survives failover.
+  std::size_t lost = 0;
+  for (std::uint64_t id : acked)
+    if (!standby.registry().contains(id)) ++lost;
+  EXPECT_EQ(lost, 0u) << "acked enrollments lost across promotion";
+
+  // The promoted registry actually SERVES: a device authenticates against
+  // a fresh server wrapped around it.
+  AuthServer promoted(standby.registry(), shard_options(99));
+  ASSERT_TRUE(promoted.start().is_ok());
+  auto cache = std::make_shared<circuit::SymbolicCache>();
+  auto chip = make_chip(3, cache);
+  AuthClient c("127.0.0.1", promoted.port(), client_options_for(3));
+  net::ChallengeGrant grant;
+  ASSERT_TRUE(c.get_challenge(&grant).is_ok());
+  const protocol::ChainedReport proof = protocol::prove_chain_with_ppuf(
+      *chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(c.chained_auth(grant, proof, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+  promoted.stop();
+}
+
+TEST(WalStandby, TinySegmentsBufferPartialRecords) {
+  Shard primary;
+  ASSERT_TRUE(primary.open_and_start("tiny_primary", 7).is_ok());
+
+  StandbyOptions so;
+  so.primary_port = primary.server->port();
+  so.directory = fresh_dir("tiny_standby");
+  // 64-byte segments guarantee every WAL record (model blobs are KBs)
+  // arrives sliced mid-record many times over.
+  so.fetch_max_bytes = 64;
+  WalStandby standby(so);
+  ASSERT_TRUE(standby.start().is_ok());
+  // Bootstrap against the EMPTY primary first: everything enrolled below
+  // must then arrive via byte-sliced WAL segments, not the snapshot.
+  ASSERT_TRUE(standby.sync_once().is_ok());
+
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    AuthClient c("127.0.0.1", primary.server->port(),
+                 client_options_for(id));
+    std::uint64_t assigned = 0;
+    ASSERT_TRUE(c.enroll_device(enroll_spec(id), id, &assigned).is_ok());
+  }
+  ASSERT_TRUE(standby.sync_once().is_ok());
+
+  EXPECT_EQ(standby.registry().device_count(), 3u);
+  for (std::uint64_t id = 1; id <= 3; ++id)
+    EXPECT_TRUE(standby.registry().contains(id)) << "device " << id;
+  // Byte-sliced shipping really happened (not one lucky big segment)…
+  EXPECT_GT(standby.stats().fetches, 10u);
+  // …and the replica's devices are bit-identical to the primary's.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    SimulationModel a, b;
+    ASSERT_TRUE(primary.registry.load_model(id, &a).is_ok());
+    ASSERT_TRUE(standby.registry().load_model(id, &b).is_ok());
+    util::Rng rng(id);
+    const Challenge c = random_challenge(a.layout(), rng);
+    EXPECT_EQ(a.predict(c).bit, b.predict(c).bit);
+    EXPECT_EQ(a.predict(c).flow_a, b.predict(c).flow_a);
+  }
+  primary.server->stop();
+}
+
+// --- Failover through the gateway ------------------------------------------
+
+TEST(FleetFailover, PromotedStandbyRepointedIntoRingServesAllAckedDevices) {
+  Shard a, b;
+  ASSERT_TRUE(a.open_and_start("failover_a", 1001).is_ok());
+  ASSERT_TRUE(b.open_and_start("failover_b", 1002).is_ok());
+
+  GatewayOptions go;
+  go.health_interval_ms = 25;
+  go.health_failures_to_down = 2;
+  Gateway gateway(go);
+  ASSERT_TRUE(gateway.add_shard("a", "127.0.0.1", a.server->port()).is_ok());
+  ASSERT_TRUE(gateway.add_shard("b", "127.0.0.1", b.server->port()).is_ok());
+  ASSERT_TRUE(gateway.start().is_ok());
+  AuthClient admin_client("127.0.0.1", gateway.port());
+  wait_all_shards_up(admin_client, 2);
+
+  constexpr std::uint64_t kDevices = 8;
+  for (std::uint64_t id = 1; id <= kDevices; ++id) {
+    AuthClient c("127.0.0.1", gateway.port(), client_options_for(id));
+    std::uint64_t assigned = 0;
+    ASSERT_TRUE(c.enroll_device(enroll_spec(id), id, &assigned).is_ok());
+  }
+  ASSERT_GT(a.registry.device_count(), 0u);
+  ASSERT_GT(b.registry.device_count(), 0u);
+
+  // Standby tails shard a; catch it up past every ack.
+  StandbyOptions so;
+  so.primary_port = a.server->port();
+  so.directory = fresh_dir("failover_standby");
+  WalStandby standby(so);
+  ASSERT_TRUE(standby.start().is_ok());
+  // Quiesce the poll thread before the last sync so no background pass
+  // can race shard a's shutdown and mark the cursor unknown.
+  standby.stop();
+  ASSERT_TRUE(standby.sync_once().is_ok());
+
+  // Kill shard a, promote, and re-point the ring name at the successor —
+  // name-keyed placement means no other device moves.
+  a.server->stop();
+  const fleet::PromotionReport report = standby.promote();
+  EXPECT_TRUE(report.caught_up);
+  EXPECT_EQ(report.device_count, a.registry.device_count());
+
+  AuthServer promoted(standby.registry(), shard_options(1001));
+  ASSERT_TRUE(promoted.start().is_ok());
+  net::AdminRequestBody repoint;
+  repoint.op = net::AdminOp::kAddShard;
+  repoint.shard = "a";
+  repoint.host = "127.0.0.1";
+  repoint.port = promoted.port();
+  net::AdminReplyBody reply;
+  ASSERT_TRUE(admin_client.admin(repoint, &reply).is_ok());
+  ASSERT_EQ(reply.ok, 1) << reply.message;
+  wait_all_shards_up(admin_client, 2);
+
+  // Every acked enrollment — shard b's untouched, shard a's replicated —
+  // still authenticates through the gateway.
+  auto cache = std::make_shared<circuit::SymbolicCache>();
+  for (std::uint64_t id = 1; id <= kDevices; ++id) {
+    AuthClient c("127.0.0.1", gateway.port(), client_options_for(id));
+    net::ChallengeGrant grant;
+    ASSERT_TRUE(c.get_challenge(&grant).is_ok()) << "device " << id;
+    auto chip = make_chip(id, cache);
+    const protocol::ChainedReport proof = protocol::prove_chain_with_ppuf(
+        *chip, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(c.chained_auth(grant, proof, &verdict).is_ok());
+    EXPECT_TRUE(verdict.accepted)
+        << "device " << id << ": " << verdict.detail;
+  }
+
+  gateway.stop();
+  promoted.stop();
+  b.server->stop();
+}
+
+// --- Per-endpoint breaker scoping ------------------------------------------
+
+TEST(AuthClientBreaker, TripsPerEndpointNotPerProcess) {
+  Shard live;
+  ASSERT_TRUE(live.open_and_start("breaker_live", 3).is_ok());
+
+  // A port that refuses connections: bind, note the port, close.
+  std::uint16_t dead_port = 0;
+  {
+    net::Socket listener;
+    ASSERT_TRUE(net::listen_tcp(0, 1, &listener, &dead_port).is_ok());
+  }
+
+  ClientOptions co;
+  co.max_attempts = 1;
+  co.breaker_failure_threshold = 1;  // one failure opens it
+  co.breaker_cooldown_ms = 60000;    // stays open for the whole test
+  co.connect_timeout_ms = 500;
+  AuthClient client("127.0.0.1", dead_port, co);
+
+  EXPECT_FALSE(client.ping().is_ok());  // trips the dead endpoint's breaker
+  EXPECT_FALSE(client.ping().is_ok());  // now fails fast, locally
+  EXPECT_GE(client.stats().breaker_fast_fails, 1u);
+
+  // Same client, same process-wide breaker table — but the live endpoint
+  // has its own untripped breaker.
+  client.set_endpoint("127.0.0.1", live.server->port());
+  EXPECT_TRUE(client.ping().is_ok());
+
+  // Flipping back re-attaches the OPEN breaker: still failing fast.
+  const std::uint64_t fast_fails = client.stats().breaker_fast_fails;
+  client.set_endpoint("127.0.0.1", dead_port);
+  EXPECT_FALSE(client.ping().is_ok());
+  EXPECT_GT(client.stats().breaker_fast_fails, fast_fails);
+
+  live.server->stop();
+}
+
+}  // namespace
+}  // namespace ppuf

@@ -404,11 +404,28 @@ TEST(Wire, PingReplyTruncationIsTypedError) {
   in.max_inflight = 8;
   in.requests_served = 17;
   in.connections_accepted = 2;
+  in.device_count = 12;
+  in.wal_epoch = 0x99;
+  in.wal_offset = 512;
   const std::vector<std::uint8_t> payload = net::encode_ping_reply(in);
+  // The reply has exactly two legal lengths: the pre-fleet core (25
+  // bytes: inflight, max_inflight, draining, requests, connections) and
+  // the full fleet form (core + device_count/wal_epoch/wal_offset).  Any
+  // other strict prefix is a typed error; a partial fleet block must not
+  // half-decode.
+  constexpr std::size_t kLegacyLen = 4 + 4 + 1 + 8 + 8;
+  ASSERT_GT(payload.size(), kLegacyLen);
   for (std::size_t len = 1; len < payload.size(); ++len) {
     const std::vector<std::uint8_t> cut(payload.begin(),
                                         payload.begin() + len);
     net::HealthInfo out;
+    if (len == kLegacyLen) {
+      ASSERT_TRUE(net::decode_ping_reply(cut, &out).is_ok());
+      EXPECT_EQ(out.requests_served, in.requests_served);
+      EXPECT_EQ(out.device_count, 0u);  // fleet fields default, not junk
+      EXPECT_EQ(out.wal_epoch, 0u);
+      continue;
+    }
     EXPECT_FALSE(net::decode_ping_reply(cut, &out).is_ok())
         << "prefix of " << len << " bytes decoded";
   }
@@ -509,6 +526,153 @@ TEST(Wire, WireCodeMapping) {
             StatusCode::kInvalidArgument);
   EXPECT_EQ(net::wire_code_to_status(WireCode::kOk, "").code(),
             StatusCode::kOk);
+  // Fleet routing: a shard the gateway cannot serve is retryable (the
+  // client re-resolves), hence kUnavailable, not a hard error.
+  EXPECT_EQ(net::wire_code_to_status(WireCode::kShardUnavailable, "x").code(),
+            StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------- fleet wire bodies
+
+net::AdminRequestBody sample_admin_request() {
+  net::AdminRequestBody a;
+  a.op = net::AdminOp::kDrainShard;
+  a.shard = "shard-07";
+  a.host = "10.0.0.7";
+  a.port = 7007;
+  return a;
+}
+
+net::AdminReplyBody sample_admin_reply() {
+  net::AdminReplyBody a;
+  a.ok = 1;
+  a.message = "drained";
+  net::ShardStatus s;
+  s.name = "shard-07";
+  s.host = "10.0.0.7";
+  s.port = 7007;
+  s.state = 2;
+  s.draining = 1;
+  s.inflight = 3;
+  s.pinned_sessions = 2;
+  s.forwarded = 1234;
+  s.device_count = 99;
+  s.wal_epoch = 0x1122334455667788ull;
+  s.wal_offset = 4096;
+  a.shards = {s, s};
+  a.shards[1].name = "shard-08";
+  return a;
+}
+
+TEST(Wire, EnrollBodiesRoundTrip) {
+  net::EnrollRequestBody req;
+  req.node_count = 24;
+  req.grid_size = 6;
+  req.fabrication_seed = 0xfeedfacecafebeefull;
+  req.label = "rack-3 card-11";
+  const std::vector<std::uint8_t> bytes = net::encode_enroll_request(req);
+  net::EnrollRequestBody back;
+  ASSERT_TRUE(net::decode_enroll_request(bytes, &back).is_ok());
+  EXPECT_EQ(back.node_count, req.node_count);
+  EXPECT_EQ(back.grid_size, req.grid_size);
+  EXPECT_EQ(back.fabrication_seed, req.fabrication_seed);
+  EXPECT_EQ(back.label, req.label);
+
+  net::EnrollReplyBody reply;
+  reply.device_id = 0xffffffffffffff01ull;  // full 64-bit width survives
+  net::EnrollReplyBody reply_back;
+  ASSERT_TRUE(
+      net::decode_enroll_reply(net::encode_enroll_reply(reply), &reply_back)
+          .is_ok());
+  EXPECT_EQ(reply_back.device_id, reply.device_id);
+}
+
+TEST(Wire, AdminBodiesRoundTrip) {
+  const net::AdminRequestBody req = sample_admin_request();
+  net::AdminRequestBody req_back;
+  ASSERT_TRUE(
+      net::decode_admin_request(net::encode_admin_request(req), &req_back)
+          .is_ok());
+  EXPECT_EQ(req_back.op, req.op);
+  EXPECT_EQ(req_back.shard, req.shard);
+  EXPECT_EQ(req_back.host, req.host);
+  EXPECT_EQ(req_back.port, req.port);
+
+  const net::AdminReplyBody reply = sample_admin_reply();
+  net::AdminReplyBody reply_back;
+  ASSERT_TRUE(
+      net::decode_admin_reply(net::encode_admin_reply(reply), &reply_back)
+          .is_ok());
+  EXPECT_EQ(reply_back.ok, reply.ok);
+  EXPECT_EQ(reply_back.message, reply.message);
+  ASSERT_EQ(reply_back.shards.size(), 2u);
+  EXPECT_EQ(reply_back.shards[0].name, "shard-07");
+  EXPECT_EQ(reply_back.shards[1].name, "shard-08");
+  EXPECT_EQ(reply_back.shards[0].state, reply.shards[0].state);
+  EXPECT_EQ(reply_back.shards[0].wal_epoch, reply.shards[0].wal_epoch);
+  EXPECT_EQ(reply_back.shards[0].pinned_sessions,
+            reply.shards[0].pinned_sessions);
+}
+
+TEST(Wire, WalShippingBodiesRoundTrip) {
+  net::WalFetchRequestBody req;
+  req.epoch = 0xaabbccdd11223344ull;
+  req.offset = 1 << 20;
+  req.max_bytes = 65536;
+  net::WalFetchRequestBody req_back;
+  ASSERT_TRUE(net::decode_wal_fetch_request(
+                  net::encode_wal_fetch_request(req), &req_back)
+                  .is_ok());
+  EXPECT_EQ(req_back.epoch, req.epoch);
+  EXPECT_EQ(req_back.offset, req.offset);
+  EXPECT_EQ(req_back.max_bytes, req.max_bytes);
+
+  net::WalSegmentBody seg;
+  seg.bootstrap = 1;
+  seg.epoch = req.epoch;
+  seg.next_offset = 77;
+  seg.bytes = {0x01, 0x02, 0x00, 0xff, 0x7f};
+  net::WalSegmentBody seg_back;
+  ASSERT_TRUE(net::decode_wal_segment_reply(
+                  net::encode_wal_segment_reply(seg), &seg_back)
+                  .is_ok());
+  EXPECT_EQ(seg_back.bootstrap, seg.bootstrap);
+  EXPECT_EQ(seg_back.epoch, seg.epoch);
+  EXPECT_EQ(seg_back.next_offset, seg.next_offset);
+  EXPECT_EQ(seg_back.bytes, seg.bytes);
+}
+
+TEST(Wire, RedirectReplyRoundTrip) {
+  net::RedirectReplyBody r;
+  r.host = "10.1.2.3";
+  r.port = 31337;
+  r.shard = "shard-replacement";
+  r.message = "draining toward successor";
+  net::RedirectReplyBody back;
+  ASSERT_TRUE(
+      net::decode_redirect_reply(net::encode_redirect_reply(r), &back)
+          .is_ok());
+  EXPECT_EQ(back.host, r.host);
+  EXPECT_EQ(back.port, r.port);
+  EXPECT_EQ(back.shard, r.shard);
+  EXPECT_EQ(back.message, r.message);
+}
+
+TEST(Wire, FleetMessageTypesAreNamedAndClassified) {
+  using net::is_request;
+  using net::message_type_name;
+  for (MessageType t : {MessageType::kEnrollRequest,
+                        MessageType::kAdminRequest,
+                        MessageType::kWalFetchRequest}) {
+    EXPECT_TRUE(is_request(t)) << message_type_name(t);
+    EXPECT_STRNE(message_type_name(t), "UNKNOWN");
+  }
+  for (MessageType t : {MessageType::kEnrollReply, MessageType::kAdminReply,
+                        MessageType::kWalSegmentReply,
+                        MessageType::kRedirectReply}) {
+    EXPECT_FALSE(is_request(t)) << message_type_name(t);
+    EXPECT_STRNE(message_type_name(t), "UNKNOWN");
+  }
 }
 
 // ----------------------------------------------------------------- fuzzing
@@ -573,6 +737,79 @@ std::vector<PayloadCase> payload_cases() {
                      net::ErrorReply e;
                      return net::decode_error_reply(p, &e);
                    }});
+  // Fleet codecs (gateway admin, enrollment, WAL shipping, redirects) ride
+  // the same harness: each one is parsed by a gateway or shard straight
+  // off adversary-reachable sockets.  ping_reply stays OUT of this list —
+  // its trailing health fields are deliberately optional, so prefixes of
+  // it can legally decode.
+  {
+    net::EnrollRequestBody e;
+    e.node_count = 24;
+    e.grid_size = 6;
+    e.fabrication_seed = 0x1234567890abcdefull;
+    e.label = "fuzz-card";
+    cases.push_back({"enroll_request", net::encode_enroll_request(e),
+                     [](const std::vector<std::uint8_t>& p) {
+                       net::EnrollRequestBody out;
+                       return net::decode_enroll_request(p, &out);
+                     }});
+  }
+  {
+    net::EnrollReplyBody e;
+    e.device_id = 42;
+    cases.push_back({"enroll_reply", net::encode_enroll_reply(e),
+                     [](const std::vector<std::uint8_t>& p) {
+                       net::EnrollReplyBody out;
+                       return net::decode_enroll_reply(p, &out);
+                     }});
+  }
+  cases.push_back({"admin_request",
+                   net::encode_admin_request(sample_admin_request()),
+                   [](const std::vector<std::uint8_t>& p) {
+                     net::AdminRequestBody out;
+                     return net::decode_admin_request(p, &out);
+                   }});
+  cases.push_back({"admin_reply",
+                   net::encode_admin_reply(sample_admin_reply()),
+                   [](const std::vector<std::uint8_t>& p) {
+                     net::AdminReplyBody out;
+                     return net::decode_admin_reply(p, &out);
+                   }});
+  {
+    net::WalFetchRequestBody f;
+    f.epoch = 0x55aa55aa55aa55aaull;
+    f.offset = 8192;
+    f.max_bytes = 1024;
+    cases.push_back({"wal_fetch_request", net::encode_wal_fetch_request(f),
+                     [](const std::vector<std::uint8_t>& p) {
+                       net::WalFetchRequestBody out;
+                       return net::decode_wal_fetch_request(p, &out);
+                     }});
+  }
+  {
+    net::WalSegmentBody s;
+    s.bootstrap = 0;
+    s.epoch = 0x77;
+    s.next_offset = 131072;
+    s.bytes = {0xde, 0xad, 0xbe, 0xef, 0x00, 0x01};
+    cases.push_back({"wal_segment_reply", net::encode_wal_segment_reply(s),
+                     [](const std::vector<std::uint8_t>& p) {
+                       net::WalSegmentBody out;
+                       return net::decode_wal_segment_reply(p, &out);
+                     }});
+  }
+  {
+    net::RedirectReplyBody r;
+    r.host = "192.0.2.9";
+    r.port = 9009;
+    r.shard = "s9";
+    r.message = "moved";
+    cases.push_back({"redirect_reply", net::encode_redirect_reply(r),
+                     [](const std::vector<std::uint8_t>& p) {
+                       net::RedirectReplyBody out;
+                       return net::decode_redirect_reply(p, &out);
+                     }});
+  }
   return cases;
 }
 

@@ -49,6 +49,19 @@
 //       0 only when every invariant held; --seed replays one schedule
 //       (e.g. to reproduce a CI failure), --seeds widens the default
 //       fixed set, --json names the aggregate report (BENCH_chaos.json).
+//   ppuf_tool gateway --shard <name>=<host:port> ... [--port <p>] ...
+//       Run the fleet gateway (DESIGN.md §17): consistent-hash device ids
+//       across the named shards, forward frames with remaining-budget
+//       deadlines, pin chained-auth sessions, health-check shards.
+//       SIGTERM/SIGINT drain gracefully.
+//   ppuf_tool fleet <gateway-host:port> status|add|drain|undrain|remove|
+//                   enroll ...
+//       Administer a running gateway (shard lifecycle) or enroll a device
+//       through it (explicit --device id, consistent-hash routed).
+//   ppuf_tool standby <registry-dir> <primary-host:port> [--poll-ms <n>]
+//       Run a WAL-shipping standby replica of a shard's registry.
+//       SIGUSR1 promotes: replication stops, the loss window is printed,
+//       and the replica starts serving as an AuthServer; SIGTERM exits.
 //
 // Global options (before the command):
 //   --threads <n>        worker threads for batch commands and serve
@@ -64,12 +77,15 @@
 //   4      auth completed but the server REJECTED the proof
 //   5      auth refused: the server does not know the addressed device
 //          (unknown or revoked id -> typed UNKNOWN_DEVICE reply)
-//   10-21  bad arguments for a specific subcommand (usage printed to
+//   10-24  bad arguments for a specific subcommand (usage printed to
 //          stderr): fabricate=10 info=11 challenge=12 predict=13
 //          predict-batch=14 evaluate=15 export-spice=16 serve=17 auth=18
-//          enroll=19 registry=20 chaos=21.  Note serve without --registry
-//          exits 17 when --seed is missing: refusing a guessable default
-//          seed is part of the usage contract.
+//          enroll=19 registry=20 chaos=21 gateway=22 fleet=23 standby=24.
+//          Note serve without --registry exits 17 when --seed is missing:
+//          refusing a guessable default seed is part of the usage
+//          contract.  `auth` through a gateway keeps the same codes: the
+//          gateway forwards typed error replies verbatim, so an unknown
+//          device still exits 5.
 //
 // The fabricate/evaluate pair demonstrates the PPUF lifecycle: the device
 // owner needs only the seed (the physical chip); everyone else works from
@@ -86,6 +102,8 @@
 
 #include "attack/heuristic.hpp"
 #include "circuit/spice_export.hpp"
+#include "fleet/gateway.hpp"
+#include "fleet/standby.hpp"
 #include "net/client.hpp"
 #include "obs/metrics.hpp"
 #include "ppuf/block.hpp"
@@ -157,6 +175,22 @@ constexpr CommandSpec kCommands[] = {
     {"chaos", 21,
      "chaos [--seed <s>] [--seeds <n>] [--seconds <sec>]\n"
      "                 [--torture <iters>] [--json <file>]"},
+    {"gateway", 22,
+     "gateway --shard <name>=<host:port> [--shard ...]\n"
+     "                 [--port <p>] [--port-file <f>] [--vnodes <n>]\n"
+     "                 [--max-inflight <n>] [--health-interval-ms <ms>]"},
+    {"fleet", 23,
+     "fleet <gateway-host:port> status\n"
+     "       ppuf_tool fleet <gw> add <name> <host:port>\n"
+     "       ppuf_tool fleet <gw> drain <name> [<successor-host:port>]\n"
+     "       ppuf_tool fleet <gw> undrain <name>\n"
+     "       ppuf_tool fleet <gw> remove <name>\n"
+     "       ppuf_tool fleet <gw> enroll <nodes> <grid> <seed>\n"
+     "                 --device <id> [--label <text>]"},
+    {"standby", 24,
+     "standby <registry-dir> <primary-host:port> [--poll-ms <n>]\n"
+     "                 [--port <p>] [--port-file <f>] [--seed <s>]\n"
+     "       (SIGUSR1 = promote and serve; SIGTERM = exit)"},
 };
 
 int usage() {
@@ -739,6 +773,282 @@ int cmd_serve(const std::vector<std::string>& args, const ToolOptions& opts) {
   return 0;
 }
 
+// --- fleet: gateway / admin / standby --------------------------------------
+
+/// Split "host:port" or throw the command's usage error.
+std::pair<std::string, std::uint16_t> parse_hostport(
+    const std::string& command, const std::string& text) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == text.size())
+    throw UsageError{command};
+  return {text.substr(0, colon), parse_port(command, text.substr(colon + 1))};
+}
+
+int cmd_gateway(const std::vector<std::string>& args,
+                const ToolOptions& opts) {
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
+  fleet::GatewayOptions go;
+  go.threads = opts.threads > 1 ? opts.threads : 4;
+  std::string port_file;
+  struct ShardArg {
+    std::string name, host;
+    std::uint16_t port;
+  };
+  std::vector<ShardArg> shard_args;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (i + 1 >= args.size()) return usage_for("gateway");
+    const std::string& value = args[++i];
+    if (arg == "--shard") {
+      const std::size_t eq = value.find('=');
+      if (eq == std::string::npos || eq == 0) return usage_for("gateway");
+      const auto [host, port] =
+          parse_hostport("gateway", value.substr(eq + 1));
+      shard_args.push_back({value.substr(0, eq), host, port});
+    } else if (arg == "--port") {
+      go.port = parse_port("gateway", value);
+    } else if (arg == "--port-file") {
+      port_file = value;
+    } else if (arg == "--vnodes") {
+      go.vnodes = static_cast<std::size_t>(parse_number("gateway", value));
+      if (go.vnodes == 0) return usage_for("gateway");
+    } else if (arg == "--max-inflight") {
+      go.max_inflight = static_cast<std::size_t>(
+          parse_number("gateway", value));
+      if (go.max_inflight == 0) return usage_for("gateway");
+    } else if (arg == "--health-interval-ms") {
+      go.health_interval_ms = static_cast<int>(
+          parse_number("gateway", value));
+      if (go.health_interval_ms <= 0) return usage_for("gateway");
+    } else {
+      return usage_for("gateway");
+    }
+  }
+  if (shard_args.empty()) return usage_for("gateway");
+
+  fleet::Gateway gateway(go);
+  for (const ShardArg& s : shard_args)
+    if (util::Status st = gateway.add_shard(s.name, s.host, s.port);
+        !st.is_ok())
+      throw std::runtime_error("bad shard: " + st.to_string());
+  if (util::Status st = gateway.start(); !st.is_ok())
+    throw std::runtime_error("cannot start gateway: " + st.to_string());
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << gateway.port() << "\n";
+    if (!pf) throw std::runtime_error("cannot write " + port_file);
+  }
+  std::cout << "gateway on 127.0.0.1:" << gateway.port() << " fronting "
+            << shard_args.size() << " shard(s)";
+  for (const ShardArg& s : shard_args)
+    std::cout << " " << s.name << "=" << s.host << ":" << s.port;
+  std::cout << "\n" << std::flush;
+
+  while (gateway.running() && g_drain_requested == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::cout << "drain requested; finishing in-flight forwards\n"
+            << std::flush;
+  gateway.stop();
+
+  const fleet::Gateway::Stats s = gateway.stats();
+  std::cout << "forwarded " << s.forwarded << " of " << s.requests
+            << " requests on " << s.connections_accepted << " connections ("
+            << s.redirects_sent << " redirects, "
+            << s.unavailable_rejections << " shard-unavailable, "
+            << s.pins_created << " sessions pinned, "
+            << s.dropped_inflight << " dropped in-flight)\n";
+  return 0;
+}
+
+int cmd_fleet(const std::vector<std::string>& args) {
+  if (args.size() < 2) return usage_for("fleet");
+  const auto [host, port] = parse_hostport("fleet", args[0]);
+  const std::string& verb = args[1];
+  net::ClientOptions copts;
+  net::AuthClient client(host, port, copts);
+
+  if (verb == "enroll") {
+    if (args.size() < 5) return usage_for("fleet");
+    net::EnrollRequestBody spec;
+    spec.node_count = static_cast<std::uint32_t>(
+        parse_number("fleet", args[2]));
+    spec.grid_size = static_cast<std::uint32_t>(
+        parse_number("fleet", args[3]));
+    spec.fabrication_seed = parse_number("fleet", args[4]);
+    std::uint64_t device_id = 0;
+    for (std::size_t i = 5; i < args.size(); i += 2) {
+      if (args[i] == "--device" && i + 1 < args.size())
+        device_id = parse_number("fleet", args[i + 1]);
+      else if (args[i] == "--label" && i + 1 < args.size())
+        spec.label = args[i + 1];
+      else
+        return usage_for("fleet");
+    }
+    if (device_id == 0) {
+      // The gateway routes by hashing the id, so "assign me one" cannot
+      // be forwarded — the operator picks the id (their id space).
+      std::cerr << "fleet enroll: --device <id> is required through a "
+                   "gateway (0 = shard-assigned is unroutable)\n";
+      return usage_for("fleet");
+    }
+    std::uint64_t assigned = 0;
+    if (util::Status s = client.enroll_device(spec, device_id, &assigned);
+        !s.is_ok())
+      throw std::runtime_error("enroll failed: " + s.to_string());
+    std::cout << "enrolled device " << assigned << " via gateway " << args[0]
+              << "\n";
+    return 0;
+  }
+
+  net::AdminRequestBody req;
+  if (verb == "status" && args.size() == 2) {
+    req.op = net::AdminOp::kStatus;
+  } else if (verb == "add" && args.size() == 4) {
+    req.op = net::AdminOp::kAddShard;
+    req.shard = args[2];
+    std::tie(req.host, req.port) = parse_hostport("fleet", args[3]);
+  } else if (verb == "drain" && (args.size() == 3 || args.size() == 4)) {
+    req.op = net::AdminOp::kDrainShard;
+    req.shard = args[2];
+    if (args.size() == 4)
+      std::tie(req.host, req.port) = parse_hostport("fleet", args[3]);
+  } else if (verb == "undrain" && args.size() == 3) {
+    req.op = net::AdminOp::kUndrainShard;
+    req.shard = args[2];
+  } else if (verb == "remove" && args.size() == 3) {
+    req.op = net::AdminOp::kRemoveShard;
+    req.shard = args[2];
+  } else {
+    return usage_for("fleet");
+  }
+
+  net::AdminReplyBody reply;
+  if (util::Status s = client.admin(req, &reply); !s.is_ok())
+    throw std::runtime_error("admin request failed: " + s.to_string());
+  if (reply.ok == 0) {
+    std::cerr << "admin refused: " << reply.message << "\n";
+    return 1;
+  }
+  if (req.op == net::AdminOp::kStatus) {
+    std::cout << reply.shards.size() << " shard(s):\n";
+    for (const net::ShardStatus& st : reply.shards) {
+      const char* state = st.state == 1   ? "up"
+                          : st.state == 2 ? "draining"
+                          : st.state == 3 ? "down"
+                                          : "?";
+      std::cout << "  " << st.name << " " << st.host << ":" << st.port
+                << " state=" << state
+                << " backend_draining=" << static_cast<int>(st.draining)
+                << " inflight=" << st.inflight
+                << " pinned=" << st.pinned_sessions
+                << " forwarded=" << st.forwarded
+                << " devices=" << st.device_count << " wal=" << st.wal_epoch
+                << ":" << st.wal_offset << "\n";
+    }
+  } else {
+    std::cout << verb << " " << req.shard << ": " << reply.message << "\n";
+  }
+  return 0;
+}
+
+/// Set by SIGUSR1: the operator (or failover script) wants this standby
+/// promoted to a serving primary.
+volatile std::sig_atomic_t g_promote_requested = 0;
+
+void on_promote_signal(int) { g_promote_requested = 1; }
+
+int cmd_standby(const std::vector<std::string>& args,
+                const ToolOptions& opts) {
+  if (args.size() < 2) return usage_for("standby");
+  std::signal(SIGTERM, on_drain_signal);
+  std::signal(SIGINT, on_drain_signal);
+  std::signal(SIGUSR1, on_promote_signal);
+
+  fleet::StandbyOptions sopts;
+  sopts.directory = args[0];
+  std::tie(sopts.primary_host, sopts.primary_port) =
+      parse_hostport("standby", args[1]);
+  server::AuthServerOptions so;  // used only after promotion
+  so.threads = opts.threads;
+  std::string port_file;
+  bool seed_given = false;
+  for (std::size_t i = 2; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (i + 1 >= args.size()) return usage_for("standby");
+    const std::string& value = args[++i];
+    if (arg == "--poll-ms") {
+      sopts.poll_interval_ms = static_cast<int>(
+          parse_number("standby", value));
+      if (sopts.poll_interval_ms <= 0) return usage_for("standby");
+    } else if (arg == "--port") {
+      so.port = parse_port("standby", value);
+    } else if (arg == "--port-file") {
+      port_file = value;
+    } else if (arg == "--seed") {
+      so.challenge_seed = parse_number("standby", value);
+      seed_given = true;
+    } else {
+      return usage_for("standby");
+    }
+  }
+  if (!seed_given) {
+    std::random_device entropy;
+    so.challenge_seed = (static_cast<std::uint64_t>(entropy()) << 32) ^
+                        entropy();
+  }
+
+  fleet::WalStandby standby(sopts);
+  if (util::Status s = standby.start(); !s.is_ok())
+    throw std::runtime_error("cannot start standby: " + s.to_string());
+  std::cout << "standby replicating " << sopts.primary_host << ":"
+            << sopts.primary_port << " into " << sopts.directory
+            << " every " << sopts.poll_interval_ms << " ms\n"
+            << std::flush;
+
+  while (g_drain_requested == 0 && g_promote_requested == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  if (g_drain_requested != 0) {
+    standby.stop();
+    const fleet::WalStandby::Stats st = standby.stats();
+    std::cout << "standby exiting: " << st.fetches << " fetches, "
+              << st.bootstraps << " bootstraps, " << st.bytes_applied
+              << " bytes applied (position " << st.wal_epoch << ":"
+              << st.wal_offset << ")\n";
+    return 0;
+  }
+
+  const fleet::PromotionReport report = standby.promote();
+  std::cout << "PROMOTED: " << report.device_count << " devices at WAL "
+            << report.wal_epoch << ":" << report.wal_offset << " ("
+            << report.fetches << " fetches, " << report.bootstraps
+            << " bootstraps, "
+            << (report.caught_up ? "caught up at last contact"
+                                 : "NOT caught up: enrollments inside the "
+                                   "last poll window may be lost")
+            << ")\n"
+            << std::flush;
+
+  server::AuthServer srv(standby.registry(), so);
+  if (util::Status s = srv.start(); !s.is_ok())
+    throw std::runtime_error("cannot serve promoted registry: " +
+                             s.to_string());
+  if (!port_file.empty()) {
+    std::ofstream pf(port_file);
+    pf << srv.port() << "\n";
+    if (!pf) throw std::runtime_error("cannot write " + port_file);
+  }
+  std::cout << "serving promoted registry on 127.0.0.1:" << srv.port()
+            << "\n"
+            << std::flush;
+  while (srv.running() && g_drain_requested == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  srv.stop();
+  const server::AuthServer::Stats s = srv.stats();
+  std::cout << "served " << s.requests << " requests after promotion\n";
+  return 0;
+}
+
 // --- auth ------------------------------------------------------------------
 
 int cmd_auth(const std::vector<std::string>& args) {
@@ -880,6 +1190,9 @@ int main(int argc, char** argv) {
     else if (cmd == "enroll") rc = cmd_enroll(args);
     else if (cmd == "registry") rc = cmd_registry(args);
     else if (cmd == "chaos") rc = cmd_chaos(args);
+    else if (cmd == "gateway") rc = cmd_gateway(args, opts);
+    else if (cmd == "fleet") rc = cmd_fleet(args);
+    else if (cmd == "standby") rc = cmd_standby(args, opts);
     if (rc >= 0) {
       if (!opts.metrics_json.empty())
         ppuf::obs::MetricsRegistry::global().write_json(opts.metrics_json);
