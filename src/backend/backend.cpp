@@ -1,0 +1,48 @@
+#include "backend/backend.hpp"
+
+#include "backend/maxflow_backend.hpp"
+#include "backend/pdl_backend.hpp"
+
+namespace ppuf::backend {
+
+const char* backend_name(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kMaxFlow:
+      return "maxflow";
+    case BackendKind::kPdlDelay:
+      return "pdl";
+  }
+  return "unknown";
+}
+
+bool parse_backend(const std::string& name, BackendKind* out) {
+  if (name == "maxflow") {
+    *out = BackendKind::kMaxFlow;
+    return true;
+  }
+  if (name == "pdl") {
+    *out = BackendKind::kPdlDelay;
+    return true;
+  }
+  return false;
+}
+
+const PufBackend* find_backend(BackendKind kind) {
+  static const MaxFlowBackend max_flow;
+  static const PdlDelayBackend pdl;
+  switch (kind) {
+    case BackendKind::kMaxFlow:
+      return &max_flow;
+    case BackendKind::kPdlDelay:
+      return &pdl;
+  }
+  return nullptr;
+}
+
+const PufBackend* find_backend(const std::string& name) {
+  BackendKind kind;
+  if (!parse_backend(name, &kind)) return nullptr;
+  return find_backend(kind);
+}
+
+}  // namespace ppuf::backend

@@ -1,0 +1,368 @@
+#include "backend/pdl_backend.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+#include "protocol/codec.hpp"
+
+namespace ppuf::backend {
+
+namespace {
+
+using protocol::codec::Reader;
+using protocol::codec::Writer;
+using util::Status;
+
+/// splitmix64 finaliser: the mixing step for per-instance seeds and the
+/// chain successor.  Public and fixed — it is part of the protocol.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Decoded public model of one PDL device.
+struct PdlModel {
+  std::size_t stages = 0;
+  double noise_sigma = 0.0;
+  std::vector<puf::ArbiterPuf> instances;
+};
+
+Status decode_pdl_model(const std::uint8_t* data, std::size_t size,
+                        PdlModel* out) {
+  Reader r(data, size);
+  std::uint32_t stages = 0, instances = 0;
+  double noise_sigma = 0.0;
+  if (!r.u32(&stages) || !r.u32(&instances) || !r.f64(&noise_sigma))
+    return Status::invalid_argument("pdl model header");
+  if (stages < 1 || stages > kPdlMaxStages || instances < 1 ||
+      instances > kPdlMaxInstances)
+    return Status::invalid_argument("pdl model geometry");
+  if (!std::isfinite(noise_sigma) || noise_sigma < 0.0)
+    return Status::invalid_argument("pdl model noise sigma");
+  // Exact length is part of the format: weights are fixed-width, so any
+  // shortfall or surplus is corruption, not an optional field.
+  const std::size_t per_instance = static_cast<std::size_t>(stages) + 1;
+  out->stages = stages;
+  out->noise_sigma = noise_sigma;
+  out->instances.clear();
+  out->instances.reserve(instances);
+  for (std::uint32_t i = 0; i < instances; ++i) {
+    std::vector<double> weights(per_instance);
+    for (double& w : weights) {
+      if (!r.f64(&w)) return Status::invalid_argument("pdl model weights");
+    }
+    out->instances.emplace_back(std::move(weights));
+  }
+  if (!r.exhausted())
+    return Status::invalid_argument("pdl model trailing bytes");
+  return Status::ok();
+}
+
+void encode_pdl_model(Writer& w, const PdlModel& model) {
+  w.u32(static_cast<std::uint32_t>(model.stages));
+  w.u32(static_cast<std::uint32_t>(model.instances.size()));
+  w.f64(model.noise_sigma);
+  for (const puf::ArbiterPuf& inst : model.instances)
+    for (const double weight : inst.weights()) w.f64(weight);
+}
+
+std::vector<double> pdl_margins(const std::vector<puf::ArbiterPuf>& instances,
+                                const std::vector<std::uint8_t>& bits) {
+  std::vector<double> margins;
+  margins.reserve(instances.size());
+  for (const puf::ArbiterPuf& inst : instances)
+    margins.push_back(inst.margin(bits));
+  return margins;
+}
+
+/// One hydrated PDL device.  Evaluation is O(m * k) arithmetic — there is
+/// no solver, no asymmetry, and nothing worth caching.
+class PdlDevice final : public Device {
+ public:
+  PdlDevice(PdlModel model, const MaterializeOptions& options)
+      : model_(std::move(model)),
+        deadline_(options.verifier_deadline_seconds),
+        // Margins are ~unit scale by construction (ArbiterPuf normalises
+        // stage sigmas), so the tolerance fraction applies directly.
+        tolerance_(options.flow_tolerance_fraction) {}
+
+  BackendKind kind() const override { return BackendKind::kPdlDelay; }
+
+  bool asymmetric_verify() const override { return false; }
+
+  Status validate_challenge(const Challenge& c) const override {
+    if (c.source != 0 || c.sink != 1)
+      return Status::invalid_argument("challenge: bad source/sink pair");
+    if (c.bits.size() != model_.stages)
+      return Status::invalid_argument("challenge: wrong control-bit count");
+    for (const std::uint8_t b : c.bits)
+      if (b > 1)
+        return Status::invalid_argument("challenge: non-binary control bit");
+    return Status::ok();
+  }
+
+  SimulationModel::Prediction predict(
+      const Challenge& c, const util::SolveControl& control) const override {
+    SimulationModel::Prediction p;
+    if (Status s = validate_challenge(c); !s.is_ok()) {
+      p.status = s;
+      return p;
+    }
+    util::StopCheck stop(control, /*stride=*/1);
+    if (stop.should_stop()) {
+      p.status = stop.status("pdl predict");
+      return p;
+    }
+    const std::vector<double> margins = pdl_margins(model_.instances, c.bits);
+    int bit = 0;
+    for (const double m : margins) bit ^= m > 0.0 ? 1 : 0;
+    p.bit = bit;
+    p.flow_a = margins[0];
+    p.flow_b = margins.size() > 1 ? margins[1] : 0.0;
+    return p;
+  }
+
+  std::vector<SimulationModel::Prediction> predict_batch(
+      const std::vector<Challenge>& challenges,
+      const SimulationModel::PredictBatchOptions& options) const override {
+    if (!options.deadlines.empty() &&
+        options.deadlines.size() != challenges.size())
+      throw std::invalid_argument(
+          "predict_batch: deadlines size mismatch");
+    std::vector<SimulationModel::Prediction> out(challenges.size());
+    for (std::size_t i = 0; i < challenges.size(); ++i) {
+      util::SolveControl control = options.control;
+      if (!options.deadlines.empty()) {
+        // Same coalescing contract as the max-flow batch path: an item
+        // with an expired budget is answered typed without poisoning its
+        // batch-mates.
+        if (options.deadlines[i].expired()) {
+          out[i].status = Status::deadline_exceeded(
+              "deadline expired before evaluation");
+          continue;
+        }
+        if (control.deadline.is_unlimited() ||
+            options.deadlines[i].remaining_seconds() <
+                control.deadline.remaining_seconds())
+          control.deadline = options.deadlines[i];
+      }
+      out[i] = predict(challenges[i], control);
+    }
+    return out;
+  }
+
+  protocol::AuthenticationResult verify(
+      const Challenge& c,
+      const protocol::ProverReport& report) const override {
+    protocol::AuthenticationResult result;
+    if (Status s = validate_challenge(c); !s.is_ok()) {
+      result.detail = s.message();
+      return result;
+    }
+    const std::vector<double> margins = pdl_margins(model_.instances, c.bits);
+    int bit = 0;
+    for (const double m : margins) bit ^= m > 0.0 ? 1 : 0;
+
+    // The claimed delay margins must match the public model within
+    // tolerance — the PDL analogue of the residual-graph flow check.
+    const double want_a = margins[0];
+    const double want_b = margins.size() > 1 ? margins[1] : 0.0;
+    result.flows_valid = std::abs(report.flow_a - want_a) <= tolerance_ &&
+                         std::abs(report.flow_b - want_b) <= tolerance_;
+    result.bit_consistent = report.bit == bit;
+    result.in_time = report.elapsed_seconds <= deadline_;
+    result.accepted =
+        result.flows_valid && result.bit_consistent && result.in_time;
+    if (!result.accepted) {
+      if (!result.flows_valid)
+        result.detail = "claimed delay margins do not match the model";
+      else if (!result.bit_consistent)
+        result.detail = "response bit does not match the model";
+      else
+        result.detail = "missed the deadline";
+    }
+    return result;
+  }
+
+  std::vector<protocol::AuthenticationResult> verify_batch(
+      const std::vector<Challenge>& challenges,
+      const std::vector<protocol::ProverReport>& reports,
+      const protocol::Verifier::BatchVerifyOptions&) const override {
+    if (challenges.size() != reports.size())
+      throw std::invalid_argument("verify_batch: size mismatch");
+    std::vector<protocol::AuthenticationResult> out;
+    out.reserve(challenges.size());
+    for (std::size_t i = 0; i < challenges.size(); ++i)
+      out.push_back(verify(challenges[i], reports[i]));
+    return out;
+  }
+
+  Challenge issue_challenge(util::Rng& rng) const override {
+    Challenge c;
+    c.source = 0;
+    c.sink = 1;
+    c.bits.resize(model_.stages);
+    for (std::uint8_t& b : c.bits) b = rng.coin() ? 1 : 0;
+    return c;
+  }
+
+  double deadline_seconds() const override { return deadline_; }
+
+  protocol::ChainedVerifyResult verify_chain(
+      const Challenge& first, std::size_t chain_length, std::uint64_t nonce,
+      const protocol::ChainedReport& report, std::size_t /*spot_checks*/,
+      util::Rng& /*rng*/) const override {
+    // Evaluation is trivial, so every round is fully verified — spot
+    // checking exists to bound the max-flow verifier's work, and buys a
+    // delay PUF nothing.
+    protocol::ChainedVerifyResult result;
+    if (report.rounds.size() != chain_length) {
+      result.detail = "round count does not match the grant";
+      return result;
+    }
+    result.chain_consistent = true;
+    result.rounds_valid = true;
+    Challenge c = first;
+    for (std::size_t i = 0; i < chain_length; ++i) {
+      const protocol::AuthenticationResult round = verify(c, report.rounds[i]);
+      // in_time is enforced on the whole chain below, not per round.
+      if (!(round.flows_valid && round.bit_consistent)) {
+        result.rounds_valid = false;
+        result.detail =
+            "round " + std::to_string(i) + ": " +
+            (round.detail.empty() ? "rejected" : round.detail);
+        break;
+      }
+      c = pdl_next_challenge(c, report.rounds[i].bit, nonce);
+    }
+    result.in_time =
+        report.elapsed_seconds <= static_cast<double>(chain_length) * deadline_;
+    if (result.rounds_valid && !result.in_time)
+      result.detail = "chain exceeded the deadline";
+    result.accepted =
+        result.chain_consistent && result.rounds_valid && result.in_time;
+    return result;
+  }
+
+ private:
+  const PdlModel model_;
+  const double deadline_;
+  const double tolerance_;
+};
+
+}  // namespace
+
+util::Status PdlDelayBackend::validate_geometry(std::size_t node_count,
+                                                std::size_t grid_size) const {
+  if (node_count < 1 || node_count > kPdlMaxStages || grid_size < 1 ||
+      grid_size > kPdlMaxInstances)
+    return Status::invalid_argument("enroll: invalid geometry");
+  return Status::ok();
+}
+
+util::Status PdlDelayBackend::fabricate(
+    const FabricateRequest& request,
+    const std::shared_ptr<circuit::SymbolicCache>& /*symbolic_cache*/,
+    std::vector<std::uint8_t>* model_bytes) const {
+  if (Status s = validate_geometry(request.node_count, request.grid_size);
+      !s.is_ok())
+    return s;
+  PdlModel model;
+  model.stages = request.node_count;
+  // Fabrication publishes the noise-free model; evaluate_noisy() remains
+  // available for reliability studies, and the blob carries the sigma so
+  // a noisy enrollment stays representable.
+  model.noise_sigma = 0.0;
+  model.instances = fabricate_pdl_instances(request.node_count,
+                                            request.grid_size, request.seed);
+  Writer w;
+  encode_pdl_model(w, model);
+  *model_bytes = w.take();
+  return Status::ok();
+}
+
+util::Status PdlDelayBackend::validate_model(const std::uint8_t* data,
+                                             std::size_t size,
+                                             std::uint32_t nodes,
+                                             std::uint32_t grid) const {
+  PdlModel model;
+  if (Status s = decode_pdl_model(data, size, &model); !s.is_ok()) return s;
+  if (model.stages != nodes || model.instances.size() != grid)
+    return Status::invalid_argument("device entry geometry mismatch");
+  return Status::ok();
+}
+
+util::Status PdlDelayBackend::materialize(
+    const std::vector<std::uint8_t>& bytes, const MaterializeOptions& options,
+    std::unique_ptr<Device>* out) const {
+  PdlModel model;
+  if (Status s = decode_pdl_model(bytes.data(), bytes.size(), &model);
+      !s.is_ok())
+    return Status::internal("stored model blob is invalid: " + s.message());
+  *out = std::make_unique<PdlDevice>(std::move(model), options);
+  return Status::ok();
+}
+
+std::vector<puf::ArbiterPuf> fabricate_pdl_instances(std::size_t stages,
+                                                     std::size_t instances,
+                                                     std::uint64_t seed) {
+  std::vector<puf::ArbiterPuf> out;
+  out.reserve(instances);
+  for (std::size_t i = 0; i < instances; ++i)
+    out.emplace_back(stages, mix64(seed + i));
+  return out;
+}
+
+int pdl_response(const std::vector<puf::ArbiterPuf>& instances,
+                 const std::vector<std::uint8_t>& bits) {
+  int bit = 0;
+  for (const puf::ArbiterPuf& inst : instances) bit ^= inst.evaluate(bits);
+  return bit;
+}
+
+Challenge pdl_next_challenge(const Challenge& previous, int response,
+                             std::uint64_t protocol_nonce) {
+  // Absorb the previous stage bits, the response, and the nonce into one
+  // 64-bit state, then expand to k fresh bits.  The feedback makes the
+  // chain strictly sequential for the prover, same as the max-flow ESG.
+  std::uint64_t h = mix64(protocol_nonce ^ (response ? 0x5851f42d4c957f2dULL
+                                                     : 0x14057b7ef767814fULL));
+  for (std::size_t i = 0; i < previous.bits.size(); ++i)
+    h = mix64(h ^ (static_cast<std::uint64_t>(previous.bits[i]) << (i % 63)));
+  Challenge next;
+  next.source = 0;
+  next.sink = 1;
+  next.bits.resize(previous.bits.size());
+  util::Rng rng(h);
+  for (std::uint8_t& b : next.bits) b = rng.coin() ? 1 : 0;
+  return next;
+}
+
+protocol::ChainedReport prove_chain_with_pdl(
+    const std::vector<puf::ArbiterPuf>& instances, const Challenge& first,
+    std::size_t k, std::uint64_t protocol_nonce,
+    double modelled_delay_seconds) {
+  protocol::ChainedReport report;
+  report.rounds.reserve(k);
+  Challenge c = first;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::vector<double> margins = pdl_margins(instances, c.bits);
+    protocol::ProverReport round;
+    int bit = 0;
+    for (const double m : margins) bit ^= m > 0.0 ? 1 : 0;
+    round.bit = bit;
+    round.flow_a = margins[0];
+    round.flow_b = margins.size() > 1 ? margins[1] : 0.0;
+    round.elapsed_seconds = modelled_delay_seconds;
+    report.rounds.push_back(std::move(round));
+    c = pdl_next_challenge(c, bit, protocol_nonce);
+  }
+  report.elapsed_seconds = modelled_delay_seconds * static_cast<double>(k);
+  return report;
+}
+
+}  // namespace ppuf::backend

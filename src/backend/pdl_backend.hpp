@@ -1,0 +1,85 @@
+// PDL delay-PUF backend — the arbiter-style baseline the paper's Fig. 10
+// compares against, served through the same registry/wire/server stack as
+// the max-flow PPUF.
+//
+// Structure (modelled on the PDL reference design in SNIPPETS.md): a
+// device is m XORed instances of a k-stage programmable-delay-line switch
+// chain.  Each instance follows the standard additive linear-delay model —
+// the challenge steers two racing paths through the k stages, the arbiter
+// flip-flop samples which edge wins, and the response is
+// r_i = sign(w_i . phi(c)) over the parity feature map phi (shared with
+// the attack harness via ArbiterPuf::parity_features).  The device bit is
+// the XOR of the m instance bits.
+//
+// The PUBLIC model of a delay PUF is the weight vector itself: anyone
+// holding it evaluates responses exactly as fast as the silicon, so there
+// is no execution-simulation gap and `asymmetric_verify()` is false.
+// Authentication of PDL devices therefore rests entirely on model secrecy
+// + learnability economics — which is exactly the comparison the paper
+// draws, and what the cross-backend attack harness measures.
+//
+// Challenge mapping: `Challenge.bits` carries the k stage-select bits;
+// source/sink are fixed at (0, 1) — a delay chain has no terminal choice.
+//
+// Blob format (protocol::codec, little-endian):
+//   u32 stages | u32 instances | f64 noise_sigma |
+//   instances * (stages + 1) f64 weights
+#pragma once
+
+#include <memory>
+
+#include "backend/backend.hpp"
+#include "puf/arbiter.hpp"
+
+namespace ppuf::backend {
+
+/// Geometry bounds: keeps hostile blobs from forcing huge allocations and
+/// keeps the XOR depth in the range real XOR-arbiter constructions use.
+inline constexpr std::size_t kPdlMaxStages = 4096;
+inline constexpr std::size_t kPdlMaxInstances = 64;
+
+class PdlDelayBackend final : public PufBackend {
+ public:
+  BackendKind kind() const override { return BackendKind::kPdlDelay; }
+  const char* name() const override { return "pdl"; }
+  util::Status validate_geometry(std::size_t node_count,
+                                 std::size_t grid_size) const override;
+  util::Status fabricate(
+      const FabricateRequest& request,
+      const std::shared_ptr<circuit::SymbolicCache>& symbolic_cache,
+      std::vector<std::uint8_t>* model_bytes) const override;
+  util::Status validate_model(const std::uint8_t* data, std::size_t size,
+                              std::uint32_t nodes,
+                              std::uint32_t grid) const override;
+  util::Status materialize(const std::vector<std::uint8_t>& bytes,
+                           const MaterializeOptions& options,
+                           std::unique_ptr<Device>* out) const override;
+};
+
+/// Deterministic fabrication: instance i of a device is
+/// ArbiterPuf(stages, per-instance seed derived from `seed`).  Shared by
+/// the backend (enrollment) and the holder side (ppuf_tool auth, tests),
+/// so re-fabricating from the enrollment seed yields the enrolled silicon.
+std::vector<puf::ArbiterPuf> fabricate_pdl_instances(std::size_t stages,
+                                                     std::size_t instances,
+                                                     std::uint64_t seed);
+
+/// Device response: XOR of the m instance sign bits.
+int pdl_response(const std::vector<puf::ArbiterPuf>& instances,
+                 const std::vector<std::uint8_t>& bits);
+
+/// The public successor function for chained authentication: C_{i+1} is a
+/// hash-mix of (C_i, R_i, nonce) expanded to k fresh stage bits.  Public
+/// and deterministic, mirroring ppuf::next_challenge for max-flow chains.
+Challenge pdl_next_challenge(const Challenge& previous, int response,
+                             std::uint64_t protocol_nonce);
+
+/// Honest holder: executes the chain on (re-fabricated) silicon; elapsed
+/// time is k times the modelled per-round delay.  Mirrors
+/// protocol::prove_chain_with_ppuf for the max-flow backend.
+protocol::ChainedReport prove_chain_with_pdl(
+    const std::vector<puf::ArbiterPuf>& instances, const Challenge& first,
+    std::size_t k, std::uint64_t protocol_nonce,
+    double modelled_delay_seconds);
+
+}  // namespace ppuf::backend

@@ -483,6 +483,7 @@ std::vector<std::uint8_t> encode_enroll_request(const EnrollRequestBody& e) {
   w.u32(e.grid_size);
   w.u64(e.fabrication_seed);
   w.str(e.label);
+  w.u8(e.backend);
   return w.take();
 }
 
@@ -492,11 +493,24 @@ util::Status decode_enroll_request(const std::vector<std::uint8_t>& payload,
   if (!r.u32(&out->node_count) || !r.u32(&out->grid_size) ||
       !r.u64(&out->fabrication_seed) || !r.str(&out->label))
     return malformed("enroll request");
-  // Geometry sanity mirrors registry::EnrollRequest validation; rejecting
-  // here keeps a forged request from ever reaching the fabricator.
-  if (out->node_count < 2 || out->grid_size == 0 ||
-      out->grid_size > out->node_count)
+  // Optional trailing backend byte (same evolution pattern as ping_reply):
+  // a v1 frame ends after the label and means max-flow.
+  out->backend = 1;
+  if (r.remaining() > 0) {
+    if (!r.u8(&out->backend) || out->backend == 0)
+      return malformed("enroll request backend");
+  }
+  // Geometry sanity.  Max-flow mirrors registry::EnrollRequest validation,
+  // so a forged request never reaches the fabricator; other backends use
+  // different geometry units, so the wire only rejects zeros and leaves
+  // full validation to the registry's backend dispatch.
+  if (out->backend == 1) {
+    if (out->node_count < 2 || out->grid_size == 0 ||
+        out->grid_size > out->node_count)
+      return malformed("enroll request geometry");
+  } else if (out->node_count == 0 || out->grid_size == 0) {
     return malformed("enroll request geometry");
+  }
   return finish(r, "enroll request");
 }
 

@@ -274,6 +274,13 @@ struct EnrollRequestBody {
   std::uint32_t grid_size = 0;
   std::uint64_t fabrication_seed = 0;
   std::string label;
+  /// Backend tag (backend::BackendKind byte; 1 = max-flow).  Optional
+  /// trailing field on the wire: v1 frames end after `label` and decode
+  /// as max-flow, v2 frames append one byte.  0 is rejected.  Unknown
+  /// non-zero values pass wire decode — the server answers them with a
+  /// typed kInvalidArgument, not a frame error, so old servers and new
+  /// clients fail cleanly.
+  std::uint8_t backend = 1;
 };
 
 struct EnrollReplyBody {

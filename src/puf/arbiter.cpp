@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 namespace ppuf::puf {
 
@@ -11,6 +12,12 @@ ArbiterPuf::ArbiterPuf(std::size_t stages, std::uint64_t seed) {
   weights_.resize(stages + 1);
   const double sigma = 1.0 / std::sqrt(static_cast<double>(stages + 1));
   for (double& w : weights_) w = rng.gaussian(0.0, sigma);
+}
+
+ArbiterPuf::ArbiterPuf(std::vector<double> weights)
+    : weights_(std::move(weights)) {
+  if (weights_.size() < 2)
+    throw std::invalid_argument("ArbiterPuf: too few weights");
 }
 
 std::vector<double> ArbiterPuf::parity_features(

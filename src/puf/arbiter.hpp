@@ -21,7 +21,15 @@ class ArbiterPuf {
   /// drawn i.i.d. Gaussian, normalised so the typical margin is ~1.
   ArbiterPuf(std::size_t stages, std::uint64_t seed);
 
+  /// Reconstruct an instance from explicit weights (k+1 of them) — the
+  /// deserialisation path of the PDL backend, whose public model *is* the
+  /// weight vector.  Throws std::invalid_argument on fewer than 2 weights.
+  explicit ArbiterPuf(std::vector<double> weights);
+
   std::size_t stages() const { return weights_.size() - 1; }
+
+  /// The k+1 delay weights acting on the parity features.
+  const std::vector<double>& weights() const { return weights_; }
 
   /// Noise-free response to a challenge of exactly stages() bits.
   int evaluate(const std::vector<std::uint8_t>& challenge) const;

@@ -11,9 +11,9 @@
 #include <random>
 #include <system_error>
 
+#include "backend/backend.hpp"
 #include "circuit/mna.hpp"
 #include "obs/metrics.hpp"
-#include "ppuf/ppuf.hpp"
 #include "protocol/codec.hpp"
 #include "util/fault_hooks.hpp"
 
@@ -180,7 +180,8 @@ util::Status DeviceRegistry::open(const std::string& directory,
       return Status::invalid_argument("registry wal " + wal_path() + ": " +
                                       s.message());
     switch (record.type) {
-      case WalRecord::Type::kEnroll: {
+      case WalRecord::Type::kEnroll:
+      case WalRecord::Type::kEnrollTagged: {
         const std::uint64_t id = record.entry.id;
         next_id_ = std::max(next_id_, id + 1);
         entries_[id] = std::move(record.entry);
@@ -271,9 +272,13 @@ util::Status DeviceRegistry::append_record_locked(const WalRecord& record) {
 
 util::Status DeviceRegistry::enroll(const EnrollRequest& request,
                                     std::uint64_t* id_out) {
-  if (request.node_count < 2 || request.grid_size < 1 ||
-      request.grid_size > request.node_count)
-    return Status::invalid_argument("enroll: invalid geometry");
+  const backend::PufBackend* impl = backend::find_backend(request.backend);
+  if (impl == nullptr)
+    return Status::invalid_argument("enroll: unknown backend");
+  if (Status s = impl->validate_geometry(request.node_count,
+                                         request.grid_size);
+      !s.is_ok())
+    return s;
   std::lock_guard<std::mutex> lock(mutex_);
   if (!open_) return Status::internal("registry not open");
   // Explicit ids come from gateway routing: the id the client hashed on
@@ -285,30 +290,35 @@ util::Status DeviceRegistry::enroll(const EnrollRequest& request,
         " is already enrolled");
 
   // Fabricate the instance and extract its public model — enrollment *is*
-  // the publish step of the PPUF lifecycle.
-  PpufParams params;
-  params.node_count = request.node_count;
-  params.grid_size = request.grid_size;
-  MaxFlowPpuf puf(params, request.seed);
-  // Fleet-level symbolic reuse: all devices' blocks share one netlist
-  // topology, so block characterisation after the first enrollment skips
-  // the MNA pattern build and sparse-LU symbolic analysis entirely.
-  if (enroll_symbolic_cache_ == nullptr)
+  // the publish step of the PPUF lifecycle.  The fleet-level symbolic
+  // cache gives max-flow enrollments circuit-analysis reuse; backends
+  // without a circuit stage ignore it (so it is only created for the
+  // backends that use it).
+  if (request.backend == backend::BackendKind::kMaxFlow &&
+      enroll_symbolic_cache_ == nullptr)
     enroll_symbolic_cache_ = std::make_shared<circuit::SymbolicCache>();
-  puf.network_a().set_symbolic_cache(enroll_symbolic_cache_);
-  puf.network_b().set_symbolic_cache(enroll_symbolic_cache_);
-  SimulationModel model(puf);
+  backend::FabricateRequest fab;
+  fab.node_count = request.node_count;
+  fab.grid_size = request.grid_size;
+  fab.seed = request.seed;
+  std::vector<std::uint8_t> model_bytes;
+  if (Status s = impl->fabricate(fab, enroll_symbolic_cache_, &model_bytes);
+      !s.is_ok())
+    return s;
 
+  // Max-flow devices keep the untagged pre-backend record type, so an
+  // all-max-flow fleet's WAL stays byte-identical to the old format.
   WalRecord record;
-  record.type = WalRecord::Type::kEnroll;
+  record.type = request.backend == backend::BackendKind::kMaxFlow
+                    ? WalRecord::Type::kEnroll
+                    : WalRecord::Type::kEnrollTagged;
   record.entry.id = request.device_id != 0 ? request.device_id : next_id_;
   record.entry.nodes = static_cast<std::uint32_t>(request.node_count);
   record.entry.grid = static_cast<std::uint32_t>(request.grid_size);
   record.entry.label = request.label;
   record.entry.revoked = false;
-  protocol::codec::Writer w;
-  protocol::codec::encode_sim_model(w, model);
-  record.entry.model_bytes = w.take();
+  record.entry.backend = request.backend;
+  record.entry.model_bytes = std::move(model_bytes);
 
   // WAL first, memory second: state the process acknowledges is state a
   // restart will reconstruct.
@@ -367,6 +377,10 @@ util::Status DeviceRegistry::load_model(std::uint64_t id,
   if (it == entries_.end())
     return Status::not_found("device " + std::to_string(id) +
                              " is not enrolled");
+  if (it->second.backend != backend::BackendKind::kMaxFlow)
+    return Status::invalid_argument(
+        "device " + std::to_string(id) + " is not a max-flow device (" +
+        backend::backend_name(it->second.backend) + ")");
   protocol::codec::Reader r(it->second.model_bytes.data(),
                             it->second.model_bytes.size());
   if (Status s = protocol::codec::decode_sim_model(r, out); !s.is_ok())
@@ -378,12 +392,26 @@ util::Status DeviceRegistry::load_model(std::uint64_t id,
   return Status::ok();
 }
 
+util::Status DeviceRegistry::load_entry(
+    std::uint64_t id, backend::BackendKind* kind,
+    std::vector<std::uint8_t>* model_bytes) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = entries_.find(id);
+  if (it == entries_.end())
+    return Status::not_found("device " + std::to_string(id) +
+                             " is not enrolled");
+  *kind = it->second.backend;
+  *model_bytes = it->second.model_bytes;
+  return Status::ok();
+}
+
 std::vector<DeviceInfo> DeviceRegistry::list() const {
   std::lock_guard<std::mutex> lock(mutex_);
   std::vector<DeviceInfo> out;
   out.reserve(entries_.size());
   for (const auto& [id, e] : entries_)
-    out.push_back(DeviceInfo{id, e.nodes, e.grid, e.label, e.revoked});
+    out.push_back(
+        DeviceInfo{id, e.nodes, e.grid, e.label, e.revoked, e.backend});
   return out;
 }
 
@@ -551,7 +579,8 @@ util::Status DeviceRegistry::apply_wal_bytes(const std::uint8_t* data,
     if (Status s = append_raw_locked(data + offset, used); !s.is_ok())
       return s;
     switch (record.type) {
-      case WalRecord::Type::kEnroll: {
+      case WalRecord::Type::kEnroll:
+      case WalRecord::Type::kEnrollTagged: {
         const std::uint64_t id = record.entry.id;
         next_id_ = std::max(next_id_, id + 1);
         entries_[id] = std::move(record.entry);

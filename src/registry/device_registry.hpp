@@ -60,10 +60,13 @@ struct DeviceInfo {
   std::uint32_t grid = 0;
   std::string label;
   bool revoked = false;
+  backend::BackendKind backend = backend::BackendKind::kMaxFlow;
 };
 
-/// What enroll() fabricates: geometry + fabrication seed (the same seed
-/// always fabricates the same instance, so the seed is the "silicon").
+/// What enroll() fabricates: backend + geometry + fabrication seed (the
+/// same seed always fabricates the same instance, so the seed is the
+/// "silicon").  Geometry is in the backend's own units — crossbar
+/// (nodes, grid) for max-flow, (stages, instances) for PDL.
 struct EnrollRequest {
   std::size_t node_count = 40;
   std::size_t grid_size = 8;
@@ -74,6 +77,7 @@ struct EnrollRequest {
   /// the shard stores); enrolling an id that already exists is a typed
   /// kInvalidArgument, never an overwrite.
   std::uint64_t device_id = 0;
+  backend::BackendKind backend = backend::BackendKind::kMaxFlow;
 };
 
 class DeviceRegistry {
@@ -121,8 +125,16 @@ class DeviceRegistry {
 
   /// Decode the stored public model.  kNotFound for unknown ids (revoked
   /// devices still load: revocation is a serving policy, the model is
-  /// still published).
+  /// still published).  Max-flow devices only — a device of any other
+  /// backend is a typed kInvalidArgument; backend-generic callers use
+  /// load_entry() and materialise through the backend registry instead.
   util::Status load_model(std::uint64_t id, SimulationModel* out) const;
+
+  /// Backend-generic read: the device's backend tag plus its stored model
+  /// blob, verbatim.  kNotFound for unknown ids.  This is what hydration
+  /// uses — the blob goes to find_backend(kind)->materialize().
+  util::Status load_entry(std::uint64_t id, backend::BackendKind* kind,
+                          std::vector<std::uint8_t>* model_bytes) const;
 
   std::vector<DeviceInfo> list() const;
   std::size_t device_count() const;

@@ -78,14 +78,27 @@ util::Status HydrationCache::get(
   std::shared_ptr<const HydratedDevice> device;
   {
     obs::ScopedTimer timer(m_load_time);
-    SimulationModel model;
-    status = registry_.load_model(id, &model);
+    auto kind = backend::BackendKind::kMaxFlow;
+    std::vector<std::uint8_t> model_bytes;
+    status = registry_.load_entry(id, &kind, &model_bytes);
     if (status.is_ok()) {
-      const double tolerance =
-          options_.flow_tolerance_fraction * model.mean_capacity();
-      device = std::make_shared<const HydratedDevice>(
-          id, std::move(model), options_.verifier_deadline_seconds, tolerance,
-          options_.verify_threads, options_.response_cache);
+      const backend::PufBackend* impl = backend::find_backend(kind);
+      if (impl == nullptr) {
+        // Unreachable through the registry (decode rejects unknown tags),
+        // but a typed refusal beats materialising the wrong family.
+        status = Status::invalid_argument(
+            "device " + std::to_string(id) + " has an unknown backend");
+      } else {
+        backend::MaterializeOptions mopts;
+        mopts.verifier_deadline_seconds = options_.verifier_deadline_seconds;
+        mopts.flow_tolerance_fraction = options_.flow_tolerance_fraction;
+        mopts.verify_threads = options_.verify_threads;
+        std::unique_ptr<backend::Device> dev;
+        status = impl->materialize(model_bytes, mopts, &dev);
+        if (status.is_ok())
+          device = std::make_shared<const HydratedDevice>(
+              id, std::move(dev), options_.response_cache);
+      }
     }
   }
 

@@ -1,8 +1,9 @@
 // Bounded LRU of materialised devices with single-flight loading.
 //
 // The registry stores models as encoded blobs; serving needs them
-// *materialised* — a SimulationModel plus a Verifier configured for it.
-// Decoding a blob and sizing the verifier tolerance is the expensive,
+// *materialised* — a backend::Device hydrated by the device's tagged
+// backend (for max-flow, a SimulationModel plus a Verifier sized for it).
+// Decoding a blob and configuring the verifier is the expensive,
 // once-per-device step, and a popular device is asked for by many
 // connections at once.  This cache makes that cheap and bounded:
 //
@@ -15,10 +16,11 @@
 //   - revocation-aware: every get() consults the registry first, so a
 //     device revoked after being cached is evicted and refused.
 //
-// A HydratedDevice is heap-allocated and never moved: the Verifier holds
-// a reference to the model member, which stays valid for exactly as long
-// as callers hold the shared_ptr — including after eviction, so inflight
-// requests finish on the instance they resolved.
+// A HydratedDevice is heap-allocated and never moved: backend devices
+// hold internal references (the max-flow Verifier references its model),
+// which stay valid for exactly as long as callers hold the shared_ptr —
+// including after eviction, so inflight requests finish on the instance
+// they resolved.
 //
 // Publishes registry.hydration.* metrics through the global obs registry
 // (hits / misses / single-flight waits / evictions / load-time histogram).
@@ -31,6 +33,7 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "backend/backend.hpp"
 #include "ppuf/sim_model.hpp"
 #include "protocol/authentication.hpp"
 #include "registry/device_registry.hpp"
@@ -38,24 +41,21 @@
 
 namespace ppuf::registry {
 
-/// A device ready to serve: the decoded model and a verifier sized for
-/// it.  Immutable after construction; shared by reference count.
+/// A device ready to serve: the backend::Device materialised from the
+/// stored blob by its tagged backend.  Immutable after construction;
+/// shared by reference count.
 struct HydratedDevice {
-  HydratedDevice(std::uint64_t id_, SimulationModel model_,
-                 double deadline_seconds, double flow_tolerance,
-                 unsigned verify_threads,
+  HydratedDevice(std::uint64_t id_, std::unique_ptr<backend::Device> device_,
                  ResponseCache* response_cache_ = nullptr)
       : id(id_),
-        model(std::move(model_)),
-        verifier(model, deadline_seconds, flow_tolerance, verify_threads),
+        device(std::move(device_)),
         response_cache(response_cache_) {}
 
   HydratedDevice(const HydratedDevice&) = delete;
   HydratedDevice& operator=(const HydratedDevice&) = delete;
 
   const std::uint64_t id;
-  const SimulationModel model;
-  const protocol::Verifier verifier;
+  const std::unique_ptr<backend::Device> device;
   /// The fleet's shared CRP response cache, attached at materialisation
   /// so every serving path that resolved this device already holds the
   /// warm plane (keyed by the device's registry id — entries never cross

@@ -28,7 +28,11 @@ void encode_device_entry(Writer& w, const DeviceEntry& e) {
   w.raw(e.model_bytes.data(), e.model_bytes.size());
 }
 
-util::Status decode_device_entry(Reader& r, DeviceEntry* out) {
+util::Status decode_device_entry(Reader& r, DeviceEntry* out,
+                                 backend::BackendKind kind) {
+  const backend::PufBackend* impl = backend::find_backend(kind);
+  if (impl == nullptr) return malformed("device entry backend");
+  out->backend = kind;
   std::uint8_t revoked = 0;
   std::uint32_t model_len = 0;
   if (!r.u64(&out->id) || !r.u32(&out->nodes) || !r.u32(&out->grid) ||
@@ -42,26 +46,28 @@ util::Status decode_device_entry(Reader& r, DeviceEntry* out) {
   for (std::uint32_t i = 0; i < model_len; ++i) {
     if (!r.u8(&out->model_bytes[i])) return malformed("device entry model");
   }
-  // The blob must itself be a valid model whose header agrees with the
-  // entry's mirror fields — catching a mismatch here, at decode time,
-  // means hydration can never materialise a model for the wrong geometry.
-  Reader blob(out->model_bytes.data(), out->model_bytes.size());
-  SimulationModel model;
-  if (Status s = protocol::codec::decode_sim_model(blob, &model);
-      !s.is_ok() || !blob.exhausted())
-    return malformed("device entry model blob");
-  if (model.layout().node_count() != out->nodes ||
-      model.layout().grid_size() != out->grid)
-    return malformed("device entry geometry mismatch");
-  return Status::ok();
+  // The blob must itself be a valid model of the tagged backend whose
+  // header agrees with the entry's mirror fields — catching a mismatch
+  // here, at decode time, means hydration can never materialise a model
+  // for the wrong geometry (or the wrong backend).
+  return impl->validate_model(out->model_bytes.data(),
+                              out->model_bytes.size(), out->nodes,
+                              out->grid);
 }
 
 void encode_wal_record(Writer& w, const WalRecord& record) {
   w.u8(static_cast<std::uint8_t>(record.type));
-  if (record.type == WalRecord::Type::kEnroll) {
-    encode_device_entry(w, record.entry);
-  } else {
-    w.u64(record.entry.id);
+  switch (record.type) {
+    case WalRecord::Type::kEnroll:
+      encode_device_entry(w, record.entry);
+      break;
+    case WalRecord::Type::kEnrollTagged:
+      w.u8(static_cast<std::uint8_t>(record.entry.backend));
+      encode_device_entry(w, record.entry);
+      break;
+    case WalRecord::Type::kRevoke:
+      w.u64(record.entry.id);
+      break;
   }
 }
 
@@ -74,6 +80,17 @@ util::Status decode_wal_record(Reader& r, WalRecord* out) {
       if (Status s = decode_device_entry(r, &out->entry); !s.is_ok())
         return s;
       break;
+    case static_cast<std::uint8_t>(WalRecord::Type::kEnrollTagged): {
+      out->type = WalRecord::Type::kEnrollTagged;
+      std::uint8_t tag = 0;
+      if (!r.u8(&tag)) return malformed("wal record backend");
+      const auto kind = static_cast<backend::BackendKind>(tag);
+      if (backend::find_backend(kind) == nullptr)
+        return malformed("wal record backend");
+      if (Status s = decode_device_entry(r, &out->entry, kind); !s.is_ok())
+        return s;
+      break;
+    }
     case static_cast<std::uint8_t>(WalRecord::Type::kRevoke):
       out->type = WalRecord::Type::kRevoke;
       out->entry = DeviceEntry{};
@@ -128,13 +145,18 @@ ExtractStatus extract_record(const std::uint8_t* data, std::size_t size,
   return ExtractStatus::kOk;
 }
 
-void encode_snapshot_body(Writer& w, const SnapshotBody& s) {
+void encode_snapshot_body(Writer& w, const SnapshotBody& s,
+                          std::uint32_t version) {
   w.u64(s.next_id);
   w.u32(static_cast<std::uint32_t>(s.entries.size()));
-  for (const DeviceEntry& e : s.entries) encode_device_entry(w, e);
+  for (const DeviceEntry& e : s.entries) {
+    if (version >= 2) w.u8(static_cast<std::uint8_t>(e.backend));
+    encode_device_entry(w, e);
+  }
 }
 
-util::Status decode_snapshot_body(Reader& r, SnapshotBody* out) {
+util::Status decode_snapshot_body(Reader& r, SnapshotBody* out,
+                                  std::uint32_t version) {
   std::uint32_t count = 0;
   if (!r.u64(&out->next_id) || !r.u32(&count))
     return malformed("snapshot header");
@@ -145,8 +167,16 @@ util::Status decode_snapshot_body(Reader& r, SnapshotBody* out) {
   out->entries.clear();
   out->entries.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
+    auto kind = backend::BackendKind::kMaxFlow;
+    if (version >= 2) {
+      std::uint8_t tag = 0;
+      if (!r.u8(&tag)) return malformed("snapshot entry backend");
+      kind = static_cast<backend::BackendKind>(tag);
+      if (backend::find_backend(kind) == nullptr)
+        return malformed("snapshot entry backend");
+    }
     DeviceEntry e;
-    if (Status s = decode_device_entry(r, &e); !s.is_ok()) return s;
+    if (Status s = decode_device_entry(r, &e, kind); !s.is_ok()) return s;
     out->entries.push_back(std::move(e));
   }
   if (!r.exhausted()) return malformed("snapshot (trailing bytes)");
@@ -154,10 +184,16 @@ util::Status decode_snapshot_body(Reader& r, SnapshotBody* out) {
 }
 
 std::vector<std::uint8_t> frame_snapshot(const SnapshotBody& snapshot) {
+  bool all_maxflow = true;
+  for (const DeviceEntry& e : snapshot.entries) {
+    if (e.backend != backend::BackendKind::kMaxFlow) all_maxflow = false;
+  }
+  const std::uint32_t version = all_maxflow ? 1 : 2;
   Writer body;
-  encode_snapshot_body(body, snapshot);
+  encode_snapshot_body(body, snapshot, version);
   Writer file;
-  file.raw(kSnapshotMagic, sizeof(kSnapshotMagic));
+  file.raw(version == 1 ? kSnapshotMagic : kSnapshotMagicV2,
+           sizeof(kSnapshotMagic));
   file.u32(static_cast<std::uint32_t>(body.bytes().size()));
   file.u32(util::crc32c(body.bytes().data(), body.bytes().size()));
   file.raw(body.bytes().data(), body.bytes().size());
@@ -167,9 +203,15 @@ std::vector<std::uint8_t> frame_snapshot(const SnapshotBody& snapshot) {
 util::Status parse_snapshot(const std::uint8_t* data, std::size_t size,
                             SnapshotBody* out) {
   constexpr std::size_t kHeader = sizeof(kSnapshotMagic) + 8;
-  if (size < kHeader ||
-      std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0)
-    return malformed("snapshot magic");
+  std::uint32_t version = 0;
+  if (size >= kHeader) {
+    if (std::memcmp(data, kSnapshotMagic, sizeof(kSnapshotMagic)) == 0)
+      version = 1;
+    else if (std::memcmp(data, kSnapshotMagicV2,
+                         sizeof(kSnapshotMagicV2)) == 0)
+      version = 2;
+  }
+  if (version == 0) return malformed("snapshot magic");
   Reader header(data + sizeof(kSnapshotMagic), 8);
   std::uint32_t body_len = 0, crc = 0;
   header.u32(&body_len);
@@ -179,7 +221,7 @@ util::Status parse_snapshot(const std::uint8_t* data, std::size_t size,
   if (util::crc32c(data + kHeader, body_len) != crc)
     return malformed("snapshot checksum");
   Reader body(data + kHeader, body_len);
-  return decode_snapshot_body(body, out);
+  return decode_snapshot_body(body, out, version);
 }
 
 }  // namespace ppuf::registry

@@ -16,6 +16,18 @@
 //
 // Record frame:   u32 magic 'PPRG' | u32 body_len | u32 crc32c(body) | body
 // Snapshot file:  8-byte magic "ppufreg1" | u32 body_len | u32 crc | body
+//            or:  8-byte magic "ppufreg2" | u32 body_len | u32 crc | body
+//
+// Backend versioning.  Entries carry a PUF-backend tag, but the pre-tag
+// formats stay first-class so existing fleets keep their bytes:
+//
+//   - WAL type kEnroll (1) is the untagged enroll record — always a
+//     max-flow device.  Non-max-flow devices enroll as kEnrollTagged (3),
+//     which prefixes the entry with one backend byte.  A max-flow-only
+//     fleet therefore writes a WAL byte-identical to the pre-tag format.
+//   - Snapshot magic "ppufreg1" is the untagged (all max-flow) layout;
+//     "ppufreg2" prefixes every entry with its backend byte.
+//     frame_snapshot() picks v1 whenever every entry is max-flow.
 //
 // Bodies are strict codec payloads (bounds-checked, exhausted() required),
 // so a bit flip anywhere yields a typed error, never a crash — the same
@@ -27,6 +39,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "protocol/codec.hpp"
 #include "util/status.hpp"
 
@@ -43,13 +56,16 @@ struct DeviceEntry {
   std::uint32_t grid = 0;
   std::string label;
   bool revoked = false;
+  backend::BackendKind backend = backend::BackendKind::kMaxFlow;
   std::vector<std::uint8_t> model_bytes;
 };
 
-/// One write-ahead-log record.  kEnroll carries the full entry; kRevoke
+/// One write-ahead-log record.  kEnroll carries an untagged (max-flow)
+/// entry; kEnrollTagged prefixes the entry with one backend byte; kRevoke
 /// only names the id (the other entry fields are ignored).
 struct WalRecord {
-  enum class Type : std::uint8_t { kEnroll = 1, kRevoke = 2 };
+  enum class Type : std::uint8_t { kEnroll = 1, kRevoke = 2,
+                                   kEnrollTagged = 3 };
   Type type = Type::kEnroll;
   DeviceEntry entry;
 };
@@ -57,14 +73,21 @@ struct WalRecord {
 inline constexpr std::uint32_t kRecordMagic = 0x47525050;  // "PPRG"
 inline constexpr char kSnapshotMagic[8] = {'p', 'p', 'u', 'f',
                                            'r', 'e', 'g', '1'};
+inline constexpr char kSnapshotMagicV2[8] = {'p', 'p', 'u', 'f',
+                                             'r', 'e', 'g', '2'};
 /// Upper bound on one record / snapshot body.  A model blob is
 /// 32*n*(n-1) + 16 bytes, so this admits instances beyond n = 1000 while
 /// keeping a forged length from demanding gigabytes.
 inline constexpr std::uint32_t kMaxBodyBytes = 64u * 1024 * 1024;
 
+/// Entry body WITHOUT the backend tag — the tag byte, where present, is
+/// written by the wrapping record/snapshot encoder.  decode takes the
+/// already-parsed tag (defaulting to max-flow for untagged formats), sets
+/// `out->backend`, and dispatches blob validation to that backend.
 void encode_device_entry(protocol::codec::Writer& w, const DeviceEntry& e);
-util::Status decode_device_entry(protocol::codec::Reader& r,
-                                 DeviceEntry* out);
+util::Status decode_device_entry(
+    protocol::codec::Reader& r, DeviceEntry* out,
+    backend::BackendKind kind = backend::BackendKind::kMaxFlow);
 
 /// Body only — framing (magic/len/crc) is applied by frame_record().
 void encode_wal_record(protocol::codec::Writer& w, const WalRecord& record);
@@ -96,11 +119,18 @@ struct SnapshotBody {
   std::vector<DeviceEntry> entries;
 };
 
-void encode_snapshot_body(protocol::codec::Writer& w, const SnapshotBody& s);
+/// `version` is 1 (untagged entries, "ppufreg1") or 2 (one backend byte
+/// before each entry, "ppufreg2").  Encoding a non-max-flow entry at
+/// version 1 is a caller bug; frame_snapshot() picks the version itself.
+void encode_snapshot_body(protocol::codec::Writer& w, const SnapshotBody& s,
+                          std::uint32_t version = 1);
 util::Status decode_snapshot_body(protocol::codec::Reader& r,
-                                  SnapshotBody* out);
+                                  SnapshotBody* out,
+                                  std::uint32_t version = 1);
 
-/// The full snapshot file image (magic + len + crc + body).
+/// The full snapshot file image (magic + len + crc + body).  Writes the
+/// pre-tag v1 image whenever every entry is max-flow, so an all-max-flow
+/// fleet's snapshot stays byte-identical to the pre-backend format.
 std::vector<std::uint8_t> frame_snapshot(const SnapshotBody& snapshot);
 
 /// Parse a complete snapshot file image.  Any truncation, bad magic, bad

@@ -17,6 +17,8 @@
 #include <unordered_set>
 #include <vector>
 
+#include "backend/backend.hpp"
+#include "backend/maxflow_backend.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
 #include "obs/metrics.hpp"
@@ -53,18 +55,6 @@ std::vector<std::uint8_t> error_frame(std::uint64_t request_id,
                            0, net::encode_error_reply(err));
 }
 
-/// The challenge came off the wire, i.e. from the adversary: bounds-check
-/// it against the model before any graph is built from it.
-Status validate_challenge(const SimulationModel& model, const Challenge& c) {
-  const CrossbarLayout& layout = model.layout();
-  if (c.source >= layout.node_count() || c.sink >= layout.node_count() ||
-      c.source == c.sink)
-    return Status::invalid_argument("challenge: bad source/sink pair");
-  if (c.bits.size() != layout.cell_count())
-    return Status::invalid_argument("challenge: wrong control-bit count");
-  return Status::ok();
-}
-
 WireCode wire_code_for(const Status& s) {
   switch (s.code()) {
     case util::StatusCode::kDeadlineExceeded:
@@ -95,18 +85,18 @@ struct OwnedFd {
 };
 
 struct AuthServer::Impl {
-  /// Single-device mode: one model, one verifier, addressed as device 0.
+  /// Single-device mode: one max-flow device, addressed as device 0.
   Impl(const SimulationModel& model, const AuthServerOptions& options,
        std::atomic<bool>& draining)
-      : single_model(&model),
-        options(options),
+      : options(options),
         draining(draining),
         rng(options.challenge_seed),
         pool(options.threads) {
-    single_verifier.emplace(
-        model, options.verifier_deadline_seconds,
-        model.mean_capacity() * options.flow_tolerance_fraction,
-        /*verify_threads=*/1);
+    backend::MaterializeOptions mopts;
+    mopts.verifier_deadline_seconds = options.verifier_deadline_seconds;
+    mopts.flow_tolerance_fraction = options.flow_tolerance_fraction;
+    mopts.verify_threads = 1;
+    single_device = backend::make_maxflow_device(model, mopts);
     if (options.response_cache_bytes > 0)
       response_cache.emplace(options.response_cache_bytes);
   }
@@ -142,9 +132,8 @@ struct AuthServer::Impl {
   /// Exactly one of these two is set.  The registry pointer is non-const:
   /// ENROLL mutates it and WAL_FETCH exports from it (both registry-mode
   /// only; the registry's own mutex serialises against other callers).
-  const SimulationModel* single_model = nullptr;
+  std::unique_ptr<backend::Device> single_device;
   registry::DeviceRegistry* device_registry = nullptr;
-  std::optional<protocol::Verifier> single_verifier;
   /// Shared device-keyed CRP cache for the coalesced predict path
   /// (options.response_cache_bytes > 0).  Declared before `hydration`
   /// because hydrated devices carry a pointer into it.
@@ -155,22 +144,22 @@ struct AuthServer::Impl {
   std::atomic<bool>& draining;
 
   /// What a handler works against once the frame's device id resolved:
-  /// borrowed pointers, kept alive by `hold` in registry mode (eviction
-  /// from the hydration cache must not free a device mid-request).
+  /// a borrowed backend::Device, kept alive by `hold` in registry mode
+  /// (eviction from the hydration cache must not free a device
+  /// mid-request).  Every request path goes through this interface, so a
+  /// max-flow crossbar and a PDL chain serve through identical code.
   struct DeviceContext {
-    const SimulationModel* model = nullptr;
-    const protocol::Verifier* verifier = nullptr;
+    const backend::Device* device = nullptr;
     std::shared_ptr<const registry::HydratedDevice> hold;
   };
 
   /// kNotFound when the id is unknown or revoked (mapped to a typed
   /// UNKNOWN_DEVICE reply by the caller).
   Status resolve_device(std::uint64_t device_id, DeviceContext* out) {
-    if (single_model != nullptr) {
+    if (single_device != nullptr) {
       if (device_id != net::kDefaultDeviceId)
         return Status::not_found("single-device server; use device id 0");
-      out->model = single_model;
-      out->verifier = &*single_verifier;
+      out->device = single_device.get();
       return Status::ok();
     }
     if (device_id == net::kDefaultDeviceId)
@@ -178,8 +167,7 @@ struct AuthServer::Impl {
           "registry-backed server requires an enrolled device id");
     std::shared_ptr<const registry::HydratedDevice> device;
     if (Status s = hydration->get(device_id, &device); !s.is_ok()) return s;
-    out->model = &device->model;
-    out->verifier = &device->verifier;
+    out->device = device->device.get();
     out->hold = std::move(device);
     return Status::ok();
   }
@@ -971,13 +959,13 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_predict(
       !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(*ctx.model, challenge); !s.is_ok())
+  if (Status s = ctx.device->validate_challenge(challenge); !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kInvalidArgument, s.message());
   util::SolveControl control;
   control.deadline = deadline;
-  const SimulationModel::Prediction p = ctx.model->predict(
-      challenge, maxflow::Algorithm::kPushRelabel, control);
+  const SimulationModel::Prediction p = ctx.device->predict(challenge,
+                                                            control);
   if (!p.ok())
     return error_frame(frame.request_id, frame.device_id,
                        wire_code_for(p.status), p.status.to_string());
@@ -1000,7 +988,7 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify(
       !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(*ctx.model, challenge); !s.is_ok())
+  if (Status s = ctx.device->validate_challenge(challenge); !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kInvalidArgument, s.message());
   if (deadline.expired())
@@ -1008,7 +996,7 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify(
                        WireCode::kDeadlineExceeded,
                        "budget expired before verification");
   const protocol::AuthenticationResult result =
-      ctx.verifier->verify(challenge, report);
+      ctx.device->verify(challenge, report);
   return net::encode_frame(MessageType::kVerifyReply, frame.request_id,
                            frame.device_id, 0,
                            net::encode_verify_reply(result));
@@ -1029,7 +1017,7 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify_batch(
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kMalformed, s.message());
   for (const Challenge& c : challenges)
-    if (Status s = validate_challenge(*ctx.model, c); !s.is_ok())
+    if (Status s = ctx.device->validate_challenge(c); !s.is_ok())
       return error_frame(frame.request_id, frame.device_id,
                          WireCode::kInvalidArgument, s.message());
   // Items run inline on this worker (no nested pool dispatch); the budget
@@ -1042,7 +1030,7 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_verify_batch(
                          WireCode::kDeadlineExceeded,
                          "budget expired at batch item " +
                              std::to_string(i));
-    results.push_back(ctx.verifier->verify(challenges[i], reports[i]));
+    results.push_back(ctx.device->verify(challenges[i], reports[i]));
   }
   return net::encode_frame(MessageType::kVerifyBatchReply, frame.request_id,
                            frame.device_id, 0,
@@ -1062,11 +1050,11 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_challenge(
   net::ChallengeGrant grant;
   {
     std::lock_guard<std::mutex> lock(rng_mutex);
-    grant.challenge = ctx.verifier->issue_challenge(rng);
+    grant.challenge = ctx.device->issue_challenge(rng);
     grant.nonce = rng();
   }
   grant.chain_length = options.chain_length;
-  grant.deadline_seconds = ctx.verifier->deadline_seconds();
+  grant.deadline_seconds = ctx.device->deadline_seconds();
   return net::encode_frame(MessageType::kChallengeReply, frame.request_id,
                            frame.device_id, 0,
                            net::encode_challenge_reply(grant));
@@ -1085,7 +1073,7 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
       !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kMalformed, s.message());
-  if (Status s = validate_challenge(*ctx.model, request.grant.challenge);
+  if (Status s = ctx.device->validate_challenge(request.grant.challenge);
       !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kInvalidArgument, s.message());
@@ -1103,10 +1091,9 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_chained_auth(
     std::lock_guard<std::mutex> lock(rng_mutex);
     spot_rng = rng.fork();
   }
-  const protocol::ChainedVerifyResult result = protocol::verify_chain(
-      *ctx.verifier, *ctx.model, request.grant.challenge,
-      request.grant.chain_length, request.grant.nonce, request.report,
-      options.spot_checks, spot_rng);
+  const protocol::ChainedVerifyResult result = ctx.device->verify_chain(
+      request.grant.challenge, request.grant.chain_length,
+      request.grant.nonce, request.report, options.spot_checks, spot_rng);
   return net::encode_frame(MessageType::kChainedAuthReply, frame.request_id,
                            frame.device_id, 0,
                            net::encode_chained_auth_reply(result));
@@ -1125,11 +1112,19 @@ std::vector<std::uint8_t> AuthServer::Impl::handle_enroll(
       !s.is_ok())
     return error_frame(frame.request_id, frame.device_id,
                        WireCode::kMalformed, s.message());
+  // The wire passes unknown non-zero backend bytes through (forward
+  // compatibility); they die here with a typed error instead.
+  const auto kind = static_cast<backend::BackendKind>(body.backend);
+  if (backend::find_backend(kind) == nullptr)
+    return error_frame(frame.request_id, frame.device_id,
+                       WireCode::kInvalidArgument,
+                       "enroll: unknown backend");
   registry::EnrollRequest request;
   request.node_count = body.node_count;
   request.grid_size = body.grid_size;
   request.seed = body.fabrication_seed;
   request.label = body.label;
+  request.backend = kind;
   // The frame header's device id doubles as the requested id (0 = assign
   // next free) so the gateway routes ENROLL like every other frame.
   request.device_id = frame.device_id;
@@ -1233,7 +1228,7 @@ void AuthServer::Impl::run_batch(std::uint64_t device_id,
                                      WireCode::kMalformed, s.message());
             continue;
           }
-          if (Status s = validate_challenge(*ctx.model, c); !s.is_ok()) {
+          if (Status s = ctx.device->validate_challenge(c); !s.is_ok()) {
             replies[i] = error_frame(frame.request_id, frame.device_id,
                                      WireCode::kInvalidArgument,
                                      s.message());
@@ -1249,7 +1244,7 @@ void AuthServer::Impl::run_batch(std::uint64_t device_id,
                                      WireCode::kMalformed, s.message());
             continue;
           }
-          if (Status s = validate_challenge(*ctx.model, c); !s.is_ok()) {
+          if (Status s = ctx.device->validate_challenge(c); !s.is_ok()) {
             replies[i] = error_frame(frame.request_id, frame.device_id,
                                      WireCode::kInvalidArgument,
                                      s.message());
@@ -1272,7 +1267,7 @@ void AuthServer::Impl::run_batch(std::uint64_t device_id,
           popts.deadlines.push_back(items[slot.item].deadline);
         }
         const std::vector<SimulationModel::Prediction> preds =
-            ctx.model->predict_batch(challenges, popts);
+            ctx.device->predict_batch(challenges, popts);
         for (std::size_t k = 0; k < predicts.size(); ++k) {
           const std::size_t i = predicts[k].item;
           const Frame& frame = items[i].frame;
@@ -1310,7 +1305,7 @@ void AuthServer::Impl::run_batch(std::uint64_t device_id,
           protocol::Verifier::BatchVerifyOptions vopts;
           vopts.thread_count = 1;  // inline on this worker
           const std::vector<protocol::AuthenticationResult> results =
-              ctx.verifier->verify_batch(vc, vr, vopts);
+              ctx.device->verify_batch(vc, vr, vopts);
           for (std::size_t k = 0; k < live.size(); ++k) {
             const Frame& frame = items[live[k]].frame;
             replies[live[k]] = net::encode_frame(

@@ -16,6 +16,8 @@
 #include <thread>
 #include <vector>
 
+#include "backend/backend.hpp"
+#include "backend/pdl_backend.hpp"
 #include "net/client.hpp"
 #include "net/socket.hpp"
 #include "net/wire.hpp"
@@ -677,6 +679,145 @@ TEST(AuthServerRegistry, RegistryPersistsAcrossServerRestart) {
   protocol::ChainedVerifyResult verdict;
   ASSERT_TRUE(chained_auth_as(srv.port(), id, chip, &verdict).is_ok());
   EXPECT_TRUE(verdict.accepted) << verdict.detail;
+  srv.stop();
+}
+
+// ------------------------------------------------------------ mixed fleet
+//
+// One registry, one server, two PUF families side by side: the paper's
+// max-flow PPUF and the PDL delay-PUF baseline.  Everything below runs
+// through the real wire path — the server must route each request to the
+// right backend per device.
+
+constexpr std::size_t kPdlStages = 24;
+constexpr std::size_t kPdlInstances = 2;
+
+std::uint64_t enroll_pdl(registry::DeviceRegistry& reg, std::uint64_t seed,
+                         const std::string& label) {
+  registry::EnrollRequest req;
+  req.backend = backend::BackendKind::kPdlDelay;
+  req.node_count = kPdlStages;     // chain stages
+  req.grid_size = kPdlInstances;   // XORed instances
+  req.seed = seed;
+  req.label = label;
+  std::uint64_t id = 0;
+  EXPECT_TRUE(reg.enroll(req, &id).is_ok());
+  return id;
+}
+
+/// PDL counterpart of chained_auth_as: the holder re-fabricates its
+/// silicon from the enrollment seed and proves the chain with it.
+Status chained_auth_as_pdl(std::uint16_t port, std::uint64_t device_id,
+                           std::uint64_t holder_seed,
+                           protocol::ChainedVerifyResult* verdict) {
+  AuthClient client = client_for_device(port, device_id);
+  net::ChallengeGrant grant;
+  if (Status s = client.get_challenge(&grant); !s.is_ok()) return s;
+  const std::vector<puf::ArbiterPuf> silicon =
+      backend::fabricate_pdl_instances(kPdlStages, kPdlInstances,
+                                       holder_seed);
+  const protocol::ChainedReport report = backend::prove_chain_with_pdl(
+      silicon, grant.challenge, grant.chain_length, grant.nonce, kChipDelay);
+  return client.chained_auth(grant, report, verdict);
+}
+
+TEST(AuthServerMixedFleet, InterleavedBackendsAuthenticatePerDevice) {
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(fresh_registry_dir("authsrv_mixed")).is_ok());
+  // Interleave enrollment order so ids alternate between the families.
+  const std::uint64_t mf_seeds[2] = {201, 202};
+  const std::uint64_t pdl_seeds[2] = {301, 302};
+  std::uint64_t mf_ids[2], pdl_ids[2];
+  mf_ids[0] = enroll_small(reg, mf_seeds[0], "mf-0");
+  pdl_ids[0] = enroll_pdl(reg, pdl_seeds[0], "pdl-0");
+  mf_ids[1] = enroll_small(reg, mf_seeds[1], "mf-1");
+  pdl_ids[1] = enroll_pdl(reg, pdl_seeds[1], "pdl-1");
+
+  AuthServer srv(reg, default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+
+  // Each max-flow device authenticates with its own silicon...
+  for (int i = 0; i < 2; ++i) {
+    MaxFlowPpuf chip(small_params(), mf_seeds[i]);
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(
+        chained_auth_as(srv.port(), mf_ids[i], chip, &verdict).is_ok());
+    EXPECT_TRUE(verdict.accepted)
+        << "maxflow device " << mf_ids[i] << ": " << verdict.detail;
+  }
+  // ...and each PDL device with its own (grants carry PDL-shaped
+  // challenges: k stage bits, fixed 0->1 terminals).
+  for (int i = 0; i < 2; ++i) {
+    protocol::ChainedVerifyResult verdict;
+    ASSERT_TRUE(chained_auth_as_pdl(srv.port(), pdl_ids[i], pdl_seeds[i],
+                                    &verdict)
+                    .is_ok());
+    EXPECT_TRUE(verdict.accepted)
+        << "pdl device " << pdl_ids[i] << ": " << verdict.detail;
+  }
+  // Cross-device rejection holds within the PDL family too: device 0's
+  // silicon cannot answer device 1's chain.
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(chained_auth_as_pdl(srv.port(), pdl_ids[1], pdl_seeds[0],
+                                  &verdict)
+                  .is_ok());
+  EXPECT_FALSE(verdict.accepted);
+
+  // PREDICT routes per backend: a PDL device answers its parity-model
+  // bit, byte-identical to a local evaluation of the public model.
+  AuthClient pdl_client = client_for_device(srv.port(), pdl_ids[0]);
+  net::ChallengeGrant grant;
+  ASSERT_TRUE(pdl_client.get_challenge(&grant).is_ok());
+  SimulationModel::Prediction p;
+  ASSERT_TRUE(pdl_client.predict(grant.challenge, &p).is_ok());
+  const std::vector<puf::ArbiterPuf> silicon =
+      backend::fabricate_pdl_instances(kPdlStages, kPdlInstances,
+                                       pdl_seeds[0]);
+  EXPECT_EQ(p.bit, backend::pdl_response(silicon, grant.challenge.bits));
+  // A max-flow-shaped challenge is a typed error on a PDL device.
+  Challenge bad = grant.challenge;
+  bad.sink = 5;
+  EXPECT_EQ(pdl_client.predict(bad, &p).code(),
+            StatusCode::kInvalidArgument);
+  srv.stop();
+}
+
+TEST(AuthServerMixedFleet, WireEnrollTagsBackendAndRejectsUnknownTag) {
+  registry::DeviceRegistry reg;
+  ASSERT_TRUE(reg.open(fresh_registry_dir("authsrv_mixed_enroll")).is_ok());
+  AuthServer srv(reg, default_options());
+  ASSERT_TRUE(srv.start().is_ok());
+
+  AuthClient admin("127.0.0.1", srv.port());
+  net::EnrollRequestBody spec;
+  spec.backend = static_cast<std::uint8_t>(backend::BackendKind::kPdlDelay);
+  spec.node_count = kPdlStages;
+  spec.grid_size = kPdlInstances;
+  spec.fabrication_seed = 411;
+  spec.label = "wire-pdl";
+  std::uint64_t id = 0;
+  ASSERT_TRUE(admin.enroll_device(spec, 0, &id).is_ok());
+  ASSERT_NE(id, 0u);
+  // The registry recorded the tag and the device serves as PDL.
+  bool found = false;
+  for (const auto& info : reg.list()) {
+    if (info.id != id) continue;
+    found = true;
+    EXPECT_EQ(info.backend, backend::BackendKind::kPdlDelay);
+  }
+  EXPECT_TRUE(found);
+  protocol::ChainedVerifyResult verdict;
+  ASSERT_TRUE(chained_auth_as_pdl(srv.port(), id, 411, &verdict).is_ok());
+  EXPECT_TRUE(verdict.accepted) << verdict.detail;
+
+  // An unknown backend tag passes the wire codec but dies server-side
+  // with a typed error — no partial enrollment.
+  net::EnrollRequestBody future = spec;
+  future.backend = 0x7f;
+  std::uint64_t unused = 0;
+  EXPECT_EQ(admin.enroll_device(future, 0, &unused).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(reg.device_count(), 1u);
   srv.stop();
 }
 

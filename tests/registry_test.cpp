@@ -413,7 +413,8 @@ TEST(HydrationCache, HitMissEvictionAndUnknown) {
 
   ASSERT_TRUE(cache.get(ids[0], &dev).is_ok());  // cold load
   EXPECT_EQ(dev->id, ids[0]);
-  EXPECT_EQ(dev->model.layout().node_count(), 6u);
+  ASSERT_NE(dev->device->sim_model(), nullptr);
+  EXPECT_EQ(dev->device->sim_model()->layout().node_count(), 6u);
   ASSERT_TRUE(cache.get(ids[0], &dev).is_ok());  // hit
   ASSERT_TRUE(cache.get(ids[1], &dev).is_ok());  // cold load
   ASSERT_TRUE(cache.get(ids[2], &dev).is_ok());  // cold load -> evicts [0]

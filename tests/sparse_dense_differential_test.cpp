@@ -424,20 +424,24 @@ TEST(SparseDenseDifferential, HydratedRegistryModelMatchesDenseOracle) {
   std::shared_ptr<const registry::HydratedDevice> dev;
   ASSERT_TRUE(hydration.get(id, &dev).is_ok());
   ASSERT_EQ(dev->response_cache, &response_cache);
+  // The backend-materialised device exposes its SimulationModel for
+  // max-flow-only differential suites like this one.
+  ASSERT_NE(dev->device->sim_model(), nullptr);
+  const SimulationModel& model = *dev->device->sim_model();
 
   util::Rng rng(7);
   std::vector<Challenge> challenges;
   for (int i = 0; i < 12; ++i)
-    challenges.push_back(random_challenge(dev->model.layout(), rng));
+    challenges.push_back(random_challenge(model.layout(), rng));
 
   const SimulationModel::PredictBatchOptions uncached;
-  const auto cold = dev->model.predict_batch(challenges, uncached);
+  const auto cold = model.predict_batch(challenges, uncached);
 
   SimulationModel::PredictBatchOptions cached;
   cached.cache = dev->response_cache;
   cached.cache_device_id = dev->id;
-  const auto fill = dev->model.predict_batch(challenges, cached);
-  const auto warm = dev->model.predict_batch(challenges, cached);
+  const auto fill = model.predict_batch(challenges, cached);
+  const auto warm = model.predict_batch(challenges, cached);
 
   ASSERT_EQ(cold.size(), challenges.size());
   for (std::size_t i = 0; i < challenges.size(); ++i) {

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/backend.hpp"
 #include "net/wire.hpp"
 #include "ppuf/ppuf.hpp"
 #include "protocol/codec.hpp"
@@ -436,6 +437,40 @@ TEST(Wire, PingReplyTruncationIsTypedError) {
   EXPECT_FALSE(net::decode_ping_reply(padded, &out).is_ok());
 }
 
+TEST(Wire, EnrollRequestTruncationIsTypedError) {
+  net::EnrollRequestBody in;
+  in.node_count = 24;
+  in.grid_size = 6;
+  in.fabrication_seed = 0x1234567890abcdefull;
+  in.label = "fuzz-card";
+  in.backend = static_cast<std::uint8_t>(backend::BackendKind::kPdlDelay);
+  const std::vector<std::uint8_t> payload = net::encode_enroll_request(in);
+  // Like ping_reply, the request has exactly two legal lengths: the v1
+  // body (node_count, grid_size, seed, label — implies max-flow) and the
+  // full tagged form.  Every other strict prefix is a typed error.
+  const std::size_t v1_len = payload.size() - 1;
+  for (std::size_t len = 1; len < payload.size(); ++len) {
+    const std::vector<std::uint8_t> cut(payload.begin(),
+                                        payload.begin() + len);
+    net::EnrollRequestBody out;
+    const Status s = net::decode_enroll_request(cut, &out);
+    if (len == v1_len) {
+      ASSERT_TRUE(s.is_ok()) << "v1 prefix must decode";
+      EXPECT_EQ(out.backend, 1);  // untagged means max-flow
+      EXPECT_EQ(out.label, in.label);
+      continue;
+    }
+    EXPECT_FALSE(s.is_ok()) << "prefix of " << len << " bytes decoded";
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument)
+        << "prefix " << len << " not a typed error";
+  }
+  // Trailing garbage after the backend byte is rejected.
+  std::vector<std::uint8_t> padded = payload;
+  padded.push_back(0);
+  net::EnrollRequestBody out;
+  EXPECT_FALSE(net::decode_enroll_request(padded, &out).is_ok());
+}
+
 TEST(Wire, ChallengeGrantRoundTrip) {
   const net::ChallengeGrant in = sample_grant();
   const std::vector<std::uint8_t> payload = net::encode_challenge_reply(in);
@@ -577,6 +612,33 @@ TEST(Wire, EnrollBodiesRoundTrip) {
   EXPECT_EQ(back.grid_size, req.grid_size);
   EXPECT_EQ(back.fabrication_seed, req.fabrication_seed);
   EXPECT_EQ(back.label, req.label);
+  EXPECT_EQ(back.backend, 1);  // default tag survives the round trip
+
+  // A PDL-tagged request round-trips its backend byte; PDL geometry uses
+  // chain-stage units, so the max-flow grid<=nodes rule must not apply.
+  net::EnrollRequestBody pdl = req;
+  pdl.backend = static_cast<std::uint8_t>(backend::BackendKind::kPdlDelay);
+  pdl.node_count = 64;  // stages
+  pdl.grid_size = 4;    // XORed instances
+  net::EnrollRequestBody pdl_back;
+  ASSERT_TRUE(
+      net::decode_enroll_request(net::encode_enroll_request(pdl), &pdl_back)
+          .is_ok());
+  EXPECT_EQ(pdl_back.backend, pdl.backend);
+  EXPECT_EQ(pdl_back.node_count, pdl.node_count);
+  EXPECT_EQ(pdl_back.grid_size, pdl.grid_size);
+
+  // Backend byte 0 is reserved: an uninitialised byte never aliases a
+  // real backend.  Unknown non-zero tags pass the wire layer (the server
+  // answers a typed error) — forward compatibility, not silent rejection.
+  std::vector<std::uint8_t> zero_tag = net::encode_enroll_request(req);
+  zero_tag.back() = 0;
+  EXPECT_EQ(net::decode_enroll_request(zero_tag, &back).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<std::uint8_t> future_tag = net::encode_enroll_request(pdl);
+  future_tag.back() = 0x7f;
+  ASSERT_TRUE(net::decode_enroll_request(future_tag, &back).is_ok());
+  EXPECT_EQ(back.backend, 0x7f);
 
   net::EnrollReplyBody reply;
   reply.device_id = 0xffffffffffffff01ull;  // full 64-bit width survives
@@ -739,21 +801,10 @@ std::vector<PayloadCase> payload_cases() {
                    }});
   // Fleet codecs (gateway admin, enrollment, WAL shipping, redirects) ride
   // the same harness: each one is parsed by a gateway or shard straight
-  // off adversary-reachable sockets.  ping_reply stays OUT of this list —
-  // its trailing health fields are deliberately optional, so prefixes of
-  // it can legally decode.
-  {
-    net::EnrollRequestBody e;
-    e.node_count = 24;
-    e.grid_size = 6;
-    e.fabrication_seed = 0x1234567890abcdefull;
-    e.label = "fuzz-card";
-    cases.push_back({"enroll_request", net::encode_enroll_request(e),
-                     [](const std::vector<std::uint8_t>& p) {
-                       net::EnrollRequestBody out;
-                       return net::decode_enroll_request(p, &out);
-                     }});
-  }
+  // off adversary-reachable sockets.  ping_reply and enroll_request stay
+  // OUT of this list — their trailing fields are deliberately optional
+  // (health block / backend tag), so one prefix of each legally decodes.
+  // They get dedicated truncation tests instead.
   {
     net::EnrollReplyBody e;
     e.device_id = 42;
@@ -836,6 +887,23 @@ registry::DeviceEntry sample_entry() {
   return e;
 }
 
+registry::DeviceEntry sample_pdl_entry() {
+  registry::DeviceEntry e;
+  e.id = 12;
+  e.nodes = 16;  // chain stages
+  e.grid = 2;    // XORed instances
+  e.label = "pdl-A";
+  e.backend = backend::BackendKind::kPdlDelay;
+  const backend::PufBackend* pdl =
+      backend::find_backend(backend::BackendKind::kPdlDelay);
+  backend::FabricateRequest req;
+  req.node_count = 16;
+  req.grid_size = 2;
+  req.seed = 77;
+  EXPECT_TRUE(pdl->fabricate(req, nullptr, &e.model_bytes).is_ok());
+  return e;
+}
+
 std::vector<PayloadCase> registry_payload_cases() {
   std::vector<PayloadCase> cases;
   {
@@ -888,6 +956,39 @@ std::vector<PayloadCase> registry_payload_cases() {
                        Reader r(p.data(), p.size());
                        registry::SnapshotBody out;
                        Status s = registry::decode_snapshot_body(r, &out);
+                       if (s.is_ok() && !r.exhausted())
+                         s = Status::invalid_argument("trailing bytes");
+                       return s;
+                     }});
+  }
+  // Backend-tagged record formats: a kEnrollTagged WAL record carrying a
+  // PDL entry, and a v2 snapshot mixing both backends.  Same contract —
+  // truncation at every offset and bit flips stay typed errors.
+  {
+    registry::WalRecord rec;
+    rec.type = registry::WalRecord::Type::kEnrollTagged;
+    rec.entry = sample_pdl_entry();
+    Writer w;
+    registry::encode_wal_record(w, rec);
+    cases.push_back({"wal_record_tagged_pdl", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       registry::WalRecord out;
+                       return registry::decode_wal_record(r, &out);
+                     }});
+  }
+  {
+    registry::SnapshotBody snap;
+    snap.next_id = 13;
+    snap.entries = {sample_entry(), sample_pdl_entry()};
+    Writer w;
+    registry::encode_snapshot_body(w, snap, 2);
+    cases.push_back({"snapshot_body_v2_mixed", w.bytes(),
+                     [](const std::vector<std::uint8_t>& p) {
+                       Reader r(p.data(), p.size());
+                       registry::SnapshotBody out;
+                       Status s =
+                           registry::decode_snapshot_body(r, &out, 2);
                        if (s.is_ok() && !r.exhausted())
                          s = Status::invalid_argument("trailing bytes");
                        return s;

@@ -101,6 +101,8 @@
 #include <vector>
 
 #include "attack/heuristic.hpp"
+#include "backend/backend.hpp"
+#include "backend/pdl_backend.hpp"
 #include "circuit/spice_export.hpp"
 #include "fleet/gateway.hpp"
 #include "fleet/standby.hpp"
@@ -168,9 +170,13 @@ constexpr CommandSpec kCommands[] = {
      "        the global --cache-mb sizes the serve response cache)"},
     {"auth", 18,
      "auth <host:port> <nodes> <grid> <seed> [--device <id>]\n"
-     "                 [--report-file <f>] [--pipeline-depth <n>]"},
+     "                 [--backend maxflow|pdl] [--report-file <f>]\n"
+     "                 [--pipeline-depth <n>]"},
     {"enroll", 19,
-     "enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]"},
+     "enroll <registry-dir> <nodes> <grid> <seed> [--label <text>]\n"
+     "                 [--backend maxflow|pdl]\n"
+     "       (pdl geometry: <nodes> = chain stages, <grid> = XORed\n"
+     "        instances)"},
     {"registry", 20, "registry <registry-dir> list|compact|revoke <id>"},
     {"chaos", 21,
      "chaos [--seed <s>] [--seeds <n>] [--seconds <sec>]\n"
@@ -186,7 +192,8 @@ constexpr CommandSpec kCommands[] = {
      "       ppuf_tool fleet <gw> undrain <name>\n"
      "       ppuf_tool fleet <gw> remove <name>\n"
      "       ppuf_tool fleet <gw> enroll <nodes> <grid> <seed>\n"
-     "                 --device <id> [--label <text>]"},
+     "                 --device <id> [--label <text>]\n"
+     "                 [--backend maxflow|pdl]"},
     {"standby", 24,
      "standby <registry-dir> <primary-host:port> [--poll-ms <n>]\n"
      "                 [--port <p>] [--port-file <f>] [--seed <s>]\n"
@@ -466,10 +473,14 @@ int cmd_enroll(const std::vector<std::string>& args) {
   req.grid_size = static_cast<std::size_t>(parse_number("enroll", args[2]));
   req.seed = parse_number("enroll", args[3]);
   for (std::size_t i = 4; i < args.size(); i += 2) {
-    if (args[i] == "--label" && i + 1 < args.size())
+    if (args[i] == "--label" && i + 1 < args.size()) {
       req.label = args[i + 1];
-    else
+    } else if (args[i] == "--backend" && i + 1 < args.size()) {
+      if (!backend::parse_backend(args[i + 1], &req.backend))
+        return usage_for("enroll");
+    } else {
       return usage_for("enroll");
+    }
   }
   registry::DeviceRegistry registry;
   if (util::Status s = registry.open(args[0]); !s.is_ok())
@@ -477,7 +488,8 @@ int cmd_enroll(const std::vector<std::string>& args) {
   std::uint64_t id = 0;
   if (util::Status s = registry.enroll(req, &id); !s.is_ok())
     throw std::runtime_error("enroll failed: " + s.to_string());
-  std::cout << "enrolled device " << id << " (" << req.node_count
+  std::cout << "enrolled device " << id << " ["
+            << backend::backend_name(req.backend) << "] (" << req.node_count
             << " nodes, grid " << req.grid_size << ", seed " << req.seed
             << (req.label.empty() ? "" : ", label \"" + req.label + "\"")
             << ") into " << args[0] << "\n";
@@ -501,8 +513,10 @@ int cmd_registry(const std::vector<std::string>& args) {
                 << " bytes dropped";
     std::cout << ")\n";
     for (const registry::DeviceInfo& d : registry.list()) {
-      std::cout << "  device " << d.id << ": " << d.nodes << " nodes, grid "
-                << d.grid << (d.revoked ? ", REVOKED" : "");
+      std::cout << "  device " << d.id << " ["
+                << backend::backend_name(d.backend) << "]: " << d.nodes
+                << " nodes, grid " << d.grid
+                << (d.revoked ? ", REVOKED" : "");
       if (!d.label.empty()) std::cout << ", label \"" << d.label << "\"";
       std::cout << "\n";
     }
@@ -882,7 +896,12 @@ int cmd_fleet(const std::vector<std::string>& args) {
         device_id = parse_number("fleet", args[i + 1]);
       else if (args[i] == "--label" && i + 1 < args.size())
         spec.label = args[i + 1];
-      else
+      else if (args[i] == "--backend" && i + 1 < args.size()) {
+        auto kind = backend::BackendKind::kMaxFlow;
+        if (!backend::parse_backend(args[i + 1], &kind))
+          return usage_for("fleet");
+        spec.backend = static_cast<std::uint8_t>(kind);
+      } else
         return usage_for("fleet");
     }
     if (device_id == 0) {
@@ -1068,21 +1087,22 @@ int cmd_auth(const std::vector<std::string>& args) {
 
   std::string report_file;
   net::ClientOptions copts;
+  auto holder_backend = backend::BackendKind::kMaxFlow;
   for (std::size_t i = 4; i < args.size(); i += 2) {
     if (args[i] == "--report-file" && i + 1 < args.size())
       report_file = args[i + 1];
     else if (args[i] == "--device" && i + 1 < args.size())
       copts.device_id = parse_number("auth", args[i + 1]);
-    else if (args[i] == "--pipeline-depth" && i + 1 < args.size()) {
+    else if (args[i] == "--backend" && i + 1 < args.size()) {
+      if (!backend::parse_backend(args[i + 1], &holder_backend))
+        return usage_for("auth");
+    } else if (args[i] == "--pipeline-depth" && i + 1 < args.size()) {
       copts.pipeline_depth = static_cast<int>(
           parse_number("auth", args[i + 1]));
       if (copts.pipeline_depth < 1) return usage_for("auth");
     } else
       return usage_for("auth");
   }
-
-  // The "chip": only the holder of <seed> can fabricate it.
-  MaxFlowPpuf puf(params, seed);
 
   net::AuthClient client(host, port, copts);
   net::ChallengeGrant grant;
@@ -1096,19 +1116,36 @@ int cmd_auth(const std::vector<std::string>& args) {
   }
   if (!st.is_ok())
     throw std::runtime_error("challenge request failed: " + st.to_string());
-  if (grant.challenge.bits.size() != puf.layout().cell_count() ||
-      grant.challenge.source >= puf.layout().node_count() ||
-      grant.challenge.sink >= puf.layout().node_count())
-    throw std::runtime_error(
-        "server challenge does not fit this device geometry "
-        "(wrong <nodes>/<grid> for that server's model?)");
   std::cout << "grant: chain k=" << grant.chain_length << ", nonce "
             << grant.nonce << ", response deadline "
             << grant.deadline_seconds << " s\n";
 
-  const protocol::ChainedReport report = protocol::prove_chain_with_ppuf(
-      puf, grant.challenge, grant.chain_length, grant.nonce,
-      kChipDelaySeconds);
+  // The "chip": only the holder of <seed> can fabricate it.  For a PDL
+  // device <nodes>/<grid> are the (stages, instances) used at enrollment.
+  protocol::ChainedReport report;
+  if (holder_backend == backend::BackendKind::kPdlDelay) {
+    if (grant.challenge.bits.size() != params.node_count)
+      throw std::runtime_error(
+          "server challenge does not fit this device geometry "
+          "(wrong <stages> for that server's device?)");
+    const std::vector<puf::ArbiterPuf> instances =
+        backend::fabricate_pdl_instances(params.node_count,
+                                         params.grid_size, seed);
+    report = backend::prove_chain_with_pdl(instances, grant.challenge,
+                                           grant.chain_length, grant.nonce,
+                                           kChipDelaySeconds);
+  } else {
+    MaxFlowPpuf puf(params, seed);
+    if (grant.challenge.bits.size() != puf.layout().cell_count() ||
+        grant.challenge.source >= puf.layout().node_count() ||
+        grant.challenge.sink >= puf.layout().node_count())
+      throw std::runtime_error(
+          "server challenge does not fit this device geometry "
+          "(wrong <nodes>/<grid> for that server's model?)");
+    report = protocol::prove_chain_with_ppuf(puf, grant.challenge,
+                                             grant.chain_length, grant.nonce,
+                                             kChipDelaySeconds);
+  }
   if (!report_file.empty()) {
     std::ofstream out(report_file, std::ios::binary);
     if (!out) throw std::runtime_error("cannot write " + report_file);
